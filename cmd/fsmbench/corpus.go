@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/workload"
+)
+
+// Shared corpus construction for the regex figures. Compiled once per
+// process and memoized, since -experiment all runs several figures
+// over the same corpus.
+
+var corpusCache struct {
+	sync.Mutex
+	key      string
+	machines []*fsm.DFA
+	specs    []workload.PatternSpec
+}
+
+func corpus(opt *options) ([]*fsm.DFA, []workload.PatternSpec) {
+	corpusCache.Lock()
+	defer corpusCache.Unlock()
+	key := fmt.Sprintf("%d/%d", opt.seed, opt.corpus)
+	if corpusCache.key == key {
+		return corpusCache.machines, corpusCache.specs
+	}
+	specs := workload.SnortRegexes(opt.seed, opt.corpus)
+	ms, kept := workload.CompileCorpus(specs, 20000)
+	corpusCache.key = key
+	corpusCache.machines = ms
+	corpusCache.specs = kept
+	fmt.Printf("[corpus] %d/%d generated rules compiled (seed %d)\n", len(ms), opt.corpus, opt.seed)
+	return ms, kept
+}
+
+// sampleMachines picks every k-th machine to get about want machines,
+// preserving the size distribution (the paper random-samples 269 of
+// 2711 for its timing figures).
+func sampleMachines(ms []*fsm.DFA, want int) []*fsm.DFA {
+	if want <= 0 || want >= len(ms) {
+		return ms
+	}
+	step := len(ms) / want
+	if step < 1 {
+		step = 1
+	}
+	var out []*fsm.DFA
+	for i := 0; i < len(ms) && len(out) < want; i += step {
+		out = append(out, ms[i])
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/workload"
+)
+
+// Figure 14: multicore strong scaling for the Snort machines. For each
+// optimization, the baseline is its own single-core enumerative time —
+// the figure isolates the Figure 5 parallel-prefix scaling from the
+// single-core wins of Figure 13.
+//
+// Paper shape to look for: near-linear scaling up to 8 cores (then the
+// per-core chunks get too small), largely independent of which
+// single-core optimization is in use. This container exposes
+// runtime.NumCPU() cores, so the sweep is truncated accordingly.
+func fig14(opt *options) {
+	header("Figure 14 — multicore speedup over single-core enumerative (Snort machines)")
+	ms, _ := corpus(opt)
+	// Pick a few machines representative of the favorable regime.
+	var picks []*fsm.DFA
+	for _, d := range ms {
+		if d.NumStates() >= 8 && d.NumStates() <= 64 && d.MaxRangeSize() <= 32 {
+			picks = append(picks, d)
+		}
+		if len(picks) == 4 {
+			break
+		}
+	}
+	if len(picks) == 0 {
+		picks = ms[:1]
+	}
+	input := workload.WikiText(opt.seed+14, opt.mb<<20)
+
+	for _, strat := range []core.Strategy{core.Convergence, core.RangeCoalesced} {
+		fmt.Printf("\nstrategy %s:\n%-8s", strat, "procs")
+		for i := range picks {
+			fmt.Printf(" %10s", fmt.Sprintf("fsm%d(n=%d)", i, picks[i].NumStates()))
+		}
+		fmt.Println()
+
+		base := make([]time.Duration, len(picks))
+		for p := 1; p <= opt.procs; p++ {
+			fmt.Printf("%-8d", p)
+			for i, d := range picks {
+				if strat == core.RangeCoalesced && d.MaxRangeSize() > 256 {
+					fmt.Printf(" %10s", "-")
+					continue
+				}
+				r, err := core.New(d, core.WithStrategy(strat), core.WithProcs(p))
+				if err != nil {
+					fmt.Printf(" %10s", "-")
+					continue
+				}
+				var q fsm.State
+				t := timeIt(20*time.Millisecond, func() { q = r.Final(input, d.Start()) })
+				_ = q
+				if p == 1 {
+					base[i] = t
+				}
+				fmt.Printf(" %9.2f×", float64(base[i])/float64(t))
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"fmt"
+
+	"dpfsm/internal/huffman"
+	"dpfsm/internal/textstats"
+	"dpfsm/internal/workload"
+)
+
+// numBooks mirrors the paper's 34 most-downloaded Gutenberg books.
+const numBooks = 34
+
+// buildBooks generates the per-book codecs and decoder machines.
+func buildBooks(opt *options, bookBytes int) []*huffman.DecoderFSM {
+	var out []*huffman.DecoderFSM
+	for b := 0; b < numBooks; b++ {
+		text := workload.Book(opt.seed*1000+int64(b), bookBytes)
+		c, err := huffman.FromSample(text)
+		if err != nil {
+			continue
+		}
+		f, err := c.DecoderFSM()
+		if err != nil {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Figure 15: the distribution of Huffman decoder FSM sizes before and
+// after range coalescing across the 34 books.
+//
+// Paper shape to look for: trees with up to ~300 states whose maximum
+// range is at most 16, which is what lets the decoder use byte-encoded
+// names and a single shuffle per input byte.
+func fig15(opt *options) {
+	header("Figure 15 — Huffman decoder FSM states vs. range-coalesced width (34 books)")
+	books := buildBooks(opt, 1<<18)
+
+	var states, ranges []int
+	for _, f := range books {
+		states = append(states, f.ByteMachine.NumStates())
+		ranges = append(ranges, f.ByteMachine.MaxRangeSize())
+	}
+
+	s := textstats.Summarize(states)
+	r := textstats.Summarize(ranges)
+	fmt.Printf("normal FA:        min=%d median=%.0f max=%d\n", s.Min, s.Median, s.Max)
+	fmt.Printf("range coalesced:  min=%d median=%.0f max=%d\n", r.Min, r.Median, r.Max)
+	fmt.Printf("books with range ≤16: %.0f%% (paper: 100%%)\n", 100*textstats.FractionAtMost(ranges, 16))
+
+	fmt.Println("\nstate-count CDF:")
+	for _, bound := range []int{50, 100, 150, 200, 250, 300} {
+		fmt.Printf("  ≤%-4d %.0f%%\n", bound, 100*textstats.FractionAtMost(states, bound))
+	}
+}

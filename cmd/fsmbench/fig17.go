@@ -1,0 +1,67 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/huffman"
+	"dpfsm/internal/workload"
+)
+
+// Figure 17: multicore Huffman decode — runtime versus processor count
+// for each book's tree (the paper plots seconds for a 1 GB file across
+// 16 cores; we plot per-core runtime and speedup for -mb MiB on the
+// cores this machine has).
+//
+// Paper shape to look for: near-linear scaling to 8 cores, then flat.
+func fig17(opt *options) {
+	header("Figure 17 — Huffman multicore decode scaling")
+	payload := workload.WikiText(opt.seed+17, opt.mb<<20)
+
+	// One representative book (the paper plots all 34 as lines; the
+	// scaling shape is shared). We use three spanning the size range.
+	books := buildBooks(opt, 1<<18)
+	picks := []int{0, len(books) / 2, len(books) - 1}
+
+	fmt.Printf("%-8s", "procs")
+	for _, bi := range picks {
+		fmt.Printf(" %14s", fmt.Sprintf("book%d(n=%d)", bi, books[bi].ByteMachine.NumStates()))
+	}
+	fmt.Println("   (time, speedup vs 1 proc)")
+
+	base := make([]time.Duration, len(picks))
+	for p := 1; p <= opt.procs; p++ {
+		fmt.Printf("%-8d", p)
+		for i, bi := range picks {
+			f := books[bi]
+			bookText := workload.Book(opt.seed*1000+int64(bi), 1<<18)
+			codec, err := huffman.FromSample(append(append([]byte{}, bookText...), payload...))
+			if err != nil {
+				fmt.Printf(" %14s", "-")
+				continue
+			}
+			f2, err := codec.DecoderFSM()
+			if err != nil {
+				fmt.Printf(" %14s", "-")
+				continue
+			}
+			f = f2
+			enc, err := codec.Encode(payload)
+			if err != nil {
+				fmt.Printf(" %14s", "-")
+				continue
+			}
+			var out []byte
+			t := timeIt(50*time.Millisecond, func() {
+				out, _ = f.DecodeParallel(enc, core.WithProcs(p))
+			})
+			_ = out
+			if p == 1 {
+				base[i] = t
+			}
+			fmt.Printf(" %8s %4.2f×", t.Round(time.Millisecond), float64(base[i])/float64(t))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/htmltok"
+	"dpfsm/internal/workload"
+)
+
+// Figure 18: HTML tokenization throughput — the switch-encoded baseline
+// ("Bing"), the single-core enumerative tokenizer with convergence
+// ("Bing+conv"), and the multicore tokenizer from 1..N threads. The
+// paper's machine reaches 2.3× single-core and 3025 MB/s (14× over
+// baseline) at 16 cores; this container truncates the thread sweep at
+// runtime.NumCPU() and, lacking real shuffle hardware, reproduces the
+// scaling shape rather than the single-core constant (DESIGN.md).
+func fig18(opt *options) {
+	header("Figure 18 — HTML tokenization throughput (MB/s)")
+	input := workload.HTMLPage(opt.seed+18, 6<<20) // the paper's 6 MB dump
+
+	var toks []htmltok.Token
+	tSwitch := timeIt(100*time.Millisecond, func() { toks = htmltok.TokenizeSwitch(input) })
+	fmt.Printf("%-16s %10.1f MB/s   (%d tokens)\n", "Bing (switch)", mbps(len(input), tSwitch), len(toks))
+
+	seqTok, err := htmltok.NewTokenizer(core.WithStrategy(core.Convergence))
+	if err != nil {
+		fmt.Println("tokenizer:", err)
+		return
+	}
+	tTable := timeIt(100*time.Millisecond, func() { toks = seqTok.TokenizeTable(input) })
+	fmt.Printf("%-16s %10.1f MB/s\n", "table (seq)", mbps(len(input), tTable))
+
+	tConv := timeIt(100*time.Millisecond, func() { toks = seqTok.Tokenize(input) })
+	fmt.Printf("%-16s %10.1f MB/s   (speedup over Bing: %.2f×)\n",
+		"Bing+conv", mbps(len(input), tConv), float64(tSwitch)/float64(tConv))
+
+	for p := 1; p <= opt.procs; p++ {
+		tk, err := htmltok.NewTokenizer(core.WithStrategy(core.Convergence), core.WithProcs(p))
+		if err != nil {
+			continue
+		}
+		t := timeIt(100*time.Millisecond, func() { toks = tk.Tokenize(input) })
+		fmt.Printf("threads:%-8d %10.1f MB/s   (%.2f× over Bing)\n",
+			p, mbps(len(input), t), float64(tSwitch)/float64(t))
+	}
+	_ = toks
+}

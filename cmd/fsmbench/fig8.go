@@ -1,0 +1,73 @@
+package main
+
+import (
+	"fmt"
+
+	"dpfsm/internal/analysis"
+)
+
+// Figure 8: adversarial (worst-case) convergence. For every machine in
+// the corpus and for thresholds 16/8/4, explore the reachable
+// configuration space and determine the smallest k after which *every*
+// input leaves at most that many active states. The plotted quantity
+// is the proportion of the corpus converged by step k.
+//
+// Paper shape to look for: ~90% of machines at ≤16 active states after
+// ~10 steps and ~95% after 200; only ~80% ever reach ≤8 and <70% reach
+// ≤4 (permutation-like symbols block deeper convergence).
+func fig8(opt *options) {
+	header("Figure 8 — worst-case convergence CDF (adversarial inputs)")
+	ms, _ := corpus(opt)
+
+	thresholds := []int{16, 8, 4}
+	checkpoints := []int{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000}
+
+	type row struct {
+		steps     []int // per machine: steps to converge, -1 = never
+		never     int
+		unsettled int
+	}
+	results := map[int]*row{}
+	for _, th := range thresholds {
+		results[th] = &row{}
+	}
+
+	for _, d := range ms {
+		for _, th := range thresholds {
+			r := results[th]
+			res := analysis.AdversarialConvergence(d, th, opt.maxConfigs)
+			switch {
+			case !res.Explored:
+				r.unsettled++
+			case !res.Converges:
+				r.never++
+				r.steps = append(r.steps, -1)
+			default:
+				r.steps = append(r.steps, res.Steps)
+			}
+		}
+	}
+
+	fmt.Printf("%-22s", "steps k")
+	for _, k := range checkpoints {
+		fmt.Printf(" %6d", k)
+	}
+	fmt.Printf(" %8s %9s\n", "never", "unsettled")
+	for _, th := range thresholds {
+		r := results[th]
+		total := len(ms)
+		fmt.Printf("%%FSMs ≤%-2d active     ", th)
+		for _, k := range checkpoints {
+			count := 0
+			for _, s := range r.steps {
+				if s >= 0 && s <= k {
+					count++
+				}
+			}
+			fmt.Printf(" %5.1f%%", 100*float64(count)/float64(total))
+		}
+		fmt.Printf(" %7.1f%% %8.1f%%\n",
+			100*float64(r.never)/float64(total),
+			100*float64(r.unsettled)/float64(total))
+	}
+}

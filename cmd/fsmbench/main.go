@@ -1,0 +1,127 @@
+// Command fsmbench regenerates every figure of the paper's evaluation
+// (there are no numbered tables; Figures 6, 8, 9, 12, 13, 14, 15, 16,
+// 17 and 18 are the complete set). Each experiment prints an aligned
+// text table whose rows/series correspond to the figure's plotted
+// quantities, so paper-vs-measured comparisons (EXPERIMENTS.md) can be
+// made directly.
+//
+// Usage:
+//
+//	fsmbench -experiment fig6            # one figure
+//	fsmbench -experiment all             # everything
+//	fsmbench -experiment fig13 -corpus 269 -mb 4
+//
+// All workloads are generated deterministically from -seed; see
+// internal/workload for the substitutions standing in for the paper's
+// proprietary inputs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+type options struct {
+	experiment string
+	seed       int64
+	corpus     int // number of generated Snort-shaped rules
+	sample     int // FSMs measured in timing figures
+	mb         int // input megabytes for throughput figures
+	procs      int
+	trials     int
+	maxConfigs int
+}
+
+func main() {
+	var opt options
+	flag.StringVar(&opt.experiment, "experiment", "all",
+		"which figure to regenerate: fig6 fig8 fig9 fig12 fig13 fig14 fig15 fig16 fig17 fig18 scaling speculation shuffles, or all")
+	flag.Int64Var(&opt.seed, "seed", 1, "workload generator seed")
+	flag.IntVar(&opt.corpus, "corpus", 400, "size of the generated Snort-shaped rule corpus (paper: 2711)")
+	flag.IntVar(&opt.sample, "sample", 60, "FSMs sampled for timing figures (paper: 269)")
+	flag.IntVar(&opt.mb, "mb", 4, "input size in MiB for throughput figures (paper: up to 1024)")
+	flag.IntVar(&opt.procs, "procs", runtime.NumCPU(), "maximum processor count for scaling figures (paper: 16)")
+	flag.IntVar(&opt.trials, "trials", 10, "random inputs per FSM in Figure 9 (paper: 10)")
+	flag.IntVar(&opt.maxConfigs, "maxconfigs", 1<<17, "configuration budget per FSM in Figure 8")
+	flag.Parse()
+
+	experiments := map[string]func(*options){
+		"fig6":        fig6,
+		"fig8":        fig8,
+		"fig9":        fig9,
+		"fig12":       fig12,
+		"fig13":       fig13,
+		"fig14":       fig14,
+		"fig15":       fig15,
+		"fig16":       fig16,
+		"fig17":       fig17,
+		"fig18":       fig18,
+		"scaling":     scaling,
+		"speculation": speculation,
+		"shuffles":    shuffles,
+	}
+	if opt.experiment == "all" {
+		names := make([]string, 0, len(experiments))
+		for n := range experiments {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			return figNum(names[i]) < figNum(names[j])
+		})
+		for _, n := range names {
+			experiments[n](&opt)
+		}
+		return
+	}
+	run, ok := experiments[opt.experiment]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", opt.experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+	run(&opt)
+}
+
+func figNum(name string) int {
+	var n int
+	if _, err := fmt.Sscanf(name, "fig%d", &n); err != nil {
+		return 999 // non-figure experiments (scaling) run last
+	}
+	return n
+}
+
+// header prints a figure banner.
+func header(title string) {
+	fmt.Println()
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("=", 72))
+}
+
+// timeIt measures fn, repeating until at least minDur has elapsed, and
+// returns the per-call duration.
+func timeIt(minDur time.Duration, fn func()) time.Duration {
+	fn() // warm up
+	var total time.Duration
+	calls := 0
+	for total < minDur {
+		start := time.Now()
+		fn()
+		total += time.Since(start)
+		calls++
+	}
+	return total / time.Duration(calls)
+}
+
+// mbps converts bytes processed in d to MB/s.
+func mbps(bytes int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds() / 1e6
+}

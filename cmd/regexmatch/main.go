@@ -1,0 +1,146 @@
+// Command regexmatch is a grep-like scanner built on the data-parallel
+// FSM runner: it compiles a PCRE-subset pattern to a DFA and reports
+// whether (and how fast) each input matches, using the enumerative
+// strategies of internal/core.
+//
+// Usage:
+//
+//	regexmatch -pattern 'cmd\.exe' [-i] [-strategy auto|seq|base|conv|range] [-procs N] [file...]
+//
+// With no files, stdin is scanned. Exit status 0 if every input
+// matched, 1 if any did not, 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/regex"
+)
+
+func main() {
+	pattern := flag.String("pattern", "", "PCRE-subset pattern (required)")
+	insensitive := flag.Bool("i", false, "case-insensitive match")
+	anchored := flag.Bool("anchored", false, "whole-input match instead of substring search")
+	strategy := flag.String("strategy", "auto", "auto, seq, base, ilp, conv, or range")
+	procs := flag.Int("procs", 1, "processor count for the parallel runner (0 = all)")
+	verbose := flag.Bool("v", false, "print machine statistics and timing")
+	dotOut := flag.String("dot", "", "write the compiled machine as Graphviz dot to this file and exit")
+	find := flag.Bool("find", false, "report the first match span instead of a boolean (unanchored, non-nullable patterns)")
+	flag.Parse()
+
+	if *pattern == "" {
+		fmt.Fprintln(os.Stderr, "regexmatch: -pattern is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	strategies := map[string]core.Strategy{
+		"auto": core.Auto, "seq": core.Sequential, "base": core.Base,
+		"ilp": core.BaseILP, "conv": core.Convergence, "range": core.RangeCoalesced,
+	}
+	strat, ok := strategies[*strategy]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "regexmatch: unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	d, err := regex.Compile(*pattern, regex.Options{
+		CaseInsensitive: *insensitive,
+		Anchored:        *anchored,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "regexmatch:", err)
+		os.Exit(2)
+	}
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "regexmatch:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := d.WriteDot(f, *pattern); err != nil {
+			fmt.Fprintln(os.Stderr, "regexmatch:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d-state machine to %s\n", d.NumStates(), *dotOut)
+		return
+	}
+	r, err := core.New(d, core.WithStrategy(strat), core.WithProcs(*procs))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "regexmatch:", err)
+		os.Exit(2)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "machine: %v, max range %d, strategy %v, procs %d\n",
+			d, d.MaxRangeSize(), r.Strategy(), r.Procs())
+	}
+
+	var finder *regex.Finder
+	if *find {
+		finder, err = regex.NewFinder(*pattern, regex.Options{CaseInsensitive: *insensitive},
+			core.WithStrategy(strat), core.WithProcs(*procs))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "regexmatch:", err)
+			os.Exit(2)
+		}
+	}
+
+	inputs := flag.Args()
+	allMatched := true
+	scan := func(name string, data []byte) {
+		if finder != nil {
+			start := time.Now()
+			s, e, ok := finder.Find(data)
+			dur := time.Since(start)
+			if !ok {
+				allMatched = false
+				fmt.Printf("%s: no match (%v)\n", name, dur)
+				return
+			}
+			span := data[s:e]
+			if len(span) > 60 {
+				span = span[:60]
+			}
+			fmt.Printf("%s: match at [%d:%d) %q (%v)\n", name, s, e, span, dur)
+			return
+		}
+		start := time.Now()
+		matched := r.Accepts(data)
+		dur := time.Since(start)
+		if !matched {
+			allMatched = false
+		}
+		if *verbose {
+			fmt.Printf("%s: match=%v (%d bytes in %v, %.1f MB/s)\n",
+				name, matched, len(data), dur, float64(len(data))/dur.Seconds()/1e6)
+		} else {
+			fmt.Printf("%s: %v\n", name, matched)
+		}
+	}
+
+	if len(inputs) == 0 {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "regexmatch:", err)
+			os.Exit(2)
+		}
+		scan("stdin", data)
+	}
+	for _, path := range inputs {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "regexmatch:", err)
+			os.Exit(2)
+		}
+		scan(path, data)
+	}
+	if !allMatched {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,12 @@
+// Package dpfsm is a Go reproduction of "Data-Parallel Finite-State
+// Machines" (Mytkowicz, Musuvathi, Schulte — ASPLOS 2014).
+//
+// The library lives under internal/: the enumerative parallel runner in
+// internal/core, the gather/factor primitives in internal/gather, the
+// machine substrate in internal/fsm, and the three case studies in
+// internal/regex, internal/huffman and internal/htmltok. The cmd/
+// binaries and examples/ programs exercise the public surface; the
+// benchmarks in bench_test.go regenerate every figure of the paper's
+// evaluation (see DESIGN.md for the experiment index and EXPERIMENTS.md
+// for paper-vs-measured results).
+package dpfsm

@@ -1,0 +1,44 @@
+// clusterscan: the paper's concluding claim made concrete — the
+// enumerative decomposition running on a simulated MapReduce-style
+// cluster (message-passing worker nodes, machine shipped serialized,
+// one composition vector returned per chunk). Prints the wire-traffic
+// accounting that makes the approach cluster-friendly: result traffic
+// is per-chunk, not per-byte.
+package main
+
+import (
+	"fmt"
+
+	"dpfsm/internal/cluster"
+	"dpfsm/internal/regex"
+	"dpfsm/internal/workload"
+)
+
+func main() {
+	d, err := regex.Compile(`UNION\s+SELECT`, regex.Options{CaseInsensitive: true})
+	if err != nil {
+		panic(err)
+	}
+	traffic := workload.HTTPTraffic(21, 32<<20)
+	copy(traffic[20<<20:], []byte("q=1 UNION SELECT pass FROM users"))
+
+	fmt.Printf("machine: %v; input: %d MiB\n\n", d, len(traffic)>>20)
+	fmt.Printf("%-10s %-8s %-10s %-14s %-14s %-10s\n",
+		"chunk", "tasks", "match", "to-workers", "to-coord", "overhead")
+
+	for _, chunkMB := range []int{1, 4, 16} {
+		c, err := cluster.New(d, cluster.Config{Workers: 4, ChunkBytes: chunkMB << 20})
+		if err != nil {
+			panic(err)
+		}
+		matched, stats := c.Accepts(d, traffic)
+		c.Close()
+		fmt.Printf("%-10s %-8d %-10v %-14s %-14s %.4f%%\n",
+			fmt.Sprintf("%dMiB", chunkMB), stats.Tasks, matched,
+			fmt.Sprintf("%d B", stats.BytesToWorkers),
+			fmt.Sprintf("%d B", stats.BytesToCoordinator),
+			100*float64(stats.BytesToCoordinator)/float64(stats.BytesToWorkers))
+	}
+	fmt.Println("\nresult traffic is one composition vector per chunk — independent of chunk bytes,")
+	fmt.Println("which is why §3.4's decomposition suits clusters where communication dominates.")
+}

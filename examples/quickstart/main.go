@@ -1,0 +1,102 @@
+// Quickstart: the paper's running example (Figure 1) — a four-state
+// machine that recognizes C-style /* ... */ comments — executed with
+// the sequential baseline and every data-parallel strategy, plus a
+// Mealy φ callback that reports when comments open and close.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/fsm"
+)
+
+// States a..d of Figure 1(a).
+const (
+	outside      = fsm.State(0) // a: outside any comment
+	slashSeen    = fsm.State(1) // b: '/' seen
+	commentBody  = fsm.State(2) // c: inside /* ...
+	starInside   = fsm.State(3) // d: '*' seen inside a comment
+	numStates    = 4
+	symSlash     = 0
+	symStar      = 1
+	symOther     = 2
+	alphabetSize = 3
+)
+
+// commentFSM builds the transition table of Figure 1(b).
+func commentFSM() *fsm.DFA {
+	d := fsm.MustNew(numStates, alphabetSize)
+	set := func(sym byte, targets ...fsm.State) {
+		for q, r := range targets {
+			d.SetTransition(fsm.State(q), sym, r)
+		}
+	}
+	//              a            b            c            d
+	set(symSlash, slashSeen, slashSeen, commentBody, outside)
+	set(symStar, outside, commentBody, starInside, starInside)
+	set(symOther, outside, outside, commentBody, commentBody)
+	d.SetStart(outside)
+	d.SetAccepting(outside, true) // accepted = all comments closed
+	return d
+}
+
+// encode maps source bytes onto the three-symbol alphabet.
+func encode(src string) []byte {
+	out := make([]byte, len(src))
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case '/':
+			out[i] = symSlash
+		case '*':
+			out[i] = symStar
+		default:
+			out[i] = symOther
+		}
+	}
+	return out
+}
+
+func main() {
+	d := commentFSM()
+	src := `int x = 1; /* set x */ int y = 2; /* and y */`
+	input := encode(src)
+
+	fmt.Printf("machine: %v (max transition range %d)\n\n", d, d.MaxRangeSize())
+
+	// Every strategy computes the same final state.
+	for _, strat := range []core.Strategy{
+		core.Sequential, core.Base, core.BaseILP, core.Convergence, core.RangeCoalesced,
+	} {
+		r, err := core.New(d, core.WithStrategy(strat))
+		if err != nil {
+			fmt.Println(strat, "→ error:", err)
+			continue
+		}
+		fmt.Printf("%-12v final state = %d, accepts = %v\n",
+			strat, r.Final(input, d.Start()), r.Accepts(input))
+	}
+
+	// Mealy outputs: watch comments open and close via φ. The runner
+	// may call φ out of order when multicore; single-core order is
+	// sequential.
+	fmt.Println("\nφ trace:")
+	r, _ := core.New(d, core.WithStrategy(core.Convergence))
+	prev := d.Start()
+	r.Run(input, d.Start(), func(pos int, sym byte, q fsm.State) {
+		switch {
+		case prev != commentBody && prev != starInside && q == commentBody:
+			fmt.Printf("  comment opens after byte %2d %q\n", pos, src[:pos+1])
+		case prev == starInside && q == outside:
+			fmt.Printf("  comment closes at byte   %2d %q\n", pos, src[strings.LastIndex(src[:pos+1], "/*"):pos+1])
+		}
+		prev = q
+	})
+
+	// A multicore run over a large synthetic input.
+	big := encode(strings.Repeat(src+"\n", 100_000))
+	mc, _ := core.New(d, core.WithProcs(0))
+	fmt.Printf("\nmulticore accepts %d MB: %v (strategy %v, %d procs)\n",
+		len(big)>>20, mc.Accepts(big), mc.Strategy(), mc.Procs())
+}

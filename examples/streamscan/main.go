@@ -1,0 +1,77 @@
+// streamscan: incremental scanning with the streaming API — a rule set
+// compiled once, then fed an unbounded log stream in small writes
+// (here simulated with generated HTTP traffic), reporting which rules
+// have fired after every megabyte. Demonstrates core.Stream and
+// regex.RuleSet together: O(block) memory regardless of stream length.
+package main
+
+import (
+	"bytes"
+	"fmt"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/regex"
+	"dpfsm/internal/workload"
+)
+
+var rules = []regex.Rule{
+	{Name: "sqli", Pattern: `union\s+select`, Options: regex.Options{CaseInsensitive: true}},
+	{Name: "traversal", Pattern: `\.\./\.\./`},
+	{Name: "scanner-agent", Pattern: `(nikto|sqlmap|nmap)`, Options: regex.Options{CaseInsensitive: true}},
+	{Name: "wp-probe", Pattern: `wp-login\.php`},
+}
+
+func main() {
+	// One stream per rule; each keeps only its machine state between
+	// writes.
+	streams := make([]*core.Stream, len(rules))
+	for i, rl := range rules {
+		d, err := regex.Compile(rl.Pattern, rl.Options)
+		if err != nil {
+			panic(err)
+		}
+		r, err := core.New(d)
+		if err != nil {
+			panic(err)
+		}
+		streams[i] = r.NewStream(nil, 64<<10)
+	}
+
+	// Simulate 8 MiB of traffic arriving in 4 KiB reads, with attacks
+	// spliced into the 3rd and 6th megabytes.
+	traffic := workload.HTTPTraffic(99, 8<<20)
+	copy(traffic[3<<20:], []byte("GET /wp-login.php?u=../../etc/passwd HTTP/1.1"))
+	copy(traffic[6<<20:], []byte("User-Agent: sqlmap/1.5"))
+
+	reader := bytes.NewReader(traffic)
+	buf := make([]byte, 4096)
+	consumed := 0
+	nextReport := 1 << 20
+	for {
+		n, err := reader.Read(buf)
+		if n > 0 {
+			for _, s := range streams {
+				s.Write(buf[:n])
+			}
+			consumed += n
+			for consumed >= nextReport {
+				fmt.Printf("after %2d MiB:", nextReport>>20)
+				for i, s := range streams {
+					if s.Accepting() {
+						fmt.Printf(" %s!", rules[i].Name)
+					}
+				}
+				fmt.Println()
+				nextReport += 1 << 20
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+
+	fmt.Println("\nfinal verdicts:")
+	for i, s := range streams {
+		fmt.Printf("  %-14s fired=%v (scanned %d bytes)\n", rules[i].Name, s.Accepting(), s.Consumed())
+	}
+}

@@ -1,0 +1,3 @@
+module dpfsm
+
+go 1.22

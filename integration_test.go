@@ -1,0 +1,217 @@
+package dpfsm
+
+// Cross-module integration tests: full pipelines wired the way the
+// cmd/ binaries and examples use them, with every independent
+// implementation (semiring formulations, NFA simulation, switch
+// tokenizer, bit-walking decoder) acting as an oracle for the
+// enumerative runner.
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/htmltok"
+	"dpfsm/internal/huffman"
+	"dpfsm/internal/regex"
+	"dpfsm/internal/semiring"
+	"dpfsm/internal/workload"
+)
+
+func TestRegexPipelineEndToEnd(t *testing.T) {
+	traffic := workload.WikiText(201, 1<<18)
+	copy(traffic[1<<17:], []byte("UNION SELECT secret FROM users"))
+
+	pattern := `UNION\s+SELECT`
+	d, err := regex.Compile(pattern, regex.Options{CaseInsensitive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serialize → deserialize must preserve behavior.
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := fsm.ReadDFA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nfaM, err := regex.CompileNFA(pattern, regex.Options{CaseInsensitive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, strat := range []core.Strategy{core.Sequential, core.Convergence, core.RangeCoalesced} {
+		for _, procs := range []int{1, 3} {
+			r, err := core.New(d2, core.WithStrategy(strat), core.WithProcs(procs), core.WithMinChunk(1024))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Accepts(traffic) {
+				t.Fatalf("%v procs=%d: should match the injected payload", strat, procs)
+			}
+		}
+	}
+	if !nfaM.Match(traffic) {
+		t.Fatal("NFA oracle disagrees: no match")
+	}
+	clean := workload.WikiText(202, 1<<16)
+	r, _ := core.New(d2)
+	if r.Accepts(clean) != nfaM.Match(clean) {
+		t.Fatal("NFA oracle and runner disagree on clean traffic")
+	}
+}
+
+func TestAllStrategiesAgreeWithSemiringOracles(t *testing.T) {
+	rng := rand.New(rand.NewSource(210))
+	for iter := 0; iter < 10; iter++ {
+		d := fsm.RandomConverging(rng, 5+rng.Intn(40), 4, 6, 0.3)
+		in := d.RandomInput(rng, 300)
+
+		matVec := make([]fsm.State, d.NumStates())
+		for q := range matVec {
+			matVec[q] = semiring.MatrixFinal(d, in, fsm.State(q))
+		}
+		funcVec := semiring.FuncProduct(d, in, 64)
+
+		for _, strat := range []core.Strategy{core.Base, core.BaseILP, core.Convergence, core.RangeCoalesced} {
+			r, err := core.New(d, core.WithStrategy(strat))
+			if err != nil {
+				t.Fatal(err)
+			}
+			vec := r.CompositionVector(in)
+			for q := range vec {
+				if vec[q] != matVec[q] || vec[q] != funcVec[q] {
+					t.Fatalf("iter %d %v: state %d disagrees with semiring oracles", iter, strat, q)
+				}
+			}
+		}
+	}
+}
+
+func TestHuffmanPipelineEndToEnd(t *testing.T) {
+	book := workload.Book(301, 1<<18)
+	codec, err := huffman.FromSample(book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := codec.DecoderFSM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := codec.Encode(book)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bitwalk := codec.DecodeBitwalk(enc)
+	seq := dec.DecodeSequential(enc)
+	coal := dec.NewCoalescedDecoder().Decode(enc)
+	par, err := dec.DecodeParallel(enc, core.WithProcs(3), core.WithMinChunk(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, out := range map[string][]byte{
+		"bitwalk": bitwalk, "sequential": seq, "coalesced": coal, "parallel": par,
+	} {
+		if !bytes.Equal(out, book) {
+			t.Fatalf("%s decoder did not round-trip (%d vs %d bytes)", name, len(out), len(book))
+		}
+	}
+
+	// The decoder machine itself survives serialization.
+	var buf bytes.Buffer
+	if _, err := dec.ByteMachine.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := fsm.ReadDFA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fsm.Equivalent(dec.ByteMachine, m2) {
+		t.Fatal("byte machine changed across serialization")
+	}
+}
+
+func TestHTMLPipelineEndToEnd(t *testing.T) {
+	page := workload.HTMLPage(401, 1<<19)
+	base := htmltok.TokenizeSwitch(page)
+
+	tk, err := htmltok.NewTokenizer(core.WithStrategy(core.Convergence), core.WithProcs(4), core.WithMinChunk(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tk.TokenizeTable(page); !reflect.DeepEqual(got, base) {
+		t.Fatal("table tokenizer diverged from switch baseline")
+	}
+	if got := tk.Tokenize(page); !reflect.DeepEqual(got, base) {
+		t.Fatal("parallel tokenizer diverged from switch baseline")
+	}
+
+	// The minimized tokenizer accepts the same language (and tells us
+	// whether all 27 states are distinguishable).
+	min := tk.Machine().Minimize()
+	if !fsm.Equivalent(tk.Machine(), min) {
+		t.Fatal("minimization changed the tokenizer language")
+	}
+}
+
+func TestRuleSetOverGeneratedCorpus(t *testing.T) {
+	specs := workload.SnortRegexes(77, 25)
+	rules := make([]regex.Rule, len(specs))
+	for i, s := range specs {
+		rules[i] = regex.Rule{
+			Name:    s.Pattern,
+			Pattern: s.Pattern,
+			Options: regex.Options{CaseInsensitive: s.CaseInsensitive},
+		}
+	}
+	rs, err := regex.CompileRuleSet(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic := workload.WikiText(78, 1<<16)
+	got := rs.Scan(traffic, 0)
+	if len(got) != len(rules) {
+		t.Fatalf("scan returned %d results", len(got))
+	}
+	// Verdicts must agree with per-rule NFA matchers.
+	for i, m := range got {
+		nm, err := regex.CompileNFA(rules[i].Pattern, rules[i].Options)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nm.Match(traffic) != m.Matched {
+			t.Fatalf("rule %q: ruleset=%v, NFA oracle=%v", rules[i].Name, m.Matched, nm.Match(traffic))
+		}
+	}
+}
+
+func TestStreamingRegexScan(t *testing.T) {
+	d, err := regex.Compile(`wget http`, regex.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := workload.WikiText(501, 1<<17)
+	copy(payload[100_000:], []byte("... wget http://evil ..."))
+
+	s := r.NewStream(nil, 4096)
+	if _, err := s.ReadFrom(bytes.NewReader(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Accepting() {
+		t.Fatal("stream missed the payload")
+	}
+	if s.Accepting() != r.Accepts(payload) {
+		t.Fatal("stream and batch disagree")
+	}
+}

@@ -1,0 +1,219 @@
+// Package analysis implements the paper's convergence studies: the
+// adversarial configuration-space exploration behind Figure 8 and the
+// random-input active-state measurements behind Figure 9, plus the
+// corpus structure statistics of Figures 12 and 15.
+//
+// A configuration is the set of active states of an enumerative
+// computation (§5.2). There are 2^n possible configurations, but —
+// precisely because machines converge — only a small fraction is
+// reachable from the initial all-states configuration, which is what
+// makes exhaustive exploration feasible.
+package analysis
+
+import (
+	"math/rand"
+
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/gather"
+)
+
+// config keys are the sorted member states packed little-endian.
+func configKey(set []fsm.State) string {
+	b := make([]byte, 0, len(set)*2)
+	for _, q := range set {
+		b = append(b, byte(q), byte(q>>8))
+	}
+	return string(b)
+}
+
+// image applies symbol a to a configuration, returning the sorted
+// de-duplicated successor configuration.
+func image(d *fsm.DFA, set []fsm.State, a byte) []fsm.State {
+	col := d.Column(a)
+	seen := make(map[fsm.State]bool, len(set))
+	var out []fsm.State
+	for _, q := range set {
+		r := col[q]
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	sortStates(out)
+	return out
+}
+
+func sortStates(xs []fsm.State) {
+	// Insertion sort: configurations are small once convergence kicks
+	// in, and tiny-input sorts dominate this workload.
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}
+
+// AdversarialResult reports the outcome of worst-case convergence
+// exploration for one machine and one threshold.
+type AdversarialResult struct {
+	// Steps is the smallest k such that *every* input of length ≥ k
+	// leaves at most Threshold active states. Valid only if Converges.
+	Steps int
+	// Converges is false when some cycle of configurations above the
+	// threshold is reachable: an adversary can keep the machine hot
+	// forever (§5.2: "an adversary can always make the enumerative
+	// computation asymptotically more expensive").
+	Converges bool
+	// Explored is false when the configuration space exceeded the
+	// caller's budget before the question was settled.
+	Explored bool
+	// Configs is the number of distinct configurations visited.
+	Configs int
+}
+
+// AdversarialConvergence explores the reachable configuration space
+// from the all-states configuration and answers: after how many input
+// symbols is the machine guaranteed to have at most threshold active
+// states, regardless of input? maxConfigs bounds the exploration.
+func AdversarialConvergence(d *fsm.DFA, threshold, maxConfigs int) AdversarialResult {
+	if maxConfigs <= 0 {
+		maxConfigs = 1 << 18
+	}
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	type entry struct {
+		color int
+		depth int // longest #steps until ≤ threshold, from this config
+	}
+	memo := map[string]*entry{}
+	overflow := false
+	cyclic := false
+
+	init := gather.Identity[fsm.State](d.NumStates())
+
+	// value(config) = 0 if |config| ≤ threshold, else
+	// 1 + max over symbols value(image(config, a)); cycles above the
+	// threshold mean "never".
+	var visit func(set []fsm.State) int
+	visit = func(set []fsm.State) int {
+		if len(set) <= threshold {
+			return 0
+		}
+		k := configKey(set)
+		if e, ok := memo[k]; ok {
+			if e.color == inStack {
+				cyclic = true
+				return 0
+			}
+			return e.depth
+		}
+		if len(memo) >= maxConfigs {
+			overflow = true
+			return 0
+		}
+		e := &entry{color: inStack}
+		memo[k] = e
+		worst := 0
+		for a := 0; a < d.NumSymbols() && !cyclic && !overflow; a++ {
+			next := image(d, set, byte(a))
+			if v := visit(next); v+1 > worst {
+				worst = v + 1
+			}
+		}
+		e.color = done
+		e.depth = worst
+		return worst
+	}
+
+	steps := visit(init)
+	res := AdversarialResult{Configs: len(memo)}
+	switch {
+	case cyclic:
+		res.Explored = true
+		res.Converges = false
+	case overflow:
+		res.Explored = false
+	default:
+		res.Explored = true
+		res.Converges = true
+		res.Steps = steps
+	}
+	return res
+}
+
+// KLocality decides whether the machine is k-local in the sense of
+// Holub and Štekr (related work, §7): every pair of states converges
+// to the same state on *every* input of length k. Their parallel DFA
+// algorithm requires k-locality; the paper's convergence study shows
+// most practical machines are not k-local (convergence to one active
+// state is rare), which is why the enumerative approach tracks the
+// whole active set instead. k-locality is exactly worst-case
+// convergence to a single active state.
+func KLocality(d *fsm.DFA, maxConfigs int) (k int, local bool, explored bool) {
+	res := AdversarialConvergence(d, 1, maxConfigs)
+	return res.Steps, res.Converges, res.Explored
+}
+
+// ActiveStateTrace runs the enumerative computation on input and
+// returns the number of active states after each symbol — the quantity
+// plotted in Figure 9.
+func ActiveStateTrace(d *fsm.DFA, input []byte) []int {
+	s := gather.Identity[fsm.State](d.NumStates())
+	tmp := make([]fsm.State, d.NumStates())
+	out := make([]int, len(input))
+	m := d.NumStates()
+	for i, a := range input {
+		gather.Into(tmp[:m], s[:m], d.Column(a))
+		// Compact to distinct states so subsequent steps stay cheap.
+		_, u := gather.Factor(tmp[:m])
+		copy(s, u)
+		m = len(u)
+		out[i] = m
+	}
+	return out
+}
+
+// ActiveStatesAt returns the number of active states after running the
+// whole input — the tail of ActiveStateTrace without storing it.
+func ActiveStatesAt(d *fsm.DFA, input []byte) int {
+	tr := ActiveStateTrace(d, input)
+	if len(tr) == 0 {
+		return d.NumStates()
+	}
+	return tr[len(tr)-1]
+}
+
+// RandomConvergence runs trials random inputs of length maxLen drawn
+// from random offsets of source (or from uniform random symbols when
+// source is too short) and returns, for each prefix length 1..maxLen,
+// the mean over trials of the active-state count — the per-machine
+// "average number of active states after running an FSM on 10 randomly
+// chosen inputs" that Figure 9 aggregates across the corpus.
+func RandomConvergence(d *fsm.DFA, rng *rand.Rand, source []byte, trials, maxLen int) []float64 {
+	sum := make([]float64, maxLen)
+	for t := 0; t < trials; t++ {
+		var in []byte
+		if len(source) > maxLen {
+			off := rng.Intn(len(source) - maxLen)
+			in = source[off : off+maxLen]
+		} else {
+			in = d.RandomInput(rng, maxLen)
+		}
+		tr := ActiveStateTrace(d, in)
+		for i, v := range tr {
+			sum[i] += float64(v)
+		}
+	}
+	out := make([]float64, maxLen)
+	for i := range out {
+		out[i] = sum[i] / float64(trials)
+	}
+	return out
+}

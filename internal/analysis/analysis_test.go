@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/gather"
+)
+
+// constantMachine converges to one state in one step on every symbol.
+func constantMachine(n int) *fsm.DFA {
+	d := fsm.MustNew(n, 2)
+	for a := 0; a < 2; a++ {
+		col := make([]fsm.State, n)
+		d.SetColumn(byte(a), col) // everything to state 0
+	}
+	return d
+}
+
+func TestAdversarialConstant(t *testing.T) {
+	d := constantMachine(10)
+	res := AdversarialConvergence(d, 1, 0)
+	if !res.Explored || !res.Converges || res.Steps != 1 {
+		t.Fatalf("constant machine: %+v", res)
+	}
+}
+
+func TestAdversarialPermutationNeverConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(110))
+	d := fsm.RandomPermutation(rng, 8, 2, 0.5)
+	res := AdversarialConvergence(d, 4, 0)
+	if !res.Explored {
+		t.Fatal("tiny machine should be fully explored")
+	}
+	if res.Converges {
+		t.Fatal("permutation machine must never converge below n")
+	}
+	// But at threshold = n it is already converged.
+	res = AdversarialConvergence(d, 8, 0)
+	if !res.Converges || res.Steps != 0 {
+		t.Fatalf("threshold=n: %+v", res)
+	}
+}
+
+func TestAdversarialChainMachine(t *testing.T) {
+	// A machine that takes exactly k steps to funnel everything into
+	// state 0: state i goes to i-1 (floor 0) on both symbols.
+	const n = 12
+	d := fsm.MustNew(n, 2)
+	for a := 0; a < 2; a++ {
+		col := make([]fsm.State, n)
+		for i := 1; i < n; i++ {
+			col[i] = fsm.State(i - 1)
+		}
+		d.SetColumn(byte(a), col)
+	}
+	res := AdversarialConvergence(d, 1, 0)
+	if !res.Converges {
+		t.Fatal("chain must converge")
+	}
+	// After k steps the active set is {0..n-1-k}: reaching 1 active
+	// state takes n-1 steps.
+	if res.Steps != n-1 {
+		t.Fatalf("steps = %d, want %d", res.Steps, n-1)
+	}
+}
+
+func TestAdversarialOverflow(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	d := fsm.RandomPermutation(rng, 40, 4, 0.5)
+	// Permutations generate huge config graphs; a tiny budget must be
+	// reported as unexplored, not mislabeled.
+	res := AdversarialConvergence(d, 1, 3)
+	if res.Explored && res.Converges {
+		t.Fatalf("overflowing exploration claimed convergence: %+v", res)
+	}
+}
+
+func TestKLocalityConstantMachine(t *testing.T) {
+	d := constantMachine(6)
+	k, local, explored := KLocality(d, 0)
+	if !explored || !local || k != 1 {
+		t.Fatalf("constant machine: k=%d local=%v explored=%v", k, local, explored)
+	}
+}
+
+func TestKLocalityPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(115))
+	d := fsm.RandomPermutation(rng, 6, 2, 0.5)
+	_, local, explored := KLocality(d, 0)
+	if !explored {
+		t.Fatal("tiny machine should be explorable")
+	}
+	if local {
+		t.Fatal("permutation machines are never k-local")
+	}
+}
+
+func TestKLocalityTypicalMachineIsNotLocal(t *testing.T) {
+	// The paper's observation (§7, Holub et al. comparison): most
+	// practical machines converge to a small set but NOT to one state,
+	// so they are not k-local. A 2-state machine where both symbols
+	// have range 2 and both states cycle exhibits this.
+	d := fsm.MustNew(2, 2)
+	d.SetColumn(0, []fsm.State{0, 1}) // identity: permutation symbol
+	d.SetColumn(1, []fsm.State{1, 0}) // swap: permutation symbol
+	if _, local, _ := KLocality(d, 0); local {
+		t.Fatal("cycling machine must not be k-local")
+	}
+}
+
+func TestActiveStateTraceMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	for iter := 0; iter < 30; iter++ {
+		d := fsm.Random(rng, 1+rng.Intn(30), 1+rng.Intn(4), 0.3)
+		in := d.RandomInput(rng, 40)
+		tr := ActiveStateTrace(d, in)
+		// Brute force: run from every state, count distinct.
+		vec := gather.Identity[fsm.State](d.NumStates())
+		for i, a := range in {
+			for q, v := range vec {
+				vec[q] = d.Next(v, a)
+			}
+			distinct := map[fsm.State]bool{}
+			for _, v := range vec {
+				distinct[v] = true
+			}
+			if tr[i] != len(distinct) {
+				t.Fatalf("iter %d step %d: trace %d, brute %d", iter, i, tr[i], len(distinct))
+			}
+		}
+	}
+}
+
+func TestActiveStateTraceMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	d := fsm.RandomConverging(rng, 60, 4, 8, 0.3)
+	in := d.RandomInput(rng, 200)
+	tr := ActiveStateTrace(d, in)
+	for i := 1; i < len(tr); i++ {
+		if tr[i] > tr[i-1] {
+			t.Fatalf("active states grew at step %d: %d → %d", i, tr[i-1], tr[i])
+		}
+	}
+	if tr[0] > d.RangeSize(in[0]) {
+		t.Fatalf("first step actives %d exceed symbol range %d", tr[0], d.RangeSize(in[0]))
+	}
+}
+
+func TestActiveStatesAt(t *testing.T) {
+	d := constantMachine(5)
+	if got := ActiveStatesAt(d, []byte{0, 1}); got != 1 {
+		t.Fatalf("ActiveStatesAt = %d", got)
+	}
+	if got := ActiveStatesAt(d, nil); got != 5 {
+		t.Fatalf("empty input ActiveStatesAt = %d", got)
+	}
+}
+
+func TestRandomConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(114))
+	d := fsm.RandomConverging(rng, 40, 8, 6, 0.3)
+	curve := RandomConvergence(d, rng, nil, 5, 50)
+	if len(curve) != 50 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	for i, v := range curve {
+		if v < 1 || v > float64(d.NumStates()) {
+			t.Fatalf("curve[%d] = %v out of range", i, v)
+		}
+	}
+	// Converging machines must be at ≤16 well before step 50 on random
+	// input.
+	if curve[49] > 16 {
+		t.Errorf("converging machine still at %v active states", curve[49])
+	}
+	// With a source text, slices are drawn from it (just exercise path).
+	src := make([]byte, 500)
+	for i := range src {
+		src[i] = byte(rng.Intn(d.NumSymbols()))
+	}
+	curve2 := RandomConvergence(d, rng, src, 3, 100)
+	if len(curve2) != 100 {
+		t.Fatal("source-driven curve wrong length")
+	}
+}

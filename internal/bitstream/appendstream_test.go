@@ -1,0 +1,81 @@
+package bitstream
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestAppendStreamAligned(t *testing.T) {
+	var w Writer
+	w.AppendStream([]byte{0xAB, 0xCD}, 16)
+	if w.Len() != 16 || !bytes.Equal(w.Bytes(), []byte{0xAB, 0xCD}) {
+		t.Fatalf("aligned append: len=%d bytes=%x", w.Len(), w.Bytes())
+	}
+	// Aligned with trailing partial bits.
+	w.AppendStream([]byte{0b11100000}, 3)
+	if w.Len() != 19 {
+		t.Fatalf("len = %d", w.Len())
+	}
+	var ref Writer
+	ref.WriteBits(0xABCD, 16)
+	ref.WriteBits(0b111, 3)
+	if !bytes.Equal(w.Bytes(), ref.Bytes()) {
+		t.Fatalf("got %x want %x", w.Bytes(), ref.Bytes())
+	}
+}
+
+func TestAppendStreamUnaligned(t *testing.T) {
+	var w Writer
+	w.WriteBit(1) // misalign
+	w.AppendStream([]byte{0xFF, 0x00}, 16)
+	var ref Writer
+	ref.WriteBit(1)
+	ref.WriteBits(0xFF, 8)
+	ref.WriteBits(0x00, 8)
+	if w.Len() != ref.Len() || !bytes.Equal(w.Bytes(), ref.Bytes()) {
+		t.Fatalf("unaligned append diverged: %x vs %x", w.Bytes(), ref.Bytes())
+	}
+}
+
+func TestAppendStreamRandomSplits(t *testing.T) {
+	rng := rand.New(rand.NewSource(260))
+	for iter := 0; iter < 200; iter++ {
+		nbits := rng.Intn(200)
+		bits := make([]byte, nbits)
+		var ref Writer
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+			ref.WriteBit(bits[i])
+		}
+		// Rebuild via two packed halves appended to a writer that may
+		// start unaligned.
+		lead := rng.Intn(8)
+		var refLead Writer
+		var w Writer
+		for i := 0; i < lead; i++ {
+			b := byte(rng.Intn(2))
+			refLead.WriteBit(b)
+			w.WriteBit(b)
+		}
+		for _, b := range bits {
+			refLead.WriteBit(b)
+		}
+		cut := 0
+		if nbits > 0 {
+			cut = rng.Intn(nbits + 1)
+		}
+		var h1, h2 Writer
+		for _, b := range bits[:cut] {
+			h1.WriteBit(b)
+		}
+		for _, b := range bits[cut:] {
+			h2.WriteBit(b)
+		}
+		w.AppendStream(h1.Bytes(), h1.Len())
+		w.AppendStream(h2.Bytes(), h2.Len())
+		if w.Len() != refLead.Len() || !bytes.Equal(w.Bytes(), refLead.Bytes()) {
+			t.Fatalf("iter %d: split append diverged", iter)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Package bitstream provides MSB-first bit-level readers and writers,
+// the IO substrate for the Huffman case study. Bits are packed into
+// bytes most-significant-bit first, matching the block-symbol packing
+// of fsm.Unroll so that one byte of stream drives one transition of the
+// unrolled decoder machine.
+package bitstream
+
+// Writer accumulates bits MSB-first.
+type Writer struct {
+	buf   []byte
+	nbits int
+}
+
+// WriteBit appends a single bit (0 or 1).
+func (w *Writer) WriteBit(b byte) {
+	if w.nbits%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b != 0 {
+		w.buf[w.nbits/8] |= 1 << (7 - uint(w.nbits%8))
+	}
+	w.nbits++
+}
+
+// WriteBits appends the low n bits of v, most significant first.
+func (w *Writer) WriteBits(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(byte(v >> uint(i) & 1))
+	}
+}
+
+// AppendStream appends the first nbits bits of another packed
+// MSB-first stream. When the writer is byte-aligned this is a copy;
+// otherwise every incoming byte is shifted into place. This is the
+// merge primitive for parallel encoders that produce per-chunk
+// bitstreams.
+func (w *Writer) AppendStream(data []byte, nbits int) {
+	if nbits <= 0 {
+		return
+	}
+	if nbits > len(data)*8 {
+		nbits = len(data) * 8
+	}
+	if w.nbits%8 == 0 {
+		// Aligned fast path: bulk-copy whole bytes, then the tail bits.
+		full := nbits / 8
+		w.buf = append(w.buf, data[:full]...)
+		w.nbits += full * 8
+		if rem := nbits - full*8; rem > 0 {
+			w.WriteBits(uint64(data[full]>>(8-uint(rem))), rem)
+		}
+		return
+	}
+	full := nbits / 8
+	for i := 0; i < full; i++ {
+		w.WriteBits(uint64(data[i]), 8)
+	}
+	if rem := nbits - full*8; rem > 0 {
+		w.WriteBits(uint64(data[full]>>(8-uint(rem))), rem)
+	}
+}
+
+// Len returns the number of bits written.
+func (w *Writer) Len() int { return w.nbits }
+
+// Bytes returns the packed stream; the final byte is zero-padded.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	data []byte
+	pos  int // bit position
+	end  int // total valid bits
+}
+
+// NewReader reads nbits valid bits from data. nbits < 0 means all of
+// data.
+func NewReader(data []byte, nbits int) *Reader {
+	if nbits < 0 || nbits > len(data)*8 {
+		nbits = len(data) * 8
+	}
+	return &Reader{data: data, end: nbits}
+}
+
+// ReadBit returns the next bit; ok is false at end of stream.
+func (r *Reader) ReadBit() (bit byte, ok bool) {
+	if r.pos >= r.end {
+		return 0, false
+	}
+	b := r.data[r.pos/8] >> (7 - uint(r.pos%8)) & 1
+	r.pos++
+	return b, true
+}
+
+// Remaining reports how many bits are left.
+func (r *Reader) Remaining() int { return r.end - r.pos }

@@ -1,0 +1,135 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var w Writer
+	bits := []byte{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range bits {
+		w.WriteBit(b)
+	}
+	if w.Len() != len(bits) {
+		t.Fatalf("Len = %d, want %d", w.Len(), len(bits))
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for i, want := range bits {
+		got, ok := r.ReadBit()
+		if !ok || got != want {
+			t.Fatalf("bit %d: got %d ok=%v, want %d", i, got, ok, want)
+		}
+	}
+	if _, ok := r.ReadBit(); ok {
+		t.Error("read past end should fail")
+	}
+}
+
+func TestMSBFirstPacking(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b10110010, 8)
+	bs := w.Bytes()
+	if len(bs) != 1 || bs[0] != 0b10110010 {
+		t.Fatalf("packed byte = %08b", bs[0])
+	}
+}
+
+func TestWriteBitsPartial(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0b01, 2)
+	// Stream: 1 0 1 0 1 → padded byte 10101000.
+	if got := w.Bytes()[0]; got != 0b10101000 {
+		t.Fatalf("packed = %08b", got)
+	}
+	if w.Len() != 5 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+}
+
+func TestReaderRemaining(t *testing.T) {
+	r := NewReader([]byte{0xFF, 0x00}, 12)
+	if r.Remaining() != 12 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+	for i := 0; i < 5; i++ {
+		r.ReadBit()
+	}
+	if r.Remaining() != 7 {
+		t.Fatalf("after 5 reads Remaining = %d", r.Remaining())
+	}
+}
+
+func TestReaderNegativeNBits(t *testing.T) {
+	r := NewReader([]byte{0xAA}, -1)
+	if r.Remaining() != 8 {
+		t.Fatalf("Remaining = %d, want 8", r.Remaining())
+	}
+	want := []byte{1, 0, 1, 0, 1, 0, 1, 0}
+	for i, wb := range want {
+		b, ok := r.ReadBit()
+		if !ok || b != wb {
+			t.Fatalf("bit %d = %d", i, b)
+		}
+	}
+}
+
+func TestReaderClampsOversizedNBits(t *testing.T) {
+	r := NewReader([]byte{0x00}, 99)
+	if r.Remaining() != 8 {
+		t.Fatalf("Remaining = %d, want clamped 8", r.Remaining())
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	f := func(raw []byte, extra uint8) bool {
+		var w Writer
+		bits := make([]byte, 0, len(raw)+int(extra%7))
+		for _, b := range raw {
+			bits = append(bits, b&1)
+		}
+		for i := 0; i < int(extra%7); i++ {
+			bits = append(bits, byte(i)&1)
+		}
+		for _, b := range bits {
+			w.WriteBit(b)
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		for _, want := range bits {
+			got, ok := r.ReadBit()
+			if !ok || got != want {
+				return false
+			}
+		}
+		_, ok := r.ReadBit()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteBitsMatchesWriteBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for iter := 0; iter < 100; iter++ {
+		v := rng.Uint64()
+		n := 1 + rng.Intn(64)
+		var a, b Writer
+		a.WriteBits(v, n)
+		for i := n - 1; i >= 0; i-- {
+			b.WriteBit(byte(v >> uint(i) & 1))
+		}
+		ab, bb := a.Bytes(), b.Bytes()
+		if a.Len() != b.Len() || len(ab) != len(bb) {
+			t.Fatal("length mismatch")
+		}
+		for i := range ab {
+			if ab[i] != bb[i] {
+				t.Fatal("content mismatch")
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package cluster executes the Figure 5 decomposition across simulated
+// cluster nodes, after the paper's concluding claim that the approach
+// "is suitable for any modern data parallel architecture … to large
+// clusters running MapReduce like frameworks". Workers are goroutines
+// that communicate only through message channels with explicit
+// byte accounting; each node bootstraps its own copy of the machine
+// from the serialized form (fsm.WriteTo/ReadDFA), as real cluster
+// workers would.
+//
+// The map phase ships input chunks to workers, which return the
+// chunk's composition vector; the reduce phase folds the vectors in
+// chunk order (associativity of ⊗ again). The wire-traffic profile is
+// the point the paper makes against naive designs: one n-entry vector
+// per *chunk*, independent of chunk length, so communication shrinks
+// relative to compute as chunks grow — "designed to minimize
+// communication when the number of processors is much smaller than the
+// amount of parallelism available" (§3.4).
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/gather"
+)
+
+// Config sizes the simulated cluster.
+type Config struct {
+	// Workers is the node count. ≤ 0 is an error.
+	Workers int
+	// ChunkBytes is the map-task granularity. ≤ 0 selects 1 MiB.
+	ChunkBytes int
+}
+
+// Stats accounts the simulated network traffic of one job.
+type Stats struct {
+	// Tasks is the number of map tasks dispatched.
+	Tasks int
+	// BytesToWorkers counts input bytes shipped to nodes.
+	BytesToWorkers int
+	// BytesToCoordinator counts result bytes (composition vectors)
+	// returned.
+	BytesToCoordinator int
+	// BootstrapBytes counts the serialized machine shipped once per
+	// worker.
+	BootstrapBytes int
+}
+
+type task struct {
+	id    int
+	chunk []byte
+}
+
+type result struct {
+	id  int
+	vec []fsm.State
+	err error
+}
+
+// Cluster is a running set of worker nodes sharing one machine.
+type Cluster struct {
+	n         int
+	chunkSize int
+	tasks     chan task
+	results   chan result
+	wg        sync.WaitGroup
+	boot      int // serialized machine size
+	workers   int
+	closed    bool
+}
+
+// New serializes the machine, boots cfg.Workers nodes (each
+// deserializing its own private copy), and returns the running
+// cluster. Close must be called when done.
+func New(d *fsm.DFA, cfg Config) (*Cluster, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one worker")
+	}
+	chunk := cfg.ChunkBytes
+	if chunk <= 0 {
+		chunk = 1 << 20
+	}
+	var blob bytes.Buffer
+	if _, err := d.WriteTo(&blob); err != nil {
+		return nil, err
+	}
+
+	c := &Cluster{
+		n:         d.NumStates(),
+		chunkSize: chunk,
+		tasks:     make(chan task),
+		results:   make(chan result),
+		boot:      blob.Len(),
+		workers:   cfg.Workers,
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		// Each node gets its own deserialized machine and runner —
+		// nothing is shared but the channels.
+		local, err := fsm.ReadDFA(bytes.NewReader(blob.Bytes()))
+		if err != nil {
+			return nil, err
+		}
+		runner, err := core.New(local)
+		if err != nil {
+			return nil, err
+		}
+		c.wg.Add(1)
+		go func(r *core.Runner) {
+			defer c.wg.Done()
+			for t := range c.tasks {
+				c.results <- result{id: t.id, vec: r.CompositionVector(t.chunk)}
+			}
+		}(runner)
+	}
+	return c, nil
+}
+
+// Final runs the machine over input from start, distributing map tasks
+// across the nodes and reducing their composition vectors in order.
+func (c *Cluster) Final(input []byte, start fsm.State) (fsm.State, Stats) {
+	nTasks := (len(input) + c.chunkSize - 1) / c.chunkSize
+	if nTasks == 0 {
+		return start, Stats{BootstrapBytes: c.boot * c.workers}
+	}
+	stats := Stats{
+		Tasks:          nTasks,
+		BytesToWorkers: len(input),
+		BootstrapBytes: c.boot * c.workers,
+	}
+
+	vecs := make([][]fsm.State, nTasks)
+	var send sync.WaitGroup
+	send.Add(1)
+	go func() {
+		defer send.Done()
+		for i := 0; i < nTasks; i++ {
+			lo := i * c.chunkSize
+			hi := lo + c.chunkSize
+			if hi > len(input) {
+				hi = len(input)
+			}
+			c.tasks <- task{id: i, chunk: input[lo:hi]}
+		}
+	}()
+	for got := 0; got < nTasks; got++ {
+		res := <-c.results
+		vecs[res.id] = res.vec
+		stats.BytesToCoordinator += len(res.vec) * 2 // uint16 states on the wire
+	}
+	send.Wait()
+
+	// Reduce: fold the per-chunk compositions left to right. (A real
+	// deployment would tree-reduce; chunk counts here are small.)
+	acc := gather.Identity[fsm.State](c.n)
+	for _, vec := range vecs {
+		gather.Into(acc, acc, vec)
+	}
+	return acc[start], stats
+}
+
+// Accepts reports acceptance from the machine's start state. The
+// machine is the coordinator's; nodes never see accept bits.
+func (c *Cluster) Accepts(d *fsm.DFA, input []byte) (bool, Stats) {
+	st, stats := c.Final(input, d.Start())
+	return d.Accepting(st), stats
+}
+
+// Close shuts the nodes down. Safe to call once.
+func (c *Cluster) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	close(c.tasks)
+	c.wg.Wait()
+	close(c.results)
+}

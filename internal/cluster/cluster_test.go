@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpfsm/internal/fsm"
+)
+
+func TestClusterMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(240))
+	for iter := 0; iter < 10; iter++ {
+		d := fsm.RandomConverging(rng, 2+rng.Intn(60), 6, 6, 0.3)
+		in := d.RandomInput(rng, 1+rng.Intn(100_000))
+		for _, workers := range []int{1, 3, 8} {
+			c, err := New(d, Config{Workers: workers, ChunkBytes: 4096})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := fsm.State(rng.Intn(d.NumStates()))
+			got, stats := c.Final(in, st)
+			c.Close()
+			if want := d.Run(in, st); got != want {
+				t.Fatalf("iter %d workers %d: %d want %d", iter, workers, got, want)
+			}
+			wantTasks := (len(in) + 4095) / 4096
+			if stats.Tasks != wantTasks {
+				t.Fatalf("tasks %d want %d", stats.Tasks, wantTasks)
+			}
+			if stats.BytesToWorkers != len(in) {
+				t.Fatalf("shipped %d bytes, want %d", stats.BytesToWorkers, len(in))
+			}
+			if stats.BytesToCoordinator != wantTasks*d.NumStates()*2 {
+				t.Fatalf("returned %d bytes, want %d", stats.BytesToCoordinator, wantTasks*d.NumStates()*2)
+			}
+		}
+	}
+}
+
+func TestClusterCommunicationShrinksWithChunkSize(t *testing.T) {
+	// The §3.4 point: result traffic is per-chunk, so bigger chunks →
+	// less communication for the same input.
+	rng := rand.New(rand.NewSource(241))
+	d := fsm.RandomConverging(rng, 30, 4, 5, 0.3)
+	in := d.RandomInput(rng, 1<<20)
+
+	small, err := New(d, Config{Workers: 2, ChunkBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sSmall := small.Final(in, d.Start())
+	small.Close()
+
+	big, err := New(d, Config{Workers: 2, ChunkBytes: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sBig := big.Final(in, d.Start())
+	big.Close()
+
+	if sBig.BytesToCoordinator >= sSmall.BytesToCoordinator {
+		t.Fatalf("bigger chunks should return less: %d vs %d",
+			sBig.BytesToCoordinator, sSmall.BytesToCoordinator)
+	}
+	if sSmall.BytesToCoordinator/sBig.BytesToCoordinator < 32 {
+		t.Errorf("64× chunk growth should shrink traffic ~64×: %d vs %d",
+			sSmall.BytesToCoordinator, sBig.BytesToCoordinator)
+	}
+}
+
+func TestClusterAccepts(t *testing.T) {
+	rng := rand.New(rand.NewSource(242))
+	d := fsm.RandomConverging(rng, 20, 4, 4, 0.5)
+	c, err := New(d, Config{Workers: 2, ChunkBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for trial := 0; trial < 10; trial++ {
+		in := d.RandomInput(rng, 5000)
+		got, _ := c.Accepts(d, in)
+		if got != d.Accepts(in) {
+			t.Fatal("acceptance mismatch")
+		}
+	}
+}
+
+func TestClusterEmptyInput(t *testing.T) {
+	d := fsm.MustNew(3, 2)
+	d.SetStart(2)
+	c, err := New(d, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, stats := c.Final(nil, 2)
+	if st != 2 || stats.Tasks != 0 {
+		t.Fatalf("empty input: state %d tasks %d", st, stats.Tasks)
+	}
+	if stats.BootstrapBytes == 0 {
+		t.Error("bootstrap bytes should account the shipped machine")
+	}
+}
+
+func TestClusterConfigErrors(t *testing.T) {
+	d := fsm.MustNew(2, 2)
+	if _, err := New(d, Config{Workers: 0}); err == nil {
+		t.Error("zero workers should fail")
+	}
+}
+
+func TestClusterCloseIdempotent(t *testing.T) {
+	d := fsm.MustNew(2, 2)
+	c, err := New(d, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c.Close() // must not panic
+}
+
+func TestClusterReusableAcrossJobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(243))
+	d := fsm.RandomConverging(rng, 25, 4, 5, 0.3)
+	c, err := New(d, Config{Workers: 3, ChunkBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for job := 0; job < 5; job++ {
+		in := d.RandomInput(rng, 20_000)
+		got, _ := c.Final(in, d.Start())
+		if want := d.Run(in, d.Start()); got != want {
+			t.Fatalf("job %d: %d want %d", job, got, want)
+		}
+	}
+}

@@ -1,0 +1,408 @@
+// Package core implements the data-parallel FSM algorithms of
+// Mytkowicz, Musuvathi and Schulte, "Data-Parallel Finite-State
+// Machines" (ASPLOS 2014).
+//
+// The sequential FSM loop q = T[a][q] carries a loop-borne dependence
+// through q. The paper breaks it *enumeratively*: instead of one state,
+// track the vector S of states reached from every possible start state;
+// each input symbol updates the whole vector with one gather
+// S = S ⊗ T[a]. Because gather is associative, the computation can be
+// split across cores (parallel prefix, Figure 5) and unrolled for
+// instruction-level parallelism (Figure 4). Two optimizations make the
+// n-fold enumerative overhead affordable:
+//
+//   - Convergence (§5.2, Figure 7): transition functions are
+//     many-to-one, so the distinct ("active") states in S collapse
+//     quickly — usually to ≤16, at which point one emulated 16-lane
+//     shuffle advances all of them at once. Periodic Factor calls
+//     compress S and accumulate the removed redundancy in a lookup
+//     vector Acc with the invariant S_base = Acc ⊗ S.
+//
+//   - Range coalescing (§5.3, Figures 10–11): the range of each
+//     per-symbol transition function is small, so states are renamed
+//     per symbol ("names of a") and the machine runs over compact
+//     per-symbol tables T_a[b] = U_a ⊗ L_b whose width is the maximum
+//     range, independent of the total state count.
+//
+// A Runner precomputes whatever its strategy needs and exposes
+// Final/Accepts/Run/CompositionVector. With WithProcs(p > 1) the runner
+// additionally splits the input into chunks and runs the three-phase
+// multicore algorithm of Figure 5.
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/gather"
+)
+
+// Strategy selects the single-core execution algorithm.
+type Strategy int
+
+const (
+	// Auto picks a strategy from the machine's static structure, the
+	// way the paper suggests an FSM compiler would (§6.1): range
+	// coalescing when the maximum range is ≤ gather.Width, otherwise
+	// convergence.
+	Auto Strategy = iota
+	// Sequential is the optimized baseline of Figure 1(c) with loop
+	// unrolling. It ignores WithProcs.
+	Sequential
+	// Base is the unoptimized enumerative algorithm of Figure 3: the
+	// full n-wide state vector is gathered on every symbol.
+	Base
+	// BaseILP is Base with the 3-way associative unrolling of Figure 4.
+	BaseILP
+	// Convergence is Figure 7: the active-state vector is periodically
+	// factored so gathers shrink to the number of active states.
+	Convergence
+	// RangeCoalesced is Figure 11: per-symbol renamed tables whose
+	// width is the machine's maximum transition range.
+	RangeCoalesced
+	// RangeConvergence layers Figure 7's convergence optimization over
+	// the range-coalesced tables: the name vector is periodically
+	// factored, so machines whose first-symbol range is wide still
+	// collapse into the register regime. An extension beyond the
+	// paper, benchmarked as an ablation.
+	RangeConvergence
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case Sequential:
+		return "sequential"
+	case Base:
+		return "base"
+	case BaseILP:
+		return "base-ilp"
+	case Convergence:
+		return "convergence"
+	case RangeCoalesced:
+		return "range"
+	case RangeConvergence:
+		return "range+conv"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Option configures a Runner.
+type Option func(*config)
+
+type config struct {
+	strategy  Strategy
+	procs     int
+	convEvery int
+	minChunk  int
+	simd      bool
+}
+
+// WithStrategy forces a single-core strategy instead of Auto selection.
+func WithStrategy(s Strategy) Option {
+	return func(c *config) { c.strategy = s }
+}
+
+// WithProcs sets the number of goroutines the Figure 5 multicore
+// algorithm distributes chunks over. p ≤ 1 disables multicore. p == 0
+// means runtime.NumCPU().
+func WithProcs(p int) Option {
+	return func(c *config) {
+		if p == 0 {
+			p = runtime.NumCPU()
+		}
+		c.procs = p
+	}
+}
+
+// WithConvCheckEvery sets the fallback cadence (in input symbols) of
+// convergence checks for the Convergence strategy. Checks also fire
+// eagerly whenever a symbol's static range promises a drop of at least
+// gather.Width active states (§5.2's two heuristics). k ≤ 0 keeps the
+// default.
+func WithConvCheckEvery(k int) Option {
+	return func(c *config) {
+		if k > 0 {
+			c.convEvery = k
+		}
+	}
+}
+
+// WithMinChunk sets the minimum per-goroutine chunk size below which
+// the multicore path falls back to fewer goroutines (the paper's
+// scaling stops when "the size of the input chunks per core is not
+// sufficient", §6.1).
+func WithMinChunk(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.minChunk = n
+		}
+	}
+}
+
+// WithEmulatedSIMD makes the byte-state kernels execute the blocked
+// shuffle/blend dataflow of §4.2 (gather.SIMDInto) instead of scalar
+// gather. On real SSE hardware the shuffle path is the fast one (the
+// paper's Figure 6 peak of 4.4×); a pure-Go emulation pays ~Width
+// scalar operations per 16-lane shuffle, so this is an ablation/
+// fidelity knob, not a speedup — see DESIGN.md's substitution notes.
+// In this port the scalar gather over the same byte-encoded compact
+// tables plays the vector role: it preserves the locality and
+// width-scaling structure the optimizations are about.
+func WithEmulatedSIMD(on bool) Option {
+	return func(c *config) { c.simd = on }
+}
+
+const (
+	defaultConvEvery = 64
+	defaultMinChunk  = 1 << 12
+)
+
+// Runner executes one machine with one strategy. It is immutable after
+// New and safe for concurrent use.
+type Runner struct {
+	d         *fsm.DFA
+	n         int
+	strategy  Strategy
+	procs     int
+	convEvery int
+	minChunk  int
+
+	ranges []int // per-symbol |range(T[a])|
+
+	// simd selects the emulated shuffle/blend dataflow of §4.2 for
+	// byte-lane gathers (WithEmulatedSIMD); the default is the scalar
+	// kernel, which is the fast path in pure Go.
+	simd bool
+	// gatherB is the byte-lane gather kernel matching simd.
+	gatherB func(dst, s, t []byte)
+
+	// Byte-encoded transition columns; nil when n > 256.
+	colsB [][]byte
+	// State-typed columns (alias the machine's storage).
+	cols16 [][]fsm.State
+
+	rc *rcTables // range-coalesced tables; nil unless strategy needs them
+}
+
+// New builds a Runner for d. The machine is validated and must not be
+// mutated afterwards.
+func New(d *fsm.DFA, opts ...Option) (*Runner, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := config{
+		strategy:  Auto,
+		procs:     1,
+		convEvery: defaultConvEvery,
+		minChunk:  defaultMinChunk,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	r := &Runner{
+		d:         d,
+		n:         d.NumStates(),
+		strategy:  cfg.strategy,
+		procs:     cfg.procs,
+		convEvery: cfg.convEvery,
+		minChunk:  cfg.minChunk,
+	}
+	r.simd = cfg.simd
+	if cfg.simd {
+		r.gatherB = gather.SIMDInto
+	} else {
+		r.gatherB = gather.Into[byte]
+	}
+	if r.procs < 1 {
+		r.procs = 1
+	}
+
+	r.ranges = d.RangeSizes()
+	maxRange := 0
+	for _, v := range r.ranges {
+		if v > maxRange {
+			maxRange = v
+		}
+	}
+
+	if r.strategy == Auto {
+		if maxRange <= gather.Width {
+			r.strategy = RangeCoalesced
+		} else {
+			r.strategy = Convergence
+		}
+	}
+
+	r.cols16 = make([][]fsm.State, d.NumSymbols())
+	for a := 0; a < d.NumSymbols(); a++ {
+		r.cols16[a] = d.Column(byte(a))
+	}
+	if r.n <= 256 {
+		r.colsB = make([][]byte, d.NumSymbols())
+		for a := 0; a < d.NumSymbols(); a++ {
+			col := r.cols16[a]
+			b := make([]byte, r.n)
+			for q, s := range col {
+				b[q] = byte(s)
+			}
+			r.colsB[a] = b
+		}
+	}
+
+	if r.strategy == RangeCoalesced || r.strategy == RangeConvergence {
+		if maxRange > 256 {
+			return nil, fmt.Errorf("core: range coalescing needs max range ≤ 256, machine has %d (use Convergence)", maxRange)
+		}
+		r.rc = buildRCTables(d, r.ranges)
+	}
+	return r, nil
+}
+
+// Strategy reports the resolved single-core strategy.
+func (r *Runner) Strategy() Strategy { return r.strategy }
+
+// Procs reports the configured multicore width.
+func (r *Runner) Procs() int { return r.procs }
+
+// Machine returns the underlying DFA.
+func (r *Runner) Machine() *fsm.DFA { return r.d }
+
+// Final returns the state reached from start after consuming input.
+func (r *Runner) Final(input []byte, start fsm.State) fsm.State {
+	if r.strategy == Sequential {
+		return r.d.RunUnrolled(input, start)
+	}
+	if r.useMulticore(len(input)) {
+		return r.finalMulticore(input, start)
+	}
+	return r.finalSingle(input, start)
+}
+
+// Accepts reports whether the machine accepts input from its start
+// state.
+func (r *Runner) Accepts(input []byte) bool {
+	return r.d.Accepting(r.Final(input, r.d.Start()))
+}
+
+// Run consumes input from start, invoking phi for every symbol with the
+// position, symbol, and reached state, and returns the final state.
+// When the Runner is multicore, chunks invoke phi concurrently and out
+// of order across chunks (the paper's Mealy assumption, §2.1); phi must
+// be safe for concurrent use in that case.
+func (r *Runner) Run(input []byte, start fsm.State, phi fsm.Phi) fsm.State {
+	if phi == nil {
+		return r.Final(input, start)
+	}
+	if r.strategy == Sequential {
+		return r.d.RunMealy(input, start, phi)
+	}
+	if r.useMulticore(len(input)) {
+		return r.runMulticore(input, start, phi)
+	}
+	return r.runSingle(input, 0, start, phi)
+}
+
+// CompositionVector returns the composed transition function of the
+// whole input: element q is the state reached from start state q. This
+// is the quantity phase 1 of the multicore algorithm computes per
+// chunk.
+func (r *Runner) CompositionVector(input []byte) []fsm.State {
+	if r.useMulticore(len(input)) {
+		return r.compVecMulticore(input)
+	}
+	return r.compVecSingle(input)
+}
+
+func (r *Runner) useMulticore(inputLen int) bool {
+	return r.procs > 1 && inputLen >= 2*r.minChunk
+}
+
+// finalSingle computes the final state for one start without the
+// multicore machinery.
+func (r *Runner) finalSingle(input []byte, start fsm.State) fsm.State {
+	switch r.strategy {
+	case RangeCoalesced:
+		return r.rcFinal(input, start)
+	case RangeConvergence:
+		return r.rcConvFinal(input, start)
+	case Convergence:
+		if r.colsB != nil {
+			return r.convFinalBytes(input, start)
+		}
+		return r.convFinal16(input, start)
+	case BaseILP:
+		vec := r.compVecSingle(input)
+		return vec[start]
+	default: // Base
+		vec := r.compVecSingle(input)
+		return vec[start]
+	}
+}
+
+func (r *Runner) compVecSingle(input []byte) []fsm.State {
+	switch r.strategy {
+	case Sequential:
+		// Sequential has no enumerative vector; derive it by running
+		// from every state (used only for oracle comparisons).
+		vec := make([]fsm.State, r.n)
+		for q := range vec {
+			vec[q] = r.d.Run(input, fsm.State(q))
+		}
+		return vec
+	case RangeCoalesced:
+		return r.rcCompVec(input)
+	case RangeConvergence:
+		return r.rcConvCompVec(input)
+	case Convergence:
+		if r.colsB != nil {
+			return r.convCompVecBytes(input)
+		}
+		return r.convCompVec16(input)
+	case BaseILP:
+		if r.colsB != nil {
+			return bytesToStates(r.baseILPVecBytes(input))
+		}
+		return r.baseILPVec16(input)
+	default: // Base
+		if r.colsB != nil {
+			return bytesToStates(r.baseVecBytes(input))
+		}
+		return r.baseVec16(input)
+	}
+}
+
+// runSingle runs with φ on one goroutine; off is the global position of
+// input[0].
+func (r *Runner) runSingle(input []byte, off int, start fsm.State, phi fsm.Phi) fsm.State {
+	switch r.strategy {
+	case RangeCoalesced, RangeConvergence:
+		// φ needs a per-step state for one start entry; the plain
+		// coalesced loop provides it (convergence on the name vector
+		// does not change the observable outputs).
+		return r.rcRun(input, off, start, phi)
+	case Convergence:
+		if r.colsB != nil {
+			return r.convRunBytes(input, off, start, phi)
+		}
+		return r.convRun16(input, off, start, phi)
+	default: // Base, BaseILP
+		if r.colsB != nil {
+			return r.baseRunBytes(input, off, start, phi)
+		}
+		return r.baseRun16(input, off, start, phi)
+	}
+}
+
+func bytesToStates(b []byte) []fsm.State {
+	out := make([]fsm.State, len(b))
+	for i, v := range b {
+		out[i] = fsm.State(v)
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package core_test
+
+import (
+	"fmt"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/fsm"
+)
+
+// Build the paper's Figure 1 machine: C-comment recognition over the
+// alphabet {'/', '*', other}.
+func commentMachine() *fsm.DFA {
+	d := fsm.MustNew(4, 3)
+	set := func(sym byte, targets ...fsm.State) {
+		for q, r := range targets {
+			d.SetTransition(fsm.State(q), sym, r)
+		}
+	}
+	set(0, 1, 1, 2, 0) // '/'
+	set(1, 0, 2, 3, 3) // '*'
+	set(2, 0, 0, 2, 2) // other
+	d.SetAccepting(0, true)
+	return d
+}
+
+func encode(src string) []byte {
+	out := make([]byte, len(src))
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case '/':
+			out[i] = 0
+		case '*':
+			out[i] = 1
+		default:
+			out[i] = 2
+		}
+	}
+	return out
+}
+
+func ExampleNew() {
+	d := commentMachine()
+	r, err := core.New(d) // Auto strategy
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(r.Strategy(), r.Accepts(encode("x = 1; /* note */")))
+	// Output: range true
+}
+
+func ExampleWithStrategy() {
+	d := commentMachine()
+	input := encode("/* a */ b /* c */")
+	for _, s := range []core.Strategy{core.Sequential, core.Convergence, core.RangeCoalesced} {
+		r, err := core.New(d, core.WithStrategy(s))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(s, r.Final(input, d.Start()))
+	}
+	// Output:
+	// sequential 0
+	// convergence 0
+	// range 0
+}
+
+func ExampleRunner_Run() {
+	d := commentMachine()
+	r, _ := core.New(d, core.WithStrategy(core.Convergence))
+	opens := 0
+	prev := d.Start()
+	r.Run(encode("a /*b*/ c /*d*/"), d.Start(), func(pos int, sym byte, q fsm.State) {
+		if prev != 2 && prev != 3 && q == 2 {
+			opens++
+		}
+		prev = q
+	})
+	fmt.Println("comments opened:", opens)
+	// Output: comments opened: 2
+}
+
+func ExampleRunner_CompositionVector() {
+	d := commentMachine()
+	r, _ := core.New(d, core.WithStrategy(core.Convergence))
+	// The composed transition function of "/*": where each start state
+	// lands after those two symbols.
+	fmt.Println(r.CompositionVector(encode("/*")))
+	// Output: [2 2 3 0]
+}
+
+func ExampleRunner_NewStream() {
+	d := commentMachine()
+	r, _ := core.New(d)
+	s := r.NewStream(nil, 1024)
+	s.Write(encode("int x; /* half a "))
+	s.Write(encode("comment */ done"))
+	fmt.Println(s.Accepting())
+	// Output: true
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpfsm/internal/fsm"
+)
+
+// naiveFirstAccepting is the brute-force oracle.
+func naiveFirstAccepting(d *fsm.DFA, input []byte, start fsm.State) int {
+	q := start
+	for i, b := range input {
+		q = d.Next(q, b)
+		if d.Accepting(q) {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestFirstAcceptingMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	for iter := 0; iter < 30; iter++ {
+		d := fsm.RandomConverging(rng, 2+rng.Intn(40), 4, 5, 0.15)
+		in := d.RandomInput(rng, 2000)
+		st := fsm.State(rng.Intn(d.NumStates()))
+		want := naiveFirstAccepting(d, in, st)
+		for _, procs := range []int{1, 2, 5} {
+			r := newRunner(t, d, Convergence, WithProcs(procs), WithMinChunk(64))
+			if got := r.FirstAccepting(in, st); got != want {
+				t.Fatalf("iter %d procs %d: %d want %d", iter, procs, got, want)
+			}
+		}
+	}
+}
+
+func TestFirstAcceptingNoMatch(t *testing.T) {
+	d := fsm.MustNew(2, 2) // nothing accepts
+	r := newRunner(t, d, Convergence, WithProcs(4), WithMinChunk(8))
+	in := make([]byte, 1000)
+	if got := r.FirstAccepting(in, 0); got != -1 {
+		t.Fatalf("got %d, want -1", got)
+	}
+}
+
+func TestFirstAcceptingStickyMachine(t *testing.T) {
+	// Sticky accept after seeing symbol 1: first accept = first 1.
+	d := fsm.MustNew(2, 2)
+	d.SetColumn(0, []fsm.State{0, 1})
+	d.SetColumn(1, []fsm.State{1, 1})
+	d.SetAccepting(1, true)
+
+	in := make([]byte, 5000)
+	in[3333] = 1
+	for _, procs := range []int{1, 4} {
+		r := newRunner(t, d, Convergence, WithProcs(procs), WithMinChunk(128))
+		if got := r.FirstAccepting(in, 0); got != 3333 {
+			t.Fatalf("procs %d: got %d, want 3333", procs, got)
+		}
+	}
+}
+
+func TestFirstAcceptingEmptyInput(t *testing.T) {
+	d := fsm.MustNew(1, 2)
+	d.SetAccepting(0, true)
+	r := newRunner(t, d, Convergence)
+	if got := r.FirstAccepting(nil, 0); got != -1 {
+		t.Fatalf("no symbols consumed → -1, got %d", got)
+	}
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"sync"
+
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/gather"
+)
+
+// Multicore execution (Figure 5): a parallel prefix over transition-
+// function composition. Phase 1 computes, for each input chunk in
+// parallel, the chunk's composition vector (final state from every
+// start state) using the runner's single-core strategy. Phase 2 is the
+// short sequential scan that recovers the true start state of every
+// chunk. Phase 3 re-runs each chunk in parallel with its now-known
+// start state to invoke φ; accept-only queries skip it entirely, since
+// the answer is already determined by the phase-1 vectors — which is
+// why the paper calls the first two phases "extremely fast" (§3.4).
+
+// splitChunks divides n input bytes into p ranges no smaller than
+// minChunk, reducing p if necessary.
+func (r *Runner) splitChunks(n int) [][2]int {
+	p := r.procs
+	if max := n / r.minChunk; p > max {
+		p = max
+	}
+	if p < 1 {
+		p = 1
+	}
+	chunks := make([][2]int, p)
+	for i := 0; i < p; i++ {
+		lo := i * n / p
+		hi := (i + 1) * n / p
+		chunks[i] = [2]int{lo, hi}
+	}
+	return chunks
+}
+
+// phase1 computes the composition vector of every chunk in parallel.
+func (r *Runner) phase1(input []byte, chunks [][2]int) [][]fsm.State {
+	vecs := make([][]fsm.State, len(chunks))
+	var wg sync.WaitGroup
+	for p, ch := range chunks {
+		wg.Add(1)
+		go func(p int, lo, hi int) {
+			defer wg.Done()
+			vecs[p] = r.compVecSingle(input[lo:hi])
+		}(p, ch[0], ch[1])
+	}
+	wg.Wait()
+	return vecs
+}
+
+// phase2 propagates the start state through the chunk vectors,
+// returning the start state of every chunk.
+func phase2(vecs [][]fsm.State, start fsm.State) []fsm.State {
+	starts := make([]fsm.State, len(vecs))
+	st := start
+	for p, vec := range vecs {
+		starts[p] = st
+		st = vec[st]
+	}
+	return starts
+}
+
+func (r *Runner) finalMulticore(input []byte, start fsm.State) fsm.State {
+	chunks := r.splitChunks(len(input))
+	vecs := r.phase1(input, chunks)
+	st := start
+	for _, vec := range vecs {
+		st = vec[st]
+	}
+	return st
+}
+
+func (r *Runner) compVecMulticore(input []byte) []fsm.State {
+	chunks := r.splitChunks(len(input))
+	vecs := r.phase1(input, chunks)
+	total := vecs[0]
+	for _, vec := range vecs[1:] {
+		gather.Into(total, total, vec)
+	}
+	return total
+}
+
+// ChunkFunc processes one input chunk whose true start state has been
+// resolved by phases 1–2, and returns the state after the chunk. off is
+// the global offset of chunk[0]. Returning the final state lets the
+// single-goroutine fast path avoid recomputing it enumeratively.
+type ChunkFunc func(off int, chunk []byte, start fsm.State) fsm.State
+
+// RunChunked is the Figure 5 decomposition with a caller-supplied phase
+// 3: phases 1 and 2 resolve the start state of every chunk using the
+// runner's enumerative strategy, then f runs once per chunk — in
+// parallel, so f must be safe for concurrent calls on distinct chunks.
+// Clients whose outputs depend on *transitions* rather than reached
+// states (Huffman decoding emits the symbols along each edge, §6.2;
+// tokenizers emit token boundaries) use this to run their own sequential
+// decoder per chunk once the start state is known. Returns the final
+// state.
+func (r *Runner) RunChunked(input []byte, start fsm.State, f ChunkFunc) fsm.State {
+	if len(input) == 0 {
+		return start
+	}
+	if !r.useMulticore(len(input)) {
+		return f(0, input, start)
+	}
+	chunks := r.splitChunks(len(input))
+
+	// Chunk 0 never needs phase 1 — its start state is already known —
+	// so its phase 3 runs concurrently with the enumerative phase 1 of
+	// chunks 1..P-1. This shaves 1/P of the enumerative work and is
+	// what makes the two-pass structure profitable even at low core
+	// counts.
+	var c0Final fsm.State
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c0Final = f(0, input[chunks[0][0]:chunks[0][1]], start)
+	}()
+	vecs := make([][]fsm.State, len(chunks))
+	for p := 1; p < len(chunks); p++ {
+		wg.Add(1)
+		go func(p, lo, hi int) {
+			defer wg.Done()
+			vecs[p] = r.compVecSingle(input[lo:hi])
+		}(p, chunks[p][0], chunks[p][1])
+	}
+	wg.Wait()
+
+	// Phase 2 from chunk 0's actual final state, then phase 3 for the
+	// remaining chunks.
+	st := c0Final
+	starts := make([]fsm.State, len(chunks))
+	for p := 1; p < len(chunks); p++ {
+		starts[p] = st
+		st = vecs[p][st]
+	}
+	for p := 1; p < len(chunks); p++ {
+		wg.Add(1)
+		go func(p, lo, hi int) {
+			defer wg.Done()
+			f(lo, input[lo:hi], starts[p])
+		}(p, chunks[p][0], chunks[p][1])
+	}
+	wg.Wait()
+	return st
+}
+
+// FirstAccepting returns the earliest position i such that the machine
+// is in an accepting state after consuming input[0..i], or -1 if it
+// never is. With sticky-accept machines (the regex package's default
+// "contains" compilation) this is the end position of the first match
+// — what a grep-style tool reports. Multicore runners resolve chunk
+// start states enumeratively and scan chunks concurrently; the
+// earliest hit wins.
+func (r *Runner) FirstAccepting(input []byte, start fsm.State) int {
+	if !r.useMulticore(len(input)) {
+		return r.firstAcceptingSeq(input, 0, start)
+	}
+	var mu sync.Mutex
+	best := -1
+	r.RunChunked(input, start, func(off int, chunk []byte, st fsm.State) fsm.State {
+		// Skip the scan if a hit earlier than this chunk is known.
+		mu.Lock()
+		skip := best >= 0 && best < off
+		mu.Unlock()
+		if skip {
+			return r.d.Run(chunk, st)
+		}
+		q := st
+		hit := -1
+		for i, b := range chunk {
+			q = r.d.Next(q, b)
+			if hit < 0 && r.d.Accepting(q) {
+				hit = off + i
+				// Keep running: the chunk's final state is still
+				// needed by the schedule.
+			}
+		}
+		if hit >= 0 {
+			mu.Lock()
+			if best < 0 || hit < best {
+				best = hit
+			}
+			mu.Unlock()
+		}
+		return q
+	})
+	return best
+}
+
+// firstAcceptingSeq scans sequentially from a known start state.
+func (r *Runner) firstAcceptingSeq(input []byte, off int, start fsm.State) int {
+	q := start
+	for i, b := range input {
+		q = r.d.Next(q, b)
+		if r.d.Accepting(q) {
+			return off + i
+		}
+	}
+	return -1
+}
+
+// runMulticore is the φ-bearing Figure 5 run: phase 3 re-runs chunks
+// concurrently, so φ sees globally correct positions but may be called
+// out of order across chunks (§2.1). It reuses the RunChunked schedule
+// (chunk 0 skips phase 1).
+func (r *Runner) runMulticore(input []byte, start fsm.State, phi fsm.Phi) fsm.State {
+	return r.RunChunked(input, start, func(off int, chunk []byte, st fsm.State) fsm.State {
+		return r.runSingle(chunk, off, st, phi)
+	})
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/gather"
+)
+
+// Shuffle-count profiling. §6.1 reports that "for more than 80% of
+// these FSMs, our implementation performs one or two shuffle operations
+// per input symbol". Profile replays an input under both optimizations'
+// cost models — counting emulated ⊗W,W invocations per symbol exactly
+// as the blocked construction of §4.2 would issue them — so that claim
+// is measurable on any corpus (fsmbench -experiment shuffles).
+
+// Profile summarizes the per-symbol gather work of one machine on one
+// input.
+type Profile struct {
+	// Symbols is the input length.
+	Symbols int
+	// ConvShuffles is the total ⊗16,16 count under the convergence
+	// strategy: per symbol, ⌈m/W⌉·⌈n/W⌉ with m the current active
+	// count and n the machine size.
+	ConvShuffles int
+	// RangeShuffles is the total under range coalescing: per symbol,
+	// ⌈w0/W⌉·⌈range(prev)/W⌉ with w0 the first symbol's range (the
+	// compact name-vector width). Zero when the machine's range
+	// exceeds byte encoding (range coalescing inapplicable).
+	RangeShuffles int
+	// RangeOK reports whether range coalescing applies (max range ≤ 256).
+	RangeOK bool
+	// MaxActive and FinalActive track the enumerative vector.
+	MaxActive, FinalActive int
+	// FactorCalls counts convergence checks that actually shrank the
+	// vector (the Factor invocations §5.1 says to use sparingly).
+	FactorCalls int
+}
+
+// ConvPerSymbol returns the mean shuffles per symbol under convergence.
+func (p Profile) ConvPerSymbol() float64 {
+	if p.Symbols == 0 {
+		return 0
+	}
+	return float64(p.ConvShuffles) / float64(p.Symbols)
+}
+
+// RangePerSymbol returns the mean shuffles per symbol under range
+// coalescing (0 when inapplicable).
+func (p Profile) RangePerSymbol() float64 {
+	if p.Symbols == 0 || !p.RangeOK {
+		return 0
+	}
+	return float64(p.RangeShuffles) / float64(p.Symbols)
+}
+
+// BestPerSymbol returns the mean shuffles per symbol under whichever
+// optimization is cheaper — what an FSM compiler (§6.1) would pick.
+func (p Profile) BestPerSymbol() float64 {
+	c := p.ConvPerSymbol()
+	if !p.RangeOK {
+		return c
+	}
+	if r := p.RangePerSymbol(); r < c {
+		return r
+	}
+	return c
+}
+
+// ProfileInput replays input through the machine's enumerative
+// execution and returns the shuffle accounting. The convergence model
+// factors eagerly (every step), so ConvShuffles is the optimum the
+// check heuristics approach; the range model follows Figure 11
+// exactly.
+func ProfileInput(d *fsm.DFA, input []byte) Profile {
+	n := d.NumStates()
+	p := Profile{Symbols: len(input)}
+	maxRange := d.MaxRangeSize()
+	p.RangeOK = maxRange <= 256
+
+	// Convergence accounting: track the exact active set.
+	s := gather.Identity[fsm.State](n)
+	m := n
+	tmp := make([]fsm.State, n)
+	nBlocks := (n + gather.Width - 1) / gather.Width
+	for i, a := range input {
+		p.ConvShuffles += ((m + gather.Width - 1) / gather.Width) * nBlocks
+		col := d.Column(a)
+		for j := 0; j < m; j++ {
+			tmp[j] = col[s[j]]
+		}
+		_, u := gather.Factor(tmp[:m])
+		copy(s, u)
+		if len(u) < m {
+			p.FactorCalls++
+		}
+		m = len(u)
+		if m > p.MaxActive {
+			p.MaxActive = m
+		}
+
+		// Range accounting for the same step.
+		if p.RangeOK {
+			if i == 0 {
+				// First symbol: the L_a lookup seeds the name vector;
+				// count it as one gather of the n-length map — the
+				// paper amortizes this as setup, we charge one block
+				// row to stay conservative.
+				p.RangeShuffles += (d.RangeSize(a) + gather.Width - 1) / gather.Width
+			} else {
+				w0 := d.RangeSize(input[0])
+				prev := d.RangeSize(input[i-1])
+				p.RangeShuffles += ((w0 + gather.Width - 1) / gather.Width) *
+					((prev + gather.Width - 1) / gather.Width)
+			}
+		}
+	}
+	p.FinalActive = m
+	return p
+}

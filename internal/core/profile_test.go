@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpfsm/internal/fsm"
+)
+
+func TestProfileBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(250))
+	d := fsm.RandomConverging(rng, 40, 4, 5, 0.3)
+	in := d.RandomInput(rng, 500)
+	p := ProfileInput(d, in)
+	if p.Symbols != 500 {
+		t.Fatalf("Symbols = %d", p.Symbols)
+	}
+	if !p.RangeOK {
+		t.Fatal("small-range machine should be range-codable")
+	}
+	if p.FinalActive < 1 || p.FinalActive > p.MaxActive {
+		t.Fatalf("active accounting: final %d max %d", p.FinalActive, p.MaxActive)
+	}
+	// Converging machine with range ≤ 5: both models should be at or
+	// near one shuffle per symbol once converged.
+	if p.RangePerSymbol() > 1.01 {
+		t.Errorf("range shuffles/symbol = %v, want ≈1", p.RangePerSymbol())
+	}
+	if p.BestPerSymbol() > p.ConvPerSymbol()+1e-9 {
+		t.Error("best must not exceed conv")
+	}
+}
+
+func TestProfileFinalActiveMatchesTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(251))
+	for iter := 0; iter < 20; iter++ {
+		d := fsm.Random(rng, 1+rng.Intn(30), 1+rng.Intn(4), 0.3)
+		in := d.RandomInput(rng, 100)
+		p := ProfileInput(d, in)
+		// Distinct final states by brute force.
+		distinct := map[fsm.State]bool{}
+		for q := 0; q < d.NumStates(); q++ {
+			distinct[d.Run(in, fsm.State(q))] = true
+		}
+		if p.FinalActive != len(distinct) {
+			t.Fatalf("FinalActive %d, brute force %d", p.FinalActive, len(distinct))
+		}
+	}
+}
+
+func TestProfilePermutationNeverCheap(t *testing.T) {
+	rng := rand.New(rand.NewSource(252))
+	d := fsm.RandomPermutation(rng, 64, 4, 0.3)
+	in := d.RandomInput(rng, 200)
+	p := ProfileInput(d, in)
+	// 64 states never converge: 4 blocks × 4 blocks = 16 shuffles/symbol.
+	if got := p.ConvPerSymbol(); got < 15.9 {
+		t.Errorf("permutation machine conv shuffles/symbol = %v, want 16", got)
+	}
+	if p.FinalActive != 64 {
+		t.Errorf("FinalActive = %d, want 64", p.FinalActive)
+	}
+}
+
+func TestProfileEmptyInput(t *testing.T) {
+	d := fsm.MustNew(4, 2)
+	p := ProfileInput(d, nil)
+	if p.ConvPerSymbol() != 0 || p.RangePerSymbol() != 0 || p.BestPerSymbol() != 0 {
+		t.Error("empty input should have zero per-symbol costs")
+	}
+}
+
+func TestProfileHugeRangeDisablesRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(253))
+	d := fsm.Random(rng, 400, 3, 0.3)
+	if d.MaxRangeSize() <= 256 {
+		t.Skip("range unexpectedly small")
+	}
+	p := ProfileInput(d, d.RandomInput(rng, 50))
+	if p.RangeOK || p.RangePerSymbol() != 0 {
+		t.Error("range model should be disabled for >256 ranges")
+	}
+	if p.BestPerSymbol() != p.ConvPerSymbol() {
+		t.Error("best should fall back to conv")
+	}
+}

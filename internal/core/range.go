@@ -1,0 +1,383 @@
+package core
+
+import (
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/gather"
+)
+
+// Range coalescing (§5.3, Figures 10–11). After reading symbol a the
+// machine can only be in range(T[a]), so states are renamed per symbol:
+// state q in range(T[a]) gets the *name of a* that is q's index in
+// U_a, where (L_a, U_a) = Factor(T[a]). Per-symbol transition tables
+//
+//	T_a[b] = U_a ⊗ L_b
+//
+// map names of a to names of b; their width is the range size, not the
+// state count, so even machines with hundreds of states run in one
+// emulated shuffle per symbol when the maximum range is ≤ gather.Width
+// — and names fit a byte whenever the maximum range is ≤ 256 even if
+// |Q| > 256, which is what lets byte-level SIMD run big machines.
+//
+// The run loop below exploits the associativity of gather to keep the
+// working vector at width |range(first symbol)| instead of Figure 11's
+// expository n: maintaining C with S_base = L_{a0} ⊗ C ⊗ U_cur, where C
+// maps names-of-a0 to names-of-cur. Every step is then one gather over
+// at most maxRange lanes (the paper's "single shuffle per input
+// character", §6.2).
+
+type rcTables struct {
+	// l[a] has length n: l[a][q] = name (index into u[a]) of δ(q, a).
+	l [][]byte
+	// u[a] maps names of a back to states: u[a][name] = state.
+	u [][]fsm.State
+	// t[a][b] has length |u[a]|: t[a][b][i] = l[b][u[a][i]], the name
+	// of b reached from name i of a on reading b.
+	t [][][]byte
+	// tf[a] is t[a] flattened with stride w[a] (tf[a][int(b)*w[a]+i] =
+	// t[a][b][i]) so the hot loop does one slice index per symbol.
+	tf [][]byte
+	w  []int
+	// fw fuses tf and w so the hot loop touches one cache line for
+	// both.
+	fw []rcFlat
+}
+
+type rcFlat struct {
+	f []byte
+	w int
+}
+
+// buildRCTables precomputes the range-coalesced tables. Requires
+// max range ≤ 256 (checked by New).
+func buildRCTables(d *fsm.DFA, ranges []int) *rcTables {
+	k := d.NumSymbols()
+	rc := &rcTables{
+		l: make([][]byte, k),
+		u: make([][]fsm.State, k),
+		t: make([][][]byte, k),
+	}
+	for a := 0; a < k; a++ {
+		l16, u := gather.Factor(d.Column(byte(a)))
+		lb := make([]byte, len(l16))
+		for i, v := range l16 {
+			lb[i] = byte(v)
+		}
+		rc.l[a] = lb
+		rc.u[a] = u
+	}
+	rc.tf = make([][]byte, k)
+	rc.w = make([]int, k)
+	rc.fw = make([]rcFlat, k)
+	for a := 0; a < k; a++ {
+		rc.t[a] = make([][]byte, k)
+		ua := rc.u[a]
+		w := len(ua)
+		rc.w[a] = w
+		flat := make([]byte, k*w)
+		for b := 0; b < k; b++ {
+			lb := rc.l[b]
+			tab := flat[b*w : (b+1)*w : (b+1)*w]
+			for i, q := range ua {
+				tab[i] = lb[q]
+			}
+			rc.t[a][b] = tab
+		}
+		rc.tf[a] = flat
+		rc.fw[a] = rcFlat{f: flat, w: w}
+	}
+	return rc
+}
+
+// EntryCount reports the total number of table entries, for the §5.3
+// memory accounting (e·k entries versus the original n·k).
+func (rc *rcTables) EntryCount() int {
+	total := 0
+	for _, ta := range rc.t {
+		for _, tab := range ta {
+			total += len(tab)
+		}
+	}
+	return total
+}
+
+// rcLoop runs the coalesced machine over input[1:], starting from the
+// identity over names of input[0]. It returns the first symbol, the
+// final name-composition vector c (c[i] = name-of-cur reached from name
+// i of the first symbol), and the last symbol cur. If phi is non-nil it
+// is invoked at every step with the state reached from start.
+func (r *Runner) rcLoop(input []byte, phi fsm.Phi, off int, start fsm.State) (a0 byte, c []byte, cur byte) {
+	a0 = input[0]
+	cur = a0
+	c = gather.Identity[byte](len(r.rc.u[a0]))
+	var name0 byte
+	if phi != nil {
+		name0 = r.rc.l[a0][start]
+		phi(off, a0, r.rc.u[a0][name0])
+	}
+	if phi == nil && !r.simd {
+		// Hot paths: the name vector has fixed width |range(a0)|, so
+		// small widths run with lanes held in registers — independent
+		// loads per symbol with no stores or loop control, the scalar
+		// stand-in for the paper's one-shuffle-per-symbol regime.
+		rc := r.rc
+		switch {
+		case len(c) == 1:
+			name := c[0]
+			for i := 1; i < len(input); i++ {
+				b := input[i]
+				t := &rc.fw[cur]
+				name = t.f[int(b)*t.w+int(name)]
+				cur = b
+			}
+			c[0] = name
+		case len(c) <= 4:
+			// Pad to 4 lanes with duplicates of lane 0; pads are
+			// discarded at writeback.
+			c0, c1, c2, c3 := c[0], c[0], c[0], c[0]
+			if len(c) > 1 {
+				c1 = c[1]
+			}
+			if len(c) > 2 {
+				c2 = c[2]
+			}
+			if len(c) > 3 {
+				c3 = c[3]
+			}
+			for i := 1; i < len(input); i++ {
+				b := input[i]
+				t := &rc.fw[cur]
+				f := t.f
+				base := int(b) * t.w
+				c0, c1, c2, c3 = f[base+int(c0)], f[base+int(c1)], f[base+int(c2)], f[base+int(c3)]
+				cur = b
+			}
+			out := [4]byte{c0, c1, c2, c3}
+			copy(c, out[:len(c)])
+		case len(c) <= 8:
+			var lane [8]byte
+			for j := range lane {
+				if j < len(c) {
+					lane[j] = c[j]
+				} else {
+					lane[j] = c[0]
+				}
+			}
+			for i := 1; i < len(input); i++ {
+				b := input[i]
+				t := &rc.fw[cur]
+				f := t.f
+				base := int(b) * t.w
+				lane[0], lane[1], lane[2], lane[3] = f[base+int(lane[0])], f[base+int(lane[1])], f[base+int(lane[2])], f[base+int(lane[3])]
+				lane[4], lane[5], lane[6], lane[7] = f[base+int(lane[4])], f[base+int(lane[5])], f[base+int(lane[6])], f[base+int(lane[7])]
+				cur = b
+			}
+			copy(c, lane[:len(c)])
+		default:
+			for i := 1; i < len(input); i++ {
+				b := input[i]
+				t := &rc.fw[cur]
+				tab := t.f[int(b)*t.w:]
+				for j, v := range c {
+					c[j] = tab[v]
+				}
+				cur = b
+			}
+		}
+		return a0, c, cur
+	}
+	for i := 1; i < len(input); i++ {
+		b := input[i]
+		if r.simd {
+			gather.SIMDInto(c, c, r.rc.t[cur][b])
+		} else {
+			gather.Into(c, c, r.rc.t[cur][b])
+		}
+		cur = b
+		if phi != nil {
+			phi(off+i, b, r.rc.u[cur][c[name0]])
+		}
+	}
+	return a0, c, cur
+}
+
+// rcLoopConv is rcLoop with the convergence optimization applied in
+// the *name* domain — Figure 7 layered over Figures 10–11, the natural
+// composition of the paper's two optimizations. The name vector C
+// (width = |range(a0)|) is periodically factored so that machines with
+// a wide first-symbol range still collapse into the register regime.
+// The invariant mirrors §5.2: C_base = Acc ⊗ C with Acc over names of
+// a0. Selected by the RangeConvergence strategy.
+func (r *Runner) rcLoopConv(input []byte) (a0 byte, acc []byte, c []byte, cur byte) {
+	rc := r.rc
+	a0 = input[0]
+	cur = a0
+	w0 := len(rc.u[a0])
+	acc = gather.Identity[byte](w0)
+	c = gather.Identity[byte](w0)
+	m := w0
+	sinceCheck := 0
+	var lbuf, ubuf [256]byte
+	for i := 1; i < len(input); i++ {
+		b := input[i]
+		if m <= 8 && !r.simd {
+			// Register regime over names; reuse the plain rcLoop lane
+			// code by running the remainder on the compact vector.
+			sub := r.rcTail(input[i:], cur, c[:m])
+			return a0, acc, c[:m], sub
+		}
+		t := &rc.fw[cur]
+		tab := t.f[int(b)*t.w:]
+		cc := c[:m]
+		for j, v := range cc {
+			cc[j] = tab[v]
+		}
+		cur = b
+		sinceCheck++
+		if m > 1 && sinceCheck >= 4 {
+			nu := 0
+			for j := 0; j < m; j++ {
+				v := c[j]
+				k := 0
+				for ; k < nu; k++ {
+					if ubuf[k] == v {
+						break
+					}
+				}
+				if k == nu {
+					ubuf[nu] = v
+					nu++
+				}
+				lbuf[j] = byte(k)
+			}
+			if nu < m {
+				gather.Into(acc, acc, lbuf[:m])
+				copy(c, ubuf[:nu])
+				m = nu
+			}
+			sinceCheck = 0
+		}
+	}
+	return a0, acc, c[:m], cur
+}
+
+// rcTail advances a compact name vector over the rest of the input
+// with register-resident lanes, returning the final current symbol.
+// c is updated in place.
+func (r *Runner) rcTail(input []byte, cur byte, c []byte) byte {
+	rc := r.rc
+	switch {
+	case len(c) == 1:
+		name := c[0]
+		for _, b := range input {
+			t := &rc.fw[cur]
+			name = t.f[int(b)*t.w+int(name)]
+			cur = b
+		}
+		c[0] = name
+	case len(c) <= 4:
+		c0, c1, c2, c3 := c[0], c[0], c[0], c[0]
+		if len(c) > 1 {
+			c1 = c[1]
+		}
+		if len(c) > 2 {
+			c2 = c[2]
+		}
+		if len(c) > 3 {
+			c3 = c[3]
+		}
+		for _, b := range input {
+			t := &rc.fw[cur]
+			f := t.f
+			base := int(b) * t.w
+			c0, c1, c2, c3 = f[base+int(c0)], f[base+int(c1)], f[base+int(c2)], f[base+int(c3)]
+			cur = b
+		}
+		out := [4]byte{c0, c1, c2, c3}
+		copy(c, out[:len(c)])
+	default:
+		var lane [8]byte
+		for j := range lane {
+			if j < len(c) {
+				lane[j] = c[j]
+			} else {
+				lane[j] = c[0]
+			}
+		}
+		for _, b := range input {
+			t := &rc.fw[cur]
+			f := t.f
+			base := int(b) * t.w
+			lane[0], lane[1], lane[2], lane[3] = f[base+int(lane[0])], f[base+int(lane[1])], f[base+int(lane[2])], f[base+int(lane[3])]
+			lane[4], lane[5], lane[6], lane[7] = f[base+int(lane[4])], f[base+int(lane[5])], f[base+int(lane[6])], f[base+int(lane[7])]
+			cur = b
+		}
+		copy(c, lane[:len(c)])
+	}
+	return cur
+}
+
+// rcConvCompVec returns the composition vector under RangeConvergence:
+// out[q] = U_cur[C[Acc[L_{a0}[q]]]].
+func (r *Runner) rcConvCompVec(input []byte) []fsm.State {
+	out := make([]fsm.State, r.n)
+	if len(input) == 0 {
+		for q := range out {
+			out[q] = fsm.State(q)
+		}
+		return out
+	}
+	a0, acc, c, cur := r.rcLoopConv(input)
+	la, ucur := r.rc.l[a0], r.rc.u[cur]
+	for q := range out {
+		out[q] = ucur[c[acc[la[q]]]]
+	}
+	return out
+}
+
+// rcConvFinal returns the final state for one start state under
+// RangeConvergence.
+func (r *Runner) rcConvFinal(input []byte, start fsm.State) fsm.State {
+	if len(input) == 0 {
+		return start
+	}
+	a0, acc, c, cur := r.rcLoopConv(input)
+	return r.rc.u[cur][c[acc[r.rc.l[a0][start]]]]
+}
+
+// rcCompVec returns the full composition vector via
+// out[q] = U_cur[C[L_{a0}[q]]].
+func (r *Runner) rcCompVec(input []byte) []fsm.State {
+	out := make([]fsm.State, r.n)
+	if len(input) == 0 {
+		for q := range out {
+			out[q] = fsm.State(q)
+		}
+		return out
+	}
+	a0, c, cur := r.rcLoop(input, nil, 0, 0)
+	la, ucur := r.rc.l[a0], r.rc.u[cur]
+	for q := range out {
+		out[q] = ucur[c[la[q]]]
+	}
+	return out
+}
+
+// rcFinal returns the final state for one start state.
+func (r *Runner) rcFinal(input []byte, start fsm.State) fsm.State {
+	if len(input) == 0 {
+		return start
+	}
+	a0, c, cur := r.rcLoop(input, nil, 0, 0)
+	return r.rc.u[cur][c[r.rc.l[a0][start]]]
+}
+
+// rcRun runs with φ; the per-step output is the O(1) lookup
+// U_cur[C[name0]] (§5.3: mapping back to states is only needed when
+// calling φ).
+func (r *Runner) rcRun(input []byte, off int, start fsm.State, phi fsm.Phi) fsm.State {
+	if len(input) == 0 {
+		return start
+	}
+	a0, c, cur := r.rcLoop(input, phi, off, start)
+	return r.rc.u[cur][c[r.rc.l[a0][start]]]
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpfsm/internal/fsm"
+)
+
+// The WithEmulatedSIMD knob must not change any observable behavior —
+// it swaps the gather kernel for the §4.2 shuffle/blend dataflow.
+func TestEmulatedSIMDPathMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(230))
+	for _, mk := range []func() *fsm.DFA{
+		func() *fsm.DFA { return fsm.RandomConverging(rng, 40, 6, 5, 0.3) },
+		func() *fsm.DFA { return fsm.Random(rng, 100, 4, 0.3) },
+		func() *fsm.DFA { return fsm.RandomPermutation(rng, 16, 4, 0.3) },
+		func() *fsm.DFA { return fsm.Random(rng, 256, 3, 0.3) }, // byte-boundary
+	} {
+		d := mk()
+		in := d.RandomInput(rng, 700)
+		st := fsm.State(rng.Intn(d.NumStates()))
+		for _, strat := range []Strategy{Base, BaseILP, Convergence, RangeCoalesced, RangeConvergence} {
+			if (strat == RangeCoalesced || strat == RangeConvergence) && d.MaxRangeSize() > 256 {
+				continue
+			}
+			scalar := newRunner(t, d, strat)
+			simd := newRunner(t, d, strat, WithEmulatedSIMD(true))
+			if a, b := scalar.Final(in, st), simd.Final(in, st); a != b {
+				t.Fatalf("%v: scalar %d, emulated-simd %d", strat, a, b)
+			}
+			va := scalar.CompositionVector(in)
+			vb := simd.CompositionVector(in)
+			for q := range va {
+				if va[q] != vb[q] {
+					t.Fatalf("%v: composition vectors diverge at %d", strat, q)
+				}
+			}
+			// φ outputs too.
+			var sa, sb []fsm.State
+			scalar.Run(in, st, func(_ int, _ byte, q fsm.State) { sa = append(sa, q) })
+			simd.Run(in, st, func(_ int, _ byte, q fsm.State) { sb = append(sb, q) })
+			for i := range sa {
+				if sa[i] != sb[i] {
+					t.Fatalf("%v: φ diverges at %d", strat, i)
+				}
+			}
+		}
+	}
+}
+
+func TestEmulatedSIMDMulticore(t *testing.T) {
+	rng := rand.New(rand.NewSource(231))
+	d := fsm.RandomConverging(rng, 60, 6, 6, 0.3)
+	in := d.RandomInput(rng, 4000)
+	r := newRunner(t, d, Convergence, WithEmulatedSIMD(true), WithProcs(3), WithMinChunk(64))
+	if got, want := r.Final(in, d.Start()), d.Run(in, d.Start()); got != want {
+		t.Fatalf("multicore emulated-SIMD: %d want %d", got, want)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+// Streaming execution. The batch Runner needs the whole input in
+// memory (the paper's benchmarks "read all data into memory and then
+// operate on that data", §6); Stream adapts it to incremental inputs:
+// bytes are buffered into blocks and each block is folded through the
+// runner's composition vector, so arbitrarily long inputs run in
+// O(block) memory while still using the enumerative strategies — and,
+// for large blocks, the multicore path — inside each block.
+
+import (
+	"io"
+
+	"dpfsm/internal/fsm"
+)
+
+// Stream runs one machine over an incrementally supplied input.
+// Not safe for concurrent use.
+type Stream struct {
+	r     *Runner
+	state fsm.State
+	buf   []byte
+	block int
+	phi   fsm.Phi
+	pos   int
+}
+
+// DefaultStreamBlock is the default internal block size.
+const DefaultStreamBlock = 1 << 20
+
+// NewStream returns a stream starting from the machine's start state.
+// phi may be nil; when set it is invoked for every consumed symbol
+// (positions are global across writes). block ≤ 0 selects
+// DefaultStreamBlock.
+func (r *Runner) NewStream(phi fsm.Phi, block int) *Stream {
+	if block <= 0 {
+		block = DefaultStreamBlock
+	}
+	return &Stream{
+		r:     r,
+		state: r.d.Start(),
+		buf:   make([]byte, 0, block),
+		block: block,
+		phi:   phi,
+	}
+}
+
+// Write feeds input bytes; it never fails (the error is for
+// io.Writer). Full blocks are processed eagerly.
+func (s *Stream) Write(p []byte) (int, error) {
+	total := len(p)
+	for len(p) > 0 {
+		space := s.block - len(s.buf)
+		if space > len(p) {
+			space = len(p)
+		}
+		s.buf = append(s.buf, p[:space]...)
+		p = p[space:]
+		if len(s.buf) == s.block {
+			s.flush()
+		}
+	}
+	return total, nil
+}
+
+// ReadFrom consumes all of r, implementing io.ReaderFrom.
+func (s *Stream) ReadFrom(r io.Reader) (int64, error) {
+	var total int64
+	chunk := make([]byte, 64<<10)
+	for {
+		n, err := r.Read(chunk)
+		if n > 0 {
+			total += int64(n)
+			s.Write(chunk[:n])
+		}
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+func (s *Stream) flush() {
+	if len(s.buf) == 0 {
+		return
+	}
+	if s.phi != nil {
+		off := s.pos
+		s.state = s.r.Run(s.buf, s.state, func(pos int, sym byte, q fsm.State) {
+			s.phi(off+pos, sym, q)
+		})
+	} else {
+		s.state = s.r.Final(s.buf, s.state)
+	}
+	s.pos += len(s.buf)
+	s.buf = s.buf[:0]
+}
+
+// State flushes any buffered bytes and returns the current state.
+func (s *Stream) State() fsm.State {
+	s.flush()
+	return s.state
+}
+
+// Accepting flushes and reports whether the current state accepts.
+func (s *Stream) Accepting() bool {
+	return s.r.d.Accepting(s.State())
+}
+
+// Consumed reports how many bytes have been fully processed (including
+// buffered bytes only after a State/Accepting flush).
+func (s *Stream) Consumed() int { return s.pos }
+
+// Reset returns the stream to the machine's start state, discarding
+// buffered bytes and the position counter.
+func (s *Stream) Reset() {
+	s.state = s.r.d.Start()
+	s.buf = s.buf[:0]
+	s.pos = 0
+}

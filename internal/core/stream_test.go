@@ -1,0 +1,132 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"dpfsm/internal/fsm"
+)
+
+func TestStreamMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(150))
+	d := fsm.RandomConverging(rng, 60, 8, 6, 0.3)
+	r := newRunner(t, d, Convergence)
+	input := d.RandomInput(rng, 50_000)
+
+	for _, block := range []int{1, 7, 1024, 1 << 20} {
+		s := r.NewStream(nil, block)
+		// Feed in ragged pieces.
+		rest := input
+		for len(rest) > 0 {
+			n := 1 + rng.Intn(4096)
+			if n > len(rest) {
+				n = len(rest)
+			}
+			s.Write(rest[:n])
+			rest = rest[n:]
+		}
+		if got, want := s.State(), d.Run(input, d.Start()); got != want {
+			t.Fatalf("block %d: state %d want %d", block, got, want)
+		}
+		if s.Consumed() != len(input) {
+			t.Fatalf("block %d: consumed %d want %d", block, s.Consumed(), len(input))
+		}
+		if s.Accepting() != d.Accepts(input) {
+			t.Fatalf("block %d: accepting mismatch", block)
+		}
+	}
+}
+
+func TestStreamPhiGlobalPositions(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	d := fsm.RandomConverging(rng, 20, 4, 4, 0.3)
+	r := newRunner(t, d, Convergence)
+	input := d.RandomInput(rng, 5000)
+
+	want := d.Trace(input, d.Start())
+	got := make([]fsm.State, len(input))
+	seen := make([]bool, len(input))
+	s := r.NewStream(func(pos int, sym byte, q fsm.State) {
+		if seen[pos] {
+			t.Errorf("duplicate φ at %d", pos)
+		}
+		seen[pos] = true
+		got[pos] = q
+	}, 512)
+	s.Write(input[:100])
+	s.Write(input[100:3000])
+	s.Write(input[3000:])
+	s.State() // flush tail
+	for i := range input {
+		if !seen[i] {
+			t.Fatalf("missing φ at %d", i)
+		}
+		if got[i] != want[i] {
+			t.Fatalf("φ state at %d = %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStreamReadFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(152))
+	d := fsm.RandomConverging(rng, 30, 4, 5, 0.3)
+	r := newRunner(t, d, RangeCoalesced)
+	input := d.RandomInput(rng, 100_000)
+
+	s := r.NewStream(nil, 4096)
+	n, err := s.ReadFrom(bytes.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(input)) {
+		t.Fatalf("ReadFrom consumed %d", n)
+	}
+	if got, want := s.State(), d.Run(input, d.Start()); got != want {
+		t.Fatalf("state %d want %d", got, want)
+	}
+}
+
+func TestStreamReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(153))
+	d := fsm.RandomConverging(rng, 10, 3, 3, 0.3)
+	r := newRunner(t, d, Convergence)
+	in := d.RandomInput(rng, 1000)
+
+	s := r.NewStream(nil, 64)
+	s.Write(in)
+	first := s.State()
+	s.Reset()
+	if s.Consumed() != 0 {
+		t.Error("Reset should clear the position")
+	}
+	s.Write(in)
+	if s.State() != first {
+		t.Error("replay after Reset diverged")
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	d := fsm.MustNew(3, 2)
+	d.SetStart(1)
+	r, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.NewStream(nil, 0)
+	if s.State() != 1 {
+		t.Error("empty stream should sit at the start state")
+	}
+}
+
+func TestStreamMulticoreBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(154))
+	d := fsm.RandomConverging(rng, 40, 6, 5, 0.3)
+	r := newRunner(t, d, Convergence, WithProcs(4), WithMinChunk(128))
+	input := d.RandomInput(rng, 200_000)
+	s := r.NewStream(nil, 1<<15) // blocks big enough for the multicore path
+	s.Write(input)
+	if got, want := s.State(), d.Run(input, d.Start()); got != want {
+		t.Fatalf("state %d want %d", got, want)
+	}
+}

@@ -1,0 +1,96 @@
+package fsm
+
+// Graphviz export for debugging and documentation. Edges sharing a
+// (source, destination) pair are merged and labeled with a compact
+// symbol-set description, so even byte-alphabet machines render
+// readably.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDot renders the machine in Graphviz dot syntax. name is the
+// graph title. Symbols are labeled with printable ASCII where
+// possible, \xHH otherwise, and contiguous runs collapse to ranges.
+func (d *DFA) WriteDot(w io.Writer, name string) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", name)
+	sb.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	fmt.Fprintf(&sb, "  start [shape=point];\n  start -> q%d;\n", d.start)
+	for q := 0; q < d.numStates; q++ {
+		if d.accept[q] {
+			fmt.Fprintf(&sb, "  q%d [shape=doublecircle];\n", q)
+		}
+	}
+	for q := 0; q < d.numStates; q++ {
+		// Group symbols by destination.
+		dest := map[State][]byte{}
+		for s := 0; s < d.numSymbols; s++ {
+			r := d.Next(State(q), byte(s))
+			dest[r] = append(dest[r], byte(s))
+		}
+		var rs []State
+		for r := range dest {
+			rs = append(rs, r)
+		}
+		sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+		for _, r := range rs {
+			fmt.Fprintf(&sb, "  q%d -> q%d [label=%q];\n", q, r, symbolSetLabel(dest[r], d.numSymbols))
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// symbolSetLabel renders a sorted byte set compactly: "a-z0-9_" or
+// "~(a-c)" style complements when the set covers most of the alphabet.
+func symbolSetLabel(syms []byte, alphabet int) string {
+	if len(syms) == alphabet {
+		return "Σ"
+	}
+	if len(syms) > alphabet/2 && alphabet == 256 {
+		// Complement form.
+		in := make([]bool, alphabet)
+		for _, b := range syms {
+			in[b] = true
+		}
+		var comp []byte
+		for s := 0; s < alphabet; s++ {
+			if !in[s] {
+				comp = append(comp, byte(s))
+			}
+		}
+		return "~(" + runLabel(comp) + ")"
+	}
+	return runLabel(syms)
+}
+
+func runLabel(syms []byte) string {
+	var sb strings.Builder
+	for i := 0; i < len(syms); {
+		j := i
+		for j+1 < len(syms) && syms[j+1] == syms[j]+1 {
+			j++
+		}
+		sb.WriteString(symLabel(syms[i]))
+		if j > i+1 {
+			sb.WriteByte('-')
+			sb.WriteString(symLabel(syms[j]))
+		} else if j == i+1 {
+			sb.WriteString(symLabel(syms[j]))
+		}
+		i = j + 1
+	}
+	return sb.String()
+}
+
+func symLabel(b byte) string {
+	if b >= 0x21 && b <= 0x7e && b != '"' && b != '\\' {
+		return string(b)
+	}
+	return fmt.Sprintf("\\\\x%02x", b)
+}

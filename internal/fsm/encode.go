@@ -1,0 +1,86 @@
+package fsm
+
+// Binary serialization of machines, so compiled DFAs (regex corpora,
+// tokenizers, Huffman decoders) can be cached and shipped without
+// recompiling. The format is a fixed little-endian header followed by
+// the accept bitmap and the column-major transition table.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// encodeMagic identifies the serialized machine format, version 1.
+var encodeMagic = [8]byte{'D', 'P', 'F', 'S', 'M', 'v', '0', '1'}
+
+// WriteTo serializes the machine. It implements io.WriterTo.
+func (d *DFA) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	write := func(v interface{}) error {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(encodeMagic); err != nil {
+		return n, err
+	}
+	hdr := []uint32{uint32(d.numStates), uint32(d.numSymbols), uint32(d.start)}
+	if err := write(hdr); err != nil {
+		return n, err
+	}
+	accept := make([]uint8, (d.numStates+7)/8)
+	for q, a := range d.accept {
+		if a {
+			accept[q/8] |= 1 << (uint(q) % 8)
+		}
+	}
+	if err := write(accept); err != nil {
+		return n, err
+	}
+	if err := write(d.trans); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ReadDFA deserializes a machine written by WriteTo and validates it.
+func ReadDFA(r io.Reader) (*DFA, error) {
+	var magic [8]byte
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != encodeMagic {
+		return nil, errors.New("fsm: bad magic; not a serialized DFA")
+	}
+	hdr := make([]uint32, 3)
+	if err := binary.Read(r, binary.LittleEndian, hdr); err != nil {
+		return nil, err
+	}
+	numStates, numSymbols, start := int(hdr[0]), int(hdr[1]), State(hdr[2])
+	d, err := New(numStates, numSymbols)
+	if err != nil {
+		return nil, fmt.Errorf("fsm: bad header: %w", err)
+	}
+	accept := make([]uint8, (numStates+7)/8)
+	if err := binary.Read(r, binary.LittleEndian, accept); err != nil {
+		return nil, err
+	}
+	for q := 0; q < numStates; q++ {
+		d.accept[q] = accept[q/8]&(1<<(uint(q)%8)) != 0
+	}
+	if err := binary.Read(r, binary.LittleEndian, d.trans); err != nil {
+		return nil, err
+	}
+	if int(start) >= numStates {
+		return nil, fmt.Errorf("fsm: start state %d out of range", start)
+	}
+	d.start = start
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

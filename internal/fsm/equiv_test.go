@@ -1,0 +1,100 @@
+package fsm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEquivalentSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 30; i++ {
+		d := Random(rng, 1+rng.Intn(30), 1+rng.Intn(4), 0.4)
+		if !Equivalent(d, d) {
+			t.Fatal("machine not equivalent to itself")
+		}
+		if !Equivalent(d, d.Clone()) {
+			t.Fatal("machine not equivalent to its clone")
+		}
+	}
+}
+
+func TestEquivalentDetectsDifference(t *testing.T) {
+	a := MustNew(2, 2)
+	a.SetColumn(0, []State{1, 1})
+	a.SetColumn(1, []State{0, 0})
+	a.SetAccepting(1, true)
+
+	b := a.Clone()
+	b.SetAccepting(1, false)
+	b.SetAccepting(0, true)
+
+	if Equivalent(a, b) {
+		t.Error("machines with swapped accepting sets reported equivalent")
+	}
+	w, ok := Distinguish(a, b)
+	if !ok {
+		t.Fatal("Distinguish found no witness")
+	}
+	if a.Accepts(w) == b.Accepts(w) {
+		t.Errorf("witness %v does not distinguish", w)
+	}
+}
+
+func TestDistinguishShortestWitness(t *testing.T) {
+	// a accepts strings of length ≥ 3; b accepts length ≥ 2. Shortest
+	// distinguishing input has length 2.
+	mk := func(threshold int) *DFA {
+		d := MustNew(threshold+1, 1)
+		for q := 0; q < threshold; q++ {
+			d.SetTransition(State(q), 0, State(q+1))
+		}
+		d.SetTransition(State(threshold), 0, State(threshold))
+		d.SetAccepting(State(threshold), true)
+		return d
+	}
+	a, b := mk(3), mk(2)
+	w, ok := Distinguish(a, b)
+	if !ok {
+		t.Fatal("no witness found")
+	}
+	if len(w) != 2 {
+		t.Errorf("witness length %d, want 2 (shortest)", len(w))
+	}
+}
+
+func TestEquivalentAlphabetMismatch(t *testing.T) {
+	a := MustNew(1, 2)
+	b := MustNew(1, 3)
+	if Equivalent(a, b) {
+		t.Error("different alphabets must not be equivalent")
+	}
+	if _, ok := Distinguish(a, b); !ok {
+		t.Error("Distinguish on mismatched alphabets should report non-equivalent ok=true")
+	}
+}
+
+func TestDistinguishOnEquivalent(t *testing.T) {
+	d := fig1(t)
+	if w, ok := Distinguish(d, d.Clone()); ok {
+		t.Errorf("found witness %v for equivalent machines", w)
+	}
+}
+
+func TestEquivalentDifferentShapes(t *testing.T) {
+	// Same language ("even number of 0-symbols"), different state counts.
+	a := MustNew(2, 2)
+	a.SetColumn(0, []State{1, 0})
+	a.SetColumn(1, []State{0, 1})
+	a.SetAccepting(0, true)
+
+	b := MustNew(4, 2)
+	b.SetColumn(0, []State{1, 0, 3, 2})
+	b.SetColumn(1, []State{2, 3, 0, 1}) // hops between duplicate pairs
+	b.SetAccepting(0, true)
+	b.SetAccepting(2, true)
+
+	if !Equivalent(a, b) {
+		w, _ := Distinguish(a, b)
+		t.Errorf("machines should be equivalent; witness %v", w)
+	}
+}

@@ -1,0 +1,80 @@
+package fsm_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"dpfsm/internal/fsm"
+)
+
+// evenZeros accepts inputs with an even number of 0-symbols.
+func evenZeros() *fsm.DFA {
+	d := fsm.MustNew(2, 2)
+	d.SetColumn(0, []fsm.State{1, 0})
+	d.SetColumn(1, []fsm.State{0, 1})
+	d.SetAccepting(0, true)
+	return d
+}
+
+func ExampleDFA_Run() {
+	d := evenZeros()
+	fmt.Println(d.Accepts([]byte{0, 1, 0}), d.Accepts([]byte{0, 1}))
+	// Output: true false
+}
+
+func ExampleDFA_RangeSize() {
+	d := fsm.MustNew(3, 2)
+	d.SetColumn(0, []fsm.State{0, 0, 0}) // everything to 0: range 1
+	d.SetColumn(1, []fsm.State{1, 2, 0}) // permutation: range 3
+	fmt.Println(d.RangeSize(0), d.RangeSize(1), d.MaxRangeSize())
+	// Output: 1 3 3
+}
+
+func ExampleDFA_Minimize() {
+	// Two indistinguishable copies of the same state minimize away.
+	d := fsm.MustNew(3, 1)
+	d.SetColumn(0, []fsm.State{1, 2, 1})
+	d.SetAccepting(1, true)
+	d.SetAccepting(2, true)
+	fmt.Println(d.NumStates(), "→", d.Minimize().NumStates())
+	// Output: 3 → 2
+}
+
+func ExampleIntersect() {
+	endsInOne := fsm.MustNew(2, 2)
+	endsInOne.SetColumn(0, []fsm.State{0, 0})
+	endsInOne.SetColumn(1, []fsm.State{1, 1})
+	endsInOne.SetAccepting(1, true)
+
+	both, err := fsm.Intersect(evenZeros(), endsInOne)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(both.Accepts([]byte{0, 0, 1}), both.Accepts([]byte{0, 1}))
+	// Output: true false
+}
+
+func ExampleReadDFA() {
+	var buf bytes.Buffer
+	if _, err := evenZeros().WriteTo(&buf); err != nil {
+		panic(err)
+	}
+	restored, err := fsm.ReadDFA(&buf)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(fsm.Equivalent(evenZeros(), restored))
+	// Output: true
+}
+
+func ExampleDFA_Unroll() {
+	d := evenZeros()
+	byteWise, err := d.Unroll(8) // one transition per packed byte
+	if err != nil {
+		panic(err)
+	}
+	// 0b00000101 has two 0-bits... no: MSB-first bits 00000101 contain
+	// six 0-bits — even — so the machine accepts.
+	fmt.Println(byteWise.NumSymbols(), byteWise.Accepts([]byte{0b00000101}))
+	// Output: 256 true
+}

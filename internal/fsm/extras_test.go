@@ -1,0 +1,227 @@
+package fsm
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(130))
+	for iter := 0; iter < 30; iter++ {
+		d := Random(rng, 1+rng.Intn(300), 1+rng.Intn(8), 0.3)
+		var buf bytes.Buffer
+		n, err := d.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("WriteTo reported %d, wrote %d", n, buf.Len())
+		}
+		got, err := ReadDFA(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumStates() != d.NumStates() || got.NumSymbols() != d.NumSymbols() || got.Start() != d.Start() {
+			t.Fatal("header mismatch after roundtrip")
+		}
+		if !Equivalent(d, got) {
+			t.Fatal("language changed after roundtrip")
+		}
+		for q := 0; q < d.NumStates(); q++ {
+			if d.Accepting(State(q)) != got.Accepting(State(q)) {
+				t.Fatal("accept bit mismatch")
+			}
+			for a := 0; a < d.NumSymbols(); a++ {
+				if d.Next(State(q), byte(a)) != got.Next(State(q), byte(a)) {
+					t.Fatal("transition mismatch")
+				}
+			}
+		}
+	}
+}
+
+func TestReadDFARejectsGarbage(t *testing.T) {
+	if _, err := ReadDFA(bytes.NewReader([]byte("not a machine at all"))); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := ReadDFA(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should fail")
+	}
+	// Truncated payload.
+	d := MustNew(5, 3)
+	var buf bytes.Buffer
+	d.WriteTo(&buf)
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, err := ReadDFA(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated input should fail")
+	}
+}
+
+// evenZeros/endsInOne over {0,1}: handy algebraic test machines.
+func evenZeros(t *testing.T) *DFA {
+	t.Helper()
+	d := MustNew(2, 2)
+	d.SetColumn(0, []State{1, 0})
+	d.SetColumn(1, []State{0, 1})
+	d.SetAccepting(0, true)
+	return d
+}
+
+func endsInOne(t *testing.T) *DFA {
+	t.Helper()
+	d := MustNew(2, 2)
+	d.SetColumn(0, []State{0, 0})
+	d.SetColumn(1, []State{1, 1})
+	d.SetAccepting(1, true)
+	return d
+}
+
+func TestIntersectUnionDifference(t *testing.T) {
+	a, b := evenZeros(t), endsInOne(t)
+	inter, err := Intersect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := Difference(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := Complement(a)
+
+	// Enumerate all strings up to length 8 and check set algebra.
+	var walk func(prefix []byte, depth int)
+	walk = func(prefix []byte, depth int) {
+		ia, ib := a.Accepts(prefix), b.Accepts(prefix)
+		if inter.Accepts(prefix) != (ia && ib) {
+			t.Fatalf("intersect wrong on %v", prefix)
+		}
+		if uni.Accepts(prefix) != (ia || ib) {
+			t.Fatalf("union wrong on %v", prefix)
+		}
+		if diff.Accepts(prefix) != (ia && !ib) {
+			t.Fatalf("difference wrong on %v", prefix)
+		}
+		if comp.Accepts(prefix) != !ia {
+			t.Fatalf("complement wrong on %v", prefix)
+		}
+		if depth == 0 {
+			return
+		}
+		for s := byte(0); s < 2; s++ {
+			walk(append(prefix, s), depth-1)
+		}
+	}
+	walk(nil, 8)
+}
+
+func TestProductAlphabetMismatch(t *testing.T) {
+	a := MustNew(1, 2)
+	b := MustNew(1, 3)
+	if _, err := Intersect(a, b); err == nil {
+		t.Error("alphabet mismatch should fail")
+	}
+}
+
+func TestProductAlgebraRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for iter := 0; iter < 30; iter++ {
+		a := Random(rng, 1+rng.Intn(8), 2, 0.4)
+		b := Random(rng, 1+rng.Intn(8), 2, 0.4)
+		uni, err := Union(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// De Morgan: A ∪ B == ¬(¬A ∩ ¬B).
+		viaDeMorgan, err := Intersect(Complement(a), Complement(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equivalent(uni, Complement(viaDeMorgan)) {
+			t.Fatalf("iter %d: De Morgan identity failed", iter)
+		}
+		// A \ B == A ∩ ¬B.
+		diff, err := Difference(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alt, err := Intersect(a, Complement(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equivalent(diff, alt) {
+			t.Fatalf("iter %d: difference identity failed", iter)
+		}
+	}
+}
+
+func TestComplementInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	for iter := 0; iter < 20; iter++ {
+		d := Random(rng, 1+rng.Intn(15), 2, 0.5)
+		if !Equivalent(d, Complement(Complement(d))) {
+			t.Fatal("double complement changed the language")
+		}
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	d := fig1(t)
+	var buf bytes.Buffer
+	if err := d.WriteDot(&buf, "fig1"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"digraph \"fig1\"", "start -> q0", "doublecircle", "q0 -> q1", "}",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("dot output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestWriteDotByteAlphabet(t *testing.T) {
+	d := MustNew(2, 256)
+	for s := 0; s < 256; s++ {
+		d.SetTransition(0, byte(s), 0)
+	}
+	for s := 'a'; s <= 'z'; s++ {
+		d.SetTransition(0, byte(s), 1)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteDot(&buf, "bytes"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a-z") {
+		t.Errorf("expected range label a-z in:\n%s", out)
+	}
+	if !strings.Contains(out, "~(") {
+		t.Errorf("expected complement label for the near-total edge in:\n%s", out)
+	}
+}
+
+func TestSymbolSetLabel(t *testing.T) {
+	if got := symbolSetLabel([]byte{'a', 'b', 'c'}, 256); got != "a-c" {
+		t.Errorf("label = %q", got)
+	}
+	all := make([]byte, 256)
+	for i := range all {
+		all[i] = byte(i)
+	}
+	if got := symbolSetLabel(all, 256); got != "Σ" {
+		t.Errorf("full set label = %q", got)
+	}
+	if got := runLabel([]byte{0, 1, 'x'}); got != `\\x00\\x01x` {
+		t.Errorf("escape label = %q", got)
+	}
+	if got := runLabel([]byte{'a', 'b'}); got != "ab" {
+		t.Errorf("two-run label = %q", got)
+	}
+}

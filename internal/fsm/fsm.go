@@ -1,0 +1,194 @@
+// Package fsm provides the deterministic finite-state machine substrate
+// used throughout this repository: the machine representation, sequential
+// reference runners, structural statistics, minimization, language
+// equivalence, k-step unrolling, and random-machine generation.
+//
+// A machine is the classic tuple (Q, Σ, q0, δ, F). The transition
+// function is stored column-major by symbol — δ for a symbol a is the
+// contiguous vector T[a] with T[a][q] = δ(q, a) — because the paper's
+// enumerative algorithms consume whole per-symbol transition vectors as
+// gather tables (Mytkowicz et al., ASPLOS 2014, §2.1).
+package fsm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// State identifies a machine state. States are dense integers in
+// [0, NumStates). uint16 bounds machines at 65536 states, which covers
+// the paper's corpus (the largest Snort-derived machine has 4020 states)
+// while keeping transition tables compact for gather kernels.
+type State uint16
+
+// MaxStates is the largest number of states a DFA may have.
+const MaxStates = 1 << 16
+
+// Phi is the Mealy output callback invoked with the position of an input
+// symbol, the symbol itself, and the state reached *after* consuming it
+// (paper §2.1). Parallel runners may invoke Phi out of order; callers
+// that need ordered output should buffer by pos.
+type Phi func(pos int, sym byte, state State)
+
+// DFA is a deterministic finite-state machine over a byte(-subset)
+// alphabet. The zero value is not usable; construct with New.
+type DFA struct {
+	numStates  int
+	numSymbols int
+	start      State
+	accept     []bool
+	// trans holds the transition function column-major by symbol:
+	// trans[a*numStates + q] = δ(q, a).
+	trans []State
+}
+
+// New returns a DFA with numStates states and numSymbols input symbols
+// (symbols are bytes in [0, numSymbols)). All transitions initially lead
+// to state 0 and no state accepts.
+func New(numStates, numSymbols int) (*DFA, error) {
+	if numStates <= 0 || numStates > MaxStates {
+		return nil, fmt.Errorf("fsm: numStates %d out of range [1, %d]", numStates, MaxStates)
+	}
+	if numSymbols <= 0 || numSymbols > 256 {
+		return nil, fmt.Errorf("fsm: numSymbols %d out of range [1, 256]", numSymbols)
+	}
+	return &DFA{
+		numStates:  numStates,
+		numSymbols: numSymbols,
+		accept:     make([]bool, numStates),
+		trans:      make([]State, numStates*numSymbols),
+	}, nil
+}
+
+// MustNew is New but panics on error; intended for static machines and
+// tests.
+func MustNew(numStates, numSymbols int) *DFA {
+	d, err := New(numStates, numSymbols)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// NumStates reports |Q|.
+func (d *DFA) NumStates() int { return d.numStates }
+
+// NumSymbols reports |Σ|.
+func (d *DFA) NumSymbols() int { return d.numSymbols }
+
+// Start reports the initial state q0.
+func (d *DFA) Start() State { return d.start }
+
+// SetStart sets the initial state q0.
+func (d *DFA) SetStart(q State) {
+	d.checkState(q)
+	d.start = q
+}
+
+// Accepting reports whether q ∈ F.
+func (d *DFA) Accepting(q State) bool { return d.accept[q] }
+
+// SetAccepting marks q as accepting (or not).
+func (d *DFA) SetAccepting(q State, ok bool) {
+	d.checkState(q)
+	d.accept[q] = ok
+}
+
+// AcceptingStates returns the set F as a fresh slice, in state order.
+func (d *DFA) AcceptingStates() []State {
+	var f []State
+	for q := 0; q < d.numStates; q++ {
+		if d.accept[q] {
+			f = append(f, State(q))
+		}
+	}
+	return f
+}
+
+// Next applies the transition function: Next(q, a) = δ(q, a).
+func (d *DFA) Next(q State, sym byte) State {
+	return d.trans[int(sym)*d.numStates+int(q)]
+}
+
+// SetTransition sets δ(q, a) = r.
+func (d *DFA) SetTransition(q State, sym byte, r State) {
+	d.checkState(q)
+	d.checkState(r)
+	d.checkSymbol(sym)
+	d.trans[int(sym)*d.numStates+int(q)] = r
+}
+
+// Column returns the transition vector T[a] with T[a][q] = δ(q, a).
+// The returned slice aliases the machine's internal storage and must be
+// treated as read-only; it is exactly the gather table the enumerative
+// algorithms consume.
+func (d *DFA) Column(sym byte) []State {
+	d.checkSymbol(sym)
+	off := int(sym) * d.numStates
+	return d.trans[off : off+d.numStates : off+d.numStates]
+}
+
+// SetColumn replaces the whole transition vector for sym.
+func (d *DFA) SetColumn(sym byte, col []State) error {
+	d.checkSymbol(sym)
+	if len(col) != d.numStates {
+		return fmt.Errorf("fsm: column length %d != numStates %d", len(col), d.numStates)
+	}
+	for _, r := range col {
+		if int(r) >= d.numStates {
+			return fmt.Errorf("fsm: column target %d out of range", r)
+		}
+	}
+	copy(d.trans[int(sym)*d.numStates:], col)
+	return nil
+}
+
+// Clone returns a deep copy of the machine.
+func (d *DFA) Clone() *DFA {
+	c := &DFA{
+		numStates:  d.numStates,
+		numSymbols: d.numSymbols,
+		start:      d.start,
+		accept:     append([]bool(nil), d.accept...),
+		trans:      append([]State(nil), d.trans...),
+	}
+	return c
+}
+
+// Validate checks the structural invariants of the machine: every
+// transition target and the start state are within [0, NumStates).
+func (d *DFA) Validate() error {
+	if int(d.start) >= d.numStates {
+		return fmt.Errorf("fsm: start state %d out of range", d.start)
+	}
+	if len(d.accept) != d.numStates {
+		return errors.New("fsm: accept vector length mismatch")
+	}
+	if len(d.trans) != d.numStates*d.numSymbols {
+		return errors.New("fsm: transition table length mismatch")
+	}
+	for i, r := range d.trans {
+		if int(r) >= d.numStates {
+			return fmt.Errorf("fsm: transition %d target %d out of range", i, r)
+		}
+	}
+	return nil
+}
+
+// String summarizes the machine for diagnostics.
+func (d *DFA) String() string {
+	return fmt.Sprintf("DFA{states: %d, symbols: %d, start: %d, accepting: %d}",
+		d.numStates, d.numSymbols, d.start, len(d.AcceptingStates()))
+}
+
+func (d *DFA) checkState(q State) {
+	if int(q) >= d.numStates {
+		panic(fmt.Sprintf("fsm: state %d out of range [0, %d)", q, d.numStates))
+	}
+}
+
+func (d *DFA) checkSymbol(sym byte) {
+	if int(sym) >= d.numSymbols {
+		panic(fmt.Sprintf("fsm: symbol %d out of range [0, %d)", sym, d.numSymbols))
+	}
+}

@@ -1,0 +1,262 @@
+package fsm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// fig1 builds the C-comment machine of Figure 1 in the paper: four
+// states a,b,c,d over the alphabet {'/', '*', x} where x stands for any
+// other character. State d is "inside a comment"; the machine is in d
+// or later while scanning comment bodies. We map '/'→0, '*'→1, x→2 and
+// a..d → 0..3.
+func fig1(t testing.TB) *DFA {
+	t.Helper()
+	const (
+		sa = State(0)
+		sb = State(1)
+		sc = State(2)
+		sd = State(3)
+	)
+	d := MustNew(4, 3)
+	// Transition table from Figure 1(b): rows /, *, x.
+	set := func(sym byte, targets ...State) {
+		for q, r := range targets {
+			d.SetTransition(State(q), sym, r)
+		}
+	}
+	//            a   b   c   d
+	set(0 /*/*/, sb, sb, sc, sa) // on '/': a→b, b→b, c→c? see below
+	set(1 /***/, sa, sc, sd, sd) // placeholder, fixed below
+	set(2 /*x*/, sa, sa, sc, sc) // placeholder, fixed below
+
+	// The exact table from Figure 1(b):
+	//        a  b  c  d
+	//   /    b  b  c  a
+	//   *    a  c  d  d
+	//   x    a  a  c  c
+	set(0, sb, sb, sc, sa)
+	set(1, sa, sc, sd, sd)
+	set(2, sa, sa, sc, sc)
+	d.SetStart(sa)
+	d.SetAccepting(sa, true) // outside any comment
+	if err := d.Validate(); err != nil {
+		t.Fatalf("fig1 invalid: %v", err)
+	}
+	return d
+}
+
+// encodeFig1 maps a source string onto the 3-symbol alphabet.
+func encodeFig1(s string) []byte {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '/':
+			out[i] = 0
+		case '*':
+			out[i] = 1
+		default:
+			out[i] = 2
+		}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 2); err == nil {
+		t.Error("New(0,2) should fail")
+	}
+	if _, err := New(MaxStates+1, 2); err == nil {
+		t.Error("New(MaxStates+1,2) should fail")
+	}
+	if _, err := New(4, 0); err == nil {
+		t.Error("New(4,0) should fail")
+	}
+	if _, err := New(4, 257); err == nil {
+		t.Error("New(4,257) should fail")
+	}
+	d, err := New(4, 256)
+	if err != nil {
+		t.Fatalf("New(4,256): %v", err)
+	}
+	if d.NumStates() != 4 || d.NumSymbols() != 256 {
+		t.Errorf("dims = %d,%d", d.NumStates(), d.NumSymbols())
+	}
+}
+
+func TestFig1Transitions(t *testing.T) {
+	d := fig1(t)
+	cases := []struct {
+		q   State
+		sym byte
+		r   State
+	}{
+		{0, 0, 1}, {1, 0, 1}, {2, 0, 2}, {3, 0, 0},
+		{0, 1, 0}, {1, 1, 2}, {2, 1, 3}, {3, 1, 3},
+		{0, 2, 0}, {1, 2, 0}, {2, 2, 2}, {3, 2, 2},
+	}
+	for _, c := range cases {
+		if got := d.Next(c.q, c.sym); got != c.r {
+			t.Errorf("Next(%d, %d) = %d, want %d", c.q, c.sym, got, c.r)
+		}
+	}
+}
+
+func TestFig1Language(t *testing.T) {
+	d := fig1(t)
+	// After a complete comment the machine is back in state a.
+	cases := []struct {
+		in    string
+		final State
+	}{
+		{"", 0},
+		{"/*x*/", 0},
+		{"/**/", 0},
+		{"xx/xx", 0}, // stray slash returns via x
+		{"/*xx", 2},  // open comment, x stays in c until a '*'
+		{"/*x*", 3},  // '*' inside body moves to d
+		{"/*", 2},    // just opened
+		{"/***/", 0},
+		{"/*x*/x/*x*/", 0},
+	}
+	for _, c := range cases {
+		got := d.Run(encodeFig1(c.in), d.Start())
+		if got != c.final {
+			t.Errorf("Run(%q) = %d, want %d", c.in, got, c.final)
+		}
+	}
+}
+
+func TestColumnAliasing(t *testing.T) {
+	d := fig1(t)
+	col := d.Column(1)
+	if len(col) != 4 {
+		t.Fatalf("column length %d", len(col))
+	}
+	want := []State{0, 2, 3, 3}
+	for i, r := range want {
+		if col[i] != r {
+			t.Errorf("Column(1)[%d] = %d, want %d", i, col[i], r)
+		}
+	}
+	// Column aliases internal storage: SetTransition must be visible.
+	d.SetTransition(0, 1, 3)
+	if col[0] != 3 {
+		t.Error("Column should alias internal storage")
+	}
+}
+
+func TestSetColumn(t *testing.T) {
+	d := MustNew(3, 2)
+	if err := d.SetColumn(1, []State{2, 0, 1}); err != nil {
+		t.Fatalf("SetColumn: %v", err)
+	}
+	if d.Next(0, 1) != 2 || d.Next(1, 1) != 0 || d.Next(2, 1) != 1 {
+		t.Error("SetColumn did not apply")
+	}
+	if err := d.SetColumn(0, []State{1}); err == nil {
+		t.Error("short column should fail")
+	}
+	if err := d.SetColumn(0, []State{0, 1, 7}); err == nil {
+		t.Error("out-of-range target should fail")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := fig1(t)
+	c := d.Clone()
+	c.SetTransition(0, 0, 3)
+	c.SetAccepting(3, true)
+	c.SetStart(2)
+	if d.Next(0, 0) != 1 || d.Accepting(3) || d.Start() != 0 {
+		t.Error("mutating clone affected original")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("clone invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	d := fig1(t)
+	d.trans[5] = 99
+	if err := d.Validate(); err == nil {
+		t.Error("Validate should catch out-of-range transition")
+	}
+	d = fig1(t)
+	d.start = 9
+	if err := d.Validate(); err == nil {
+		t.Error("Validate should catch bad start")
+	}
+}
+
+func TestAcceptingStates(t *testing.T) {
+	d := MustNew(5, 2)
+	d.SetAccepting(1, true)
+	d.SetAccepting(4, true)
+	got := d.AcceptingStates()
+	if len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Errorf("AcceptingStates = %v", got)
+	}
+	d.SetAccepting(1, false)
+	if n := len(d.AcceptingStates()); n != 1 {
+		t.Errorf("after clear, %d accepting", n)
+	}
+}
+
+func TestStateAndSymbolPanics(t *testing.T) {
+	d := MustNew(2, 2)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("SetStart", func() { d.SetStart(5) })
+	mustPanic("SetTransition state", func() { d.SetTransition(5, 0, 0) })
+	mustPanic("SetTransition target", func() { d.SetTransition(0, 0, 5) })
+	mustPanic("SetTransition symbol", func() { d.SetTransition(0, 5, 0) })
+	mustPanic("Column", func() { d.Column(9) })
+}
+
+func TestStringSummary(t *testing.T) {
+	d := fig1(t)
+	s := d.String()
+	for _, frag := range []string{"states: 4", "symbols: 3", "start: 0", "accepting: 1"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestRandomMachinesValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		d := Random(rng, 1+rng.Intn(64), 1+rng.Intn(8), 0.3)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("Random machine %d invalid: %v", i, err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		d := RandomConverging(rng, 2+rng.Intn(64), 1+rng.Intn(8), 4, 0.3)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("RandomConverging machine %d invalid: %v", i, err)
+		}
+		for a := 0; a < d.NumSymbols(); a++ {
+			if r := d.RangeSize(byte(a)); r > 4 {
+				t.Fatalf("converging machine symbol %d range %d > 4", a, r)
+			}
+		}
+	}
+	for i := 0; i < 50; i++ {
+		d := RandomPermutation(rng, 2+rng.Intn(32), 1+rng.Intn(4), 0.3)
+		for a := 0; a < d.NumSymbols(); a++ {
+			if !d.IsPermutation(byte(a)) {
+				t.Fatalf("permutation machine symbol %d not a permutation", a)
+			}
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package fsm
+
+// Hopcroft's DFA minimization. The regex pipeline uses this to bring
+// subset-constructed machines down to the canonical sizes the paper
+// reports for its Snort corpus (median 25 states).
+
+// Minimize returns the minimal machine equivalent to d. The input is
+// first pruned to reachable states; the result's states are numbered by
+// the order their equivalence classes are first reached from the start
+// state, so minimal machines of equal languages are structurally
+// identical.
+func (d *DFA) Minimize() *DFA {
+	d = d.PruneUnreachable()
+	n := d.numStates
+	k := d.numSymbols
+
+	// Partition refinement (Hopcroft). block[q] = current block id of q.
+	block := make([]int, n)
+	numBlocks := 0
+	var accBlock, rejBlock = -1, -1
+	for q := 0; q < n; q++ {
+		if d.accept[q] {
+			if accBlock < 0 {
+				accBlock = numBlocks
+				numBlocks++
+			}
+			block[q] = accBlock
+		} else {
+			if rejBlock < 0 {
+				rejBlock = numBlocks
+				numBlocks++
+			}
+			block[q] = rejBlock
+		}
+	}
+	if numBlocks <= 1 {
+		// All states equivalent: single-state machine.
+		nd := MustNew(1, k)
+		nd.accept[0] = d.accept[d.start]
+		return nd
+	}
+
+	// Precompute inverse transitions: rev[a][r] = states q with δ(q,a)=r.
+	rev := make([][][]int32, k)
+	for a := 0; a < k; a++ {
+		rev[a] = make([][]int32, n)
+		col := d.Column(byte(a))
+		for q, r := range col {
+			rev[a][r] = append(rev[a][r], int32(q))
+		}
+	}
+
+	// Blocks as member lists.
+	members := make([][]int32, 2, n)
+	for q := 0; q < n; q++ {
+		members[block[q]] = append(members[block[q]], int32(q))
+	}
+
+	// Worklist of (block, symbol) splitters.
+	type splitter struct {
+		b int
+		a int
+	}
+	work := make([]splitter, 0, 2*k)
+	smaller := accBlock
+	if rejBlock >= 0 && len(members[rejBlock]) < len(members[accBlock]) {
+		smaller = rejBlock
+	}
+	for a := 0; a < k; a++ {
+		work = append(work, splitter{smaller, a})
+	}
+
+	inX := make([]bool, n)       // scratch: membership in splitter preimage
+	touched := make([]int, 0, n) // blocks touched this round
+	hit := make([][]int32, n)    // hit[b] = members of b in preimage
+
+	for len(work) > 0 {
+		sp := work[len(work)-1]
+		work = work[:len(work)-1]
+
+		// X = preimage under symbol a of the splitter block's members.
+		var x []int32
+		for _, r := range members[sp.b] {
+			x = append(x, rev[sp.a][r]...)
+		}
+		if len(x) == 0 {
+			continue
+		}
+		for _, q := range x {
+			inX[q] = true
+		}
+		touched = touched[:0]
+		for _, q := range x {
+			b := block[q]
+			if len(hit[b]) == 0 {
+				touched = append(touched, b)
+			}
+			hit[b] = append(hit[b], q)
+		}
+		for _, b := range touched {
+			if len(hit[b]) == len(members[b]) {
+				hit[b] = hit[b][:0]
+				continue // whole block is in X; no split
+			}
+			// Split block b into (members in X) and (members not in X).
+			newB := numBlocks
+			numBlocks++
+			inHit := hit[b]
+			rest := make([]int32, 0, len(members[b])-len(inHit))
+			for _, q := range members[b] {
+				if !inX[q] {
+					rest = append(rest, q)
+				}
+			}
+			// Keep the larger part as b, move the smaller to newB
+			// (Hopcroft's trick for O(n log n)).
+			small := inHit
+			if len(rest) < len(small) {
+				members[b] = append(members[b][:0], inHit...)
+				small = rest
+			} else {
+				members[b] = append(members[b][:0], rest...)
+			}
+			newMembers := append([]int32(nil), small...)
+			members = append(members, newMembers)
+			for _, q := range newMembers {
+				block[q] = newB
+			}
+			for a := 0; a < k; a++ {
+				work = append(work, splitter{newB, a})
+			}
+			hit[b] = hit[b][:0]
+		}
+		for _, q := range x {
+			inX[q] = false
+		}
+	}
+
+	// Build quotient machine, renumbering blocks by BFS from start so the
+	// result is canonical.
+	order := make([]int, numBlocks)
+	for i := range order {
+		order[i] = -1
+	}
+	repr := make([]State, 0, numBlocks)
+	queue := []int{block[d.start]}
+	order[block[d.start]] = 0
+	repr = append(repr, d.start)
+	reprOf := make([]State, numBlocks)
+	reprOf[block[d.start]] = d.start
+	count := 1
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		q := reprOf[b]
+		for a := 0; a < k; a++ {
+			rb := block[d.Next(q, byte(a))]
+			if order[rb] < 0 {
+				order[rb] = count
+				count++
+				reprOf[rb] = State(members[rb][0])
+				repr = append(repr, State(members[rb][0]))
+				queue = append(queue, rb)
+			}
+		}
+	}
+
+	nd := MustNew(count, k)
+	nd.SetStart(State(order[block[d.start]]))
+	for nb := 0; nb < count; nb++ {
+		q := repr[nb]
+		nd.accept[nb] = d.accept[q]
+		for a := 0; a < k; a++ {
+			nd.SetTransition(State(nb), byte(a), State(order[block[d.Next(q, byte(a))]]))
+		}
+	}
+	return nd
+}

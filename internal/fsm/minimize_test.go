@@ -1,0 +1,149 @@
+package fsm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMinimizeMergesDuplicates(t *testing.T) {
+	// States 1 and 2 are indistinguishable copies.
+	d := MustNew(4, 2)
+	d.SetColumn(0, []State{1, 3, 3, 3})
+	d.SetColumn(1, []State{2, 0, 0, 3})
+	d.SetAccepting(3, true)
+	m := d.Minimize()
+	if m.NumStates() != 3 {
+		t.Fatalf("minimized to %d states, want 3", m.NumStates())
+	}
+	if !Equivalent(d, m) {
+		t.Error("minimization changed the language")
+	}
+}
+
+func TestMinimizeFig1(t *testing.T) {
+	d := fig1(t)
+	m := d.Minimize()
+	if m.NumStates() != 4 {
+		t.Fatalf("fig1 is already minimal; got %d states", m.NumStates())
+	}
+	if !Equivalent(d, m) {
+		t.Error("minimization changed fig1's language")
+	}
+}
+
+func TestMinimizeAllAccepting(t *testing.T) {
+	d := MustNew(5, 2)
+	for q := State(0); q < 5; q++ {
+		d.SetAccepting(q, true)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for a := 0; a < 2; a++ {
+		col := make([]State, 5)
+		for i := range col {
+			col[i] = State(rng.Intn(5))
+		}
+		d.SetColumn(byte(a), col)
+	}
+	m := d.Minimize()
+	if m.NumStates() != 1 {
+		t.Fatalf("all-accepting machine should minimize to 1 state, got %d", m.NumStates())
+	}
+	if !m.Accepting(0) {
+		t.Error("the single state must accept")
+	}
+}
+
+func TestMinimizeNoneAccepting(t *testing.T) {
+	d := MustNew(5, 2)
+	rng := rand.New(rand.NewSource(7))
+	for a := 0; a < 2; a++ {
+		col := make([]State, 5)
+		for i := range col {
+			col[i] = State(rng.Intn(5))
+		}
+		d.SetColumn(byte(a), col)
+	}
+	m := d.Minimize()
+	if m.NumStates() != 1 || m.Accepting(0) {
+		t.Fatalf("empty-language machine should minimize to 1 rejecting state, got %v", m)
+	}
+}
+
+func TestMinimizeDropsUnreachable(t *testing.T) {
+	d := MustNew(3, 1)
+	d.SetColumn(0, []State{0, 2, 1})
+	d.SetAccepting(1, true) // 1 and 2 unreachable from 0
+	m := d.Minimize()
+	if m.NumStates() != 1 {
+		t.Fatalf("got %d states, want 1", m.NumStates())
+	}
+}
+
+func TestMinimizePreservesLanguageRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		d := Random(rng, 1+rng.Intn(40), 1+rng.Intn(4), 0.3)
+		m := d.Minimize()
+		if err := m.Validate(); err != nil {
+			t.Fatalf("iter %d: minimized machine invalid: %v", i, err)
+		}
+		if !Equivalent(d, m) {
+			w, _ := Distinguish(d, m)
+			t.Fatalf("iter %d: language changed; witness %v", i, w)
+		}
+		if m.NumStates() > d.NumStates() {
+			t.Fatalf("iter %d: minimization grew machine %d → %d", i, d.NumStates(), m.NumStates())
+		}
+	}
+}
+
+func TestMinimizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		d := Random(rng, 1+rng.Intn(30), 1+rng.Intn(3), 0.4)
+		m1 := d.Minimize()
+		m2 := m1.Minimize()
+		if m1.NumStates() != m2.NumStates() {
+			t.Fatalf("iter %d: re-minimizing changed size %d → %d", i, m1.NumStates(), m2.NumStates())
+		}
+		if !Equivalent(m1, m2) {
+			t.Fatalf("iter %d: re-minimizing changed language", i)
+		}
+	}
+}
+
+// Two random machines with the same language must minimize to the same
+// number of states (Myhill–Nerode). We manufacture same-language pairs
+// by duplicating states.
+func TestMinimizeCanonicalSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 50; i++ {
+		d := Random(rng, 2+rng.Intn(20), 2, 0.4).Minimize()
+		// Blow up: duplicate every state.
+		n := d.NumStates()
+		big := MustNew(2*n, 2)
+		big.SetStart(d.Start())
+		for q := 0; q < n; q++ {
+			big.SetAccepting(State(q), d.Accepting(State(q)))
+			big.SetAccepting(State(q+n), d.Accepting(State(q)))
+			for a := 0; a < 2; a++ {
+				r := d.Next(State(q), byte(a))
+				// Copy 0 points into copies alternately to make the
+				// duplicates reachable and interleaved.
+				if (q+a)%2 == 0 {
+					big.SetTransition(State(q), byte(a), r)
+				} else {
+					big.SetTransition(State(q), byte(a), r+State(n))
+				}
+				big.SetTransition(State(q+n), byte(a), r)
+			}
+		}
+		m := big.Minimize()
+		if m.NumStates() != n {
+			t.Fatalf("iter %d: duplicated machine minimized to %d, want %d", i, m.NumStates(), n)
+		}
+		if !Equivalent(m, d) {
+			t.Fatalf("iter %d: language changed", i)
+		}
+	}
+}

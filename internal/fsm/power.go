@@ -1,0 +1,69 @@
+package fsm
+
+import "fmt"
+
+// k-step unrolling (§6.2): compose the transition function over blocks
+// of k input symbols, producing a machine over the block alphabet. The
+// paper's fast sequential Huffman baseline is the 8-step unrolling of
+// the bit-level decoder FSM, so that one byte of input drives one
+// transition. Unrolling multiplies edges, not states.
+
+// Unroll returns the machine that consumes blocks of k original
+// symbols. Block symbols are packed big-endian in base NumSymbols: the
+// first-consumed original symbol is the most significant digit. For a
+// 2-symbol (bit) machine with k=8 this matches MSB-first bit order
+// within a byte. Requires NumSymbols^k ≤ 256.
+func (d *DFA) Unroll(k int) (*DFA, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("fsm: unroll factor %d < 1", k)
+	}
+	blockSyms := 1
+	for i := 0; i < k; i++ {
+		blockSyms *= d.numSymbols
+		if blockSyms > 256 {
+			return nil, fmt.Errorf("fsm: unrolled alphabet %d^%d exceeds 256", d.numSymbols, k)
+		}
+	}
+	nd := MustNew(d.numStates, blockSyms)
+	nd.SetStart(d.start)
+	copy(nd.accept, d.accept)
+	for block := 0; block < blockSyms; block++ {
+		// Decode block into its k original symbols, big-endian.
+		syms := make([]byte, k)
+		v := block
+		for i := k - 1; i >= 0; i-- {
+			syms[i] = byte(v % d.numSymbols)
+			v /= d.numSymbols
+		}
+		col := nd.trans[block*d.numStates : (block+1)*d.numStates]
+		for q := 0; q < d.numStates; q++ {
+			r := State(q)
+			for _, s := range syms {
+				r = d.Next(r, s)
+			}
+			col[q] = r
+		}
+	}
+	return nd, nil
+}
+
+// UnrollPath returns, for a given state and block symbol of an
+// unrolling of this machine by k, the sequence of intermediate states
+// visited (one per original symbol, ending at the block destination).
+// Clients that attach outputs to transitions (Huffman decoding) use
+// this to precompute per-block output strings.
+func (d *DFA) UnrollPath(q State, block int, k int) []State {
+	syms := make([]byte, k)
+	v := block
+	for i := k - 1; i >= 0; i-- {
+		syms[i] = byte(v % d.numSymbols)
+		v /= d.numSymbols
+	}
+	out := make([]State, k)
+	r := q
+	for i, s := range syms {
+		r = d.Next(r, s)
+		out[i] = r
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package fsm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUnrollErrors(t *testing.T) {
+	d := MustNew(4, 2)
+	if _, err := d.Unroll(0); err == nil {
+		t.Error("Unroll(0) should fail")
+	}
+	if _, err := d.Unroll(9); err == nil {
+		t.Error("2^9 alphabet should fail")
+	}
+	big := MustNew(4, 256)
+	if _, err := big.Unroll(2); err == nil {
+		t.Error("256^2 alphabet should fail")
+	}
+}
+
+func TestUnrollBitMachineToBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for iter := 0; iter < 30; iter++ {
+		d := Random(rng, 1+rng.Intn(40), 2, 0.3)
+		u, err := d.Unroll(8)
+		if err != nil {
+			t.Fatalf("Unroll(8): %v", err)
+		}
+		if u.NumSymbols() != 256 || u.NumStates() != d.NumStates() {
+			t.Fatalf("unrolled dims %d/%d", u.NumStates(), u.NumSymbols())
+		}
+		// Running the unrolled machine on packed bytes must equal the
+		// bit machine on the expanded MSB-first bit sequence.
+		packed := make([]byte, 16)
+		for i := range packed {
+			packed[i] = byte(rng.Intn(256))
+		}
+		bits := make([]byte, 0, len(packed)*8)
+		for _, b := range packed {
+			for i := 7; i >= 0; i-- {
+				bits = append(bits, (b>>uint(i))&1)
+			}
+		}
+		st := State(rng.Intn(d.NumStates()))
+		if got, want := u.Run(packed, st), d.Run(bits, st); got != want {
+			t.Fatalf("iter %d: unrolled %d, bit-level %d", iter, got, want)
+		}
+	}
+}
+
+func TestUnrollFactorOne(t *testing.T) {
+	d := fig1(t)
+	u, err := d.Unroll(1)
+	if err != nil {
+		t.Fatalf("Unroll(1): %v", err)
+	}
+	if !Equivalent(d, u) {
+		t.Error("Unroll(1) changed the language")
+	}
+}
+
+func TestUnrollPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	d := Random(rng, 20, 2, 0.3)
+	for iter := 0; iter < 50; iter++ {
+		q := State(rng.Intn(20))
+		block := rng.Intn(256)
+		path := d.UnrollPath(q, block, 8)
+		if len(path) != 8 {
+			t.Fatalf("path length %d", len(path))
+		}
+		// Verify against stepping manually, MSB-first.
+		r := q
+		for i := 7; i >= 0; i-- {
+			bit := byte((block >> uint(i)) & 1)
+			r = d.Next(r, bit)
+			if path[7-i] != r {
+				t.Fatalf("path[%d] = %d, want %d", 7-i, path[7-i], r)
+			}
+		}
+		// Final path state must agree with the unrolled machine.
+		u, _ := d.Unroll(8)
+		if u.Next(q, byte(block)) != path[7] {
+			t.Fatal("UnrollPath end state disagrees with Unroll")
+		}
+	}
+}
+
+func TestUnrollRangeNeverGrows(t *testing.T) {
+	// Unrolling composes transition functions; composition cannot
+	// enlarge the range beyond the last symbol's range — the fact that
+	// makes the unrolled Huffman machine range-coalesce so well (§6.2).
+	rng := rand.New(rand.NewSource(14))
+	for iter := 0; iter < 20; iter++ {
+		d := RandomConverging(rng, 10+rng.Intn(50), 2, 8, 0.3)
+		u, err := d.Unroll(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u.MaxRangeSize() > d.MaxRangeSize() {
+			t.Fatalf("unrolled range %d > original %d", u.MaxRangeSize(), d.MaxRangeSize())
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package fsm
+
+// Product constructions: intersection and union of machine languages.
+// These round out the substrate (the paper's §6.1 discussion of
+// disjoining all Snort rules into one machine is a union construction,
+// with its well-known state blowup) and give the test suite strong
+// algebraic oracles.
+
+import "fmt"
+
+// combineMode selects the acceptance rule of a product machine.
+type combineMode int
+
+const (
+	modeIntersect combineMode = iota
+	modeUnion
+	modeDifference
+)
+
+// Intersect returns a machine accepting L(a) ∩ L(b). Both machines
+// must share an alphabet size. Only the reachable part of the product
+// is built; the result is minimized.
+func Intersect(a, b *DFA) (*DFA, error) { return product(a, b, modeIntersect) }
+
+// Union returns a machine accepting L(a) ∪ L(b) — the construction
+// behind "one big disjunction of all rules" (§6.1), including its
+// size cost.
+func Union(a, b *DFA) (*DFA, error) { return product(a, b, modeUnion) }
+
+// Difference returns a machine accepting L(a) \ L(b).
+func Difference(a, b *DFA) (*DFA, error) { return product(a, b, modeDifference) }
+
+// Complement returns a machine accepting the complement of L(d). The
+// input must be total, which DFAs in this package always are.
+func Complement(d *DFA) *DFA {
+	c := d.Clone()
+	for q := 0; q < c.numStates; q++ {
+		c.accept[q] = !c.accept[q]
+	}
+	return c.Minimize()
+}
+
+func product(a, b *DFA, mode combineMode) (*DFA, error) {
+	if a.numSymbols != b.numSymbols {
+		return nil, fmt.Errorf("fsm: alphabet mismatch %d vs %d", a.numSymbols, b.numSymbols)
+	}
+	type pair struct{ qa, qb State }
+	ids := map[pair]State{}
+	var order []pair
+	add := func(p pair) (State, error) {
+		if id, ok := ids[p]; ok {
+			return id, nil
+		}
+		id := State(len(order))
+		if int(id) >= MaxStates {
+			return 0, fmt.Errorf("fsm: product exceeds %d states", MaxStates)
+		}
+		ids[p] = id
+		order = append(order, p)
+		return id, nil
+	}
+	if _, err := add(pair{a.start, b.start}); err != nil {
+		return nil, err
+	}
+
+	type row struct {
+		targets []State
+		accept  bool
+	}
+	var rows []row
+	for i := 0; i < len(order); i++ {
+		p := order[i]
+		r := row{targets: make([]State, a.numSymbols)}
+		switch mode {
+		case modeIntersect:
+			r.accept = a.accept[p.qa] && b.accept[p.qb]
+		case modeUnion:
+			r.accept = a.accept[p.qa] || b.accept[p.qb]
+		case modeDifference:
+			r.accept = a.accept[p.qa] && !b.accept[p.qb]
+		}
+		for s := 0; s < a.numSymbols; s++ {
+			id, err := add(pair{a.Next(p.qa, byte(s)), b.Next(p.qb, byte(s))})
+			if err != nil {
+				return nil, err
+			}
+			r.targets[s] = id
+		}
+		rows = append(rows, r)
+	}
+
+	d, err := New(len(rows), a.numSymbols)
+	if err != nil {
+		return nil, err
+	}
+	for q, r := range rows {
+		d.accept[q] = r.accept
+		for s, t := range r.targets {
+			d.SetTransition(State(q), byte(s), t)
+		}
+	}
+	d.SetStart(0)
+	return d.Minimize(), nil
+}

@@ -1,0 +1,85 @@
+package fsm
+
+import "math/rand"
+
+// Random machine generation for tests and the Figure 6 gather
+// microkernel (the paper uses "random transition functions" there).
+// Everything takes an explicit *rand.Rand so experiments are seeded and
+// reproducible.
+
+// Random returns a uniformly random total DFA with the given number of
+// states and symbols. Each state accepts independently with probability
+// acceptP; the start state is uniform.
+func Random(rng *rand.Rand, numStates, numSymbols int, acceptP float64) *DFA {
+	d := MustNew(numStates, numSymbols)
+	d.start = State(rng.Intn(numStates))
+	for q := 0; q < numStates; q++ {
+		d.accept[q] = rng.Float64() < acceptP
+	}
+	for i := range d.trans {
+		d.trans[i] = State(rng.Intn(numStates))
+	}
+	return d
+}
+
+// RandomConverging returns a random DFA whose per-symbol transition
+// functions have range at most maxRange (drawn uniformly per symbol in
+// [1, maxRange]). This models the structured, many-to-one machines the
+// paper observes in practice (§5.2) and is the workload where both
+// convergence and range coalescing shine.
+func RandomConverging(rng *rand.Rand, numStates, numSymbols, maxRange int, acceptP float64) *DFA {
+	if maxRange < 1 {
+		maxRange = 1
+	}
+	if maxRange > numStates {
+		maxRange = numStates
+	}
+	d := MustNew(numStates, numSymbols)
+	d.start = State(rng.Intn(numStates))
+	for q := 0; q < numStates; q++ {
+		d.accept[q] = rng.Float64() < acceptP
+	}
+	for a := 0; a < numSymbols; a++ {
+		r := 1 + rng.Intn(maxRange)
+		// Pick r distinct targets.
+		targets := rng.Perm(numStates)[:r]
+		col := d.trans[a*numStates : (a+1)*numStates]
+		// Ensure every target appears at least once so the realized
+		// range is exactly r.
+		for i, t := range targets {
+			col[i%numStates] = State(t)
+		}
+		for i := r; i < numStates; i++ {
+			col[i] = State(targets[rng.Intn(r)])
+		}
+	}
+	return d
+}
+
+// RandomPermutation returns a DFA whose every per-symbol transition
+// function is a permutation — the adversarial non-converging case. The
+// enumerative overhead never shrinks on such machines.
+func RandomPermutation(rng *rand.Rand, numStates, numSymbols int, acceptP float64) *DFA {
+	d := MustNew(numStates, numSymbols)
+	d.start = State(rng.Intn(numStates))
+	for q := 0; q < numStates; q++ {
+		d.accept[q] = rng.Float64() < acceptP
+	}
+	for a := 0; a < numSymbols; a++ {
+		col := d.trans[a*numStates : (a+1)*numStates]
+		for i, t := range rng.Perm(numStates) {
+			col[i] = State(t)
+		}
+	}
+	return d
+}
+
+// RandomInput returns n uniformly random symbols drawn from the
+// machine's alphabet.
+func (d *DFA) RandomInput(rng *rand.Rand, n int) []byte {
+	in := make([]byte, n)
+	for i := range in {
+		in[i] = byte(rng.Intn(d.numSymbols))
+	}
+	return in
+}

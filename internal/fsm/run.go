@@ -1,0 +1,73 @@
+package fsm
+
+// This file contains the sequential reference runners. Run is the
+// straightforward loop of Figure 1(c) in the paper; RunUnrolled is the
+// "optimized sequential baseline with optimal loop unrolling" that the
+// paper's speedups are measured against (§6.1). Both exist so that the
+// parallel strategies in internal/core have a precise oracle and a fair
+// baseline.
+
+// Run executes the machine sequentially from start over input and
+// returns the final state (Figure 1(c)).
+func (d *DFA) Run(input []byte, start State) State {
+	q := start
+	n := d.numStates
+	t := d.trans
+	for _, a := range input {
+		q = t[int(a)*n+int(q)]
+	}
+	return q
+}
+
+// RunUnrolled is the sequential baseline with 4-way manual unrolling.
+// The dependence chain through q cannot be broken sequentially, but
+// unrolling removes loop overhead and lets address computation overlap;
+// this is the strongest single-state baseline and is what the paper's
+// single-core speedups are normalized to.
+func (d *DFA) RunUnrolled(input []byte, start State) State {
+	q := start
+	n := d.numStates
+	t := d.trans
+	i := 0
+	for ; i+4 <= len(input); i += 4 {
+		q = t[int(input[i])*n+int(q)]
+		q = t[int(input[i+1])*n+int(q)]
+		q = t[int(input[i+2])*n+int(q)]
+		q = t[int(input[i+3])*n+int(q)]
+	}
+	for ; i < len(input); i++ {
+		q = t[int(input[i])*n+int(q)]
+	}
+	return q
+}
+
+// RunMealy executes the machine sequentially, invoking phi after each
+// symbol with the position, the symbol, and the state reached. It
+// returns the final state.
+func (d *DFA) RunMealy(input []byte, start State, phi Phi) State {
+	q := start
+	n := d.numStates
+	t := d.trans
+	for i, a := range input {
+		q = t[int(a)*n+int(q)]
+		phi(i, a, q)
+	}
+	return q
+}
+
+// Accepts reports whether the machine accepts input starting from q0.
+func (d *DFA) Accepts(input []byte) bool {
+	return d.accept[d.Run(input, d.start)]
+}
+
+// Trace returns the full state trajectory q1..qm reached after each of
+// the m input symbols. Intended for tests and debugging.
+func (d *DFA) Trace(input []byte, start State) []State {
+	out := make([]State, len(input))
+	q := start
+	for i, a := range input {
+		q = d.Next(q, a)
+		out[i] = q
+	}
+	return out
+}

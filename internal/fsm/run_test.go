@@ -1,0 +1,110 @@
+package fsm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunUnrolledMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		d := Random(rng, 1+rng.Intn(50), 1+rng.Intn(8), 0.5)
+		in := d.RandomInput(rng, rng.Intn(67)) // exercises all tail lengths
+		st := State(rng.Intn(d.NumStates()))
+		if a, b := d.Run(in, st), d.RunUnrolled(in, st); a != b {
+			t.Fatalf("machine %d: Run=%d RunUnrolled=%d (len %d)", i, a, b, len(in))
+		}
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	d := fig1(t)
+	for q := State(0); q < 4; q++ {
+		if d.Run(nil, q) != q {
+			t.Errorf("empty input should not move state %d", q)
+		}
+		if d.RunUnrolled(nil, q) != q {
+			t.Errorf("unrolled empty input should not move state %d", q)
+		}
+	}
+}
+
+func TestRunMealyOrderAndStates(t *testing.T) {
+	d := fig1(t)
+	in := encodeFig1("/*x*/")
+	var positions []int
+	var states []State
+	final := d.RunMealy(in, d.Start(), func(pos int, sym byte, q State) {
+		positions = append(positions, pos)
+		states = append(states, q)
+	})
+	if final != 0 {
+		t.Errorf("final = %d, want 0", final)
+	}
+	wantStates := []State{1, 2, 2, 3, 0} // a→b→c→c→d→a
+	if len(states) != len(wantStates) {
+		t.Fatalf("got %d callbacks, want %d", len(states), len(wantStates))
+	}
+	for i := range wantStates {
+		if positions[i] != i {
+			t.Errorf("callback %d at pos %d", i, positions[i])
+		}
+		if states[i] != wantStates[i] {
+			t.Errorf("callback %d state %d, want %d", i, states[i], wantStates[i])
+		}
+	}
+}
+
+func TestTraceMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := Random(rng, 20, 4, 0.5)
+	in := d.RandomInput(rng, 50)
+	tr := d.Trace(in, d.Start())
+	if len(tr) != len(in) {
+		t.Fatalf("trace length %d != %d", len(tr), len(in))
+	}
+	if tr[len(tr)-1] != d.Run(in, d.Start()) {
+		t.Error("last trace state != Run result")
+	}
+	// Each step must obey the transition function.
+	q := d.Start()
+	for i, a := range in {
+		q = d.Next(q, a)
+		if tr[i] != q {
+			t.Fatalf("trace[%d] = %d, want %d", i, tr[i], q)
+		}
+	}
+}
+
+func TestAccepts(t *testing.T) {
+	d := fig1(t)
+	if !d.Accepts(encodeFig1("/*x*/")) {
+		t.Error("complete comment should end in accepting state a")
+	}
+	if d.Accepts(encodeFig1("/*x")) {
+		t.Error("open comment should not accept")
+	}
+}
+
+// Property: Run is a monoid action — running on xy equals running on x
+// then on y from the intermediate state.
+func TestRunCompositionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := Random(rng, 30, 6, 0.5)
+	f := func(x, y []byte, stSeed uint16) bool {
+		for i := range x {
+			x[i] %= byte(d.NumSymbols())
+		}
+		for i := range y {
+			y[i] %= byte(d.NumSymbols())
+		}
+		st := State(int(stSeed) % d.NumStates())
+		mid := d.Run(x, st)
+		whole := d.Run(append(append([]byte(nil), x...), y...), st)
+		return d.Run(y, mid) == whole
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

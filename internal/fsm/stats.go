@@ -1,0 +1,131 @@
+package fsm
+
+// Structural statistics about transition functions. The paper's two
+// optimizations are justified by these quantities: convergence (§5.2)
+// works because per-symbol transition functions are many-to-one, and
+// range coalescing (§5.3) works because their ranges are small.
+
+// RangeSet returns the range of the transition function for sym — the
+// distinct destination states, in order of first appearance in the
+// transition vector. Matches the U component of Factor(T[sym]).
+func (d *DFA) RangeSet(sym byte) []State {
+	col := d.Column(sym)
+	seen := make([]bool, d.numStates)
+	var out []State
+	for _, r := range col {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RangeSize returns |range(T[sym])|.
+func (d *DFA) RangeSize(sym byte) int {
+	col := d.Column(sym)
+	seen := make([]bool, d.numStates)
+	n := 0
+	for _, r := range col {
+		if !seen[r] {
+			seen[r] = true
+			n++
+		}
+	}
+	return n
+}
+
+// MaxRangeSize returns max over all symbols of |range(T[sym])|. Range
+// coalescing sizes its per-symbol tables to this value (§5.3: "we set n
+// to the maximum of the range size for all input symbols").
+func (d *DFA) MaxRangeSize() int {
+	m := 0
+	for a := 0; a < d.numSymbols; a++ {
+		if r := d.RangeSize(byte(a)); r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// RangeSizes returns |range(T[a])| for every symbol a.
+func (d *DFA) RangeSizes() []int {
+	out := make([]int, d.numSymbols)
+	for a := 0; a < d.numSymbols; a++ {
+		out[a] = d.RangeSize(byte(a))
+	}
+	return out
+}
+
+// IsPermutation reports whether the transition function for sym is a
+// permutation of the states. Permutation symbols never converge; the
+// paper observes they are exponentially rare among all functions.
+func (d *DFA) IsPermutation(sym byte) bool {
+	return d.RangeSize(sym) == d.numStates
+}
+
+// Reachable returns the set of states reachable from the start state,
+// as a boolean vector indexed by state.
+func (d *DFA) Reachable() []bool {
+	seen := make([]bool, d.numStates)
+	stack := []State{d.start}
+	seen[d.start] = true
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for a := 0; a < d.numSymbols; a++ {
+			r := d.Next(q, byte(a))
+			if !seen[r] {
+				seen[r] = true
+				stack = append(stack, r)
+			}
+		}
+	}
+	return seen
+}
+
+// PruneUnreachable returns an equivalent machine containing only the
+// states reachable from the start state, renumbered densely in
+// discovery order. If all states are reachable it still returns a fresh
+// machine.
+func (d *DFA) PruneUnreachable() *DFA {
+	reach := d.Reachable()
+	remap := make([]State, d.numStates)
+	count := 0
+	for q := 0; q < d.numStates; q++ {
+		if reach[q] {
+			remap[q] = State(count)
+			count++
+		}
+	}
+	nd := MustNew(count, d.numSymbols)
+	nd.SetStart(remap[d.start])
+	for q := 0; q < d.numStates; q++ {
+		if !reach[q] {
+			continue
+		}
+		nq := remap[q]
+		nd.accept[nq] = d.accept[q]
+		for a := 0; a < d.numSymbols; a++ {
+			nd.SetTransition(nq, byte(a), remap[d.Next(State(q), byte(a))])
+		}
+	}
+	return nd
+}
+
+// EdgeCount returns the number of distinct (state, symbol) transition
+// entries, i.e. |Q|·|Σ| for a total machine. Provided for the range-
+// coalescing table-size accounting in §5.3 (original table has n·k
+// entries; coalesced tables together have e·k).
+func (d *DFA) EdgeCount() int { return d.numStates * d.numSymbols }
+
+// CoalescedEntryCount returns the total number of entries across all
+// range-coalesced transition tables: sum over symbols a of
+// |range(T[a])| · |Σ| (§5.3).
+func (d *DFA) CoalescedEntryCount() int {
+	total := 0
+	for a := 0; a < d.numSymbols; a++ {
+		total += d.RangeSize(byte(a)) * d.numSymbols
+	}
+	return total
+}

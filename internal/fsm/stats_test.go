@@ -1,0 +1,129 @@
+package fsm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFig1Ranges(t *testing.T) {
+	d := fig1(t)
+	// From Figure 1(b):
+	// '/' column: b b c a → range {b,c,a} size 3
+	// '*' column: a c d d → range {a,c,d} size 3
+	// 'x' column: a a c c → range {a,c}   size 2
+	if got := d.RangeSize(0); got != 3 {
+		t.Errorf("RangeSize('/') = %d, want 3", got)
+	}
+	if got := d.RangeSize(1); got != 3 {
+		t.Errorf("RangeSize('*') = %d, want 3", got)
+	}
+	if got := d.RangeSize(2); got != 2 {
+		t.Errorf("RangeSize(x) = %d, want 2", got)
+	}
+	if got := d.MaxRangeSize(); got != 3 {
+		t.Errorf("MaxRangeSize = %d, want 3", got)
+	}
+	rs := d.RangeSizes()
+	if len(rs) != 3 || rs[0] != 3 || rs[1] != 3 || rs[2] != 2 {
+		t.Errorf("RangeSizes = %v", rs)
+	}
+}
+
+func TestRangeSetOrder(t *testing.T) {
+	d := fig1(t)
+	// '*' column is [a c d d]; first-appearance order: a, c, d.
+	got := d.RangeSet(1)
+	want := []State{0, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("RangeSet = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RangeSet = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIsPermutation(t *testing.T) {
+	d := MustNew(3, 2)
+	d.SetColumn(0, []State{1, 2, 0}) // rotation: permutation
+	d.SetColumn(1, []State{0, 0, 1}) // many-to-one
+	if !d.IsPermutation(0) {
+		t.Error("rotation should be a permutation")
+	}
+	if d.IsPermutation(1) {
+		t.Error("many-to-one should not be a permutation")
+	}
+}
+
+func TestReachableAndPrune(t *testing.T) {
+	// 4 states; state 3 unreachable.
+	d := MustNew(4, 2)
+	d.SetColumn(0, []State{1, 2, 0, 3})
+	d.SetColumn(1, []State{0, 1, 2, 3})
+	d.SetAccepting(2, true)
+	d.SetAccepting(3, true)
+
+	reach := d.Reachable()
+	want := []bool{true, true, true, false}
+	for q, w := range want {
+		if reach[q] != w {
+			t.Errorf("Reachable[%d] = %v, want %v", q, reach[q], w)
+		}
+	}
+
+	p := d.PruneUnreachable()
+	if p.NumStates() != 3 {
+		t.Fatalf("pruned to %d states, want 3", p.NumStates())
+	}
+	if !Equivalent(d, p) {
+		t.Error("pruning changed the language")
+	}
+}
+
+func TestPruneAllReachable(t *testing.T) {
+	d := fig1(t)
+	p := d.PruneUnreachable()
+	if p.NumStates() != 4 {
+		t.Fatalf("pruned fig1 to %d states", p.NumStates())
+	}
+	if !Equivalent(d, p) {
+		t.Error("pruning a fully reachable machine changed the language")
+	}
+}
+
+func TestCoalescedEntryCount(t *testing.T) {
+	d := fig1(t)
+	// sum over symbols of range·|Σ| = (3+3+2)*3 = 24.
+	if got := d.CoalescedEntryCount(); got != 24 {
+		t.Errorf("CoalescedEntryCount = %d, want 24", got)
+	}
+	if got := d.EdgeCount(); got != 12 {
+		t.Errorf("EdgeCount = %d, want 12", got)
+	}
+}
+
+// Property: range size of every symbol is between 1 and NumStates, and
+// MaxRangeSize is their maximum.
+func TestRangeSizeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		d := Random(rng, 1+rng.Intn(100), 1+rng.Intn(8), 0.5)
+		maxSeen := 0
+		for a := 0; a < d.NumSymbols(); a++ {
+			r := d.RangeSize(byte(a))
+			if r < 1 || r > d.NumStates() {
+				t.Fatalf("range %d out of [1,%d]", r, d.NumStates())
+			}
+			if len(d.RangeSet(byte(a))) != r {
+				t.Fatal("RangeSet length != RangeSize")
+			}
+			if r > maxSeen {
+				maxSeen = r
+			}
+		}
+		if d.MaxRangeSize() != maxSeen {
+			t.Fatalf("MaxRangeSize %d != max %d", d.MaxRangeSize(), maxSeen)
+		}
+	}
+}

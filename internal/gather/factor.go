@@ -1,0 +1,60 @@
+package gather
+
+// Factor (§5.1): given S, produce (L, U) with S = L ⊗ U where U holds
+// the unique elements of S in first-occurrence order and L indexes into
+// U. Convergence (§5.2) uses Factor to shrink the active-state vector;
+// range coalescing (§5.3) uses it to build per-symbol name tables.
+// Hardware has no factor instruction, so this is the straightforward
+// linear-time scan the paper describes — used sparingly by callers.
+
+// Factor returns (l, u) such that s = l ⊗ u and u contains exactly the
+// distinct elements of s in order of first appearance. The index type
+// of l is the same element type as s, which is always wide enough
+// because |u| ≤ |s|.
+func Factor[E Elem](s []E) (l, u []E) {
+	// Position of each value in u, or -1. Sized by max possible value
+	// of E; for bytes that is a fixed 256-entry table, for uint16 we
+	// size lazily from the maximum element.
+	var maxV int
+	for _, v := range s {
+		if int(v) > maxV {
+			maxV = int(v)
+		}
+	}
+	pos := make([]int32, maxV+1)
+	for i := range pos {
+		pos[i] = -1
+	}
+	l = make([]E, len(s))
+	for i, v := range s {
+		p := pos[v]
+		if p < 0 {
+			p = int32(len(u))
+			pos[v] = p
+			u = append(u, v)
+		}
+		l[i] = E(p)
+	}
+	return l, u
+}
+
+// UniqueCount returns the number of distinct elements of s — the number
+// of active states when s is an enumerative state vector — without
+// materializing the factorization.
+func UniqueCount[E Elem](s []E) int {
+	var maxV int
+	for _, v := range s {
+		if int(v) > maxV {
+			maxV = int(v)
+		}
+	}
+	seen := make([]bool, maxV+1)
+	n := 0
+	for _, v := range s {
+		if !seen[v] {
+			seen[v] = true
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,123 @@
+package gather
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFactorPaperExample(t *testing.T) {
+	// §5.1: [s,t,u,t,t,u,s] = [0,1,2,1,1,2,0] ⊗ [s,t,u]
+	s, u16, tt := byte('s'), byte('u'), byte('t')
+	in := []byte{s, tt, u16, tt, tt, u16, s}
+	l, u := Factor(in)
+	wantL := []byte{0, 1, 2, 1, 1, 2, 0}
+	wantU := []byte{s, tt, u16}
+	if len(l) != len(wantL) || len(u) != len(wantU) {
+		t.Fatalf("Factor sizes: |l|=%d |u|=%d", len(l), len(u))
+	}
+	for i := range wantL {
+		if l[i] != wantL[i] {
+			t.Fatalf("l = %v, want %v", l, wantL)
+		}
+	}
+	for i := range wantU {
+		if u[i] != wantU[i] {
+			t.Fatalf("u = %v, want %v", u, wantU)
+		}
+	}
+}
+
+// Property: s = l ⊗ u, u has unique elements in first-appearance order,
+// and |u| = UniqueCount(s).
+func TestFactorInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			l, u := Factor(raw)
+			return len(l) == 0 && len(u) == 0
+		}
+		l, u := Factor(raw)
+		if len(u) != UniqueCount(raw) {
+			return false
+		}
+		// Reconstruct.
+		back := New(l, u)
+		for i := range raw {
+			if back[i] != raw[i] {
+				return false
+			}
+		}
+		// Uniqueness of u.
+		seen := map[byte]bool{}
+		for _, v := range u {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFactorUint16(t *testing.T) {
+	in := []uint16{500, 7, 500, 9, 7}
+	l, u := Factor(in)
+	if len(u) != 3 || u[0] != 500 || u[1] != 7 || u[2] != 9 {
+		t.Fatalf("u = %v", u)
+	}
+	back := New(l, u)
+	for i := range in {
+		if back[i] != in[i] {
+			t.Fatalf("reconstruction failed: %v vs %v", back, in)
+		}
+	}
+}
+
+func TestUniqueCount(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		want int
+	}{
+		{nil, 0},
+		{[]byte{0}, 1},
+		{[]byte{5, 5, 5}, 1},
+		{[]byte{1, 2, 3, 2, 1}, 3},
+		{[]byte{255, 0, 255}, 2},
+	}
+	for _, c := range cases {
+		if got := UniqueCount(c.in); got != c.want {
+			t.Errorf("UniqueCount(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: factoring is exactly the convergence compression — gathering
+// through the factored pair gives the same result as gathering directly.
+func TestFactorThenGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 100; iter++ {
+		n := 1 + rng.Intn(100)
+		m := 1 + rng.Intn(100)
+		s := make([]byte, m)
+		tab := make([]byte, n)
+		for i := range s {
+			s[i] = byte(rng.Intn(n))
+		}
+		for i := range tab {
+			tab[i] = byte(rng.Intn(n))
+		}
+		l, u := Factor(s)
+		// (l ⊗ u) ⊗ tab == l ⊗ (u ⊗ tab): compute RHS the cheap way.
+		cheap := New(l, New(u, tab))
+		direct := New(s, tab)
+		for i := range direct {
+			if cheap[i] != direct[i] {
+				t.Fatal("factored gather diverged")
+			}
+		}
+	}
+}

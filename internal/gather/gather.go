@@ -1,0 +1,81 @@
+// Package gather implements the primitives of Mytkowicz et al.
+// (ASPLOS 2014): the gather operation ⊗m,n (§3.1), a portable emulation
+// of the SIMD shuffle/blend implementation of gather (§4.2), and the
+// Factor primitive (§5.1).
+//
+// (S ⊗ T)[i] = T[S[i]]: the left operand supplies indices into the
+// right operand. When S is a vector of FSM states and T a per-symbol
+// transition vector, S ⊗ T is the vector of successor states, so gather
+// implements composition of transition functions. Gather is
+// associative, which is what every parallel algorithm in internal/core
+// exploits.
+//
+// The paper implements ⊗16,16 with the x86 byte shuffle instruction and
+// builds ⊗m,n from (m·n)/16² shuffles plus blends. Pure Go has no
+// intrinsics, so this package executes the identical block/blend
+// dataflow on a fixed-size [16]byte register type (see simd.go); the
+// operation counts and scaling shape match the paper even though the
+// absolute constant of a real `pshufb` is unattainable without
+// assembly.
+package gather
+
+// Elem constrains the element types gather operates on. Byte elements
+// are the fast path (range-coalesced machines encode state names in a
+// byte, §5.3); uint16 covers machines with up to 65536 states.
+type Elem interface {
+	~uint8 | ~uint16
+}
+
+// Into computes dst[i] = t[s[i]] with plain scalar loads — the
+// "Non-SIMD" gather of §4.1. dst may alias s; it must not alias t.
+// Indices must be within bounds of t (the paper's modulo convention is
+// only needed inside the SIMD kernels).
+func Into[E Elem](dst, s []E, t []E) {
+	_ = t[len(t)-1]
+	for i, idx := range s {
+		dst[i] = t[idx]
+	}
+}
+
+// New computes and returns s ⊗ t as a fresh slice.
+func New[E Elem](s, t []E) []E {
+	dst := make([]E, len(s))
+	Into(dst, s, t)
+	return dst
+}
+
+// Identity returns the identity vector Id of length n: Id[i] = i. It is
+// the unit of gather: Id ⊗ T = T, and S ⊗ Id = S when |Id| covers the
+// values of S.
+func Identity[E Elem](n int) []E {
+	id := make([]E, n)
+	for i := range id {
+		id[i] = E(i)
+	}
+	return id
+}
+
+// Compose folds a sequence of tables left-to-right:
+// Compose(ts) = Id ⊗ ts[0] ⊗ ts[1] ⊗ … — i.e. the composition of the
+// transition functions in application order. Returns Identity(n) for an
+// empty sequence, where n is taken from width.
+func Compose[E Elem](width int, ts ...[]E) []E {
+	acc := Identity[E](width)
+	tmp := make([]E, width)
+	for _, t := range ts {
+		Into(tmp, acc, t)
+		acc, tmp = tmp, acc
+	}
+	return acc
+}
+
+// Cost returns the number of W-wide shuffle invocations the blocked
+// SIMD implementation of ⊗m,n performs: ⌈m/W⌉·⌈n/W⌉ (§4.2). The paper
+// reports that over 80% of its benchmark FSMs need only 1–2 shuffles
+// per input symbol.
+func Cost(m, n, w int) int {
+	if w <= 0 {
+		w = Width
+	}
+	return ((m + w - 1) / w) * ((n + w - 1) / w)
+}

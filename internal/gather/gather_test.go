@@ -1,0 +1,158 @@
+package gather
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVecs(rng *rand.Rand, m, n int) (s, t []byte) {
+	s = make([]byte, m)
+	t = make([]byte, n)
+	for i := range s {
+		s[i] = byte(rng.Intn(n))
+	}
+	for i := range t {
+		t[i] = byte(rng.Intn(n))
+	}
+	return s, t
+}
+
+func TestIntoBasic(t *testing.T) {
+	s := []byte{3, 5, 0, 1, 5, 4, 6, 2}
+	tab := []byte{'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H'}
+	got := New(s, tab)
+	want := []byte{'D', 'F', 'A', 'B', 'F', 'E', 'G', 'C'} // paper §4.2 example
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %q, want %q", got, want)
+		}
+	}
+}
+
+func TestIntoUint16(t *testing.T) {
+	s := []uint16{2, 0, 1}
+	tab := []uint16{100, 200, 300}
+	got := New(s, tab)
+	want := []uint16{300, 100, 200}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIntoAliasing(t *testing.T) {
+	// dst may alias s: the in-place S = S ⊗ T update of the base
+	// enumerative loop.
+	s := []byte{1, 0, 2}
+	tab := []byte{10, 20, 30}
+	Into(s, s, tab)
+	want := []byte{20, 10, 30}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("in-place gather got %v, want %v", s, want)
+		}
+	}
+}
+
+func TestIdentityLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for iter := 0; iter < 50; iter++ {
+		n := 1 + rng.Intn(200)
+		s, tab := randVecs(rng, n, n)
+		id := Identity[byte](n)
+		// Id ⊗ T = T
+		got := New(id, tab)
+		for i := range tab {
+			if got[i] != tab[i] {
+				t.Fatal("Id ⊗ T != T")
+			}
+		}
+		// S ⊗ Id = S
+		got = New(s, id)
+		for i := range s {
+			if got[i] != s[i] {
+				t.Fatal("S ⊗ Id != S")
+			}
+		}
+	}
+}
+
+// Property (§3.1): gather is associative — (S⊗T)⊗U == S⊗(T⊗U).
+func TestAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func(mSeed, nSeed uint8) bool {
+		m := 1 + int(mSeed)%64
+		n := 1 + int(nSeed)%64
+		s := make([]byte, m)
+		for i := range s {
+			s[i] = byte(rng.Intn(n))
+		}
+		tab := make([]byte, n)
+		u := make([]byte, n)
+		for i := range tab {
+			tab[i] = byte(rng.Intn(n))
+			u[i] = byte(rng.Intn(n))
+		}
+		left := New(New(s, tab), u)
+		right := New(s, New(tab, u))
+		for i := range left {
+			if left[i] != right[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	n := 32
+	var tabs [][]byte
+	for k := 0; k < 5; k++ {
+		tab := make([]byte, n)
+		for i := range tab {
+			tab[i] = byte(rng.Intn(n))
+		}
+		tabs = append(tabs, tab)
+	}
+	// Compose of none = identity.
+	id := Compose[byte](n)
+	for i, v := range id {
+		if int(v) != i {
+			t.Fatal("empty Compose should be identity")
+		}
+	}
+	// Compose equals sequentially applying each table to every start.
+	c := Compose(n, tabs...)
+	for q := 0; q < n; q++ {
+		r := byte(q)
+		for _, tab := range tabs {
+			r = tab[r]
+		}
+		if c[q] != r {
+			t.Fatalf("Compose[%d] = %d, want %d", q, c[q], r)
+		}
+	}
+}
+
+func TestCost(t *testing.T) {
+	cases := []struct{ m, n, w, want int }{
+		{16, 16, 16, 1},
+		{16, 32, 16, 2},
+		{32, 32, 16, 4},
+		{17, 16, 16, 2},
+		{1, 1, 16, 1},
+		{256, 256, 16, 256},
+		{8, 8, 0, 1}, // w=0 defaults to Width
+	}
+	for _, c := range cases {
+		if got := Cost(c.m, c.n, c.w); got != c.want {
+			t.Errorf("Cost(%d,%d,%d) = %d, want %d", c.m, c.n, c.w, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package gather
+
+// Emulated SIMD kernels. Reg models one 128-bit SIMD register holding
+// 16 byte lanes; Shuffle and Blend model the x86 `pshufb` and
+// `pblendvb` instructions with the index-modulo-W convention the paper
+// assumes (§4.2). SIMDInto assembles the general ⊗m,n from these
+// W-wide primitives using exactly the paper's block/blend construction,
+// so the executed dataflow — ⌈m/W⌉·⌈n/W⌉ shuffles plus the
+// corresponding blends — matches the hand-coded C++ template
+// specializations described in §4.3.
+
+// Width is the emulated SIMD width W in byte lanes.
+const Width = 16
+
+// Reg is one emulated SIMD register of Width byte lanes.
+type Reg [Width]byte
+
+// LoadReg fills a register from up to Width bytes of s, zero-padding
+// the tail lanes.
+func LoadReg(s []byte) Reg {
+	var r Reg
+	copy(r[:], s)
+	return r
+}
+
+// Store writes the first n lanes of r to dst, clamped to both the
+// register width and len(dst).
+func (r Reg) Store(dst []byte, n int) {
+	if n > Width {
+		n = Width
+	}
+	if n > len(dst) {
+		n = len(dst)
+	}
+	copy(dst[:n], r[:n])
+}
+
+// Shuffle implements ⊗16,16: out[i] = t[s[i] mod 16]. This is the
+// byte-shuffle semantics the paper relies on ("current implementations
+// of shuffle use the index modulo W when an index exceeds W").
+// The loop body is over a fixed-size array with constant masks, which
+// the Go compiler unrolls and bounds-check-eliminates.
+func Shuffle(s, t Reg) Reg {
+	var out Reg
+	for i := 0; i < Width; i++ {
+		out[i] = t[s[i]&(Width-1)]
+	}
+	return out
+}
+
+// Blend selects lanes: out[i] = a[i] where sel[i] != 0, else b[i]
+// (the paper writes blend(x, y, pred) with pred choosing x).
+func Blend(a, b, sel Reg) Reg {
+	var out Reg
+	for i := 0; i < Width; i++ {
+		if sel[i] != 0 {
+			out[i] = a[i]
+		} else {
+			out[i] = b[i]
+		}
+	}
+	return out
+}
+
+// BlockMask returns the selection register marking lanes of s whose
+// index falls in table block j, i.e. s[i]/Width == j.
+func BlockMask(s Reg, j int) Reg {
+	var sel Reg
+	jb := byte(j)
+	for i := 0; i < Width; i++ {
+		if s[i]>>4 == jb {
+			sel[i] = 1
+		}
+	}
+	return sel
+}
+
+// SIMDInto computes dst[i] = t[s[i]] for byte elements using the
+// blocked shuffle/blend construction of §4.2: every Width-lane chunk of
+// s is shuffled against every Width-lane block of t and the results are
+// blended by index range. len(t) must be at most 256; indices in s must
+// be < len(t). dst may alias s.
+func SIMDInto(dst, s, t []byte) {
+	n := len(t)
+	nBlocks := (n + Width - 1) / Width
+
+	// Preload the table blocks once per call; they are reused for every
+	// chunk of s (mirrors keeping the transition table resident in SIMD
+	// registers across the input loop).
+	var tb [256 / Width]Reg
+	for j := 0; j < nBlocks; j++ {
+		lo := j * Width
+		hi := lo + Width
+		if hi > n {
+			hi = n
+		}
+		tb[j] = LoadReg(t[lo:hi])
+	}
+
+	for off := 0; off < len(s); off += Width {
+		hi := off + Width
+		if hi > len(s) {
+			hi = len(s)
+		}
+		sr := LoadReg(s[off:hi])
+		acc := Shuffle(sr, tb[0])
+		for j := 1; j < nBlocks; j++ {
+			sh := Shuffle(sr, tb[j])
+			acc = Blend(sh, acc, BlockMask(sr, j))
+		}
+		acc.Store(dst[off:], hi-off)
+	}
+}
+
+// SIMDNew computes and returns s ⊗ t as a fresh slice via SIMDInto.
+func SIMDNew(s, t []byte) []byte {
+	dst := make([]byte, len(s))
+	SIMDInto(dst, s, t)
+	return dst
+}
+
+// Shuffle16Into is the specialized single-register fast path for
+// m ≤ 16, n ≤ 16 — the case the paper highlights as "one shuffle per
+// input symbol" (§6.1). Provided separately so the core runner can
+// dispatch to it without the blocked loop's overhead.
+func Shuffle16Into(dst, s []byte, t Reg) {
+	sr := LoadReg(s)
+	out := Shuffle(sr, t)
+	out.Store(dst, len(s))
+}

@@ -1,0 +1,107 @@
+package gather
+
+// Word-level emulated SIMD. §5.3 argues that range coalescing matters
+// partly because byte-encoded names allow the byte-level shuffle, while
+// "encoding states directly will otherwise require the use of
+// much-slower word-level gathers": a 128-bit register holds only 8
+// uint16 lanes instead of 16 byte lanes, doubling both the number of
+// register-wide operations per vector and the table blocks per lookup.
+// This file provides that word-level path so the claim is measurable
+// (see BenchmarkByteVsWordGather).
+
+// Width16 is the number of uint16 lanes per emulated 128-bit register.
+const Width16 = 8
+
+// Reg16 is one emulated SIMD register of Width16 uint16 lanes.
+type Reg16 [Width16]uint16
+
+// LoadReg16 fills a register from up to Width16 values, zero-padding.
+func LoadReg16(s []uint16) Reg16 {
+	var r Reg16
+	copy(r[:], s)
+	return r
+}
+
+// Store writes the first n lanes of r to dst, clamped to both the
+// register width and len(dst).
+func (r Reg16) Store(dst []uint16, n int) {
+	if n > Width16 {
+		n = Width16
+	}
+	if n > len(dst) {
+		n = len(dst)
+	}
+	copy(dst[:n], r[:n])
+}
+
+// Shuffle16x8 implements ⊗8,8 over words: out[i] = t[s[i] mod 8].
+func Shuffle16x8(s, t Reg16) Reg16 {
+	var out Reg16
+	for i := 0; i < Width16; i++ {
+		out[i] = t[s[i]&(Width16-1)]
+	}
+	return out
+}
+
+// Blend16 selects lanes: out[i] = a[i] where sel[i] != 0, else b[i].
+func Blend16(a, b, sel Reg16) Reg16 {
+	var out Reg16
+	for i := 0; i < Width16; i++ {
+		if sel[i] != 0 {
+			out[i] = a[i]
+		} else {
+			out[i] = b[i]
+		}
+	}
+	return out
+}
+
+// BlockMask16 marks lanes of s whose index falls in table block j.
+func BlockMask16(s Reg16, j int) Reg16 {
+	var sel Reg16
+	jw := uint16(j)
+	for i := 0; i < Width16; i++ {
+		if s[i]>>3 == jw {
+			sel[i] = 1
+		}
+	}
+	return sel
+}
+
+// SIMDInto16 computes dst[i] = t[s[i]] for uint16 elements with the
+// blocked word-shuffle construction — ⌈m/8⌉·⌈n/8⌉ shuffles, four times
+// the count of the byte path for the same m and n. len(t) must be at
+// most 65536; indices in s must be < len(t). dst may alias s.
+func SIMDInto16(dst, s, t []uint16) {
+	n := len(t)
+	nBlocks := (n + Width16 - 1) / Width16
+	tb := make([]Reg16, nBlocks)
+	for j := 0; j < nBlocks; j++ {
+		lo := j * Width16
+		hi := lo + Width16
+		if hi > n {
+			hi = n
+		}
+		tb[j] = LoadReg16(t[lo:hi])
+	}
+	for off := 0; off < len(s); off += Width16 {
+		hi := off + Width16
+		if hi > len(s) {
+			hi = len(s)
+		}
+		sr := LoadReg16(s[off:hi])
+		acc := Shuffle16x8(sr, tb[0])
+		for j := 1; j < nBlocks; j++ {
+			sh := Shuffle16x8(sr, tb[j])
+			acc = Blend16(sh, acc, BlockMask16(sr, j))
+		}
+		acc.Store(dst[off:], hi-off)
+	}
+}
+
+// SIMDNew16 computes and returns s ⊗ t as a fresh slice via SIMDInto16.
+func SIMDNew16(s, t []uint16) []uint16 {
+	dst := make([]uint16, len(s))
+	SIMDInto16(dst, s, t)
+	return dst
+}

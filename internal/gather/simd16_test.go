@@ -1,0 +1,110 @@
+package gather
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShuffle16x8Semantics(t *testing.T) {
+	var s, tab Reg16
+	for i := range tab {
+		tab[i] = uint16(100 + i)
+	}
+	s = Reg16{7, 0, 3, 8 /* wraps to 0 */, 15 /* wraps to 7 */, 2, 1, 4}
+	out := Shuffle16x8(s, tab)
+	want := Reg16{107, 100, 103, 100, 107, 102, 101, 104}
+	if out != want {
+		t.Fatalf("got %v want %v", out, want)
+	}
+}
+
+func TestBlend16AndMask(t *testing.T) {
+	var a, b Reg16
+	for i := range a {
+		a[i] = uint16(i)
+		b[i] = uint16(100 + i)
+	}
+	var s Reg16
+	s[0] = 3  // block 0
+	s[1] = 8  // block 1
+	s[2] = 17 // block 2
+	m1 := BlockMask16(s, 1)
+	if m1[1] == 0 || m1[0] != 0 || m1[2] != 0 {
+		t.Fatalf("mask wrong: %v", m1)
+	}
+	out := Blend16(a, b, m1)
+	if out[1] != a[1] || out[0] != b[0] {
+		t.Fatalf("blend wrong: %v", out)
+	}
+}
+
+func TestSIMDInto16MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(160))
+	f := func(mSeed, nSeed uint16) bool {
+		m := 1 + int(mSeed)%512
+		n := 1 + int(nSeed)%2048
+		s := make([]uint16, m)
+		tab := make([]uint16, n)
+		for i := range s {
+			s[i] = uint16(rng.Intn(n))
+		}
+		for i := range tab {
+			tab[i] = uint16(rng.Intn(n))
+		}
+		want := New(s, tab)
+		got := SIMDNew16(s, tab)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSIMDInto16InPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	n := 100
+	s := make([]uint16, 50)
+	tab := make([]uint16, n)
+	for i := range s {
+		s[i] = uint16(rng.Intn(n))
+	}
+	for i := range tab {
+		tab[i] = uint16(rng.Intn(n))
+	}
+	want := New(s, tab)
+	SIMDInto16(s, s, tab)
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatal("in-place word gather diverged")
+		}
+	}
+}
+
+func TestLoadStoreReg16(t *testing.T) {
+	r := LoadReg16([]uint16{5, 6})
+	if r[0] != 5 || r[1] != 6 || r[2] != 0 {
+		t.Fatalf("LoadReg16 = %v", r)
+	}
+	dst := make([]uint16, 3)
+	r.Store(dst, 99)
+	if dst[0] != 5 || dst[1] != 6 {
+		t.Fatalf("Store = %v", dst)
+	}
+}
+
+// The §5.3 operation-count claim: a word path needs 4× the register
+// ops of the byte path for equal m and n.
+func TestWordVsByteOpCount(t *testing.T) {
+	m, n := 16, 16
+	byteOps := Cost(m, n, Width)
+	wordOps := Cost(m, n, Width16)
+	if wordOps != 4*byteOps {
+		t.Errorf("word ops %d, byte ops %d; want 4×", wordOps, byteOps)
+	}
+}

@@ -1,0 +1,210 @@
+package gather
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShuffleSemantics(t *testing.T) {
+	var s, tab Reg
+	for i := range tab {
+		tab[i] = byte('A' + i)
+	}
+	for i := range s {
+		s[i] = byte((i * 3) % 16)
+	}
+	out := Shuffle(s, tab)
+	for i := range out {
+		if want := tab[s[i]]; out[i] != want {
+			t.Fatalf("lane %d: got %c, want %c", i, out[i], want)
+		}
+	}
+}
+
+func TestShuffleModulo(t *testing.T) {
+	// Indices ≥ 16 wrap modulo 16 — the convention §4.2 builds on.
+	var s, tab Reg
+	for i := range tab {
+		tab[i] = byte(i * 2)
+	}
+	s[0] = 16 // ≡ 0
+	s[1] = 31 // ≡ 15
+	s[2] = 255
+	out := Shuffle(s, tab)
+	if out[0] != tab[0] || out[1] != tab[15] || out[2] != tab[255&15] {
+		t.Errorf("modulo wrap broken: %v", out[:3])
+	}
+}
+
+func TestBlend(t *testing.T) {
+	var a, b, sel Reg
+	for i := range a {
+		a[i] = byte(i)
+		b[i] = byte(100 + i)
+		if i%2 == 0 {
+			sel[i] = 1
+		}
+	}
+	out := Blend(a, b, sel)
+	for i := range out {
+		want := b[i]
+		if i%2 == 0 {
+			want = a[i]
+		}
+		if out[i] != want {
+			t.Fatalf("lane %d: got %d, want %d", i, out[i], want)
+		}
+	}
+}
+
+func TestBlockMask(t *testing.T) {
+	var s Reg
+	s[0] = 5   // block 0
+	s[1] = 16  // block 1
+	s[2] = 17  // block 1
+	s[3] = 250 // block 15
+	m0 := BlockMask(s, 0)
+	m1 := BlockMask(s, 1)
+	m15 := BlockMask(s, 15)
+	if m0[0] == 0 || m0[1] != 0 {
+		t.Error("block 0 mask wrong")
+	}
+	if m1[1] == 0 || m1[2] == 0 || m1[0] != 0 {
+		t.Error("block 1 mask wrong")
+	}
+	if m15[3] == 0 {
+		t.Error("block 15 mask wrong")
+	}
+}
+
+func TestLoadStoreReg(t *testing.T) {
+	r := LoadReg([]byte{1, 2, 3})
+	if r[0] != 1 || r[2] != 3 || r[3] != 0 || r[15] != 0 {
+		t.Errorf("LoadReg padding wrong: %v", r)
+	}
+	dst := make([]byte, 5)
+	r.Store(dst, 3)
+	if dst[0] != 1 || dst[2] != 3 || dst[3] != 0 {
+		t.Errorf("Store wrong: %v", dst)
+	}
+	full := make([]byte, 16)
+	r.Store(full, 99) // n clamps to Width
+	if full[0] != 1 {
+		t.Error("clamped Store wrong")
+	}
+}
+
+func TestSIMDIntoPaperExample(t *testing.T) {
+	// §4.2 worked example (stated for W=4; semantics identical at W=16
+	// because all indices are in range).
+	s := []byte{3, 5, 0, 1, 5, 4, 6, 2}
+	tab := []byte{'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H'}
+	got := SIMDNew(s, tab)
+	want := "DFABFEGC"
+	if string(got) != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+// Property: the blocked SIMD gather agrees with scalar gather for all
+// m ≤ 1024, n ≤ 256.
+func TestSIMDMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f := func(mSeed uint16, nSeed uint8) bool {
+		m := 1 + int(mSeed)%1024
+		n := 1 + int(nSeed) // 1..256
+		s := make([]byte, m)
+		tab := make([]byte, n)
+		for i := range s {
+			s[i] = byte(rng.Intn(n))
+		}
+		for i := range tab {
+			tab[i] = byte(rng.Intn(n))
+		}
+		want := New(s, tab)
+		got := SIMDNew(s, tab)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSIMDIntoInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for iter := 0; iter < 50; iter++ {
+		n := 1 + rng.Intn(256)
+		m := 1 + rng.Intn(128)
+		s := make([]byte, m)
+		tab := make([]byte, n)
+		for i := range s {
+			s[i] = byte(rng.Intn(n))
+		}
+		for i := range tab {
+			tab[i] = byte(rng.Intn(n))
+		}
+		want := New(s, tab)
+		SIMDInto(s, s, tab) // in place
+		for i := range want {
+			if s[i] != want[i] {
+				t.Fatalf("in-place SIMD gather diverged at %d", i)
+			}
+		}
+	}
+}
+
+func TestShuffle16Into(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for iter := 0; iter < 50; iter++ {
+		n := 1 + rng.Intn(16)
+		m := 1 + rng.Intn(16)
+		s := make([]byte, m)
+		tab := make([]byte, n)
+		for i := range s {
+			s[i] = byte(rng.Intn(n))
+		}
+		for i := range tab {
+			tab[i] = byte(rng.Intn(n))
+		}
+		want := New(s, tab)
+		got := make([]byte, m)
+		Shuffle16Into(got, s, LoadReg(tab))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Shuffle16Into diverged at lane %d", i)
+			}
+		}
+	}
+}
+
+// Property: SIMD gather is associative too (it is the same function).
+func TestSIMDAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	for iter := 0; iter < 100; iter++ {
+		n := 1 + rng.Intn(256)
+		m := 1 + rng.Intn(64)
+		s := make([]byte, m)
+		t1 := make([]byte, n)
+		t2 := make([]byte, n)
+		for i := range s {
+			s[i] = byte(rng.Intn(n))
+		}
+		for i := 0; i < n; i++ {
+			t1[i] = byte(rng.Intn(n))
+			t2[i] = byte(rng.Intn(n))
+		}
+		left := SIMDNew(SIMDNew(s, t1), t2)
+		right := SIMDNew(s, SIMDNew(t1, t2))
+		for i := range left {
+			if left[i] != right[i] {
+				t.Fatal("SIMD gather not associative")
+			}
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package htmltok_test
+
+import (
+	"fmt"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/htmltok"
+)
+
+func ExampleTokenizeSwitch() {
+	input := []byte(`<p class="x">hi</p>`)
+	for _, t := range htmltok.TokenizeSwitch(input) {
+		fmt.Printf("%s %q\n", t.Type, input[t.Start:t.End])
+	}
+	// Output:
+	// start-tag "p"
+	// attr-name "class"
+	// attr-value "x"
+	// text "hi"
+	// end-tag "p"
+}
+
+func ExampleTokenizer_Tokenize() {
+	tk, err := htmltok.NewTokenizer(core.WithStrategy(core.Convergence), core.WithProcs(2), core.WithMinChunk(16))
+	if err != nil {
+		panic(err)
+	}
+	input := []byte(`<ul><li>one</li><li>two</li></ul>`)
+	texts := 0
+	for _, t := range tk.Tokenize(input) {
+		if t.Type == htmltok.TokText {
+			texts++
+		}
+	}
+	fmt.Println("text tokens:", texts)
+	// Output: text tokens: 2
+}

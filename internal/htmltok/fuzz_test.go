@@ -1,0 +1,37 @@
+package htmltok
+
+import (
+	"reflect"
+	"testing"
+
+	"dpfsm/internal/core"
+)
+
+// FuzzTokenizersAgree feeds arbitrary bytes to all three tokenizer
+// implementations; they must produce identical token streams and never
+// panic — the drop-in guarantee of §6.3 under adversarial input.
+func FuzzTokenizersAgree(f *testing.F) {
+	f.Add([]byte("<html><body class='x'>hi</body></html>"))
+	f.Add([]byte("<!-- --><!doctype html><a b=c>"))
+	f.Add([]byte("<<<>>>&&&'\"=</ <! <?"))
+	f.Add([]byte(""))
+
+	tk, err := NewTokenizer(core.WithStrategy(core.Convergence), core.WithProcs(3), core.WithMinChunk(16))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, input []byte) {
+		if len(input) > 1<<16 {
+			return
+		}
+		a := TokenizeSwitch(input)
+		b := tk.TokenizeTable(input)
+		c := tk.Tokenize(input)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("switch and table tokenizers disagree")
+		}
+		if !reflect.DeepEqual(a, c) {
+			t.Fatal("switch and parallel tokenizers disagree")
+		}
+	})
+}

@@ -1,0 +1,252 @@
+package htmltok
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/fsm"
+)
+
+func TestMachineShape(t *testing.T) {
+	m := NewMachine()
+	if m.NumStates() != 27 {
+		t.Fatalf("machine has %d states, want 27 (the paper's bing count)", m.NumStates())
+	}
+	if m.NumSymbols() != 256 {
+		t.Fatalf("alphabet %d, want 256", m.NumSymbols())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Start() != StateData {
+		t.Error("start state must be Data")
+	}
+}
+
+func TestTableMatchesSwitch(t *testing.T) {
+	m := NewMachine()
+	for q := fsm.State(0); q < NumStates; q++ {
+		for b := 0; b < 256; b++ {
+			if m.Next(q, byte(b)) != switchNext(q, byte(b)) {
+				t.Fatalf("table and switch disagree at state %d byte %d", q, b)
+			}
+		}
+	}
+}
+
+func TestMachineIsReasonablySmallRange(t *testing.T) {
+	// §6.3: the machine has fewer than 32 states, so convergence alone
+	// reaches the two-shuffle regime; ranges stay well under that bound.
+	m := NewMachine()
+	if r := m.MaxRangeSize(); r > 32 {
+		t.Errorf("max range %d; expected the tokenizer to have small ranges", r)
+	}
+}
+
+func tokStrings(input []byte, toks []Token) []string {
+	var out []string
+	for _, tk := range toks {
+		out = append(out, tk.Type.String()+":"+string(input[tk.Start:tk.End]))
+	}
+	return out
+}
+
+func TestTokenizeSimpleDocument(t *testing.T) {
+	input := []byte(`<html><body class="main">Hi &amp; bye<!-- note --></body></html>`)
+	got := tokStrings(input, TokenizeSwitch(input))
+	want := []string{
+		"start-tag:html",
+		"start-tag:body",
+		"attr-name:class",
+		"attr-value:main",
+		"text:Hi &amp; bye",
+		"comment: note --",
+		"end-tag:body",
+		"end-tag:html",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tokens:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestTokenizeAttributeForms(t *testing.T) {
+	input := []byte(`<a href='x' id=plain checked data-x="1 2">t</a>`)
+	got := tokStrings(input, TokenizeSwitch(input))
+	want := []string{
+		"start-tag:a",
+		"attr-name:href",
+		"attr-value:x",
+		"attr-name:id",
+		"attr-value:plain",
+		"attr-name:checked",
+		"attr-name:data-x",
+		"attr-value:1 2",
+		"text:t",
+		"end-tag:a",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tokens:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestTokenizeDoctypeAndBogus(t *testing.T) {
+	input := []byte(`<!DOCTYPE html><?php echo ?>x`)
+	got := tokStrings(input, TokenizeSwitch(input))
+	want := []string{
+		"doctype:DOCTYPE html",
+		"bogus:?php echo ?",
+		"text:x",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tokens:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestTokenizeEdgeCases(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"plain text", []string{"text:plain text"}},
+		{"<>", []string{}}, // stray empty tag: no tokens
+		// A stray '<' and the byte that disambiguates it are consumed
+		// as markup; text resumes afterwards.
+		{"< 5", []string{"text:5"}},
+		{"<br/>", []string{"start-tag:br"}},
+		{"a<b", []string{"text:a", "start-tag:b"}},
+		{"&lt;", []string{"text:&lt;"}},
+		{"<!-- -- -->", []string{"comment: -- --"}},
+		{"<!---->", []string{"comment:--"}},
+		{"<em >x</em >", []string{"start-tag:em", "text:x", "end-tag:em"}},
+		{"<a b=''>", []string{"start-tag:a", "attr-name:b"}},
+	}
+	for _, c := range cases {
+		got := tokStrings([]byte(c.in), TokenizeSwitch([]byte(c.in)))
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%q:\n got %q\nwant %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTableTokenizerMatchesSwitch(t *testing.T) {
+	tk, err := NewTokenizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(100))
+	for iter := 0; iter < 50; iter++ {
+		input := randomHTMLish(rng, 1+rng.Intn(2000))
+		a := TokenizeSwitch(input)
+		b := tk.TokenizeTable(input)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("iter %d: switch and table tokenizers disagree", iter)
+		}
+	}
+}
+
+func TestParallelTokenizerMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	tk, err := NewTokenizer(core.WithStrategy(core.Convergence), core.WithProcs(4), core.WithMinChunk(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 40; iter++ {
+		input := randomHTMLish(rng, rng.Intn(4000))
+		want := TokenizeSwitch(input)
+		got := tk.Tokenize(input)
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d: parallel tokens differ\n got %v\nwant %v", iter, got, want)
+		}
+	}
+}
+
+func TestParallelMergesBoundaryTokens(t *testing.T) {
+	// Force a chunk boundary in the middle of a long text run.
+	tk, err := NewTokenizer(core.WithProcs(4), core.WithMinChunk(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("<b>" + strings.Repeat("x", 100) + "</b>")
+	got := tk.Tokenize(input)
+	want := TokenizeSwitch(input)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("boundary merge failed:\n got %v\nwant %v", got, want)
+	}
+	// Exactly one text token of length 100.
+	count := 0
+	for _, tok := range got {
+		if tok.Type == TokText {
+			count++
+			if tok.End-tok.Start != 100 {
+				t.Errorf("text token length %d", tok.End-tok.Start)
+			}
+		}
+	}
+	if count != 1 {
+		t.Errorf("%d text tokens, want 1", count)
+	}
+}
+
+func TestTokenSpansPartitionClasses(t *testing.T) {
+	// Tokens must be disjoint, ordered, and within bounds.
+	rng := rand.New(rand.NewSource(102))
+	for iter := 0; iter < 30; iter++ {
+		input := randomHTMLish(rng, rng.Intn(1000))
+		toks := TokenizeSwitch(input)
+		prevEnd := -1
+		for _, tok := range toks {
+			if tok.Start >= tok.End {
+				t.Fatalf("empty token %+v", tok)
+			}
+			if tok.Start < 0 || tok.End > len(input) {
+				t.Fatalf("token out of bounds %+v", tok)
+			}
+			if tok.Start < prevEnd {
+				t.Fatalf("overlapping tokens at %d", tok.Start)
+			}
+			prevEnd = tok.End
+		}
+	}
+}
+
+func TestTokenTypeString(t *testing.T) {
+	names := map[TokenType]string{
+		TokText: "text", TokStartTagName: "start-tag", TokEndTagName: "end-tag",
+		TokAttrName: "attr-name", TokAttrValue: "attr-value",
+		TokComment: "comment", TokDoctype: "doctype", TokBogus: "bogus",
+	}
+	for tt, w := range names {
+		if tt.String() != w {
+			t.Errorf("%d.String() = %q want %q", tt, tt.String(), w)
+		}
+	}
+	if TokenType(200).String() == "" {
+		t.Error("unknown type should render")
+	}
+}
+
+// randomHTMLish produces adversarial markup soup: valid fragments
+// interleaved with stray metacharacters.
+func randomHTMLish(rng *rand.Rand, n int) []byte {
+	frag := []string{
+		"<div>", "</div>", "<p class=\"x y\">", "text ", "&amp;", "&#39;",
+		"<!-- c -->", "<!DOCTYPE html>", "<img src='u' />", "<", ">", "\"",
+		"'", "=", "<a href=u>", "&", "-->", "<!", "</", " ", "\n", "w<x>",
+		"<?pi?>", "<b", "->",
+	}
+	var sb strings.Builder
+	for sb.Len() < n {
+		sb.WriteString(frag[rng.Intn(len(frag))])
+	}
+	return []byte(sb.String()[:n])
+}

@@ -1,0 +1,83 @@
+package htmltok
+
+import (
+	"sort"
+	"sync"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/fsm"
+)
+
+// Tokenizer bundles the table machine with an enumerative runner. The
+// zero value is not usable; construct with NewTokenizer.
+type Tokenizer struct {
+	machine *fsm.DFA
+	runner  *core.Runner
+}
+
+// NewTokenizer builds the 27-state machine and a runner over it. As the
+// paper notes for this machine (§6.3), with fewer than 32 states range
+// coalescing adds nothing over convergence, so Auto resolves as usual
+// but callers typically pass core.WithStrategy(core.Convergence) to
+// reproduce the paper's configuration.
+func NewTokenizer(opts ...core.Option) (*Tokenizer, error) {
+	m := NewMachine()
+	r, err := core.New(m, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Tokenizer{machine: m, runner: r}, nil
+}
+
+// Machine exposes the underlying 27-state DFA.
+func (t *Tokenizer) Machine() *fsm.DFA { return t.machine }
+
+// Runner exposes the configured enumerative runner.
+func (t *Tokenizer) Runner() *core.Runner { return t.runner }
+
+// TokenizeTable tokenizes sequentially using transition-table lookups
+// (the data-access twin of TokenizeSwitch's control-flow encoding).
+func (t *Tokenizer) TokenizeTable(input []byte) []Token {
+	toks, _ := tokenizeFrom(t.machine, input, 0, t.machine.Start())
+	return toks
+}
+
+// Tokenize runs the parallel tokenizer: phases 1–2 of Figure 5 resolve
+// chunk start states enumeratively, each chunk is tokenized
+// independently, and tokens that straddle chunk boundaries are merged
+// during the ordered stitch — the "two passes over the input" of §6.3.
+func (t *Tokenizer) Tokenize(input []byte) []Token {
+	type piece struct {
+		off  int
+		toks []Token
+	}
+	var mu sync.Mutex
+	var pieces []piece
+	t.runner.RunChunked(input, t.machine.Start(), func(off int, chunk []byte, start fsm.State) fsm.State {
+		toks, final := tokenizeFrom(t.machine, chunk, off, start)
+		mu.Lock()
+		pieces = append(pieces, piece{off, toks})
+		mu.Unlock()
+		return final
+	})
+	sort.Slice(pieces, func(i, j int) bool { return pieces[i].off < pieces[j].off })
+
+	total := 0
+	for _, p := range pieces {
+		total += len(p.toks)
+	}
+	out := make([]Token, 0, total)
+	for _, p := range pieces {
+		for _, tok := range p.toks {
+			// A token that continues across the chunk boundary is the
+			// same maximal run the sequential pass would produce: glue
+			// it to its left half.
+			if n := len(out); n > 0 && out[n-1].Type == tok.Type && out[n-1].End == tok.Start {
+				out[n-1].End = tok.End
+				continue
+			}
+			out = append(out, tok)
+		}
+	}
+	return out
+}

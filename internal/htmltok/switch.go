@@ -1,0 +1,288 @@
+package htmltok
+
+import "dpfsm/internal/fsm"
+
+// The switch-encoded tokenizer. This is the stand-in for bing's
+// hand-optimized baseline (§6.3): the transition function is encoded as
+// control flow (a big switch with per-state branch logic) rather than a
+// table lookup, trading the table's unpredictable data access for
+// unpredictable branches — footnote 1 of the paper.
+
+// switchNext is the single-step transition function, written as
+// explicit control flow. It is the definitional semantics of the
+// tokenizer; NewMachine materializes it into a table.
+func switchNext(q fsm.State, b byte) fsm.State {
+	switch q {
+	case StateData:
+		switch {
+		case b == '<':
+			return StateTagOpen
+		case b == '&':
+			return StateCharRef
+		}
+		return StateData
+
+	case StateCharRef:
+		switch {
+		case isLetter(b) || isDigit(b) || b == '#':
+			return StateCharRefBody
+		case b == '<':
+			return StateTagOpen
+		case b == '&':
+			return StateCharRef
+		}
+		return StateData
+
+	case StateCharRefBody:
+		switch {
+		case isLetter(b) || isDigit(b):
+			return StateCharRefBody
+		case b == ';':
+			return StateData
+		case b == '<':
+			return StateTagOpen
+		case b == '&':
+			return StateCharRef
+		}
+		return StateData
+
+	case StateTagOpen:
+		switch {
+		case b == '/':
+			return StateEndTagOpen
+		case b == '!':
+			return StateMarkupDecl
+		case b == '?':
+			return StateBogus
+		case isLetter(b):
+			return StateTagName
+		case b == '<':
+			return StateTagOpen // "<<" — stray, retry
+		}
+		return StateData // stray '<' followed by text
+
+	case StateTagName:
+		switch {
+		case isNameChar(b):
+			return StateTagName
+		case isSpace(b):
+			return StateBeforeAttrName
+		case b == '/':
+			return StateSelfClosing
+		case b == '>':
+			return StateData
+		}
+		return StateTagName // junk inside a name: swallow
+
+	case StateEndTagOpen:
+		switch {
+		case isLetter(b):
+			return StateEndTagName
+		case b == '>':
+			return StateData
+		}
+		return StateBogus
+
+	case StateEndTagName:
+		switch {
+		case isNameChar(b):
+			return StateEndTagName
+		case b == '>':
+			return StateData
+		case isSpace(b):
+			return StateAfterEndTagName
+		}
+		return StateEndTagName
+
+	case StateAfterEndTagName:
+		if b == '>' {
+			return StateData
+		}
+		return StateAfterEndTagName
+
+	case StateBeforeAttrName:
+		switch {
+		case isSpace(b):
+			return StateBeforeAttrName
+		case b == '>':
+			return StateData
+		case b == '/':
+			return StateSelfClosing
+		case b == '=':
+			return StateBeforeAttrValue // HTML quirk: "= starts a value"
+		}
+		return StateAttrName
+
+	case StateAttrName:
+		switch {
+		case isSpace(b):
+			return StateAfterAttrName
+		case b == '=':
+			return StateBeforeAttrValue
+		case b == '>':
+			return StateData
+		case b == '/':
+			return StateSelfClosing
+		}
+		return StateAttrName
+
+	case StateAfterAttrName:
+		switch {
+		case isSpace(b):
+			return StateAfterAttrName
+		case b == '=':
+			return StateBeforeAttrValue
+		case b == '>':
+			return StateData
+		case b == '/':
+			return StateSelfClosing
+		}
+		return StateAttrName
+
+	case StateBeforeAttrValue:
+		switch {
+		case isSpace(b):
+			return StateBeforeAttrValue
+		case b == '"':
+			return StateAttrValueDQ
+		case b == '\'':
+			return StateAttrValueSQ
+		case b == '>':
+			return StateData
+		}
+		return StateAttrValueUnq
+
+	case StateAttrValueDQ:
+		if b == '"' {
+			return StateAfterAttrValueQ
+		}
+		return StateAttrValueDQ
+
+	case StateAttrValueSQ:
+		if b == '\'' {
+			return StateAfterAttrValueQ
+		}
+		return StateAttrValueSQ
+
+	case StateAttrValueUnq:
+		switch {
+		case isSpace(b):
+			return StateBeforeAttrName
+		case b == '>':
+			return StateData
+		}
+		return StateAttrValueUnq
+
+	case StateAfterAttrValueQ:
+		switch {
+		case isSpace(b):
+			return StateBeforeAttrName
+		case b == '>':
+			return StateData
+		case b == '/':
+			return StateSelfClosing
+		}
+		return StateBeforeAttrName // recover: treat as new attribute area
+
+	case StateSelfClosing:
+		if b == '>' {
+			return StateData
+		}
+		return StateBeforeAttrName
+
+	case StateMarkupDecl:
+		switch {
+		case b == '-':
+			return StateCommentStart
+		case b == 'D' || b == 'd':
+			return StateDoctype
+		case b == '>':
+			return StateData
+		}
+		return StateBogus
+
+	case StateCommentStart:
+		if b == '-' {
+			return StateCommentBody
+		}
+		return StateBogus
+
+	case StateCommentBody:
+		if b == '-' {
+			return StateCommentDash
+		}
+		return StateCommentBody
+
+	case StateCommentDash:
+		if b == '-' {
+			return StateCommentDashDash
+		}
+		return StateCommentBody
+
+	case StateCommentDashDash:
+		switch {
+		case b == '>':
+			return StateData
+		case b == '-':
+			return StateCommentDashDash
+		case b == '!':
+			return StateCommentEndBang
+		}
+		return StateCommentBody
+
+	case StateCommentEndBang:
+		switch {
+		case b == '>':
+			return StateData
+		case b == '-':
+			return StateCommentDash
+		}
+		return StateCommentBody
+
+	case StateDoctype:
+		switch {
+		case b == '>':
+			return StateData
+		case b == '"':
+			return StateDoctypeDQ
+		case b == '\'':
+			return StateDoctypeSQ
+		}
+		return StateDoctype
+
+	case StateDoctypeDQ:
+		if b == '"' {
+			return StateDoctype
+		}
+		return StateDoctypeDQ
+
+	case StateDoctypeSQ:
+		if b == '\'' {
+			return StateDoctype
+		}
+		return StateDoctypeSQ
+
+	case StateBogus:
+		if b == '>' {
+			return StateData
+		}
+		return StateBogus
+	}
+	return StateData
+}
+
+// TokenizeSwitch is the optimized sequential baseline: switch-encoded
+// transitions with inline token-run tracking, one pass, no transition
+// table. Token spans index into input.
+func TokenizeSwitch(input []byte) []Token {
+	toks := make([]Token, 0, len(input)/8+4)
+	e := emitter{}
+	q := StateData
+	for i, b := range input {
+		next := switchNext(q, b)
+		e.step(&toks, i, classify(q, b, next))
+		q = next
+	}
+	e.flush(&toks, len(input))
+	return toks
+}

@@ -1,0 +1,141 @@
+package htmltok
+
+import (
+	"fmt"
+
+	"dpfsm/internal/fsm"
+)
+
+// TokenType classifies a token.
+type TokenType uint8
+
+const (
+	tokNone TokenType = iota // markup punctuation: no token emitted
+	TokText
+	TokStartTagName
+	TokEndTagName
+	TokAttrName
+	TokAttrValue
+	TokComment
+	TokDoctype
+	TokBogus
+)
+
+// String names the token type.
+func (t TokenType) String() string {
+	switch t {
+	case TokText:
+		return "text"
+	case TokStartTagName:
+		return "start-tag"
+	case TokEndTagName:
+		return "end-tag"
+	case TokAttrName:
+		return "attr-name"
+	case TokAttrValue:
+		return "attr-value"
+	case TokComment:
+		return "comment"
+	case TokDoctype:
+		return "doctype"
+	case TokBogus:
+		return "bogus"
+	default:
+		return fmt.Sprintf("TokenType(%d)", uint8(t))
+	}
+}
+
+// Token is a classified span [Start, End) of the input.
+type Token struct {
+	Type       TokenType
+	Start, End int
+}
+
+// classify assigns the byte consumed by the transition prev→next to a
+// token class, or tokNone for markup punctuation. Tokens are maximal
+// runs of equal class — the φ-function output of the tokenizer FSM
+// (§2.1 Mealy formalism), phrased so it is computable from the
+// transition alone, which is what makes chunk-parallel re-runs
+// (Figure 5 phase 3) produce identical output.
+func classify(prev fsm.State, b byte, next fsm.State) TokenType {
+	switch next {
+	case StateTagName:
+		return TokStartTagName
+	case StateEndTagName:
+		return TokEndTagName
+	case StateAttrName:
+		return TokAttrName
+	case StateAttrValueDQ:
+		if prev == StateBeforeAttrValue {
+			return tokNone // opening quote
+		}
+		return TokAttrValue
+	case StateAttrValueSQ:
+		if prev == StateBeforeAttrValue {
+			return tokNone
+		}
+		return TokAttrValue
+	case StateAttrValueUnq:
+		return TokAttrValue
+	case StateCommentBody:
+		if prev == StateCommentStart {
+			return tokNone // second dash of the "<!--" opener
+		}
+		return TokComment
+	case StateCommentDash, StateCommentDashDash, StateCommentEndBang:
+		return TokComment
+	case StateDoctype, StateDoctypeDQ, StateDoctypeSQ:
+		return TokDoctype
+	case StateBogus:
+		return TokBogus
+	case StateData, StateCharRef, StateCharRefBody:
+		switch prev {
+		case StateData, StateCharRef, StateCharRefBody:
+			return TokText
+		}
+		return tokNone // '>' and friends closing a construct
+	default:
+		return tokNone
+	}
+}
+
+// emitter folds a per-byte class stream into maximal-run tokens.
+type emitter struct {
+	cur   TokenType
+	start int
+}
+
+// step consumes the class of the byte at position pos.
+func (e *emitter) step(toks *[]Token, pos int, cls TokenType) {
+	if cls == e.cur {
+		return
+	}
+	if e.cur != tokNone {
+		*toks = append(*toks, Token{Type: e.cur, Start: e.start, End: pos})
+	}
+	e.cur = cls
+	e.start = pos
+}
+
+// flush closes any open token at end (exclusive).
+func (e *emitter) flush(toks *[]Token, end int) {
+	if e.cur != tokNone {
+		*toks = append(*toks, Token{Type: e.cur, Start: e.start, End: end})
+		e.cur = tokNone
+	}
+}
+
+// tokenizeFrom tokenizes chunk (whose first byte sits at global offset
+// off) starting in state q, using machine table lookups. It returns the
+// tokens and the state after the chunk.
+func tokenizeFrom(d *fsm.DFA, chunk []byte, off int, q fsm.State) ([]Token, fsm.State) {
+	toks := make([]Token, 0, len(chunk)/8+4)
+	e := emitter{}
+	for i, b := range chunk {
+		next := d.Next(q, b)
+		e.step(&toks, off+i, classify(q, b, next))
+		q = next
+	}
+	e.flush(&toks, off+len(chunk))
+	return toks, q
+}

@@ -1,0 +1,98 @@
+package huffman
+
+import (
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/gather"
+)
+
+// Range-coalesced sequential decoder (§6.2). The unrolled byte
+// machine's transition table is NumStates×256 entries — up to 128 KiB —
+// while its per-symbol ranges are tiny (≤16 for every tree in the
+// paper's corpus and ours). Renaming states per symbol (§5.3) shrinks
+// the transition working set to 256 tables of ≤ maxRange bytes, which
+// stay resident in L1; this is the paper's single-core win for Huffman
+// decoding, independent of any multicore parallelism.
+
+// CoalescedDecoder walks the name-domain tables sequentially.
+type CoalescedDecoder struct {
+	f *DecoderFSM
+	// u[a][name] = state, for each input byte a.
+	u [][]fsm.State
+	// l[a][q] = name of δ(q, a) among names of a.
+	l [][]byte
+	// t[a] is flat: t[a][int(b)*width(a)+name] = l[b][u[a][name]].
+	t     [][]byte
+	width []int
+}
+
+// NewCoalescedDecoder builds the per-symbol tables from the decoder's
+// byte machine.
+func (f *DecoderFSM) NewCoalescedDecoder() *CoalescedDecoder {
+	m := f.ByteMachine
+	k := m.NumSymbols()
+	cd := &CoalescedDecoder{
+		f:     f,
+		u:     make([][]fsm.State, k),
+		l:     make([][]byte, k),
+		t:     make([][]byte, k),
+		width: make([]int, k),
+	}
+	for a := 0; a < k; a++ {
+		l16, u := gather.Factor(m.Column(byte(a)))
+		lb := make([]byte, len(l16))
+		for i, v := range l16 {
+			lb[i] = byte(v)
+		}
+		cd.l[a] = lb
+		cd.u[a] = u
+		cd.width[a] = len(u)
+	}
+	for a := 0; a < k; a++ {
+		w := cd.width[a]
+		tab := make([]byte, k*w)
+		for b := 0; b < k; b++ {
+			lb := cd.l[b]
+			for i, q := range cd.u[a] {
+				tab[b*w+i] = lb[q]
+			}
+		}
+		cd.t[a] = tab
+	}
+	return cd
+}
+
+// TableBytes reports the total size of the coalesced transition tables
+// (the §5.3 e·k accounting; ~1 MiB for the paper's Huffman setup, far
+// less here because our alphabet of names is at most the max range).
+func (cd *CoalescedDecoder) TableBytes() int {
+	total := 0
+	for _, tab := range cd.t {
+		total += len(tab)
+	}
+	return total
+}
+
+// Decode walks the coalesced tables: per input byte, one small-table
+// transition, one state materialization for the output lookup, and one
+// string append.
+func (cd *CoalescedDecoder) Decode(enc Encoded) []byte {
+	out := make([]byte, 0, enc.NOut+8)
+	if len(enc.Data) == 0 {
+		return out
+	}
+	outs := cd.f.outs
+	a := enc.Data[0]
+	out = append(out, outs[0*256+int(a)]...) // start state is 0 (root)
+	name := cd.l[a][0]
+	prev := int(a)
+	for _, b := range enc.Data[1:] {
+		state := cd.u[prev][name]
+		out = append(out, outs[int(state)*256+int(b)]...)
+		name = cd.t[prev][int(b)*cd.width[prev]+int(name)]
+		prev = int(b)
+	}
+	if len(out) > enc.NOut {
+		out = out[:enc.NOut]
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package huffman
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestCoalescedDecoderMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(120))
+	for iter := 0; iter < 15; iter++ {
+		text := sampleText(rng, 1+rng.Intn(8000))
+		c, err := FromSample(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := c.DecoderFSM()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cd := f.NewCoalescedDecoder()
+		enc, err := c.Encode(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := f.DecodeSequential(enc)
+		got := cd.Decode(enc)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("iter %d: coalesced decode differs", iter)
+		}
+		if !bytes.Equal(got, text) {
+			t.Fatalf("iter %d: roundtrip failed", iter)
+		}
+	}
+}
+
+func TestCoalescedDecoderEmpty(t *testing.T) {
+	c, _ := FromSample([]byte("abcabc"))
+	f, _ := c.DecoderFSM()
+	cd := f.NewCoalescedDecoder()
+	enc, _ := c.Encode(nil)
+	if out := cd.Decode(enc); len(out) != 0 {
+		t.Error("empty decode should be empty")
+	}
+}
+
+func TestCoalescedTablesAreSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	text := sampleText(rng, 30000)
+	c, _ := FromSample(text)
+	f, _ := c.DecoderFSM()
+	cd := f.NewCoalescedDecoder()
+	// §5.3 accounting: the tables total e·k entries — larger than the
+	// flat n·k table (the paper's "256 range tables each of size
+	// 16·256" ≈ 1 MiB) — but bounded by maxRange·k².
+	wantTotal := 0
+	for a := 0; a < 256; a++ {
+		wantTotal += f.ByteMachine.RangeSize(byte(a)) * 256
+	}
+	if cd.TableBytes() != wantTotal {
+		t.Errorf("coalesced tables %dB, accounting says %dB", cd.TableBytes(), wantTotal)
+	}
+	bound := f.ByteMachine.MaxRangeSize() * 256 * 256
+	if cd.TableBytes() > bound {
+		t.Errorf("coalesced tables %dB exceed bound %dB", cd.TableBytes(), bound)
+	}
+	// The per-step working set — one symbol's table — is what shrinks:
+	// it must fit comfortably in L1 regardless of state count.
+	for a := 0; a < 256; a++ {
+		if w := f.ByteMachine.RangeSize(byte(a)); w > f.ByteMachine.MaxRangeSize() {
+			t.Fatalf("range %d exceeds max", w)
+		}
+	}
+	if f.ByteMachine.MaxRangeSize()*256 > 32*1024 {
+		t.Errorf("per-step table %dB would not be L1-resident", f.ByteMachine.MaxRangeSize()*256)
+	}
+}
+
+func TestCoalescedDecoderSingleSymbol(t *testing.T) {
+	var freq [256]int64
+	freq['q'] = 5
+	c, err := New(&freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.DecoderFSM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd := f.NewCoalescedDecoder()
+	text := bytes.Repeat([]byte("q"), 33)
+	enc, _ := c.Encode(text)
+	if got := cd.Decode(enc); !bytes.Equal(got, text) {
+		t.Error("single-symbol coalesced roundtrip failed")
+	}
+}

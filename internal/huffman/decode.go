@@ -1,0 +1,167 @@
+package huffman
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/fsm"
+)
+
+// DecoderFSM is the byte-unrolled decoding machine: states are the
+// internal nodes of the Huffman tree (root = state 0), the alphabet is
+// the 256 possible input bytes, and every transition is annotated with
+// the symbols decoded along its 8-bit path.
+type DecoderFSM struct {
+	codec *Codec
+	// BitMachine consumes one bit per step (2-symbol alphabet).
+	BitMachine *fsm.DFA
+	// ByteMachine is BitMachine unrolled 8×: one input byte per step.
+	ByteMachine *fsm.DFA
+	// outs[state*256+b] is the byte string emitted when consuming input
+	// byte b in state — the "statically predetermined strings" of §6.2.
+	outs [][]byte
+}
+
+// DecoderFSM builds the decoding machine for the codec.
+func (c *Codec) DecoderFSM() (*DecoderFSM, error) {
+	// Number internal nodes; root first so the start state is 0.
+	var internals []*node
+	index := map[*node]int{}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			return
+		}
+		if _, ok := index[n]; ok {
+			return // degenerate tree shares children
+		}
+		index[n] = len(internals)
+		internals = append(internals, n)
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(c.root)
+	if len(internals) == 0 {
+		return nil, fmt.Errorf("huffman: tree has no internal nodes")
+	}
+
+	bitM, err := fsm.New(len(internals), 2)
+	if err != nil {
+		return nil, err
+	}
+	// emit[state][bit] is the symbol emitted (if any) on that edge.
+	type emission struct {
+		sym byte
+		ok  bool
+	}
+	emit := make([][2]emission, len(internals))
+	for qi, v := range internals {
+		for bit := 0; bit < 2; bit++ {
+			child := v.left
+			if bit == 1 {
+				child = v.right
+			}
+			if child.leaf {
+				bitM.SetTransition(fsm.State(qi), byte(bit), 0) // back to root
+				emit[qi][bit] = emission{sym: child.sym, ok: true}
+			} else {
+				bitM.SetTransition(fsm.State(qi), byte(bit), fsm.State(index[child]))
+			}
+		}
+	}
+
+	byteM, err := bitM.Unroll(8)
+	if err != nil {
+		return nil, err
+	}
+
+	// Precompute per-(state, byte) output strings by walking the 8-bit
+	// path and collecting emissions.
+	outs := make([][]byte, len(internals)*256)
+	for qi := range internals {
+		for b := 0; b < 256; b++ {
+			var o []byte
+			q := fsm.State(qi)
+			for i := 7; i >= 0; i-- {
+				bit := byte(b>>uint(i)) & 1
+				if e := emit[q][bit]; e.ok {
+					o = append(o, e.sym)
+				}
+				q = bitM.Next(q, bit)
+			}
+			outs[qi*256+b] = o
+		}
+	}
+
+	return &DecoderFSM{codec: c, BitMachine: bitM, ByteMachine: byteM, outs: outs}, nil
+}
+
+// Output returns the symbols emitted when consuming byte b in state q.
+// The returned slice is shared and must not be mutated.
+func (f *DecoderFSM) Output(q fsm.State, b byte) []byte {
+	return f.outs[int(q)*256+int(b)]
+}
+
+// DecodeSequential is the paper's optimized sequential baseline: one
+// table transition and one (usually short) string append per input
+// byte (§6.2, ≥300 MB/s on the paper's hardware).
+func (f *DecoderFSM) DecodeSequential(enc Encoded) []byte {
+	out := make([]byte, 0, enc.NOut+8)
+	q := fsm.State(0)
+	for _, b := range enc.Data {
+		out = append(out, f.outs[int(q)*256+int(b)]...)
+		q = f.ByteMachine.Next(q, b)
+	}
+	if len(out) > enc.NOut {
+		out = out[:enc.NOut] // drop symbols decoded from padding bits
+	}
+	return out
+}
+
+// DecodeParallel decodes with the enumerative runner: phases 1–2 of
+// Figure 5 resolve each chunk's start state with the range-coalesced
+// strategy (one emulated shuffle per byte, §6.2), then each chunk is
+// decoded sequentially in parallel and the per-chunk outputs are
+// stitched in order — the "additional pass to process the output into
+// appropriate form" the paper accounts for.
+func (f *DecoderFSM) DecodeParallel(enc Encoded, opts ...core.Option) ([]byte, error) {
+	r, err := core.New(f.ByteMachine, opts...)
+	if err != nil {
+		return nil, err
+	}
+	type piece struct {
+		off int
+		buf []byte
+	}
+	var mu sync.Mutex
+	var pieces []piece
+	r.RunChunked(enc.Data, 0, func(off int, chunk []byte, start fsm.State) fsm.State {
+		buf := make([]byte, 0, len(chunk)*2)
+		q := start
+		for _, b := range chunk {
+			buf = append(buf, f.outs[int(q)*256+int(b)]...)
+			q = f.ByteMachine.Next(q, b)
+		}
+		mu.Lock()
+		pieces = append(pieces, piece{off, buf})
+		mu.Unlock()
+		return q
+	})
+	sort.Slice(pieces, func(i, j int) bool { return pieces[i].off < pieces[j].off })
+	out := make([]byte, 0, enc.NOut+8)
+	for _, p := range pieces {
+		out = append(out, p.buf...)
+	}
+	if len(out) > enc.NOut {
+		out = out[:enc.NOut]
+	}
+	return out, nil
+}
+
+// Runner returns a configured enumerative runner over the byte machine,
+// for benchmarks that want to control strategy and measure phases.
+func (f *DecoderFSM) Runner(opts ...core.Option) (*core.Runner, error) {
+	return core.New(f.ByteMachine, opts...)
+}

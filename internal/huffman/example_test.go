@@ -1,0 +1,52 @@
+package huffman_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/huffman"
+)
+
+func ExampleFromSample() {
+	text := bytes.Repeat([]byte("abracadabra "), 100)
+	codec, err := huffman.FromSample(text)
+	if err != nil {
+		panic(err)
+	}
+	enc, err := codec.Encode(text)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("symbols=%d compressed=%d%% of original\n",
+		codec.NumSymbols(), 100*len(enc.Data)/len(text))
+	// Output: symbols=6 compressed=29% of original
+}
+
+func ExampleDecoderFSM_DecodeParallel() {
+	text := bytes.Repeat([]byte("the quick brown fox "), 500)
+	codec, _ := huffman.FromSample(text)
+	dec, err := codec.DecoderFSM()
+	if err != nil {
+		panic(err)
+	}
+	enc, _ := codec.Encode(text)
+	out, err := dec.DecodeParallel(enc, core.WithProcs(2), core.WithMinChunk(256))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(bytes.Equal(out, text), dec.ByteMachine.NumStates() == dec.BitMachine.NumStates())
+	// Output: true true
+}
+
+func ExampleCodec_ParallelEncode() {
+	text := bytes.Repeat([]byte("parallel encoding merges bitstreams "), 10000)
+	codec, _ := huffman.FromSample(text)
+	seq, _ := codec.Encode(text)
+	par, err := codec.ParallelEncode(text, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(bytes.Equal(seq.Data, par.Data), seq.NBits == par.NBits)
+	// Output: true true
+}

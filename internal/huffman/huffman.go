@@ -1,0 +1,216 @@
+// Package huffman implements the Huffman-decoding case study (§6.2):
+// code construction, encoding, a libhuffman-style bit-walking decoder
+// (the paper's original ~5 MB/s baseline), a byte-unrolled FSM decoder
+// (the paper's optimized sequential baseline), and a data-parallel
+// decoder built on the enumerative runner of internal/core.
+//
+// The decoder FSM's states are the internal nodes of the Huffman tree;
+// each input bit follows a child edge, and reaching a leaf emits the
+// leaf's symbol and restarts at the root. Unrolling by 8 (fsm.Unroll)
+// turns each transition into a whole-byte step that can emit several
+// symbols — the unrolling "increases the number of edges in the FSM but
+// not the number of states". Because the range of the unrolled
+// transition functions is small (the tree has few nodes at depths ≡ 0
+// mod 8), range coalescing encodes state names in a byte and decodes
+// with one emulated shuffle per input byte.
+package huffman
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dpfsm/internal/bitstream"
+)
+
+// node is a Huffman tree node. Leaves carry a symbol.
+type node struct {
+	left, right *node
+	sym         byte
+	leaf        bool
+	weight      int64
+	order       int // tie-break for deterministic trees
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	return h[i].order < h[j].order
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return n
+}
+
+// code is one symbol's bit pattern.
+type code struct {
+	bits uint64
+	n    int
+}
+
+// Codec holds a Huffman tree and its code table.
+type Codec struct {
+	root  *node
+	codes [256]code
+	nsyms int // distinct symbols
+}
+
+// New builds a codec from symbol frequencies. At least one symbol must
+// have a positive count.
+func New(freq *[256]int64) (*Codec, error) {
+	var h nodeHeap
+	order := 0
+	for s := 0; s < 256; s++ {
+		if freq[s] > 0 {
+			h = append(h, &node{sym: byte(s), leaf: true, weight: freq[s], order: order})
+			order++
+		}
+	}
+	if len(h) == 0 {
+		return nil, errors.New("huffman: no symbols")
+	}
+	c := &Codec{nsyms: len(h)}
+	if len(h) == 1 {
+		// Degenerate single-symbol alphabet: give it the 1-bit code 0
+		// under a root whose both children are the same leaf.
+		leaf := h[0]
+		c.root = &node{left: leaf, right: leaf, weight: leaf.weight}
+		c.codes[leaf.sym] = code{bits: 0, n: 1}
+		return c, nil
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*node)
+		b := heap.Pop(&h).(*node)
+		heap.Push(&h, &node{left: a, right: b, weight: a.weight + b.weight, order: order})
+		order++
+	}
+	c.root = h[0]
+	c.assign(c.root, 0, 0)
+	return c, nil
+}
+
+// FromSample builds a codec from the byte distribution of text.
+func FromSample(text []byte) (*Codec, error) {
+	var freq [256]int64
+	for _, b := range text {
+		freq[b]++
+	}
+	return New(&freq)
+}
+
+func (c *Codec) assign(n *node, bits uint64, depth int) {
+	if n.leaf {
+		if depth > 58 {
+			panic("huffman: code longer than 58 bits")
+		}
+		c.codes[n.sym] = code{bits: bits, n: depth}
+		return
+	}
+	c.assign(n.left, bits<<1, depth+1)
+	c.assign(n.right, bits<<1|1, depth+1)
+}
+
+// NumSymbols reports the number of distinct symbols in the code.
+func (c *Codec) NumSymbols() int { return c.nsyms }
+
+// CodeLen reports the bit length of sym's code (0 if absent).
+func (c *Codec) CodeLen(sym byte) int { return c.codes[sym].n }
+
+// Encoded is a compressed payload.
+type Encoded struct {
+	Data  []byte // packed bitstream, zero-padded to a byte boundary
+	NBits int    // valid bits in Data
+	NOut  int    // number of source symbols (decoded length)
+}
+
+// Encode compresses text. Every byte of text must be in the code.
+func (c *Codec) Encode(text []byte) (Encoded, error) {
+	var w bitstream.Writer
+	for i, b := range text {
+		cd := c.codes[b]
+		if cd.n == 0 {
+			return Encoded{}, fmt.Errorf("huffman: symbol %#x at %d not in code", b, i)
+		}
+		w.WriteBits(cd.bits, cd.n)
+	}
+	return Encoded{Data: w.Bytes(), NBits: w.Len(), NOut: len(text)}, nil
+}
+
+// ParallelEncode compresses text with up to procs goroutines: the input
+// is split by symbol count, chunks are encoded independently (encoding
+// is embarrassingly parallel — the paper cites Howard & Vitter for
+// this, §6.2), and the per-chunk bitstreams are merged in order with
+// bit-level shifting. The output is bit-identical to Encode. procs ≤ 0
+// selects runtime.NumCPU().
+func (c *Codec) ParallelEncode(text []byte, procs int) (Encoded, error) {
+	if procs <= 0 {
+		procs = runtime.NumCPU()
+	}
+	const minChunk = 64 << 10
+	if procs > len(text)/minChunk {
+		procs = len(text) / minChunk
+	}
+	if procs <= 1 {
+		return c.Encode(text)
+	}
+	type chunkResult struct {
+		enc Encoded
+		err error
+	}
+	results := make([]chunkResult, procs)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		lo := p * len(text) / procs
+		hi := (p + 1) * len(text) / procs
+		wg.Add(1)
+		go func(p int, part []byte) {
+			defer wg.Done()
+			results[p].enc, results[p].err = c.Encode(part)
+		}(p, text[lo:hi])
+	}
+	wg.Wait()
+
+	var w bitstream.Writer
+	for p := range results {
+		if results[p].err != nil {
+			return Encoded{}, results[p].err
+		}
+		w.AppendStream(results[p].enc.Data, results[p].enc.NBits)
+	}
+	return Encoded{Data: w.Bytes(), NBits: w.Len(), NOut: len(text)}, nil
+}
+
+// DecodeBitwalk is the libhuffman-style baseline: walk the tree one bit
+// at a time, chasing pointers (§6.2 measures this at ~5 MB/s).
+func (c *Codec) DecodeBitwalk(enc Encoded) []byte {
+	out := make([]byte, 0, enc.NOut)
+	r := bitstream.NewReader(enc.Data, enc.NBits)
+	cur := c.root
+	for len(out) < enc.NOut {
+		b, ok := r.ReadBit()
+		if !ok {
+			break
+		}
+		if b == 0 {
+			cur = cur.left
+		} else {
+			cur = cur.right
+		}
+		if cur.leaf {
+			out = append(out, cur.sym)
+			cur = c.root
+		}
+	}
+	return out
+}

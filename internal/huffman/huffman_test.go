@@ -1,0 +1,257 @@
+package huffman
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/fsm"
+)
+
+func sampleText(rng *rand.Rand, n int) []byte {
+	// Skewed English-ish distribution so codes have varied lengths.
+	const letters = "eeeeeeeeeettttttaaaaooooiiinnnsssrrhhldcumfpg ywbvkxjqz...,,!?\n"
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = letters[rng.Intn(len(letters))]
+	}
+	return out
+}
+
+func TestNewErrors(t *testing.T) {
+	var freq [256]int64
+	if _, err := New(&freq); err == nil {
+		t.Error("empty frequency table should fail")
+	}
+}
+
+func TestSingleSymbolCodec(t *testing.T) {
+	var freq [256]int64
+	freq['z'] = 10
+	c, err := New(&freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumSymbols() != 1 || c.CodeLen('z') != 1 {
+		t.Fatalf("nsyms=%d len=%d", c.NumSymbols(), c.CodeLen('z'))
+	}
+	text := bytes.Repeat([]byte("z"), 100)
+	enc, err := c.Encode(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.DecodeBitwalk(enc); !bytes.Equal(got, text) {
+		t.Error("bitwalk roundtrip failed for single-symbol code")
+	}
+	f, err := c.DecoderFSM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.DecodeSequential(enc); !bytes.Equal(got, text) {
+		t.Error("FSM roundtrip failed for single-symbol code")
+	}
+}
+
+func TestKraftEquality(t *testing.T) {
+	// A Huffman code on ≥2 symbols is complete: Σ 2^-len = 1.
+	rng := rand.New(rand.NewSource(90))
+	for iter := 0; iter < 20; iter++ {
+		text := sampleText(rng, 2000)
+		c, err := FromSample(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for s := 0; s < 256; s++ {
+			if n := c.CodeLen(byte(s)); n > 0 {
+				sum += 1 / float64(uint64(1)<<uint(n))
+			}
+		}
+		if sum < 0.999999 || sum > 1.000001 {
+			t.Fatalf("Kraft sum = %v", sum)
+		}
+	}
+}
+
+func TestOptimalityAgainstUniform(t *testing.T) {
+	// On a strongly skewed distribution the Huffman-coded size must
+	// beat the flat log2(nsyms) encoding.
+	rng := rand.New(rand.NewSource(91))
+	text := sampleText(rng, 10000)
+	c, _ := FromSample(text)
+	enc, err := c.Encode(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatBits := 6 * len(text) // 64 distinct symbols max in sampleText
+	if enc.NBits >= flatBits {
+		t.Errorf("Huffman %d bits not better than flat %d", enc.NBits, flatBits)
+	}
+}
+
+func TestEncodeUnknownSymbol(t *testing.T) {
+	c, _ := FromSample([]byte("aaabbb"))
+	if _, err := c.Encode([]byte("abc")); err == nil {
+		t.Error("encoding a symbol outside the code should fail")
+	}
+}
+
+func TestBitwalkRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for iter := 0; iter < 20; iter++ {
+		text := sampleText(rng, 1+rng.Intn(5000))
+		c, _ := FromSample(text)
+		enc, err := c.Encode(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.DecodeBitwalk(enc); !bytes.Equal(got, text) {
+			t.Fatalf("iter %d: bitwalk roundtrip failed", iter)
+		}
+	}
+}
+
+func TestFSMSequentialMatchesBitwalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for iter := 0; iter < 20; iter++ {
+		text := sampleText(rng, 1+rng.Intn(5000))
+		c, _ := FromSample(text)
+		f, err := c.DecoderFSM()
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, _ := c.Encode(text)
+		a := c.DecodeBitwalk(enc)
+		b := f.DecodeSequential(enc)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("iter %d: FSM decode differs from bitwalk", iter)
+		}
+		if !bytes.Equal(b, text) {
+			t.Fatalf("iter %d: roundtrip failed", iter)
+		}
+	}
+}
+
+func TestDecoderFSMShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	text := sampleText(rng, 20000)
+	c, _ := FromSample(text)
+	f, err := c.DecoderFSM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Internal nodes = nsyms - 1 for a proper binary Huffman tree.
+	if got, want := f.BitMachine.NumStates(), c.NumSymbols()-1; got != want {
+		t.Errorf("bit machine states %d, want %d", got, want)
+	}
+	if f.ByteMachine.NumStates() != f.BitMachine.NumStates() {
+		t.Error("unrolling must not change the state count")
+	}
+	if f.ByteMachine.NumSymbols() != 256 {
+		t.Error("byte machine must have 256 symbols")
+	}
+	// §6.2's observation: unrolled range is small (≤16 for all 34
+	// books). Our skewed sample should satisfy it comfortably.
+	if r := f.ByteMachine.MaxRangeSize(); r > 16 {
+		t.Errorf("max range %d; expected ≤16 for a natural distribution", r)
+	}
+}
+
+func TestOutputStringsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	text := sampleText(rng, 3000)
+	c, _ := FromSample(text)
+	f, _ := c.DecoderFSM()
+	// Emitted outputs across a byte must replay through the bit machine.
+	for trial := 0; trial < 200; trial++ {
+		q := rng.Intn(f.BitMachine.NumStates())
+		b := byte(rng.Intn(256))
+		out := f.Output(fsm.State(q), b)
+		// Replay: decode by hand with the bit machine and emissions
+		// derived from code tables by decoding out's codes.
+		var w int
+		for _, sym := range out {
+			w += c.CodeLen(sym)
+		}
+		if w > 8+58 { // any single byte can finish one pending code ≤58 bits... sanity only
+			t.Fatalf("implausible emitted width %d", w)
+		}
+	}
+}
+
+func TestDecodeParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	for _, n := range []int{0, 1, 100, 5000, 60000} {
+		text := sampleText(rng, n+1)[:n]
+		if n == 0 {
+			continue // Encode of empty text handled below
+		}
+		c, _ := FromSample(sampleText(rng, 4000))
+		// Re-encode with a codec that covers the text's symbols.
+		c, _ = FromSample(append(text, sampleText(rng, 100)...))
+		f, err := c.DecoderFSM()
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := c.Encode(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := f.DecodeSequential(enc)
+		got, err := f.DecodeParallel(enc, core.WithProcs(4), core.WithMinChunk(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("n=%d: parallel decode differs (%d vs %d bytes)", n, len(got), len(want))
+		}
+		if !bytes.Equal(got, text) {
+			t.Fatalf("n=%d: parallel roundtrip failed", n)
+		}
+	}
+}
+
+func TestDecodeParallelSingleProc(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	text := sampleText(rng, 2000)
+	c, _ := FromSample(text)
+	f, _ := c.DecoderFSM()
+	enc, _ := c.Encode(text)
+	got, err := f.DecodeParallel(enc) // defaults: 1 proc
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, text) {
+		t.Error("single-proc parallel decode failed")
+	}
+}
+
+func TestRunnerAutoPicksRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(98))
+	text := sampleText(rng, 10000)
+	c, _ := FromSample(text)
+	f, _ := c.DecoderFSM()
+	r, err := f.Runner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ByteMachine.MaxRangeSize() <= 16 && r.Strategy() != core.RangeCoalesced {
+		t.Errorf("auto strategy = %v for range-%d machine", r.Strategy(), f.ByteMachine.MaxRangeSize())
+	}
+}
+
+func TestEncodeEmpty(t *testing.T) {
+	c, _ := FromSample([]byte("ab"))
+	enc, err := c.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.NBits != 0 || enc.NOut != 0 {
+		t.Error("empty encode should be empty")
+	}
+	f, _ := c.DecoderFSM()
+	if out := f.DecodeSequential(enc); len(out) != 0 {
+		t.Error("empty decode should be empty")
+	}
+}

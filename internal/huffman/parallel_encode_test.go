@@ -1,0 +1,143 @@
+package huffman
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dpfsm/internal/bitstream"
+)
+
+func TestParallelEncodeBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(180))
+	text := sampleText(rng, 300_000) // above the per-chunk minimum
+	c, err := FromSample(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Encode(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{0, 1, 2, 3, 4} {
+		got, err := c.ParallelEncode(text, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NBits != want.NBits || got.NOut != want.NOut {
+			t.Fatalf("procs=%d: header differs (%d/%d vs %d/%d)",
+				procs, got.NBits, got.NOut, want.NBits, want.NOut)
+		}
+		if !bytes.Equal(got.Data, want.Data) {
+			t.Fatalf("procs=%d: bitstream differs", procs)
+		}
+	}
+}
+
+func TestParallelEncodeSmallInputFallsBack(t *testing.T) {
+	c, _ := FromSample([]byte("aabbcc"))
+	got, err := c.ParallelEncode([]byte("abc"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := c.Encode([]byte("abc"))
+	if !bytes.Equal(got.Data, want.Data) || got.NBits != want.NBits {
+		t.Fatal("tiny input should fall back to sequential encoding")
+	}
+}
+
+func TestParallelEncodeUnknownSymbol(t *testing.T) {
+	c, _ := FromSample(bytes.Repeat([]byte("ab"), 100_000))
+	bad := bytes.Repeat([]byte("ab"), 100_000)
+	bad[150_000] = 'z'
+	if _, err := c.ParallelEncode(bad, 2); err == nil {
+		t.Error("unknown symbol must surface from a worker")
+	}
+}
+
+func TestParallelEncodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	text := sampleText(rng, 400_000)
+	c, _ := FromSample(text)
+	f, err := c.DecoderFSM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := c.ParallelEncode(text, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.DecodeSequential(enc); !bytes.Equal(got, text) {
+		t.Fatal("parallel-encoded stream failed to decode")
+	}
+}
+
+// Property: AppendStream over arbitrary splits reproduces the bit-serial
+// writer exactly.
+func TestAppendStreamProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(182))
+	f := func(raw []byte, cut uint8, lead uint8) bool {
+		// Reference: write lead (0..7) padding bits then all of raw's
+		// bits one at a time.
+		nlead := int(lead % 8)
+		var ref bitstream.Writer
+		for i := 0; i < nlead; i++ {
+			ref.WriteBit(1)
+		}
+		for _, b := range raw {
+			ref.WriteBits(uint64(b), 8)
+		}
+		// Candidate: same lead bits, then the packed stream appended in
+		// two arbitrary pieces.
+		var w bitstream.Writer
+		for i := 0; i < nlead; i++ {
+			w.WriteBit(1)
+		}
+		k := 0
+		if len(raw) > 0 {
+			k = int(cut) % (len(raw) + 1)
+		}
+		w.AppendStream(raw[:k], k*8)
+		w.AppendStream(raw[k:], (len(raw)-k)*8)
+		if w.Len() != ref.Len() {
+			return false
+		}
+		return bytes.Equal(w.Bytes(), ref.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendStreamPartialBits(t *testing.T) {
+	// Append 11 bits of a 2-byte stream onto an unaligned writer.
+	var w bitstream.Writer
+	w.WriteBits(0b101, 3)
+	w.AppendStream([]byte{0b11001010, 0b01100000}, 11)
+	// Expect: 101 11001010 011 → 10111001 01001100 padded? total 14 bits.
+	if w.Len() != 14 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	var ref bitstream.Writer
+	ref.WriteBits(0b101, 3)
+	ref.WriteBits(0b11001010, 8)
+	ref.WriteBits(0b011, 3)
+	if !bytes.Equal(w.Bytes(), ref.Bytes()) {
+		t.Fatalf("got %08b want %08b", w.Bytes(), ref.Bytes())
+	}
+}
+
+func TestAppendStreamClampsAndIgnoresEmpty(t *testing.T) {
+	var w bitstream.Writer
+	w.AppendStream(nil, 10) // clamps to 0
+	w.AppendStream([]byte{0xFF}, 0)
+	w.AppendStream([]byte{0xFF}, -3)
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", w.Len())
+	}
+	w.AppendStream([]byte{0xAA}, 99) // clamps to 8
+	if w.Len() != 8 || w.Bytes()[0] != 0xAA {
+		t.Fatalf("clamped append wrong: len=%d", w.Len())
+	}
+}

@@ -1,0 +1,83 @@
+package regex_test
+
+import (
+	"fmt"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/regex"
+)
+
+func ExampleCompile() {
+	d, err := regex.Compile(`cat|dog`, regex.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(d.Accepts([]byte("hotdog stand")))
+	fmt.Println(d.Accepts([]byte("canary")))
+	// Output:
+	// true
+	// false
+}
+
+func ExampleCompile_anchored() {
+	d, _ := regex.Compile(`\d{4}-\d{2}`, regex.Options{Anchored: true})
+	fmt.Println(d.Accepts([]byte("2014-03")))
+	fmt.Println(d.Accepts([]byte("x 2014-03")))
+	// Output:
+	// true
+	// false
+}
+
+func ExampleCompile_withRunner() {
+	d, _ := regex.Compile(`UNION\s+SELECT`, regex.Options{CaseInsensitive: true})
+	r, _ := core.New(d, core.WithProcs(2))
+	fmt.Println(r.Strategy(), r.Accepts([]byte("id=1 union  select pass")))
+	// Output: range true
+}
+
+func ExampleCompileNFA() {
+	// Patterns whose DFA would blow up still run as NFA simulations.
+	m, err := regex.CompileNFA(`a[ab]{20}b`, regex.Options{})
+	if err != nil {
+		panic(err)
+	}
+	witness := append([]byte("xx a"), []byte("abababababababababab")...)
+	witness = append(witness, 'b')
+	fmt.Println(m.Match(witness), m.Match([]byte("aaa")))
+	// Output: true false
+}
+
+func ExampleNewFinder() {
+	f, err := regex.NewFinder(`wget http`, regex.Options{})
+	if err != nil {
+		panic(err)
+	}
+	input := []byte("GET /x; wget http://evil; done")
+	s, e, ok := f.Find(input)
+	fmt.Println(ok, string(input[s:e]))
+	// Output: true wget http
+}
+
+func ExampleFinder_FindAll() {
+	f, _ := regex.NewFinder(`\d+`, regex.Options{})
+	input := []byte("a12b345c6")
+	for _, span := range f.FindAll(input, -1) {
+		fmt.Println(string(input[span[0]:span[1]]))
+	}
+	// Output:
+	// 12
+	// 345
+	// 6
+}
+
+func ExampleCompileRuleSet() {
+	rs, err := regex.CompileRuleSet([]regex.Rule{
+		{Name: "traversal", Pattern: `\.\./`},
+		{Name: "sqli", Pattern: `union\s+select`, Options: regex.Options{CaseInsensitive: true}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rs.Matched([]byte("GET /../../etc/passwd"), 0))
+	// Output: [traversal]
+}

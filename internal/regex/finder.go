@@ -1,0 +1,218 @@
+package regex
+
+// Match-position extraction. Acceptance tells a scanner *that* a match
+// exists; reporting *where* takes two machines (the classic
+// RE2/Thompson technique):
+//
+//   - the forward "contains" machine finds the earliest position e at
+//     which some match ends (core.FirstAccepting does this scan,
+//     data-parallel when the runner is multicore); and
+//   - a machine for the *reversed* pattern, run backward over
+//     input[..e], finds the leftmost start s such that input[s..e]
+//     matches — the farthest backward position where the reversed
+//     machine accepts.
+//
+// The result is the leftmost match end and, for that end, the leftmost
+// start (leftmost-longest-start for the fixed end).
+
+import (
+	"fmt"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/fsm"
+)
+
+// reverseAST returns the AST of the reversed language: concatenations
+// flip, everything else recurses.
+func reverseAST(n Node) Node {
+	switch t := n.(type) {
+	case *Concat:
+		subs := make([]Node, len(t.Subs))
+		for i, s := range t.Subs {
+			subs[len(subs)-1-i] = reverseAST(s)
+		}
+		return &Concat{Subs: subs}
+	case *Alt:
+		subs := make([]Node, len(t.Subs))
+		for i, s := range t.Subs {
+			subs[i] = reverseAST(s)
+		}
+		return &Alt{Subs: subs}
+	case *Repeat:
+		return &Repeat{Sub: reverseAST(t.Sub), Min: t.Min, Max: t.Max}
+	default:
+		return n // Leaf, Empty, endAnchor carry no order
+	}
+}
+
+// Finder locates matches of an unanchored pattern. The reported span
+// is deterministic three-step semantics: the *earliest end* of any
+// match (a streaming scanner reports as soon as something completes),
+// the *leftmost start* among matches with that end, and then the
+// *longest extent* from that start — so `\d+` on "abc123" reports
+// "123", not "1".
+type Finder struct {
+	fwd    *fsm.DFA // contains-semantics machine (sticky accept)
+	rev    *fsm.DFA // reversed pattern, "ends here" semantics
+	exact  *fsm.DFA // anchored machine, for the longest-extent pass
+	dead   []bool   // exact-machine states that can never accept again
+	runner *core.Runner
+}
+
+// NewFinder compiles the forward and reversed machines. opts.Anchored
+// is rejected — anchored matches need no search. runnerOpts configure
+// the forward scan (strategy/procs).
+func NewFinder(pattern string, opts Options, runnerOpts ...core.Option) (*Finder, error) {
+	if opts.Anchored {
+		return nil, fmt.Errorf("regex: Finder is for unanchored search")
+	}
+	parsed, err := Parse(pattern, opts.CaseInsensitive)
+	if err != nil {
+		return nil, err
+	}
+	if parsed.AnchorStart || parsed.AnchorEnd {
+		return nil, fmt.Errorf("regex: Finder does not support ^/$ anchors")
+	}
+	fwd, err := compileParsed(parsed, opts)
+	if err != nil {
+		return nil, err
+	}
+	if fwd.Accepting(fwd.Start()) {
+		// With Σ*PΣ* semantics the start state accepts iff P matches
+		// the empty string, in which case every position "matches" and
+		// there is nothing useful to report.
+		return nil, fmt.Errorf("regex: pattern matches the empty string; Finder needs a non-nullable pattern")
+	}
+
+	// Reversed machine: Σ* prefix (so it can start anywhere when run
+	// backward from the match end) but NO sticky accept — acceptance
+	// must mark exact reversed-match ends, i.e. forward match starts.
+	revAST := reverseAST(parsed.Root)
+	n := fromAST(revAST, true)
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	rev, err := determinize(n, maxStates, false)
+	if err != nil {
+		return nil, err
+	}
+	rev = rev.Minimize()
+
+	exact, err := compileParsed(parsed, Options{
+		CaseInsensitive: opts.CaseInsensitive,
+		Anchored:        true,
+		MaxStates:       opts.MaxStates,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	runner, err := core.New(fwd, runnerOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Finder{
+		fwd:    fwd,
+		rev:    rev,
+		exact:  exact,
+		dead:   deadStates(exact),
+		runner: runner,
+	}, nil
+}
+
+// deadStates marks states from which no accepting state is reachable —
+// the longest-extent scan stops there.
+func deadStates(d *fsm.DFA) []bool {
+	n := d.NumStates()
+	// Reverse reachability from accepting states.
+	rev := make([][]fsm.State, n)
+	for q := 0; q < n; q++ {
+		for a := 0; a < d.NumSymbols(); a++ {
+			r := d.Next(fsm.State(q), byte(a))
+			rev[r] = append(rev[r], fsm.State(q))
+		}
+	}
+	alive := make([]bool, n)
+	var stack []fsm.State
+	for q := 0; q < n; q++ {
+		if d.Accepting(fsm.State(q)) {
+			alive[q] = true
+			stack = append(stack, fsm.State(q))
+		}
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[q] {
+			if !alive[p] {
+				alive[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	dead := make([]bool, n)
+	for q := range dead {
+		dead[q] = !alive[q]
+	}
+	return dead
+}
+
+// Machine returns the forward machine (for stats/strategy inspection).
+func (f *Finder) Machine() *fsm.DFA { return f.fwd }
+
+// Find returns the span [start, end) of a match under the semantics
+// documented on Finder. ok is false when input has no match.
+func (f *Finder) Find(input []byte) (start, end int, ok bool) {
+	e := f.runner.FirstAccepting(input, f.fwd.Start())
+	if e < 0 {
+		return 0, 0, false
+	}
+	end = e + 1 // FirstAccepting reports the index of the last byte
+
+	// Backward scan: run the reversed machine over input[end-1 .. 0],
+	// remembering the farthest (smallest forward index) accept.
+	q := f.rev.Start()
+	start = end
+	for i := end - 1; i >= 0; i-- {
+		q = f.rev.Next(q, input[i])
+		if f.rev.Accepting(q) {
+			start = i
+		}
+	}
+
+	// Longest-extent pass: run the anchored machine from start,
+	// remembering the last accept; stop early once no accept is
+	// reachable.
+	qe := f.exact.Start()
+	for i := start; i < len(input); i++ {
+		qe = f.exact.Next(qe, input[i])
+		if f.exact.Accepting(qe) {
+			end = i + 1
+		}
+		if f.dead[qe] {
+			break
+		}
+	}
+	return start, end, true
+}
+
+// FindAll returns all non-overlapping leftmost matches, scanning left
+// to right (each search resumes at the previous match end). limit < 0
+// means no limit.
+func (f *Finder) FindAll(input []byte, limit int) [][2]int {
+	var out [][2]int
+	off := 0
+	for limit < 0 || len(out) < limit {
+		s, e, ok := f.Find(input[off:])
+		if !ok {
+			break
+		}
+		out = append(out, [2]int{off + s, off + e})
+		if e == 0 {
+			break // defensive: no progress
+		}
+		off += e
+	}
+	return out
+}

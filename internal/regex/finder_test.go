@@ -1,0 +1,172 @@
+package regex
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpfsm/internal/core"
+)
+
+// naiveFind is the oracle for the Finder's documented semantics:
+// earliest end, then leftmost start for that end, then longest extent
+// from that start — all by brute force with the AST matcher.
+func naiveFind(root Node, input []byte) (start, end int, ok bool) {
+	for e := 1; e <= len(input); e++ {
+		for s := 0; s < e; s++ {
+			if MatchAST(root, input[s:e]) {
+				best := s
+				for s2 := 0; s2 < s; s2++ {
+					if MatchAST(root, input[s2:e]) {
+						best = s2
+						break
+					}
+				}
+				longest := e
+				for e2 := len(input); e2 > e; e2-- {
+					if MatchAST(root, input[best:e2]) {
+						longest = e2
+						break
+					}
+				}
+				return best, longest, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+func TestFinderBasics(t *testing.T) {
+	cases := []struct {
+		pat, in    string
+		start, end int
+		ok         bool
+	}{
+		{"abc", "xxabcyy", 2, 5, true},
+		{"abc", "abc", 0, 3, true},
+		{"abc", "xyz", 0, 0, false},
+		{"a+", "bbaaab", 2, 5, true}, // earliest end finds the first 'a', then extends to the full run
+		{"a|ba", "cba", 1, 3, true},  // end=3 via "ba"? no: "a" ends at 3 too; leftmost start is 1
+		{`\d+`, "abc123", 3, 6, true},
+	}
+	for _, c := range cases {
+		f, err := NewFinder(c.pat, Options{})
+		if err != nil {
+			t.Fatalf("NewFinder(%q): %v", c.pat, err)
+		}
+		s, e, ok := f.Find([]byte(c.in))
+		if ok != c.ok || (ok && (s != c.start || e != c.end)) {
+			t.Errorf("Find(%q, %q) = (%d,%d,%v), want (%d,%d,%v)",
+				c.pat, c.in, s, e, ok, c.start, c.end, c.ok)
+		}
+	}
+}
+
+func TestFinderMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(220))
+	for iter := 0; iter < 50; iter++ {
+		pat := randomPattern(rng, 2)
+		parsed, err := Parse(pat, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := NewFinder(pat, Options{})
+		if err != nil {
+			continue // nullable pattern or state blowup: both rejected by design
+		}
+		for trial := 0; trial < 30; trial++ {
+			in := make([]byte, rng.Intn(10))
+			for i := range in {
+				in[i] = "abc"[rng.Intn(3)]
+			}
+			ws, we, wok := naiveFind(parsed.Root, in)
+			gs, ge, gok := f.Find(in)
+			// The oracle skips empty matches like Find does (e ranges
+			// from 1 and s < e).
+			if gok != wok || (gok && (gs != ws || ge != we)) {
+				t.Fatalf("pattern %q input %q: Find=(%d,%d,%v) oracle=(%d,%d,%v)",
+					pat, in, gs, ge, gok, ws, we, wok)
+			}
+		}
+	}
+}
+
+func TestFinderMulticore(t *testing.T) {
+	f, err := NewFinder("needle", Options{}, core.WithProcs(4), core.WithMinChunk(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]byte, 10000)
+	copy(in[7777:], "needle")
+	s, e, ok := f.Find(in)
+	if !ok || s != 7777 || e != 7783 {
+		t.Fatalf("Find = (%d,%d,%v)", s, e, ok)
+	}
+}
+
+func TestFinderFindAll(t *testing.T) {
+	f, err := NewFinder("ab+", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []byte("ab abb xx ab")
+	spans := f.FindAll(in, -1)
+	// "ab" at 0..2, then the full "abb" at 3..6 (longest extension),
+	// then "ab" at 10..12.
+	want := [][2]int{{0, 2}, {3, 6}, {10, 12}}
+	if len(spans) != len(want) {
+		t.Fatalf("spans = %v, want %v", spans, want)
+	}
+	for i := range want {
+		if spans[i] != want[i] {
+			t.Fatalf("spans = %v, want %v", spans, want)
+		}
+	}
+	if got := f.FindAll(in, 2); len(got) != 2 {
+		t.Fatalf("limit 2 returned %d spans", len(got))
+	}
+}
+
+func TestFinderRejectsAnchors(t *testing.T) {
+	if _, err := NewFinder("^a", Options{}); err == nil {
+		t.Error("anchored pattern should be rejected")
+	}
+	if _, err := NewFinder("a$", Options{}); err == nil {
+		t.Error("end-anchored pattern should be rejected")
+	}
+	if _, err := NewFinder("a", Options{Anchored: true}); err == nil {
+		t.Error("Anchored option should be rejected")
+	}
+	if _, err := NewFinder("(", Options{}); err == nil {
+		t.Error("bad pattern should be rejected")
+	}
+	if _, err := NewFinder("a*", Options{}); err == nil {
+		t.Error("nullable pattern should be rejected")
+	}
+}
+
+func TestReverseAST(t *testing.T) {
+	parsed, err := Parse("ab(c|de)f{2,3}", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := reverseAST(parsed.Root)
+	// Reversal is an involution.
+	again := reverseAST(rev)
+	if Dump(again) != Dump(parsed.Root) {
+		t.Errorf("double reversal changed the AST:\n %s\n %s", Dump(parsed.Root), Dump(again))
+	}
+	// The reversed language contains reversed witnesses.
+	for _, w := range []string{"abcff", "abdeff", "abcfff"} {
+		fwd := []byte(w)
+		bwd := make([]byte, len(fwd))
+		for i := range fwd {
+			bwd[len(fwd)-1-i] = fwd[i]
+		}
+		if !MatchAST(parsed.Root, fwd) {
+			t.Fatalf("oracle rejects forward witness %q", w)
+		}
+		if !MatchAST(rev, bwd) {
+			t.Fatalf("reversed AST rejects reversed witness %q", bwd)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package regex
+
+import (
+	"testing"
+)
+
+// FuzzParse throws arbitrary byte strings at the parser: it must never
+// panic, and whatever parses must compile (or fail cleanly) in both the
+// DFA and NFA backends, which must then agree on a few probe inputs.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"abc", "(a|b)*abb", `\d{2,4}-\d+`, "[^a-z]+", "a{0,3}?",
+		"((((x))))", "a|", "|", `\x41[\x00-\xff]`, "^start$", "(?i:MiXeD)",
+		"a[bc]{3}d", `\\`, "[]a]", "a{2", "(?:)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	probes := [][]byte{nil, []byte("a"), []byte("ab"), []byte("abb"), []byte("zzz"), []byte("a1-23")}
+	f.Fuzz(func(t *testing.T, pattern string) {
+		if len(pattern) > 64 {
+			return // keep machines small
+		}
+		parsed, err := Parse(pattern, false)
+		if err != nil {
+			return
+		}
+		_ = parsed
+		d, derr := Compile(pattern, Options{MaxStates: 2000})
+		m, merr := CompileNFA(pattern, Options{})
+		if merr != nil {
+			t.Fatalf("NFA compile failed after successful parse: %v", merr)
+		}
+		if derr != nil {
+			return // state blowup is a legitimate clean failure
+		}
+		for _, in := range probes {
+			if d.Accepts(in) != m.Match(in) {
+				t.Fatalf("pattern %q input %q: DFA=%v NFA=%v", pattern, in, d.Accepts(in), m.Match(in))
+			}
+		}
+	})
+}
+
+// FuzzMatchAgainstOracle fuzzes (pattern, input) pairs over a tiny
+// alphabet, checking the DFA against the exponential AST oracle.
+func FuzzMatchAgainstOracle(f *testing.F) {
+	f.Add("(a|b)*", "abab")
+	f.Add("a+b?", "aab")
+	f.Add("[ab]{2}", "ba")
+	f.Fuzz(func(t *testing.T, pattern, input string) {
+		if len(pattern) > 16 || len(input) > 8 {
+			return
+		}
+		for _, c := range pattern {
+			if c != 'a' && c != 'b' && c != '(' && c != ')' && c != '|' &&
+				c != '*' && c != '+' && c != '?' && c != '[' && c != ']' &&
+				c != '{' && c != '}' && c != ',' && (c < '0' || c > '9') {
+				return
+			}
+		}
+		for _, c := range input {
+			if c != 'a' && c != 'b' {
+				return
+			}
+		}
+		parsed, err := Parse(pattern, false)
+		if err != nil {
+			return
+		}
+		d, err := Compile(pattern, Options{Anchored: true, MaxStates: 2000})
+		if err != nil {
+			return
+		}
+		want := MatchAST(parsed.Root, []byte(input))
+		if got := d.Accepts([]byte(input)); got != want {
+			t.Fatalf("pattern %q input %q: DFA=%v oracle=%v", pattern, input, got, want)
+		}
+	})
+}

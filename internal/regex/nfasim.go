@@ -1,0 +1,128 @@
+package regex
+
+// Direct NFA simulation with bitsets. The paper defers parallelizing
+// nondeterministic machines to future work (§2.1) — determinization
+// can blow up exponentially, and some patterns (unanchored
+// literal-gated counters, for instance) are only practical without it.
+// This matcher closes that gap for the library: it runs the Thompson
+// NFA directly with one bitset of active states, no determinization.
+// It also serves as an independent oracle for the compiled DFAs.
+
+import "math/bits"
+
+// NFAMatcher simulates a Thompson NFA over byte input.
+type NFAMatcher struct {
+	n          *nfa
+	anchorEnd  bool
+	stickySet  bool
+	words      int
+	startSet   []uint64
+	acceptWord int
+	acceptBit  uint64
+	// closure[s] is the ε-closure of {s} as a bitset.
+	closure [][]uint64
+	// edges[s] lists (classIdx → target) moves per state.
+	edges [][]nfaEdgeC
+}
+
+type nfaEdgeC struct {
+	set Class
+	to  int
+}
+
+// CompileNFA parses pattern and builds a simulation matcher with the
+// same semantics Compile gives its DFAs (Options.Anchored versus
+// substring search, case folding).
+func CompileNFA(pattern string, opts Options) (*NFAMatcher, error) {
+	parsed, err := Parse(pattern, opts.CaseInsensitive)
+	if err != nil {
+		return nil, err
+	}
+	anchorStart := opts.Anchored || parsed.AnchorStart
+	anchorEnd := opts.Anchored || parsed.AnchorEnd
+	n := fromAST(parsed.Root, !anchorStart)
+
+	m := &NFAMatcher{
+		n:         n,
+		anchorEnd: anchorEnd,
+		stickySet: !anchorEnd,
+		words:     (len(n.states) + 63) / 64,
+	}
+	m.acceptWord = n.accept / 64
+	m.acceptBit = 1 << (uint(n.accept) % 64)
+
+	// Per-state ε-closures.
+	mark := make([]bool, len(n.states))
+	m.closure = make([][]uint64, len(n.states))
+	for s := range n.states {
+		set := n.epsClosure([]int{s}, mark)
+		bs := make([]uint64, m.words)
+		for _, x := range set {
+			bs[x/64] |= 1 << (uint(x) % 64)
+			mark[x] = false
+		}
+		m.closure[s] = bs
+	}
+	m.startSet = append([]uint64(nil), m.closure[n.start]...)
+
+	m.edges = make([][]nfaEdgeC, len(n.states))
+	for s := range n.states {
+		for _, e := range n.states[s].edges {
+			m.edges[s] = append(m.edges[s], nfaEdgeC{set: e.set, to: e.to})
+		}
+	}
+	return m, nil
+}
+
+// NumStates reports the NFA state count (for comparison with the
+// determinized machine).
+func (m *NFAMatcher) NumStates() int { return len(m.n.states) }
+
+// Match reports whether input matches: whole-input match when compiled
+// Anchored, "contains a match" otherwise.
+func (m *NFAMatcher) Match(input []byte) bool {
+	cur := append([]uint64(nil), m.startSet...)
+	next := make([]uint64, m.words)
+	if !m.anchorEnd && m.accepting(cur) {
+		return true // empty match
+	}
+	for _, b := range input {
+		for i := range next {
+			next[i] = 0
+		}
+		any := false
+		for w, bitsW := range cur {
+			for bitsW != 0 {
+				s := w*64 + bits.TrailingZeros64(bitsW)
+				bitsW &= bitsW - 1
+				for _, e := range m.edges[s] {
+					if e.set.Has(b) {
+						cl := m.closure[e.to]
+						for i := range next {
+							next[i] |= cl[i]
+						}
+						any = true
+					}
+				}
+			}
+		}
+		cur, next = next, cur
+		if m.stickySet && m.accepting(cur) {
+			// Unanchored end: a match seen anywhere suffices. (The Σ*
+			// prefix loop in fromAST keeps the search armed, so there
+			// is nothing to re-seed here.)
+			return true
+		}
+		if !any {
+			// Every live path died; no future byte can help. This can
+			// only happen for anchored patterns — the Σ* loop state
+			// always fires for unanchored ones.
+			return false
+		}
+	}
+	return m.accepting(cur)
+}
+
+func (m *NFAMatcher) accepting(set []uint64) bool {
+	return set[m.acceptWord]&m.acceptBit != 0
+}

@@ -1,0 +1,131 @@
+package regex
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNFAMatcherBasics(t *testing.T) {
+	cases := []struct {
+		pat      string
+		anchored bool
+		yes, no  []string
+	}{
+		{"abc", true, []string{"abc"}, []string{"", "ab", "abcd", "xabc"}},
+		{"abc", false, []string{"abc", "xxabcyy"}, []string{"", "axbxc"}},
+		{"a*b", true, []string{"b", "aab"}, []string{"a", "ba"}},
+		{"(a|b)+", true, []string{"a", "ab", "bba"}, []string{"", "c"}},
+		{"^ab", false, []string{"abxx"}, []string{"xab"}},
+		{"ab$", false, []string{"xxab"}, []string{"abxx"}},
+		{"a{2,3}", true, []string{"aa", "aaa"}, []string{"a", "aaaa"}},
+	}
+	for _, c := range cases {
+		m, err := CompileNFA(c.pat, Options{Anchored: c.anchored})
+		if err != nil {
+			t.Fatalf("CompileNFA(%q): %v", c.pat, err)
+		}
+		for _, s := range c.yes {
+			if !m.Match([]byte(s)) {
+				t.Errorf("%q (anchored=%v) should match %q", c.pat, c.anchored, s)
+			}
+		}
+		for _, s := range c.no {
+			if m.Match([]byte(s)) {
+				t.Errorf("%q (anchored=%v) should not match %q", c.pat, c.anchored, s)
+			}
+		}
+	}
+}
+
+func TestNFAMatcherEmptyPattern(t *testing.T) {
+	m, err := CompileNFA("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Match(nil) || !m.Match([]byte("anything")) {
+		t.Error("empty pattern matches everything in contains mode")
+	}
+	m, err = CompileNFA("", Options{Anchored: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Match(nil) {
+		t.Error("empty pattern should match empty input when anchored")
+	}
+	if m.Match([]byte("x")) {
+		t.Error("anchored empty pattern should reject non-empty input")
+	}
+}
+
+// The NFA simulation and the compiled DFA must agree on everything —
+// this is the strongest cross-implementation oracle in the package.
+func TestNFAMatcherAgreesWithDFA(t *testing.T) {
+	rng := rand.New(rand.NewSource(140))
+	for iter := 0; iter < 60; iter++ {
+		pat := randomPattern(rng, 3)
+		anchored := iter%2 == 0
+		opts := Options{Anchored: anchored}
+		m, err := CompileNFA(pat, opts)
+		if err != nil {
+			t.Fatalf("CompileNFA(%q): %v", pat, err)
+		}
+		d, err := Compile(pat, opts)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", pat, err)
+		}
+		for trial := 0; trial < 80; trial++ {
+			in := make([]byte, rng.Intn(12))
+			for i := range in {
+				in[i] = "abc"[rng.Intn(3)]
+			}
+			if m.Match(in) != d.Accepts(in) {
+				t.Fatalf("pattern %q anchored=%v input %q: NFA=%v DFA=%v",
+					pat, anchored, in, m.Match(in), d.Accepts(in))
+			}
+		}
+	}
+}
+
+// The NFA matcher handles the exponential-determinization patterns the
+// DFA compiler must reject — the concrete motivation for keeping it.
+func TestNFAMatcherHandlesExponentialPatterns(t *testing.T) {
+	pat := "a[ab]{20}b" // 2^20 DFA states in contains mode
+	if _, err := Compile(pat, Options{MaxStates: 10000}); err == nil {
+		t.Skip("expected the DFA compiler to reject this; generator changed?")
+	}
+	m, err := CompileNFA(pat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := append([]byte("a"), make([]byte, 20)...)
+	for i := 1; i <= 20; i++ {
+		in[i] = "ab"[i%2]
+	}
+	in = append(in, 'b')
+	if !m.Match(in) {
+		t.Error("NFA should match the window pattern")
+	}
+	if m.Match([]byte("aaa")) {
+		t.Error("NFA should reject a too-short input")
+	}
+}
+
+func TestNFAMatcherCaseFolding(t *testing.T) {
+	m, err := CompileNFA("select", Options{CaseInsensitive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Match([]byte("... SeLeCt ...")) {
+		t.Error("case-insensitive NFA match failed")
+	}
+}
+
+func TestNFAMatcherStateCount(t *testing.T) {
+	m, err := CompileNFA("(a|b)*abb", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() < 5 {
+		t.Errorf("implausible NFA size %d", m.NumStates())
+	}
+}

@@ -1,0 +1,121 @@
+package regex
+
+// Multi-rule scanning. §6.1's closing discussion: disjoining all Snort
+// rules into one machine blows up the state count by orders of
+// magnitude and "sequentializes a problem that is originally
+// embarrassingly parallel — matching an input against many independent
+// regular expressions". RuleSet takes that position literally: one
+// compiled machine per rule, scanned concurrently across rules, each
+// scan using the enumerative runner internally.
+
+import (
+	"fmt"
+	"sync"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/fsm"
+)
+
+// Rule is one named pattern in a set.
+type Rule struct {
+	Name    string
+	Pattern string
+	Options Options
+}
+
+// RuleSet holds compiled machines and their runners.
+type RuleSet struct {
+	rules   []Rule
+	dfas    []*fsm.DFA
+	runners []*core.Runner
+	// nfaFallback holds simulation matchers for rules whose DFA
+	// exceeded the state budget.
+	nfaFallback []*NFAMatcher // parallel to rules; nil when the DFA compiled
+}
+
+// CompileRuleSet compiles every rule. Rules whose determinization
+// exceeds the per-rule state budget fall back to direct NFA simulation
+// instead of being dropped. runnerOpts configure each rule's runner
+// (strategy, procs).
+func CompileRuleSet(rules []Rule, runnerOpts ...core.Option) (*RuleSet, error) {
+	rs := &RuleSet{
+		rules:       rules,
+		dfas:        make([]*fsm.DFA, len(rules)),
+		runners:     make([]*core.Runner, len(rules)),
+		nfaFallback: make([]*NFAMatcher, len(rules)),
+	}
+	for i, rl := range rules {
+		d, err := Compile(rl.Pattern, rl.Options)
+		if err == nil {
+			r, rerr := core.New(d, runnerOpts...)
+			if rerr != nil {
+				return nil, fmt.Errorf("rule %q: %w", rl.Name, rerr)
+			}
+			rs.dfas[i] = d
+			rs.runners[i] = r
+			continue
+		}
+		m, nerr := CompileNFA(rl.Pattern, rl.Options)
+		if nerr != nil {
+			return nil, fmt.Errorf("rule %q: %w", rl.Name, err)
+		}
+		rs.nfaFallback[i] = m
+	}
+	return rs, nil
+}
+
+// Len reports the number of rules.
+func (rs *RuleSet) Len() int { return len(rs.rules) }
+
+// Machine returns the compiled DFA for rule i, or nil if it runs on
+// the NFA fallback.
+func (rs *RuleSet) Machine(i int) *fsm.DFA { return rs.dfas[i] }
+
+// Match is one rule's verdict on an input.
+type Match struct {
+	Rule    string
+	Index   int
+	Matched bool
+}
+
+// Scan runs every rule against input, with up to parallelism rules in
+// flight at once (0 means all at once). Each rule's own runner may
+// additionally split the input across cores; for rule counts well
+// above the core count, prefer per-rule parallelism 1 and let the rule
+// fan-out saturate the machine.
+func (rs *RuleSet) Scan(input []byte, parallelism int) []Match {
+	out := make([]Match, len(rs.rules))
+	if parallelism <= 0 || parallelism > len(rs.rules) {
+		parallelism = len(rs.rules)
+	}
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i := range rs.rules {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var matched bool
+			if rs.runners[i] != nil {
+				matched = rs.runners[i].Accepts(input)
+			} else {
+				matched = rs.nfaFallback[i].Match(input)
+			}
+			out[i] = Match{Rule: rs.rules[i].Name, Index: i, Matched: matched}
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// Matched returns just the names of matching rules, in rule order.
+func (rs *RuleSet) Matched(input []byte, parallelism int) []string {
+	var names []string
+	for _, m := range rs.Scan(input, parallelism) {
+		if m.Matched {
+			names = append(names, m.Rule)
+		}
+	}
+	return names
+}

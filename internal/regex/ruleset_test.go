@@ -1,0 +1,105 @@
+package regex
+
+import (
+	"testing"
+
+	"dpfsm/internal/core"
+)
+
+func testRules() []Rule {
+	return []Rule{
+		{Name: "traversal", Pattern: `\.\./`},
+		{Name: "sqli", Pattern: `union\s+select`, Options: Options{CaseInsensitive: true}},
+		{Name: "cmd", Pattern: `cmd\.exe`},
+		{Name: "window", Pattern: `a[ab]{18}b`}, // forces the NFA fallback
+	}
+}
+
+func TestCompileRuleSetWithFallback(t *testing.T) {
+	rs, err := CompileRuleSet(testRules(), core.WithStrategy(core.Convergence))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 4 {
+		t.Fatalf("Len = %d", rs.Len())
+	}
+	if rs.Machine(0) == nil || rs.Machine(1) == nil || rs.Machine(2) == nil {
+		t.Error("small rules should compile to DFAs")
+	}
+	if rs.Machine(3) != nil {
+		t.Error("the window rule should have fallen back to NFA simulation")
+	}
+}
+
+func TestRuleSetScan(t *testing.T) {
+	rs, err := CompileRuleSet(testRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte(`GET /../../etc/passwd — UNION   SELECT pw`)
+	for _, par := range []int{0, 1, 2, 16} {
+		ms := rs.Scan(input, par)
+		if len(ms) != 4 {
+			t.Fatalf("par %d: %d matches", par, len(ms))
+		}
+		want := map[string]bool{"traversal": true, "sqli": true, "cmd": false, "window": false}
+		for _, m := range ms {
+			if m.Matched != want[m.Rule] {
+				t.Errorf("par %d: rule %s matched=%v want %v", par, m.Rule, m.Matched, want[m.Rule])
+			}
+		}
+	}
+}
+
+func TestRuleSetMatched(t *testing.T) {
+	rs, err := CompileRuleSet(testRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := rs.Matched([]byte("run cmd.exe now"), 0)
+	if len(names) != 1 || names[0] != "cmd" {
+		t.Errorf("Matched = %v", names)
+	}
+	if got := rs.Matched([]byte("benign"), 0); got != nil {
+		t.Errorf("expected no matches, got %v", got)
+	}
+}
+
+func TestRuleSetNFAFallbackMatches(t *testing.T) {
+	rs, err := CompileRuleSet(testRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build an input matching the exponential window rule.
+	in := append([]byte("a"), []byte("abababababababababab")...) // wait: 20 sym window? pattern is a[ab]{18}b
+	in = append(in[:19], 'b')
+	in = append([]byte("xx"), append(in, []byte("yy")...)...)
+	found := false
+	for _, m := range rs.Scan(in, 0) {
+		if m.Rule == "window" && m.Matched {
+			found = true
+		}
+	}
+	if !found {
+		// Construct a guaranteed witness: 'a' + 18 a's + 'b'.
+		witness := append([]byte{'a'}, make([]byte, 0)...)
+		for i := 0; i < 18; i++ {
+			witness = append(witness, 'a')
+		}
+		witness = append(witness, 'b')
+		for _, m := range rs.Scan(witness, 0) {
+			if m.Rule == "window" && m.Matched {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("NFA-fallback rule never matched a valid witness")
+	}
+}
+
+func TestRuleSetBadRule(t *testing.T) {
+	if _, err := CompileRuleSet([]Rule{{Name: "bad", Pattern: "("}}); err == nil {
+		t.Error("unparseable rule should fail the whole set")
+	}
+}

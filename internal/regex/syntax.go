@@ -1,0 +1,182 @@
+// Package regex is the regular-expression substrate for the Snort case
+// study (§6.1): a PCRE-subset parser, Thompson NFA construction, subset
+// construction to a deterministic machine, and Hopcroft minimization
+// via internal/fsm. Compiled machines are ordinary fsm.DFA values over
+// the full byte alphabet, ready for the parallel runners in
+// internal/core.
+package regex
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Class is a set of bytes, stored as a 256-bit set. It is both the AST
+// leaf node and the NFA edge label.
+type Class struct {
+	bits [4]uint64
+}
+
+// Add inserts byte b.
+func (c *Class) Add(b byte) { c.bits[b>>6] |= 1 << (b & 63) }
+
+// AddRange inserts all bytes in [lo, hi].
+func (c *Class) AddRange(lo, hi byte) {
+	for b := int(lo); b <= int(hi); b++ {
+		c.Add(byte(b))
+	}
+}
+
+// Has reports membership of b.
+func (c Class) Has(b byte) bool { return c.bits[b>>6]&(1<<(b&63)) != 0 }
+
+// Negate complements the set over all 256 bytes.
+func (c *Class) Negate() {
+	for i := range c.bits {
+		c.bits[i] = ^c.bits[i]
+	}
+}
+
+// Union merges o into c.
+func (c *Class) Union(o Class) {
+	for i := range c.bits {
+		c.bits[i] |= o.bits[i]
+	}
+}
+
+// IsEmpty reports whether no byte is in the set.
+func (c Class) IsEmpty() bool {
+	return c.bits[0]|c.bits[1]|c.bits[2]|c.bits[3] == 0
+}
+
+// Count returns the number of bytes in the set.
+func (c Class) Count() int {
+	n := 0
+	for b := 0; b < 256; b++ {
+		if c.Has(byte(b)) {
+			n++
+		}
+	}
+	return n
+}
+
+// FoldCase adds the opposite-case twin of every ASCII letter present.
+func (c *Class) FoldCase() {
+	for b := byte('a'); b <= 'z'; b++ {
+		if c.Has(b) {
+			c.Add(b - 'a' + 'A')
+		}
+	}
+	for b := byte('A'); b <= 'Z'; b++ {
+		if c.Has(b) {
+			c.Add(b - 'A' + 'a')
+		}
+	}
+}
+
+// singleton returns the class containing only b.
+func singleton(b byte) Class {
+	var c Class
+	c.Add(b)
+	return c
+}
+
+// anyByte returns the class of all 256 bytes. The paper's machines run
+// over raw network bytes, so '.' matches everything including newline
+// (PCRE dotall, which Snort rules typically enable via /s).
+func anyByte() Class {
+	var c Class
+	c.Negate()
+	return c
+}
+
+// Node is a parsed regular-expression AST node.
+type Node interface {
+	node()
+	// writeTo appends a normalized pattern form, for diagnostics.
+	writeTo(sb *strings.Builder)
+}
+
+// Leaf matches exactly one byte drawn from Set.
+type Leaf struct{ Set Class }
+
+// Concat matches its subexpressions in sequence.
+type Concat struct{ Subs []Node }
+
+// Alt matches any one of its subexpressions.
+type Alt struct{ Subs []Node }
+
+// Repeat matches Sub between Min and Max times; Max < 0 means
+// unbounded. Star is {0,-1}, Plus {1,-1}, Quest {0,1}.
+type Repeat struct {
+	Sub      Node
+	Min, Max int
+}
+
+// Empty matches the empty string.
+type Empty struct{}
+
+func (*Leaf) node()   {}
+func (*Concat) node() {}
+func (*Alt) node()    {}
+func (*Repeat) node() {}
+func (*Empty) node()  {}
+
+func (l *Leaf) writeTo(sb *strings.Builder) {
+	switch n := l.Set.Count(); {
+	case n == 256:
+		sb.WriteByte('.')
+	case n == 1:
+		for b := 0; b < 256; b++ {
+			if l.Set.Has(byte(b)) {
+				fmt.Fprintf(sb, "\\x%02x", b)
+			}
+		}
+	default:
+		fmt.Fprintf(sb, "[%d bytes]", n)
+	}
+}
+
+func (c *Concat) writeTo(sb *strings.Builder) {
+	for _, s := range c.Subs {
+		s.writeTo(sb)
+	}
+}
+
+func (a *Alt) writeTo(sb *strings.Builder) {
+	sb.WriteByte('(')
+	for i, s := range a.Subs {
+		if i > 0 {
+			sb.WriteByte('|')
+		}
+		s.writeTo(sb)
+	}
+	sb.WriteByte(')')
+}
+
+func (r *Repeat) writeTo(sb *strings.Builder) {
+	sb.WriteByte('(')
+	r.Sub.writeTo(sb)
+	sb.WriteByte(')')
+	switch {
+	case r.Min == 0 && r.Max < 0:
+		sb.WriteByte('*')
+	case r.Min == 1 && r.Max < 0:
+		sb.WriteByte('+')
+	case r.Min == 0 && r.Max == 1:
+		sb.WriteByte('?')
+	case r.Max < 0:
+		fmt.Fprintf(sb, "{%d,}", r.Min)
+	default:
+		fmt.Fprintf(sb, "{%d,%d}", r.Min, r.Max)
+	}
+}
+
+func (*Empty) writeTo(sb *strings.Builder) {}
+
+// Dump renders a normalized form of the AST for diagnostics.
+func Dump(n Node) string {
+	var sb strings.Builder
+	n.writeTo(&sb)
+	return sb.String()
+}

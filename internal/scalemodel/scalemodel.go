@@ -1,0 +1,130 @@
+// Package scalemodel is an analytic model of the Figure 5 multicore
+// schedule, used to project strong-scaling curves beyond the cores the
+// host machine has (the paper evaluates on 16 cores; CI containers
+// often expose 2). The model is calibrated from two measured
+// single-core rates and validated against the measured 1..NumCPU
+// points; EXPERIMENTS.md compares its 8- and 16-core predictions with
+// the paper's reported speedups.
+//
+// Model. Let N be the input size, d the per-byte cost of the φ-bearing
+// sequential pass (phase 3 work), c the per-byte cost of the
+// enumerative composition (phase 1 work), and P the processor count.
+// The implementation's schedule (internal/core.RunChunked) gives
+// chunk 0's phase 3 to one core while the other P−1 cores run phase 1
+// on their chunks, then runs the remaining P−1 phase-3 passes on all
+// cores:
+//
+//	T_φ(P)      = (N/P)·max(c, d) + ⌈(P−1)/P⌉·(N/P)·d + P·t_s
+//	T_accept(P) = (N/P)·c + P·t_s                  (phase 3 skipped)
+//
+// with t_s the per-chunk spawn/merge overhead. An optional aggregate
+// memory-bandwidth cap B bounds the bytes/second any phase can reach,
+// which is what bends the paper's curves flat above ~8 cores.
+package scalemodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// Params is a calibrated workload model.
+type Params struct {
+	// InputBytes is the modeled input size N.
+	InputBytes int
+	// SeqMBps is the measured single-core φ-bearing rate (1/d), MB/s.
+	SeqMBps float64
+	// CompMBps is the measured single-core composition rate (1/c), MB/s.
+	CompMBps float64
+	// SpawnOverhead is the per-chunk scheduling cost t_s.
+	SpawnOverhead time.Duration
+	// BandwidthMBps caps the aggregate rate of each parallel phase;
+	// 0 means uncapped.
+	BandwidthMBps float64
+}
+
+// phaseTime returns the wall time for work bytes spread over procs
+// cores at rate mbps, honoring the bandwidth cap.
+func (p Params) phaseTime(workBytes float64, procs int, mbps float64) time.Duration {
+	rate := mbps * float64(procs)
+	if p.BandwidthMBps > 0 && rate > p.BandwidthMBps {
+		rate = p.BandwidthMBps
+	}
+	if rate <= 0 {
+		return 0
+	}
+	return time.Duration(workBytes / (rate * 1e6) * float64(time.Second))
+}
+
+// MealyTime predicts the wall time of a φ-bearing run on procs cores.
+func (p Params) MealyTime(procs int) time.Duration {
+	n := float64(p.InputBytes)
+	if procs <= 1 {
+		return p.phaseTime(n, 1, p.SeqMBps)
+	}
+	chunk := n / float64(procs)
+	// Stage 1: chunk 0's φ pass races the P−1 composition passes.
+	seq := p.phaseTime(chunk, 1, p.SeqMBps)
+	comp := p.phaseTime(chunk, 1, p.CompMBps)
+	if p.BandwidthMBps > 0 {
+		agg := time.Duration(chunk * float64(procs-1) / (p.BandwidthMBps * 1e6) * float64(time.Second))
+		if agg > comp {
+			comp = agg
+		}
+	}
+	stage1 := seq
+	if comp > stage1 {
+		stage1 = comp
+	}
+	// Stage 2: the remaining P−1 φ passes run concurrently, but each
+	// chunk is bound to one core, so the wall time is one chunk's pass
+	// — unless the aggregate bandwidth cap binds first.
+	stage2 := p.phaseTime(chunk, 1, p.SeqMBps)
+	if p.BandwidthMBps > 0 {
+		agg := time.Duration(chunk * float64(procs-1) / (p.BandwidthMBps * 1e6) * float64(time.Second))
+		if agg > stage2 {
+			stage2 = agg
+		}
+	}
+	return stage1 + stage2 + time.Duration(procs)*p.SpawnOverhead
+}
+
+// AcceptTime predicts the wall time of an accept-only query.
+func (p Params) AcceptTime(procs int) time.Duration {
+	n := float64(p.InputBytes)
+	if procs <= 1 {
+		return p.phaseTime(n, 1, p.CompMBps)
+	}
+	return p.phaseTime(n, procs, p.CompMBps) + time.Duration(procs)*p.SpawnOverhead
+}
+
+// MealySpeedup reports T_φ(1)/T_φ(P).
+func (p Params) MealySpeedup(procs int) float64 {
+	return float64(p.MealyTime(1)) / float64(p.MealyTime(procs))
+}
+
+// AcceptSpeedup reports T_accept(1)/T_accept(P).
+func (p Params) AcceptSpeedup(procs int) float64 {
+	return float64(p.AcceptTime(1)) / float64(p.AcceptTime(procs))
+}
+
+// BaselineSpeedup reports speedup of the P-core φ-bearing run over a
+// plain sequential baseline running at baseMBps — the quantity
+// Figure 18 plots ("14× over bing at 16 threads").
+func (p Params) BaselineSpeedup(procs int, baseMBps float64) float64 {
+	base := p.phaseTime(float64(p.InputBytes), 1, baseMBps)
+	return float64(base) / float64(p.MealyTime(procs))
+}
+
+// Validate performs basic sanity checks on the parameters.
+func (p Params) Validate() error {
+	if p.InputBytes <= 0 {
+		return fmt.Errorf("scalemodel: InputBytes %d", p.InputBytes)
+	}
+	if p.SeqMBps <= 0 || p.CompMBps <= 0 {
+		return fmt.Errorf("scalemodel: rates must be positive (seq %.1f comp %.1f)", p.SeqMBps, p.CompMBps)
+	}
+	if p.BandwidthMBps < 0 || p.SpawnOverhead < 0 {
+		return fmt.Errorf("scalemodel: negative cap or overhead")
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+// Package semiring implements the algebraic formulations of FSM
+// computation sketched in §2.2 of the paper: the Boolean-semiring
+// matrix-product formulation that Ladner and Fischer parallelize with
+// prefix sums (O(log m · n³) work with the cubic multiply), and the
+// transition-function–composition formulation of Hillis and Steele
+// (O(log m · n)). The enumerative algorithm in internal/core is the
+// practical descendant of the latter; this package serves as an
+// independent correctness oracle and as the asymptotic baseline the
+// paper's contribution is positioned against.
+package semiring
+
+import (
+	"sync"
+
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/gather"
+)
+
+// BoolMatrix is an n×n matrix over the Boolean semiring (∨, ∧), with
+// bitset rows. M[i][j] == true means state i reaches state j.
+type BoolMatrix struct {
+	n    int
+	rows [][]uint64 // rows[i] is a bitset of width n
+}
+
+const wordBits = 64
+
+// NewBoolMatrix returns the n×n all-false matrix.
+func NewBoolMatrix(n int) *BoolMatrix {
+	words := (n + wordBits - 1) / wordBits
+	rows := make([][]uint64, n)
+	backing := make([]uint64, n*words)
+	for i := range rows {
+		rows[i], backing = backing[:words:words], backing[words:]
+	}
+	return &BoolMatrix{n: n, rows: rows}
+}
+
+// IdentityMatrix returns the n×n identity.
+func IdentityMatrix(n int) *BoolMatrix {
+	m := NewBoolMatrix(n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, true)
+	}
+	return m
+}
+
+// FromSymbol builds M_a for machine d: M_a[i][j] = true iff δ(i,a) = j.
+func FromSymbol(d *fsm.DFA, sym byte) *BoolMatrix {
+	m := NewBoolMatrix(d.NumStates())
+	col := d.Column(sym)
+	for i, j := range col {
+		m.Set(i, int(j), true)
+	}
+	return m
+}
+
+// N reports the dimension.
+func (m *BoolMatrix) N() int { return m.n }
+
+// Get reads entry (i, j).
+func (m *BoolMatrix) Get(i, j int) bool {
+	return m.rows[i][j/wordBits]&(1<<(uint(j)%wordBits)) != 0
+}
+
+// Set writes entry (i, j).
+func (m *BoolMatrix) Set(i, j int, v bool) {
+	if v {
+		m.rows[i][j/wordBits] |= 1 << (uint(j) % wordBits)
+	} else {
+		m.rows[i][j/wordBits] &^= 1 << (uint(j) % wordBits)
+	}
+}
+
+// Mul returns the semiring product m·o: (m·o)[i][j] = ∨_k m[i][k] ∧
+// o[k][j]. With m encoding "first part of the input" and o "second
+// part", the product encodes the concatenation: row i of the result is
+// the union of o's rows k reachable in m from i.
+func (m *BoolMatrix) Mul(o *BoolMatrix) *BoolMatrix {
+	out := NewBoolMatrix(m.n)
+	for i := 0; i < m.n; i++ {
+		dst := out.rows[i]
+		row := m.rows[i]
+		for kw, w := range row {
+			for w != 0 {
+				bit := w & (-w)
+				k := kw*wordBits + trailingZeros64(w)
+				w ^= bit
+				src := o.rows[k]
+				for x := range dst {
+					dst[x] |= src[x]
+				}
+			}
+		}
+	}
+	return out
+}
+
+func trailingZeros64(w uint64) int {
+	n := 0
+	for w&1 == 0 {
+		w >>= 1
+		n++
+	}
+	return n
+}
+
+// Equal reports entry-wise equality.
+func (m *BoolMatrix) Equal(o *BoolMatrix) bool {
+	if m.n != o.n {
+		return false
+	}
+	for i := range m.rows {
+		for w := range m.rows[i] {
+			if m.rows[i][w] != o.rows[i][w] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MatrixProduct computes the input's composed reachability matrix
+// M = M_{s1} · M_{s2} · … sequentially. Note the orientation: we
+// multiply left-to-right in input order, so Get(i, j) is "from i, the
+// whole input reaches j".
+func MatrixProduct(d *fsm.DFA, input []byte) *BoolMatrix {
+	acc := IdentityMatrix(d.NumStates())
+	for _, a := range input {
+		acc = acc.Mul(FromSymbol(d, a))
+	}
+	return acc
+}
+
+// ParallelMatrixProduct computes the same product with a Ladner–Fischer
+// style balanced reduction tree, multiplying disjoint halves in
+// parallel goroutines. Associativity of the semiring product is what
+// makes the split legal.
+func ParallelMatrixProduct(d *fsm.DFA, input []byte, grain int) *BoolMatrix {
+	if grain < 1 {
+		grain = 64
+	}
+	var rec func(lo, hi int) *BoolMatrix
+	rec = func(lo, hi int) *BoolMatrix {
+		if hi-lo <= grain {
+			acc := IdentityMatrix(d.NumStates())
+			for _, a := range input[lo:hi] {
+				acc = acc.Mul(FromSymbol(d, a))
+			}
+			return acc
+		}
+		mid := (lo + hi) / 2
+		var left, right *BoolMatrix
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			left = rec(lo, mid)
+		}()
+		right = rec(mid, hi)
+		wg.Wait()
+		return left.Mul(right)
+	}
+	return rec(0, len(input))
+}
+
+// MatrixFinal runs the machine via the matrix formulation: the unique j
+// with M[start][j] set.
+func MatrixFinal(d *fsm.DFA, input []byte, start fsm.State) fsm.State {
+	m := MatrixProduct(d, input)
+	for j := 0; j < m.n; j++ {
+		if m.Get(int(start), j) {
+			return fsm.State(j)
+		}
+	}
+	panic("semiring: deterministic product row has no set bit")
+}
+
+// FuncProduct computes the Hillis–Steele function-composition form: the
+// composed transition vector, equal to core.CompositionVector. The
+// reduction is a balanced parallel tree over gather composition.
+func FuncProduct(d *fsm.DFA, input []byte, grain int) []fsm.State {
+	if grain < 1 {
+		grain = 4096
+	}
+	n := d.NumStates()
+	var rec func(lo, hi int) []fsm.State
+	rec = func(lo, hi int) []fsm.State {
+		if hi-lo <= grain {
+			acc := gather.Identity[fsm.State](n)
+			for _, a := range input[lo:hi] {
+				gather.Into(acc, acc, d.Column(a))
+			}
+			return acc
+		}
+		mid := (lo + hi) / 2
+		var left, right []fsm.State
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			left = rec(lo, mid)
+		}()
+		right = rec(mid, hi)
+		wg.Wait()
+		// left then right: compose = left ⊗ right.
+		gather.Into(left, left, right)
+		return left
+	}
+	return rec(0, len(input))
+}
+
+// Accepts runs the machine via the matrix formulation and reports
+// acceptance — the paper's "M[0,j] is true for some accepting j".
+func Accepts(d *fsm.DFA, input []byte) bool {
+	return d.Accepting(MatrixFinal(d, input, d.Start()))
+}

@@ -1,0 +1,143 @@
+package semiring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dpfsm/internal/fsm"
+)
+
+func TestIdentityMatrix(t *testing.T) {
+	m := IdentityMatrix(70) // crosses a word boundary
+	for i := 0; i < 70; i++ {
+		for j := 0; j < 70; j++ {
+			if m.Get(i, j) != (i == j) {
+				t.Fatalf("I[%d][%d] = %v", i, j, m.Get(i, j))
+			}
+		}
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	m := NewBoolMatrix(130)
+	m.Set(5, 129, true)
+	if !m.Get(5, 129) {
+		t.Error("set bit not visible")
+	}
+	m.Set(5, 129, false)
+	if m.Get(5, 129) {
+		t.Error("cleared bit still visible")
+	}
+}
+
+func TestFromSymbolIsRowStochastic(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	d := fsm.Random(rng, 90, 4, 0.5)
+	for a := 0; a < 4; a++ {
+		m := FromSymbol(d, byte(a))
+		for i := 0; i < 90; i++ {
+			count := 0
+			for j := 0; j < 90; j++ {
+				if m.Get(i, j) {
+					count++
+					if d.Next(fsm.State(i), byte(a)) != fsm.State(j) {
+						t.Fatalf("M_%d[%d][%d] set but δ disagrees", a, i, j)
+					}
+				}
+			}
+			if count != 1 {
+				t.Fatalf("row %d has %d bits; deterministic machine needs exactly 1", i, count)
+			}
+		}
+	}
+}
+
+func TestMulIdentityLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	d := fsm.Random(rng, 33, 3, 0.5)
+	id := IdentityMatrix(33)
+	for a := 0; a < 3; a++ {
+		m := FromSymbol(d, byte(a))
+		if !id.Mul(m).Equal(m) || !m.Mul(id).Equal(m) {
+			t.Fatalf("identity law fails for symbol %d", a)
+		}
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	d := fsm.Random(rng, 40, 5, 0.5)
+	f := func(a, b, c uint8) bool {
+		ma := FromSymbol(d, a%5)
+		mb := FromSymbol(d, b%5)
+		mc := FromSymbol(d, c%5)
+		return ma.Mul(mb).Mul(mc).Equal(ma.Mul(mb.Mul(mc)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatrixFinalMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for iter := 0; iter < 20; iter++ {
+		d := fsm.Random(rng, 1+rng.Intn(50), 1+rng.Intn(6), 0.4)
+		in := d.RandomInput(rng, rng.Intn(60))
+		st := fsm.State(rng.Intn(d.NumStates()))
+		if got, want := MatrixFinal(d, in, st), d.Run(in, st); got != want {
+			t.Fatalf("iter %d: matrix %d, run %d", iter, got, want)
+		}
+	}
+}
+
+func TestParallelMatrixProductMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	d := fsm.Random(rng, 30, 4, 0.4)
+	in := d.RandomInput(rng, 300)
+	seq := MatrixProduct(d, in)
+	for _, grain := range []int{1, 7, 64, 1000} {
+		par := ParallelMatrixProduct(d, in, grain)
+		if !par.Equal(seq) {
+			t.Fatalf("grain %d: parallel product differs", grain)
+		}
+	}
+}
+
+func TestFuncProductMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	d := fsm.Random(rng, 60, 4, 0.4)
+	in := d.RandomInput(rng, 500)
+	for _, grain := range []int{1, 16, 128, 10000} {
+		vec := FuncProduct(d, in, grain)
+		for q := 0; q < d.NumStates(); q++ {
+			if want := d.Run(in, fsm.State(q)); vec[q] != want {
+				t.Fatalf("grain %d: vec[%d] = %d want %d", grain, q, vec[q], want)
+			}
+		}
+	}
+}
+
+func TestAcceptsMatchesMachine(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	for iter := 0; iter < 20; iter++ {
+		d := fsm.Random(rng, 1+rng.Intn(40), 2, 0.5)
+		in := d.RandomInput(rng, rng.Intn(80))
+		if Accepts(d, in) != d.Accepts(in) {
+			t.Fatalf("iter %d: acceptance mismatch", iter)
+		}
+	}
+}
+
+func TestEmptyInputProducts(t *testing.T) {
+	d := fsm.MustNew(5, 2)
+	if !MatrixProduct(d, nil).Equal(IdentityMatrix(5)) {
+		t.Error("empty matrix product should be identity")
+	}
+	vec := FuncProduct(d, nil, 10)
+	for i, v := range vec {
+		if int(v) != i {
+			t.Error("empty function product should be identity")
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package speculative implements the speculative parallelization
+// baseline the paper positions itself against (§7, citing Luchaup et
+// al. and Klein & Wiseman): instead of enumerating all start states
+// for a chunk, *guess* one, run the chunk sequentially, and verify the
+// guess against the true end state of the previous chunk; on a
+// mismatch, re-run the chunk from the correct state.
+//
+// The paper's two criticisms are reproduced here as measurable
+// behavior:
+//
+//  1. efficacy is input-dependent — the guess is only right when the
+//     machine converges onto the guessed state, and "the probability
+//     of such cascading misspeculations increases with the number of
+//     processors"; and
+//  2. even when speculation succeeds, per-chunk work is the plain
+//     sequential loop, so a single core gains nothing.
+//
+// Guessing policy: the most frequently reached state in a short warmup
+// prefix (a common heuristic in the literature). Verification is
+// exact, so results always match the sequential run.
+package speculative
+
+import (
+	"sync"
+
+	"dpfsm/internal/fsm"
+)
+
+// Stats reports what speculation did on one input.
+type Stats struct {
+	Chunks        int
+	Misspeculated int // chunks whose guess was wrong and were re-run
+	ReRunBytes    int // bytes processed a second time
+}
+
+// Runner executes a machine speculatively across chunks.
+type Runner struct {
+	d     *fsm.DFA
+	procs int
+	guess fsm.State
+}
+
+// New builds a speculative runner. warmup bytes of representative
+// input seed the guess (the state most often occupied); an empty
+// warmup guesses the start state.
+func New(d *fsm.DFA, procs int, warmup []byte) *Runner {
+	if procs < 1 {
+		procs = 1
+	}
+	r := &Runner{d: d, procs: procs, guess: d.Start()}
+	if len(warmup) > 0 {
+		counts := make([]int, d.NumStates())
+		q := d.Start()
+		for _, b := range warmup {
+			q = d.Next(q, b)
+			counts[q]++
+		}
+		best := 0
+		for s, c := range counts {
+			if c > counts[best] {
+				best = s
+			}
+		}
+		r.guess = fsm.State(best)
+	}
+	return r
+}
+
+// Guess reports the state the runner speculates chunks start in.
+func (r *Runner) Guess() fsm.State { return r.guess }
+
+// Final runs the machine from start over input, speculating chunk
+// start states, and returns the exact final state plus speculation
+// statistics.
+func (r *Runner) Final(input []byte, start fsm.State) (fsm.State, Stats) {
+	if r.procs == 1 || len(input) < 2*r.procs {
+		return r.d.Run(input, start), Stats{Chunks: 1}
+	}
+	p := r.procs
+	chunks := make([][2]int, p)
+	for i := 0; i < p; i++ {
+		chunks[i] = [2]int{i * len(input) / p, (i + 1) * len(input) / p}
+	}
+
+	// Phase 1: chunk 0 runs from the true start; all others run from
+	// the guess, in parallel.
+	ends := make([]fsm.State, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st := r.guess
+			if i == 0 {
+				st = start
+			}
+			ends[i] = r.d.Run(input[chunks[i][0]:chunks[i][1]], st)
+		}(i)
+	}
+	wg.Wait()
+
+	// Phase 2: verify left to right; a wrong guess forces a sequential
+	// re-run of that chunk from the corrected state, which can cascade
+	// into the next chunk.
+	stats := Stats{Chunks: p}
+	st := ends[0]
+	for i := 1; i < p; i++ {
+		if st == r.guess {
+			st = ends[i] // speculation hit
+			continue
+		}
+		stats.Misspeculated++
+		stats.ReRunBytes += chunks[i][1] - chunks[i][0]
+		st = r.d.Run(input[chunks[i][0]:chunks[i][1]], st)
+	}
+	return st, stats
+}
+
+// HitRate reports the fraction of speculated chunks whose guess held.
+func (s Stats) HitRate() float64 {
+	spec := s.Chunks - 1
+	if spec <= 0 {
+		return 1
+	}
+	return float64(spec-s.Misspeculated) / float64(spec)
+}

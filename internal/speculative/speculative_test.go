@@ -1,0 +1,89 @@
+package speculative
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpfsm/internal/fsm"
+)
+
+func TestFinalAlwaysExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(190))
+	for iter := 0; iter < 40; iter++ {
+		d := fsm.Random(rng, 1+rng.Intn(40), 1+rng.Intn(6), 0.3)
+		in := d.RandomInput(rng, 100+rng.Intn(4000))
+		warm := d.RandomInput(rng, 200)
+		for _, procs := range []int{1, 2, 4, 8} {
+			r := New(d, procs, warm)
+			got, stats := r.Final(in, d.Start())
+			if want := d.Run(in, d.Start()); got != want {
+				t.Fatalf("iter %d procs %d: %d want %d", iter, procs, got, want)
+			}
+			if stats.Misspeculated > stats.Chunks-1 {
+				t.Fatalf("impossible stats %+v", stats)
+			}
+		}
+	}
+}
+
+func TestSpeculationHitsOnConvergingMachine(t *testing.T) {
+	// A machine that funnels into one state makes speculation succeed:
+	// exactly the inputs where the technique looks good.
+	d := fsm.MustNew(4, 2)
+	d.SetColumn(0, []fsm.State{1, 2, 3, 3})
+	d.SetColumn(1, []fsm.State{3, 3, 3, 3})
+	rng := rand.New(rand.NewSource(191))
+	in := d.RandomInput(rng, 20000)
+	r := New(d, 8, in[:500])
+	if r.Guess() != 3 {
+		t.Fatalf("warmup should guess the absorbing state, got %d", r.Guess())
+	}
+	_, stats := r.Final(in, d.Start())
+	if stats.HitRate() < 0.99 {
+		t.Errorf("hit rate %.2f on an absorbing machine", stats.HitRate())
+	}
+}
+
+func TestSpeculationCascadesOnPermutation(t *testing.T) {
+	// Permutation machines never converge, so the guess is almost
+	// always wrong and every chunk re-runs — the paper's §7 argument.
+	rng := rand.New(rand.NewSource(192))
+	d := fsm.RandomPermutation(rng, 16, 4, 0.3)
+	in := d.RandomInput(rng, 40000)
+	r := New(d, 8, in[:500])
+	_, stats := r.Final(in, d.Start())
+	if stats.HitRate() > 0.5 {
+		t.Errorf("hit rate %.2f on a permutation machine; expected mostly misses", stats.HitRate())
+	}
+	if stats.ReRunBytes == 0 {
+		t.Error("expected re-run work")
+	}
+}
+
+func TestTinyInputFallsBack(t *testing.T) {
+	d := fsm.MustNew(2, 2)
+	r := New(d, 8, nil)
+	_, stats := r.Final([]byte{0, 1, 0}, 0)
+	if stats.Chunks != 1 {
+		t.Errorf("tiny input should run in one chunk, got %d", stats.Chunks)
+	}
+}
+
+func TestHitRateEdge(t *testing.T) {
+	if (Stats{Chunks: 1}).HitRate() != 1 {
+		t.Error("single chunk has trivial hit rate 1")
+	}
+	s := Stats{Chunks: 5, Misspeculated: 2}
+	if s.HitRate() != 0.5 {
+		t.Errorf("HitRate = %v", s.HitRate())
+	}
+}
+
+func TestEmptyWarmupGuessesStart(t *testing.T) {
+	d := fsm.MustNew(3, 2)
+	d.SetStart(2)
+	r := New(d, 4, nil)
+	if r.Guess() != 2 {
+		t.Errorf("guess = %d, want start state", r.Guess())
+	}
+}

@@ -1,0 +1,106 @@
+// Package textstats holds the small statistical helpers shared by the
+// analysis package and the benchmark harness: quantiles, CDFs, and
+// aggregate summaries of integer samples.
+package textstats
+
+import "sort"
+
+// Summary aggregates a sample of integers.
+type Summary struct {
+	Min, Max int
+	Mean     float64
+	Median   float64
+	N        int
+}
+
+// Summarize computes a Summary. An empty sample returns the zero value.
+func Summarize(xs []int) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Min: xs[0], Max: xs[0], N: len(xs)}
+	total := 0
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		total += x
+	}
+	s.Mean = float64(total) / float64(len(xs))
+	s.Median = Quantile(xs, 0.5)
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear
+// interpolation on the sorted sample. Empty input returns 0.
+func Quantile(xs []int, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), xs...)
+	sort.Ints(sorted)
+	if q <= 0 {
+		return float64(sorted[0])
+	}
+	if q >= 1 {
+		return float64(sorted[len(sorted)-1])
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return float64(sorted[lo])
+	}
+	return float64(sorted[lo])*(1-frac) + float64(sorted[lo+1])*frac
+}
+
+// FractionAtMost returns the fraction of samples ≤ bound.
+func FractionAtMost(xs []int, bound int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x <= bound {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// CDFPoint is one (value, cumulative fraction) point.
+type CDFPoint struct {
+	Value    int
+	Fraction float64
+}
+
+// CDF returns the empirical CDF of xs as sorted unique points.
+func CDF(xs []int) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]int(nil), xs...)
+	sort.Ints(sorted)
+	var out []CDFPoint
+	for i, v := range sorted {
+		if i+1 < len(sorted) && sorted[i+1] == v {
+			continue
+		}
+		out = append(out, CDFPoint{Value: v, Fraction: float64(i+1) / float64(len(sorted))})
+	}
+	return out
+}
+
+// Rank returns the indices of xs sorted ascending by value — the
+// ranked x-axis used by the paper's Figure 13.
+func Rank(xs []int) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	return idx
+}

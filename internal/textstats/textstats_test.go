@@ -1,0 +1,92 @@
+package textstats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]int{3, 1, 4, 1, 5})
+	if s.Min != 1 || s.Max != 5 || s.N != 5 {
+		t.Errorf("min/max/n = %d/%d/%d", s.Min, s.Max, s.N)
+	}
+	if math.Abs(s.Mean-2.8) > 1e-9 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if s.Median != 3 {
+		t.Errorf("median = %v", s.Median)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []int{10, 20, 30, 40}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10}, {1, 40}, {0.5, 25}, {0.25, 17.5}, {-1, 10}, {2, 40},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+	// Quantile must not mutate its input.
+	ys := []int{3, 1, 2}
+	Quantile(ys, 0.5)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Quantile mutated input")
+	}
+}
+
+func TestFractionAtMost(t *testing.T) {
+	xs := []int{1, 2, 3, 4}
+	if got := FractionAtMost(xs, 2); got != 0.5 {
+		t.Errorf("FractionAtMost = %v", got)
+	}
+	if got := FractionAtMost(xs, 0); got != 0 {
+		t.Errorf("FractionAtMost = %v", got)
+	}
+	if got := FractionAtMost(xs, 10); got != 1 {
+		t.Errorf("FractionAtMost = %v", got)
+	}
+	if FractionAtMost(nil, 1) != 0 {
+		t.Error("empty fraction should be 0")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]int{1, 1, 2, 5})
+	want := []CDFPoint{{1, 0.5}, {2, 0.75}, {5, 1.0}}
+	if len(pts) != len(want) {
+		t.Fatalf("CDF = %v", pts)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("CDF[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+	if CDF(nil) != nil {
+		t.Error("empty CDF should be nil")
+	}
+}
+
+func TestRank(t *testing.T) {
+	xs := []int{30, 10, 20}
+	r := Rank(xs)
+	if r[0] != 1 || r[1] != 2 || r[2] != 0 {
+		t.Errorf("Rank = %v", r)
+	}
+	// Stability on ties.
+	ys := []int{5, 5, 1}
+	r = Rank(ys)
+	if r[0] != 2 || r[1] != 0 || r[2] != 1 {
+		t.Errorf("tied Rank = %v", r)
+	}
+}

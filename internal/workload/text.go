@@ -1,0 +1,258 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Natural-text generation: a word-level model with English-like word
+// and punctuation statistics. The convergence experiments only depend
+// on the byte statistics of "natural" input (letters dominate, bounded
+// runs, frequent spaces), which this reproduces without shipping a
+// Wikipedia dump.
+
+var commonWords = strings.Fields(`
+the of and a to in is was he for it with as his on be at by i this had
+not are but from or have an they which one you were her all she there
+would their we him been has when who will more no if out so said what
+up its about into than them can only other new some could time these
+two may then do first any my now such like our over man me even most
+made after also did many before must through back years where much
+your way well down should because each just those people mr how too
+little state good very make world still own see men work long get
+here between both life being under never day same another know while
+last might us great old year off come since against go came right
+used take three states himself few house use during without again
+place american around however home small found mrs thought went say
+part once general high upon school every don't does got united left
+number course war until always away something fact though water less
+public put think almost hand enough far took head yet government
+system better set told nothing night end why called didn't eyes find
+going look asked later knew point next city business`)
+
+var wikiMarkup = []string{
+	"[[%s]]", "[[%s|%s]]", "'''%s'''", "''%s''", "== %s ==", "{{cite %s}}",
+	"<ref>%s</ref>", "* %s", "# %s",
+}
+
+// WikiText generates n bytes of Wikipedia-flavored text: English-like
+// sentences interleaved with wiki markup, headings, and references.
+func WikiText(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.Grow(n + 128)
+	for sb.Len() < n {
+		r := rng.Float64()
+		switch {
+		case r < 0.80:
+			writeSentence(&sb, rng)
+		case r < 0.95:
+			m := pick(rng, wikiMarkup)
+			words := strings.Count(m, "%s")
+			args := make([]interface{}, words)
+			for i := range args {
+				args[i] = pick(rng, commonWords)
+			}
+			fmt.Fprintf(&sb, m, args...)
+			sb.WriteByte(' ')
+		default:
+			sb.WriteString("\n\n")
+		}
+	}
+	return []byte(sb.String()[:n])
+}
+
+func writeSentence(sb *strings.Builder, rng *rand.Rand) {
+	k := 4 + rng.Intn(14)
+	for i := 0; i < k; i++ {
+		w := pick(rng, commonWords)
+		if i == 0 {
+			w = strings.Title(w)
+		}
+		sb.WriteString(w)
+		if i < k-1 {
+			if rng.Float64() < 0.08 {
+				sb.WriteByte(',')
+			}
+			sb.WriteByte(' ')
+		}
+	}
+	switch rng.Intn(10) {
+	case 0:
+		sb.WriteString("? ")
+	case 1:
+		sb.WriteString("! ")
+	default:
+		sb.WriteString(". ")
+	}
+	if rng.Float64() < 0.12 {
+		sb.WriteByte('\n')
+	}
+}
+
+// Book generates n bytes of a Gutenberg-like "book". Each seed gets its
+// own character inventory: a base English distribution plus a per-book
+// selection of rare bytes (accented characters, typographic symbols)
+// whose count varies from book to book. The result: 34 different seeds
+// produce 34 Huffman trees whose decoder FSMs span roughly 60–300
+// states while keeping the unrolled maximum range small — the Figure 15
+// distribution.
+func Book(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+
+	// Per-book rare-byte inventory: between 20 and 200 extra symbols in
+	// the high-byte range with tiny, varying probabilities.
+	nRare := 20 + rng.Intn(181)
+	rare := make([]byte, 0, nRare)
+	for _, b := range rng.Perm(96)[:min(nRare, 96)] {
+		rare = append(rare, byte(160+b))
+	}
+	for len(rare) < nRare {
+		rare = append(rare, byte(1+rng.Intn(31))) // control-range filler
+	}
+
+	var sb strings.Builder
+	sb.Grow(n + 128)
+	para := 0
+	for sb.Len() < n {
+		writeSentence(&sb, rng)
+		para++
+		if para%5 == 0 {
+			sb.WriteString("\n\n")
+		}
+		// Sprinkle digits and rare symbols at per-book rates.
+		if rng.Float64() < 0.3 {
+			fmt.Fprintf(&sb, "%d ", rng.Intn(1900)+100)
+		}
+		if rng.Float64() < 0.5 {
+			sb.WriteByte(rare[rng.Intn(len(rare))])
+			sb.WriteByte(' ')
+		}
+	}
+	return []byte(sb.String()[:n])
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+var httpMethods = []string{"GET", "GET", "GET", "POST", "HEAD", "PUT"}
+var httpPaths = []string{
+	"/", "/index.html", "/login", "/api/v1/users", "/static/app.js",
+	"/images/logo.png", "/search", "/admin", "/cgi-bin/status.pl",
+	"/wp-login.php", "/api/v1/items",
+}
+var httpAgents = []string{
+	"Mozilla/5.0 (Windows NT 10.0; Win64; x64)",
+	"curl/7.68.0", "Wget/1.20.3", "python-requests/2.25",
+	"Googlebot/2.1 (+http://www.google.com/bot.html)",
+}
+
+// HTTPTraffic generates n bytes of an HTTP request/response byte
+// stream — the kind of input Snort rules actually scan. Mostly benign
+// requests with realistic headers; bodies are natural text.
+func HTTPTraffic(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.Grow(n + 512)
+	for sb.Len() < n {
+		method := pick(rng, httpMethods)
+		path := pick(rng, httpPaths)
+		if rng.Float64() < 0.3 {
+			fmt.Fprintf(&sb, "%s%s?%s=%s&id=%d", method, " ", pick(rng, commonWords), pick(rng, commonWords), rng.Intn(100000))
+			fmt.Fprintf(&sb, " HTTP/1.1\r\n")
+		} else {
+			fmt.Fprintf(&sb, "%s %s HTTP/1.1\r\n", method, path)
+		}
+		fmt.Fprintf(&sb, "Host: %s.example.com\r\n", pick(rng, commonWords))
+		fmt.Fprintf(&sb, "User-Agent: %s\r\n", pick(rng, httpAgents))
+		if rng.Float64() < 0.5 {
+			fmt.Fprintf(&sb, "Accept: text/html,application/json;q=0.%d\r\n", rng.Intn(10))
+		}
+		if rng.Float64() < 0.3 {
+			fmt.Fprintf(&sb, "Cookie: session=%08x; theme=%s\r\n", rng.Uint32(), pick(rng, commonWords))
+		}
+		body := ""
+		if method == "POST" || method == "PUT" {
+			var bb strings.Builder
+			writeSentence(&bb, rng)
+			body = bb.String()
+			fmt.Fprintf(&sb, "Content-Length: %d\r\n", len(body))
+		}
+		sb.WriteString("\r\n")
+		sb.WriteString(body)
+		// Response.
+		fmt.Fprintf(&sb, "HTTP/1.1 %d OK\r\nContent-Type: text/html\r\n\r\n", []int{200, 200, 200, 404, 301, 500}[rng.Intn(6)])
+		writeSentence(&sb, rng)
+		sb.WriteString("\r\n")
+	}
+	return []byte(sb.String()[:n])
+}
+
+// HTMLPage generates n bytes of page markup: nested elements with
+// attributes in all three quoting styles, comments, entities, a
+// doctype, and script/style bodies free of '<' (see the htmltok
+// package comment for the raw-text simplification).
+func HTMLPage(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.Grow(n + 256)
+	sb.WriteString("<!DOCTYPE html><html><head><title>")
+	writeSentence(&sb, rng)
+	sb.WriteString("</title></head><body>")
+	tags := []string{"div", "p", "span", "a", "li", "td", "h2", "em", "b"}
+	attrs := []string{"class", "id", "href", "title", "data-x", "style"}
+	var emit func(depth int)
+	emit = func(depth int) {
+		if sb.Len() >= n {
+			return
+		}
+		switch rng.Intn(10) {
+		case 0:
+			fmt.Fprintf(&sb, "<!-- %s -->", pick(rng, commonWords))
+		case 1:
+			sb.WriteString(pick(rng, commonWords))
+			sb.WriteString(" &amp; ")
+			sb.WriteString(pick(rng, commonWords))
+			sb.WriteString("&nbsp;")
+		case 2:
+			fmt.Fprintf(&sb, "<img src='%s.png' alt=%s />", pick(rng, commonWords), pick(rng, commonWords))
+		case 3:
+			fmt.Fprintf(&sb, "<script>var %s = %d;</script>", pick(rng, commonWords), rng.Intn(1000))
+		default:
+			tag := pick(rng, tags)
+			fmt.Fprintf(&sb, "<%s", tag)
+			for k := rng.Intn(3); k > 0; k-- {
+				switch rng.Intn(3) {
+				case 0:
+					fmt.Fprintf(&sb, ` %s="%s %s"`, pick(rng, attrs), pick(rng, commonWords), pick(rng, commonWords))
+				case 1:
+					fmt.Fprintf(&sb, ` %s='%s'`, pick(rng, attrs), pick(rng, commonWords))
+				default:
+					fmt.Fprintf(&sb, ` %s=%s`, pick(rng, attrs), pick(rng, commonWords))
+				}
+			}
+			sb.WriteByte('>')
+			kids := rng.Intn(4)
+			if depth > 6 {
+				kids = 0
+			}
+			if kids == 0 {
+				writeSentence(&sb, rng)
+			}
+			for i := 0; i < kids && sb.Len() < n; i++ {
+				emit(depth + 1)
+			}
+			fmt.Fprintf(&sb, "</%s>", tag)
+		}
+	}
+	for sb.Len() < n {
+		emit(0)
+	}
+	sb.WriteString("</body></html>")
+	return []byte(sb.String()[:n])
+}

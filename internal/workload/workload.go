@@ -1,0 +1,170 @@
+// Package workload generates the synthetic stand-ins for the paper's
+// proprietary or unavailable inputs, as recorded in DESIGN.md:
+//
+//   - Snort-shaped regular expressions (the paper used 2711 pcre:
+//     attributes from the Snort 2.9.4.0 rules),
+//   - Wikipedia-like natural text (the paper sampled a Wikipedia dump),
+//   - Gutenberg-like "books" with per-book character statistics (the
+//     paper used the 34 most-downloaded Project Gutenberg books), and
+//   - HTML pages (the paper tokenized a 6 MB Wikipedia HTML dump).
+//
+// Every generator is a pure function of an explicit seed, so each
+// figure's corpus is reproducible. The regex generator is calibrated so
+// the compiled-DFA state distribution matches the corpus statistics the
+// paper reports in Figure 12 (median ≈ 25 states, >95% under 256
+// states, a heavy tail into the thousands, and ~78% of machines with
+// maximum transition range ≤ 16).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/regex"
+)
+
+// PatternSpec is one generated rule: a pattern plus its PCRE flags.
+type PatternSpec struct {
+	Pattern         string
+	CaseInsensitive bool
+}
+
+// Snort-flavored building blocks: literal attack substrings seen in
+// real rule sets, with regex metacharacters escaped as Snort writes
+// them.
+var snortLiterals = []string{
+	`/cgi-bin/`, `cmd\.exe`, `/etc/passwd`, `admin\.php`, `\.\./\.\./`,
+	`SELECT`, `UNION`, `INSERT INTO`, `DROP TABLE`, `xp_cmdshell`,
+	`User-Agent\x3a`, `Content-Length\x3a`, `Authorization\x3a Basic`,
+	`%00`, `%2e%2e`, `\x90\x90\x90\x90`, `wget http`, `/bin/sh`,
+	`document\.cookie`, `<script>`, `javascript\x3a`, `onload=`,
+	`passwd=`, `login=`, `\.htaccess`, `boot\.ini`, `win\.ini`,
+	`eval\(`, `base64_decode`, `/proc/self/environ`, `id=`,
+	`HTTP/1\.`, `Host\x3a`, `ftp\x3a//`, `telnet`, `root\x3a`,
+}
+
+var snortSeparators = []string{
+	`\s*`, `\s+`, `.*`, `\d+`, `[0-9a-fA-F]+`, `=`, `/`, `\x3a`, `[^\n]*`,
+}
+
+var snortMethodAlt = []string{
+	`(GET|POST)`, `(GET|POST|HEAD)`, `(USER|PASS)`, `(HELO|EHLO|MAIL FROM)`,
+	`(admin|root|guest)`, `(\.php|\.asp|\.jsp)`, `(http|https|ftp)`,
+}
+
+var snortClasses = []string{
+	`[0-9]`, `[a-z]`, `[A-Za-z0-9]`, `[^\n]`, `[^\s]`, `[0-9a-fA-F]`, `[\x00-\x1f]`,
+}
+
+// SnortRegexes generates n Snort-shaped rules from seed. The shape mix
+// (short literal rules dominate; a minority carry long bounded
+// counters) reproduces the corpus statistics of Figure 12.
+func SnortRegexes(seed int64, n int) []PatternSpec {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]PatternSpec, 0, n)
+	for len(out) < n {
+		out = append(out, genPattern(rng))
+	}
+	return out
+}
+
+func genPattern(rng *rand.Rand) PatternSpec {
+	var sb strings.Builder
+	shape := rng.Float64()
+	switch {
+	case shape < 0.45:
+		// Short literal chain: LIT (sep LIT){0,2}.
+		sb.WriteString(pick(rng, snortLiterals))
+		for k := rng.Intn(3); k > 0; k-- {
+			sb.WriteString(pick(rng, snortSeparators))
+			sb.WriteString(pick(rng, snortLiterals))
+		}
+	case shape < 0.60:
+		// Method alternation followed by a literal chain.
+		sb.WriteString(pick(rng, snortMethodAlt))
+		sb.WriteString(pick(rng, snortSeparators))
+		sb.WriteString(pick(rng, snortLiterals))
+		if rng.Intn(2) == 0 {
+			sb.WriteString(pick(rng, snortSeparators))
+			sb.WriteString(pick(rng, snortMethodAlt))
+		}
+	case shape < 0.72:
+		// Literal with small class repeats: LIT class{a,b} LIT?
+		sb.WriteString(pick(rng, snortLiterals))
+		sb.WriteString(pick(rng, snortClasses))
+		lo := 1 + rng.Intn(6)
+		fmt.Fprintf(&sb, "{%d,%d}", lo, lo+rng.Intn(8))
+		if rng.Intn(2) == 0 {
+			sb.WriteString(pick(rng, snortLiterals))
+		}
+	case shape < 0.82:
+		// Anchored header rule: ^LIT sep LIT.
+		sb.WriteString("^")
+		sb.WriteString(pick(rng, snortLiterals))
+		sb.WriteString(pick(rng, snortSeparators))
+		sb.WriteString(pick(rng, snortLiterals))
+	case shape < 0.92:
+		// Overflow detector — the heavy tail of Figure 12: long
+		// counters make DFAs of hundreds to thousands of states. Two
+		// shapes that stay linear under subset construction: a bare
+		// homogeneous run (every position restarts the counter, so
+		// active offsets form one contiguous range), or a
+		// start-anchored header-length check (a single deterministic
+		// counter). Unanchored literal-gated counters are avoided —
+		// they are exponential in the counter bound, which is exactly
+		// why real IDS engines cap pcre complexity.
+		cls := pick(rng, []string{`[^\n]`, `[^\s]`, `[\x20-\x7e]`})
+		n := 64 + rng.Intn(337)
+		if rng.Intn(12) == 0 {
+			// The corpus's extreme tail (the paper's largest machine
+			// has 4020 states).
+			n = 800 + rng.Intn(1800)
+		}
+		if rng.Intn(5) < 3 {
+			fmt.Fprintf(&sb, "%s{%d,}", cls, n)
+		} else {
+			sb.WriteString("^")
+			sb.WriteString(pick(rng, snortLiterals))
+			fmt.Fprintf(&sb, "%s{%d,}", cls, n)
+		}
+	default:
+		// Multi-alternative signature list.
+		k := 3 + rng.Intn(10)
+		sb.WriteByte('(')
+		for i := 0; i < k; i++ {
+			if i > 0 {
+				sb.WriteByte('|')
+			}
+			sb.WriteString(pick(rng, snortLiterals))
+		}
+		sb.WriteByte(')')
+	}
+	return PatternSpec{
+		Pattern:         sb.String(),
+		CaseInsensitive: rng.Float64() < 0.4, // pcre /i is very common in Snort
+	}
+}
+
+func pick(rng *rand.Rand, xs []string) string { return xs[rng.Intn(len(xs))] }
+
+// CompileCorpus compiles specs into DFAs, skipping any that exceed the
+// state limit (the paper likewise uses only the rules its front-end
+// could handle). It returns the machines and the corresponding specs.
+func CompileCorpus(specs []PatternSpec, maxStates int) ([]*fsm.DFA, []PatternSpec) {
+	var ms []*fsm.DFA
+	var kept []PatternSpec
+	for _, s := range specs {
+		d, err := regex.Compile(s.Pattern, regex.Options{
+			CaseInsensitive: s.CaseInsensitive,
+			MaxStates:       maxStates,
+		})
+		if err != nil {
+			continue
+		}
+		ms = append(ms, d)
+		kept = append(kept, s)
+	}
+	return ms, kept
+}

@@ -1,0 +1,383 @@
+// Package xmltok is a compact XML tokenizer built as a 16-state FSM.
+// It exists to test a specific claim from the paper's related-work
+// discussion (§7, the Parabix comparison): "for tasks such as XML
+// processing, the resulting FSM is small enough that our implementation
+// requires a single shuffle instruction per input symbol" — i.e. the
+// machine's state count and ranges fit within one emulated 16-lane
+// register. TestXMLMachineFitsOneShuffle and BenchmarkXMLTok check
+// exactly that.
+//
+// The grammar subset: elements, attributes (quoted only, per XML),
+// character data, character references, comments, and processing
+// instructions. DOCTYPE and CDATA are lexed as bogus markup.
+package xmltok
+
+import (
+	"sort"
+	"sync"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/fsm"
+)
+
+// Tokenizer states — exactly 16, one emulated SIMD register wide.
+const (
+	StateData fsm.State = iota
+	StateTagOpen
+	StateTagName
+	StateEndTagOpen
+	StateEndTagName
+	StateBeforeAttr
+	StateAttrName
+	StateAfterEq
+	StateValueDQ
+	StateValueSQ
+	StateSelfClose
+	StatePI
+	StatePIEnd
+	StateMarkup
+	StateCommentBody
+	StateCommentEnd
+
+	// NumStates is the machine size: 16 = gather.Width.
+	NumStates = 16
+)
+
+func isNameStart(b byte) bool {
+	return (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || b == '_' || b == ':'
+}
+
+func isName(b byte) bool {
+	return isNameStart(b) || (b >= '0' && b <= '9') || b == '-' || b == '.'
+}
+
+func isSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r'
+}
+
+// next is the single-step transition function.
+func next(q fsm.State, b byte) fsm.State {
+	switch q {
+	case StateData:
+		if b == '<' {
+			return StateTagOpen
+		}
+		return StateData
+	case StateTagOpen:
+		switch {
+		case b == '/':
+			return StateEndTagOpen
+		case b == '?':
+			return StatePI
+		case b == '!':
+			return StateMarkup
+		case isNameStart(b):
+			return StateTagName
+		}
+		return StateData
+	case StateTagName:
+		switch {
+		case isName(b):
+			return StateTagName
+		case isSpace(b):
+			return StateBeforeAttr
+		case b == '/':
+			return StateSelfClose
+		case b == '>':
+			return StateData
+		}
+		return StateBeforeAttr
+	case StateEndTagOpen:
+		if isNameStart(b) {
+			return StateEndTagName
+		}
+		if b == '>' {
+			return StateData
+		}
+		return StateEndTagName
+	case StateEndTagName:
+		switch {
+		case isName(b):
+			return StateEndTagName
+		case b == '>':
+			return StateData
+		}
+		return StateEndTagName
+	case StateBeforeAttr:
+		switch {
+		case isSpace(b):
+			return StateBeforeAttr
+		case b == '>':
+			return StateData
+		case b == '/':
+			return StateSelfClose
+		case b == '=':
+			return StateAfterEq
+		case isNameStart(b):
+			return StateAttrName
+		}
+		return StateBeforeAttr
+	case StateAttrName:
+		switch {
+		case isName(b):
+			return StateAttrName
+		case b == '=':
+			return StateAfterEq
+		case isSpace(b):
+			return StateBeforeAttr
+		case b == '>':
+			return StateData
+		case b == '/':
+			return StateSelfClose
+		}
+		return StateAttrName
+	case StateAfterEq:
+		switch {
+		case isSpace(b):
+			return StateAfterEq
+		case b == '"':
+			return StateValueDQ
+		case b == '\'':
+			return StateValueSQ
+		case b == '>':
+			return StateData
+		}
+		return StateAfterEq // XML requires quotes; junk waits here
+	case StateValueDQ:
+		if b == '"' {
+			return StateBeforeAttr
+		}
+		return StateValueDQ
+	case StateValueSQ:
+		if b == '\'' {
+			return StateBeforeAttr
+		}
+		return StateValueSQ
+	case StateSelfClose:
+		if b == '>' {
+			return StateData
+		}
+		return StateBeforeAttr
+	case StatePI:
+		if b == '?' {
+			return StatePIEnd
+		}
+		return StatePI
+	case StatePIEnd:
+		if b == '>' {
+			return StateData
+		}
+		if b == '?' {
+			return StatePIEnd
+		}
+		return StatePI
+	case StateMarkup:
+		// "<!" … comments get dedicated states; everything else
+		// (DOCTYPE, CDATA) is swallowed until '>'.
+		if b == '-' {
+			return StateCommentBody // "<!-" ; the second '-' stays in body
+		}
+		if b == '>' {
+			return StateData
+		}
+		return StateMarkup
+	case StateCommentBody:
+		if b == '-' {
+			return StateCommentEnd
+		}
+		return StateCommentBody
+	case StateCommentEnd:
+		switch {
+		case b == '-':
+			return StateCommentEnd
+		case b == '>':
+			return StateData
+		}
+		return StateCommentBody
+	}
+	return StateData
+}
+
+// NewMachine materializes the transition function as an fsm.DFA.
+func NewMachine() *fsm.DFA {
+	d := fsm.MustNew(NumStates, 256)
+	for q := fsm.State(0); q < NumStates; q++ {
+		for b := 0; b < 256; b++ {
+			d.SetTransition(q, byte(b), next(q, byte(b)))
+		}
+	}
+	d.SetStart(StateData)
+	d.SetAccepting(StateData, true)
+	return d
+}
+
+// TokenType classifies a span.
+type TokenType uint8
+
+// Token kinds.
+const (
+	tokNone TokenType = iota
+	TokText
+	TokStartTag
+	TokEndTag
+	TokAttrName
+	TokAttrValue
+	TokComment
+	TokPI
+	TokMarkup
+)
+
+// String names the token type.
+func (t TokenType) String() string {
+	switch t {
+	case TokText:
+		return "text"
+	case TokStartTag:
+		return "start-tag"
+	case TokEndTag:
+		return "end-tag"
+	case TokAttrName:
+		return "attr-name"
+	case TokAttrValue:
+		return "attr-value"
+	case TokComment:
+		return "comment"
+	case TokPI:
+		return "pi"
+	case TokMarkup:
+		return "markup"
+	}
+	return "?"
+}
+
+// Token is a classified span [Start, End).
+type Token struct {
+	Type       TokenType
+	Start, End int
+}
+
+// classify maps a consumed transition to a token class.
+func classify(prev fsm.State, b byte, nxt fsm.State) TokenType {
+	switch nxt {
+	case StateTagName:
+		return TokStartTag
+	case StateEndTagName:
+		return TokEndTag
+	case StateAttrName:
+		return TokAttrName
+	case StateValueDQ:
+		if prev == StateAfterEq {
+			return tokNone
+		}
+		return TokAttrValue
+	case StateValueSQ:
+		if prev == StateAfterEq {
+			return tokNone
+		}
+		return TokAttrValue
+	case StateCommentBody, StateCommentEnd:
+		if prev == StateMarkup {
+			return tokNone
+		}
+		return TokComment
+	case StatePI, StatePIEnd:
+		if prev == StateTagOpen {
+			return tokNone
+		}
+		return TokPI
+	case StateMarkup:
+		if prev == StateTagOpen {
+			return tokNone
+		}
+		return TokMarkup
+	case StateData:
+		if prev == StateData {
+			return TokText
+		}
+		return tokNone
+	}
+	return tokNone
+}
+
+// tokenize folds chunk (global offset off, start state q) into tokens,
+// returning also the final state.
+func tokenize(d *fsm.DFA, chunk []byte, off int, q fsm.State) ([]Token, fsm.State) {
+	toks := make([]Token, 0, len(chunk)/8+4)
+	cur := tokNone
+	start := 0
+	for i, b := range chunk {
+		nxt := d.Next(q, b)
+		cls := classify(q, b, nxt)
+		if cls != cur {
+			if cur != tokNone {
+				toks = append(toks, Token{Type: cur, Start: start, End: off + i})
+			}
+			cur = cls
+			start = off + i
+		}
+		q = nxt
+	}
+	if cur != tokNone {
+		toks = append(toks, Token{Type: cur, Start: start, End: off + len(chunk)})
+	}
+	return toks, q
+}
+
+// Tokenizer bundles the machine with an enumerative runner.
+type Tokenizer struct {
+	machine *fsm.DFA
+	runner  *core.Runner
+}
+
+// NewTokenizer builds the machine and a runner over it.
+func NewTokenizer(opts ...core.Option) (*Tokenizer, error) {
+	m := NewMachine()
+	r, err := core.New(m, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Tokenizer{machine: m, runner: r}, nil
+}
+
+// Machine exposes the 16-state DFA.
+func (t *Tokenizer) Machine() *fsm.DFA { return t.machine }
+
+// TokenizeSequential lexes input on one core.
+func (t *Tokenizer) TokenizeSequential(input []byte) []Token {
+	toks, _ := tokenize(t.machine, input, 0, t.machine.Start())
+	return toks
+}
+
+// Tokenize lexes input with the Figure 5 decomposition, merging tokens
+// split at chunk boundaries.
+func (t *Tokenizer) Tokenize(input []byte) []Token {
+	type piece struct {
+		off  int
+		toks []Token
+	}
+	var mu sync.Mutex
+	var pieces []piece
+	t.runner.RunChunked(input, t.machine.Start(), func(off int, chunk []byte, start fsm.State) fsm.State {
+		toks, final := tokenize(t.machine, chunk, off, start)
+		mu.Lock()
+		pieces = append(pieces, piece{off, toks})
+		mu.Unlock()
+		return final
+	})
+	sort.Slice(pieces, func(i, j int) bool { return pieces[i].off < pieces[j].off })
+	total := 0
+	for _, p := range pieces {
+		total += len(p.toks)
+	}
+	out := make([]Token, 0, total)
+	for _, p := range pieces {
+		for _, tok := range p.toks {
+			if n := len(out); n > 0 && out[n-1].Type == tok.Type && out[n-1].End == tok.Start {
+				out[n-1].End = tok.End
+				continue
+			}
+			out = append(out, tok)
+		}
+	}
+	return out
+}

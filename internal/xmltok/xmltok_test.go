@@ -1,0 +1,156 @@
+package xmltok
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/gather"
+)
+
+// The claim under test (§7, Parabix discussion): the XML machine fits
+// a single emulated shuffle — 16 states, so every transition vector
+// fits one 16-lane register, and range coalescing is unnecessary.
+func TestXMLMachineFitsOneShuffle(t *testing.T) {
+	m := NewMachine()
+	if m.NumStates() != gather.Width {
+		t.Fatalf("machine has %d states; the one-shuffle claim needs ≤ %d", m.NumStates(), gather.Width)
+	}
+	if got := gather.Cost(m.NumStates(), m.NumStates(), 0); got != 1 {
+		t.Fatalf("⊗%d,%d costs %d shuffles; want 1", m.NumStates(), m.NumStates(), got)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func tokStrings(in []byte, toks []Token) []string {
+	var out []string
+	for _, tk := range toks {
+		out = append(out, tk.Type.String()+":"+string(in[tk.Start:tk.End]))
+	}
+	return out
+}
+
+func TestTokenizeDocument(t *testing.T) {
+	in := []byte(`<?xml version="1.0"?><root a="1" b='2'><item/>text &amp; more<!-- note --></root>`)
+	tk, err := NewTokenizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tokStrings(in, tk.TokenizeSequential(in))
+	want := []string{
+		"pi:xml version=\"1.0\"?",
+		"start-tag:root",
+		"attr-name:a",
+		"attr-value:1",
+		"attr-name:b",
+		"attr-value:2",
+		"start-tag:item",
+		"text:text &amp; more",
+		"comment:- note --", // the 16-state machine folds the opener states, so the second '-' of "<!--" lands in the content
+		"end-tag:root",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tokens:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestTokenizeEdgeCases(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"plain", []string{"text:plain"}},
+		{"<a></a>", []string{"start-tag:a", "end-tag:a"}},
+		{"<!DOCTYPE x>y", []string{"markup:DOCTYPE x", "text:y"}},
+		{"<a x='<>'/>", []string{"start-tag:a", "attr-name:x", "attr-value:<>"}},
+		{"<!---->", []string{"comment:---"}},
+	}
+	tk, err := NewTokenizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		got := tokStrings([]byte(c.in), tk.TokenizeSequential([]byte(c.in)))
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%q:\n got %q\nwant %q", c.in, got, c.want)
+		}
+	}
+}
+
+func randomXMLish(rng *rand.Rand, n int) []byte {
+	frag := []string{
+		"<a>", "</a>", "<b c=\"v\">", "<d e='w'/>", "text ", "&lt;",
+		"<!-- c -->", "<?pi ?>", "<!DOCTYPE d>", "<", ">", "'", "\"", "=",
+		" ", "\n", "-->", "<x", "?>",
+	}
+	var sb strings.Builder
+	for sb.Len() < n {
+		sb.WriteString(frag[rng.Intn(len(frag))])
+	}
+	return []byte(sb.String()[:n])
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(170))
+	tk, err := NewTokenizer(core.WithProcs(4), core.WithMinChunk(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 40; iter++ {
+		in := randomXMLish(rng, rng.Intn(3000))
+		want := tk.TokenizeSequential(in)
+		got := tk.Tokenize(in)
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d: parallel tokens differ", iter)
+		}
+	}
+}
+
+func TestTableMatchesSwitch(t *testing.T) {
+	m := NewMachine()
+	for q := fsm.State(0); q < NumStates; q++ {
+		for b := 0; b < 256; b++ {
+			if m.Next(q, byte(b)) != next(q, byte(b)) {
+				t.Fatalf("table/switch disagree at %d/%d", q, b)
+			}
+		}
+	}
+}
+
+func TestTokenTypeStrings(t *testing.T) {
+	for tt := TokText; tt <= TokMarkup; tt++ {
+		if tt.String() == "?" {
+			t.Errorf("type %d unnamed", tt)
+		}
+	}
+	if tokNone.String() != "?" {
+		t.Error("tokNone should be unnamed")
+	}
+}
+
+func TestSpansAreOrderedDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	tk, _ := NewTokenizer()
+	for iter := 0; iter < 20; iter++ {
+		in := randomXMLish(rng, 500)
+		prevEnd := -1
+		for _, tok := range tk.TokenizeSequential(in) {
+			if tok.Start >= tok.End || tok.Start < prevEnd || tok.End > len(in) {
+				t.Fatalf("bad span %+v", tok)
+			}
+			prevEnd = tok.End
+		}
+	}
+}
