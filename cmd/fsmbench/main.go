@@ -35,12 +35,13 @@ type options struct {
 	procs      int
 	trials     int
 	maxConfigs int
+	jsonPath   string // machine-readable report destination ("" = off)
 }
 
 func main() {
 	var opt options
 	flag.StringVar(&opt.experiment, "experiment", "all",
-		"which figure to regenerate: fig6 fig8 fig9 fig12 fig13 fig14 fig15 fig16 fig17 fig18 scaling speculation shuffles, or all")
+		"which figure to regenerate: fig6 fig8 fig9 fig12 fig13 fig14 fig15 fig16 fig17 fig18 scaling speculation shuffles telemetry, or all")
 	flag.Int64Var(&opt.seed, "seed", 1, "workload generator seed")
 	flag.IntVar(&opt.corpus, "corpus", 400, "size of the generated Snort-shaped rule corpus (paper: 2711)")
 	flag.IntVar(&opt.sample, "sample", 60, "FSMs sampled for timing figures (paper: 269)")
@@ -48,6 +49,7 @@ func main() {
 	flag.IntVar(&opt.procs, "procs", runtime.NumCPU(), "maximum processor count for scaling figures (paper: 16)")
 	flag.IntVar(&opt.trials, "trials", 10, "random inputs per FSM in Figure 9 (paper: 10)")
 	flag.IntVar(&opt.maxConfigs, "maxconfigs", 1<<17, "configuration budget per FSM in Figure 8")
+	flag.StringVar(&opt.jsonPath, "json", "", "also write a machine-readable report (rows + telemetry snapshots) to this path")
 	flag.Parse()
 
 	experiments := map[string]func(*options){
@@ -64,6 +66,7 @@ func main() {
 		"scaling":     scaling,
 		"speculation": speculation,
 		"shuffles":    shuffles,
+		"telemetry":   telemetryExperiment,
 	}
 	if opt.experiment == "all" {
 		names := make([]string, 0, len(experiments))
@@ -76,15 +79,20 @@ func main() {
 		for _, n := range names {
 			experiments[n](&opt)
 		}
-		return
-	}
-	run, ok := experiments[opt.experiment]
-	if !ok {
+	} else if run, ok := experiments[opt.experiment]; ok {
+		run(&opt)
+	} else {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", opt.experiment)
 		flag.Usage()
 		os.Exit(2)
 	}
-	run(&opt)
+	if opt.jsonPath != "" {
+		if err := writeReport(opt.jsonPath, &opt); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", opt.jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote JSON report (%d rows) to %s\n", len(reportRows), opt.jsonPath)
+	}
 }
 
 func figNum(name string) int {

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/telemetry"
+	"dpfsm/internal/workload"
+)
+
+// Machine-readable output. Experiments record rows into a process-wide
+// report; -json PATH serializes it at exit so CI and notebooks can track
+// throughput and the telemetry counters without scraping the text
+// tables.
+
+// reportRow is one (experiment, machine, strategy, workload) cell.
+type reportRow struct {
+	Experiment string `json:"experiment"`
+	Machine    string `json:"machine"`
+	Strategy   string `json:"strategy"`
+	Workload   string `json:"workload"`
+	Bytes      int    `json:"bytes"`
+	NsPerOp    int64  `json:"ns_per_op"`
+	MBPerS     float64 `json:"mb_per_s"`
+	// Telemetry is the runner's counter snapshot for exactly the runs
+	// timed in NsPerOp (nil for experiments that only time).
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+}
+
+// benchReport is the top-level -json document.
+type benchReport struct {
+	Generated  string      `json:"generated"`
+	GoVersion  string      `json:"go_version"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Seed       int64       `json:"seed"`
+	Corpus     int         `json:"corpus"`
+	Rows       []reportRow `json:"rows"`
+}
+
+var reportRows []reportRow
+
+func recordRow(r reportRow) { reportRows = append(reportRows, r) }
+
+// writeReport dumps everything the experiments recorded. Called once
+// from main after the selected experiments finish.
+func writeReport(path string, opt *options) error {
+	doc := benchReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       opt.seed,
+		Corpus:     opt.corpus,
+		Rows:       reportRows,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// telemetryExperiment runs a strategy × workload matrix with the
+// runtime telemetry attached, reporting the live counters next to
+// throughput. This is the observability cross-check for the §6.1
+// shuffles experiment: where `shuffles` predicts cost from
+// core.ProfileInput, this measures it from the executing runner — the
+// two must agree (internal/core TestSnapshotAgreesWithProfile holds
+// them within 10%).
+func telemetryExperiment(opt *options) {
+	header("telemetry — live counters per strategy × workload (ns/op and shuffles/symbol)")
+
+	rng := rand.New(rand.NewSource(opt.seed + 90))
+	machines := []struct {
+		name string
+		dfa  *fsm.DFA
+	}{
+		{"converging-40", fsm.RandomConverging(rng, 40, 8, 6, 0.2)},
+		{"converging-300", fsm.RandomConverging(rng, 300, 8, 10, 0.2)},
+	}
+	workloads := []struct {
+		name  string
+		input func(int64, int) []byte
+	}{
+		{"wikitext", workload.WikiText},
+		{"http", workload.HTTPTraffic},
+	}
+	strategies := []core.Strategy{
+		core.Sequential, core.Base, core.BaseILP,
+		core.Convergence, core.RangeCoalesced, core.RangeConvergence,
+	}
+	size := opt.mb << 18 // quarter of -mb MiB per cell keeps `all` fast
+
+	fmt.Printf("%-15s %-10s %-12s %10s %9s %12s %10s %8s\n",
+		"machine", "workload", "strategy", "ns/op", "MB/s", "shuf/sym", "highwater", "final")
+	for _, m := range machines {
+		for _, w := range workloads {
+			// The random machines have small alphabets; fold the byte
+			// workload onto them so the symbol *sequence* shape (runs,
+			// skew) survives even though the values are renamed.
+			input := w.input(opt.seed+91, size)
+			k := byte(m.dfa.NumSymbols())
+			for i, b := range input {
+				input[i] = b % k
+			}
+			for _, strat := range strategies {
+				met := new(telemetry.Metrics)
+				r, err := core.New(m.dfa,
+					core.WithStrategy(strat),
+					core.WithProcs(1),
+					core.WithTelemetry(met))
+				if err != nil {
+					fmt.Printf("%-15s %-10s %-12s  skipped: %v\n", m.name, w.name, strat, err)
+					continue
+				}
+				start := m.dfa.Start()
+				d := timeIt(30*time.Millisecond, func() {
+					sink(byte(r.Final(input, start)))
+				})
+				snap := met.Snapshot()
+				nsPerOp := int64(d)
+				fmt.Printf("%-15s %-10s %-12s %10d %9.1f %12.2f %10d %8.0f\n",
+					m.name, w.name, strat, nsPerOp, mbps(len(input), d),
+					snap.ShufflesPerSymbol, snap.ActiveHighWater, snap.ActiveFinalMean)
+				recordRow(reportRow{
+					Experiment: "telemetry",
+					Machine:    m.name,
+					Strategy:   strat.String(),
+					Workload:   w.name,
+					Bytes:      len(input),
+					NsPerOp:    nsPerOp,
+					MBPerS:     mbps(len(input), d),
+					Telemetry:  &snap,
+				})
+			}
+		}
+	}
+	fmt.Printf("\nshuf/sym counts emulated ⊗16,16 blocks (§4.2); sequential/base strategies gather without shuffling where noted as 0 or n-proportional.\n")
+}

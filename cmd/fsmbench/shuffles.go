@@ -21,9 +21,11 @@ func shuffles(opt *options) {
 
 	var best, conv, rng []int // per-mille shuffles/symbol for quantiles
 	buckets := map[string]int{}
+	wins := map[core.Strategy]int{}
 	for _, d := range ms {
 		p := core.ProfileInput(d, input)
-		b := p.BestPerSymbol()
+		b, winner := p.BestPerSymbol()
+		wins[winner]++
 		best = append(best, int(b*1000))
 		conv = append(conv, int(p.ConvPerSymbol()*1000))
 		if p.RangeOK {
@@ -47,6 +49,8 @@ func shuffles(opt *options) {
 	}
 	oneOrTwo := 100 * float64(buckets["≤1"]+buckets["≤2"]) / float64(total)
 	fmt.Printf("\none or two shuffles per symbol: %.1f%% of the corpus (paper: >80%%)\n", oneOrTwo)
+	fmt.Printf("winning strategy: range %d machines, convergence %d machines\n",
+		wins[core.RangeCoalesced], wins[core.Convergence])
 	fmt.Printf("median shuffles/symbol: best %.2f, convergence %.2f, range %.2f\n",
 		textstats.Quantile(best, 0.5)/1000,
 		textstats.Quantile(conv, 0.5)/1000,

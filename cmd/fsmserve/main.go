@@ -1,0 +1,254 @@
+// Command fsmserve runs compiled FSMs as an HTTP service with live
+// telemetry — the observability half of the ROADMAP's production
+// north-star. Input bytes are POSTed to /run and executed by a
+// data-parallel core.Runner; every run feeds the shared telemetry
+// sink, so the paper's quantitative claims (shuffles per symbol §6.1,
+// convergence width §5.2, multicore phase times §3.4) are observable
+// on live traffic instead of requiring an offline ProfileInput replay.
+//
+// Endpoints:
+//
+//	POST /run?machine=NAME[&start=Q][&first=1]  run the input, JSON result
+//	GET  /machines                              list machines + static stats
+//	GET  /snapshot                              telemetry snapshot (JSON)
+//	GET  /metrics                               Prometheus text format
+//	GET  /debug/vars                            expvar (includes "dpfsm")
+//	GET  /debug/pprof/*                         net/http/pprof
+//	GET  /healthz                               liveness probe
+//
+// Usage:
+//
+//	fsmserve -addr :8377 \
+//	  -pattern 'sqli=UNION\s+SELECT' -pattern 'traversal=\.\./\.\./' \
+//	  -procs 0 -strategy auto
+//
+// Each -pattern is NAME=REGEX (Snort-style "contains" semantics); with
+// no -pattern flags a small default intrusion-detection set is served.
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/regex"
+	"dpfsm/internal/telemetry"
+)
+
+// machine is one compiled pattern served by the process.
+type machine struct {
+	Name     string    `json:"name"`
+	Pattern  string    `json:"pattern"`
+	Strategy string    `json:"strategy"`
+	Procs    int       `json:"procs"`
+	Stats    fsm.Stats `json:"stats"`
+	runner   *core.Runner
+	dfa      *fsm.DFA
+}
+
+// server holds the machines and the shared telemetry sink.
+type server struct {
+	machines map[string]*machine
+	order    []string // first pattern is the default machine
+	metrics  *telemetry.Metrics
+	maxBody  int64
+}
+
+// patternList collects repeated -pattern NAME=REGEX flags.
+type patternList []string
+
+func (p *patternList) String() string     { return strings.Join(*p, ",") }
+func (p *patternList) Set(v string) error { *p = append(*p, v); return nil }
+
+// defaultPatterns serve the zero-config case: a recognizable slice of
+// the Snort-shaped workload the benchmarks use.
+var defaultPatterns = []string{
+	`sqli=UNION\s+SELECT`,
+	`traversal=\.\./\.\./`,
+	`cgi=/cgi-bin/.*\.(pl|sh)`,
+	`nopsled=\x90\x90\x90\x90`,
+}
+
+func newServer(patterns []string, strategy core.Strategy, procs int, maxBody int64) (*server, error) {
+	if len(patterns) == 0 {
+		patterns = defaultPatterns
+	}
+	s := &server{
+		machines: make(map[string]*machine),
+		metrics:  new(telemetry.Metrics),
+		maxBody:  maxBody,
+	}
+	for _, spec := range patterns {
+		name, pat, ok := strings.Cut(spec, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("pattern %q: want NAME=REGEX", spec)
+		}
+		if _, dup := s.machines[name]; dup {
+			return nil, fmt.Errorf("duplicate machine name %q", name)
+		}
+		d, err := regex.Compile(pat, regex.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("pattern %q: %v", name, err)
+		}
+		r, err := core.New(d,
+			core.WithStrategy(strategy),
+			core.WithProcs(procs),
+			core.WithTelemetry(s.metrics))
+		if err != nil {
+			return nil, fmt.Errorf("pattern %q: %v", name, err)
+		}
+		s.machines[name] = &machine{
+			Name:     name,
+			Pattern:  pat,
+			Strategy: r.Strategy().String(),
+			Procs:    r.Procs(),
+			Stats:    d.Stats(),
+			runner:   r,
+			dfa:      d,
+		}
+		s.order = append(s.order, name)
+	}
+	return s, nil
+}
+
+// runResult is the /run response body.
+type runResult struct {
+	Machine    string    `json:"machine"`
+	Bytes      int       `json:"bytes"`
+	Final      fsm.State `json:"final_state"`
+	Accepts    bool      `json:"accepts"`
+	FirstMatch *int      `json:"first_match,omitempty"`
+	DurationNs int64     `json:"duration_ns"`
+	MBPerS     float64   `json:"mb_per_s"`
+}
+
+func (s *server) handleRun(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST an input body to /run", http.StatusMethodNotAllowed)
+		return
+	}
+	name := req.URL.Query().Get("machine")
+	if name == "" {
+		name = s.order[0]
+	}
+	m, ok := s.machines[name]
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown machine %q (see /machines)", name), http.StatusNotFound)
+		return
+	}
+	input, err := io.ReadAll(http.MaxBytesReader(w, req.Body, s.maxBody))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("reading body: %v", err), http.StatusRequestEntityTooLarge)
+		return
+	}
+	start := m.dfa.Start()
+	if qs := req.URL.Query().Get("start"); qs != "" {
+		var q int
+		if _, err := fmt.Sscanf(qs, "%d", &q); err != nil || q < 0 || q >= m.dfa.NumStates() {
+			http.Error(w, fmt.Sprintf("bad start state %q", qs), http.StatusBadRequest)
+			return
+		}
+		start = fsm.State(q)
+	}
+
+	t0 := time.Now()
+	final := m.runner.Final(input, start)
+	res := runResult{
+		Machine: name,
+		Bytes:   len(input),
+		Final:   final,
+		Accepts: m.dfa.Accepting(final),
+	}
+	if req.URL.Query().Get("first") != "" {
+		hit := m.runner.FirstAccepting(input, start)
+		res.FirstMatch = &hit
+	}
+	dur := time.Since(t0)
+	res.DurationNs = int64(dur)
+	if dur > 0 {
+		res.MBPerS = float64(len(input)) / dur.Seconds() / 1e6
+	}
+	writeJSON(w, res)
+}
+
+func (s *server) handleMachines(w http.ResponseWriter, _ *http.Request) {
+	out := make([]*machine, 0, len(s.order))
+	for _, name := range s.order {
+		out = append(out, s.machines[name])
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.metrics.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// mux assembles the full route table, including the expvar and pprof
+// debug surfaces that normally ride on http.DefaultServeMux.
+func (s *server) mux() *http.ServeMux {
+	// Publishing makes the shared sink visible at /debug/vars next to
+	// the runtime's memstats; an "already taken" error just means an
+	// earlier server in this process claimed the name (tests).
+	_ = s.metrics.Publish("dpfsm")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/machines", s.handleMachines)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.Handle("/metrics", s.metrics.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func main() {
+	var (
+		patterns patternList
+		addr     = flag.String("addr", ":8377", "listen address")
+		strat    = flag.String("strategy", "auto", "execution strategy: auto sequential base base-ilp convergence range range+conv")
+		procs    = flag.Int("procs", 0, "multicore width per run (0 = NumCPU, 1 = single-core)")
+		maxBody  = flag.Int64("maxbody", 64<<20, "maximum POSTed input size in bytes")
+	)
+	flag.Var(&patterns, "pattern", "NAME=REGEX machine to serve (repeatable; default: a small IDS rule set)")
+	flag.Parse()
+
+	strategy, err := core.ParseStrategy(*strat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := newServer(patterns, strategy, *procs, *maxBody)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range srv.order {
+		m := srv.machines[name]
+		log.Printf("machine %q: %d states, max range %d, strategy %s, procs %d",
+			name, m.Stats.States, m.Stats.MaxRange, m.Strategy, m.Procs)
+	}
+	log.Printf("serving on %s — POST /run, GET /metrics /snapshot /machines /debug/vars /debug/pprof/", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.mux()))
+}

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/telemetry"
+)
+
+func testServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	srv, err := newServer(nil, core.Auto, 1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func TestRunEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+
+	// A matching input against the default "sqli" machine.
+	body := strings.NewReader("id=1 UNION  SELECT password FROM users")
+	resp, err := http.Post(ts.URL+"/run?machine=sqli&first=1", "application/octet-stream", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var res runResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepts {
+		t.Errorf("sqli machine should accept: %+v", res)
+	}
+	if res.FirstMatch == nil || *res.FirstMatch < 0 {
+		t.Errorf("first=1 should report a match position: %+v", res)
+	}
+	if res.Bytes == 0 || res.DurationNs <= 0 {
+		t.Errorf("run accounting: %+v", res)
+	}
+
+	// Default machine (first pattern) on a clean input.
+	resp2, err := http.Post(ts.URL+"/run", "", strings.NewReader("hello world"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var res2 runResult
+	if err := json.NewDecoder(resp2.Body).Decode(&res2); err != nil {
+		t.Fatal(err)
+	}
+	if res2.Accepts || res2.Machine != "sqli" {
+		t.Errorf("clean input: %+v", res2)
+	}
+
+	// Errors: GET is rejected, unknown machines 404.
+	if resp, _ := http.Get(ts.URL + "/run"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /run status %d", resp.StatusCode)
+	}
+	if resp, _ := http.Post(ts.URL+"/run?machine=nope", "", strings.NewReader("x")); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown machine status %d", resp.StatusCode)
+	}
+}
+
+func TestMetricsEndpointNonZeroUnderLoad(t *testing.T) {
+	srv, ts := testServer(t)
+
+	// Drive some load so the gauges move.
+	payload := bytes.Repeat([]byte("GET /cgi-bin/x.pl HTTP/1.1\n"), 2000)
+	for i := 0; i < 5; i++ {
+		resp, err := http.Post(ts.URL+"/run?machine=cgi", "", bytes.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	out := sb.String()
+	if !strings.Contains(out, "dpfsm_runs_total 5") {
+		t.Errorf("metrics missing run count:\n%s", out)
+	}
+	for _, series := range []string{"dpfsm_symbols_total", "dpfsm_shuffles_total", "dpfsm_shuffles_per_symbol"} {
+		if !strings.Contains(out, series) {
+			t.Errorf("metrics missing %s", series)
+		}
+	}
+	if strings.Contains(out, "dpfsm_symbols_total 0\n") {
+		t.Error("symbols gauge still zero under load")
+	}
+	snap := srv.metrics.Snapshot()
+	if snap.Symbols != int64(5*len(payload)) {
+		t.Errorf("Symbols = %d, want %d", snap.Symbols, 5*len(payload))
+	}
+	if snap.ShufflesPerSymbol <= 0 {
+		t.Errorf("ShufflesPerSymbol = %v, want > 0", snap.ShufflesPerSymbol)
+	}
+}
+
+func TestSnapshotAndMachinesEndpoints(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/run", "", strings.NewReader("some bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var snap telemetry.Snapshot
+	r2, err := http.Get(ts.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if err := json.NewDecoder(r2.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Runs != 1 {
+		t.Errorf("snapshot runs = %d", snap.Runs)
+	}
+
+	var machines []machine
+	r3, err := http.Get(ts.URL + "/machines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Body.Close()
+	if err := json.NewDecoder(r3.Body).Decode(&machines); err != nil {
+		t.Fatal(err)
+	}
+	if len(machines) != len(defaultPatterns) {
+		t.Fatalf("machines = %d, want %d", len(machines), len(defaultPatterns))
+	}
+	for _, m := range machines {
+		if m.Stats.States == 0 || m.Stats.MaxRange == 0 || m.Strategy == "" {
+			t.Errorf("machine %q missing stats: %+v", m.Name, m)
+		}
+	}
+}
+
+func TestDebugSurfaces(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/run", "", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// /debug/vars must be valid JSON and include the published sink.
+	rv, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rv.Body.Close()
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(rv.Body).Decode(&vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["dpfsm"]; !ok {
+		t.Error("/debug/vars missing dpfsm")
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Error("/debug/vars missing memstats")
+	}
+
+	// pprof index should list profiles.
+	rp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rp.Body.Close()
+	if rp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", rp.StatusCode)
+	}
+
+	rh, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh.Body.Close()
+	if rh.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status %d", rh.StatusCode)
+	}
+}
+
+func TestNewServerErrors(t *testing.T) {
+	if _, err := newServer([]string{"noequals"}, core.Auto, 1, 1<<20); err == nil {
+		t.Error("pattern without NAME= should error")
+	}
+	if _, err := newServer([]string{"a=x(", "b=y"}, core.Auto, 1, 1<<20); err == nil {
+		t.Error("bad regex should error")
+	}
+	if _, err := newServer([]string{"a=x", "a=y"}, core.Auto, 1, 1<<20); err == nil {
+		t.Error("duplicate names should error")
+	}
+}

@@ -1,0 +1,70 @@
+// telemetry: attach the runtime observability sink to a runner and
+// watch the paper's quantities come out of a live scan — shuffles per
+// symbol (§6.1's "one or two" claim), the convergence trajectory
+// (Figure 7: active states collapse from n toward 1), and the three
+// multicore phase times (Figure 5). The same counters feed
+// cmd/fsmserve's /metrics endpoint; this example uses the in-process
+// Snapshot API directly.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/regex"
+	"dpfsm/internal/telemetry"
+	"dpfsm/internal/workload"
+)
+
+func main() {
+	// One machine per strategy, all feeding the same sink: the
+	// strategy_runs labels show what executed, and the shuffle counters
+	// show what each choice cost.
+	traffic := workload.HTTPTraffic(11, 4<<20)
+	copy(traffic[1<<20:], []byte("GET /cgi-bin/probe.pl HTTP/1.1"))
+
+	d, err := regex.Compile(`/cgi-bin/.*\.(pl|sh)`, regex.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	met := new(telemetry.Metrics)
+	fmt.Printf("machine: %d states, max range %d\n\n", d.NumStates(), d.MaxRangeSize())
+	fmt.Printf("%-12s %-7s %10s %10s %10s\n",
+		"strategy", "match", "shuf/sym", "highwater", "final")
+	for _, strat := range []core.Strategy{core.Base, core.Convergence, core.RangeCoalesced} {
+		per := new(telemetry.Metrics) // per-strategy sink for the table row
+		r, err := core.New(d, core.WithStrategy(strat), core.WithProcs(1), core.WithTelemetry(per))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		matched := r.Accepts(traffic)
+		s := per.Snapshot()
+		fmt.Printf("%-12v %-7v %10.2f %10d %10.0f\n",
+			strat, matched, s.ShufflesPerSymbol, s.ActiveHighWater, s.ActiveFinalMean)
+	}
+
+	// Multicore run against the shared sink: phase timings + chunking.
+	// WithProcs(4) forces four chunks even on a small host; the phase
+	// structure is the same either way.
+	r, err := core.New(d, core.WithProcs(4), core.WithTelemetry(met))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	r.Accepts(traffic)
+	snap := met.Snapshot()
+	fmt.Printf("\nmulticore run (strategy %v, %d chunks):\n", r.Strategy(), snap.Chunks)
+	fmt.Printf("  phase 1 (enumerative chunks): %d spans, mean %.0f ns\n",
+		snap.Phase1.Count, snap.Phase1.MeanNs)
+	fmt.Printf("  phase 2 (combine):            %d spans, mean %.0f ns\n",
+		snap.Phase2.Count, snap.Phase2.MeanNs)
+	fmt.Printf("  phase 3 skipped %d times (accept-only query needs no replay)\n",
+		snap.Phase3Skips)
+
+	// The whole snapshot is JSON — what /snapshot and /debug/vars serve.
+	fmt.Printf("\nfull snapshot:\n%s\n", met.String())
+}

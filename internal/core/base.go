@@ -12,6 +12,18 @@ import (
 // fallback for machines whose structure defeats both optimizations
 // (e.g. permutation transition functions).
 
+// noteBase flushes telemetry for an unoptimized enumerative pass:
+// every one of the gathers moved the full n-wide vector through an
+// n-entry table, so the §4.2 model charges ⌈n/W⌉² shuffles each, and
+// the active width never shrinks.
+func (r *Runner) noteBase(gathers int) {
+	if r.tel == nil {
+		return
+	}
+	nb := int64(r.nBlocks)
+	r.noteSingle(int64(gathers), int64(gathers)*nb*nb, 0, 0, r.n, r.n)
+}
+
 // baseVecBytes runs Figure 3 over byte-encoded states (n ≤ 256) and
 // returns the composition vector.
 func (r *Runner) baseVecBytes(input []byte) []byte {
@@ -19,6 +31,7 @@ func (r *Runner) baseVecBytes(input []byte) []byte {
 	for _, a := range input {
 		r.gatherB(s, s, r.colsB[a])
 	}
+	r.noteBase(len(input))
 	return s
 }
 
@@ -30,6 +43,7 @@ func (r *Runner) baseVec16(input []byte) []fsm.State {
 	for _, a := range input {
 		gather.Into(s, s, r.cols16[a])
 	}
+	r.noteBase(len(input))
 	return s
 }
 
@@ -52,6 +66,9 @@ func (r *Runner) baseILPVecBytes(input []byte) []byte {
 	for ; i < len(input); i++ {
 		r.gatherB(s, s, r.colsB[input[i]])
 	}
+	// Each unrolled round issues 3 gathers for 3 symbols, and the tail
+	// one per symbol, so the gather count equals the input length.
+	r.noteBase(len(input))
 	return s
 }
 
@@ -69,6 +86,7 @@ func (r *Runner) baseILPVec16(input []byte) []fsm.State {
 	for ; i < len(input); i++ {
 		gather.Into(s, s, r.cols16[input[i]])
 	}
+	r.noteBase(len(input))
 	return s
 }
 
@@ -80,6 +98,7 @@ func (r *Runner) baseRunBytes(input []byte, off int, start fsm.State, phi fsm.Ph
 		r.gatherB(s, s, r.colsB[a])
 		phi(off+i, a, fsm.State(s[start]))
 	}
+	r.noteBase(len(input))
 	return fsm.State(s[start])
 }
 
@@ -89,6 +108,7 @@ func (r *Runner) baseRun16(input []byte, off int, start fsm.State, phi fsm.Phi) 
 		gather.Into(s, s, r.cols16[a])
 		phi(off+i, a, s[start])
 	}
+	r.noteBase(len(input))
 	if len(input) == 0 {
 		return start
 	}

@@ -77,9 +77,19 @@ func (r *Runner) convLoopBytes(input []byte, phi fsm.Phi, off int, start fsm.Sta
 	s = gather.Identity[byte](r.n)
 	m := r.n // active states
 	sinceCheck := 0
+	// Telemetry accounting stays in stack locals so the disabled path
+	// costs two register adds per symbol, flushed once at exit.
+	// shufBlocks accumulates ⌈m/W⌉ per symbol; the §4.2 shuffle count
+	// is shufBlocks·⌈n/W⌉ since the table block count is constant.
+	var gathers, shufBlocks, fCalls, fWins int64
+	mBlocks := int64((m + gather.Width - 1) / gather.Width)
 	var lbuf, ubuf [256]byte // scratch for the inline Factor
 	for i, a := range input {
 		if phi == nil && !r.simd && m <= 8 {
+			// The register tail advances m ≤ 8 lanes per symbol:
+			// ⌈m/W⌉ = 1 shuffle-row per remaining symbol.
+			shufBlocks += int64(len(input) - i)
+			r.noteSingle(gathers, shufBlocks*int64(r.nBlocks), fCalls, fWins, r.n, m)
 			// Converged into the register regime: finish the input
 			// with lanes in registers (m == 1 degenerates to the
 			// sequential chase). No further convergence checks — the
@@ -138,8 +148,11 @@ func (r *Runner) convLoopBytes(input []byte, phi fsm.Phi, off int, start fsm.Sta
 				ss[j] = tab[v]
 			}
 		}
+		gathers++
+		shufBlocks += mBlocks
 		sinceCheck++
 		if r.convShouldCheck(a, m, sinceCheck) {
+			fCalls++
 			// Zero-allocation Factor specialized for the byte path:
 			// O(m·|U|) scan, fine because m is small after the first
 			// convergence and |U| ≤ m.
@@ -162,6 +175,9 @@ func (r *Runner) convLoopBytes(input []byte, phi fsm.Phi, off int, start fsm.Sta
 				r.gatherB(acc, acc, lbuf[:m])
 				copy(s, ubuf[:nu])
 				m = nu
+				fWins++
+				gathers++
+				mBlocks = int64((m + gather.Width - 1) / gather.Width)
 			}
 			sinceCheck = 0
 		}
@@ -169,6 +185,7 @@ func (r *Runner) convLoopBytes(input []byte, phi fsm.Phi, off int, start fsm.Sta
 			phi(off+i, a, fsm.State(s[acc[start]]))
 		}
 	}
+	r.noteSingle(gathers, shufBlocks*int64(r.nBlocks), fCalls, fWins, r.n, m)
 	return acc, s[:m]
 }
 
@@ -200,8 +217,12 @@ func (r *Runner) convLoop16(input []byte, phi fsm.Phi, off int, start fsm.State)
 	s = gather.Identity[fsm.State](r.n)
 	m := r.n
 	sinceCheck := 0
+	var gathers, shufBlocks, fCalls, fWins int64
+	mBlocks := int64((m + gather.Width - 1) / gather.Width)
 	for i, a := range input {
 		if phi == nil && m <= 8 {
+			shufBlocks += int64(len(input) - i)
+			r.noteSingle(gathers, shufBlocks*int64(r.nBlocks), fCalls, fWins, r.n, m)
 			// Same register regime as the byte path: once converged,
 			// per-symbol cost is a handful of independent loads —
 			// §5.2's "overhead proportional to the number of active
@@ -255,8 +276,11 @@ func (r *Runner) convLoop16(input []byte, phi fsm.Phi, off int, start fsm.State)
 		for j, v := range ss {
 			ss[j] = tab[v]
 		}
+		gathers++
+		shufBlocks += mBlocks
 		sinceCheck++
 		if r.convShouldCheck(a, m, sinceCheck) {
+			fCalls++
 			// Inline factor; states exceed a byte, so the lookup table
 			// uses the n-sized scratch (amortized: checks are rare and
 			// m shrinks fast).
@@ -265,6 +289,9 @@ func (r *Runner) convLoop16(input []byte, phi fsm.Phi, off int, start fsm.State)
 				gather.Into(acc, acc, l)
 				copy(s, u)
 				m = len(u)
+				fWins++
+				gathers++
+				mBlocks = int64((m + gather.Width - 1) / gather.Width)
 			}
 			sinceCheck = 0
 		}
@@ -272,5 +299,6 @@ func (r *Runner) convLoop16(input []byte, phi fsm.Phi, off int, start fsm.State)
 			phi(off+i, a, s[acc[start]])
 		}
 	}
+	r.noteSingle(gathers, shufBlocks*int64(r.nBlocks), fCalls, fWins, r.n, m)
 	return acc, s[:m]
 }

@@ -36,6 +36,7 @@ import (
 
 	"dpfsm/internal/fsm"
 	"dpfsm/internal/gather"
+	"dpfsm/internal/telemetry"
 )
 
 // Strategy selects the single-core execution algorithm.
@@ -91,6 +92,17 @@ func (s Strategy) String() string {
 	}
 }
 
+// ParseStrategy is the inverse of Strategy.String, for CLI/HTTP
+// surfaces that select a strategy by name.
+func ParseStrategy(name string) (Strategy, error) {
+	for s := Auto; s <= RangeConvergence; s++ {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return Auto, fmt.Errorf("core: unknown strategy %q", name)
+}
+
 // Option configures a Runner.
 type Option func(*config)
 
@@ -100,6 +112,7 @@ type config struct {
 	convEvery int
 	minChunk  int
 	simd      bool
+	tel       *telemetry.Metrics
 }
 
 // WithStrategy forces a single-core strategy instead of Auto selection.
@@ -157,6 +170,16 @@ func WithEmulatedSIMD(on bool) Option {
 	return func(c *config) { c.simd = on }
 }
 
+// WithTelemetry attaches a metrics sink. All Runners sharing m
+// accumulate into the same counters; m may be read (Snapshot, expvar,
+// Prometheus) while runs are in flight. A nil m — the default —
+// disables collection entirely: the hot loops accumulate into stack
+// locals and the only residual cost is one pointer check per run, so
+// the disabled path is indistinguishable from an uninstrumented build.
+func WithTelemetry(m *telemetry.Metrics) Option {
+	return func(c *config) { c.tel = m }
+}
+
 const (
 	defaultConvEvery = 64
 	defaultMinChunk  = 1 << 12
@@ -173,6 +196,19 @@ type Runner struct {
 	minChunk  int
 
 	ranges []int // per-symbol |range(T[a])|
+	// rangeBlocks[a] = ⌈ranges[a]/gather.Width⌉, precomputed so the
+	// telemetry reconstruction pass over range-coalesced inputs is a
+	// table-lookup sum instead of per-symbol arithmetic.
+	rangeBlocks []int64
+
+	// nBlocks is ⌈n/gather.Width⌉, the per-gather table block count of
+	// the §4.2 shuffle cost model (telemetry accounting).
+	nBlocks int
+	// tel is the attached metrics sink; nil disables collection.
+	// stratRuns caches tel.StrategyRuns for this runner's strategy so
+	// the per-run path never takes the label-registry mutex.
+	tel       *telemetry.Metrics
+	stratRuns *telemetry.Counter
 
 	// simd selects the emulated shuffle/blend dataflow of §4.2 for
 	// byte-lane gathers (WithEmulatedSIMD); the default is the scalar
@@ -222,6 +258,11 @@ func New(d *fsm.DFA, opts ...Option) (*Runner, error) {
 	if r.procs < 1 {
 		r.procs = 1
 	}
+	if r.minChunk < 1 {
+		// Guard the splitChunks divisions: a zero or negative minimum
+		// chunk would divide by zero (or hand workers empty chunks).
+		r.minChunk = 1
+	}
 
 	r.ranges = d.RangeSizes()
 	maxRange := 0
@@ -261,7 +302,48 @@ func New(d *fsm.DFA, opts ...Option) (*Runner, error) {
 		}
 		r.rc = buildRCTables(d, r.ranges)
 	}
+
+	r.nBlocks = (r.n + gather.Width - 1) / gather.Width
+	if cfg.tel != nil {
+		r.tel = cfg.tel
+		r.tel.StrategySelected.Get(r.strategy.String()).Inc()
+		r.stratRuns = r.tel.StrategyRuns.Get(r.strategy.String())
+		r.rangeBlocks = make([]int64, len(r.ranges))
+		for a, v := range r.ranges {
+			r.rangeBlocks[a] = int64((v + gather.Width - 1) / gather.Width)
+		}
+	}
 	return r, nil
+}
+
+// Telemetry returns the attached metrics sink (nil when disabled).
+func (r *Runner) Telemetry() *telemetry.Metrics { return r.tel }
+
+// noteEntry records one entry-point execution over n input symbols.
+func (r *Runner) noteEntry(n int) {
+	if t := r.tel; t != nil {
+		t.Runs.Inc()
+		t.Symbols.Add(int64(n))
+		r.stratRuns.Inc()
+	}
+}
+
+// noteSingle flushes the accounting of one single-core enumerative
+// pass (a whole input, or one multicore chunk): gather kernel
+// invocations, emulated ⊗16,16 shuffles under the §4.2 blocked cost
+// model, convergence checks and wins, and the active-vector width at
+// entry (highWater) and exit (final).
+func (r *Runner) noteSingle(gathers, shuffles, factorCalls, factorWins int64, highWater, final int) {
+	t := r.tel
+	if t == nil {
+		return
+	}
+	t.Gathers.Add(gathers)
+	t.Shuffles.Add(shuffles)
+	t.FactorCalls.Add(factorCalls)
+	t.FactorWins.Add(factorWins)
+	t.ActiveHighWater.Observe(int64(highWater))
+	t.ActiveFinal.Observe(int64(final))
 }
 
 // Strategy reports the resolved single-core strategy.
@@ -275,6 +357,7 @@ func (r *Runner) Machine() *fsm.DFA { return r.d }
 
 // Final returns the state reached from start after consuming input.
 func (r *Runner) Final(input []byte, start fsm.State) fsm.State {
+	r.noteEntry(len(input))
 	if r.strategy == Sequential {
 		return r.d.RunUnrolled(input, start)
 	}
@@ -299,6 +382,7 @@ func (r *Runner) Run(input []byte, start fsm.State, phi fsm.Phi) fsm.State {
 	if phi == nil {
 		return r.Final(input, start)
 	}
+	r.noteEntry(len(input))
 	if r.strategy == Sequential {
 		return r.d.RunMealy(input, start, phi)
 	}
@@ -313,6 +397,7 @@ func (r *Runner) Run(input []byte, start fsm.State, phi fsm.Phi) fsm.State {
 // is the quantity phase 1 of the multicore algorithm computes per
 // chunk.
 func (r *Runner) CompositionVector(input []byte) []fsm.State {
+	r.noteEntry(len(input))
 	if r.useMulticore(len(input)) {
 		return r.compVecMulticore(input)
 	}

@@ -2,9 +2,11 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"dpfsm/internal/fsm"
 	"dpfsm/internal/gather"
+	"dpfsm/internal/telemetry"
 )
 
 // Multicore execution (Figure 5): a parallel prefix over transition-
@@ -21,7 +23,13 @@ import (
 // minChunk, reducing p if necessary.
 func (r *Runner) splitChunks(n int) [][2]int {
 	p := r.procs
-	if max := n / r.minChunk; p > max {
+	minChunk := r.minChunk
+	if minChunk < 1 {
+		// New clamps this, but guard here too: a non-positive minimum
+		// would divide by zero below and emit zero-length chunks.
+		minChunk = 1
+	}
+	if max := n / minChunk; p > max {
 		p = max
 	}
 	if p < 1 {
@@ -36,14 +44,29 @@ func (r *Runner) splitChunks(n int) [][2]int {
 	return chunks
 }
 
+// noteMulticore records one Figure 5 execution over the given chunks.
+func (r *Runner) noteMulticore(chunks [][2]int) {
+	if t := r.tel; t != nil {
+		t.MulticoreRuns.Inc()
+		t.Chunks.Add(int64(len(chunks)))
+		for _, ch := range chunks {
+			t.ChunkBytes.Observe(int64(ch[1] - ch[0]))
+		}
+	}
+}
+
 // phase1 computes the composition vector of every chunk in parallel.
 func (r *Runner) phase1(input []byte, chunks [][2]int) [][]fsm.State {
 	vecs := make([][]fsm.State, len(chunks))
+	tel := r.tel
 	var wg sync.WaitGroup
 	for p, ch := range chunks {
 		wg.Add(1)
 		go func(p int, lo, hi int) {
 			defer wg.Done()
+			if tel != nil {
+				defer tel.Phase1Time.Start().Stop()
+			}
 			vecs[p] = r.compVecSingle(input[lo:hi])
 		}(p, ch[0], ch[1])
 	}
@@ -65,20 +88,41 @@ func phase2(vecs [][]fsm.State, start fsm.State) []fsm.State {
 
 func (r *Runner) finalMulticore(input []byte, start fsm.State) fsm.State {
 	chunks := r.splitChunks(len(input))
+	r.noteMulticore(chunks)
 	vecs := r.phase1(input, chunks)
+	// Phase 2; a final-state query needs no phase 3 at all (§3.4).
+	var sp telemetry.Span
+	if t := r.tel; t != nil {
+		sp = t.Phase2Time.Start()
+	}
 	st := start
 	for _, vec := range vecs {
 		st = vec[st]
+	}
+	sp.Stop()
+	if t := r.tel; t != nil {
+		t.Phase3Skips.Inc()
 	}
 	return st
 }
 
 func (r *Runner) compVecMulticore(input []byte) []fsm.State {
 	chunks := r.splitChunks(len(input))
+	r.noteMulticore(chunks)
 	vecs := r.phase1(input, chunks)
+	// The vector merge plays phase 2's role; phase 3 is never needed.
+	var sp telemetry.Span
+	if t := r.tel; t != nil {
+		sp = t.Phase2Time.Start()
+	}
 	total := vecs[0]
 	for _, vec := range vecs[1:] {
 		gather.Into(total, total, vec)
+	}
+	sp.Stop()
+	if t := r.tel; t != nil {
+		t.Gathers.Add(int64(len(vecs) - 1))
+		t.Phase3Skips.Inc()
 	}
 	return total
 }
@@ -99,6 +143,13 @@ type ChunkFunc func(off int, chunk []byte, start fsm.State) fsm.State
 // decoder per chunk once the start state is known. Returns the final
 // state.
 func (r *Runner) RunChunked(input []byte, start fsm.State, f ChunkFunc) fsm.State {
+	r.noteEntry(len(input))
+	return r.runChunked(input, start, f)
+}
+
+// runChunked is RunChunked without the entry-point accounting, for
+// internal callers (Run, FirstAccepting) that already counted the run.
+func (r *Runner) runChunked(input []byte, start fsm.State, f ChunkFunc) fsm.State {
 	if len(input) == 0 {
 		return start
 	}
@@ -106,6 +157,8 @@ func (r *Runner) RunChunked(input []byte, start fsm.State, f ChunkFunc) fsm.Stat
 		return f(0, input, start)
 	}
 	chunks := r.splitChunks(len(input))
+	r.noteMulticore(chunks)
+	tel := r.tel
 
 	// Chunk 0 never needs phase 1 — its start state is already known —
 	// so its phase 3 runs concurrently with the enumerative phase 1 of
@@ -117,6 +170,9 @@ func (r *Runner) RunChunked(input []byte, start fsm.State, f ChunkFunc) fsm.Stat
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		if tel != nil {
+			defer tel.Phase3Time.Start().Stop()
+		}
 		c0Final = f(0, input[chunks[0][0]:chunks[0][1]], start)
 	}()
 	vecs := make([][]fsm.State, len(chunks))
@@ -124,6 +180,9 @@ func (r *Runner) RunChunked(input []byte, start fsm.State, f ChunkFunc) fsm.Stat
 		wg.Add(1)
 		go func(p, lo, hi int) {
 			defer wg.Done()
+			if tel != nil {
+				defer tel.Phase1Time.Start().Stop()
+			}
 			vecs[p] = r.compVecSingle(input[lo:hi])
 		}(p, chunks[p][0], chunks[p][1])
 	}
@@ -131,16 +190,26 @@ func (r *Runner) RunChunked(input []byte, start fsm.State, f ChunkFunc) fsm.Stat
 
 	// Phase 2 from chunk 0's actual final state, then phase 3 for the
 	// remaining chunks.
+	var phase2Start time.Time
+	if tel != nil {
+		phase2Start = time.Now()
+	}
 	st := c0Final
 	starts := make([]fsm.State, len(chunks))
 	for p := 1; p < len(chunks); p++ {
 		starts[p] = st
 		st = vecs[p][st]
 	}
+	if tel != nil {
+		tel.Phase2Time.ObserveSince(phase2Start)
+	}
 	for p := 1; p < len(chunks); p++ {
 		wg.Add(1)
 		go func(p, lo, hi int) {
 			defer wg.Done()
+			if tel != nil {
+				defer tel.Phase3Time.Start().Stop()
+			}
 			f(lo, input[lo:hi], starts[p])
 		}(p, chunks[p][0], chunks[p][1])
 	}
@@ -156,12 +225,13 @@ func (r *Runner) RunChunked(input []byte, start fsm.State, f ChunkFunc) fsm.Stat
 // start states enumeratively and scan chunks concurrently; the
 // earliest hit wins.
 func (r *Runner) FirstAccepting(input []byte, start fsm.State) int {
+	r.noteEntry(len(input))
 	if !r.useMulticore(len(input)) {
 		return r.firstAcceptingSeq(input, 0, start)
 	}
 	var mu sync.Mutex
 	best := -1
-	r.RunChunked(input, start, func(off int, chunk []byte, st fsm.State) fsm.State {
+	r.runChunked(input, start, func(off int, chunk []byte, st fsm.State) fsm.State {
 		// Skip the scan if a hit earlier than this chunk is known.
 		mu.Lock()
 		skip := best >= 0 && best < off
@@ -208,7 +278,7 @@ func (r *Runner) firstAcceptingSeq(input []byte, off int, start fsm.State) int {
 // out of order across chunks (§2.1). It reuses the RunChunked schedule
 // (chunk 0 skips phase 1).
 func (r *Runner) runMulticore(input []byte, start fsm.State, phi fsm.Phi) fsm.State {
-	return r.RunChunked(input, start, func(off int, chunk []byte, st fsm.State) fsm.State {
+	return r.runChunked(input, start, func(off int, chunk []byte, st fsm.State) fsm.State {
 		return r.runSingle(chunk, off, st, phi)
 	})
 }

@@ -53,16 +53,19 @@ func (p Profile) RangePerSymbol() float64 {
 }
 
 // BestPerSymbol returns the mean shuffles per symbol under whichever
-// optimization is cheaper — what an FSM compiler (§6.1) would pick.
-func (p Profile) BestPerSymbol() float64 {
+// optimization is cheaper — what an FSM compiler (§6.1) would pick —
+// and labels the winner: RangeCoalesced when the range model won,
+// Convergence otherwise (including ties and machines whose range
+// exceeds byte encoding, where range coalescing is inapplicable).
+func (p Profile) BestPerSymbol() (perSymbol float64, winner Strategy) {
 	c := p.ConvPerSymbol()
 	if !p.RangeOK {
-		return c
+		return c, Convergence
 	}
 	if r := p.RangePerSymbol(); r < c {
-		return r
+		return r, RangeCoalesced
 	}
-	return c
+	return c, Convergence
 }
 
 // ProfileInput replays input through the machine's enumerative
@@ -100,10 +103,10 @@ func ProfileInput(d *fsm.DFA, input []byte) Profile {
 		// Range accounting for the same step.
 		if p.RangeOK {
 			if i == 0 {
-				// First symbol: the L_a lookup seeds the name vector;
-				// count it as one gather of the n-length map — the
-				// paper amortizes this as setup, we charge one block
-				// row to stay conservative.
+				// First symbol: the L_a lookup seeds the name vector.
+				// The paper amortizes this as setup; to stay
+				// conservative we charge ⌈|range(a)|/W⌉ — one shuffle
+				// row per block of the seeded name vector.
 				p.RangeShuffles += (d.RangeSize(a) + gather.Width - 1) / gather.Width
 			} else {
 				w0 := d.RangeSize(input[0])

@@ -26,8 +26,18 @@ func TestProfileBasics(t *testing.T) {
 	if p.RangePerSymbol() > 1.01 {
 		t.Errorf("range shuffles/symbol = %v, want ≈1", p.RangePerSymbol())
 	}
-	if p.BestPerSymbol() > p.ConvPerSymbol()+1e-9 {
+	best, winner := p.BestPerSymbol()
+	if best > p.ConvPerSymbol()+1e-9 {
 		t.Error("best must not exceed conv")
+	}
+	if winner != Convergence && winner != RangeCoalesced {
+		t.Errorf("winner = %v, want a real optimization label", winner)
+	}
+	// On a range-5 machine the range model should win (≈1 shuffle per
+	// symbol from the first input byte) over convergence's wide start.
+	if p.RangePerSymbol() < p.ConvPerSymbol() && winner != RangeCoalesced {
+		t.Errorf("winner = %v, want range (range %v < conv %v)",
+			winner, p.RangePerSymbol(), p.ConvPerSymbol())
 	}
 }
 
@@ -65,7 +75,8 @@ func TestProfilePermutationNeverCheap(t *testing.T) {
 func TestProfileEmptyInput(t *testing.T) {
 	d := fsm.MustNew(4, 2)
 	p := ProfileInput(d, nil)
-	if p.ConvPerSymbol() != 0 || p.RangePerSymbol() != 0 || p.BestPerSymbol() != 0 {
+	best, _ := p.BestPerSymbol()
+	if p.ConvPerSymbol() != 0 || p.RangePerSymbol() != 0 || best != 0 {
 		t.Error("empty input should have zero per-symbol costs")
 	}
 }
@@ -80,7 +91,8 @@ func TestProfileHugeRangeDisablesRange(t *testing.T) {
 	if p.RangeOK || p.RangePerSymbol() != 0 {
 		t.Error("range model should be disabled for >256 ranges")
 	}
-	if p.BestPerSymbol() != p.ConvPerSymbol() {
-		t.Error("best should fall back to conv")
+	best, winner := p.BestPerSymbol()
+	if best != p.ConvPerSymbol() || winner != Convergence {
+		t.Error("best should fall back to conv, labelled Convergence")
 	}
 }

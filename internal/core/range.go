@@ -100,6 +100,27 @@ func (rc *rcTables) EntryCount() int {
 	return total
 }
 
+// noteRCPlain flushes telemetry for one rcLoop pass. The name vector
+// keeps its width w0 = |range(input[0])| for the whole input, so the
+// Figure 11 shuffle count — ⌈w0/W⌉·⌈|range(prev)|/W⌉ per symbol, the
+// model core.ProfileInput replays offline — is a pure function of the
+// input symbols. It is therefore reconstructed here in one pass only
+// when telemetry is attached; the hot loop itself carries no
+// accounting at all.
+func (r *Runner) noteRCPlain(input []byte) {
+	if r.tel == nil || len(input) == 0 {
+		return
+	}
+	w0 := r.ranges[input[0]]
+	cb := r.rangeBlocks[input[0]]
+	var rows int64
+	for _, b := range input[:len(input)-1] {
+		rows += r.rangeBlocks[b]
+	}
+	// cb·rows for the body plus one seed row of the L_{a0} lookup.
+	r.noteSingle(int64(len(input)-1), cb*rows+cb, 0, 0, w0, w0)
+}
+
 // rcLoop runs the coalesced machine over input[1:], starting from the
 // identity over names of input[0]. It returns the first symbol, the
 // final name-composition vector c (c[i] = name-of-cur reached from name
@@ -183,6 +204,7 @@ func (r *Runner) rcLoop(input []byte, phi fsm.Phi, off int, start fsm.State) (a0
 				cur = b
 			}
 		}
+		r.noteRCPlain(input)
 		return a0, c, cur
 	}
 	for i := 1; i < len(input); i++ {
@@ -197,6 +219,7 @@ func (r *Runner) rcLoop(input []byte, phi fsm.Phi, off int, start fsm.State) (a0
 			phi(off+i, b, r.rc.u[cur][c[name0]])
 		}
 	}
+	r.noteRCPlain(input)
 	return a0, c, cur
 }
 
@@ -216,14 +239,39 @@ func (r *Runner) rcLoopConv(input []byte) (a0 byte, acc []byte, c []byte, cur by
 	c = gather.Identity[byte](w0)
 	m := w0
 	sinceCheck := 0
+	// Unlike rcLoop, the name-vector width shrinks as it converges, so
+	// the shuffle count depends on the runtime m trajectory and must be
+	// tracked in-loop. The track flag hoists the telemetry nil-check so
+	// the disabled path pays one predictable branch per symbol.
+	const W = gather.Width
+	track := r.tel != nil
+	var gathers, shuf, fCalls, fWins int64
+	if track {
+		shuf = r.rangeBlocks[a0] // first-symbol seed row
+	}
+	mBlocks := int64((m + W - 1) / W)
 	var lbuf, ubuf [256]byte
 	for i := 1; i < len(input); i++ {
 		b := input[i]
 		if m <= 8 && !r.simd {
+			if track {
+				// Register-regime tail: ⌈m/W⌉ = 1 output row per
+				// symbol times the width blocks of each step's table.
+				prev := cur
+				for _, bb := range input[i:] {
+					shuf += r.rangeBlocks[prev]
+					prev = bb
+				}
+				r.noteSingle(gathers, shuf, fCalls, fWins, w0, m)
+			}
 			// Register regime over names; reuse the plain rcLoop lane
 			// code by running the remainder on the compact vector.
 			sub := r.rcTail(input[i:], cur, c[:m])
 			return a0, acc, c[:m], sub
+		}
+		if track {
+			shuf += mBlocks * r.rangeBlocks[cur]
+			gathers++
 		}
 		t := &rc.fw[cur]
 		tab := t.f[int(b)*t.w:]
@@ -234,6 +282,7 @@ func (r *Runner) rcLoopConv(input []byte) (a0 byte, acc []byte, c []byte, cur by
 		cur = b
 		sinceCheck++
 		if m > 1 && sinceCheck >= 4 {
+			fCalls++
 			nu := 0
 			for j := 0; j < m; j++ {
 				v := c[j]
@@ -253,9 +302,15 @@ func (r *Runner) rcLoopConv(input []byte) (a0 byte, acc []byte, c []byte, cur by
 				gather.Into(acc, acc, lbuf[:m])
 				copy(c, ubuf[:nu])
 				m = nu
+				fWins++
+				gathers++
+				mBlocks = int64((m + W - 1) / W)
 			}
 			sinceCheck = 0
 		}
+	}
+	if track {
+		r.noteSingle(gathers, shuf, fCalls, fWins, w0, m)
 	}
 	return a0, acc, c[:m], cur
 }

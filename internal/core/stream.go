@@ -86,6 +86,10 @@ func (s *Stream) flush() {
 	if len(s.buf) == 0 {
 		return
 	}
+	if t := s.r.tel; t != nil {
+		t.StreamBlocks.Inc()
+		t.StreamBytes.Add(int64(len(s.buf)))
+	}
 	if s.phi != nil {
 		off := s.pos
 		s.state = s.r.Run(s.buf, s.state, func(pos int, sym byte, q fsm.State) {

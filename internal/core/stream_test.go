@@ -119,6 +119,91 @@ func TestStreamEmpty(t *testing.T) {
 	}
 }
 
+func TestStreamPhiSpansManyBlocks(t *testing.T) {
+	// One Write much larger than the block size: φ must fire for every
+	// symbol with a globally correct position even though the runner
+	// is re-entered once per internal block, and the block-boundary
+	// states must chain exactly like the single-shot run.
+	rng := rand.New(rand.NewSource(155))
+	d := fsm.RandomConverging(rng, 25, 5, 4, 0.3)
+	for _, strat := range []Strategy{Convergence, RangeCoalesced} {
+		r := newRunner(t, d, strat)
+		input := d.RandomInput(rng, 10_000)
+		want := d.Trace(input, d.Start())
+
+		const block = 64 // 10_000/64 ≈ 157 boundaries
+		got := make([]fsm.State, len(input))
+		seen := make([]bool, len(input))
+		s := r.NewStream(func(pos int, sym byte, q fsm.State) {
+			if pos < 0 || pos >= len(input) {
+				t.Fatalf("φ position %d out of range", pos)
+			}
+			if sym != input[pos] {
+				t.Fatalf("φ at %d saw symbol %q want %q", pos, sym, input[pos])
+			}
+			if seen[pos] {
+				t.Fatalf("duplicate φ at %d", pos)
+			}
+			seen[pos] = true
+			got[pos] = q
+		}, block)
+		s.Write(input) // spans ~157 block flushes in one call
+		s.State()
+		for i := range input {
+			if !seen[i] {
+				t.Fatalf("%v: missing φ at %d", strat, i)
+			}
+			if got[i] != want[i] {
+				t.Fatalf("%v: φ state at %d = %d want %d", strat, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStreamReuseAfterFinalFlush(t *testing.T) {
+	// State()/Accepting() force a final flush of the buffered tail; the
+	// stream must remain usable — further Writes continue from the
+	// flushed state as if the input had never been split.
+	rng := rand.New(rand.NewSource(156))
+	d := fsm.RandomConverging(rng, 30, 4, 5, 0.3)
+	r := newRunner(t, d, Convergence)
+	input := d.RandomInput(rng, 9_000)
+
+	s := r.NewStream(nil, 1024)
+	s.Write(input[:4000])
+	mid := s.State() // flushes a 4000-byte tail mid-stream
+	if want := d.Run(input[:4000], d.Start()); mid != want {
+		t.Fatalf("mid-stream state %d want %d", mid, want)
+	}
+	if s.Consumed() != 4000 {
+		t.Fatalf("Consumed = %d after flush, want 4000", s.Consumed())
+	}
+	_ = s.Accepting() // second flush with an empty buffer must be a no-op
+	s.Write(input[4000:])
+	if got, want := s.State(), d.Run(input, d.Start()); got != want {
+		t.Fatalf("resumed state %d want %d", got, want)
+	}
+	if s.Consumed() != len(input) {
+		t.Fatalf("Consumed = %d, want %d", s.Consumed(), len(input))
+	}
+	// φ positions must also keep advancing across the interleaved
+	// flushes: replay with a callback and check the last position.
+	last := -1
+	s2 := r.NewStream(func(pos int, _ byte, _ fsm.State) {
+		if pos != last+1 {
+			t.Fatalf("φ position jumped %d → %d across flush", last, pos)
+		}
+		last = pos
+	}, 512)
+	s2.Write(input[:700])
+	s2.State()
+	s2.Write(input[700:1500])
+	s2.State()
+	if last != 1499 {
+		t.Fatalf("last φ position %d, want 1499", last)
+	}
+}
+
 func TestStreamMulticoreBlocks(t *testing.T) {
 	rng := rand.New(rand.NewSource(154))
 	d := fsm.RandomConverging(rng, 40, 6, 5, 0.3)

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/telemetry"
+)
+
+// BenchmarkTelemetryOverhead holds the tentpole's zero-cost promise to
+// account: the disabled rows must track the pre-telemetry hot loops
+// (the counters live in stack locals and flush once per run), and the
+// enabled rows bound what attaching a sink costs.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	for _, bc := range []struct {
+		name   string
+		states int
+		strat  Strategy
+	}{
+		{"conv-40", 40, Convergence},
+		{"conv-300", 300, Convergence},
+		{"range-300", 300, RangeCoalesced},
+	} {
+		d := fsm.RandomConverging(rng, bc.states, 8, 6, 0.2)
+		input := d.RandomInput(rng, 1<<20)
+		for _, enabled := range []bool{false, true} {
+			opts := []Option{WithStrategy(bc.strat), WithProcs(1)}
+			if enabled {
+				opts = append(opts, WithTelemetry(new(telemetry.Metrics)))
+			}
+			r, err := New(d, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			label := "disabled"
+			if enabled {
+				label = "enabled"
+			}
+			b.Run(fmt.Sprintf("%s/%s", bc.name, label), func(b *testing.B) {
+				b.SetBytes(int64(len(input)))
+				for i := 0; i < b.N; i++ {
+					benchSink = r.Final(input, d.Start())
+				}
+			})
+		}
+	}
+}
+
+var benchSink fsm.State

@@ -119,6 +119,71 @@ func (d *DFA) PruneUnreachable() *DFA {
 // entries; coalesced tables together have e·k).
 func (d *DFA) EdgeCount() int { return d.numStates * d.numSymbols }
 
+// Stats is the static structural summary of one machine — the
+// quantities the paper's optimizations are selected and sized by
+// (§5.2–5.3), bundled for observability surfaces (the fsmserve
+// /machine endpoint, fsmbench's JSON report). All fields derive from
+// the transition table alone; nothing here depends on any input.
+type Stats struct {
+	// States and Symbols are the table dimensions |Q| and |Σ|.
+	States  int `json:"states"`
+	Symbols int `json:"symbols"`
+	// Accepting counts accepting states; Reachable counts states
+	// reachable from the start state.
+	Accepting int `json:"accepting"`
+	Reachable int `json:"reachable"`
+	// MaxRange and MinRange bound |range(T[a])| over all symbols;
+	// MaxRange ≤ 16 puts the whole machine in the one-shuffle regime
+	// and MaxRange ≤ 256 makes range coalescing applicable at all.
+	MaxRange int `json:"max_range"`
+	MinRange int `json:"min_range"`
+	// PermutationSymbols counts symbols whose transition function is a
+	// permutation — symbols that can never converge (§5.2).
+	PermutationSymbols int `json:"permutation_symbols"`
+	// Entries and CoalescedEntries are the §5.3 table-size accounting:
+	// n·k original entries versus e·k after renaming.
+	Entries          int `json:"entries"`
+	CoalescedEntries int `json:"coalesced_entries"`
+}
+
+// Stats computes the structural summary. Cost is O(n·k); call it at
+// build/registration time, not per input.
+func (d *DFA) Stats() Stats {
+	s := Stats{
+		States:   d.numStates,
+		Symbols:  d.numSymbols,
+		Entries:  d.EdgeCount(),
+		MinRange: d.numStates + 1,
+	}
+	for q := 0; q < d.numStates; q++ {
+		if d.accept[q] {
+			s.Accepting++
+		}
+	}
+	for _, ok := range d.Reachable() {
+		if ok {
+			s.Reachable++
+		}
+	}
+	for a := 0; a < d.numSymbols; a++ {
+		r := d.RangeSize(byte(a))
+		if r > s.MaxRange {
+			s.MaxRange = r
+		}
+		if r < s.MinRange {
+			s.MinRange = r
+		}
+		if r == d.numStates {
+			s.PermutationSymbols++
+		}
+		s.CoalescedEntries += r * d.numSymbols
+	}
+	if s.MinRange > d.numStates {
+		s.MinRange = 0 // no symbols
+	}
+	return s
+}
+
 // CoalescedEntryCount returns the total number of entries across all
 // range-coalesced transition tables: sum over symbols a of
 // |range(T[a])| · |Σ| (§5.3).

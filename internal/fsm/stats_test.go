@@ -127,3 +127,41 @@ func TestRangeSizeBounds(t *testing.T) {
 		}
 	}
 }
+
+func TestStatsSummary(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 20; i++ {
+		d := Random(rng, 1+rng.Intn(60), 1+rng.Intn(6), 0.4)
+		s := d.Stats()
+		if s.States != d.NumStates() || s.Symbols != d.NumSymbols() {
+			t.Fatalf("dimensions: %+v", s)
+		}
+		if s.MaxRange != d.MaxRangeSize() {
+			t.Fatalf("MaxRange %d != %d", s.MaxRange, d.MaxRangeSize())
+		}
+		if s.MinRange < 1 || s.MinRange > s.MaxRange {
+			t.Fatalf("MinRange %d outside [1,%d]", s.MinRange, s.MaxRange)
+		}
+		if s.Reachable < 1 || s.Reachable > s.States {
+			t.Fatalf("Reachable %d outside [1,%d]", s.Reachable, s.States)
+		}
+		if s.Entries != d.EdgeCount() || s.CoalescedEntries != d.CoalescedEntryCount() {
+			t.Fatalf("entry accounting: %+v", s)
+		}
+		perms := 0
+		acc := 0
+		for a := 0; a < d.NumSymbols(); a++ {
+			if d.IsPermutation(byte(a)) {
+				perms++
+			}
+		}
+		for q := 0; q < d.NumStates(); q++ {
+			if d.Accepting(State(q)) {
+				acc++
+			}
+		}
+		if s.PermutationSymbols != perms || s.Accepting != acc {
+			t.Fatalf("perm/accept accounting: %+v (want perms %d acc %d)", s, perms, acc)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// Exposition. Three surfaces, per the repo's observability contract:
+//
+//   - Snapshot() for programmatic use,
+//   - expvar-compatible JSON (Metrics implements expvar.Var, so
+//     Publish drops it into /debug/vars alongside the runtime's
+//     memstats), and
+//   - Prometheus text format (WritePrometheus / Handler) for
+//     scrape-based collection.
+
+// String renders the current Snapshot as JSON, implementing
+// expvar.Var. Errors cannot occur: Snapshot is plain data.
+func (m *Metrics) String() string {
+	b, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// Publish registers m with the process-wide expvar registry under
+// name, making it visible at /debug/vars. Unlike expvar.Publish it is
+// idempotent: republishing the same name replaces silently only if the
+// existing var is this m, and otherwise reports an error instead of
+// panicking.
+func (m *Metrics) Publish(name string) error {
+	if m == nil {
+		return fmt.Errorf("telemetry: cannot publish nil Metrics")
+	}
+	if v := expvar.Get(name); v != nil {
+		if v == expvar.Var(m) {
+			return nil
+		}
+		return fmt.Errorf("telemetry: expvar name %q already taken", name)
+	}
+	expvar.Publish(name, m)
+	return nil
+}
+
+// promName prefixes every exposed series; a fixed prefix keeps the
+// exposition collision-free when the process exports other families.
+const promPrefix = "dpfsm_"
+
+// WritePrometheus writes the Prometheus text exposition (version
+// 0.0.4) of every metric. Histograms are exposed with their log₂
+// bucket upper edges as `le` labels plus the conventional _sum and
+// _count series.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	if m == nil {
+		return
+	}
+	pc := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s%s %s\n# TYPE %s%s counter\n%s%s %d\n",
+			promPrefix, name, help, promPrefix, name, promPrefix, name, v)
+	}
+	pg := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s%s %s\n# TYPE %s%s gauge\n%s%s %d\n",
+			promPrefix, name, help, promPrefix, name, promPrefix, name, v)
+	}
+
+	pc("runs_total", "Runner entry-point executions", m.Runs.Load())
+	pc("symbols_total", "input symbols consumed", m.Symbols.Load())
+	pc("gathers_total", "gather kernel invocations", m.Gathers.Load())
+	pc("shuffles_total", "emulated 16-lane shuffles (section 4.2 cost model)", m.Shuffles.Load())
+	pc("factor_calls_total", "convergence checks issued", m.FactorCalls.Load())
+	pc("factor_wins_total", "convergence checks that shrank the active vector", m.FactorWins.Load())
+	pg("active_high_water", "widest enumerative vector observed", m.ActiveHighWater.Load())
+
+	if sym := m.Symbols.Load(); sym > 0 {
+		fmt.Fprintf(w, "# HELP %sshuffles_per_symbol live section-6.1 figure of merit\n# TYPE %sshuffles_per_symbol gauge\n%sshuffles_per_symbol %g\n",
+			promPrefix, promPrefix, promPrefix,
+			float64(m.Shuffles.Load())/float64(sym))
+	}
+
+	writeLabelCounters(w, "strategy_selected_total", "Runner constructions by resolved strategy", &m.StrategySelected)
+	writeLabelCounters(w, "strategy_runs_total", "executions by strategy", &m.StrategyRuns)
+
+	pc("stream_blocks_total", "stream blocks flushed", m.StreamBlocks.Load())
+	pc("stream_bytes_total", "stream bytes consumed", m.StreamBytes.Load())
+
+	pc("multicore_runs_total", "multicore (Figure 5) executions", m.MulticoreRuns.Load())
+	pc("chunks_total", "multicore chunks processed", m.Chunks.Load())
+	pc("phase3_skips_total", "accept-only runs that skipped phase 3", m.Phase3Skips.Load())
+
+	writeHistogram(w, "active_final", "active-state width at end of run", &m.ActiveFinal)
+	writeHistogram(w, "chunk_bytes", "multicore chunk sizes", &m.ChunkBytes)
+	writeHistogram(w, "phase1_ns", "per-chunk phase-1 wall time", &m.Phase1Time.Histogram)
+	writeHistogram(w, "phase2_ns", "per-run phase-2 scan wall time", &m.Phase2Time.Histogram)
+	writeHistogram(w, "phase3_ns", "per-chunk phase-3 wall time", &m.Phase3Time.Histogram)
+}
+
+func writeLabelCounters(w io.Writer, name, help string, lc *LabelCounters) {
+	labels := lc.labels()
+	if len(labels) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s%s %s\n# TYPE %s%s counter\n", promPrefix, name, help, promPrefix, name)
+	for _, l := range labels {
+		fmt.Fprintf(w, "%s%s{strategy=%s} %d\n", promPrefix, name, strconv.Quote(l), lc.Get(l).Load())
+	}
+}
+
+func writeHistogram(w io.Writer, name, help string, h *Histogram) {
+	count := h.Count()
+	fmt.Fprintf(w, "# HELP %s%s %s\n# TYPE %s%s histogram\n", promPrefix, name, help, promPrefix, name)
+	for _, b := range h.Buckets() {
+		fmt.Fprintf(w, "%s%s_bucket{le=\"%d\"} %d\n", promPrefix, name, b.UpperEdge, b.Cumulative)
+	}
+	fmt.Fprintf(w, "%s%s_bucket{le=\"+Inf\"} %d\n", promPrefix, name, count)
+	fmt.Fprintf(w, "%s%s_sum %d\n", promPrefix, name, h.Sum())
+	fmt.Fprintf(w, "%s%s_count %d\n", promPrefix, name, count)
+}
+
+// Handler returns an http.Handler serving the Prometheus text
+// exposition of m.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WritePrometheus(w)
+	})
+}

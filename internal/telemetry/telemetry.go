@@ -1,0 +1,333 @@
+// Package telemetry provides the cheap runtime instrumentation the
+// data-parallel FSM runtime reports itself with: atomic counters,
+// max-gauges, log₂-bucketed histograms and span timers. The paper's
+// central claims are quantitative — one or two shuffles per input
+// symbol (§6.1), convergence to ≤16 active states (§5.2, Figure 7),
+// "extremely fast" phase-1/2 multicore scans (§3.4) — and this package
+// is how the live runtime, rather than the offline replay in
+// core.ProfileInput, surfaces those numbers.
+//
+// Design constraints, in order:
+//
+//  1. Zero overhead when disabled. Every method is safe on a nil
+//     receiver and returns immediately; the core runner accumulates
+//     per-run statistics in stack locals inside its hot loops and
+//     flushes them with a handful of atomic adds only when a Metrics
+//     was attached (core.WithTelemetry). The hot-loop cost of a
+//     disabled runner is a single pointer nil-check per *run*, not per
+//     symbol.
+//
+//  2. Safe for concurrent update. The multicore phases of Figure 5
+//     update counters from worker goroutines; everything here is a
+//     sync/atomic primitive, so `go test -race` stays clean and
+//     contended updates degrade gracefully.
+//
+//  3. Cheap to read while being written. Snapshot, the expvar String
+//     and the Prometheus exposition all read with atomic loads and
+//     never lock writers out.
+package telemetry
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type atomicInt64 = atomic.Int64
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; all methods are nil-safe no-ops.
+type Counter struct {
+	v atomicInt64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (0 on a nil Counter).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic last-value gauge.
+type Gauge struct {
+	v atomicInt64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Load returns the last stored value.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// MaxGauge tracks the maximum value observed (a high-water mark).
+type MaxGauge struct {
+	v atomicInt64
+}
+
+// Observe raises the gauge to n if n exceeds the current maximum.
+func (m *MaxGauge) Observe(n int64) {
+	if m == nil {
+		return
+	}
+	for {
+		cur := m.v.Load()
+		if n <= cur {
+			return
+		}
+		if m.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Load returns the high-water mark.
+func (m *MaxGauge) Load() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.v.Load()
+}
+
+// histBuckets is the number of log₂ histogram buckets: bucket i counts
+// observations v with bits.Len64(v) == i, i.e. bucket 0 holds v == 0
+// and bucket i ≥ 1 holds 2^(i-1) ≤ v < 2^i. 64-bit values always fit.
+const histBuckets = 65
+
+// Histogram is a log₂-bucketed histogram of non-negative int64
+// observations (durations in nanoseconds, active-state counts, chunk
+// sizes). Buckets are power-of-two boundaries, which is exactly the
+// resolution the paper's quantities need: "≤16 active states" is a
+// bucket edge, and phase times spread over orders of magnitude.
+type Histogram struct {
+	count   atomicInt64
+	sum     atomicInt64
+	max     MaxGauge
+	buckets [histBuckets]atomicInt64
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.max.Observe(v)
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Mean returns the mean observation, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1) using
+// the bucket upper edges; exact to within the log₂ bucket resolution.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.Count()
+	if h == nil || n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			return bucketUpper(i)
+		}
+	}
+	return h.max.Load()
+}
+
+// bucketUpper returns the inclusive upper edge of bucket i.
+func bucketUpper(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(1)<<62 - 1 + int64(1)<<62 // MaxInt64
+	}
+	return int64(1)<<i - 1
+}
+
+// Buckets returns the cumulative (upperEdge, count) pairs for every
+// non-empty bucket, suitable for a Prometheus histogram exposition.
+func (h *Histogram) Buckets() []BucketCount {
+	if h == nil {
+		return nil
+	}
+	var out []BucketCount
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		out = append(out, BucketCount{UpperEdge: bucketUpper(i), Cumulative: cum})
+	}
+	return out
+}
+
+// BucketCount is one cumulative histogram bucket.
+type BucketCount struct {
+	UpperEdge  int64 `json:"le"`
+	Cumulative int64 `json:"n"`
+}
+
+// Timer records span durations into a Histogram of nanoseconds.
+type Timer struct {
+	Histogram
+}
+
+// Start opens a span. On a nil Timer no clock is read and Stop is a
+// no-op, preserving the zero-overhead disabled path.
+func (t *Timer) Start() Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, start: time.Now()}
+}
+
+// ObserveSince records the time elapsed since start.
+func (t *Timer) ObserveSince(start time.Time) {
+	if t == nil {
+		return
+	}
+	t.Observe(int64(time.Since(start)))
+}
+
+// Span is an open timing span returned by Timer.Start.
+type Span struct {
+	t     *Timer
+	start time.Time
+}
+
+// Stop closes the span, recording its duration.
+func (s Span) Stop() {
+	if s.t == nil {
+		return
+	}
+	s.t.Observe(int64(time.Since(s.start)))
+}
+
+// LabelCounters is a small registry of counters keyed by a string
+// label (strategy names). Lookups take a mutex, so callers on hot
+// paths should resolve the *Counter once and cache it; the counters
+// themselves are lock-free.
+type LabelCounters struct {
+	mu sync.Mutex
+	m  map[string]*Counter
+}
+
+// Get returns the counter for label, creating it on first use.
+// Nil-safe: returns nil (whose methods are no-ops) on a nil receiver.
+func (lc *LabelCounters) Get(label string) *Counter {
+	if lc == nil {
+		return nil
+	}
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.m == nil {
+		lc.m = make(map[string]*Counter)
+	}
+	c, ok := lc.m[label]
+	if !ok {
+		c = new(Counter)
+		lc.m[label] = c
+	}
+	return c
+}
+
+// Snapshot returns the current label → value map in sorted label
+// order (map iteration order is randomized; sorting keeps expositions
+// and test output stable).
+func (lc *LabelCounters) Snapshot() map[string]int64 {
+	if lc == nil {
+		return nil
+	}
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if len(lc.m) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(lc.m))
+	for k, c := range lc.m {
+		out[k] = c.Load()
+	}
+	return out
+}
+
+// labels returns the sorted label set.
+func (lc *LabelCounters) labels() []string {
+	if lc == nil {
+		return nil
+	}
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	out := make([]string, 0, len(lc.m))
+	for k := range lc.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

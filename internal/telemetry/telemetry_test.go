@@ -1,0 +1,233 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every primitive must be a no-op on nil: this is the disabled
+	// path the core runner relies on.
+	var c *Counter
+	c.Add(5)
+	c.Inc()
+	if c.Load() != 0 {
+		t.Error("nil Counter should load 0")
+	}
+	var g *Gauge
+	g.Set(3)
+	if g.Load() != 0 {
+		t.Error("nil Gauge should load 0")
+	}
+	var mg *MaxGauge
+	mg.Observe(9)
+	if mg.Load() != 0 {
+		t.Error("nil MaxGauge should load 0")
+	}
+	var h *Histogram
+	h.Observe(4)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil Histogram should be empty")
+	}
+	if h.Buckets() != nil {
+		t.Error("nil Histogram buckets should be nil")
+	}
+	var tm *Timer
+	tm.Start().Stop() // must not read the clock or panic
+	tm.ObserveSince(time.Time{})
+	var lc *LabelCounters
+	lc.Get("x").Inc()
+	if lc.Snapshot() != nil {
+		t.Error("nil LabelCounters snapshot should be nil")
+	}
+	var m *Metrics
+	if s := m.Snapshot(); s.Runs != 0 {
+		t.Error("nil Metrics snapshot should be zero")
+	}
+	m.WritePrometheus(nil)
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Add(40)
+	c.Inc()
+	c.Inc()
+	if got := c.Load(); got != 42 {
+		t.Errorf("Counter = %d, want 42", got)
+	}
+	var mg MaxGauge
+	for _, v := range []int64{3, 9, 4, 9, 1} {
+		mg.Observe(v)
+	}
+	if mg.Load() != 9 {
+		t.Errorf("MaxGauge = %d, want 9", mg.Load())
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	for v := int64(0); v < 100; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Sum() != 99*100/2 {
+		t.Fatalf("Sum = %d", h.Sum())
+	}
+	if h.Max() != 99 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	if got := h.Mean(); got != 49.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	// The median of 0..99 is ~50; the log₂ bucket upper edge covering
+	// it is 63.
+	if got := h.Quantile(0.5); got != 63 {
+		t.Errorf("Quantile(0.5) = %d, want 63", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %d, want 0", got)
+	}
+	if got := h.Quantile(1); got < 64 {
+		t.Errorf("Quantile(1) = %d, want ≥64", got)
+	}
+	// Cumulative buckets must be monotone and end at Count.
+	bs := h.Buckets()
+	var prev int64 = -1
+	for _, b := range bs {
+		if b.Cumulative <= prev {
+			t.Fatalf("non-monotone cumulative buckets: %+v", bs)
+		}
+		prev = b.Cumulative
+	}
+	if prev != h.Count() {
+		t.Fatalf("last cumulative %d != count %d", prev, h.Count())
+	}
+	// Negative observations clamp to zero rather than corrupting Sum.
+	var h2 Histogram
+	h2.Observe(-5)
+	if h2.Sum() != 0 || h2.Count() != 1 {
+		t.Error("negative observation should clamp to 0")
+	}
+}
+
+func TestTimerRecords(t *testing.T) {
+	var tm Timer
+	sp := tm.Start()
+	time.Sleep(time.Millisecond)
+	sp.Stop()
+	if tm.Count() != 1 {
+		t.Fatalf("Count = %d", tm.Count())
+	}
+	if tm.Sum() < int64(time.Millisecond)/2 {
+		t.Errorf("recorded %dns, want ≥0.5ms", tm.Sum())
+	}
+}
+
+func TestLabelCounters(t *testing.T) {
+	var lc LabelCounters
+	a := lc.Get("convergence")
+	b := lc.Get("convergence")
+	if a != b {
+		t.Fatal("Get must return a stable counter per label")
+	}
+	a.Add(3)
+	lc.Get("range").Inc()
+	snap := lc.Snapshot()
+	if snap["convergence"] != 3 || snap["range"] != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	// Exercised under -race in CI: counters, histograms and label
+	// counters are updated the way multicore phase workers update
+	// them.
+	var m Metrics
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := m.StrategyRuns.Get("convergence")
+			for i := 0; i < per; i++ {
+				m.Shuffles.Add(2)
+				m.Symbols.Inc()
+				m.ActiveHighWater.Observe(int64(w*per + i))
+				m.Phase1Time.Observe(int64(i))
+				c.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.Symbols != workers*per || s.Shuffles != 2*workers*per {
+		t.Fatalf("lost updates: %+v", s)
+	}
+	if s.ShufflesPerSymbol != 2 {
+		t.Fatalf("ShufflesPerSymbol = %v, want 2", s.ShufflesPerSymbol)
+	}
+	if s.ActiveHighWater != workers*per-1 {
+		t.Fatalf("high water = %d", s.ActiveHighWater)
+	}
+	if s.StrategyRuns["convergence"] != workers*per {
+		t.Fatalf("strategy runs = %v", s.StrategyRuns)
+	}
+	if s.Phase1.Count != workers*per {
+		t.Fatalf("phase1 count = %d", s.Phase1.Count)
+	}
+}
+
+func TestExpvarString(t *testing.T) {
+	var m Metrics
+	m.Runs.Add(7)
+	m.StreamBytes.Add(1 << 20)
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(m.String()), &decoded); err != nil {
+		t.Fatalf("String() is not valid JSON: %v", err)
+	}
+	if decoded["runs"].(float64) != 7 {
+		t.Errorf("runs = %v", decoded["runs"])
+	}
+	if err := m.Publish("test_metrics"); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	// Idempotent republish of the same Metrics is fine; a different
+	// one under the same name must error, not panic.
+	if err := m.Publish("test_metrics"); err != nil {
+		t.Fatalf("republish same: %v", err)
+	}
+	var other Metrics
+	if err := other.Publish("test_metrics"); err == nil {
+		t.Error("publishing a different Metrics under a taken name should error")
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	var m Metrics
+	m.Shuffles.Add(100)
+	m.Symbols.Add(50)
+	m.StrategyRuns.Get("range").Add(4)
+	m.Phase1Time.Observe(1500)
+	var sb strings.Builder
+	m.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE dpfsm_shuffles_total counter",
+		"dpfsm_shuffles_total 100",
+		"dpfsm_shuffles_per_symbol 2",
+		`dpfsm_strategy_runs_total{strategy="range"} 4`,
+		"dpfsm_phase1_ns_count 1",
+		"dpfsm_phase1_ns_sum 1500",
+		`dpfsm_phase1_ns_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
