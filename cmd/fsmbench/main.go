@@ -24,10 +24,13 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"dpfsm/internal/core"
 )
 
 type options struct {
 	experiment string
+	strategy   string // "" = full strategy matrix
 	seed       int64
 	corpus     int // number of generated Snort-shaped rules
 	sample     int // FSMs measured in timing figures
@@ -50,7 +53,17 @@ func main() {
 	flag.IntVar(&opt.trials, "trials", 10, "random inputs per FSM in Figure 9 (paper: 10)")
 	flag.IntVar(&opt.maxConfigs, "maxconfigs", 1<<17, "configuration budget per FSM in Figure 8")
 	flag.StringVar(&opt.jsonPath, "json", "", "also write a machine-readable report (rows + telemetry snapshots) to this path")
+	flag.StringVar(&opt.strategy, "strategy", "",
+		"restrict strategy-matrix experiments to one strategy, one of: "+
+			strings.Join(core.Strategies(), " ")+" (default: the full matrix)")
 	flag.Parse()
+
+	if opt.strategy != "" {
+		if _, err := core.ParseStrategy(opt.strategy); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	experiments := map[string]func(*options){
 		"fig6":        fig6,

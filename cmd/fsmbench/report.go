@@ -21,12 +21,12 @@ import (
 
 // reportRow is one (experiment, machine, strategy, workload) cell.
 type reportRow struct {
-	Experiment string `json:"experiment"`
-	Machine    string `json:"machine"`
-	Strategy   string `json:"strategy"`
-	Workload   string `json:"workload"`
-	Bytes      int    `json:"bytes"`
-	NsPerOp    int64  `json:"ns_per_op"`
+	Experiment string  `json:"experiment"`
+	Machine    string  `json:"machine"`
+	Strategy   string  `json:"strategy"`
+	Workload   string  `json:"workload"`
+	Bytes      int     `json:"bytes"`
+	NsPerOp    int64   `json:"ns_per_op"`
 	MBPerS     float64 `json:"mb_per_s"`
 	// Telemetry is the runner's counter snapshot for exactly the runs
 	// timed in NsPerOp (nil for experiments that only time).
@@ -93,6 +93,10 @@ func telemetryExperiment(opt *options) {
 	strategies := []core.Strategy{
 		core.Sequential, core.Base, core.BaseILP,
 		core.Convergence, core.RangeCoalesced, core.RangeConvergence,
+	}
+	if opt.strategy != "" {
+		only, _ := core.ParseStrategy(opt.strategy) // validated in main
+		strategies = []core.Strategy{only}
 	}
 	size := opt.mb << 18 // quarter of -mb MiB per cell keeps `all` fast
 

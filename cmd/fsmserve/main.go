@@ -1,33 +1,45 @@
 // Command fsmserve runs compiled FSMs as an HTTP service with live
-// telemetry — the observability half of the ROADMAP's production
-// north-star. Input bytes are POSTed to /run and executed by a
-// data-parallel core.Runner; every run feeds the shared telemetry
-// sink, so the paper's quantitative claims (shuffles per symbol §6.1,
-// convergence width §5.2, multicore phase times §3.4) are observable
-// on live traffic instead of requiring an offline ProfileInput replay.
+// telemetry — the serving half of the ROADMAP's production
+// north-star. Requests execute on the batch engine (internal/engine):
+// a bounded worker pool that runs small inputs single-core (batch-
+// level parallelism) and large inputs through the paper's Figure 5
+// multicore split (input-level parallelism), with per-request
+// cancellation threaded down to the chunk loops — a disconnected
+// client stops its own work.
+//
+// The API is versioned under /v1/; request/response shapes live in
+// internal/serverapi. Unversioned aliases of the original routes are
+// kept for one deprecation cycle and mark themselves with a
+// `Deprecation: true` header.
 //
 // Endpoints:
 //
-//	POST /run?machine=NAME[&start=Q][&first=1]  run the input, JSON result
-//	GET  /machines                              list machines + static stats
-//	GET  /snapshot                              telemetry snapshot (JSON)
-//	GET  /metrics                               Prometheus text format
-//	GET  /debug/vars                            expvar (includes "dpfsm")
-//	GET  /debug/pprof/*                         net/http/pprof
-//	GET  /healthz                               liveness probe
+//	POST /v1/run?machine=NAME[&start=Q][&first=1]  run one input, JSON result
+//	POST /v1/batch                                 NDJSON jobs in, streamed NDJSON results + summary out
+//	GET  /v1/machines                              list machines + static stats
+//	GET  /v1/snapshot                              telemetry snapshot (JSON)
+//	GET  /v1/metrics                               Prometheus text format
+//	POST /run, GET /machines /snapshot /metrics    deprecated aliases of the above
+//	GET  /debug/vars                               expvar (includes "dpfsm")
+//	GET  /debug/pprof/*                            net/http/pprof
+//	GET  /healthz                                  liveness probe
 //
 // Usage:
 //
-//	fsmserve -addr :8377 \
-//	  -pattern 'sqli=UNION\s+SELECT' -pattern 'traversal=\.\./\.\./' \
-//	  -procs 0 -strategy auto
+//	fsmserve -addr :8377 -patterns-file rules.txt -procs 0 -strategy auto
 //
-// Each -pattern is NAME=REGEX (Snort-style "contains" semantics); with
-// no -pattern flags a small default intrusion-detection set is served.
+// The patterns file holds one NAME=REGEX per line (Snort-style
+// "contains" semantics; blank lines and #-comments ignored); without
+// -patterns-file a small default intrusion-detection set is served.
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -35,39 +47,27 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"strings"
 	"time"
 
 	"dpfsm/internal/core"
+	"dpfsm/internal/engine"
 	"dpfsm/internal/fsm"
 	"dpfsm/internal/regex"
+	"dpfsm/internal/serverapi"
 	"dpfsm/internal/telemetry"
 )
 
-// machine is one compiled pattern served by the process.
-type machine struct {
-	Name     string    `json:"name"`
-	Pattern  string    `json:"pattern"`
-	Strategy string    `json:"strategy"`
-	Procs    int       `json:"procs"`
-	Stats    fsm.Stats `json:"stats"`
-	runner   *core.Runner
-	dfa      *fsm.DFA
-}
-
-// server holds the machines and the shared telemetry sink.
+// server wires the engine, the machine metadata, and the shared
+// telemetry sink behind the HTTP surface.
 type server struct {
-	machines map[string]*machine
-	order    []string // first pattern is the default machine
+	engine   *engine.Engine
+	patterns map[string]string // name -> source regex
+	order    []string          // first pattern is the default machine
 	metrics  *telemetry.Metrics
 	maxBody  int64
 }
-
-// patternList collects repeated -pattern NAME=REGEX flags.
-type patternList []string
-
-func (p *patternList) String() string     { return strings.Join(*p, ",") }
-func (p *patternList) Set(v string) error { *p = append(*p, v); return nil }
 
 // defaultPatterns serve the zero-config case: a recognizable slice of
 // the Snort-shaped workload the benchmarks use.
@@ -83,107 +83,250 @@ func newServer(patterns []string, strategy core.Strategy, procs int, maxBody int
 		patterns = defaultPatterns
 	}
 	s := &server{
-		machines: make(map[string]*machine),
+		patterns: make(map[string]string),
 		metrics:  new(telemetry.Metrics),
 		maxBody:  maxBody,
 	}
+	s.engine = engine.New(
+		engine.WithProcs(procs),
+		engine.WithTelemetry(s.metrics),
+	)
 	for _, spec := range patterns {
 		name, pat, ok := strings.Cut(spec, "=")
 		if !ok || name == "" {
+			s.Close()
 			return nil, fmt.Errorf("pattern %q: want NAME=REGEX", spec)
-		}
-		if _, dup := s.machines[name]; dup {
-			return nil, fmt.Errorf("duplicate machine name %q", name)
 		}
 		d, err := regex.Compile(pat, regex.Options{})
 		if err != nil {
+			s.Close()
 			return nil, fmt.Errorf("pattern %q: %v", name, err)
 		}
-		r, err := core.New(d,
-			core.WithStrategy(strategy),
-			core.WithProcs(procs),
-			core.WithTelemetry(s.metrics))
-		if err != nil {
+		if _, err := s.engine.Register(name, d, core.WithStrategy(strategy)); err != nil {
+			s.Close()
 			return nil, fmt.Errorf("pattern %q: %v", name, err)
 		}
-		s.machines[name] = &machine{
-			Name:     name,
-			Pattern:  pat,
-			Strategy: r.Strategy().String(),
-			Procs:    r.Procs(),
-			Stats:    d.Stats(),
-			runner:   r,
-			dfa:      d,
-		}
+		s.patterns[name] = pat
 		s.order = append(s.order, name)
 	}
 	return s, nil
 }
 
-// runResult is the /run response body.
-type runResult struct {
-	Machine    string    `json:"machine"`
-	Bytes      int       `json:"bytes"`
-	Final      fsm.State `json:"final_state"`
-	Accepts    bool      `json:"accepts"`
-	FirstMatch *int      `json:"first_match,omitempty"`
-	DurationNs int64     `json:"duration_ns"`
-	MBPerS     float64   `json:"mb_per_s"`
-}
+// Close releases the engine's workers.
+func (s *server) Close() { s.engine.Close() }
 
-func (s *server) handleRun(w http.ResponseWriter, req *http.Request) {
-	if req.Method != http.MethodPost {
-		http.Error(w, "POST an input body to /run", http.StatusMethodNotAllowed)
-		return
-	}
+// resolveMachine maps the ?machine= query (empty = default) to a
+// registered machine, or writes a 404.
+func (s *server) resolveMachine(w http.ResponseWriter, req *http.Request) (string, *engine.Machine, bool) {
 	name := req.URL.Query().Get("machine")
 	if name == "" {
 		name = s.order[0]
 	}
-	m, ok := s.machines[name]
+	m := s.engine.Machine(name)
+	if m == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown machine %q (see %s/machines)", name, serverapi.Version))
+		return "", nil, false
+	}
+	return name, m, true
+}
+
+func (s *server) handleRun(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST an input body to /v1/run")
+		return
+	}
+	name, m, ok := s.resolveMachine(w, req)
 	if !ok {
-		http.Error(w, fmt.Sprintf("unknown machine %q (see /machines)", name), http.StatusNotFound)
 		return
 	}
 	input, err := io.ReadAll(http.MaxBytesReader(w, req.Body, s.maxBody))
 	if err != nil {
-		http.Error(w, fmt.Sprintf("reading body: %v", err), http.StatusRequestEntityTooLarge)
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("reading body: %v", err))
 		return
 	}
-	start := m.dfa.Start()
+	job := engine.Job{Machine: name, Input: input}
 	if qs := req.URL.Query().Get("start"); qs != "" {
 		var q int
-		if _, err := fmt.Sscanf(qs, "%d", &q); err != nil || q < 0 || q >= m.dfa.NumStates() {
-			http.Error(w, fmt.Sprintf("bad start state %q", qs), http.StatusBadRequest)
+		if _, err := fmt.Sscanf(qs, "%d", &q); err != nil || q < 0 || !m.DFA().ValidState(fsm.State(q)) {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad start state %q", qs))
 			return
 		}
-		start = fsm.State(q)
+		job.Start, job.HasStart = fsm.State(q), true
 	}
 
-	t0 := time.Now()
-	final := m.runner.Final(input, start)
-	res := runResult{
-		Machine: name,
-		Bytes:   len(input),
-		Final:   final,
-		Accepts: m.dfa.Accepting(final),
+	// The request context rides down to the core chunk loops, so a
+	// disconnected or timed-out client cancels its own run.
+	r := s.engine.Run(req.Context(), job)
+	if r.Err != nil {
+		writeEngineError(w, r.Err)
+		return
+	}
+	res := serverapi.RunResult{
+		Machine:    name,
+		Bytes:      r.Bytes,
+		Final:      r.Final,
+		Accepts:    r.Accepts,
+		Multicore:  r.Multicore,
+		DurationNs: int64(r.Duration),
+	}
+	if r.Duration > 0 {
+		res.MBPerS = float64(r.Bytes) / r.Duration.Seconds() / 1e6
 	}
 	if req.URL.Query().Get("first") != "" {
-		hit := m.runner.FirstAccepting(input, start)
+		start := m.DFA().Start()
+		if job.HasStart {
+			start = job.Start
+		}
+		hit := m.Runner().FirstAccepting(input, start)
 		res.FirstMatch = &hit
-	}
-	dur := time.Since(t0)
-	res.DurationNs = int64(dur)
-	if dur > 0 {
-		res.MBPerS = float64(len(input)) / dur.Seconds() / 1e6
 	}
 	writeJSON(w, res)
 }
 
+// handleBatch is POST /v1/batch: NDJSON jobs in (one serverapi.BatchJob
+// per line), NDJSON results out — streamed in completion order as the
+// engine finishes them, with a BatchTrailer summary as the final line.
+// The request context cancels the whole batch, so a disconnecting
+// client releases the pool mid-batch.
+func (s *server) handleBatch(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST NDJSON jobs to /v1/batch")
+		return
+	}
+	ctx := req.Context()
+	s.metrics.EngineBatches.Inc()
+
+	// Parse every request line up front; the body is bounded by
+	// maxBody, so the job list is too.
+	sc := bufio.NewScanner(http.MaxBytesReader(w, req.Body, s.maxBody))
+	sc.Buffer(make([]byte, 64<<10), bufLimit(s.maxBody))
+	type lineJob struct {
+		idx int
+		job engine.Job
+	}
+	var jobs []lineJob
+	var preFailed []serverapi.BatchResult
+	idx := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		job, err := parseBatchLine(line)
+		if err != nil {
+			preFailed = append(preFailed, serverapi.BatchResult{Index: idx, Error: err.Error()})
+		} else {
+			jobs = append(jobs, lineJob{idx: idx, job: job})
+		}
+		idx++
+	}
+	if err := sc.Err(); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading batch body: %v", err))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	t0 := time.Now()
+	summary := serverapi.BatchSummary{Jobs: idx}
+	for _, r := range preFailed {
+		summary.Errors++
+		_ = enc.Encode(r)
+	}
+
+	out := make(chan engine.Result, len(jobs))
+	go func() {
+		for _, lj := range jobs {
+			if err := s.engine.Submit(ctx, lj.job, lj.idx, out); err != nil {
+				out <- engine.Result{Index: lj.idx, Machine: lj.job.Machine, Bytes: len(lj.job.Input), Err: err}
+			}
+		}
+	}()
+	for range jobs {
+		r := <-out
+		br := serverapi.BatchResult{
+			Index:      r.Index,
+			Machine:    r.Machine,
+			Final:      r.Final,
+			Accepts:    r.Accepts,
+			Bytes:      r.Bytes,
+			Multicore:  r.Multicore,
+			DurationNs: int64(r.Duration),
+		}
+		summary.Bytes += int64(r.Bytes)
+		switch {
+		case r.Err == nil:
+			summary.OK++
+			if r.Multicore {
+				summary.Multicore++
+			} else {
+				summary.SingleCore++
+			}
+		default:
+			br.Error = r.Err.Error()
+			summary.Errors++
+			if errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded) {
+				summary.Canceled++
+			}
+		}
+		_ = enc.Encode(br)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	summary.DurationNs = int64(time.Since(t0))
+	_ = enc.Encode(serverapi.BatchTrailer{Summary: summary})
+}
+
+// parseBatchLine decodes one NDJSON request line into an engine job.
+func parseBatchLine(line []byte) (engine.Job, error) {
+	var bj serverapi.BatchJob
+	if err := json.Unmarshal(line, &bj); err != nil {
+		return engine.Job{}, fmt.Errorf("bad job line: %v", err)
+	}
+	job := engine.Job{Machine: bj.Machine, Timeout: time.Duration(bj.TimeoutMs) * time.Millisecond}
+	switch {
+	case bj.InputB64 != "" && bj.Input != "":
+		return engine.Job{}, errors.New("bad job line: both input and input_b64 set")
+	case bj.InputB64 != "":
+		raw, err := base64.StdEncoding.DecodeString(bj.InputB64)
+		if err != nil {
+			return engine.Job{}, fmt.Errorf("bad input_b64: %v", err)
+		}
+		job.Input = raw
+	default:
+		job.Input = []byte(bj.Input)
+	}
+	if bj.Start != nil {
+		if *bj.Start < 0 || *bj.Start > int(^fsm.State(0)) {
+			return engine.Job{}, fmt.Errorf("bad start state %d", *bj.Start)
+		}
+		job.Start, job.HasStart = fsm.State(*bj.Start), true
+	}
+	return job, nil
+}
+
+// bufLimit clamps maxBody to a scanner line limit.
+func bufLimit(maxBody int64) int {
+	const cap = 1 << 30
+	if maxBody > cap {
+		return cap
+	}
+	return int(maxBody) + 1
+}
+
 func (s *server) handleMachines(w http.ResponseWriter, _ *http.Request) {
-	out := make([]*machine, 0, len(s.order))
+	out := make([]serverapi.MachineInfo, 0, len(s.order))
 	for _, name := range s.order {
-		out = append(out, s.machines[name])
+		m := s.engine.Machine(name)
+		out = append(out, serverapi.MachineInfo{
+			Name:     name,
+			Pattern:  s.patterns[name],
+			Strategy: m.Runner().Strategy().String(),
+			Procs:    s.engine.Procs(),
+			Stats:    m.DFA().Stats(),
+		})
 	}
 	writeJSON(w, out)
 }
@@ -201,6 +344,40 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
+// writeError emits the shared JSON error shape.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(serverapi.Error{Error: msg})
+}
+
+// writeEngineError maps engine failure modes to HTTP statuses.
+func writeEngineError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, engine.ErrUnknownMachine):
+		writeError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, engine.ErrBadStart):
+		writeError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err.Error())
+	case errors.Is(err, context.Canceled):
+		// Client went away; nothing useful to write.
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// deprecated wraps an alias route with the deprecation headers
+// pointing at its v1 successor.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set(serverapi.DeprecationHeader, "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=%q", successor, "successor-version"))
+		h(w, req)
+	}
+}
+
 // mux assembles the full route table, including the expvar and pprof
 // debug surfaces that normally ride on http.DefaultServeMux.
 func (s *server) mux() *http.ServeMux {
@@ -209,10 +386,21 @@ func (s *server) mux() *http.ServeMux {
 	// earlier server in this process claimed the name (tests).
 	_ = s.metrics.Publish("dpfsm")
 	mux := http.NewServeMux()
-	mux.HandleFunc("/run", s.handleRun)
-	mux.HandleFunc("/machines", s.handleMachines)
-	mux.HandleFunc("/snapshot", s.handleSnapshot)
-	mux.Handle("/metrics", s.metrics.Handler())
+	metricsHandler := s.metrics.Handler()
+
+	// Versioned surface.
+	mux.HandleFunc(serverapi.Version+"/run", s.handleRun)
+	mux.HandleFunc(serverapi.Version+"/batch", s.handleBatch)
+	mux.HandleFunc(serverapi.Version+"/machines", s.handleMachines)
+	mux.HandleFunc(serverapi.Version+"/snapshot", s.handleSnapshot)
+	mux.Handle(serverapi.Version+"/metrics", metricsHandler)
+
+	// Deprecated unversioned aliases.
+	mux.HandleFunc("/run", deprecated(serverapi.Version+"/run", s.handleRun))
+	mux.HandleFunc("/machines", deprecated(serverapi.Version+"/machines", s.handleMachines))
+	mux.HandleFunc("/snapshot", deprecated(serverapi.Version+"/snapshot", s.handleSnapshot))
+	mux.HandleFunc("/metrics", deprecated(serverapi.Version+"/metrics", metricsHandler.ServeHTTP))
+
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -225,30 +413,56 @@ func (s *server) mux() *http.ServeMux {
 	return mux
 }
 
+// loadPatternsFile reads NAME=REGEX lines; blank lines and #-comments
+// are skipped.
+func loadPatternsFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out, nil
+}
+
 func main() {
 	var (
-		patterns patternList
-		addr     = flag.String("addr", ":8377", "listen address")
-		strat    = flag.String("strategy", "auto", "execution strategy: auto sequential base base-ilp convergence range range+conv")
-		procs    = flag.Int("procs", 0, "multicore width per run (0 = NumCPU, 1 = single-core)")
-		maxBody  = flag.Int64("maxbody", 64<<20, "maximum POSTed input size in bytes")
+		addr         = flag.String("addr", ":8377", "listen address")
+		strat        = flag.String("strategy", "auto", "execution strategy, one of: "+strings.Join(core.Strategies(), " "))
+		procs        = flag.Int("procs", 0, "multicore width for large inputs (0 = NumCPU, 1 = single-core only)")
+		maxBody      = flag.Int64("maxbody", 64<<20, "maximum POSTed body size in bytes")
+		patternsFile = flag.String("patterns-file", "", "file of NAME=REGEX machines, one per line (default: a small IDS rule set)")
 	)
-	flag.Var(&patterns, "pattern", "NAME=REGEX machine to serve (repeatable; default: a small IDS rule set)")
 	flag.Parse()
 
 	strategy, err := core.ParseStrategy(*strat)
 	if err != nil {
 		log.Fatal(err)
 	}
+	var patterns []string
+	if *patternsFile != "" {
+		patterns, err = loadPatternsFile(*patternsFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	srv, err := newServer(patterns, strategy, *procs, *maxBody)
 	if err != nil {
 		log.Fatal(err)
 	}
 	for _, name := range srv.order {
-		m := srv.machines[name]
+		m := srv.engine.Machine(name)
+		stats := m.DFA().Stats()
 		log.Printf("machine %q: %d states, max range %d, strategy %s, procs %d",
-			name, m.Stats.States, m.Stats.MaxRange, m.Strategy, m.Procs)
+			name, stats.States, stats.MaxRange, m.Runner().Strategy(), srv.engine.Procs())
 	}
-	log.Printf("serving on %s — POST /run, GET /metrics /snapshot /machines /debug/vars /debug/pprof/", *addr)
+	log.Printf("serving on %s — POST %s/run %s/batch, GET %s/{machines,snapshot,metrics} /debug/vars /debug/pprof/",
+		*addr, serverapi.Version, serverapi.Version, serverapi.Version)
 	log.Fatal(http.ListenAndServe(*addr, srv.mux()))
 }

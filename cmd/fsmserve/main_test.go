@@ -1,14 +1,18 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"dpfsm/internal/core"
+	"dpfsm/internal/serverapi"
 	"dpfsm/internal/telemetry"
 )
 
@@ -18,6 +22,7 @@ func testServer(t *testing.T) (*server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(srv.Close) // runs after ts.Close has quiesced requests
 	ts := httptest.NewServer(srv.mux())
 	t.Cleanup(ts.Close)
 	return srv, ts
@@ -26,9 +31,10 @@ func testServer(t *testing.T) (*server, *httptest.Server) {
 func TestRunEndpoint(t *testing.T) {
 	_, ts := testServer(t)
 
-	// A matching input against the default "sqli" machine.
+	// A matching input against the default "sqli" machine, on the v1
+	// route.
 	body := strings.NewReader("id=1 UNION  SELECT password FROM users")
-	resp, err := http.Post(ts.URL+"/run?machine=sqli&first=1", "application/octet-stream", body)
+	resp, err := http.Post(ts.URL+"/v1/run?machine=sqli&first=1", "application/octet-stream", body)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +42,10 @@ func TestRunEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	var res runResult
+	if resp.Header.Get(serverapi.DeprecationHeader) != "" {
+		t.Error("v1 route should not carry a Deprecation header")
+	}
+	var res serverapi.RunResult
 	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
 		t.Fatal(err)
 	}
@@ -50,13 +59,20 @@ func TestRunEndpoint(t *testing.T) {
 		t.Errorf("run accounting: %+v", res)
 	}
 
-	// Default machine (first pattern) on a clean input.
+	// Default machine (first pattern) on a clean input, via the
+	// deprecated alias — same behaviour plus the deprecation headers.
 	resp2, err := http.Post(ts.URL+"/run", "", strings.NewReader("hello world"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp2.Body.Close()
-	var res2 runResult
+	if resp2.Header.Get(serverapi.DeprecationHeader) != "true" {
+		t.Error("alias /run missing Deprecation header")
+	}
+	if link := resp2.Header.Get("Link"); !strings.Contains(link, "/v1/run") {
+		t.Errorf("alias /run Link header = %q", link)
+	}
+	var res2 serverapi.RunResult
 	if err := json.NewDecoder(resp2.Body).Decode(&res2); err != nil {
 		t.Fatal(err)
 	}
@@ -65,11 +81,108 @@ func TestRunEndpoint(t *testing.T) {
 	}
 
 	// Errors: GET is rejected, unknown machines 404.
-	if resp, _ := http.Get(ts.URL + "/run"); resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET /run status %d", resp.StatusCode)
+	if resp, _ := http.Get(ts.URL + "/v1/run"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/run status %d", resp.StatusCode)
 	}
-	if resp, _ := http.Post(ts.URL+"/run?machine=nope", "", strings.NewReader("x")); resp.StatusCode != http.StatusNotFound {
+	if resp, _ := http.Post(ts.URL+"/v1/run?machine=nope", "", strings.NewReader("x")); resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown machine status %d", resp.StatusCode)
+	}
+	if resp, _ := http.Post(ts.URL+"/v1/run?machine=sqli&start=9999", "", strings.NewReader("x")); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad start status %d", resp.StatusCode)
+	}
+}
+
+// TestBatchEndpoint drives /v1/batch with a mix of good jobs, a
+// binary (base64) payload, a bad line, and an unknown machine, and
+// checks the streamed NDJSON results plus the summary trailer.
+func TestBatchEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+
+	lines := []string{
+		`{"machine":"sqli","input":"id=1 UNION  SELECT x"}`,
+		`{"machine":"traversal","input":"GET ../../etc/passwd"}`,
+		`{"input":"clean text"}`,                                 // default machine
+		`{"machine":"nopsled","input_b64":"` + "kJCQkA==" + `"}`, // \x90\x90\x90\x90
+		`this is not json`,
+		`{"machine":"ghost","input":"x"}`,
+	}
+	body := strings.NewReader(strings.Join(lines, "\n") + "\n")
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/x-ndjson", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	results := make(map[int]serverapi.BatchResult)
+	var trailer *serverapi.BatchTrailer
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if bytes.Contains(line, []byte(`"summary"`)) {
+			trailer = new(serverapi.BatchTrailer)
+			if err := json.Unmarshal(line, trailer); err != nil {
+				t.Fatalf("trailer: %v", err)
+			}
+			continue
+		}
+		var br serverapi.BatchResult
+		if err := json.Unmarshal(line, &br); err != nil {
+			t.Fatalf("result line %q: %v", line, err)
+		}
+		if trailer != nil {
+			t.Error("result line after the summary trailer")
+		}
+		results[br.Index] = br
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if trailer == nil {
+		t.Fatal("no summary trailer")
+	}
+	if len(results) != len(lines) {
+		t.Fatalf("%d result lines for %d jobs", len(results), len(lines))
+	}
+
+	wantAccepts := map[int]bool{0: true, 1: true, 2: false, 3: true}
+	for idx, want := range wantAccepts {
+		r, ok := results[idx]
+		if !ok {
+			t.Errorf("job %d missing", idx)
+			continue
+		}
+		if r.Error != "" || r.Accepts != want {
+			t.Errorf("job %d: %+v, want accepts=%v", idx, r, want)
+		}
+	}
+	if r := results[2]; r.Machine != "sqli" {
+		t.Errorf("default machine: %+v", r)
+	}
+	if r := results[4]; r.Error == "" {
+		t.Error("bad JSON line should carry an error")
+	}
+	if r := results[5]; !strings.Contains(r.Error, "unknown machine") {
+		t.Errorf("unknown machine error = %q", r.Error)
+	}
+
+	sum := trailer.Summary
+	if sum.Jobs != len(lines) || sum.OK != 4 || sum.Errors != 2 {
+		t.Errorf("summary %+v", sum)
+	}
+	if sum.SingleCore != 4 || sum.Multicore != 0 {
+		t.Errorf("summary lanes: %+v", sum)
+	}
+	if sum.Bytes == 0 || sum.DurationNs <= 0 {
+		t.Errorf("summary accounting: %+v", sum)
 	}
 }
 
@@ -79,14 +192,14 @@ func TestMetricsEndpointNonZeroUnderLoad(t *testing.T) {
 	// Drive some load so the gauges move.
 	payload := bytes.Repeat([]byte("GET /cgi-bin/x.pl HTTP/1.1\n"), 2000)
 	for i := 0; i < 5; i++ {
-		resp, err := http.Post(ts.URL+"/run?machine=cgi", "", bytes.NewReader(payload))
+		resp, err := http.Post(ts.URL+"/v1/run?machine=cgi", "", bytes.NewReader(payload))
 		if err != nil {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
 	}
 
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/v1/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +217,10 @@ func TestMetricsEndpointNonZeroUnderLoad(t *testing.T) {
 	if !strings.Contains(out, "dpfsm_runs_total 5") {
 		t.Errorf("metrics missing run count:\n%s", out)
 	}
-	for _, series := range []string{"dpfsm_symbols_total", "dpfsm_shuffles_total", "dpfsm_shuffles_per_symbol"} {
+	for _, series := range []string{
+		"dpfsm_symbols_total", "dpfsm_shuffles_total", "dpfsm_shuffles_per_symbol",
+		"dpfsm_engine_jobs_total", "dpfsm_engine_single_core_total",
+	} {
 		if !strings.Contains(out, series) {
 			t.Errorf("metrics missing %s", series)
 		}
@@ -119,18 +235,31 @@ func TestMetricsEndpointNonZeroUnderLoad(t *testing.T) {
 	if snap.ShufflesPerSymbol <= 0 {
 		t.Errorf("ShufflesPerSymbol = %v, want > 0", snap.ShufflesPerSymbol)
 	}
+	if snap.EngineJobs != 5 {
+		t.Errorf("EngineJobs = %d, want 5", snap.EngineJobs)
+	}
+
+	// The alias still serves the same body, with deprecation headers.
+	ra, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Body.Close()
+	if ra.Header.Get(serverapi.DeprecationHeader) != "true" {
+		t.Error("alias /metrics missing Deprecation header")
+	}
 }
 
 func TestSnapshotAndMachinesEndpoints(t *testing.T) {
 	_, ts := testServer(t)
-	resp, err := http.Post(ts.URL+"/run", "", strings.NewReader("some bytes"))
+	resp, err := http.Post(ts.URL+"/v1/run", "", strings.NewReader("some bytes"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 
 	var snap telemetry.Snapshot
-	r2, err := http.Get(ts.URL + "/snapshot")
+	r2, err := http.Get(ts.URL + "/v1/snapshot")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,8 +271,8 @@ func TestSnapshotAndMachinesEndpoints(t *testing.T) {
 		t.Errorf("snapshot runs = %d", snap.Runs)
 	}
 
-	var machines []machine
-	r3, err := http.Get(ts.URL + "/machines")
+	var machines []serverapi.MachineInfo
+	r3, err := http.Get(ts.URL + "/v1/machines")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,11 +288,23 @@ func TestSnapshotAndMachinesEndpoints(t *testing.T) {
 			t.Errorf("machine %q missing stats: %+v", m.Name, m)
 		}
 	}
+
+	// Alias routes answer too, flagged deprecated.
+	for _, route := range []string{"/snapshot", "/machines"} {
+		ra, err := http.Get(ts.URL + route)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra.Body.Close()
+		if ra.StatusCode != http.StatusOK || ra.Header.Get(serverapi.DeprecationHeader) != "true" {
+			t.Errorf("alias %s: status %d, deprecation %q", route, ra.StatusCode, ra.Header.Get(serverapi.DeprecationHeader))
+		}
+	}
 }
 
 func TestDebugSurfaces(t *testing.T) {
 	_, ts := testServer(t)
-	resp, err := http.Post(ts.URL+"/run", "", strings.NewReader("x"))
+	resp, err := http.Post(ts.URL+"/v1/run", "", strings.NewReader("x"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,5 +356,38 @@ func TestNewServerErrors(t *testing.T) {
 	}
 	if _, err := newServer([]string{"a=x", "a=y"}, core.Auto, 1, 1<<20); err == nil {
 		t.Error("duplicate names should error")
+	}
+}
+
+func TestLoadPatternsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rules.txt")
+	content := "# IDS rules\n\nalpha=abc\n  beta=d.*e  \n# trailing comment\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	patterns, err := loadPatternsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha=abc", "beta=d.*e"}
+	if len(patterns) != len(want) {
+		t.Fatalf("patterns = %v, want %v", patterns, want)
+	}
+	for i := range want {
+		if patterns[i] != want[i] {
+			t.Errorf("pattern %d = %q, want %q", i, patterns[i], want[i])
+		}
+	}
+	srv, err := newServer(patterns, core.Auto, 1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if len(srv.order) != 2 || srv.order[0] != "alpha" {
+		t.Errorf("server order = %v", srv.order)
+	}
+
+	if _, err := loadPatternsFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file should error")
 	}
 }

@@ -1,0 +1,162 @@
+package dpfsm
+
+import (
+	"dpfsm/internal/core"
+	"dpfsm/internal/engine"
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/regex"
+	"dpfsm/internal/telemetry"
+)
+
+// This file is the stable v1 public surface: type aliases and thin
+// constructors over the internal packages, so programs depend on
+// `dpfsm` alone while the implementation keeps moving underneath.
+
+// Machine substrate (internal/fsm).
+type (
+	// DFA is a dense table-driven finite-state machine; transitions are
+	// stored column-major (one []State per input symbol) so the
+	// data-parallel strategies can gather whole columns.
+	DFA = fsm.DFA
+	// State indexes a DFA state; machines are capped at 65536 states.
+	State = fsm.State
+	// Stats summarizes the static structure of a DFA (state count,
+	// per-symbol range widths, convergence profile).
+	Stats = fsm.Stats
+	// Phi observes one (position, symbol, state) step of a chunked run.
+	Phi = fsm.Phi
+)
+
+// NewDFA returns an empty machine with the given dimensions; fill it
+// with SetTransition/SetColumn and mark accepting states before use.
+func NewDFA(numStates, numSymbols int) (*DFA, error) { return fsm.New(numStates, numSymbols) }
+
+// Regex front end (internal/regex).
+
+// CompileOptions configures Compile; the zero value gives Snort-style
+// "input contains a match" semantics over the full byte alphabet.
+type CompileOptions = regex.Options
+
+// Compile translates a regular expression into a DFA ready for
+// NewRunner or Engine.Register.
+func Compile(pattern string, opts CompileOptions) (*DFA, error) {
+	return regex.Compile(pattern, opts)
+}
+
+// MustCompile is Compile but panics on error, for package-level
+// machine variables.
+func MustCompile(pattern string, opts CompileOptions) *DFA {
+	return regex.MustCompile(pattern, opts)
+}
+
+// Single-machine execution (internal/core).
+type (
+	// Runner executes one DFA with a chosen data-parallel strategy. It
+	// is safe for concurrent use and recycles scratch vectors across
+	// runs.
+	Runner = core.Runner
+	// Stream is an io.Writer that folds written bytes through a Runner
+	// incrementally; see Runner.NewStream.
+	Stream = core.Stream
+	// Option configures a Runner at construction.
+	Option = core.Option
+	// Strategy selects the execution algorithm; see the constants.
+	Strategy = core.Strategy
+)
+
+// Execution strategies, in increasing order of paper machinery:
+// Sequential is the scalar baseline; Base and BaseILP are the
+// enumerative gather loops (§3); Convergence adds the Figure 7
+// active-set narrowing; RangeCoalesced and RangeConvergence add the
+// Figure 10/11 per-symbol name tables. Auto picks per machine from
+// its static Stats.
+const (
+	Auto             = core.Auto
+	Sequential       = core.Sequential
+	Base             = core.Base
+	BaseILP          = core.BaseILP
+	Convergence      = core.Convergence
+	RangeCoalesced   = core.RangeCoalesced
+	RangeConvergence = core.RangeConvergence
+)
+
+// NewRunner builds a Runner for d.
+func NewRunner(d *DFA, opts ...Option) (*Runner, error) { return core.New(d, opts...) }
+
+// WithStrategy pins the execution strategy instead of Auto selection.
+func WithStrategy(s Strategy) Option { return core.WithStrategy(s) }
+
+// WithProcs sets the multicore width for the Figure 5 phase split
+// (0 = NumCPU, 1 = single-core only).
+func WithProcs(p int) Option { return core.WithProcs(p) }
+
+// WithConvCheckEvery sets the convergence-check cadence in symbols.
+func WithConvCheckEvery(k int) Option { return core.WithConvCheckEvery(k) }
+
+// WithMinChunk sets the smallest per-core chunk worth parallelizing.
+func WithMinChunk(n int) Option { return core.WithMinChunk(n) }
+
+// WithTelemetry attaches a metrics sink to the Runner.
+func WithTelemetry(m *Metrics) Option { return core.WithTelemetry(m) }
+
+// ParseStrategy resolves a strategy by name, case-insensitively.
+func ParseStrategy(name string) (Strategy, error) { return core.ParseStrategy(name) }
+
+// Strategies lists the valid strategy names in order.
+func Strategies() []string { return core.Strategies() }
+
+// Batch execution (internal/engine).
+type (
+	// Engine runs batches of (machine, input) jobs on a bounded worker
+	// pool with pooled runners, adaptive single-vs-multicore dispatch,
+	// and per-job context cancellation.
+	Engine = engine.Engine
+	// EngineOption configures NewEngine.
+	EngineOption = engine.Option
+	// Machine is a DFA registered with an Engine.
+	Machine = engine.Machine
+	// Job names a machine and carries one input.
+	Job = engine.Job
+	// Result reports one job's outcome.
+	Result = engine.Result
+	// BatchStats aggregates one RunBatch call.
+	BatchStats = engine.BatchStats
+)
+
+// Engine failure modes, returned inside Result.Err or from Submit.
+var (
+	ErrClosed         = engine.ErrClosed
+	ErrUnknownMachine = engine.ErrUnknownMachine
+	ErrBadStart       = engine.ErrBadStart
+)
+
+// NewEngine builds and starts a batch engine; Close it when done.
+func NewEngine(opts ...EngineOption) *Engine { return engine.New(opts...) }
+
+// WithWorkers sets the engine's worker-pool size (default NumCPU).
+func WithWorkers(n int) EngineOption { return engine.WithWorkers(n) }
+
+// WithQueueDepth bounds the job queue; Submit blocks (backpressure)
+// when it is full.
+func WithQueueDepth(n int) EngineOption { return engine.WithQueueDepth(n) }
+
+// WithLargeInput sets the byte threshold at which jobs leave the
+// single-core batch lane for the multicore phase split.
+func WithLargeInput(n int) EngineOption { return engine.WithLargeInput(n) }
+
+// WithEngineProcs sets the multicore width of the engine's large-input
+// lane (0 = NumCPU).
+func WithEngineProcs(p int) EngineOption { return engine.WithProcs(p) }
+
+// WithEngineTelemetry attaches a metrics sink to the engine and every
+// runner it builds.
+func WithEngineTelemetry(m *Metrics) EngineOption { return engine.WithTelemetry(m) }
+
+// Telemetry (internal/telemetry).
+type (
+	// Metrics is the zero-value-ready telemetry sink; a nil *Metrics
+	// disables collection at negligible cost.
+	Metrics = telemetry.Metrics
+	// Snapshot is a consistent point-in-time read of a Metrics.
+	Snapshot = telemetry.Snapshot
+)

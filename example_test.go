@@ -1,0 +1,73 @@
+package dpfsm_test
+
+import (
+	"context"
+	"fmt"
+
+	"dpfsm"
+)
+
+// Example is the package quickstart: compile a pattern, build a
+// runner, scan an input.
+func Example() {
+	d, err := dpfsm.Compile(`UNION\s+SELECT`, dpfsm.CompileOptions{CaseInsensitive: true})
+	if err != nil {
+		panic(err)
+	}
+	r, err := dpfsm.NewRunner(d, dpfsm.WithStrategy(dpfsm.Auto))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(r.Accepts([]byte("id=1 union  select password from users")))
+	fmt.Println(r.Accepts([]byte("hello world")))
+	// Output:
+	// true
+	// false
+}
+
+// ExampleEngine runs a batch of jobs across two machines on the
+// pooled worker engine.
+func ExampleEngine() {
+	e := dpfsm.NewEngine(dpfsm.WithWorkers(4))
+	defer e.Close()
+	for name, pat := range map[string]string{
+		"sqli":      `UNION\s+SELECT`,
+		"traversal": `\.\./\.\./`,
+	} {
+		if _, err := e.Register(name, dpfsm.MustCompile(pat, dpfsm.CompileOptions{})); err != nil {
+			panic(err)
+		}
+	}
+
+	jobs := []dpfsm.Job{
+		{Machine: "sqli", Input: []byte("id=1 UNION  SELECT x")},
+		{Machine: "traversal", Input: []byte("GET ../../etc/passwd")},
+		{Machine: "sqli", Input: []byte("clean request")},
+	}
+	results, stats := e.RunBatch(context.Background(), jobs)
+	for _, r := range results {
+		fmt.Printf("%s %v\n", r.Machine, r.Accepts)
+	}
+	fmt.Println("ok:", stats.OK)
+	// Output:
+	// sqli true
+	// traversal true
+	// sqli false
+	// ok: 3
+}
+
+// ExampleRunner_FinalCtx bounds a run with a context; a canceled
+// context stops the scan at the next block boundary.
+func ExampleRunner_FinalCtx() {
+	d := dpfsm.MustCompile(`a+b`, dpfsm.CompileOptions{})
+	r, err := dpfsm.NewRunner(d)
+	if err != nil {
+		panic(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = r.FinalCtx(ctx, []byte("aaab"), d.Start())
+	fmt.Println(err)
+	// Output:
+	// context canceled
+}

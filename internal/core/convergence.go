@@ -47,34 +47,42 @@ func (r *Runner) convShouldCheck(a byte, m, sinceCheck int) bool {
 // convCompVecBytes runs Figure 7 over byte states and returns the full
 // composition vector Acc ⊗ S.
 func (r *Runner) convCompVecBytes(input []byte) []fsm.State {
-	acc, s := r.convLoopBytes(input, nil, 0, 0)
+	sc := r.getScratch()
+	acc, s := r.convLoopBytes(input, nil, 0, 0, sc)
 	out := make([]fsm.State, r.n)
 	for q := range out {
 		out[q] = fsm.State(s[acc[q]])
 	}
+	r.putScratch(sc)
 	return out
 }
 
 // convFinalBytes runs Figure 7 and reads the single entry for start.
 func (r *Runner) convFinalBytes(input []byte, start fsm.State) fsm.State {
-	acc, s := r.convLoopBytes(input, nil, 0, 0)
-	return fsm.State(s[acc[start]])
+	sc := r.getScratch()
+	acc, s := r.convLoopBytes(input, nil, 0, 0, sc)
+	final := fsm.State(s[acc[start]])
+	r.putScratch(sc)
+	return final
 }
 
 // convRunBytes runs Figure 7 invoking φ at every step. Only the entry
 // for the start state is materialized per step (§5.2: "it is not
 // necessary to compute all elements of S_base").
 func (r *Runner) convRunBytes(input []byte, off int, start fsm.State, phi fsm.Phi) fsm.State {
-	acc, s := r.convLoopBytes(input, phi, off, start)
-	return fsm.State(s[acc[start]])
+	sc := r.getScratch()
+	acc, s := r.convLoopBytes(input, phi, off, start, sc)
+	final := fsm.State(s[acc[start]])
+	r.putScratch(sc)
+	return final
 }
 
 // convLoopBytes is the shared Figure 7 loop. If phi is non-nil it is
 // invoked after every symbol with the state reached from start.
-// Returns the final (Acc, S) pair satisfying S_base = Acc ⊗ S.
-func (r *Runner) convLoopBytes(input []byte, phi fsm.Phi, off int, start fsm.State) (acc, s []byte) {
-	acc = gather.Identity[byte](r.n)
-	s = gather.Identity[byte](r.n)
+// Returns the final (Acc, S) pair satisfying S_base = Acc ⊗ S; both
+// are views into sc, valid until the scratch is pooled again.
+func (r *Runner) convLoopBytes(input []byte, phi fsm.Phi, off int, start fsm.State, sc *scratch) (acc, s []byte) {
+	acc, s = sc.byteVecs(r.n)
 	m := r.n // active states
 	sinceCheck := 0
 	// Telemetry accounting stays in stack locals so the disabled path
@@ -194,27 +202,34 @@ func (r *Runner) convLoopBytes(input []byte, phi fsm.Phi, off int, start fsm.Sta
 // but gathers use the scalar kernel.
 
 func (r *Runner) convCompVec16(input []byte) []fsm.State {
-	acc, s := r.convLoop16(input, nil, 0, 0)
+	sc := r.getScratch()
+	acc, s := r.convLoop16(input, nil, 0, 0, sc)
 	out := make([]fsm.State, r.n)
 	for q := range out {
 		out[q] = s[acc[q]]
 	}
+	r.putScratch(sc)
 	return out
 }
 
 func (r *Runner) convFinal16(input []byte, start fsm.State) fsm.State {
-	acc, s := r.convLoop16(input, nil, 0, 0)
-	return s[acc[start]]
+	sc := r.getScratch()
+	acc, s := r.convLoop16(input, nil, 0, 0, sc)
+	final := s[acc[start]]
+	r.putScratch(sc)
+	return final
 }
 
 func (r *Runner) convRun16(input []byte, off int, start fsm.State, phi fsm.Phi) fsm.State {
-	acc, s := r.convLoop16(input, phi, off, start)
-	return s[acc[start]]
+	sc := r.getScratch()
+	acc, s := r.convLoop16(input, phi, off, start, sc)
+	final := s[acc[start]]
+	r.putScratch(sc)
+	return final
 }
 
-func (r *Runner) convLoop16(input []byte, phi fsm.Phi, off int, start fsm.State) (acc, s []fsm.State) {
-	acc = gather.Identity[fsm.State](r.n)
-	s = gather.Identity[fsm.State](r.n)
+func (r *Runner) convLoop16(input []byte, phi fsm.Phi, off int, start fsm.State, sc *scratch) (acc, s []fsm.State) {
+	acc, s = sc.stateVecs(r.n)
 	m := r.n
 	sinceCheck := 0
 	var gathers, shufBlocks, fCalls, fWins int64

@@ -33,6 +33,8 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"strings"
+	"sync"
 
 	"dpfsm/internal/fsm"
 	"dpfsm/internal/gather"
@@ -92,15 +94,28 @@ func (s Strategy) String() string {
 	}
 }
 
+// Strategies enumerates the valid strategy names in declaration
+// order, for CLI/HTTP surfaces that list the accepted values in flag
+// usage and error messages.
+func Strategies() []string {
+	names := make([]string, 0, int(RangeConvergence)+1)
+	for s := Auto; s <= RangeConvergence; s++ {
+		names = append(names, s.String())
+	}
+	return names
+}
+
 // ParseStrategy is the inverse of Strategy.String, for CLI/HTTP
-// surfaces that select a strategy by name.
+// surfaces that select a strategy by name. Matching is
+// case-insensitive.
 func ParseStrategy(name string) (Strategy, error) {
 	for s := Auto; s <= RangeConvergence; s++ {
-		if s.String() == name {
+		if strings.EqualFold(s.String(), name) {
 			return s, nil
 		}
 	}
-	return Auto, fmt.Errorf("core: unknown strategy %q", name)
+	return Auto, fmt.Errorf("core: unknown strategy %q (valid: %s)",
+		name, strings.Join(Strategies(), " "))
 }
 
 // Option configures a Runner.
@@ -223,6 +238,11 @@ type Runner struct {
 	cols16 [][]fsm.State
 
 	rc *rcTables // range-coalesced tables; nil unless strategy needs them
+
+	// scratchPool recycles the per-run working vectors (scratch.go) so
+	// batch workloads — many small runs over one shared Runner — do
+	// not allocate enumerative state per job.
+	scratchPool sync.Pool
 }
 
 // New builds a Runner for d. The machine is validated and must not be

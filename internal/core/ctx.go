@@ -1,0 +1,218 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/gather"
+)
+
+// Cooperative cancellation. The enumerative strategies are pure
+// compute loops with no blocking points, so cancellation is
+// cooperative and chunked: the *Ctx entry points fold the input
+// through the runner in blocks of ctxCheckBytes and poll ctx.Err()
+// between blocks, and the multicore phases additionally poll before
+// every chunk they pick up. A context that can never be canceled
+// (context.Background, context.TODO) routes to the uninstrumented
+// fast paths, so the Ctx variants cost nothing when cancellation is
+// not in play.
+//
+// Folding is exact, not approximate: transition-function composition
+// is associative, so running block-by-block from the carried state
+// (Final) or gather-merging per-block composition vectors (phase 1)
+// produces bit-identical results to the one-shot loops. The only
+// cost is that the convergence strategies restart from the n-wide
+// identity at each block boundary; with 64 KiB blocks and machines
+// that converge within a few hundred symbols (§5.2) the re-widening
+// overhead is well under a percent.
+const ctxCheckBytes = 64 << 10
+
+// FinalCtx is Final with deadline/cancellation support: it returns
+// early with ctx.Err() when ctx is canceled, checking between input
+// blocks (single core) and chunks (multicore). On error the returned
+// state is the state reached at the last completed block boundary.
+func (r *Runner) FinalCtx(ctx context.Context, input []byte, start fsm.State) (fsm.State, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return r.Final(input, start), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return start, err
+	}
+	r.noteEntry(len(input))
+	if r.strategy != Sequential && r.useMulticore(len(input)) {
+		return r.finalMulticoreCtx(ctx, input, start)
+	}
+	return r.finalSingleCtx(ctx, input, start)
+}
+
+// AcceptsCtx is Accepts with cancellation; ok is meaningless when err
+// is non-nil.
+func (r *Runner) AcceptsCtx(ctx context.Context, input []byte) (bool, error) {
+	final, err := r.FinalCtx(ctx, input, r.d.Start())
+	if err != nil {
+		return false, err
+	}
+	return r.d.Accepting(final), nil
+}
+
+// finalSingleCtx folds the input block-by-block through the
+// single-core strategy, carrying the reached state across blocks.
+func (r *Runner) finalSingleCtx(ctx context.Context, input []byte, start fsm.State) (fsm.State, error) {
+	q := start
+	for off := 0; off < len(input); off += ctxCheckBytes {
+		if err := ctx.Err(); err != nil {
+			return q, err
+		}
+		hi := off + ctxCheckBytes
+		if hi > len(input) {
+			hi = len(input)
+		}
+		if r.strategy == Sequential {
+			q = r.d.RunUnrolled(input[off:hi], q)
+		} else {
+			q = r.finalSingle(input[off:hi], q)
+		}
+	}
+	return q, nil
+}
+
+// compVecCtx computes the composition vector of input with ctx polls
+// between sub-blocks, gather-merging the per-block vectors. stop is a
+// shared early-exit flag so sibling phase-1 goroutines bail as soon
+// as any of them observes cancellation; the return is nil on abort.
+func (r *Runner) compVecCtx(ctx context.Context, input []byte, stop *atomic.Bool) []fsm.State {
+	var total []fsm.State
+	for off := 0; off < len(input); off += ctxCheckBytes {
+		if stop.Load() {
+			return nil
+		}
+		if ctx.Err() != nil {
+			stop.Store(true)
+			return nil
+		}
+		hi := off + ctxCheckBytes
+		if hi > len(input) {
+			hi = len(input)
+		}
+		v := r.compVecSingle(input[off:hi])
+		if total == nil {
+			total = v
+		} else {
+			gather.Into(total, total, v)
+			if t := r.tel; t != nil {
+				t.Gathers.Inc()
+			}
+		}
+	}
+	return total
+}
+
+// finalMulticoreCtx is finalMulticore with cancellable phase 1.
+func (r *Runner) finalMulticoreCtx(ctx context.Context, input []byte, start fsm.State) (fsm.State, error) {
+	chunks := r.splitChunks(len(input))
+	r.noteMulticore(chunks)
+	tel := r.tel
+	vecs := make([][]fsm.State, len(chunks))
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for p, ch := range chunks {
+		wg.Add(1)
+		go func(p, lo, hi int) {
+			defer wg.Done()
+			if tel != nil {
+				defer tel.Phase1Time.Start().Stop()
+			}
+			vecs[p] = r.compVecCtx(ctx, input[lo:hi], &stop)
+		}(p, ch[0], ch[1])
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return start, err
+	}
+	st := start
+	for _, vec := range vecs {
+		st = vec[st]
+	}
+	if tel != nil {
+		tel.Phase3Skips.Inc()
+	}
+	return st, nil
+}
+
+// RunChunkedCtx is RunChunked with deadline/cancellation: phase-1
+// workers poll ctx between sub-blocks and phase-3 workers poll before
+// each chunk. On cancellation some chunks may already have run f (in
+// particular chunk 0, whose phase 3 overlaps phase 1), so callers
+// must treat f's side effects as partial when err is non-nil; the
+// returned state is then unspecified.
+func (r *Runner) RunChunkedCtx(ctx context.Context, input []byte, start fsm.State, f ChunkFunc) (fsm.State, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return r.RunChunked(input, start, f), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return start, err
+	}
+	r.noteEntry(len(input))
+	if len(input) == 0 {
+		return start, nil
+	}
+	if !r.useMulticore(len(input)) {
+		return f(0, input, start), nil
+	}
+	chunks := r.splitChunks(len(input))
+	r.noteMulticore(chunks)
+	tel := r.tel
+
+	// Same overlap as runChunked: chunk 0's phase 3 runs alongside the
+	// enumerative phase 1 of the rest.
+	var stop atomic.Bool
+	var c0Final fsm.State
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if tel != nil {
+			defer tel.Phase3Time.Start().Stop()
+		}
+		c0Final = f(0, input[chunks[0][0]:chunks[0][1]], start)
+	}()
+	vecs := make([][]fsm.State, len(chunks))
+	for p := 1; p < len(chunks); p++ {
+		wg.Add(1)
+		go func(p, lo, hi int) {
+			defer wg.Done()
+			if tel != nil {
+				defer tel.Phase1Time.Start().Stop()
+			}
+			vecs[p] = r.compVecCtx(ctx, input[lo:hi], &stop)
+		}(p, chunks[p][0], chunks[p][1])
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return start, err
+	}
+
+	st := c0Final
+	starts := make([]fsm.State, len(chunks))
+	for p := 1; p < len(chunks); p++ {
+		starts[p] = st
+		st = vecs[p][st]
+	}
+	for p := 1; p < len(chunks); p++ {
+		wg.Add(1)
+		go func(p, lo, hi int) {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
+			if tel != nil {
+				defer tel.Phase3Time.Start().Stop()
+			}
+			f(lo, input[lo:hi], starts[p])
+		}(p, chunks[p][0], chunks[p][1])
+	}
+	wg.Wait()
+	return st, ctx.Err()
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dpfsm/internal/fsm"
+)
+
+// ctxStrategies is the matrix every cancellation test runs over.
+var ctxStrategies = []Strategy{
+	Sequential, Base, BaseILP, Convergence, RangeCoalesced, RangeConvergence,
+}
+
+// TestFinalCtxMatchesFinal checks that the block-folded ctx path is
+// bit-identical to the one-shot loops, across the strategy matrix,
+// single- and multicore, for inputs straddling the block boundary.
+func TestFinalCtxMatchesFinal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := fsm.RandomConverging(rng, 40, 8, 6, 0.2)
+	sizes := []int{0, 1, 100, ctxCheckBytes - 1, ctxCheckBytes, ctxCheckBytes + 1, 3*ctxCheckBytes + 17}
+	for _, strat := range ctxStrategies {
+		for _, procs := range []int{1, 4} {
+			r, err := New(d, WithStrategy(strat), WithProcs(procs), WithMinChunk(1<<10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range sizes {
+				input := d.RandomInput(rng, n)
+				want := r.Final(input, d.Start())
+				got, err := r.FinalCtx(context.Background(), input, d.Start())
+				if err != nil {
+					t.Fatalf("%v procs=%d n=%d: %v", strat, procs, n, err)
+				}
+				if got != want {
+					t.Errorf("%v procs=%d n=%d: FinalCtx=%d Final=%d", strat, procs, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFinalCtxCanceled checks that an already-canceled context stops
+// the run before any work and that a mid-run cancel returns promptly
+// with ctx.Err().
+func TestFinalCtxCanceled(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := fsm.RandomConverging(rng, 40, 8, 6, 0.2)
+	input := d.RandomInput(rng, 8<<20)
+
+	for _, procs := range []int{1, 4} {
+		r, err := New(d, WithProcs(procs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := r.FinalCtx(ctx, input, d.Start()); err != context.Canceled {
+			t.Errorf("procs=%d pre-canceled: err=%v", procs, err)
+		}
+
+		ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Millisecond)
+		defer cancel2()
+		t0 := time.Now()
+		for {
+			_, err := r.FinalCtx(ctx2, input, d.Start())
+			if err != nil {
+				if err != context.DeadlineExceeded {
+					t.Errorf("procs=%d: err=%v", procs, err)
+				}
+				break
+			}
+			if time.Since(t0) > 5*time.Second {
+				t.Fatalf("procs=%d: deadline never fired", procs)
+			}
+		}
+	}
+}
+
+// TestAcceptsCtx exercises the accept wrapper on both outcomes.
+func TestAcceptsCtx(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := fsm.RandomConverging(rng, 30, 4, 5, 0.3)
+	r, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := d.RandomInput(rng, 4096)
+	want := r.Accepts(input)
+	got, err := r.AcceptsCtx(context.Background(), input)
+	if err != nil || got != want {
+		t.Errorf("AcceptsCtx=(%v,%v) Accepts=%v", got, err, want)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.AcceptsCtx(ctx, input); err != context.Canceled {
+		t.Errorf("canceled AcceptsCtx err=%v", err)
+	}
+}
+
+// TestRunChunkedCtx checks the cancellable chunked runner: background
+// contexts match RunChunked, and canceled contexts surface the error.
+func TestRunChunkedCtx(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	d := fsm.RandomConverging(rng, 40, 8, 6, 0.2)
+	r, err := New(d, WithProcs(4), WithMinChunk(1<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := d.RandomInput(rng, 64<<10)
+	seq := func(off int, chunk []byte, st fsm.State) fsm.State {
+		return d.Run(chunk, st)
+	}
+	want := r.RunChunked(input, d.Start(), seq)
+	got, err := r.RunChunkedCtx(context.Background(), input, d.Start(), seq)
+	if err != nil || got != want {
+		t.Errorf("RunChunkedCtx=(%d,%v) RunChunked=%d", got, err, want)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.RunChunkedCtx(ctx, input, d.Start(), seq); err != context.Canceled {
+		t.Errorf("canceled RunChunkedCtx err=%v", err)
+	}
+}

@@ -126,10 +126,10 @@ func (r *Runner) noteRCPlain(input []byte) {
 // final name-composition vector c (c[i] = name-of-cur reached from name
 // i of the first symbol), and the last symbol cur. If phi is non-nil it
 // is invoked at every step with the state reached from start.
-func (r *Runner) rcLoop(input []byte, phi fsm.Phi, off int, start fsm.State) (a0 byte, c []byte, cur byte) {
+func (r *Runner) rcLoop(input []byte, phi fsm.Phi, off int, start fsm.State, sc *scratch) (a0 byte, c []byte, cur byte) {
 	a0 = input[0]
 	cur = a0
-	c = gather.Identity[byte](len(r.rc.u[a0]))
+	c = sc.names(len(r.rc.u[a0]))
 	var name0 byte
 	if phi != nil {
 		name0 = r.rc.l[a0][start]
@@ -230,13 +230,12 @@ func (r *Runner) rcLoop(input []byte, phi fsm.Phi, off int, start fsm.State) (a0
 // a wide first-symbol range still collapse into the register regime.
 // The invariant mirrors §5.2: C_base = Acc ⊗ C with Acc over names of
 // a0. Selected by the RangeConvergence strategy.
-func (r *Runner) rcLoopConv(input []byte) (a0 byte, acc []byte, c []byte, cur byte) {
+func (r *Runner) rcLoopConv(input []byte, sc *scratch) (a0 byte, acc []byte, c []byte, cur byte) {
 	rc := r.rc
 	a0 = input[0]
 	cur = a0
 	w0 := len(rc.u[a0])
-	acc = gather.Identity[byte](w0)
-	c = gather.Identity[byte](w0)
+	acc, c = sc.namePair(w0)
 	m := w0
 	sinceCheck := 0
 	// Unlike rcLoop, the name-vector width shrinks as it converges, so
@@ -381,11 +380,13 @@ func (r *Runner) rcConvCompVec(input []byte) []fsm.State {
 		}
 		return out
 	}
-	a0, acc, c, cur := r.rcLoopConv(input)
+	sc := r.getScratch()
+	a0, acc, c, cur := r.rcLoopConv(input, sc)
 	la, ucur := r.rc.l[a0], r.rc.u[cur]
 	for q := range out {
 		out[q] = ucur[c[acc[la[q]]]]
 	}
+	r.putScratch(sc)
 	return out
 }
 
@@ -395,8 +396,11 @@ func (r *Runner) rcConvFinal(input []byte, start fsm.State) fsm.State {
 	if len(input) == 0 {
 		return start
 	}
-	a0, acc, c, cur := r.rcLoopConv(input)
-	return r.rc.u[cur][c[acc[r.rc.l[a0][start]]]]
+	sc := r.getScratch()
+	a0, acc, c, cur := r.rcLoopConv(input, sc)
+	final := r.rc.u[cur][c[acc[r.rc.l[a0][start]]]]
+	r.putScratch(sc)
+	return final
 }
 
 // rcCompVec returns the full composition vector via
@@ -409,11 +413,13 @@ func (r *Runner) rcCompVec(input []byte) []fsm.State {
 		}
 		return out
 	}
-	a0, c, cur := r.rcLoop(input, nil, 0, 0)
+	sc := r.getScratch()
+	a0, c, cur := r.rcLoop(input, nil, 0, 0, sc)
 	la, ucur := r.rc.l[a0], r.rc.u[cur]
 	for q := range out {
 		out[q] = ucur[c[la[q]]]
 	}
+	r.putScratch(sc)
 	return out
 }
 
@@ -422,8 +428,11 @@ func (r *Runner) rcFinal(input []byte, start fsm.State) fsm.State {
 	if len(input) == 0 {
 		return start
 	}
-	a0, c, cur := r.rcLoop(input, nil, 0, 0)
-	return r.rc.u[cur][c[r.rc.l[a0][start]]]
+	sc := r.getScratch()
+	a0, c, cur := r.rcLoop(input, nil, 0, 0, sc)
+	final := r.rc.u[cur][c[r.rc.l[a0][start]]]
+	r.putScratch(sc)
+	return final
 }
 
 // rcRun runs with φ; the per-step output is the O(1) lookup
@@ -433,6 +442,9 @@ func (r *Runner) rcRun(input []byte, off int, start fsm.State, phi fsm.Phi) fsm.
 	if len(input) == 0 {
 		return start
 	}
-	a0, c, cur := r.rcLoop(input, phi, off, start)
-	return r.rc.u[cur][c[r.rc.l[a0][start]]]
+	sc := r.getScratch()
+	a0, c, cur := r.rcLoop(input, phi, off, start, sc)
+	final := r.rc.u[cur][c[r.rc.l[a0][start]]]
+	r.putScratch(sc)
+	return final
 }

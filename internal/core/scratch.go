@@ -1,0 +1,92 @@
+package core
+
+import (
+	"dpfsm/internal/fsm"
+)
+
+// Pooled per-run scratch. The convergence and range-coalescing loops
+// need identity-initialized working vectors (Acc and S, or the name
+// vector C) on every run; for a single multi-megabyte input that
+// allocation is noise, but the engine's batch workload — millions of
+// small inputs over a shared Runner — would pay two n-wide
+// allocations per job. Each Runner owns a sync.Pool of scratch
+// buffers: a worker goroutine that stays on one P effectively reuses
+// the same buffers job after job, and the pool handles the multicore
+// phase-1 goroutines hitting it concurrently.
+//
+// Only the non-escaping entry points (Final, Accepts, Run, and the
+// composition-vector paths whose outputs are copied into fresh
+// slices) draw from the pool; buffers are returned only after every
+// read of the run's result, never while a view of them is still live.
+type scratch struct {
+	accB, sB   []byte      // convergence byte path (n ≤ 256)
+	acc16, s16 []fsm.State // convergence uint16 path
+
+	// Name-domain vectors for the range-coalesced strategies. Names
+	// always fit a byte (New enforces max range ≤ 256), so fixed
+	// arrays avoid sizing logic entirely.
+	nameAcc, nameC [256]byte
+}
+
+// byteVecs returns the identity-filled (Acc, S) pair for an n-state
+// byte-encoded run.
+func (sc *scratch) byteVecs(n int) (acc, s []byte) {
+	if cap(sc.accB) < n {
+		sc.accB = make([]byte, n)
+		sc.sB = make([]byte, n)
+	}
+	acc, s = sc.accB[:n], sc.sB[:n]
+	for i := range acc {
+		acc[i] = byte(i)
+		s[i] = byte(i)
+	}
+	return acc, s
+}
+
+// stateVecs is byteVecs for machines with more than 256 states.
+func (sc *scratch) stateVecs(n int) (acc, s []fsm.State) {
+	if cap(sc.acc16) < n {
+		sc.acc16 = make([]fsm.State, n)
+		sc.s16 = make([]fsm.State, n)
+	}
+	acc, s = sc.acc16[:n], sc.s16[:n]
+	for i := range acc {
+		acc[i] = fsm.State(i)
+		s[i] = fsm.State(i)
+	}
+	return acc, s
+}
+
+// names returns the identity-filled name vector of width w.
+func (sc *scratch) names(w int) []byte {
+	c := sc.nameC[:w]
+	for i := range c {
+		c[i] = byte(i)
+	}
+	return c
+}
+
+// namePair returns identity-filled (Acc, C) name vectors of width w
+// for the RangeConvergence loop.
+func (sc *scratch) namePair(w int) (acc, c []byte) {
+	acc, c = sc.nameAcc[:w], sc.nameC[:w]
+	for i := range acc {
+		acc[i] = byte(i)
+		c[i] = byte(i)
+	}
+	return acc, c
+}
+
+// getScratch takes a scratch from the runner's pool.
+func (r *Runner) getScratch() *scratch {
+	if sc, ok := r.scratchPool.Get().(*scratch); ok {
+		return sc
+	}
+	return new(scratch)
+}
+
+// putScratch returns sc to the pool. The caller must not retain any
+// view of sc's buffers.
+func (r *Runner) putScratch(sc *scratch) {
+	r.scratchPool.Put(sc)
+}

@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/fsm"
+)
+
+// BenchmarkEngine is the acceptance benchmark for the batch engine: a
+// batch of 10k small inputs through one shared engine (pooled runners,
+// pooled scratch, amortized table construction) against the naive
+// service loop that constructs and runs a fresh Runner per input.
+//
+//	go test -bench=Engine -benchtime=1x ./internal/engine
+func BenchmarkEngine(b *testing.B) {
+	const (
+		numJobs   = 10_000
+		inputSize = 256
+	)
+	rng := rand.New(rand.NewSource(31))
+	d := fsm.RandomConverging(rng, 64, 64, 10, 0.2)
+	inputs := make([][]byte, numJobs)
+	for i := range inputs {
+		inputs[i] = d.RandomInput(rng, inputSize)
+	}
+	var totalBytes int64
+	for _, in := range inputs {
+		totalBytes += int64(len(in))
+	}
+
+	b.Run("pooled-batch-10k", func(b *testing.B) {
+		e := New(WithProcs(1))
+		defer e.Close()
+		if _, err := e.Register("m", d); err != nil {
+			b.Fatal(err)
+		}
+		jobs := make([]Job, numJobs)
+		for i, in := range inputs {
+			jobs[i] = Job{Machine: "m", Input: in}
+		}
+		b.SetBytes(totalBytes)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			results, stats := e.RunBatch(context.Background(), jobs)
+			if stats.OK != numJobs {
+				b.Fatalf("stats %+v", stats)
+			}
+			sinkState = results[0].Final
+		}
+	})
+
+	b.Run("fresh-runner-per-input", func(b *testing.B) {
+		b.SetBytes(totalBytes)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, in := range inputs {
+				r, err := core.New(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkState = r.Final(in, d.Start())
+			}
+		}
+	})
+}
+
+var sinkState fsm.State

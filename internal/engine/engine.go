@@ -1,0 +1,496 @@
+// Package engine is the batch execution layer over the data-parallel
+// runners of internal/core: it accepts many (machine, input) jobs,
+// multiplexes them over a bounded worker pool, and decides per job
+// which of the paper's two parallelism axes to spend cores on.
+//
+// The paper parallelizes *within* one input (the Figure 5 multicore
+// decomposition); a service handling heavy traffic has the complementary
+// opportunity of parallelizing *across* inputs. The two compose
+// multiplicatively, but naively running every job multicore
+// oversubscribes the machine — P workers each fanning out P goroutines —
+// while running every job single-core leaves a lone 100 MB request
+// crawling on one core. The engine's dispatch policy resolves this:
+//
+//   - small inputs (< LargeInput) run the single-core strategy on one
+//     pool worker — batch-level parallelism, zero fan-out overhead;
+//   - large inputs run the Figure 5 phase1/phase2 split on a multicore
+//     runner — input-level parallelism — gated so that concurrent
+//     multicore jobs cannot oversubscribe the pool.
+//
+// Jobs carry per-job deadlines, batches carry a context, and both are
+// honored cooperatively by the core runtime (core.FinalCtx polls
+// between input blocks and multicore chunks). Backpressure is a
+// bounded queue: Submit blocks when the pool is saturated, so an
+// upstream accept loop slows down instead of buffering unboundedly.
+// Scratch state vectors and convergence buffers are recycled across
+// jobs by the Runner's sync.Pool (core's scratch layer), so steady-
+// state batch execution does not allocate per job.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/telemetry"
+)
+
+// Errors returned by Submit/Run. Per-job failures are reported in
+// Result.Err, never as panics.
+var (
+	ErrClosed         = errors.New("engine: closed")
+	ErrUnknownMachine = errors.New("engine: unknown machine")
+	ErrBadStart       = errors.New("engine: start state out of range")
+)
+
+// Option configures an Engine.
+type Option func(*config)
+
+type config struct {
+	workers    int
+	queueDepth int
+	largeInput int
+	procs      int
+	tel        *telemetry.Metrics
+}
+
+// WithWorkers sets the worker-pool size. n <= 0 means runtime.NumCPU().
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithQueueDepth bounds the job queue; Submit blocks (backpressure)
+// once this many jobs are waiting. n <= 0 keeps the default of four
+// jobs per worker.
+func WithQueueDepth(n int) Option {
+	return func(c *config) { c.queueDepth = n }
+}
+
+// WithLargeInput sets the dispatch-policy threshold in bytes: inputs
+// of at least n bytes run on the multicore runner (input-level
+// parallelism), smaller ones on a single pool worker (batch-level
+// parallelism). n <= 0 keeps the default of 1 MiB.
+func WithLargeInput(n int) Option {
+	return func(c *config) { c.largeInput = n }
+}
+
+// WithProcs sets the multicore width used for large inputs. p == 1
+// disables the multicore lane entirely; p <= 0 means runtime.NumCPU().
+func WithProcs(p int) Option {
+	return func(c *config) { c.procs = p }
+}
+
+// WithTelemetry attaches a metrics sink shared by the engine and every
+// registered runner. nil (the default) disables collection.
+func WithTelemetry(m *telemetry.Metrics) Option {
+	return func(c *config) { c.tel = m }
+}
+
+// Machine is one compiled DFA registered with the engine, holding the
+// runner pair the dispatch policy chooses between.
+type Machine struct {
+	name   string
+	dfa    *fsm.DFA
+	single *core.Runner // batch lane: WithProcs(1)
+	multi  *core.Runner // input lane: WithProcs(procs); nil when procs == 1
+}
+
+// Name returns the registration name.
+func (m *Machine) Name() string { return m.name }
+
+// DFA returns the underlying machine.
+func (m *Machine) DFA() *fsm.DFA { return m.dfa }
+
+// Runner returns the single-core runner (the batch lane), for callers
+// that want direct access to strategy introspection or streaming.
+func (m *Machine) Runner() *core.Runner { return m.single }
+
+// Job is one unit of work: run Input through Machine.
+type Job struct {
+	Machine string
+	Input   []byte
+	// Start overrides the machine's start state when HasStart is set.
+	Start    fsm.State
+	HasStart bool
+	// Timeout, when positive, bounds this job alone; it nests inside
+	// whatever context the batch was submitted with.
+	Timeout time.Duration
+}
+
+// Result is the outcome of one Job. Index is the job's position in
+// its batch (or the caller-supplied submission index), so streamed
+// results can be reordered.
+type Result struct {
+	Index     int           `json:"index"`
+	Machine   string        `json:"machine"`
+	Final     fsm.State     `json:"final_state"`
+	Accepts   bool          `json:"accepts"`
+	Bytes     int           `json:"bytes"`
+	Multicore bool          `json:"multicore"`
+	Duration  time.Duration `json:"duration_ns"`
+	Err       error         `json:"-"`
+}
+
+// BatchStats aggregates one batch: the per-batch telemetry the
+// metrics endpoints expose in aggregate form.
+type BatchStats struct {
+	Jobs       int           `json:"jobs"`
+	OK         int           `json:"ok"`
+	Errors     int           `json:"errors"`
+	Canceled   int           `json:"canceled"`
+	SingleCore int           `json:"single_core"`
+	Multicore  int           `json:"multicore"`
+	Bytes      int64         `json:"bytes"`
+	Duration   time.Duration `json:"duration_ns"`
+}
+
+type task struct {
+	ctx context.Context
+	job Job
+	idx int
+	out chan<- Result
+}
+
+// Engine runs jobs over a bounded worker pool. Construct with New,
+// register machines, then Submit/Run/RunBatch from any goroutine.
+type Engine struct {
+	mu       sync.RWMutex
+	machines map[string]*Machine
+	order    []string
+
+	queue      chan task
+	queueLen   atomic.Int64
+	done       chan struct{}
+	closeOnce  sync.Once
+	wg         sync.WaitGroup
+	workers    int
+	largeInput int
+	procs      int
+	// multiGate bounds concurrent multicore jobs so that fan-out times
+	// concurrency stays near the worker count.
+	multiGate chan struct{}
+	tel       *telemetry.Metrics
+}
+
+const (
+	defaultLargeInput = 1 << 20
+	queuePerWorker    = 4
+)
+
+// New builds an Engine and starts its workers. Callers must Close it
+// to release them.
+func New(opts ...Option) *Engine {
+	cfg := config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.NumCPU()
+	}
+	if cfg.queueDepth <= 0 {
+		cfg.queueDepth = queuePerWorker * cfg.workers
+	}
+	if cfg.largeInput <= 0 {
+		cfg.largeInput = defaultLargeInput
+	}
+	if cfg.procs <= 0 {
+		cfg.procs = runtime.NumCPU()
+	}
+	gate := cfg.workers / cfg.procs
+	if gate < 1 {
+		gate = 1
+	}
+	e := &Engine{
+		machines:   make(map[string]*Machine),
+		queue:      make(chan task, cfg.queueDepth),
+		done:       make(chan struct{}),
+		workers:    cfg.workers,
+		largeInput: cfg.largeInput,
+		procs:      cfg.procs,
+		multiGate:  make(chan struct{}, gate),
+		tel:        cfg.tel,
+	}
+	for i := 0; i < cfg.workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Telemetry returns the attached metrics sink (nil when disabled).
+func (e *Engine) Telemetry() *telemetry.Metrics { return e.tel }
+
+// Workers reports the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// LargeInput reports the dispatch-policy threshold in bytes.
+func (e *Engine) LargeInput() int { return e.largeInput }
+
+// Procs reports the multicore width large inputs run with (1 when the
+// multicore lane is disabled).
+func (e *Engine) Procs() int { return e.procs }
+
+// Register compiles d into the engine under name: a single-core runner
+// for the batch lane and, when the engine's procs exceed one, a
+// multicore runner for the input lane. opts are forwarded to both
+// runners (strategy, convergence cadence, ...); the engine appends its
+// own WithProcs and WithTelemetry last, so per-runner procs and
+// telemetry cannot be overridden.
+func (e *Engine) Register(name string, d *fsm.DFA, opts ...core.Option) (*Machine, error) {
+	if name == "" {
+		return nil, errors.New("engine: empty machine name")
+	}
+	single, err := core.New(d, append(opts[:len(opts):len(opts)],
+		core.WithProcs(1), core.WithTelemetry(e.tel))...)
+	if err != nil {
+		return nil, fmt.Errorf("engine: machine %q: %w", name, err)
+	}
+	var multi *core.Runner
+	if e.procs > 1 {
+		multi, err = core.New(d, append(opts[:len(opts):len(opts)],
+			core.WithProcs(e.procs), core.WithTelemetry(e.tel))...)
+		if err != nil {
+			return nil, fmt.Errorf("engine: machine %q: %w", name, err)
+		}
+	}
+	m := &Machine{name: name, dfa: d, single: single, multi: multi}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.machines[name]; dup {
+		return nil, fmt.Errorf("engine: duplicate machine %q", name)
+	}
+	e.machines[name] = m
+	e.order = append(e.order, name)
+	return m, nil
+}
+
+// Machine looks up a registered machine by name (nil if absent).
+func (e *Engine) Machine(name string) *Machine {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.machines[name]
+}
+
+// Machines lists registration names in registration order; the first
+// registered machine is the default for jobs with an empty Machine.
+func (e *Engine) Machines() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]string(nil), e.order...)
+}
+
+// Submit enqueues one job; its Result (carrying idx) is delivered on
+// out, which must have capacity for every outstanding submission or a
+// dedicated receiver, or the pool will stall. Submit blocks while the
+// queue is full — that is the backpressure contract — and fails only
+// if ctx is done first or the engine is closed. Submissions must not
+// race with Close: quiesce callers (e.g. shut the HTTP server down)
+// before closing the engine, or a job enqueued in the closing window
+// may never be answered.
+func (e *Engine) Submit(ctx context.Context, job Job, idx int, out chan<- Result) error {
+	t := task{ctx: ctx, job: job, idx: idx, out: out}
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case e.queue <- t:
+		depth := e.queueLen.Add(1)
+		if tm := e.tel; tm != nil {
+			tm.EngineQueueHighWater.Observe(depth)
+		}
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-e.done:
+		return ErrClosed
+	}
+}
+
+// Run executes one job synchronously on the calling goroutine,
+// bypassing the queue; the /v1/run HTTP path uses this so single
+// requests never wait behind a batch.
+func (e *Engine) Run(ctx context.Context, job Job) Result {
+	return e.exec(ctx, 0, job)
+}
+
+// RunBatch submits every job and waits for all results, returned in
+// job order. A canceled ctx stops the batch cooperatively: queued
+// jobs fail fast with ctx.Err(), in-flight jobs stop at their next
+// block/chunk boundary, and the partial results are still returned —
+// per-job errors mark which jobs did not complete.
+func (e *Engine) RunBatch(ctx context.Context, jobs []Job) ([]Result, BatchStats) {
+	t0 := time.Now()
+	if tm := e.tel; tm != nil {
+		tm.EngineBatches.Inc()
+	}
+	results := make([]Result, len(jobs))
+	out := make(chan Result, len(jobs))
+	submitted := 0
+	for i, job := range jobs {
+		if err := e.Submit(ctx, job, i, out); err != nil {
+			results[i] = Result{Index: i, Machine: job.Machine, Bytes: len(job.Input), Err: err}
+			e.noteResult(&results[i])
+			continue
+		}
+		submitted++
+	}
+	for k := 0; k < submitted; k++ {
+		r := <-out
+		results[r.Index] = r
+	}
+	return results, summarize(results, time.Since(t0))
+}
+
+// summarize computes the per-batch aggregate.
+func summarize(results []Result, dur time.Duration) BatchStats {
+	st := BatchStats{Jobs: len(results), Duration: dur}
+	for i := range results {
+		r := &results[i]
+		st.Bytes += int64(r.Bytes)
+		switch {
+		case r.Err == nil:
+			st.OK++
+		case errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded):
+			st.Errors++
+			st.Canceled++
+		default:
+			st.Errors++
+		}
+		if r.Err == nil {
+			if r.Multicore {
+				st.Multicore++
+			} else {
+				st.SingleCore++
+			}
+		}
+	}
+	return st
+}
+
+// Close stops the workers, fails queued jobs with ErrClosed, and
+// waits for in-flight jobs to finish. Idempotent.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		close(e.done)
+		e.wg.Wait()
+		for {
+			select {
+			case t := <-e.queue:
+				e.queueLen.Add(-1)
+				t.out <- Result{Index: t.idx, Machine: t.job.Machine, Bytes: len(t.job.Input), Err: ErrClosed}
+			default:
+				return
+			}
+		}
+	})
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.done:
+			return
+		case t := <-e.queue:
+			e.queueLen.Add(-1)
+			t.out <- e.exec(t.ctx, t.idx, t.job)
+		}
+	}
+}
+
+// exec runs one job to a Result. All failure modes land in Result.Err.
+func (e *Engine) exec(ctx context.Context, idx int, job Job) (res Result) {
+	res = Result{Index: idx, Machine: job.Machine, Bytes: len(job.Input)}
+	defer func() { e.noteResult(&res) }()
+
+	e.mu.RLock()
+	name := job.Machine
+	if name == "" && len(e.order) > 0 {
+		name = e.order[0]
+	}
+	m := e.machines[name]
+	e.mu.RUnlock()
+	if m == nil {
+		res.Err = fmt.Errorf("%w: %q", ErrUnknownMachine, job.Machine)
+		return res
+	}
+	res.Machine = name
+
+	start := m.dfa.Start()
+	if job.HasStart {
+		if !m.dfa.ValidState(job.Start) {
+			res.Err = fmt.Errorf("%w: %d (machine %q has %d states)",
+				ErrBadStart, job.Start, name, m.dfa.NumStates())
+			return res
+		}
+		start = job.Start
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	if job.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, job.Timeout)
+		defer cancel()
+	}
+
+	r := m.single
+	if m.multi != nil && len(job.Input) >= e.largeInput {
+		// The input lane: acquire a fan-out slot so at most
+		// workers/procs multicore jobs run at once.
+		select {
+		case e.multiGate <- struct{}{}:
+			defer func() { <-e.multiGate }()
+			r = m.multi
+			res.Multicore = true
+		case <-ctx.Done():
+			res.Err = ctx.Err()
+			return res
+		}
+	}
+
+	t0 := time.Now()
+	final, err := r.FinalCtx(ctx, job.Input, start)
+	res.Duration = time.Since(t0)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Final = final
+	res.Accepts = m.dfa.Accepting(final)
+	return res
+}
+
+// noteResult flushes one job's accounting into the shared sink.
+func (e *Engine) noteResult(res *Result) {
+	tm := e.tel
+	if tm == nil {
+		return
+	}
+	tm.EngineJobs.Inc()
+	tm.EngineJobBytes.Observe(int64(res.Bytes))
+	if res.Err != nil {
+		tm.EngineJobErrors.Inc()
+		if errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded) {
+			tm.EngineCanceled.Inc()
+		}
+		return
+	}
+	if res.Multicore {
+		tm.EngineMulticore.Inc()
+	} else {
+		tm.EngineSingleCore.Inc()
+	}
+}

@@ -88,6 +88,11 @@ func (d *DFA) SetStart(q State) {
 // Accepting reports whether q ∈ F.
 func (d *DFA) Accepting(q State) bool { return d.accept[q] }
 
+// ValidState reports whether q ∈ Q, for surfaces (HTTP handlers, the
+// batch engine) that accept caller-supplied start states and must
+// reject out-of-range values without panicking.
+func (d *DFA) ValidState(q State) bool { return int(q) < d.numStates }
+
 // SetAccepting marks q as accepting (or not).
 func (d *DFA) SetAccepting(q State, ok bool) {
 	d.checkState(q)

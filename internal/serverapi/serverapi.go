@@ -1,0 +1,99 @@
+// Package serverapi defines the JSON request/response shapes of the
+// fsmserve HTTP API, shared between the server (cmd/fsmserve) and any
+// Go client, so wire compatibility is a compile-time property instead
+// of two hand-maintained struct sets.
+//
+// The API is versioned under /v1/; see cmd/fsmserve's package comment
+// for the route table. Unversioned aliases of the v1 routes remain
+// for one deprecation cycle and signal their status with a
+// `Deprecation: true` header plus a Link to the successor route.
+package serverapi
+
+import (
+	"dpfsm/internal/fsm"
+)
+
+// Version is the current API version prefix.
+const Version = "/v1"
+
+// DeprecationHeader is set to "true" on responses served from an
+// unversioned alias route.
+const DeprecationHeader = "Deprecation"
+
+// RunResult is the response body of POST /v1/run.
+type RunResult struct {
+	Machine string    `json:"machine"`
+	Bytes   int       `json:"bytes"`
+	Final   fsm.State `json:"final_state"`
+	Accepts bool      `json:"accepts"`
+	// FirstMatch is the earliest accepting position, present only when
+	// the request asked for it (?first=1); -1 means no match.
+	FirstMatch *int `json:"first_match,omitempty"`
+	// Multicore reports which engine lane the job ran on.
+	Multicore  bool    `json:"multicore"`
+	DurationNs int64   `json:"duration_ns"`
+	MBPerS     float64 `json:"mb_per_s"`
+}
+
+// MachineInfo is one entry of GET /v1/machines.
+type MachineInfo struct {
+	Name     string    `json:"name"`
+	Pattern  string    `json:"pattern"`
+	Strategy string    `json:"strategy"`
+	Procs    int       `json:"procs"`
+	Stats    fsm.Stats `json:"stats"`
+}
+
+// BatchJob is one request line of POST /v1/batch (NDJSON: one JSON
+// object per line). Exactly one of Input and InputB64 should be set;
+// InputB64 carries binary payloads that are not valid JSON strings.
+type BatchJob struct {
+	Machine  string `json:"machine,omitempty"`
+	Input    string `json:"input,omitempty"`
+	InputB64 string `json:"input_b64,omitempty"`
+	// Start overrides the machine's start state when non-nil.
+	Start *int `json:"start,omitempty"`
+	// TimeoutMs bounds this job alone, nested inside the request
+	// context.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// BatchResult is one response line of POST /v1/batch. Results stream
+// in completion order; Index maps each back to its request line
+// (0-based). Error is set when the job failed (bad request line,
+// unknown machine, cancellation, ...), in which case the run fields
+// are meaningless.
+type BatchResult struct {
+	Index      int       `json:"index"`
+	Machine    string    `json:"machine,omitempty"`
+	Final      fsm.State `json:"final_state"`
+	Accepts    bool      `json:"accepts"`
+	Bytes      int       `json:"bytes"`
+	Multicore  bool      `json:"multicore"`
+	DurationNs int64     `json:"duration_ns"`
+	Error      string    `json:"error,omitempty"`
+}
+
+// BatchSummary aggregates one batch; it is the payload of the final
+// NDJSON line of a /v1/batch response (wrapped in BatchTrailer).
+type BatchSummary struct {
+	Jobs       int   `json:"jobs"`
+	OK         int   `json:"ok"`
+	Errors     int   `json:"errors"`
+	Canceled   int   `json:"canceled"`
+	SingleCore int   `json:"single_core"`
+	Multicore  int   `json:"multicore"`
+	Bytes      int64 `json:"bytes"`
+	DurationNs int64 `json:"duration_ns"`
+}
+
+// BatchTrailer is the last line of a /v1/batch response. Its Summary
+// field distinguishes it from BatchResult lines.
+type BatchTrailer struct {
+	Summary BatchSummary `json:"summary"`
+}
+
+// Error is the JSON error body non-2xx responses carry.
+type Error struct {
+	Error string `json:"error"`
+}

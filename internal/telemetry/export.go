@@ -92,6 +92,15 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	pc("chunks_total", "multicore chunks processed", m.Chunks.Load())
 	pc("phase3_skips_total", "accept-only runs that skipped phase 3", m.Phase3Skips.Load())
 
+	pc("engine_jobs_total", "batch-engine jobs executed", m.EngineJobs.Load())
+	pc("engine_job_errors_total", "batch-engine jobs that returned an error", m.EngineJobErrors.Load())
+	pc("engine_canceled_total", "batch-engine jobs canceled", m.EngineCanceled.Load())
+	pc("engine_batches_total", "batch-engine batch submissions", m.EngineBatches.Load())
+	pc("engine_single_core_total", "jobs dispatched to the single-core lane", m.EngineSingleCore.Load())
+	pc("engine_multicore_total", "jobs dispatched to the multicore lane", m.EngineMulticore.Load())
+	pg("engine_queue_high_water", "deepest bounded-queue backlog observed", m.EngineQueueHighWater.Load())
+
+	writeHistogram(w, "engine_job_bytes", "input sizes of executed engine jobs", &m.EngineJobBytes)
 	writeHistogram(w, "active_final", "active-state width at end of run", &m.ActiveFinal)
 	writeHistogram(w, "chunk_bytes", "multicore chunk sizes", &m.ChunkBytes)
 	writeHistogram(w, "phase1_ns", "per-chunk phase-1 wall time", &m.Phase1Time.Histogram)

@@ -48,6 +48,24 @@ type Metrics struct {
 	Phase2Time    Timer
 	Phase3Time    Timer
 	Phase3Skips   Counter // accept-/final-only runs that skipped phase 3 (§3.4)
+
+	// Batch engine (internal/engine) counters. The engine multiplexes
+	// many (machine, input) jobs over a bounded worker pool; these
+	// series expose its dispatch policy and health.
+	EngineJobs      Counter // jobs executed to completion (ok or error)
+	EngineJobErrors Counter // jobs whose result carried an error
+	EngineCanceled  Counter // jobs canceled before or during execution
+	EngineBatches   Counter // batch submissions (RunBatch calls)
+	// Dispatch-policy split: EngineSingleCore counts jobs routed to a
+	// pool worker running the single-core strategy (batch-level
+	// parallelism); EngineMulticore counts jobs large enough for the
+	// Figure 5 phase1/phase2 split (input-level parallelism).
+	EngineSingleCore Counter
+	EngineMulticore  Counter
+	// EngineQueueHighWater is the deepest bounded-queue backlog
+	// observed — the live backpressure signal.
+	EngineQueueHighWater MaxGauge
+	EngineJobBytes       Histogram // input sizes of executed jobs
 }
 
 // PhaseSnapshot summarizes one timer.
@@ -101,6 +119,15 @@ type Snapshot struct {
 	Phase2        PhaseSnapshot `json:"phase2"`
 	Phase3        PhaseSnapshot `json:"phase3"`
 	Phase3Skips   int64         `json:"phase3_skips"`
+
+	EngineJobs           int64 `json:"engine_jobs"`
+	EngineJobErrors      int64 `json:"engine_job_errors"`
+	EngineCanceled       int64 `json:"engine_canceled"`
+	EngineBatches        int64 `json:"engine_batches"`
+	EngineSingleCore     int64 `json:"engine_single_core"`
+	EngineMulticore      int64 `json:"engine_multicore"`
+	EngineQueueHighWater int64 `json:"engine_queue_high_water"`
+	EngineJobBytesP50    int64 `json:"engine_job_bytes_p50"`
 }
 
 // Snapshot captures the current values. Nil-safe: returns the zero
@@ -130,6 +157,15 @@ func (m *Metrics) Snapshot() Snapshot {
 		Phase2:           phaseSnapshot(&m.Phase2Time),
 		Phase3:           phaseSnapshot(&m.Phase3Time),
 		Phase3Skips:      m.Phase3Skips.Load(),
+
+		EngineJobs:           m.EngineJobs.Load(),
+		EngineJobErrors:      m.EngineJobErrors.Load(),
+		EngineCanceled:       m.EngineCanceled.Load(),
+		EngineBatches:        m.EngineBatches.Load(),
+		EngineSingleCore:     m.EngineSingleCore.Load(),
+		EngineMulticore:      m.EngineMulticore.Load(),
+		EngineQueueHighWater: m.EngineQueueHighWater.Load(),
+		EngineJobBytesP50:    m.EngineJobBytes.Quantile(0.5),
 	}
 	if s.Symbols > 0 {
 		s.ShufflesPerSymbol = float64(s.Shuffles) / float64(s.Symbols)
