@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"dpfsm/internal/engine"
+	"dpfsm/internal/regex"
+	"dpfsm/internal/telemetry"
+	"dpfsm/internal/trace"
+	"dpfsm/internal/workload"
+)
+
+// engineExperiment drives the batch engine the way fsmserve does: a
+// mixed batch of small jobs (single-core lane, batch-level parallelism)
+// and large jobs (multicore lane, Figure 5 input-level parallelism)
+// over a Snort-shaped rule set. With -trace-out set, every job gets a
+// request-scoped trace via the engine's sink and the slowest -trace-top
+// span trees are written as JSON — the offline counterpart of
+// fsmserve's /v1/traces flight recorder.
+func engineExperiment(opt *options) {
+	header("engine — batch lanes over mixed job sizes (+ optional execution traces)")
+
+	met := new(telemetry.Metrics)
+	engOpts := []engine.Option{
+		engine.WithTelemetry(met),
+		engine.WithProcs(opt.procs),
+	}
+	var rec *trace.Recorder
+	if opt.traceOut != "" {
+		rec = trace.NewRecorder(4096)
+		engOpts = append(engOpts, engine.WithTraceSink(rec))
+	}
+	eng := engine.New(engOpts...)
+	defer eng.Close()
+
+	patterns := []struct{ name, pat string }{
+		{"sqli", `UNION\s+SELECT`},
+		{"traversal", `\.\./\.\./`},
+		{"cgi", `/cgi-bin/.*\.(pl|sh)`},
+	}
+	for _, p := range patterns {
+		d, err := regex.Compile(p.pat, regex.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "engine experiment: pattern %q: %v\n", p.name, err)
+			return
+		}
+		if _, err := eng.Register(p.name, d); err != nil {
+			fmt.Fprintf(os.Stderr, "engine experiment: register %q: %v\n", p.name, err)
+			return
+		}
+	}
+
+	// Mixed sizes: 48 small jobs stay under the large-input threshold,
+	// 4 jobs of -mb MiB cross it and take the multicore lane.
+	small := workload.HTTPTraffic(opt.seed+70, 64<<10)
+	large := workload.HTTPTraffic(opt.seed+71, opt.mb<<20)
+	var jobs []engine.Job
+	for i := 0; i < 48; i++ {
+		jobs = append(jobs, engine.Job{Machine: patterns[i%len(patterns)].name, Input: small})
+	}
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs, engine.Job{Machine: patterns[i%len(patterns)].name, Input: large})
+	}
+
+	_, stats := eng.RunBatch(context.Background(), jobs)
+	snap := met.Snapshot()
+
+	fmt.Printf("%-8s %6s %6s %8s %8s %12s %9s %12s %12s %12s\n",
+		"jobs", "ok", "err", "single", "multi", "bytes", "MB/s", "p50(ms)", "p90(ms)", "p99(ms)")
+	fmt.Printf("%-8d %6d %6d %8d %8d %12d %9.1f %12.3f %12.3f %12.3f\n",
+		stats.Jobs, stats.OK, stats.Errors, stats.SingleCore, stats.Multicore,
+		stats.Bytes, mbps(int(stats.Bytes), stats.Duration),
+		float64(snap.EngineJobLatencyP50)/1e6,
+		float64(snap.EngineJobLatencyP90)/1e6,
+		float64(snap.EngineJobLatencyP99)/1e6)
+	recordRow(reportRow{
+		Experiment: "engine",
+		Machine:    "snort-mixed",
+		Strategy:   "auto",
+		Workload:   "http",
+		Bytes:      int(stats.Bytes),
+		NsPerOp:    int64(stats.Duration),
+		MBPerS:     mbps(int(stats.Bytes), stats.Duration),
+		Telemetry:  &snap,
+	})
+
+	if rec != nil {
+		if err := writeTraces(opt.traceOut, rec, opt.traceTop); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", opt.traceOut, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTraces dumps the slowest top span trees from the recorder as an
+// indented JSON array.
+func writeTraces(path string, rec *trace.Recorder, top int) error {
+	traces := rec.Snapshot()
+	sort.Slice(traces, func(i, j int) bool { return traces[i].Duration() > traces[j].Duration() })
+	if top > 0 && len(traces) > top {
+		traces = traces[:top]
+	}
+	data, err := json.MarshalIndent(traces, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	var slowest time.Duration
+	if len(traces) > 0 {
+		slowest = traces[0].Duration()
+	}
+	fmt.Printf("\nwrote %d slowest job traces to %s (slowest %v)\n", len(traces), path, slowest)
+	return nil
+}

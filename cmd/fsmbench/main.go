@@ -39,12 +39,14 @@ type options struct {
 	trials     int
 	maxConfigs int
 	jsonPath   string // machine-readable report destination ("" = off)
+	traceOut   string // slowest-job trace dump destination ("" = off)
+	traceTop   int    // how many slowest traces -trace-out keeps
 }
 
 func main() {
 	var opt options
 	flag.StringVar(&opt.experiment, "experiment", "all",
-		"which figure to regenerate: fig6 fig8 fig9 fig12 fig13 fig14 fig15 fig16 fig17 fig18 scaling speculation shuffles telemetry, or all")
+		"which figure to regenerate: fig6 fig8 fig9 fig12 fig13 fig14 fig15 fig16 fig17 fig18 scaling speculation shuffles telemetry engine, or all")
 	flag.Int64Var(&opt.seed, "seed", 1, "workload generator seed")
 	flag.IntVar(&opt.corpus, "corpus", 400, "size of the generated Snort-shaped rule corpus (paper: 2711)")
 	flag.IntVar(&opt.sample, "sample", 60, "FSMs sampled for timing figures (paper: 269)")
@@ -53,6 +55,8 @@ func main() {
 	flag.IntVar(&opt.trials, "trials", 10, "random inputs per FSM in Figure 9 (paper: 10)")
 	flag.IntVar(&opt.maxConfigs, "maxconfigs", 1<<17, "configuration budget per FSM in Figure 8")
 	flag.StringVar(&opt.jsonPath, "json", "", "also write a machine-readable report (rows + telemetry snapshots) to this path")
+	flag.StringVar(&opt.traceOut, "trace-out", "", "engine experiment: write the slowest job traces (span trees) as JSON to this path")
+	flag.IntVar(&opt.traceTop, "trace-top", 10, "how many slowest traces -trace-out retains")
 	flag.StringVar(&opt.strategy, "strategy", "",
 		"restrict strategy-matrix experiments to one strategy, one of: "+
 			strings.Join(core.Strategies(), " ")+" (default: the full matrix)")
@@ -80,6 +84,7 @@ func main() {
 		"speculation": speculation,
 		"shuffles":    shuffles,
 		"telemetry":   telemetryExperiment,
+		"engine":      engineExperiment,
 	}
 	if opt.experiment == "all" {
 		names := make([]string, 0, len(experiments))

@@ -14,15 +14,23 @@
 //
 // Endpoints:
 //
-//	POST /v1/run?machine=NAME[&start=Q][&first=1]  run one input, JSON result
-//	POST /v1/batch                                 NDJSON jobs in, streamed NDJSON results + summary out
+//	POST /v1/run?machine=NAME[&start=Q][&first=1][&trace=1]  run one input, JSON result
+//	POST /v1/batch[?trace=1]                       NDJSON jobs in, streamed NDJSON results + summary out
 //	GET  /v1/machines                              list machines + static stats
 //	GET  /v1/snapshot                              telemetry snapshot (JSON)
 //	GET  /v1/metrics                               Prometheus text format
+//	GET  /v1/traces[?machine=NAME&min_ms=N]        flight recorder: recent request traces
+//	GET  /v1/traces/{id}                           one retained trace's full span tree
 //	POST /run, GET /machines /snapshot /metrics    deprecated aliases of the above
 //	GET  /debug/vars                               expvar (includes "dpfsm")
 //	GET  /debug/pprof/*                            net/http/pprof
 //	GET  /healthz                                  liveness probe
+//
+// Tracing: a request is traced when it asks (?trace=1) or carries a
+// W3C traceparent header (honored, so fsmserve joins the caller's
+// distributed trace). Traced responses carry an X-Trace-Id header;
+// traced runs add an inline `explain` block, and completed traces are
+// retained by an in-memory flight recorder (-trace-buf capacity).
 //
 // Usage:
 //
@@ -31,6 +39,9 @@
 // The patterns file holds one NAME=REGEX per line (Snort-style
 // "contains" semantics; blank lines and #-comments ignored); without
 // -patterns-file a small default intrusion-detection set is served.
+// SIGINT/SIGTERM shut the server down gracefully: the listener stops,
+// in-flight requests finish (bounded by -shutdown-timeout), and the
+// engine drains its queue.
 package main
 
 import (
@@ -44,11 +55,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"dpfsm/internal/core"
@@ -57,6 +70,7 @@ import (
 	"dpfsm/internal/regex"
 	"dpfsm/internal/serverapi"
 	"dpfsm/internal/telemetry"
+	"dpfsm/internal/trace"
 )
 
 // server wires the engine, the machine metadata, and the shared
@@ -67,6 +81,8 @@ type server struct {
 	order    []string          // first pattern is the default machine
 	metrics  *telemetry.Metrics
 	maxBody  int64
+	log      *slog.Logger
+	recorder *trace.Recorder
 }
 
 // defaultPatterns serve the zero-config case: a recognizable slice of
@@ -86,6 +102,10 @@ func newServer(patterns []string, strategy core.Strategy, procs int, maxBody int
 		patterns: make(map[string]string),
 		metrics:  new(telemetry.Metrics),
 		maxBody:  maxBody,
+		// main swaps in the configured logger and recorder; the
+		// defaults keep tests and embedders quiet but functional.
+		log:      slog.New(slog.NewTextHandler(io.Discard, nil)),
+		recorder: trace.NewRecorder(0),
 	}
 	s.engine = engine.New(
 		engine.WithProcs(procs),
@@ -171,6 +191,15 @@ func (s *server) handleRun(w http.ResponseWriter, req *http.Request) {
 	}
 	if r.Duration > 0 {
 		res.MBPerS = float64(r.Bytes) / r.Duration.Seconds() / 1e6
+	}
+	if tr := trace.FromContext(req.Context()); tr != nil {
+		res.TraceID = tr.ID()
+		// The inline explain block is opt-in (?trace=1); a request that
+		// was traced only because it carried a traceparent header gets
+		// the ID but keeps the wire result lean.
+		if req.URL.Query().Get("trace") != "" {
+			res.Explain = buildExplain(tr)
+		}
 	}
 	if req.URL.Query().Get("first") != "" {
 		start := m.DFA().Start()
@@ -388,18 +417,21 @@ func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	metricsHandler := s.metrics.Handler()
 
-	// Versioned surface.
-	mux.HandleFunc(serverapi.Version+"/run", s.handleRun)
-	mux.HandleFunc(serverapi.Version+"/batch", s.handleBatch)
-	mux.HandleFunc(serverapi.Version+"/machines", s.handleMachines)
-	mux.HandleFunc(serverapi.Version+"/snapshot", s.handleSnapshot)
-	mux.Handle(serverapi.Version+"/metrics", metricsHandler)
+	// Versioned surface. Every route goes through instrument (access
+	// log); run and batch additionally accept tracing.
+	mux.HandleFunc(serverapi.Version+"/run", s.instrument(serverapi.Version+"/run", true, s.handleRun))
+	mux.HandleFunc(serverapi.Version+"/batch", s.instrument(serverapi.Version+"/batch", true, s.handleBatch))
+	mux.HandleFunc(serverapi.Version+"/machines", s.instrument(serverapi.Version+"/machines", false, s.handleMachines))
+	mux.HandleFunc(serverapi.Version+"/snapshot", s.instrument(serverapi.Version+"/snapshot", false, s.handleSnapshot))
+	mux.Handle(serverapi.Version+"/metrics", s.instrument(serverapi.Version+"/metrics", false, metricsHandler.ServeHTTP))
+	mux.HandleFunc(serverapi.Version+"/traces", s.instrument(serverapi.Version+"/traces", false, s.handleTraces))
+	mux.HandleFunc(serverapi.Version+"/traces/", s.instrument(serverapi.Version+"/traces/{id}", false, s.handleTraceByID))
 
 	// Deprecated unversioned aliases.
-	mux.HandleFunc("/run", deprecated(serverapi.Version+"/run", s.handleRun))
-	mux.HandleFunc("/machines", deprecated(serverapi.Version+"/machines", s.handleMachines))
-	mux.HandleFunc("/snapshot", deprecated(serverapi.Version+"/snapshot", s.handleSnapshot))
-	mux.HandleFunc("/metrics", deprecated(serverapi.Version+"/metrics", metricsHandler.ServeHTTP))
+	mux.HandleFunc("/run", s.instrument("/run", true, deprecated(serverapi.Version+"/run", s.handleRun)))
+	mux.HandleFunc("/machines", s.instrument("/machines", false, deprecated(serverapi.Version+"/machines", s.handleMachines)))
+	mux.HandleFunc("/snapshot", s.instrument("/snapshot", false, deprecated(serverapi.Version+"/snapshot", s.handleSnapshot)))
+	mux.HandleFunc("/metrics", s.instrument("/metrics", false, deprecated(serverapi.Version+"/metrics", metricsHandler.ServeHTTP)))
 
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -433,36 +465,91 @@ func loadPatternsFile(path string) ([]string, error) {
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8377", "listen address")
-		strat        = flag.String("strategy", "auto", "execution strategy, one of: "+strings.Join(core.Strategies(), " "))
-		procs        = flag.Int("procs", 0, "multicore width for large inputs (0 = NumCPU, 1 = single-core only)")
-		maxBody      = flag.Int64("maxbody", 64<<20, "maximum POSTed body size in bytes")
-		patternsFile = flag.String("patterns-file", "", "file of NAME=REGEX machines, one per line (default: a small IDS rule set)")
+		addr            = flag.String("addr", ":8377", "listen address")
+		strat           = flag.String("strategy", "auto", "execution strategy, one of: "+strings.Join(core.Strategies(), " "))
+		procs           = flag.Int("procs", 0, "multicore width for large inputs (0 = NumCPU, 1 = single-core only)")
+		maxBody         = flag.Int64("maxbody", 64<<20, "maximum POSTed body size in bytes")
+		patternsFile    = flag.String("patterns-file", "", "file of NAME=REGEX machines, one per line (default: a small IDS rule set)")
+		logFormat       = flag.String("log-format", "text", `log output format: "text" or "json"`)
+		traceBuf        = flag.Int("trace-buf", trace.DefaultRecorderCapacity, "flight-recorder capacity: completed request traces retained for /v1/traces")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown deadline on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "fsmserve: -log-format %q: want text or json\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
+
 	strategy, err := core.ParseStrategy(*strat)
 	if err != nil {
-		log.Fatal(err)
+		fatal("bad -strategy", err)
 	}
 	var patterns []string
 	if *patternsFile != "" {
 		patterns, err = loadPatternsFile(*patternsFile)
 		if err != nil {
-			log.Fatal(err)
+			fatal("loading -patterns-file", err)
 		}
 	}
 	srv, err := newServer(patterns, strategy, *procs, *maxBody)
 	if err != nil {
-		log.Fatal(err)
+		fatal("building server", err)
 	}
+	srv.log = logger
+	srv.recorder = trace.NewRecorder(*traceBuf)
 	for _, name := range srv.order {
 		m := srv.engine.Machine(name)
 		stats := m.DFA().Stats()
-		log.Printf("machine %q: %d states, max range %d, strategy %s, procs %d",
-			name, stats.States, stats.MaxRange, m.Runner().Strategy(), srv.engine.Procs())
+		logger.Info("machine registered",
+			"machine", name,
+			"states", stats.States,
+			"max_range", stats.MaxRange,
+			"strategy", m.Runner().Strategy().String(),
+			"procs", srv.engine.Procs(),
+		)
 	}
-	log.Printf("serving on %s — POST %s/run %s/batch, GET %s/{machines,snapshot,metrics} /debug/vars /debug/pprof/",
-		*addr, serverapi.Version, serverapi.Version, serverapi.Version)
-	log.Fatal(http.ListenAndServe(*addr, srv.mux()))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.mux()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	listenErr := make(chan error, 1)
+	go func() { listenErr <- httpSrv.ListenAndServe() }()
+	logger.Info("serving",
+		"addr", *addr,
+		"routes", serverapi.Version+"/{run,batch,machines,snapshot,metrics,traces}",
+		"trace_buf", srv.recorder.Cap(),
+	)
+
+	select {
+	case err := <-listenErr:
+		fatal("listen", err)
+	case <-ctx.Done():
+	}
+	// Graceful shutdown: stop accepting, let in-flight requests finish,
+	// then drain the engine's queued jobs — all under one deadline. A
+	// second signal kills the process the usual way (stop() above
+	// restored the default handler).
+	stop()
+	logger.Info("shutting down", "deadline", *shutdownTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		logger.Error("http shutdown", "err", err)
+	}
+	if err := srv.engine.Shutdown(sctx); err != nil {
+		logger.Error("engine shutdown", "err", err)
+	}
+	logger.Info("stopped")
 }

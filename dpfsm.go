@@ -1,11 +1,14 @@
 package dpfsm
 
 import (
+	"context"
+
 	"dpfsm/internal/core"
 	"dpfsm/internal/engine"
 	"dpfsm/internal/fsm"
 	"dpfsm/internal/regex"
 	"dpfsm/internal/telemetry"
+	"dpfsm/internal/trace"
 )
 
 // This file is the stable v1 public surface: type aliases and thin
@@ -151,6 +154,51 @@ func WithEngineProcs(p int) EngineOption { return engine.WithProcs(p) }
 // WithEngineTelemetry attaches a metrics sink to the engine and every
 // runner it builds.
 func WithEngineTelemetry(m *Metrics) EngineOption { return engine.WithTelemetry(m) }
+
+// WithEngineTraceSink makes the engine create a per-job Trace for every
+// job whose context does not already carry one, delivering completed
+// traces to s. Jobs traced upstream (WithTrace) keep their own trace
+// and are not delivered — the creator of a trace owns its recording.
+func WithEngineTraceSink(s TraceSink) EngineOption { return engine.WithTraceSink(s) }
+
+// Request-scoped tracing (internal/trace). Where Metrics aggregates
+// across all runs, a Trace explains one: it carries a W3C-compatible
+// trace ID through a job's lifecycle and collects timestamped spans —
+// queue wait, dispatch-lane decision, per-chunk convergence profiles.
+// Tracing is strictly opt-in and zero-cost when absent: contexts
+// without a trace run the uninstrumented fast paths.
+type (
+	// Trace is one request-scoped execution trace; it marshals to a
+	// nested span-tree JSON document.
+	Trace = trace.Trace
+	// TraceSpan is one timestamped operation within a Trace; a nil
+	// *TraceSpan is inert, so instrumentation runs unconditionally.
+	TraceSpan = trace.Span
+	// TraceSink consumes completed traces (the flight recorder, or any
+	// custom exporter).
+	TraceSink = trace.Sink
+	// TraceRecorder is the built-in flight recorder: a fixed-capacity
+	// lock-free ring of the most recently completed traces.
+	TraceRecorder = trace.Recorder
+)
+
+// NewTrace starts a trace with a fresh random W3C trace ID.
+func NewTrace() *Trace { return trace.New() }
+
+// NewTraceFromParent starts a trace continuing an inbound W3C
+// traceparent header; malformed headers fall back to a fresh ID.
+func NewTraceFromParent(traceparent string) *Trace { return trace.FromParent(traceparent) }
+
+// NewTraceRecorder builds a flight recorder retaining up to capacity
+// completed traces (capacity <= 0 selects the default of 256).
+func NewTraceRecorder(capacity int) *TraceRecorder { return trace.NewRecorder(capacity) }
+
+// WithTrace returns ctx carrying t; Runner and Engine calls made with
+// the returned context emit their span decomposition into t.
+func WithTrace(ctx context.Context, t *Trace) context.Context { return trace.NewContext(ctx, t) }
+
+// TraceFromContext returns the trace riding ctx, or nil.
+func TraceFromContext(ctx context.Context) *Trace { return trace.FromContext(ctx) }
 
 // Telemetry (internal/telemetry).
 type (

@@ -16,34 +16,34 @@ import (
 // every one of the gathers moved the full n-wide vector through an
 // n-entry table, so the §4.2 model charges ⌈n/W⌉² shuffles each, and
 // the active width never shrinks.
-func (r *Runner) noteBase(gathers int) {
-	if r.tel == nil {
+func (r *Runner) noteBase(rs *runStats, gathers int) {
+	if r.tel == nil && rs == nil {
 		return
 	}
 	nb := int64(r.nBlocks)
-	r.noteSingle(int64(gathers), int64(gathers)*nb*nb, 0, 0, r.n, r.n)
+	r.noteSingle(rs, int64(gathers), int64(gathers)*nb*nb, 0, 0, r.n, r.n)
 }
 
 // baseVecBytes runs Figure 3 over byte-encoded states (n ≤ 256) and
 // returns the composition vector.
-func (r *Runner) baseVecBytes(input []byte) []byte {
+func (r *Runner) baseVecBytes(input []byte, rs *runStats) []byte {
 	s := gather.Identity[byte](r.n)
 	for _, a := range input {
 		r.gatherB(s, s, r.colsB[a])
 	}
-	r.noteBase(len(input))
+	r.noteBase(rs, len(input))
 	return s
 }
 
 // baseVec16 is Figure 3 over uint16 states (n > 256), using the scalar
 // gather: the paper's byte shuffle cannot encode these states, which is
 // exactly why range coalescing's byte renaming matters (§5.3).
-func (r *Runner) baseVec16(input []byte) []fsm.State {
+func (r *Runner) baseVec16(input []byte, rs *runStats) []fsm.State {
 	s := gather.Identity[fsm.State](r.n)
 	for _, a := range input {
 		gather.Into(s, s, r.cols16[a])
 	}
-	r.noteBase(len(input))
+	r.noteBase(rs, len(input))
 	return s
 }
 
@@ -51,7 +51,7 @@ func (r *Runner) baseVec16(input []byte) []fsm.State {
 // with the associativity of gather so that two gathers per round have
 // no dependence on each other — S·T[a] alongside T[b]·T[c] — exposing
 // instruction-level parallelism.
-func (r *Runner) baseILPVecBytes(input []byte) []byte {
+func (r *Runner) baseILPVecBytes(input []byte, rs *runStats) []byte {
 	s := gather.Identity[byte](r.n)
 	tbc := make([]byte, r.n)
 	i := 0
@@ -68,12 +68,12 @@ func (r *Runner) baseILPVecBytes(input []byte) []byte {
 	}
 	// Each unrolled round issues 3 gathers for 3 symbols, and the tail
 	// one per symbol, so the gather count equals the input length.
-	r.noteBase(len(input))
+	r.noteBase(rs, len(input))
 	return s
 }
 
 // baseILPVec16 is Figure 4 over uint16 states.
-func (r *Runner) baseILPVec16(input []byte) []fsm.State {
+func (r *Runner) baseILPVec16(input []byte, rs *runStats) []fsm.State {
 	s := gather.Identity[fsm.State](r.n)
 	tbc := make([]fsm.State, r.n)
 	i := 0
@@ -86,7 +86,7 @@ func (r *Runner) baseILPVec16(input []byte) []fsm.State {
 	for ; i < len(input); i++ {
 		gather.Into(s, s, r.cols16[input[i]])
 	}
-	r.noteBase(len(input))
+	r.noteBase(rs, len(input))
 	return s
 }
 
@@ -98,7 +98,7 @@ func (r *Runner) baseRunBytes(input []byte, off int, start fsm.State, phi fsm.Ph
 		r.gatherB(s, s, r.colsB[a])
 		phi(off+i, a, fsm.State(s[start]))
 	}
-	r.noteBase(len(input))
+	r.noteBase(nil, len(input))
 	return fsm.State(s[start])
 }
 
@@ -108,7 +108,7 @@ func (r *Runner) baseRun16(input []byte, off int, start fsm.State, phi fsm.Phi) 
 		gather.Into(s, s, r.cols16[a])
 		phi(off+i, a, s[start])
 	}
-	r.noteBase(len(input))
+	r.noteBase(nil, len(input))
 	if len(input) == 0 {
 		return start
 	}

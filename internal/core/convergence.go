@@ -46,9 +46,9 @@ func (r *Runner) convShouldCheck(a byte, m, sinceCheck int) bool {
 
 // convCompVecBytes runs Figure 7 over byte states and returns the full
 // composition vector Acc ⊗ S.
-func (r *Runner) convCompVecBytes(input []byte) []fsm.State {
+func (r *Runner) convCompVecBytes(input []byte, rs *runStats) []fsm.State {
 	sc := r.getScratch()
-	acc, s := r.convLoopBytes(input, nil, 0, 0, sc)
+	acc, s := r.convLoopBytes(input, nil, 0, 0, sc, rs)
 	out := make([]fsm.State, r.n)
 	for q := range out {
 		out[q] = fsm.State(s[acc[q]])
@@ -58,9 +58,9 @@ func (r *Runner) convCompVecBytes(input []byte) []fsm.State {
 }
 
 // convFinalBytes runs Figure 7 and reads the single entry for start.
-func (r *Runner) convFinalBytes(input []byte, start fsm.State) fsm.State {
+func (r *Runner) convFinalBytes(input []byte, start fsm.State, rs *runStats) fsm.State {
 	sc := r.getScratch()
-	acc, s := r.convLoopBytes(input, nil, 0, 0, sc)
+	acc, s := r.convLoopBytes(input, nil, 0, 0, sc, rs)
 	final := fsm.State(s[acc[start]])
 	r.putScratch(sc)
 	return final
@@ -71,7 +71,7 @@ func (r *Runner) convFinalBytes(input []byte, start fsm.State) fsm.State {
 // necessary to compute all elements of S_base").
 func (r *Runner) convRunBytes(input []byte, off int, start fsm.State, phi fsm.Phi) fsm.State {
 	sc := r.getScratch()
-	acc, s := r.convLoopBytes(input, phi, off, start, sc)
+	acc, s := r.convLoopBytes(input, phi, off, start, sc, nil)
 	final := fsm.State(s[acc[start]])
 	r.putScratch(sc)
 	return final
@@ -81,7 +81,7 @@ func (r *Runner) convRunBytes(input []byte, off int, start fsm.State, phi fsm.Ph
 // invoked after every symbol with the state reached from start.
 // Returns the final (Acc, S) pair satisfying S_base = Acc ⊗ S; both
 // are views into sc, valid until the scratch is pooled again.
-func (r *Runner) convLoopBytes(input []byte, phi fsm.Phi, off int, start fsm.State, sc *scratch) (acc, s []byte) {
+func (r *Runner) convLoopBytes(input []byte, phi fsm.Phi, off int, start fsm.State, sc *scratch, rs *runStats) (acc, s []byte) {
 	acc, s = sc.byteVecs(r.n)
 	m := r.n // active states
 	sinceCheck := 0
@@ -97,7 +97,10 @@ func (r *Runner) convLoopBytes(input []byte, phi fsm.Phi, off int, start fsm.Sta
 			// The register tail advances m ≤ 8 lanes per symbol:
 			// ⌈m/W⌉ = 1 shuffle-row per remaining symbol.
 			shufBlocks += int64(len(input) - i)
-			r.noteSingle(gathers, shufBlocks*int64(r.nBlocks), fCalls, fWins, r.n, m)
+			if rs != nil {
+				rs.noteConverged(off + i)
+			}
+			r.noteSingle(rs, gathers, shufBlocks*int64(r.nBlocks), fCalls, fWins, r.n, m)
 			// Converged into the register regime: finish the input
 			// with lanes in registers (m == 1 degenerates to the
 			// sequential chase). No further convergence checks — the
@@ -186,6 +189,9 @@ func (r *Runner) convLoopBytes(input []byte, phi fsm.Phi, off int, start fsm.Sta
 				fWins++
 				gathers++
 				mBlocks = int64((m + gather.Width - 1) / gather.Width)
+				if rs != nil {
+					rs.noteWidth(off+i, m)
+				}
 			}
 			sinceCheck = 0
 		}
@@ -193,7 +199,7 @@ func (r *Runner) convLoopBytes(input []byte, phi fsm.Phi, off int, start fsm.Sta
 			phi(off+i, a, fsm.State(s[acc[start]]))
 		}
 	}
-	r.noteSingle(gathers, shufBlocks*int64(r.nBlocks), fCalls, fWins, r.n, m)
+	r.noteSingle(rs, gathers, shufBlocks*int64(r.nBlocks), fCalls, fWins, r.n, m)
 	return acc, s[:m]
 }
 
@@ -201,9 +207,9 @@ func (r *Runner) convLoopBytes(input []byte, phi fsm.Phi, off int, start fsm.Sta
 // for machines with more than 256 states; the algorithm is identical
 // but gathers use the scalar kernel.
 
-func (r *Runner) convCompVec16(input []byte) []fsm.State {
+func (r *Runner) convCompVec16(input []byte, rs *runStats) []fsm.State {
 	sc := r.getScratch()
-	acc, s := r.convLoop16(input, nil, 0, 0, sc)
+	acc, s := r.convLoop16(input, nil, 0, 0, sc, rs)
 	out := make([]fsm.State, r.n)
 	for q := range out {
 		out[q] = s[acc[q]]
@@ -212,9 +218,9 @@ func (r *Runner) convCompVec16(input []byte) []fsm.State {
 	return out
 }
 
-func (r *Runner) convFinal16(input []byte, start fsm.State) fsm.State {
+func (r *Runner) convFinal16(input []byte, start fsm.State, rs *runStats) fsm.State {
 	sc := r.getScratch()
-	acc, s := r.convLoop16(input, nil, 0, 0, sc)
+	acc, s := r.convLoop16(input, nil, 0, 0, sc, rs)
 	final := s[acc[start]]
 	r.putScratch(sc)
 	return final
@@ -222,13 +228,13 @@ func (r *Runner) convFinal16(input []byte, start fsm.State) fsm.State {
 
 func (r *Runner) convRun16(input []byte, off int, start fsm.State, phi fsm.Phi) fsm.State {
 	sc := r.getScratch()
-	acc, s := r.convLoop16(input, phi, off, start, sc)
+	acc, s := r.convLoop16(input, phi, off, start, sc, nil)
 	final := s[acc[start]]
 	r.putScratch(sc)
 	return final
 }
 
-func (r *Runner) convLoop16(input []byte, phi fsm.Phi, off int, start fsm.State, sc *scratch) (acc, s []fsm.State) {
+func (r *Runner) convLoop16(input []byte, phi fsm.Phi, off int, start fsm.State, sc *scratch, rs *runStats) (acc, s []fsm.State) {
 	acc, s = sc.stateVecs(r.n)
 	m := r.n
 	sinceCheck := 0
@@ -237,7 +243,10 @@ func (r *Runner) convLoop16(input []byte, phi fsm.Phi, off int, start fsm.State,
 	for i, a := range input {
 		if phi == nil && m <= 8 {
 			shufBlocks += int64(len(input) - i)
-			r.noteSingle(gathers, shufBlocks*int64(r.nBlocks), fCalls, fWins, r.n, m)
+			if rs != nil {
+				rs.noteConverged(off + i)
+			}
+			r.noteSingle(rs, gathers, shufBlocks*int64(r.nBlocks), fCalls, fWins, r.n, m)
 			// Same register regime as the byte path: once converged,
 			// per-symbol cost is a handful of independent loads —
 			// §5.2's "overhead proportional to the number of active
@@ -307,6 +316,9 @@ func (r *Runner) convLoop16(input []byte, phi fsm.Phi, off int, start fsm.State,
 				fWins++
 				gathers++
 				mBlocks = int64((m + gather.Width - 1) / gather.Width)
+				if rs != nil {
+					rs.noteWidth(off+i, m)
+				}
 			}
 			sinceCheck = 0
 		}
@@ -314,6 +326,6 @@ func (r *Runner) convLoop16(input []byte, phi fsm.Phi, off int, start fsm.State,
 			phi(off+i, a, s[acc[start]])
 		}
 	}
-	r.noteSingle(gathers, shufBlocks*int64(r.nBlocks), fCalls, fWins, r.n, m)
+	r.noteSingle(rs, gathers, shufBlocks*int64(r.nBlocks), fCalls, fWins, r.n, m)
 	return acc, s[:m]
 }

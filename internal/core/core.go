@@ -324,14 +324,17 @@ func New(d *fsm.DFA, opts ...Option) (*Runner, error) {
 	}
 
 	r.nBlocks = (r.n + gather.Width - 1) / gather.Width
+	// Accounting reconstruction (noteRCPlain) runs for traced runs even
+	// without a telemetry sink, so the block table is built always: 256
+	// entries once per Runner.
+	r.rangeBlocks = make([]int64, len(r.ranges))
+	for a, v := range r.ranges {
+		r.rangeBlocks[a] = int64((v + gather.Width - 1) / gather.Width)
+	}
 	if cfg.tel != nil {
 		r.tel = cfg.tel
 		r.tel.StrategySelected.Get(r.strategy.String()).Inc()
 		r.stratRuns = r.tel.StrategyRuns.Get(r.strategy.String())
-		r.rangeBlocks = make([]int64, len(r.ranges))
-		for a, v := range r.ranges {
-			r.rangeBlocks[a] = int64((v + gather.Width - 1) / gather.Width)
-		}
 	}
 	return r, nil
 }
@@ -352,8 +355,13 @@ func (r *Runner) noteEntry(n int) {
 // pass (a whole input, or one multicore chunk): gather kernel
 // invocations, emulated ⊗16,16 shuffles under the §4.2 blocked cost
 // model, convergence checks and wins, and the active-vector width at
-// entry (highWater) and exit (final).
-func (r *Runner) noteSingle(gathers, shuffles, factorCalls, factorWins int64, highWater, final int) {
+// entry (highWater) and exit (final). rs, when non-nil, receives the
+// same numbers for the run's trace (the request-scoped view of what
+// the telemetry sink sees in aggregate).
+func (r *Runner) noteSingle(rs *runStats, gathers, shuffles, factorCalls, factorWins int64, highWater, final int) {
+	if rs != nil {
+		rs.note(gathers, shuffles, factorCalls, factorWins, highWater, final)
+	}
 	t := r.tel
 	if t == nil {
 		return
@@ -384,7 +392,7 @@ func (r *Runner) Final(input []byte, start fsm.State) fsm.State {
 	if r.useMulticore(len(input)) {
 		return r.finalMulticore(input, start)
 	}
-	return r.finalSingle(input, start)
+	return r.finalSingle(input, start, nil)
 }
 
 // Accepts reports whether the machine accepts input from its start
@@ -421,7 +429,7 @@ func (r *Runner) CompositionVector(input []byte) []fsm.State {
 	if r.useMulticore(len(input)) {
 		return r.compVecMulticore(input)
 	}
-	return r.compVecSingle(input)
+	return r.compVecSingle(input, nil)
 }
 
 func (r *Runner) useMulticore(inputLen int) bool {
@@ -429,28 +437,29 @@ func (r *Runner) useMulticore(inputLen int) bool {
 }
 
 // finalSingle computes the final state for one start without the
-// multicore machinery.
-func (r *Runner) finalSingle(input []byte, start fsm.State) fsm.State {
+// multicore machinery. rs, when non-nil, collects this pass's
+// accounting for the active trace.
+func (r *Runner) finalSingle(input []byte, start fsm.State, rs *runStats) fsm.State {
 	switch r.strategy {
 	case RangeCoalesced:
-		return r.rcFinal(input, start)
+		return r.rcFinal(input, start, rs)
 	case RangeConvergence:
-		return r.rcConvFinal(input, start)
+		return r.rcConvFinal(input, start, rs)
 	case Convergence:
 		if r.colsB != nil {
-			return r.convFinalBytes(input, start)
+			return r.convFinalBytes(input, start, rs)
 		}
-		return r.convFinal16(input, start)
+		return r.convFinal16(input, start, rs)
 	case BaseILP:
-		vec := r.compVecSingle(input)
+		vec := r.compVecSingle(input, rs)
 		return vec[start]
 	default: // Base
-		vec := r.compVecSingle(input)
+		vec := r.compVecSingle(input, rs)
 		return vec[start]
 	}
 }
 
-func (r *Runner) compVecSingle(input []byte) []fsm.State {
+func (r *Runner) compVecSingle(input []byte, rs *runStats) []fsm.State {
 	switch r.strategy {
 	case Sequential:
 		// Sequential has no enumerative vector; derive it by running
@@ -461,24 +470,24 @@ func (r *Runner) compVecSingle(input []byte) []fsm.State {
 		}
 		return vec
 	case RangeCoalesced:
-		return r.rcCompVec(input)
+		return r.rcCompVec(input, rs)
 	case RangeConvergence:
-		return r.rcConvCompVec(input)
+		return r.rcConvCompVec(input, rs)
 	case Convergence:
 		if r.colsB != nil {
-			return r.convCompVecBytes(input)
+			return r.convCompVecBytes(input, rs)
 		}
-		return r.convCompVec16(input)
+		return r.convCompVec16(input, rs)
 	case BaseILP:
 		if r.colsB != nil {
-			return bytesToStates(r.baseILPVecBytes(input))
+			return bytesToStates(r.baseILPVecBytes(input, rs))
 		}
-		return r.baseILPVec16(input)
+		return r.baseILPVec16(input, rs)
 	default: // Base
 		if r.colsB != nil {
-			return bytesToStates(r.baseVecBytes(input))
+			return bytesToStates(r.baseVecBytes(input, rs))
 		}
-		return r.baseVec16(input)
+		return r.baseVec16(input, rs)
 	}
 }
 

@@ -67,7 +67,7 @@ func (r *Runner) phase1(input []byte, chunks [][2]int) [][]fsm.State {
 			if tel != nil {
 				defer tel.Phase1Time.Start().Stop()
 			}
-			vecs[p] = r.compVecSingle(input[lo:hi])
+			vecs[p] = r.compVecSingle(input[lo:hi], nil)
 		}(p, ch[0], ch[1])
 	}
 	wg.Wait()
@@ -183,7 +183,7 @@ func (r *Runner) runChunked(input []byte, start fsm.State, f ChunkFunc) fsm.Stat
 			if tel != nil {
 				defer tel.Phase1Time.Start().Stop()
 			}
-			vecs[p] = r.compVecSingle(input[lo:hi])
+			vecs[p] = r.compVecSingle(input[lo:hi], nil)
 		}(p, chunks[p][0], chunks[p][1])
 	}
 	wg.Wait()

@@ -107,8 +107,8 @@ func (rc *rcTables) EntryCount() int {
 // input symbols. It is therefore reconstructed here in one pass only
 // when telemetry is attached; the hot loop itself carries no
 // accounting at all.
-func (r *Runner) noteRCPlain(input []byte) {
-	if r.tel == nil || len(input) == 0 {
+func (r *Runner) noteRCPlain(input []byte, rs *runStats) {
+	if (r.tel == nil && rs == nil) || len(input) == 0 {
 		return
 	}
 	w0 := r.ranges[input[0]]
@@ -118,7 +118,7 @@ func (r *Runner) noteRCPlain(input []byte) {
 		rows += r.rangeBlocks[b]
 	}
 	// cb·rows for the body plus one seed row of the L_{a0} lookup.
-	r.noteSingle(int64(len(input)-1), cb*rows+cb, 0, 0, w0, w0)
+	r.noteSingle(rs, int64(len(input)-1), cb*rows+cb, 0, 0, w0, w0)
 }
 
 // rcLoop runs the coalesced machine over input[1:], starting from the
@@ -126,7 +126,7 @@ func (r *Runner) noteRCPlain(input []byte) {
 // final name-composition vector c (c[i] = name-of-cur reached from name
 // i of the first symbol), and the last symbol cur. If phi is non-nil it
 // is invoked at every step with the state reached from start.
-func (r *Runner) rcLoop(input []byte, phi fsm.Phi, off int, start fsm.State, sc *scratch) (a0 byte, c []byte, cur byte) {
+func (r *Runner) rcLoop(input []byte, phi fsm.Phi, off int, start fsm.State, sc *scratch, rs *runStats) (a0 byte, c []byte, cur byte) {
 	a0 = input[0]
 	cur = a0
 	c = sc.names(len(r.rc.u[a0]))
@@ -204,7 +204,7 @@ func (r *Runner) rcLoop(input []byte, phi fsm.Phi, off int, start fsm.State, sc 
 				cur = b
 			}
 		}
-		r.noteRCPlain(input)
+		r.noteRCPlain(input, rs)
 		return a0, c, cur
 	}
 	for i := 1; i < len(input); i++ {
@@ -219,7 +219,7 @@ func (r *Runner) rcLoop(input []byte, phi fsm.Phi, off int, start fsm.State, sc 
 			phi(off+i, b, r.rc.u[cur][c[name0]])
 		}
 	}
-	r.noteRCPlain(input)
+	r.noteRCPlain(input, rs)
 	return a0, c, cur
 }
 
@@ -230,7 +230,7 @@ func (r *Runner) rcLoop(input []byte, phi fsm.Phi, off int, start fsm.State, sc 
 // a wide first-symbol range still collapse into the register regime.
 // The invariant mirrors §5.2: C_base = Acc ⊗ C with Acc over names of
 // a0. Selected by the RangeConvergence strategy.
-func (r *Runner) rcLoopConv(input []byte, sc *scratch) (a0 byte, acc []byte, c []byte, cur byte) {
+func (r *Runner) rcLoopConv(input []byte, sc *scratch, rs *runStats) (a0 byte, acc []byte, c []byte, cur byte) {
 	rc := r.rc
 	a0 = input[0]
 	cur = a0
@@ -243,7 +243,7 @@ func (r *Runner) rcLoopConv(input []byte, sc *scratch) (a0 byte, acc []byte, c [
 	// tracked in-loop. The track flag hoists the telemetry nil-check so
 	// the disabled path pays one predictable branch per symbol.
 	const W = gather.Width
-	track := r.tel != nil
+	track := r.tel != nil || rs != nil
 	var gathers, shuf, fCalls, fWins int64
 	if track {
 		shuf = r.rangeBlocks[a0] // first-symbol seed row
@@ -261,7 +261,10 @@ func (r *Runner) rcLoopConv(input []byte, sc *scratch) (a0 byte, acc []byte, c [
 					shuf += r.rangeBlocks[prev]
 					prev = bb
 				}
-				r.noteSingle(gathers, shuf, fCalls, fWins, w0, m)
+				r.noteSingle(rs, gathers, shuf, fCalls, fWins, w0, m)
+			}
+			if rs != nil {
+				rs.noteConverged(i)
 			}
 			// Register regime over names; reuse the plain rcLoop lane
 			// code by running the remainder on the compact vector.
@@ -304,12 +307,15 @@ func (r *Runner) rcLoopConv(input []byte, sc *scratch) (a0 byte, acc []byte, c [
 				fWins++
 				gathers++
 				mBlocks = int64((m + W - 1) / W)
+				if rs != nil {
+					rs.noteWidth(i, m)
+				}
 			}
 			sinceCheck = 0
 		}
 	}
 	if track {
-		r.noteSingle(gathers, shuf, fCalls, fWins, w0, m)
+		r.noteSingle(rs, gathers, shuf, fCalls, fWins, w0, m)
 	}
 	return a0, acc, c[:m], cur
 }
@@ -372,7 +378,7 @@ func (r *Runner) rcTail(input []byte, cur byte, c []byte) byte {
 
 // rcConvCompVec returns the composition vector under RangeConvergence:
 // out[q] = U_cur[C[Acc[L_{a0}[q]]]].
-func (r *Runner) rcConvCompVec(input []byte) []fsm.State {
+func (r *Runner) rcConvCompVec(input []byte, rs *runStats) []fsm.State {
 	out := make([]fsm.State, r.n)
 	if len(input) == 0 {
 		for q := range out {
@@ -381,7 +387,7 @@ func (r *Runner) rcConvCompVec(input []byte) []fsm.State {
 		return out
 	}
 	sc := r.getScratch()
-	a0, acc, c, cur := r.rcLoopConv(input, sc)
+	a0, acc, c, cur := r.rcLoopConv(input, sc, rs)
 	la, ucur := r.rc.l[a0], r.rc.u[cur]
 	for q := range out {
 		out[q] = ucur[c[acc[la[q]]]]
@@ -392,12 +398,12 @@ func (r *Runner) rcConvCompVec(input []byte) []fsm.State {
 
 // rcConvFinal returns the final state for one start state under
 // RangeConvergence.
-func (r *Runner) rcConvFinal(input []byte, start fsm.State) fsm.State {
+func (r *Runner) rcConvFinal(input []byte, start fsm.State, rs *runStats) fsm.State {
 	if len(input) == 0 {
 		return start
 	}
 	sc := r.getScratch()
-	a0, acc, c, cur := r.rcLoopConv(input, sc)
+	a0, acc, c, cur := r.rcLoopConv(input, sc, rs)
 	final := r.rc.u[cur][c[acc[r.rc.l[a0][start]]]]
 	r.putScratch(sc)
 	return final
@@ -405,7 +411,7 @@ func (r *Runner) rcConvFinal(input []byte, start fsm.State) fsm.State {
 
 // rcCompVec returns the full composition vector via
 // out[q] = U_cur[C[L_{a0}[q]]].
-func (r *Runner) rcCompVec(input []byte) []fsm.State {
+func (r *Runner) rcCompVec(input []byte, rs *runStats) []fsm.State {
 	out := make([]fsm.State, r.n)
 	if len(input) == 0 {
 		for q := range out {
@@ -414,7 +420,7 @@ func (r *Runner) rcCompVec(input []byte) []fsm.State {
 		return out
 	}
 	sc := r.getScratch()
-	a0, c, cur := r.rcLoop(input, nil, 0, 0, sc)
+	a0, c, cur := r.rcLoop(input, nil, 0, 0, sc, rs)
 	la, ucur := r.rc.l[a0], r.rc.u[cur]
 	for q := range out {
 		out[q] = ucur[c[la[q]]]
@@ -424,12 +430,12 @@ func (r *Runner) rcCompVec(input []byte) []fsm.State {
 }
 
 // rcFinal returns the final state for one start state.
-func (r *Runner) rcFinal(input []byte, start fsm.State) fsm.State {
+func (r *Runner) rcFinal(input []byte, start fsm.State, rs *runStats) fsm.State {
 	if len(input) == 0 {
 		return start
 	}
 	sc := r.getScratch()
-	a0, c, cur := r.rcLoop(input, nil, 0, 0, sc)
+	a0, c, cur := r.rcLoop(input, nil, 0, 0, sc, rs)
 	final := r.rc.u[cur][c[r.rc.l[a0][start]]]
 	r.putScratch(sc)
 	return final
@@ -443,7 +449,7 @@ func (r *Runner) rcRun(input []byte, off int, start fsm.State, phi fsm.Phi) fsm.
 		return start
 	}
 	sc := r.getScratch()
-	a0, c, cur := r.rcLoop(input, phi, off, start, sc)
+	a0, c, cur := r.rcLoop(input, phi, off, start, sc, nil)
 	final := r.rc.u[cur][c[r.rc.l[a0][start]]]
 	r.putScratch(sc)
 	return final

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dpfsm/internal/trace"
+)
+
+// Request-scoped tracing (internal/trace) for the core runtime. The
+// aggregate telemetry of internal/telemetry answers "how many shuffles
+// total"; the spans emitted here answer "how did *this* run converge":
+// per-chunk active-width trajectories, shuffle counts under the §4.2
+// blocked cost model, and the Figure 5 phase decomposition, attached
+// to whatever trace rides the context. The same zero-cost-disabled
+// discipline applies — with no trace on the context, the only residual
+// cost is one context Value lookup per run.
+
+// Span names the core runtime emits. Exported so explain builders
+// (cmd/fsmserve) and tests address spans symbolically.
+const (
+	SpanSingle       = "core.single"        // block-folded single-core run
+	SpanMulticore    = "core.multicore"     // Figure 5 final-state run
+	SpanChunked      = "core.chunked"       // Figure 5 run with caller phase 3
+	SpanPhase1Chunk  = "core.phase1.chunk"  // one chunk's composition vector
+	SpanPhase2       = "core.phase2"        // sequential start-state scan
+	SpanPhase3Chunk  = "core.phase3.chunk"  // one chunk's caller re-run
+	SpanPhase3Chunk0 = "core.phase3.chunk0" // chunk 0's overlapped phase 3
+)
+
+// Attribute keys on core spans.
+const (
+	AttrStrategy    = "strategy"
+	AttrBytes       = "bytes"
+	AttrChunks      = "chunks"
+	AttrChunk       = "chunk"
+	AttrOffset      = "offset"
+	AttrGathers     = "gathers"
+	AttrShuffles    = "shuffles"
+	AttrFactorCalls = "factor_calls"
+	AttrFactorWins  = "factor_wins"
+	AttrWidthStart  = "width_start"
+	AttrWidthFinal  = "width_final"
+	AttrConvergedAt = "converged_at" // symbol index entering the register regime; -1 = never
+	AttrWidths      = "widths"       // "width@pos" trajectory of factor wins
+)
+
+// runStats collects the accounting of one traced enumerative pass in
+// stack-adjacent storage: the same quantities the hot loops flush into
+// telemetry.Metrics, kept per chunk instead of aggregated. Allocated
+// only when a trace is attached; every loop takes it as a nillable
+// pointer and skips all bookkeeping when absent.
+type runStats struct {
+	gathers     int64
+	shuffles    int64
+	factorCalls int64
+	factorWins  int64
+	widthStart  int
+	widthFinal  int
+	// convergedAt is the input position at which the run entered the
+	// register regime (active width ≤ 8), -1 if it never did.
+	convergedAt int
+	// widths records the (position, width) trajectory of factor wins —
+	// the paper's Figure 7 curve for this specific input.
+	widths []widthStep
+}
+
+type widthStep struct {
+	pos   int
+	width int
+}
+
+func newRunStats() *runStats { return &runStats{convergedAt: -1} }
+
+// note records one loop exit's accounting; mirrors Runner.noteSingle's
+// telemetry flush. widthStart keeps its maximum across blocks (the
+// vector re-widens at every block boundary); widthFinal keeps the last.
+func (rs *runStats) note(gathers, shuffles, factorCalls, factorWins int64, highWater, final int) {
+	rs.gathers += gathers
+	rs.shuffles += shuffles
+	rs.factorCalls += factorCalls
+	rs.factorWins += factorWins
+	if highWater > rs.widthStart {
+		rs.widthStart = highWater
+	}
+	rs.widthFinal = final
+}
+
+// noteWidth appends one factor-win width step.
+func (rs *runStats) noteWidth(pos, width int) {
+	rs.widths = append(rs.widths, widthStep{pos: pos, width: width})
+}
+
+// noteConverged records the first entry into the register regime.
+func (rs *runStats) noteConverged(pos int) {
+	if rs.convergedAt < 0 {
+		rs.convergedAt = pos
+	}
+}
+
+// merge folds a per-block stats record into a chunk-level aggregate,
+// offsetting positions by the block's start within the chunk.
+func (rs *runStats) merge(block *runStats, off int) {
+	rs.gathers += block.gathers
+	rs.shuffles += block.shuffles
+	rs.factorCalls += block.factorCalls
+	rs.factorWins += block.factorWins
+	if block.widthStart > rs.widthStart {
+		rs.widthStart = block.widthStart
+	}
+	rs.widthFinal = block.widthFinal
+	if rs.convergedAt < 0 && block.convergedAt >= 0 {
+		rs.convergedAt = off + block.convergedAt
+	}
+	for _, w := range block.widths {
+		rs.widths = append(rs.widths, widthStep{pos: off + w.pos, width: w.width})
+	}
+}
+
+// widthTrajectory renders the factor-win steps as "width@pos" pairs,
+// e.g. "14@63,4@67,1@128" — compact enough for a span attribute while
+// preserving the Figure 7 shape.
+func (rs *runStats) widthTrajectory() string {
+	if len(rs.widths) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, w := range rs.widths {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d@%d", w.width, w.pos)
+	}
+	return b.String()
+}
+
+// attrs renders the stats as span attributes.
+func (rs *runStats) attrs() []trace.Attr {
+	out := []trace.Attr{
+		trace.Int(AttrGathers, rs.gathers),
+		trace.Int(AttrShuffles, rs.shuffles),
+		trace.Int(AttrFactorCalls, rs.factorCalls),
+		trace.Int(AttrFactorWins, rs.factorWins),
+		trace.Int(AttrWidthStart, int64(rs.widthStart)),
+		trace.Int(AttrWidthFinal, int64(rs.widthFinal)),
+		trace.Int(AttrConvergedAt, int64(rs.convergedAt)),
+	}
+	if tj := rs.widthTrajectory(); tj != "" {
+		out = append(out, trace.Str(AttrWidths, tj))
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/telemetry"
+	"dpfsm/internal/trace"
+)
+
+// collectSpans flattens the trace's spans into name → views.
+func collectSpans(tr *trace.Trace) map[string][]trace.SpanView {
+	out := map[string][]trace.SpanView{}
+	for _, v := range tr.Spans() {
+		out[v.Name] = append(out[v.Name], v)
+	}
+	return out
+}
+
+func attrInt(t *testing.T, v trace.SpanView, key string) int64 {
+	t.Helper()
+	a, ok := trace.FindAttr(v.Attrs, key)
+	if !ok {
+		t.Fatalf("span %s missing attr %q (attrs %v)", v.Name, key, v.Attrs)
+	}
+	return a.Int64()
+}
+
+// TestTraceSingleCoreStatsMatchTelemetry is the consistency check the
+// tracing layer exists to honor: the per-run accounting attached to
+// spans must be the *same numbers* the hot loops flush into the
+// aggregate telemetry — not a parallel estimate.
+func TestTraceSingleCoreStatsMatchTelemetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(600))
+	for _, strat := range []Strategy{Convergence, RangeCoalesced, RangeConvergence, Base} {
+		t.Run(strat.String(), func(t *testing.T) {
+			d := fsm.RandomConverging(rng, 60, 6, 5, 0.3)
+			input := d.RandomInput(rng, 150_000)
+			var m telemetry.Metrics
+			r := newRunner(t, d, strat, WithTelemetry(&m), WithProcs(1))
+
+			tr := trace.New()
+			ctx := trace.NewContext(context.Background(), tr)
+			got, err := r.FinalCtx(ctx, input, d.Start())
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr.Finish()
+			// Snapshot before the untraced comparison run so the
+			// aggregate holds exactly the traced run's accounting.
+			snap := m.Snapshot()
+			if want := r.Final(input, d.Start()); got != want {
+				t.Fatalf("traced FinalCtx = %d, untraced Final = %d", got, want)
+			}
+
+			spans := collectSpans(tr)
+			if len(spans[SpanSingle]) != 1 {
+				t.Fatalf("want one %s span, got %v", SpanSingle, spans)
+			}
+			sp := spans[SpanSingle][0]
+			if sp.Duration <= 0 {
+				t.Error("span has no duration")
+			}
+			checks := []struct {
+				key  string
+				want int64
+			}{
+				{AttrGathers, snap.Gathers},
+				{AttrShuffles, snap.Shuffles},
+				{AttrFactorCalls, snap.FactorCalls},
+				{AttrFactorWins, snap.FactorWins},
+			}
+			for _, c := range checks {
+				if got := attrInt(t, sp, c.key); got != c.want {
+					t.Errorf("%s: span %d, telemetry %d", c.key, got, c.want)
+				}
+			}
+			if got := attrInt(t, sp, AttrBytes); got != int64(len(input)) {
+				t.Errorf("bytes attr %d, want %d", got, len(input))
+			}
+			if s, ok := trace.FindAttr(sp.Attrs, AttrStrategy); !ok || s.Text() != strat.String() {
+				t.Errorf("strategy attr %v, want %q", sp.Attrs, strat.String())
+			}
+			if strat == Convergence || strat == RangeConvergence {
+				if attrInt(t, sp, AttrConvergedAt) < 0 {
+					t.Errorf("%s never converged on a converging machine", strat)
+				}
+				// A width trajectory exists exactly when factor checks
+				// actually shrank the vector (a first-symbol range that
+				// starts ≤ 8 wide converges with zero wins).
+				if attrInt(t, sp, AttrFactorWins) > 0 {
+					if w, ok := trace.FindAttr(sp.Attrs, AttrWidths); !ok || w.Text() == "" {
+						t.Error("no width trajectory recorded despite factor wins")
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTraceMulticorePhaseSpans checks the Figure 5 decomposition: a
+// traced multicore run emits per-chunk phase-1 spans whose summed
+// accounting equals the aggregate telemetry of the same run, plus a
+// phase-2 span.
+func TestTraceMulticorePhaseSpans(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	d := fsm.RandomConverging(rng, 60, 6, 5, 0.3)
+	input := d.RandomInput(rng, 400_000)
+	var m telemetry.Metrics
+	r := newRunner(t, d, Convergence, WithTelemetry(&m), WithProcs(4))
+	if !r.useMulticore(len(input)) {
+		t.Fatal("test input does not trigger multicore")
+	}
+
+	tr := trace.New()
+	ctx := trace.NewContext(context.Background(), tr)
+	got, err := r.FinalCtx(ctx, input, d.Start())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish()
+	snap := m.Snapshot()
+	if want := r.Final(input, d.Start()); got != want {
+		t.Fatalf("traced = %d, untraced = %d", got, want)
+	}
+
+	spans := collectSpans(tr)
+	if len(spans[SpanMulticore]) != 1 {
+		t.Fatalf("want one %s span, got %v", SpanMulticore, spans)
+	}
+	root := spans[SpanMulticore][0]
+	nChunks := attrInt(t, root, AttrChunks)
+	p1 := spans[SpanPhase1Chunk]
+	if int64(len(p1)) != nChunks {
+		t.Fatalf("%d phase-1 chunk spans, chunks attr %d", len(p1), nChunks)
+	}
+	if len(spans[SpanPhase2]) != 1 {
+		t.Fatalf("want one %s span, got %v", SpanPhase2, spans)
+	}
+
+	// Per-chunk accounting sums to the traced run's aggregate (the
+	// snapshot was taken before the comparison run); byte extents tile
+	// the input.
+	var gathers, shuffles, bytes int64
+	seen := map[int64]bool{}
+	for _, sp := range p1 {
+		if sp.Parent != root.ID {
+			t.Errorf("chunk span parented to %d, want %d", sp.Parent, root.ID)
+		}
+		gathers += attrInt(t, sp, AttrGathers)
+		shuffles += attrInt(t, sp, AttrShuffles)
+		bytes += attrInt(t, sp, AttrBytes)
+		seen[attrInt(t, sp, AttrChunk)] = true
+	}
+	if int64(len(seen)) != nChunks {
+		t.Errorf("chunk indices %v, want %d distinct", seen, nChunks)
+	}
+	if bytes != int64(len(input)) {
+		t.Errorf("chunk bytes sum %d, want %d", bytes, len(input))
+	}
+	if gathers != snap.Gathers {
+		t.Errorf("summed chunk gathers %d, telemetry %d", gathers, snap.Gathers)
+	}
+	if shuffles != snap.Shuffles {
+		t.Errorf("summed chunk shuffles %d, telemetry %d", shuffles, snap.Shuffles)
+	}
+}
+
+// TestTraceRunChunkedSpans checks the chunked-run span tree: chunk 0's
+// overlapped phase 3, N-1 phase-1 spans, one phase 2, N-1 phase-3
+// re-runs.
+func TestTraceRunChunkedSpans(t *testing.T) {
+	rng := rand.New(rand.NewSource(602))
+	d := fsm.RandomConverging(rng, 60, 6, 5, 0.3)
+	input := d.RandomInput(rng, 400_000)
+	r := newRunner(t, d, Convergence, WithProcs(4))
+	if !r.useMulticore(len(input)) {
+		t.Fatal("test input does not trigger multicore")
+	}
+
+	tr := trace.New()
+	ctx := trace.NewContext(context.Background(), tr)
+	var steps int64
+	got, err := r.RunChunkedCtx(ctx, input, d.Start(), func(off int, chunk []byte, start fsm.State) fsm.State {
+		return r.runSingleCount(chunk, off, start, &steps)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := r.Final(input, d.Start()); got != want {
+		t.Fatalf("chunked = %d, Final = %d", got, want)
+	}
+	tr.Finish()
+
+	spans := collectSpans(tr)
+	if len(spans[SpanChunked]) != 1 {
+		t.Fatalf("want one %s span, got %v", SpanChunked, spans)
+	}
+	root := spans[SpanChunked][0]
+	n := attrInt(t, root, AttrChunks)
+	if len(spans[SpanPhase3Chunk0]) != 1 {
+		t.Errorf("chunk-0 phase-3 spans: %d", len(spans[SpanPhase3Chunk0]))
+	}
+	if int64(len(spans[SpanPhase1Chunk])) != n-1 {
+		t.Errorf("phase-1 spans %d, want %d", len(spans[SpanPhase1Chunk]), n-1)
+	}
+	if len(spans[SpanPhase2]) != 1 {
+		t.Errorf("phase-2 spans: %d", len(spans[SpanPhase2]))
+	}
+	if int64(len(spans[SpanPhase3Chunk])) != n-1 {
+		t.Errorf("phase-3 spans %d, want %d", len(spans[SpanPhase3Chunk]), n-1)
+	}
+}
+
+// runSingleCount is a tiny ChunkFunc helper: run the chunk stepwise
+// and count symbols, exercising the φ path under tracing. Chunk
+// callbacks run concurrently, so the count is atomic.
+func (r *Runner) runSingleCount(chunk []byte, off int, start fsm.State, steps *int64) fsm.State {
+	return r.runSingle(chunk, off, start, func(pos int, sym byte, q fsm.State) {
+		atomic.AddInt64(steps, 1)
+	})
+}
+
+// TestUntracedCtxPathUnchanged pins the zero-cost-disabled contract at
+// the core layer: a plain cancellable context must not emit spans, and
+// a Background context must still take the uninstrumented fast path.
+func TestUntracedCtxPathUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(603))
+	d := fsm.RandomConverging(rng, 40, 6, 5, 0.3)
+	input := d.RandomInput(rng, 50_000)
+	r := newRunner(t, d, Convergence, WithProcs(1))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got, err := r.FinalCtx(ctx, input, d.Start())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := r.Final(input, d.Start()); got != want {
+		t.Fatalf("ctx path diverged: %d vs %d", got, want)
+	}
+	// Traces attached elsewhere are untouched; nothing to assert on the
+	// trace side beyond "no panic". The Background fast path is pinned
+	// by TestCtxFastPath* in ctx_test.go and the allocation guarantee by
+	// trace.TestUntracedPathAllocatesNothing.
+}

@@ -39,6 +39,21 @@ import (
 	"dpfsm/internal/core"
 	"dpfsm/internal/fsm"
 	"dpfsm/internal/telemetry"
+	"dpfsm/internal/trace"
+)
+
+// Span names and attribute keys the engine emits on traced jobs.
+// Exported so explain builders (cmd/fsmserve) and tests address them
+// symbolically.
+const (
+	SpanQueue = "engine.queue" // Submit → worker dequeue (queue wait)
+	SpanExec  = "engine.exec"  // one job's execution
+	SpanGate  = "engine.gate"  // multicore fan-out slot acquisition
+
+	AttrMachine    = "machine"
+	AttrBytes      = "bytes"
+	AttrLane       = "lane"        // "single" | "multicore"
+	AttrLaneReason = "lane_reason" // why the dispatch policy chose it
 )
 
 // Errors returned by Submit/Run. Per-job failures are reported in
@@ -58,6 +73,7 @@ type config struct {
 	largeInput int
 	procs      int
 	tel        *telemetry.Metrics
+	sink       trace.Sink
 }
 
 // WithWorkers sets the worker-pool size. n <= 0 means runtime.NumCPU().
@@ -90,6 +106,19 @@ func WithProcs(p int) Option {
 // registered runner. nil (the default) disables collection.
 func WithTelemetry(m *telemetry.Metrics) Option {
 	return func(c *config) { c.tel = m }
+}
+
+// WithTraceSink makes the engine trace every job that does not already
+// carry a trace on its context: each such job gets its own trace,
+// receives the full span decomposition (queue wait, lane decision,
+// core phases), and is delivered to s on completion. Jobs whose
+// context carries a trace (e.g. an HTTP request traced upstream) are
+// instrumented into that trace instead and NOT delivered to s — the
+// layer that created a trace owns its recording. nil (the default)
+// disables engine-owned tracing; such jobs run the zero-cost untraced
+// path.
+func WithTraceSink(s trace.Sink) Option {
+	return func(c *config) { c.sink = s }
 }
 
 // Machine is one compiled DFA registered with the engine, holding the
@@ -155,6 +184,9 @@ type task struct {
 	job Job
 	idx int
 	out chan<- Result
+	// qspan is the open queue-wait span of a traced submission, ended
+	// by the worker at dequeue; nil on the untraced path.
+	qspan *trace.Span
 }
 
 // Engine runs jobs over a bounded worker pool. Construct with New,
@@ -164,8 +196,13 @@ type Engine struct {
 	machines map[string]*Machine
 	order    []string
 
-	queue      chan task
-	queueLen   atomic.Int64
+	queue    chan task
+	queueLen atomic.Int64
+	// drain closes first on shutdown: Submit starts failing with
+	// ErrClosed while workers keep consuming the queue until empty.
+	// done closes second and stops workers immediately.
+	drain      chan struct{}
+	drainOnce  sync.Once
 	done       chan struct{}
 	closeOnce  sync.Once
 	wg         sync.WaitGroup
@@ -176,6 +213,7 @@ type Engine struct {
 	// concurrency stays near the worker count.
 	multiGate chan struct{}
 	tel       *telemetry.Metrics
+	sink      trace.Sink
 }
 
 const (
@@ -209,12 +247,14 @@ func New(opts ...Option) *Engine {
 	e := &Engine{
 		machines:   make(map[string]*Machine),
 		queue:      make(chan task, cfg.queueDepth),
+		drain:      make(chan struct{}),
 		done:       make(chan struct{}),
 		workers:    cfg.workers,
 		largeInput: cfg.largeInput,
 		procs:      cfg.procs,
 		multiGate:  make(chan struct{}, gate),
 		tel:        cfg.tel,
+		sink:       cfg.sink,
 	}
 	for i := 0; i < cfg.workers; i++ {
 		e.wg.Add(1)
@@ -296,9 +336,14 @@ func (e *Engine) Machines() []string {
 func (e *Engine) Submit(ctx context.Context, job Job, idx int, out chan<- Result) error {
 	t := task{ctx: ctx, job: job, idx: idx, out: out}
 	select {
-	case <-e.done:
+	case <-e.drain:
 		return ErrClosed
 	default:
+	}
+	if ctx != nil {
+		if tr := trace.FromContext(ctx); tr != nil {
+			t.qspan = tr.StartSpan(SpanQueue)
+		}
 	}
 	select {
 	case e.queue <- t:
@@ -308,8 +353,10 @@ func (e *Engine) Submit(ctx context.Context, job Job, idx int, out chan<- Result
 		}
 		return nil
 	case <-ctx.Done():
+		t.qspan.End()
 		return ctx.Err()
-	case <-e.done:
+	case <-e.drain:
+		t.qspan.End()
 		return ErrClosed
 	}
 }
@@ -376,21 +423,50 @@ func summarize(results []Result, dur time.Duration) BatchStats {
 }
 
 // Close stops the workers, fails queued jobs with ErrClosed, and
-// waits for in-flight jobs to finish. Idempotent.
+// waits for in-flight jobs to finish. Idempotent. For a drain that
+// finishes queued work instead of failing it, use Shutdown.
 func (e *Engine) Close() {
-	e.closeOnce.Do(func() {
-		close(e.done)
-		e.wg.Wait()
-		for {
-			select {
-			case t := <-e.queue:
-				e.queueLen.Add(-1)
-				t.out <- Result{Index: t.idx, Machine: t.job.Machine, Bytes: len(t.job.Input), Err: ErrClosed}
-			default:
-				return
-			}
+	e.drainOnce.Do(func() { close(e.drain) })
+	e.closeOnce.Do(func() { close(e.done) })
+	e.wg.Wait()
+	e.failQueued()
+}
+
+// Shutdown drains the engine gracefully: new submissions fail with
+// ErrClosed immediately, queued jobs are executed to completion, and
+// Shutdown returns once every worker has exited — or when ctx expires
+// first, in which case workers are stopped as in Close, any jobs
+// still queued fail with ErrClosed, and ctx.Err() is returned.
+// In-flight jobs are never interrupted mid-run beyond their own
+// contexts; a caller that wants them canceled cancels the contexts it
+// submitted with. Idempotent, and safe to race with Close.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.drainOnce.Do(func() { close(e.drain) })
+	finished := make(chan struct{})
+	go func() { e.wg.Wait(); close(finished) }()
+	var err error
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	e.closeOnce.Do(func() { close(e.done) })
+	e.failQueued()
+	return err
+}
+
+// failQueued answers every still-queued task with ErrClosed.
+func (e *Engine) failQueued() {
+	for {
+		select {
+		case t := <-e.queue:
+			e.queueLen.Add(-1)
+			t.qspan.End()
+			t.out <- Result{Index: t.idx, Machine: t.job.Machine, Bytes: len(t.job.Input), Err: ErrClosed}
+		default:
+			return
 		}
-	})
+	}
 }
 
 func (e *Engine) worker() {
@@ -401,7 +477,27 @@ func (e *Engine) worker() {
 			return
 		case t := <-e.queue:
 			e.queueLen.Add(-1)
+			t.qspan.End()
 			t.out <- e.exec(t.ctx, t.idx, t.job)
+		case <-e.drain:
+			// Graceful drain: finish whatever is queued, then exit.
+			// done still preempts, so Close during a drain stops the
+			// worker at the next job boundary.
+			for {
+				select {
+				case <-e.done:
+					return
+				default:
+				}
+				select {
+				case t := <-e.queue:
+					e.queueLen.Add(-1)
+					t.qspan.End()
+					t.out <- e.exec(t.ctx, t.idx, t.job)
+				default:
+					return
+				}
+			}
 		}
 	}
 }
@@ -411,6 +507,28 @@ func (e *Engine) exec(ctx context.Context, idx int, job Job) (res Result) {
 	res = Result{Index: idx, Machine: job.Machine, Bytes: len(job.Input)}
 	defer func() { e.noteResult(&res) }()
 
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// An inbound trace (HTTP layer) wins; otherwise, with a sink
+	// configured, the engine owns a fresh per-job trace and records it
+	// on completion. Neither present → zero-cost untraced path.
+	tr := trace.FromContext(ctx)
+	if tr == nil && e.sink != nil {
+		tr = trace.New()
+		tr.SetName("engine.job")
+		ctx = trace.NewContext(ctx, tr)
+		owned := tr
+		defer func() {
+			if res.Err != nil {
+				owned.SetError(res.Err.Error())
+			}
+			e.sink.Record(owned)
+		}()
+	}
+	ctx, sp := trace.Start(ctx, SpanExec)
+	defer sp.End()
+
 	e.mu.RLock()
 	name := job.Machine
 	if name == "" && len(e.order) > 0 {
@@ -418,6 +536,12 @@ func (e *Engine) exec(ctx context.Context, idx int, job Job) (res Result) {
 	}
 	m := e.machines[name]
 	e.mu.RUnlock()
+	if sp != nil {
+		sp.SetAttrs(
+			trace.Str(AttrMachine, name),
+			trace.Int(AttrBytes, int64(len(job.Input))),
+		)
+	}
 	if m == nil {
 		res.Err = fmt.Errorf("%w: %q", ErrUnknownMachine, job.Machine)
 		return res
@@ -433,9 +557,6 @@ func (e *Engine) exec(ctx context.Context, idx int, job Job) (res Result) {
 		}
 		start = job.Start
 	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	if err := ctx.Err(); err != nil {
 		res.Err = err
 		return res
@@ -448,17 +569,39 @@ func (e *Engine) exec(ctx context.Context, idx int, job Job) (res Result) {
 
 	r := m.single
 	if m.multi != nil && len(job.Input) >= e.largeInput {
+		if sp != nil {
+			sp.SetAttrs(
+				trace.Str(AttrLane, "multicore"),
+				trace.Str(AttrLaneReason,
+					fmt.Sprintf("input %d B >= large-input threshold %d B", len(job.Input), e.largeInput)),
+			)
+		}
 		// The input lane: acquire a fan-out slot so at most
 		// workers/procs multicore jobs run at once.
+		var gsp *trace.Span
+		if sp != nil {
+			gsp = sp.Child(SpanGate)
+		}
 		select {
 		case e.multiGate <- struct{}{}:
+			gsp.End()
 			defer func() { <-e.multiGate }()
 			r = m.multi
 			res.Multicore = true
 		case <-ctx.Done():
+			gsp.End()
 			res.Err = ctx.Err()
 			return res
 		}
+	} else if sp != nil {
+		reason := fmt.Sprintf("input %d B < large-input threshold %d B", len(job.Input), e.largeInput)
+		if m.multi == nil {
+			reason = "multicore lane disabled (procs=1)"
+		}
+		sp.SetAttrs(
+			trace.Str(AttrLane, "single"),
+			trace.Str(AttrLaneReason, reason),
+		)
 	}
 
 	t0 := time.Now()
@@ -481,6 +624,12 @@ func (e *Engine) noteResult(res *Result) {
 	}
 	tm.EngineJobs.Inc()
 	tm.EngineJobBytes.Observe(int64(res.Bytes))
+	if res.Duration > 0 {
+		// Jobs that failed validation before running carry no duration
+		// and would drag the latency window toward zero.
+		tm.EngineJobTime.Observe(int64(res.Duration))
+		tm.EngineJobLatency.Observe(int64(res.Duration))
+	}
 	if res.Err != nil {
 		tm.EngineJobErrors.Inc()
 		if errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded) {

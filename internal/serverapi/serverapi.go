@@ -33,6 +33,67 @@ type RunResult struct {
 	Multicore  bool    `json:"multicore"`
 	DurationNs int64   `json:"duration_ns"`
 	MBPerS     float64 `json:"mb_per_s"`
+	// TraceID is set when the request was traced (?trace=1 or an
+	// inbound traceparent header); the full span tree is retained by
+	// the flight recorder at GET /v1/traces/{id}.
+	TraceID string `json:"trace_id,omitempty"`
+	// Explain is the inline execution profile, present on ?trace=1.
+	Explain *Explain `json:"explain,omitempty"`
+}
+
+// Explain summarizes why one traced run behaved the way it did: the
+// dispatch-lane decision, the resolved strategy, and the per-chunk
+// convergence profile. Its numbers are the exact values the hot loops
+// flushed into the aggregate telemetry for this run — not estimates.
+type Explain struct {
+	// Lane is "single" or "multicore"; LaneReason is the dispatch
+	// policy's stated reason.
+	Lane       string `json:"lane"`
+	LaneReason string `json:"lane_reason,omitempty"`
+	Strategy   string `json:"strategy,omitempty"`
+	// QueueWaitNs is time spent waiting in the engine queue; absent for
+	// the synchronous /v1/run path, which bypasses the queue.
+	QueueWaitNs int64 `json:"queue_wait_ns,omitempty"`
+	// ChunkCount is 1 on the single-core lane, the Figure 5 fan-out
+	// width on the multicore lane.
+	ChunkCount int            `json:"chunks"`
+	Chunks     []ExplainChunk `json:"chunk_profiles,omitempty"`
+}
+
+// ExplainChunk is the convergence profile of one executed extent: the
+// whole input on the single-core lane, one phase-1 chunk on the
+// multicore lane.
+type ExplainChunk struct {
+	Index      int   `json:"chunk"`
+	Offset     int64 `json:"offset"`
+	Bytes      int64 `json:"bytes"`
+	DurationNs int64 `json:"duration_ns"`
+	// Gathers/Shuffles/FactorCalls/FactorWins mirror the telemetry
+	// counters of the same names (section 4.2 cost model).
+	Gathers     int64 `json:"gathers"`
+	Shuffles    int64 `json:"shuffles"`
+	FactorCalls int64 `json:"factor_calls"`
+	FactorWins  int64 `json:"factor_wins"`
+	WidthStart  int   `json:"width_start"`
+	WidthFinal  int   `json:"width_final"`
+	// ConvergedAt is the input position at which the enumerative vector
+	// entered the register regime (width ≤ 8); -1 means it never did.
+	ConvergedAt int `json:"converged_at"`
+	// Widths is the "width@pos" factor-win trajectory (Figure 7 shape),
+	// empty when no factor check shrank the vector.
+	Widths string `json:"widths,omitempty"`
+}
+
+// TraceInfo is one entry of GET /v1/traces: enough to pick a trace out
+// of the flight recorder without shipping every span tree.
+type TraceInfo struct {
+	TraceID     string `json:"trace_id"`
+	Name        string `json:"name,omitempty"`
+	Machine     string `json:"machine,omitempty"`
+	Error       string `json:"error,omitempty"`
+	StartUnixNs int64  `json:"start_unix_ns"`
+	DurationNs  int64  `json:"duration_ns"`
+	Spans       int    `json:"spans"`
 }
 
 // MachineInfo is one entry of GET /v1/machines.

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"strconv"
 )
 
 // Exposition. Three surfaces, per the repo's observability contract:
@@ -106,6 +105,38 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	writeHistogram(w, "phase1_ns", "per-chunk phase-1 wall time", &m.Phase1Time.Histogram)
 	writeHistogram(w, "phase2_ns", "per-run phase-2 scan wall time", &m.Phase2Time.Histogram)
 	writeHistogram(w, "phase3_ns", "per-chunk phase-3 wall time", &m.Phase3Time.Histogram)
+	writeHistogram(w, "engine_job_ns", "engine job wall time", &m.EngineJobTime.Histogram)
+
+	// Sliding-window latency quantiles, in the summary-style
+	// quantile-label convention. Gauges, not a summary: the window
+	// forgets, so the values can move in both directions.
+	if m.EngineJobLatency.Count() > 0 {
+		lat := m.EngineJobLatency.Quantiles(0.5, 0.9, 0.99)
+		fmt.Fprintf(w, "# HELP %sengine_job_latency_ns sliding-window engine job latency\n# TYPE %sengine_job_latency_ns gauge\n",
+			promPrefix, promPrefix)
+		for i, q := range []string{"0.5", "0.9", "0.99"} {
+			fmt.Fprintf(w, "%sengine_job_latency_ns{quantile=\"%s\"} %d\n", promPrefix, q, lat[i])
+		}
+	}
+}
+
+// escapeLabel escapes a label value per the Prometheus text format:
+// backslash, double-quote, and newline only. strconv.Quote is NOT
+// correct here — it escapes non-ASCII as \uXXXX, which Prometheus
+// parsers read literally.
+func escapeLabel(v string) string {
+	var b []byte
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\', '"':
+			b = append(b, '\\', c)
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, c)
+		}
+	}
+	return string(b)
 }
 
 func writeLabelCounters(w io.Writer, name, help string, lc *LabelCounters) {
@@ -115,7 +146,7 @@ func writeLabelCounters(w io.Writer, name, help string, lc *LabelCounters) {
 	}
 	fmt.Fprintf(w, "# HELP %s%s %s\n# TYPE %s%s counter\n", promPrefix, name, help, promPrefix, name)
 	for _, l := range labels {
-		fmt.Fprintf(w, "%s%s{strategy=%s} %d\n", promPrefix, name, strconv.Quote(l), lc.Get(l).Load())
+		fmt.Fprintf(w, "%s%s{strategy=\"%s\"} %d\n", promPrefix, name, escapeLabel(l), lc.Get(l).Load())
 	}
 }
 

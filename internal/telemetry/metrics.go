@@ -66,6 +66,12 @@ type Metrics struct {
 	// observed — the live backpressure signal.
 	EngineQueueHighWater MaxGauge
 	EngineJobBytes       Histogram // input sizes of executed jobs
+	// EngineJobTime is the all-time log₂ histogram of job wall time;
+	// EngineJobLatency is the exact sliding-window view of the same
+	// series, answering "what is p50/p90/p99 right now" after traffic
+	// shifts the histogram cannot forget.
+	EngineJobTime    Timer
+	EngineJobLatency Window
 }
 
 // PhaseSnapshot summarizes one timer.
@@ -128,6 +134,13 @@ type Snapshot struct {
 	EngineMulticore      int64 `json:"engine_multicore"`
 	EngineQueueHighWater int64 `json:"engine_queue_high_water"`
 	EngineJobBytesP50    int64 `json:"engine_job_bytes_p50"`
+
+	EngineJobTime PhaseSnapshot `json:"engine_job_time"`
+	// Sliding-window job latency (exact order statistics over the most
+	// recent window, nanoseconds).
+	EngineJobLatencyP50 int64 `json:"engine_job_latency_p50_ns"`
+	EngineJobLatencyP90 int64 `json:"engine_job_latency_p90_ns"`
+	EngineJobLatencyP99 int64 `json:"engine_job_latency_p99_ns"`
 }
 
 // Snapshot captures the current values. Nil-safe: returns the zero
@@ -166,7 +179,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		EngineMulticore:      m.EngineMulticore.Load(),
 		EngineQueueHighWater: m.EngineQueueHighWater.Load(),
 		EngineJobBytesP50:    m.EngineJobBytes.Quantile(0.5),
+		EngineJobTime:        phaseSnapshot(&m.EngineJobTime),
 	}
+	lat := m.EngineJobLatency.Quantiles(0.5, 0.9, 0.99)
+	s.EngineJobLatencyP50, s.EngineJobLatencyP90, s.EngineJobLatencyP99 = lat[0], lat[1], lat[2]
 	if s.Symbols > 0 {
 		s.ShufflesPerSymbol = float64(s.Shuffles) / float64(s.Symbols)
 	}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// windowSize is the sliding-window length of a Window: large enough
+// that p99 over the window rests on ~10 samples, small enough that one
+// Quantiles call sorts in microseconds.
+const windowSize = 1024
+
+// Window is a sliding-window quantile estimator over the most recent
+// windowSize observations. It complements the log₂ Histogram: the
+// histogram is cheap and lock-free but quantizes to powers of two and
+// never forgets, which makes "what is p99 latency *right now*"
+// unanswerable after a traffic shift. The window trades a short
+// critical section per observation (one slot store under a mutex —
+// nanoseconds, far below the cost of the jobs it measures) for exact
+// order statistics over recent traffic.
+//
+// The zero Window is ready to use and allocates its buffer on first
+// Observe, so embedding one in Metrics costs nothing until used.
+// Nil-safe like every other telemetry primitive.
+type Window struct {
+	mu    sync.Mutex
+	buf   []int64
+	next  int
+	count int64
+}
+
+// Observe records one value into the window.
+func (w *Window) Observe(v int64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if w.buf == nil {
+		w.buf = make([]int64, windowSize)
+	}
+	w.buf[w.next] = v
+	w.next = (w.next + 1) % len(w.buf)
+	w.count++
+	w.mu.Unlock()
+}
+
+// Count returns the total number of observations ever recorded
+// (not capped at the window length).
+func (w *Window) Count() int64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.count
+}
+
+// Quantiles returns the exact qs-quantiles (each in [0,1]) over the
+// retained window, in the order requested. With no observations every
+// quantile is 0. The rank convention matches Histogram.Quantile:
+// rank ⌊q·n⌋ of the ascending order statistics, clamped to the last.
+func (w *Window) Quantiles(qs ...float64) []int64 {
+	out := make([]int64, len(qs))
+	if w == nil {
+		return out
+	}
+	w.mu.Lock()
+	n := w.count
+	if n > int64(len(w.buf)) {
+		n = int64(len(w.buf))
+	}
+	sorted := make([]int64, n)
+	if n > 0 {
+		copy(sorted, w.buf[:n])
+	}
+	w.mu.Unlock()
+	if n == 0 {
+		return out
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		rank := int64(q * float64(n))
+		if rank >= n {
+			rank = n - 1
+		}
+		out[i] = sorted[rank]
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"sync/atomic"
+)
+
+// Sink consumes completed traces. The engine and HTTP layers take a
+// Sink rather than a concrete Recorder so tests (and future exporters)
+// can substitute their own destination.
+type Sink interface {
+	Record(*Trace)
+}
+
+// DefaultRecorderCapacity sizes NewRecorder(0).
+const DefaultRecorderCapacity = 256
+
+// Recorder is the flight recorder: a fixed-capacity, lock-free ring
+// buffer of the most recently completed traces. Record is a single
+// atomic fetch-add plus one pointer store, so it sits on the request
+// completion path of every traced job without contention; readers
+// (Snapshot, Find) walk the slots with atomic loads and never block
+// writers.
+//
+// Consistency is deliberately relaxed: a Snapshot taken during heavy
+// writing may miss a trace that is being overwritten at that instant.
+// That is the right trade for a diagnostic surface — the recorder must
+// never become the bottleneck it exists to explain.
+type Recorder struct {
+	slots []atomic.Pointer[Trace]
+	next  atomic.Uint64
+	total atomic.Int64
+}
+
+// NewRecorder builds a flight recorder holding up to capacity traces
+// (capacity <= 0 means DefaultRecorderCapacity).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderCapacity
+	}
+	return &Recorder{slots: make([]atomic.Pointer[Trace], capacity)}
+}
+
+// Record stores a completed trace, evicting the oldest once the ring
+// is full. Unfinished traces are finished first so their durations are
+// fixed. Nil traces are ignored.
+func (r *Recorder) Record(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	t.Finish()
+	idx := r.next.Add(1) - 1
+	r.slots[idx%uint64(len(r.slots))].Store(t)
+	r.total.Add(1)
+}
+
+// Cap returns the ring capacity.
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Total returns how many traces have ever been recorded (including
+// evicted ones).
+func (r *Recorder) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.total.Load()
+}
+
+// Snapshot returns the retained traces, newest first.
+func (r *Recorder) Snapshot() []*Trace {
+	if r == nil {
+		return nil
+	}
+	head := r.next.Load()
+	n := uint64(len(r.slots))
+	count := head
+	if count > n {
+		count = n
+	}
+	out := make([]*Trace, 0, count)
+	for i := uint64(0); i < count; i++ {
+		// head-1 is the most recently written slot.
+		t := r.slots[(head-1-i)%n].Load()
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Find returns the retained trace with the given ID, or nil. A linear
+// scan: the ring holds a few hundred entries, and Find serves the
+// interactive /v1/traces/{id} path, not a hot loop.
+func (r *Recorder) Find(id string) *Trace {
+	if r == nil || id == "" {
+		return nil
+	}
+	for i := range r.slots {
+		if t := r.slots[i].Load(); t != nil && t.id == id {
+			return t
+		}
+	}
+	return nil
+}

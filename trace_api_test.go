@@ -1,0 +1,74 @@
+package dpfsm
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestPublicTraceAPI exercises the exported tracing surface end to end:
+// engine-owned traces via WithEngineTraceSink land in a TraceRecorder,
+// while a caller-owned trace (WithTrace) is instrumented but stays the
+// caller's to record.
+func TestPublicTraceAPI(t *testing.T) {
+	d, err := Compile(`UNION\s+SELECT`, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewTraceRecorder(8)
+	eng := NewEngine(
+		WithWorkers(2),
+		WithEngineProcs(1),
+		WithEngineTraceSink(rec),
+	)
+	defer eng.Close()
+	if _, err := eng.Register("sqli", d); err != nil {
+		t.Fatal(err)
+	}
+
+	// Engine-owned: no trace on the context, so the sink gets one.
+	if r := eng.Run(context.Background(), Job{Input: []byte("id=1 UNION  SELECT x")}); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if rec.Total() != 1 {
+		t.Fatalf("recorder holds %d traces, want 1", rec.Total())
+	}
+	got := rec.Snapshot()[0]
+	if got.ID() == "" || !got.Finished() {
+		t.Errorf("recorded trace not finished: id=%q", got.ID())
+	}
+	data, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"engine.exec", "core.single", `"machine":"sqli"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("trace JSON missing %q:\n%s", want, data)
+		}
+	}
+
+	// Caller-owned: the trace rides the context, collects spans, and is
+	// NOT delivered to the engine's sink.
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	if back := TraceFromContext(ctx); back != tr {
+		t.Fatal("TraceFromContext did not round-trip")
+	}
+	if r := eng.Run(ctx, Job{Input: []byte("clean")}); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	tr.Finish()
+	if len(tr.Spans()) == 0 {
+		t.Error("caller-owned trace collected no spans")
+	}
+	if rec.Total() != 1 {
+		t.Errorf("caller-owned trace leaked into the engine sink (total %d)", rec.Total())
+	}
+
+	// Traceparent continuation keeps the inbound ID.
+	const parent = "00-0123456789abcdef0123456789abcdef-0123456789abcdef-01"
+	if id := NewTraceFromParent(parent).ID(); id != "0123456789abcdef0123456789abcdef" {
+		t.Errorf("NewTraceFromParent id %q", id)
+	}
+}
