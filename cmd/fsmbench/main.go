@@ -46,7 +46,7 @@ type options struct {
 func main() {
 	var opt options
 	flag.StringVar(&opt.experiment, "experiment", "all",
-		"which figure to regenerate: fig6 fig8 fig9 fig12 fig13 fig14 fig15 fig16 fig17 fig18 scaling speculation shuffles telemetry engine, or all")
+		"which figure to regenerate: fig6 fig8 fig9 fig12 fig13 fig14 fig15 fig16 fig17 fig18 scaling speculation shuffles telemetry engine compile, or all")
 	flag.Int64Var(&opt.seed, "seed", 1, "workload generator seed")
 	flag.IntVar(&opt.corpus, "corpus", 400, "size of the generated Snort-shaped rule corpus (paper: 2711)")
 	flag.IntVar(&opt.sample, "sample", 60, "FSMs sampled for timing figures (paper: 269)")
@@ -85,6 +85,7 @@ func main() {
 		"shuffles":    shuffles,
 		"telemetry":   telemetryExperiment,
 		"engine":      engineExperiment,
+		"compile":     compileExperiment,
 	}
 	if opt.experiment == "all" {
 		names := make([]string, 0, len(experiments))

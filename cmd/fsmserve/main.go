@@ -60,7 +60,9 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -73,16 +75,33 @@ import (
 	"dpfsm/internal/trace"
 )
 
-// server wires the engine, the machine metadata, and the shared
+// server wires the engine, the machine registry, and the shared
 // telemetry sink behind the HTTP surface.
 type server struct {
-	engine   *engine.Engine
-	patterns map[string]string // name -> source regex
-	order    []string          // first pattern is the default machine
+	engine *engine.Engine
+	// mu guards the registry views (meta, order). The engine has its
+	// own lock; this one keeps the name list and per-machine metadata
+	// consistent with it across dynamic register/unregister/reload.
+	mu    sync.RWMutex
+	meta  map[string]machineMeta
+	order []string // registration order; first machine is the default
+	// strategy is the server-wide default for machines that do not
+	// name one; planDir, when set, round-trips serialized plans.
+	strategy core.Strategy
+	planDir  string
 	metrics  *telemetry.Metrics
 	maxBody  int64
 	log      *slog.Logger
 	recorder *trace.Recorder
+}
+
+// machineMeta is the registry's per-machine bookkeeping.
+type machineMeta struct {
+	pattern string
+	// source is "default", "file" (-patterns-file / SIGHUP reload), or
+	// "api" (POST /v1/machines). SIGHUP reconciliation only touches
+	// file-sourced machines.
+	source string
 }
 
 // defaultPatterns serve the zero-config case: a recognizable slice of
@@ -94,12 +113,16 @@ var defaultPatterns = []string{
 	`nopsled=\x90\x90\x90\x90`,
 }
 
-func newServer(patterns []string, strategy core.Strategy, procs int, maxBody int64) (*server, error) {
+func newServer(patterns []string, strategy core.Strategy, procs int, maxBody int64, planDir string) (*server, error) {
+	source := "file"
 	if len(patterns) == 0 {
 		patterns = defaultPatterns
+		source = "default"
 	}
 	s := &server{
-		patterns: make(map[string]string),
+		meta:     make(map[string]machineMeta),
+		strategy: strategy,
+		planDir:  planDir,
 		metrics:  new(telemetry.Metrics),
 		maxBody:  maxBody,
 		// main swaps in the configured logger and recorder; the
@@ -117,19 +140,132 @@ func newServer(patterns []string, strategy core.Strategy, procs int, maxBody int
 			s.Close()
 			return nil, fmt.Errorf("pattern %q: want NAME=REGEX", spec)
 		}
-		d, err := regex.Compile(pat, regex.Options{})
-		if err != nil {
+		if _, _, err := s.registerMachine(name, pat, strategy, source); err != nil {
 			s.Close()
 			return nil, fmt.Errorf("pattern %q: %v", name, err)
 		}
-		if _, err := s.engine.Register(name, d, core.WithStrategy(strategy)); err != nil {
-			s.Close()
-			return nil, fmt.Errorf("pattern %q: %v", name, err)
-		}
-		s.patterns[name] = pat
-		s.order = append(s.order, name)
 	}
 	return s, nil
+}
+
+// registerMachine compiles pattern and registers it under name,
+// consulting the plan-cache directory first (a machine whose plan was
+// persisted by an earlier process skips table construction) and
+// persisting freshly compiled plans back. Returns the machine and
+// whether its plan was reused rather than built.
+func (s *server) registerMachine(name, pattern string, strategy core.Strategy, source string) (*engine.Machine, bool, error) {
+	d, err := regex.Compile(pattern, regex.Options{})
+	if err != nil {
+		return nil, false, err
+	}
+	opts := []core.Option{core.WithStrategy(strategy)}
+
+	var m *engine.Machine
+	cached := false
+	if p := s.loadPlan(d, opts); p != nil {
+		m, err = s.engine.RegisterPlan(name, p, opts...)
+		cached = true
+	} else {
+		m, err = s.engine.Register(name, d, opts...)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	if !cached && m.PlanCached() {
+		cached = true
+	}
+	if s.planDir != "" && !cached {
+		s.savePlan(m.Plan())
+	}
+	s.mu.Lock()
+	s.meta[name] = machineMeta{pattern: pattern, source: source}
+	s.order = append(s.order, name)
+	s.mu.Unlock()
+	return m, cached, nil
+}
+
+// unregisterMachine removes name from the engine and the registry
+// views, reporting whether it existed.
+func (s *server) unregisterMachine(name string) bool {
+	if !s.engine.Unregister(name) {
+		return false
+	}
+	s.mu.Lock()
+	delete(s.meta, name)
+	for i, n := range s.order {
+		if n == name {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	return true
+}
+
+// planPath names a serialized plan inside the plan-cache directory.
+func (s *server) planPath(fingerprint string) string {
+	return filepath.Join(s.planDir, fingerprint+".plan")
+}
+
+// loadPlan returns the persisted plan for (d, opts) when the plan
+// directory holds a valid one, nil otherwise. Corrupt or mismatched
+// files are logged and ignored — the machine just compiles.
+func (s *server) loadPlan(d *fsm.DFA, opts []core.Option) *core.Plan {
+	if s.planDir == "" {
+		return nil
+	}
+	key, err := core.PlanKey(d, opts...)
+	if err != nil {
+		return nil
+	}
+	data, err := os.ReadFile(s.planPath(key))
+	if err != nil {
+		return nil
+	}
+	p, err := core.UnmarshalPlan(data)
+	if err != nil {
+		s.log.Warn("ignoring bad plan file", "path", s.planPath(key), "err", err)
+		return nil
+	}
+	if p.Fingerprint() != key {
+		s.log.Warn("ignoring mismatched plan file", "path", s.planPath(key), "fingerprint", p.Fingerprint())
+		return nil
+	}
+	return p
+}
+
+// savePlan persists a freshly compiled plan with a tmp+rename write,
+// so a crashed process never leaves a torn file where loadPlan looks.
+// Failures are logged, not fatal: the directory is a cache.
+func (s *server) savePlan(p *core.Plan) {
+	data, err := p.MarshalBinary()
+	if err != nil {
+		s.log.Warn("serializing plan", "fingerprint", p.Fingerprint(), "err", err)
+		return
+	}
+	if err := os.MkdirAll(s.planDir, 0o755); err != nil {
+		s.log.Warn("creating plan dir", "dir", s.planDir, "err", err)
+		return
+	}
+	dst := s.planPath(p.Fingerprint())
+	tmp, err := os.CreateTemp(s.planDir, ".plan-*")
+	if err != nil {
+		s.log.Warn("writing plan", "path", dst, "err", err)
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		s.log.Warn("writing plan", "path", dst, "err", errors.Join(werr, cerr))
+		return
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		s.log.Warn("writing plan", "path", dst, "err", err)
+		return
+	}
+	s.log.Info("plan persisted", "path", dst, "bytes", len(data))
 }
 
 // Close releases the engine's workers.
@@ -140,7 +276,15 @@ func (s *server) Close() { s.engine.Close() }
 func (s *server) resolveMachine(w http.ResponseWriter, req *http.Request) (string, *engine.Machine, bool) {
 	name := req.URL.Query().Get("machine")
 	if name == "" {
-		name = s.order[0]
+		s.mu.RLock()
+		if len(s.order) > 0 {
+			name = s.order[0]
+		}
+		s.mu.RUnlock()
+		if name == "" {
+			writeError(w, http.StatusNotFound, "no machines registered")
+			return "", nil, false
+		}
 	}
 	m := s.engine.Machine(name)
 	if m == nil {
@@ -345,19 +489,191 @@ func bufLimit(maxBody int64) int {
 	return int(maxBody) + 1
 }
 
-func (s *server) handleMachines(w http.ResponseWriter, _ *http.Request) {
-	out := make([]serverapi.MachineInfo, 0, len(s.order))
-	for _, name := range s.order {
-		m := s.engine.Machine(name)
-		out = append(out, serverapi.MachineInfo{
-			Name:     name,
-			Pattern:  s.patterns[name],
-			Strategy: m.Runner().Strategy().String(),
-			Procs:    s.engine.Procs(),
-			Stats:    m.DFA().Stats(),
-		})
+// machineInfo assembles the wire view of one registered machine. The
+// caller must hold s.mu (read or write).
+func (s *server) machineInfo(name string, m *engine.Machine) serverapi.MachineInfo {
+	meta := s.meta[name]
+	return serverapi.MachineInfo{
+		Name:        name,
+		Pattern:     meta.pattern,
+		Strategy:    m.Runner().Strategy(),
+		Procs:       s.engine.Procs(),
+		Fingerprint: m.Fingerprint(),
+		Source:      meta.source,
+		Stats:       m.DFA().Stats(),
 	}
-	writeJSON(w, out)
+}
+
+// handleMachines serves the registry collection: GET lists, POST
+// compiles and registers (the dynamic half of the registry).
+func (s *server) handleMachines(w http.ResponseWriter, req *http.Request) {
+	switch req.Method {
+	case http.MethodGet:
+		s.mu.RLock()
+		out := make([]serverapi.MachineInfo, 0, len(s.order))
+		for _, name := range s.order {
+			if m := s.engine.Machine(name); m != nil {
+				out = append(out, s.machineInfo(name, m))
+			}
+		}
+		s.mu.RUnlock()
+		writeJSON(w, out)
+	case http.MethodPost:
+		s.handleRegister(w, req)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET lists machines; POST a serverapi.RegisterRequest to register one")
+	}
+}
+
+// handleRegister is POST /v1/machines: compile-and-register, returning
+// compile stats and the plan fingerprint.
+func (s *server) handleRegister(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, s.maxBody))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	var rr serverapi.RegisterRequest
+	if err := json.Unmarshal(body, &rr); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad register request: %v", err))
+		return
+	}
+	if rr.Name == "" || rr.Pattern == "" {
+		writeError(w, http.StatusBadRequest, "register request needs name and pattern")
+		return
+	}
+	strategy := rr.Strategy
+	if strategy == core.Auto {
+		strategy = s.strategy
+	}
+	t0 := time.Now()
+	m, cached, err := s.registerMachine(rr.Name, rr.Pattern, strategy, "api")
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "duplicate machine") {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	s.log.Info("machine registered",
+		"machine", rr.Name,
+		"source", "api",
+		"strategy", m.Runner().Strategy().String(),
+		"fingerprint", m.Fingerprint(),
+		"plan_cached", cached,
+	)
+	s.mu.RLock()
+	res := serverapi.RegisterResult{
+		Machine:    s.machineInfo(rr.Name, m),
+		PlanCached: cached,
+		CompileNs:  int64(time.Since(t0)),
+		TableBytes: m.Plan().TableBytes(),
+		AutoReason: m.Plan().AutoReason(),
+	}
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(res)
+}
+
+// handleMachineByName serves /v1/machines/{name}: GET one entry,
+// DELETE to unregister.
+func (s *server) handleMachineByName(w http.ResponseWriter, req *http.Request) {
+	name := strings.TrimPrefix(req.URL.Path, serverapi.Version+"/machines/")
+	if name == "" || strings.Contains(name, "/") {
+		writeError(w, http.StatusNotFound, "want /v1/machines/{name}")
+		return
+	}
+	switch req.Method {
+	case http.MethodGet:
+		m := s.engine.Machine(name)
+		if m == nil {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown machine %q", name))
+			return
+		}
+		s.mu.RLock()
+		info := s.machineInfo(name, m)
+		s.mu.RUnlock()
+		writeJSON(w, info)
+	case http.MethodDelete:
+		if !s.unregisterMachine(name) {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown machine %q", name))
+			return
+		}
+		s.log.Info("machine unregistered", "machine", name)
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or DELETE /v1/machines/{name}")
+	}
+}
+
+// reloadPatterns re-reads the patterns file (SIGHUP) and reconciles
+// the registry's file-sourced machines with it: new names are
+// registered, changed patterns are recompiled, and names gone from
+// the file are unregistered. Machines registered over the API (or the
+// built-in defaults) are left alone. A file that fails to parse —
+// including duplicate names — aborts the reload with no changes.
+func (s *server) reloadPatterns(path string) error {
+	specs, err := loadPatternsFile(path)
+	if err != nil {
+		return err
+	}
+	type entry struct{ name, pattern string }
+	desired := make([]entry, 0, len(specs))
+	for _, spec := range specs {
+		name, pat, ok := strings.Cut(spec, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("pattern %q: want NAME=REGEX", spec)
+		}
+		// Compile up front so a bad regex aborts before any mutation.
+		if _, err := regex.Compile(pat, regex.Options{}); err != nil {
+			return fmt.Errorf("pattern %q: %v", name, err)
+		}
+		desired = append(desired, entry{name: name, pattern: pat})
+	}
+
+	s.mu.RLock()
+	current := make(map[string]machineMeta, len(s.meta))
+	for name, meta := range s.meta {
+		current[name] = meta
+	}
+	s.mu.RUnlock()
+
+	inFile := make(map[string]bool, len(desired))
+	var added, replaced, removed int
+	for _, e := range desired {
+		inFile[e.name] = true
+		meta, exists := current[e.name]
+		switch {
+		case exists && meta.source == "api":
+			s.log.Warn("reload: name held by API-registered machine, skipping", "machine", e.name)
+		case exists && meta.pattern == e.pattern:
+			// Unchanged; keep the live machine (and its warm plan).
+		case exists:
+			s.unregisterMachine(e.name)
+			if _, _, err := s.registerMachine(e.name, e.pattern, s.strategy, "file"); err != nil {
+				return fmt.Errorf("pattern %q: %v", e.name, err)
+			}
+			replaced++
+		default:
+			if _, _, err := s.registerMachine(e.name, e.pattern, s.strategy, "file"); err != nil {
+				return fmt.Errorf("pattern %q: %v", e.name, err)
+			}
+			added++
+		}
+	}
+	for name, meta := range current {
+		if (meta.source == "file" || meta.source == "default") && !inFile[name] {
+			s.unregisterMachine(name)
+			removed++
+		}
+	}
+	s.log.Info("patterns reloaded", "file", path, "machines", len(desired),
+		"added", added, "replaced", replaced, "removed", removed)
+	return nil
 }
 
 func (s *server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
@@ -422,6 +738,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc(serverapi.Version+"/run", s.instrument(serverapi.Version+"/run", true, s.handleRun))
 	mux.HandleFunc(serverapi.Version+"/batch", s.instrument(serverapi.Version+"/batch", true, s.handleBatch))
 	mux.HandleFunc(serverapi.Version+"/machines", s.instrument(serverapi.Version+"/machines", false, s.handleMachines))
+	mux.HandleFunc(serverapi.Version+"/machines/", s.instrument(serverapi.Version+"/machines/{name}", false, s.handleMachineByName))
 	mux.HandleFunc(serverapi.Version+"/snapshot", s.instrument(serverapi.Version+"/snapshot", false, s.handleSnapshot))
 	mux.Handle(serverapi.Version+"/metrics", s.instrument(serverapi.Version+"/metrics", false, metricsHandler.ServeHTTP))
 	mux.HandleFunc(serverapi.Version+"/traces", s.instrument(serverapi.Version+"/traces", false, s.handleTraces))
@@ -446,17 +763,27 @@ func (s *server) mux() *http.ServeMux {
 }
 
 // loadPatternsFile reads NAME=REGEX lines; blank lines and #-comments
-// are skipped.
+// are skipped. Duplicate names are an error — last-write-wins would
+// silently shadow an earlier pattern, which for a rule set means a
+// rule that quietly stops matching.
 func loadPatternsFile(path string) ([]string, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	var out []string
-	for _, line := range strings.Split(string(data), "\n") {
+	seen := make(map[string]int) // name -> first line number
+	for i, line := range strings.Split(string(data), "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
+		}
+		if name, _, ok := strings.Cut(line, "="); ok && name != "" {
+			if first, dup := seen[name]; dup {
+				return nil, fmt.Errorf("%s:%d: duplicate machine name %q (first defined on line %d)",
+					path, i+1, name, first)
+			}
+			seen[name] = i + 1
 		}
 		out = append(out, line)
 	}
@@ -469,7 +796,8 @@ func main() {
 		strat           = flag.String("strategy", "auto", "execution strategy, one of: "+strings.Join(core.Strategies(), " "))
 		procs           = flag.Int("procs", 0, "multicore width for large inputs (0 = NumCPU, 1 = single-core only)")
 		maxBody         = flag.Int64("maxbody", 64<<20, "maximum POSTed body size in bytes")
-		patternsFile    = flag.String("patterns-file", "", "file of NAME=REGEX machines, one per line (default: a small IDS rule set)")
+		patternsFile    = flag.String("patterns-file", "", "file of NAME=REGEX machines, one per line (default: a small IDS rule set); SIGHUP re-reads it")
+		planDir         = flag.String("plan-cache-dir", "", "directory of serialized compiled plans; machines whose plans are present skip table construction across restarts")
 		logFormat       = flag.String("log-format", "text", `log output format: "text" or "json"`)
 		traceBuf        = flag.Int("trace-buf", trace.DefaultRecorderCapacity, "flight-recorder capacity: completed request traces retained for /v1/traces")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown deadline on SIGINT/SIGTERM")
@@ -503,7 +831,7 @@ func main() {
 			fatal("loading -patterns-file", err)
 		}
 	}
-	srv, err := newServer(patterns, strategy, *procs, *maxBody)
+	srv, err := newServer(patterns, strategy, *procs, *maxBody, *planDir)
 	if err != nil {
 		fatal("building server", err)
 	}
@@ -517,8 +845,24 @@ func main() {
 			"states", stats.States,
 			"max_range", stats.MaxRange,
 			"strategy", m.Runner().Strategy().String(),
+			"fingerprint", m.Fingerprint(),
+			"plan_cached", m.PlanCached(),
 			"procs", srv.engine.Procs(),
 		)
+	}
+
+	// SIGHUP re-reads the patterns file and reconciles the registry;
+	// only meaningful when a file was given.
+	if *patternsFile != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				if err := srv.reloadPatterns(*patternsFile); err != nil {
+					logger.Error("reload failed; keeping current machines", "file", *patternsFile, "err", err)
+				}
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.mux()}

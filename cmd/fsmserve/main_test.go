@@ -18,7 +18,7 @@ import (
 
 func testServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
-	srv, err := newServer(nil, core.Auto, 1, 1<<20)
+	srv, err := newServer(nil, core.Auto, 1, 1<<20, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,8 +284,11 @@ func TestSnapshotAndMachinesEndpoints(t *testing.T) {
 		t.Fatalf("machines = %d, want %d", len(machines), len(defaultPatterns))
 	}
 	for _, m := range machines {
-		if m.Stats.States == 0 || m.Stats.MaxRange == 0 || m.Strategy == "" {
+		if m.Stats.States == 0 || m.Stats.MaxRange == 0 || m.Strategy == core.Auto {
 			t.Errorf("machine %q missing stats: %+v", m.Name, m)
+		}
+		if m.Fingerprint == "" || m.Source != "default" {
+			t.Errorf("machine %q missing registry metadata: %+v", m.Name, m)
 		}
 	}
 
@@ -348,13 +351,13 @@ func TestDebugSurfaces(t *testing.T) {
 }
 
 func TestNewServerErrors(t *testing.T) {
-	if _, err := newServer([]string{"noequals"}, core.Auto, 1, 1<<20); err == nil {
+	if _, err := newServer([]string{"noequals"}, core.Auto, 1, 1<<20, ""); err == nil {
 		t.Error("pattern without NAME= should error")
 	}
-	if _, err := newServer([]string{"a=x(", "b=y"}, core.Auto, 1, 1<<20); err == nil {
+	if _, err := newServer([]string{"a=x(", "b=y"}, core.Auto, 1, 1<<20, ""); err == nil {
 		t.Error("bad regex should error")
 	}
-	if _, err := newServer([]string{"a=x", "a=y"}, core.Auto, 1, 1<<20); err == nil {
+	if _, err := newServer([]string{"a=x", "a=y"}, core.Auto, 1, 1<<20, ""); err == nil {
 		t.Error("duplicate names should error")
 	}
 }
@@ -378,7 +381,7 @@ func TestLoadPatternsFile(t *testing.T) {
 			t.Errorf("pattern %d = %q, want %q", i, patterns[i], want[i])
 		}
 	}
-	srv, err := newServer(patterns, core.Auto, 1, 1<<20)
+	srv, err := newServer(patterns, core.Auto, 1, 1<<20, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -83,8 +83,33 @@ const (
 	RangeConvergence = core.RangeConvergence
 )
 
-// NewRunner builds a Runner for d.
+// NewRunner builds a Runner for d (compile + execute in one call).
 func NewRunner(d *DFA, opts ...Option) (*Runner, error) { return core.New(d, opts...) }
+
+// Compile/execute split (internal/core + internal/plan). A Plan is
+// the immutable compiled artifact of one (machine, strategy) pair —
+// strategy tables, shuffle constants, the auto-selection decision —
+// separable from the mutable Runner that executes it. Compile once,
+// run with any number of Runners, persist with MarshalBinary, reload
+// with UnmarshalPlan.
+type Plan = core.Plan
+
+// CompilePlan compiles d into an immutable execution plan; runtime
+// options are ignored, only WithStrategy matters here.
+func CompilePlan(d *DFA, opts ...Option) (*Plan, error) { return core.CompilePlan(d, opts...) }
+
+// NewRunnerFromPlan builds a Runner over an existing plan with zero
+// table construction. A WithStrategy option, if present, must match
+// the plan's resolved strategy.
+func NewRunnerFromPlan(p *Plan, opts ...Option) (*Runner, error) { return core.NewFromPlan(p, opts...) }
+
+// UnmarshalPlan decodes a plan serialized with Plan.MarshalBinary,
+// revalidating the embedded machine and bounds-checking every table.
+func UnmarshalPlan(data []byte) (*Plan, error) { return core.UnmarshalPlan(data) }
+
+// PlanKey computes the cache fingerprint CompilePlan would assign,
+// without building tables — the membership probe for plan caches.
+func PlanKey(d *DFA, opts ...Option) (string, error) { return core.PlanKey(d, opts...) }
 
 // WithStrategy pins the execution strategy instead of Auto selection.
 func WithStrategy(s Strategy) Option { return core.WithStrategy(s) }
@@ -124,6 +149,12 @@ type (
 	Result = engine.Result
 	// BatchStats aggregates one RunBatch call.
 	BatchStats = engine.BatchStats
+	// PlanCache is a bounded LRU of compiled plans keyed by
+	// fingerprint; engines use one so registrations reuse compiled
+	// artifacts instead of rebuilding tables.
+	PlanCache = engine.PlanCache
+	// PlanCacheStats reports a cache's hit/miss/eviction counters.
+	PlanCacheStats = engine.PlanCacheStats
 )
 
 // Engine failure modes, returned inside Result.Err or from Submit.
@@ -154,6 +185,16 @@ func WithEngineProcs(p int) EngineOption { return engine.WithProcs(p) }
 // WithEngineTelemetry attaches a metrics sink to the engine and every
 // runner it builds.
 func WithEngineTelemetry(m *Metrics) EngineOption { return engine.WithTelemetry(m) }
+
+// NewPlanCache builds a plan cache bounded to max entries (max <= 0
+// selects the default); m, when non-nil, receives hit/miss/eviction
+// telemetry.
+func NewPlanCache(max int, m *Metrics) *PlanCache { return engine.NewPlanCache(max, m) }
+
+// WithPlanCache shares a plan cache across engines (or between an
+// engine and a direct CompilePlan caller); the default is a private
+// per-engine cache.
+func WithPlanCache(pc *PlanCache) EngineOption { return engine.WithPlanCache(pc) }
 
 // WithEngineTraceSink makes the engine create a per-job Trace for every
 // job whose context does not already carry one, delivering completed

@@ -118,6 +118,32 @@ func ParseStrategy(name string) (Strategy, error) {
 		name, strings.Join(Strategies(), " "))
 }
 
+// MarshalText implements encoding.TextMarshaler, so JSON/TOML surfaces
+// carry strategy names ("range", "convergence", …) instead of enum
+// integers without hand-rolled conversion.
+func (s Strategy) MarshalText() ([]byte, error) {
+	if s < Auto || s > RangeConvergence {
+		return nil, fmt.Errorf("core: cannot marshal invalid strategy %d", int(s))
+	}
+	return []byte(s.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParseStrategy.
+// Empty text decodes to Auto, so omitted JSON fields mean "pick for
+// me" rather than an error.
+func (s *Strategy) UnmarshalText(text []byte) error {
+	if len(text) == 0 {
+		*s = Auto
+		return nil
+	}
+	v, err := ParseStrategy(string(text))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
 // Option configures a Runner.
 type Option func(*config)
 
@@ -200,25 +226,29 @@ const (
 	defaultMinChunk  = 1 << 12
 )
 
-// Runner executes one machine with one strategy. It is immutable after
-// New and safe for concurrent use.
+func defaultConfig() config {
+	return config{
+		strategy:  Auto,
+		procs:     1,
+		convEvery: defaultConvEvery,
+		minChunk:  defaultMinChunk,
+	}
+}
+
+// Runner is the run-time half of the compile/execute split: a thin
+// execution context — multicore width, convergence cadence, kernel
+// selection, telemetry sink, scratch pool — over a shared immutable
+// *Plan holding every machine-derived table. Any number of Runners
+// may share one Plan (the engine's pooled single-core and multicore
+// runners do exactly that); a Runner is itself immutable after
+// construction and safe for concurrent use.
 type Runner struct {
-	d         *fsm.DFA
-	n         int
-	strategy  Strategy
+	*Plan
+
 	procs     int
 	convEvery int
 	minChunk  int
 
-	ranges []int // per-symbol |range(T[a])|
-	// rangeBlocks[a] = ⌈ranges[a]/gather.Width⌉, precomputed so the
-	// telemetry reconstruction pass over range-coalesced inputs is a
-	// table-lookup sum instead of per-symbol arithmetic.
-	rangeBlocks []int64
-
-	// nBlocks is ⌈n/gather.Width⌉, the per-gather table block count of
-	// the §4.2 shuffle cost model (telemetry accounting).
-	nBlocks int
 	// tel is the attached metrics sink; nil disables collection.
 	// stratRuns caches tel.StrategyRuns for this runner's strategy so
 	// the per-run path never takes the label-registry mutex.
@@ -232,39 +262,44 @@ type Runner struct {
 	// gatherB is the byte-lane gather kernel matching simd.
 	gatherB func(dst, s, t []byte)
 
-	// Byte-encoded transition columns; nil when n > 256.
-	colsB [][]byte
-	// State-typed columns (alias the machine's storage).
-	cols16 [][]fsm.State
-
-	rc *rcTables // range-coalesced tables; nil unless strategy needs them
-
 	// scratchPool recycles the per-run working vectors (scratch.go) so
 	// batch workloads — many small runs over one shared Runner — do
 	// not allocate enumerative state per job.
 	scratchPool sync.Pool
 }
 
-// New builds a Runner for d. The machine is validated and must not be
-// mutated afterwards.
+// New compiles d and builds a Runner over the fresh plan — the
+// one-shot path. Callers constructing many runners for one machine
+// (or reloading a serialized plan) should CompilePlan/UnmarshalPlan
+// once and use NewFromPlan.
 func New(d *fsm.DFA, opts ...Option) (*Runner, error) {
-	if err := d.Validate(); err != nil {
+	p, err := CompilePlan(d, opts...)
+	if err != nil {
 		return nil, err
 	}
-	cfg := config{
-		strategy:  Auto,
-		procs:     1,
-		convEvery: defaultConvEvery,
-		minChunk:  defaultMinChunk,
+	return NewFromPlan(p, opts...)
+}
+
+// NewFromPlan builds a Runner executing p. Run-time options (procs,
+// convergence cadence, SIMD emulation, telemetry) apply as in New;
+// WithStrategy, if given, must match the plan's resolved strategy —
+// a plan *is* a strategy's compiled tables, so running it any other
+// way is a compile-time request, not a run-time one.
+func NewFromPlan(p *Plan, opts ...Option) (*Runner, error) {
+	if p == nil {
+		return nil, fmt.Errorf("core: nil plan")
 	}
+	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.strategy != Auto && cfg.strategy != p.strategy {
+		return nil, fmt.Errorf("core: plan compiled for strategy %s cannot run as %s (recompile with CompilePlan)",
+			p.strategy, cfg.strategy)
+	}
 
 	r := &Runner{
-		d:         d,
-		n:         d.NumStates(),
-		strategy:  cfg.strategy,
+		Plan:      p,
 		procs:     cfg.procs,
 		convEvery: cfg.convEvery,
 		minChunk:  cfg.minChunk,
@@ -283,54 +318,6 @@ func New(d *fsm.DFA, opts ...Option) (*Runner, error) {
 		// chunk would divide by zero (or hand workers empty chunks).
 		r.minChunk = 1
 	}
-
-	r.ranges = d.RangeSizes()
-	maxRange := 0
-	for _, v := range r.ranges {
-		if v > maxRange {
-			maxRange = v
-		}
-	}
-
-	if r.strategy == Auto {
-		if maxRange <= gather.Width {
-			r.strategy = RangeCoalesced
-		} else {
-			r.strategy = Convergence
-		}
-	}
-
-	r.cols16 = make([][]fsm.State, d.NumSymbols())
-	for a := 0; a < d.NumSymbols(); a++ {
-		r.cols16[a] = d.Column(byte(a))
-	}
-	if r.n <= 256 {
-		r.colsB = make([][]byte, d.NumSymbols())
-		for a := 0; a < d.NumSymbols(); a++ {
-			col := r.cols16[a]
-			b := make([]byte, r.n)
-			for q, s := range col {
-				b[q] = byte(s)
-			}
-			r.colsB[a] = b
-		}
-	}
-
-	if r.strategy == RangeCoalesced || r.strategy == RangeConvergence {
-		if maxRange > 256 {
-			return nil, fmt.Errorf("core: range coalescing needs max range ≤ 256, machine has %d (use Convergence)", maxRange)
-		}
-		r.rc = buildRCTables(d, r.ranges)
-	}
-
-	r.nBlocks = (r.n + gather.Width - 1) / gather.Width
-	// Accounting reconstruction (noteRCPlain) runs for traced runs even
-	// without a telemetry sink, so the block table is built always: 256
-	// entries once per Runner.
-	r.rangeBlocks = make([]int64, len(r.ranges))
-	for a, v := range r.ranges {
-		r.rangeBlocks[a] = int64((v + gather.Width - 1) / gather.Width)
-	}
 	if cfg.tel != nil {
 		r.tel = cfg.tel
 		r.tel.StrategySelected.Get(r.strategy.String()).Inc()
@@ -338,6 +325,9 @@ func New(d *fsm.DFA, opts ...Option) (*Runner, error) {
 	}
 	return r, nil
 }
+
+// Plan returns the shared compiled artifact this runner executes.
+func (r *Runner) PlanRef() *Plan { return r.Plan }
 
 // Telemetry returns the attached metrics sink (nil when disabled).
 func (r *Runner) Telemetry() *telemetry.Metrics { return r.tel }
@@ -374,14 +364,8 @@ func (r *Runner) noteSingle(rs *runStats, gathers, shuffles, factorCalls, factor
 	t.ActiveFinal.Observe(int64(final))
 }
 
-// Strategy reports the resolved single-core strategy.
-func (r *Runner) Strategy() Strategy { return r.strategy }
-
 // Procs reports the configured multicore width.
 func (r *Runner) Procs() int { return r.procs }
-
-// Machine returns the underlying DFA.
-func (r *Runner) Machine() *fsm.DFA { return r.d }
 
 // Final returns the state reached from start after consuming input.
 func (r *Runner) Final(input []byte, start fsm.State) fsm.State {

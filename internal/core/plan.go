@@ -1,0 +1,249 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/gather"
+)
+
+// Plan is the compile-time half of the compile/execute split: every
+// strategy-dependent precomputation that is a static function of the
+// machine — the resolved strategy (with the Auto decision's reason),
+// per-symbol range sizes, byte/state transition columns, the
+// range-coalesced table set, and the shuffle-cost block tables. The
+// paper frames exactly this work as an FSM *compiler* step (§6.1);
+// isolating it makes the artifact shareable (every pooled Runner for a
+// machine references one Plan), cacheable (internal/engine keys a
+// cache by Fingerprint), and serializable (MarshalBinary /
+// UnmarshalPlan, via internal/plan).
+//
+// A Plan is immutable after CompilePlan and safe for any number of
+// concurrent Runners. It carries nothing mutable or environmental: no
+// procs, no telemetry, no scratch — those live on Runner, which is why
+// a plan fingerprint does not include them.
+type Plan struct {
+	d        *fsm.DFA
+	n        int
+	strategy Strategy
+	// reason records why Auto picked strategy; empty when the strategy
+	// was forced by WithStrategy.
+	reason   string
+	maxRange int
+
+	ranges []int // per-symbol |range(T[a])|
+	// rangeBlocks[a] = ⌈ranges[a]/gather.Width⌉, precomputed so the
+	// telemetry reconstruction pass over range-coalesced inputs is a
+	// table-lookup sum instead of per-symbol arithmetic.
+	rangeBlocks []int64
+	// nBlocks is ⌈n/gather.Width⌉, the per-gather table block count of
+	// the §4.2 shuffle cost model (telemetry accounting).
+	nBlocks int
+
+	// Byte-encoded transition columns; nil when n > 256.
+	colsB [][]byte
+	// State-typed columns (alias the machine's storage).
+	cols16 [][]fsm.State
+
+	rc *rcTables // range-coalesced tables; nil unless strategy needs them
+
+	// fingerprint = hex(sha256(machine encoding ‖ strategy name)[:16]).
+	fingerprint string
+}
+
+// CompilePlan validates d and builds the compiled artifact for the
+// requested (or Auto-selected) strategy. The machine must not be
+// mutated afterwards; the plan aliases its transition storage.
+func CompilePlan(d *fsm.DFA, opts ...Option) (*Plan, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return compile(d, cfg.strategy)
+}
+
+// resolveStrategy applies the Auto decision rule (§6.1) to a machine
+// whose maximum transition range is maxRange, returning the resolved
+// strategy and the reason. Forced strategies pass through with an
+// empty reason.
+func resolveStrategy(s Strategy, maxRange int) (Strategy, string) {
+	if s != Auto {
+		return s, ""
+	}
+	if maxRange <= gather.Width {
+		return RangeCoalesced,
+			fmt.Sprintf("max range %d ≤ shuffle width %d: one shuffle per symbol (§5.3)", maxRange, gather.Width)
+	}
+	return Convergence,
+		fmt.Sprintf("max range %d > shuffle width %d: rely on convergence (§5.2)", maxRange, gather.Width)
+}
+
+// PlanKey computes the fingerprint CompilePlan would assign to d under
+// opts — the cache key — without building any tables: one range scan
+// to resolve Auto plus one hash over the machine encoding. Plan caches
+// use it to test membership before paying for compilation.
+func PlanKey(d *fsm.DFA, opts ...Option) (string, error) {
+	if err := d.Validate(); err != nil {
+		return "", err
+	}
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	maxRange := 0
+	for _, v := range d.RangeSizes() {
+		if v > maxRange {
+			maxRange = v
+		}
+	}
+	s, _ := resolveStrategy(cfg.strategy, maxRange)
+	return fingerprint(d, s), nil
+}
+
+// compile is CompilePlan after validation and option folding; it is
+// the single constructor every path (New, CompilePlan, UnmarshalPlan's
+// cross-check) funnels through.
+func compile(d *fsm.DFA, strategy Strategy) (*Plan, error) {
+	p := &Plan{
+		d:        d,
+		n:        d.NumStates(),
+		strategy: strategy,
+	}
+	p.ranges = d.RangeSizes()
+	for _, v := range p.ranges {
+		if v > p.maxRange {
+			p.maxRange = v
+		}
+	}
+	p.strategy, p.reason = resolveStrategy(p.strategy, p.maxRange)
+
+	p.cols16 = make([][]fsm.State, d.NumSymbols())
+	for a := 0; a < d.NumSymbols(); a++ {
+		p.cols16[a] = d.Column(byte(a))
+	}
+	if p.n <= 256 {
+		p.colsB = make([][]byte, d.NumSymbols())
+		for a := 0; a < d.NumSymbols(); a++ {
+			col := p.cols16[a]
+			b := make([]byte, p.n)
+			for q, s := range col {
+				b[q] = byte(s)
+			}
+			p.colsB[a] = b
+		}
+	}
+
+	if p.strategy == RangeCoalesced || p.strategy == RangeConvergence {
+		if p.maxRange > 256 {
+			return nil, fmt.Errorf("core: range coalescing needs max range ≤ 256, machine has %d (use Convergence)", p.maxRange)
+		}
+		p.rc = buildRCTables(d, p.ranges)
+	}
+
+	p.nBlocks = (p.n + gather.Width - 1) / gather.Width
+	// Accounting reconstruction (noteRCPlain) runs for traced runs even
+	// without a telemetry sink, so the block table is built always: 256
+	// entries once per Plan.
+	p.rangeBlocks = make([]int64, len(p.ranges))
+	for a, v := range p.ranges {
+		p.rangeBlocks[a] = int64((v + gather.Width - 1) / gather.Width)
+	}
+	p.fingerprint = fingerprint(d, p.strategy)
+	return p, nil
+}
+
+// fingerprint derives the cache identity of a compiled machine:
+// sha256 over the machine's canonical binary encoding followed by the
+// resolved strategy name, truncated to 128 bits and hex-encoded.
+// Runner-level knobs (procs, convergence cadence, SIMD emulation,
+// telemetry) are deliberately excluded — plans are invariant under
+// them, which is what lets a single-core and a multicore runner pair
+// share one cache entry.
+func fingerprint(d *fsm.DFA, s Strategy) string {
+	h := sha256.New()
+	// DFA.WriteTo into a hash never fails.
+	d.WriteTo(h) //nolint:errcheck
+	h.Write([]byte(s.String()))
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}
+
+// Strategy reports the resolved single-core strategy (never Auto).
+func (p *Plan) Strategy() Strategy { return p.strategy }
+
+// Machine returns the underlying DFA. It must not be mutated.
+func (p *Plan) Machine() *fsm.DFA { return p.d }
+
+// Fingerprint identifies this compiled machine: equal fingerprints
+// mean the same machine encoding compiled with the same strategy.
+func (p *Plan) Fingerprint() string { return p.fingerprint }
+
+// AutoReason explains the Auto strategy decision; empty when the
+// strategy was forced at compile time.
+func (p *Plan) AutoReason() string { return p.reason }
+
+// MaxRange reports the machine's maximum per-symbol transition range,
+// the quantity the Auto decision pivots on.
+func (p *Plan) MaxRange() int { return p.maxRange }
+
+// TableBytes reports the approximate size of the strategy-dependent
+// tables this plan precomputed — what a cache entry costs to keep and
+// what a cache miss costs to rebuild.
+func (p *Plan) TableBytes() int {
+	total := 0
+	for _, c := range p.colsB {
+		total += len(c)
+	}
+	if p.rc != nil {
+		total += p.rc.EntryCount() // t tables (bytes)
+		for _, l := range p.rc.l {
+			total += len(l)
+		}
+		for _, u := range p.rc.u {
+			total += 2 * len(u)
+		}
+	}
+	return total
+}
+
+// equivalent reports whether two plans describe the same compiled
+// artifact, table for table. Used by tests and by serialization
+// round-trip checks; fingerprint equality is the fast proxy.
+func (p *Plan) equivalent(q *Plan) bool {
+	if p.fingerprint != q.fingerprint || p.strategy != q.strategy || p.n != q.n {
+		return false
+	}
+	if len(p.ranges) != len(q.ranges) {
+		return false
+	}
+	for a := range p.ranges {
+		if p.ranges[a] != q.ranges[a] {
+			return false
+		}
+	}
+	if (p.rc == nil) != (q.rc == nil) {
+		return false
+	}
+	if p.rc != nil {
+		for a := range p.rc.l {
+			if !bytes.Equal(p.rc.l[a], q.rc.l[a]) || !bytes.Equal(p.rc.tf[a], q.rc.tf[a]) {
+				return false
+			}
+			if len(p.rc.u[a]) != len(q.rc.u[a]) {
+				return false
+			}
+			for i := range p.rc.u[a] {
+				if p.rc.u[a][i] != q.rc.u[a][i] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

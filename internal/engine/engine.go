@@ -74,6 +74,7 @@ type config struct {
 	procs      int
 	tel        *telemetry.Metrics
 	sink       trace.Sink
+	planCache  *PlanCache
 }
 
 // WithWorkers sets the worker-pool size. n <= 0 means runtime.NumCPU().
@@ -121,13 +122,26 @@ func WithTraceSink(s trace.Sink) Option {
 	return func(c *config) { c.sink = s }
 }
 
-// Machine is one compiled DFA registered with the engine, holding the
-// runner pair the dispatch policy chooses between.
+// WithPlanCache shares an externally constructed plan cache with the
+// engine, so several engines (or an engine and a plan-directory
+// loader) reuse one compiled-plan pool. nil (the default) gives the
+// engine a private cache of DefaultPlanCacheSize entries.
+func WithPlanCache(pc *PlanCache) Option {
+	return func(c *config) { c.planCache = pc }
+}
+
+// Machine is one compiled DFA registered with the engine: a shared
+// compiled plan plus the runner pair the dispatch policy chooses
+// between. Both runners execute the same *core.Plan — the tables are
+// derived once (or fetched from the plan cache), never per lane.
 type Machine struct {
 	name   string
 	dfa    *fsm.DFA
+	plan   *core.Plan
 	single *core.Runner // batch lane: WithProcs(1)
 	multi  *core.Runner // input lane: WithProcs(procs); nil when procs == 1
+	// planHit records whether registration found the plan in the cache.
+	planHit bool
 }
 
 // Name returns the registration name.
@@ -139,6 +153,16 @@ func (m *Machine) DFA() *fsm.DFA { return m.dfa }
 // Runner returns the single-core runner (the batch lane), for callers
 // that want direct access to strategy introspection or streaming.
 func (m *Machine) Runner() *core.Runner { return m.single }
+
+// Plan returns the compiled plan both lanes share.
+func (m *Machine) Plan() *core.Plan { return m.plan }
+
+// Fingerprint returns the plan's cache identity.
+func (m *Machine) Fingerprint() string { return m.plan.Fingerprint() }
+
+// PlanCached reports whether registration reused a cached plan
+// instead of compiling.
+func (m *Machine) PlanCached() bool { return m.planHit }
 
 // Job is one unit of work: run Input through Machine.
 type Job struct {
@@ -214,6 +238,7 @@ type Engine struct {
 	multiGate chan struct{}
 	tel       *telemetry.Metrics
 	sink      trace.Sink
+	planCache *PlanCache
 }
 
 const (
@@ -244,6 +269,9 @@ func New(opts ...Option) *Engine {
 	if gate < 1 {
 		gate = 1
 	}
+	if cfg.planCache == nil {
+		cfg.planCache = NewPlanCache(DefaultPlanCacheSize, cfg.tel)
+	}
 	e := &Engine{
 		machines:   make(map[string]*Machine),
 		queue:      make(chan task, cfg.queueDepth),
@@ -255,6 +283,7 @@ func New(opts ...Option) *Engine {
 		multiGate:  make(chan struct{}, gate),
 		tel:        cfg.tel,
 		sink:       cfg.sink,
+		planCache:  cfg.planCache,
 	}
 	for i := 0; i < cfg.workers; i++ {
 		e.wg.Add(1)
@@ -276,30 +305,76 @@ func (e *Engine) LargeInput() int { return e.largeInput }
 // multicore lane is disabled).
 func (e *Engine) Procs() int { return e.procs }
 
-// Register compiles d into the engine under name: a single-core runner
-// for the batch lane and, when the engine's procs exceed one, a
-// multicore runner for the input lane. opts are forwarded to both
-// runners (strategy, convergence cadence, ...); the engine appends its
-// own WithProcs and WithTelemetry last, so per-runner procs and
-// telemetry cannot be overridden.
+// Register compiles d into the engine under name — or, when an equal
+// machine+strategy is already in the plan cache, reuses its compiled
+// plan with zero table construction — and builds the runner pair over
+// the shared plan: a single-core runner for the batch lane and, when
+// the engine's procs exceed one, a multicore runner for the input
+// lane. opts are forwarded to compilation and both runners (strategy,
+// convergence cadence, ...); the engine appends its own WithProcs and
+// WithTelemetry last, so per-runner procs and telemetry cannot be
+// overridden.
 func (e *Engine) Register(name string, d *fsm.DFA, opts ...core.Option) (*Machine, error) {
 	if name == "" {
 		return nil, errors.New("engine: empty machine name")
 	}
-	single, err := core.New(d, append(opts[:len(opts):len(opts)],
+	// Reject duplicates before paying for compilation: a dup is a
+	// caller bug, and compiling first would also pollute the cache
+	// stats with a lookup for a registration that cannot land.
+	e.mu.RLock()
+	_, dup := e.machines[name]
+	e.mu.RUnlock()
+	if dup {
+		return nil, fmt.Errorf("engine: duplicate machine %q", name)
+	}
+	p, hit, err := e.planCache.GetOrCompile(d, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("engine: machine %q: %w", name, err)
+	}
+	return e.registerPlan(name, d, p, hit, opts...)
+}
+
+// RegisterPlan registers a machine from an already compiled plan —
+// the restart path: plans deserialized from a plan-cache directory
+// skip table construction entirely. The plan is entered into the
+// engine's cache under its fingerprint (an already cached equal plan
+// wins, keeping one canonical instance); opts configure the runners
+// and must not force a strategy other than the plan's.
+func (e *Engine) RegisterPlan(name string, p *core.Plan, opts ...core.Option) (*Machine, error) {
+	if name == "" {
+		return nil, errors.New("engine: empty machine name")
+	}
+	if p == nil {
+		return nil, errors.New("engine: nil plan")
+	}
+	e.mu.RLock()
+	_, dup := e.machines[name]
+	e.mu.RUnlock()
+	if dup {
+		return nil, fmt.Errorf("engine: duplicate machine %q", name)
+	}
+	p = e.planCache.Add(p)
+	return e.registerPlan(name, p.Machine(), p, true, opts...)
+}
+
+// registerPlan builds the lane runners over p and installs the
+// machine, re-checking the name under the write lock (a concurrent
+// Register for the same name may have won since the pre-check).
+func (e *Engine) registerPlan(name string, d *fsm.DFA, p *core.Plan, hit bool, opts ...core.Option) (*Machine, error) {
+	single, err := core.NewFromPlan(p, append(opts[:len(opts):len(opts)],
 		core.WithProcs(1), core.WithTelemetry(e.tel))...)
 	if err != nil {
 		return nil, fmt.Errorf("engine: machine %q: %w", name, err)
 	}
 	var multi *core.Runner
 	if e.procs > 1 {
-		multi, err = core.New(d, append(opts[:len(opts):len(opts)],
+		multi, err = core.NewFromPlan(p, append(opts[:len(opts):len(opts)],
 			core.WithProcs(e.procs), core.WithTelemetry(e.tel))...)
 		if err != nil {
 			return nil, fmt.Errorf("engine: machine %q: %w", name, err)
 		}
 	}
-	m := &Machine{name: name, dfa: d, single: single, multi: multi}
+	m := &Machine{name: name, dfa: d, plan: p, single: single, multi: multi, planHit: hit}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, dup := e.machines[name]; dup {
@@ -309,6 +384,30 @@ func (e *Engine) Register(name string, d *fsm.DFA, opts ...core.Option) (*Machin
 	e.order = append(e.order, name)
 	return m, nil
 }
+
+// Unregister removes a machine by name, reporting whether it was
+// registered. In-flight jobs holding the machine finish normally (the
+// runner pair stays valid); new jobs naming it fail with
+// ErrUnknownMachine. The compiled plan stays in the plan cache, so a
+// re-registration of the same machine is a cache hit.
+func (e *Engine) Unregister(name string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.machines[name]; !ok {
+		return false
+	}
+	delete(e.machines, name)
+	for i, n := range e.order {
+		if n == name {
+			e.order = append(e.order[:i], e.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// PlanCache returns the engine's compiled-plan cache.
+func (e *Engine) PlanCache() *PlanCache { return e.planCache }
 
 // Machine looks up a registered machine by name (nil if absent).
 func (e *Engine) Machine(name string) *Machine {

@@ -41,7 +41,16 @@ func (d *DFA) WriteTo(w io.Writer) (int64, error) {
 	if err := write(accept); err != nil {
 		return n, err
 	}
-	if err := write(d.trans); err != nil {
+	// Encode the transition table by hand: binary.Write would take the
+	// reflection path for a slice of the named State type, which
+	// dominates serialization time for large machines.
+	tbuf := make([]byte, 2*len(d.trans))
+	for i, s := range d.trans {
+		binary.LittleEndian.PutUint16(tbuf[2*i:], uint16(s))
+	}
+	nt, err := w.Write(tbuf)
+	n += int64(nt)
+	if err != nil {
 		return n, err
 	}
 	return n, nil
@@ -72,8 +81,12 @@ func ReadDFA(r io.Reader) (*DFA, error) {
 	for q := 0; q < numStates; q++ {
 		d.accept[q] = accept[q/8]&(1<<(uint(q)%8)) != 0
 	}
-	if err := binary.Read(r, binary.LittleEndian, d.trans); err != nil {
+	tbuf := make([]byte, 2*len(d.trans))
+	if _, err := io.ReadFull(r, tbuf); err != nil {
 		return nil, err
+	}
+	for i := range d.trans {
+		d.trans[i] = State(binary.LittleEndian.Uint16(tbuf[2*i:]))
 	}
 	if int(start) >= numStates {
 		return nil, fmt.Errorf("fsm: start state %d out of range", start)

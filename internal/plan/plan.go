@@ -1,0 +1,358 @@
+// Package plan defines the versioned, checksummed binary container
+// for compiled FSM execution plans — the on-disk/on-wire half of the
+// compile/execute split. The paper frames strategy selection and
+// table construction as an FSM *compiler* step (§6.1): everything in
+// a plan is a static function of the machine, so once built it can be
+// persisted, shipped between processes, and mmap-style reloaded far
+// faster than it can be rebuilt.
+//
+// This package only knows the wire format: a dumb File of byte/uint16
+// tables with framing, a format version, and a trailing CRC-64
+// checksum. Semantic validation — do the tables actually describe
+// this machine, are all names in range — belongs to internal/core,
+// which converts File to and from its live Plan representation
+// (core.Plan.MarshalBinary / core.UnmarshalPlan). The split keeps the
+// dependency arrow pointing one way (core → plan) and makes the
+// decoder independently fuzzable.
+//
+// Layout (little-endian throughout):
+//
+//	magic    [8]byte  "DPFSMPLN"
+//	version  uint16
+//	strategy      uint16 len + bytes   resolved strategy name
+//	auto_reason   uint16 len + bytes   why Auto picked it ("" if forced)
+//	machine       uint32 len + bytes   fsm.DFA encoding (fsm.WriteTo)
+//	k             uint16               symbol count
+//	ranges        k × uint16           per-symbol |range(T[a])|
+//	has_rc        uint8                0 or 1
+//	if has_rc:
+//	  n           uint32               state count (len of each L[a])
+//	  L           k × n bytes          per-symbol renaming vectors
+//	  widths      k × uint16           w[a] = |range(T[a])| = len(U[a])
+//	  U           Σ w[a] × uint16      name → state maps
+//	  T           Σ k·w[a] bytes       flattened per-symbol name tables
+//	checksum uint64                    CRC-64/ECMA of everything above
+//
+// Decoding is strict: every length is validated against the remaining
+// input before allocation, so truncated or hostile inputs fail with
+// ErrTruncated (or a format error) instead of panicking or
+// over-allocating. The checksum is verified before any parsing.
+package plan
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+)
+
+// Version is the current format version. Decoders reject anything
+// newer; older versions would be migrated here if the format evolves.
+const Version = 1
+
+// magic identifies a serialized plan.
+var magic = [8]byte{'D', 'P', 'F', 'S', 'M', 'P', 'L', 'N'}
+
+// Decode failure modes, wrapped with context by Unmarshal.
+var (
+	ErrBadMagic  = errors.New("plan: bad magic; not a serialized plan")
+	ErrVersion   = errors.New("plan: unsupported format version")
+	ErrChecksum  = errors.New("plan: checksum mismatch")
+	ErrTruncated = errors.New("plan: truncated input")
+)
+
+// Wire-sanity bounds. These protect the decoder against absurd
+// allocations on corrupt input; the semantic layer (internal/core)
+// enforces the real machine invariants.
+const (
+	maxStringLen  = 1 << 10 // strategy / reason strings
+	maxMachineLen = 64 << 20
+	maxSymbols    = 256
+	maxStates     = 1 << 16
+	maxWidth      = 256 // range coalescing requires names ≤ 256
+)
+
+// File is the decoded wire representation of one compiled plan. All
+// slices are freshly allocated by Unmarshal and owned by the caller.
+type File struct {
+	// Strategy is the resolved execution strategy name (never "auto":
+	// a plan is the *output* of strategy selection).
+	Strategy string
+	// AutoReason records why auto-selection picked Strategy, empty
+	// when the strategy was forced at compile time.
+	AutoReason string
+	// Machine is the serialized fsm.DFA (fsm.WriteTo encoding).
+	Machine []byte
+	// Ranges holds the per-symbol range sizes |range(T[a])|, one per
+	// machine symbol. Stored redundantly (derivable from Machine) as a
+	// cheap integrity cross-check at load time.
+	Ranges []uint16
+	// RC carries the range-coalesced tables (Figures 10–11), nil for
+	// strategies that do not use them.
+	RC *RC
+}
+
+// RC is the wire form of the range-coalesced table set. With k
+// symbols, n states and w[a] = len(U[a]):
+//
+//	L[a] has n entries: L[a][q] = name of δ(q, a) among range(T[a])
+//	U[a] has w[a] entries: U[a][name] = state
+//	T[a] is the flattened per-symbol name table with stride w[a]:
+//	     T[a][int(b)*w[a]+i] = name-of-b reached from name i of a.
+type RC struct {
+	L [][]byte
+	U [][]uint16
+	T [][]byte
+}
+
+// MarshalBinary encodes f in the versioned format with a trailing
+// checksum. It validates the same structural lengths the decoder
+// enforces, so a File that marshals is guaranteed to unmarshal.
+func (f *File) MarshalBinary() ([]byte, error) {
+	if len(f.Strategy) == 0 || len(f.Strategy) > maxStringLen {
+		return nil, fmt.Errorf("plan: strategy name length %d out of range [1, %d]", len(f.Strategy), maxStringLen)
+	}
+	if len(f.AutoReason) > maxStringLen {
+		return nil, fmt.Errorf("plan: auto reason length %d exceeds %d", len(f.AutoReason), maxStringLen)
+	}
+	if len(f.Machine) == 0 || len(f.Machine) > maxMachineLen {
+		return nil, fmt.Errorf("plan: machine encoding length %d out of range [1, %d]", len(f.Machine), maxMachineLen)
+	}
+	k := len(f.Ranges)
+	if k == 0 || k > maxSymbols {
+		return nil, fmt.Errorf("plan: symbol count %d out of range [1, %d]", k, maxSymbols)
+	}
+	out := make([]byte, 0, 64+len(f.Machine))
+	out = append(out, magic[:]...)
+	out = binary.LittleEndian.AppendUint16(out, Version)
+	out = appendString16(out, f.Strategy)
+	out = appendString16(out, f.AutoReason)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(f.Machine)))
+	out = append(out, f.Machine...)
+	out = binary.LittleEndian.AppendUint16(out, uint16(k))
+	for _, r := range f.Ranges {
+		out = binary.LittleEndian.AppendUint16(out, r)
+	}
+	if f.RC == nil {
+		out = append(out, 0)
+	} else {
+		rc := f.RC
+		if len(rc.L) != k || len(rc.U) != k || len(rc.T) != k {
+			return nil, fmt.Errorf("plan: RC table count mismatch: L=%d U=%d T=%d, want %d each",
+				len(rc.L), len(rc.U), len(rc.T), k)
+		}
+		n := len(rc.L[0])
+		if n == 0 || n > maxStates {
+			return nil, fmt.Errorf("plan: state count %d out of range [1, %d]", n, maxStates)
+		}
+		out = append(out, 1)
+		out = binary.LittleEndian.AppendUint32(out, uint32(n))
+		for a, l := range rc.L {
+			if len(l) != n {
+				return nil, fmt.Errorf("plan: L[%d] length %d, want %d", a, len(l), n)
+			}
+			out = append(out, l...)
+		}
+		for a, u := range rc.U {
+			w := len(u)
+			if w == 0 || w > maxWidth {
+				return nil, fmt.Errorf("plan: U[%d] width %d out of range [1, %d]", a, w, maxWidth)
+			}
+			out = binary.LittleEndian.AppendUint16(out, uint16(w))
+		}
+		for _, u := range rc.U {
+			for _, v := range u {
+				out = binary.LittleEndian.AppendUint16(out, v)
+			}
+		}
+		for a, t := range rc.T {
+			if len(t) != k*len(rc.U[a]) {
+				return nil, fmt.Errorf("plan: T[%d] length %d, want %d", a, len(t), k*len(rc.U[a]))
+			}
+			out = append(out, t...)
+		}
+	}
+	out = binary.LittleEndian.AppendUint64(out, checksum(out))
+	return out, nil
+}
+
+// Unmarshal decodes a plan file, verifying the magic, the version,
+// and the trailing checksum before touching the payload. The returned
+// File owns fresh copies of every table; data may be reused.
+func Unmarshal(data []byte) (*File, error) {
+	// Fixed framing first: magic + version + checksum must be present
+	// before anything else is interpreted.
+	if len(data) < len(magic)+2+8 {
+		return nil, ErrTruncated
+	}
+	if [8]byte(data[:8]) != magic {
+		return nil, ErrBadMagic
+	}
+	body, tail := data[:len(data)-8], data[len(data)-8:]
+	if binary.LittleEndian.Uint64(tail) != checksum(body) {
+		return nil, ErrChecksum
+	}
+	c := cursor{buf: body[8:]}
+	if v := c.u16(); v != Version {
+		if c.err != nil {
+			return nil, c.err
+		}
+		return nil, fmt.Errorf("%w: %d (decoder supports %d)", ErrVersion, v, Version)
+	}
+
+	f := &File{}
+	f.Strategy = c.str16(maxStringLen)
+	if c.err == nil && f.Strategy == "" {
+		return nil, errors.New("plan: empty strategy name")
+	}
+	f.AutoReason = c.str16(maxStringLen)
+	mlen := int(c.u32())
+	if c.err == nil && (mlen == 0 || mlen > maxMachineLen) {
+		return nil, fmt.Errorf("plan: machine encoding length %d out of range [1, %d]", mlen, maxMachineLen)
+	}
+	f.Machine = c.bytes(mlen)
+	k := int(c.u16())
+	if c.err == nil && (k == 0 || k > maxSymbols) {
+		return nil, fmt.Errorf("plan: symbol count %d out of range [1, %d]", k, maxSymbols)
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	f.Ranges = make([]uint16, k)
+	for a := range f.Ranges {
+		f.Ranges[a] = c.u16()
+	}
+	hasRC := c.u8()
+	if c.err != nil {
+		return nil, c.err
+	}
+	switch hasRC {
+	case 0:
+	case 1:
+		n := int(c.u32())
+		if c.err == nil && (n == 0 || n > maxStates) {
+			return nil, fmt.Errorf("plan: state count %d out of range [1, %d]", n, maxStates)
+		}
+		if c.err != nil {
+			return nil, c.err
+		}
+		rc := &RC{L: make([][]byte, k), U: make([][]uint16, k), T: make([][]byte, k)}
+		for a := range rc.L {
+			rc.L[a] = c.bytes(n)
+		}
+		widths := make([]int, k)
+		for a := range widths {
+			w := int(c.u16())
+			if c.err == nil && (w == 0 || w > maxWidth) {
+				return nil, fmt.Errorf("plan: U[%d] width %d out of range [1, %d]", a, w, maxWidth)
+			}
+			widths[a] = w
+		}
+		if c.err != nil {
+			return nil, c.err
+		}
+		for a, w := range widths {
+			u := make([]uint16, w)
+			for i := range u {
+				u[i] = c.u16()
+			}
+			rc.U[a] = u
+		}
+		for a, w := range widths {
+			rc.T[a] = c.bytes(k * w)
+		}
+		if c.err != nil {
+			return nil, c.err
+		}
+		f.RC = rc
+	default:
+		return nil, fmt.Errorf("plan: bad RC presence flag %d", hasRC)
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	if len(c.buf) != 0 {
+		return nil, fmt.Errorf("plan: %d trailing bytes after payload", len(c.buf))
+	}
+	return f, nil
+}
+
+// checksum is CRC-64/ECMA over the framed bytes. The goal is
+// corruption detection (torn writes, bit rot, truncation), not
+// authentication: a plan directory is trusted the way any cache
+// directory is.
+func checksum(b []byte) uint64 {
+	return crc64.Checksum(b, crc64.MakeTable(crc64.ECMA))
+}
+
+func appendString16(out []byte, s string) []byte {
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(s)))
+	return append(out, s...)
+}
+
+// cursor is a bounds-checked sequential reader; the first overrun
+// latches err and turns every later read into a zero-value no-op, so
+// call sites stay linear.
+type cursor struct {
+	buf []byte
+	err error
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(c.buf) {
+		c.err = ErrTruncated
+		return nil
+	}
+	b := c.buf[:n]
+	c.buf = c.buf[n:]
+	return b
+}
+
+func (c *cursor) u8() uint8 {
+	b := c.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (c *cursor) u16() uint16 {
+	b := c.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (c *cursor) u32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// bytes copies out n bytes. The copy (rather than aliasing data)
+// keeps decoded plans independent of the caller's buffer, which may
+// be a reused read buffer.
+func (c *cursor) bytes(n int) []byte {
+	b := c.take(n)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// str16 reads a u16-length-prefixed string bounded by max.
+func (c *cursor) str16(max int) string {
+	n := int(c.u16())
+	if c.err == nil && n > max {
+		c.err = fmt.Errorf("plan: string length %d exceeds %d", n, max)
+		return ""
+	}
+	b := c.take(n)
+	return string(b)
+}

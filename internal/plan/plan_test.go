@@ -1,0 +1,180 @@
+package plan
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleFile builds a small but fully populated File: 3 symbols, 4
+// states, with RC tables when withRC is set. Machine bytes are opaque
+// to this package, so any non-empty blob works.
+func sampleFile(withRC bool) *File {
+	f := &File{
+		Strategy:   "range",
+		AutoReason: "max range 2 <= 16",
+		Machine:    []byte("not-a-real-machine-but-opaque-here"),
+		Ranges:     []uint16{2, 1, 2},
+	}
+	if withRC {
+		f.RC = &RC{
+			L: [][]byte{{0, 1, 1, 0}, {0, 0, 0, 0}, {1, 0, 1, 0}},
+			U: [][]uint16{{0, 3}, {2}, {1, 2}},
+			T: [][]byte{
+				{0, 1, 0, 0, 1, 0}, // w=2, k=3 → 6 entries
+				{0, 0, 0},          // w=1
+				{1, 0, 0, 0, 0, 1}, // w=2
+			},
+		}
+	}
+	return f
+}
+
+func mustMarshal(t *testing.T, f *File) []byte {
+	t.Helper()
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	return data
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, withRC := range []bool{false, true} {
+		f := sampleFile(withRC)
+		data := mustMarshal(t, f)
+		got, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("withRC=%v: Unmarshal: %v", withRC, err)
+		}
+		if !reflect.DeepEqual(got, f) {
+			t.Errorf("withRC=%v: round trip mismatch:\n got %+v\nwant %+v", withRC, got, f)
+		}
+		// The decoder promises fresh copies: mutating the input after
+		// decode must not reach into the File.
+		data[len(data)/2] ^= 0xff
+		if !bytes.Equal(got.Machine, f.Machine) {
+			t.Errorf("withRC=%v: decoded File aliases the input buffer", withRC)
+		}
+	}
+}
+
+func TestCorruptedChecksum(t *testing.T) {
+	data := mustMarshal(t, sampleFile(true))
+	// Flip one bit in every byte position (except inside the magic,
+	// which fails earlier by design) and demand a checksum error.
+	for i := len(magic); i < len(data); i++ {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0x01
+		if _, err := Unmarshal(bad); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("flip at %d: got %v, want ErrChecksum", i, err)
+		}
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	data := mustMarshal(t, sampleFile(true))
+	for i := 0; i < len(data); i++ {
+		_, err := Unmarshal(data[:i])
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded successfully", i, len(data))
+		}
+		// Prefixes long enough to carry the framing fail the checksum;
+		// shorter ones are ErrTruncated. Either way it must be one of
+		// the sentinel errors, not a panic or a success.
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("prefix of %d bytes: unexpected error %v", i, err)
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	data := mustMarshal(t, sampleFile(false))
+	data[0] ^= 0xff
+	if _, err := Unmarshal(data); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	data := mustMarshal(t, sampleFile(false))
+	// Rewrite the version field and re-stamp the checksum so the
+	// version check (not the checksum) rejects it.
+	binary.LittleEndian.PutUint16(data[8:], Version+1)
+	body := data[:len(data)-8]
+	binary.LittleEndian.PutUint64(data[len(data)-8:], checksum(body))
+	if _, err := Unmarshal(data); !errors.Is(err, ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	data := mustMarshal(t, sampleFile(false))
+	// Splice garbage between payload and checksum, re-stamping the
+	// checksum so only the trailing-bytes check can object.
+	body := append([]byte(nil), data[:len(data)-8]...)
+	body = append(body, 0xaa, 0xbb)
+	bad := binary.LittleEndian.AppendUint64(body, checksum(body))
+	if _, err := Unmarshal(bad); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("got %v, want trailing-bytes error", err)
+	}
+}
+
+func TestMarshalRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*File)
+	}{
+		{"empty strategy", func(f *File) { f.Strategy = "" }},
+		{"huge strategy", func(f *File) { f.Strategy = strings.Repeat("x", maxStringLen+1) }},
+		{"empty machine", func(f *File) { f.Machine = nil }},
+		{"no symbols", func(f *File) { f.Ranges = nil }},
+		{"rc count mismatch", func(f *File) { f.RC.L = f.RC.L[:1] }},
+		{"ragged L", func(f *File) { f.RC.L[1] = f.RC.L[1][:2] }},
+		{"zero width U", func(f *File) { f.RC.U[1] = nil }},
+		{"wrong T stride", func(f *File) { f.RC.T[0] = f.RC.T[0][:4] }},
+	}
+	for _, tc := range cases {
+		f := sampleFile(true)
+		tc.mut(f)
+		if _, err := f.MarshalBinary(); err == nil {
+			t.Errorf("%s: MarshalBinary succeeded, want error", tc.name)
+		}
+	}
+}
+
+// FuzzPlanDecode drives Unmarshal with arbitrary bytes. The decoder
+// must never panic or over-allocate, and anything it accepts must
+// survive a marshal → unmarshal round trip unchanged (decode/encode
+// stability).
+func FuzzPlanDecode(f *testing.F) {
+	for _, withRC := range []bool{false, true} {
+		seed, err := sampleFile(withRC).MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seed)
+	}
+	f.Add([]byte("DPFSMPLN"))
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		re, err := decoded.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted input failed to re-marshal: %v", err)
+		}
+		again, err := Unmarshal(re)
+		if err != nil {
+			t.Fatalf("re-marshaled plan failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(decoded, again) {
+			t.Fatalf("decode/encode not stable:\n first %+v\nsecond %+v", decoded, again)
+		}
+	})
+}

@@ -10,6 +10,7 @@
 package serverapi
 
 import (
+	"dpfsm/internal/core"
 	"dpfsm/internal/fsm"
 )
 
@@ -96,13 +97,47 @@ type TraceInfo struct {
 	Spans       int    `json:"spans"`
 }
 
-// MachineInfo is one entry of GET /v1/machines.
+// MachineInfo is one entry of GET /v1/machines. Strategy rides the
+// wire as its name via core.Strategy's TextMarshaler, so the JSON
+// shape is unchanged from when this field was a hand-converted string.
 type MachineInfo struct {
-	Name     string    `json:"name"`
-	Pattern  string    `json:"pattern"`
-	Strategy string    `json:"strategy"`
-	Procs    int       `json:"procs"`
-	Stats    fsm.Stats `json:"stats"`
+	Name     string        `json:"name"`
+	Pattern  string        `json:"pattern"`
+	Strategy core.Strategy `json:"strategy"`
+	Procs    int           `json:"procs"`
+	// Fingerprint is the compiled plan's cache identity:
+	// hash(machine encoding, resolved strategy).
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Source records how the machine entered the registry: "default",
+	// "file" (-patterns-file / SIGHUP reload), or "api"
+	// (POST /v1/machines).
+	Source string    `json:"source,omitempty"`
+	Stats  fsm.Stats `json:"stats"`
+}
+
+// RegisterRequest is the body of POST /v1/machines: compile Pattern
+// and register it under Name. Strategy is optional (empty = auto).
+type RegisterRequest struct {
+	Name     string        `json:"name"`
+	Pattern  string        `json:"pattern"`
+	Strategy core.Strategy `json:"strategy,omitempty"`
+}
+
+// RegisterResult is the response of POST /v1/machines: the registered
+// machine plus what its compilation cost.
+type RegisterResult struct {
+	Machine MachineInfo `json:"machine"`
+	// PlanCached reports whether registration reused a compiled plan
+	// (from the engine's cache or the -plan-cache-dir) instead of
+	// building tables.
+	PlanCached bool `json:"plan_cached"`
+	// CompileNs is the wall time of compile-and-register.
+	CompileNs int64 `json:"compile_ns"`
+	// TableBytes approximates the compiled plan's table footprint.
+	TableBytes int `json:"table_bytes"`
+	// AutoReason explains the auto-strategy decision, empty when the
+	// request forced a strategy.
+	AutoReason string `json:"auto_reason,omitempty"`
 }
 
 // BatchJob is one request line of POST /v1/batch (NDJSON: one JSON

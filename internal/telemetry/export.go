@@ -99,6 +99,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	pc("engine_multicore_total", "jobs dispatched to the multicore lane", m.EngineMulticore.Load())
 	pg("engine_queue_high_water", "deepest bounded-queue backlog observed", m.EngineQueueHighWater.Load())
 
+	pc("plan_cache_hits_total", "plan-cache lookups served from cache", m.PlanCacheHits.Load())
+	pc("plan_cache_misses_total", "plan-cache lookups that compiled", m.PlanCacheMisses.Load())
+	pc("plan_cache_evictions_total", "plans evicted from the cache", m.PlanCacheEvictions.Load())
+
 	writeHistogram(w, "engine_job_bytes", "input sizes of executed engine jobs", &m.EngineJobBytes)
 	writeHistogram(w, "active_final", "active-state width at end of run", &m.ActiveFinal)
 	writeHistogram(w, "chunk_bytes", "multicore chunk sizes", &m.ChunkBytes)
@@ -106,6 +110,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	writeHistogram(w, "phase2_ns", "per-run phase-2 scan wall time", &m.Phase2Time.Histogram)
 	writeHistogram(w, "phase3_ns", "per-chunk phase-3 wall time", &m.Phase3Time.Histogram)
 	writeHistogram(w, "engine_job_ns", "engine job wall time", &m.EngineJobTime.Histogram)
+	writeHistogram(w, "plan_compile_ns", "plan compilation wall time on cache misses", &m.PlanCompileTime.Histogram)
 
 	// Sliding-window latency quantiles, in the summary-style
 	// quantile-label convention. Gauges, not a summary: the window

@@ -72,6 +72,16 @@ type Metrics struct {
 	// shifts the histogram cannot forget.
 	EngineJobTime    Timer
 	EngineJobLatency Window
+
+	// Plan-cache counters (engine.PlanCache). The compile/execute
+	// split makes table construction a cacheable compiler step; these
+	// series expose whether registrations actually reuse compiled
+	// plans (the hit rate the acceptance bar sets at ≥ 99%) and what a
+	// miss costs (PlanCompileTime).
+	PlanCacheHits      Counter
+	PlanCacheMisses    Counter
+	PlanCacheEvictions Counter
+	PlanCompileTime    Timer
 }
 
 // PhaseSnapshot summarizes one timer.
@@ -141,6 +151,13 @@ type Snapshot struct {
 	EngineJobLatencyP50 int64 `json:"engine_job_latency_p50_ns"`
 	EngineJobLatencyP90 int64 `json:"engine_job_latency_p90_ns"`
 	EngineJobLatencyP99 int64 `json:"engine_job_latency_p99_ns"`
+
+	PlanCacheHits      int64 `json:"plan_cache_hits"`
+	PlanCacheMisses    int64 `json:"plan_cache_misses"`
+	PlanCacheEvictions int64 `json:"plan_cache_evictions"`
+	// PlanCacheHitRate is hits/(hits+misses); 0 before any lookup.
+	PlanCacheHitRate float64       `json:"plan_cache_hit_rate"`
+	PlanCompile      PhaseSnapshot `json:"plan_compile"`
 }
 
 // Snapshot captures the current values. Nil-safe: returns the zero
@@ -180,11 +197,19 @@ func (m *Metrics) Snapshot() Snapshot {
 		EngineQueueHighWater: m.EngineQueueHighWater.Load(),
 		EngineJobBytesP50:    m.EngineJobBytes.Quantile(0.5),
 		EngineJobTime:        phaseSnapshot(&m.EngineJobTime),
+
+		PlanCacheHits:      m.PlanCacheHits.Load(),
+		PlanCacheMisses:    m.PlanCacheMisses.Load(),
+		PlanCacheEvictions: m.PlanCacheEvictions.Load(),
+		PlanCompile:        phaseSnapshot(&m.PlanCompileTime),
 	}
 	lat := m.EngineJobLatency.Quantiles(0.5, 0.9, 0.99)
 	s.EngineJobLatencyP50, s.EngineJobLatencyP90, s.EngineJobLatencyP99 = lat[0], lat[1], lat[2]
 	if s.Symbols > 0 {
 		s.ShufflesPerSymbol = float64(s.Shuffles) / float64(s.Symbols)
+	}
+	if lookups := s.PlanCacheHits + s.PlanCacheMisses; lookups > 0 {
+		s.PlanCacheHitRate = float64(s.PlanCacheHits) / float64(lookups)
 	}
 	return s
 }
