@@ -703,6 +703,9 @@ func writeEngineError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusNotFound, err.Error())
 	case errors.Is(err, engine.ErrBadStart):
 		writeError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, engine.ErrQueueFull):
+		// Load shed by TrySubmit: the canonical "back off and retry".
+		writeError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, err.Error())
 	case errors.Is(err, context.Canceled):

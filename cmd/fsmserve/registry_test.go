@@ -297,6 +297,112 @@ func TestReloadPatterns(t *testing.T) {
 	}
 }
 
+// machineInfos fetches the full /v1/machines listing keyed by name,
+// so tests can compare fingerprints — not just names — across a
+// failed reload.
+func machineInfos(t *testing.T, ts *httptest.Server) map[string]serverapi.MachineInfo {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/machines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []serverapi.MachineInfo
+	decodeInto(t, resp, &infos)
+	out := make(map[string]serverapi.MachineInfo, len(infos))
+	for _, in := range infos {
+		out[in.Name] = in
+	}
+	return out
+}
+
+// TestReloadFailurePathsKeepRegistry is the SIGHUP regression suite
+// for mid-reload failures: the patterns file vanishing or turning
+// syntactically invalid between the signal and the read must leave
+// the previous registry fully intact — same names, same fingerprints,
+// still serving.
+func TestReloadFailurePathsKeepRegistry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rules.txt")
+	writePatterns(t, path, `alpha=UNION`, `beta=xyz+`)
+	specs, err := loadPatternsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(specs, core.Auto, 1, 1<<20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+
+	before := machineInfos(t, ts)
+	if len(before) != 2 {
+		t.Fatalf("seed registry: %v", before)
+	}
+	assertIntact := func(scenario string) {
+		t.Helper()
+		after := machineInfos(t, ts)
+		if len(after) != len(before) {
+			t.Fatalf("%s: registry size changed: %v", scenario, after)
+		}
+		for name, b := range before {
+			a, ok := after[name]
+			if !ok {
+				t.Fatalf("%s: machine %q gone after failed reload", scenario, name)
+			}
+			if a.Fingerprint != b.Fingerprint || a.Pattern != b.Pattern {
+				t.Fatalf("%s: machine %q mutated: %+v -> %+v", scenario, name, b, a)
+			}
+		}
+		// The survivors still serve.
+		resp, err := http.Post(ts.URL+"/v1/run?machine=alpha", "", strings.NewReader("a UNION b"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res serverapi.RunResult
+		decodeInto(t, resp, &res)
+		if !res.Accepts {
+			t.Fatalf("%s: alpha stopped matching after failed reload", scenario)
+		}
+	}
+
+	// Scenario 1: the file is deleted before the signal lands.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.reloadPatterns(path); err == nil {
+		t.Fatal("reload of a deleted file succeeded")
+	} else if !os.IsNotExist(err) {
+		t.Fatalf("deleted file: err = %v, want not-exist", err)
+	}
+	assertIntact("deleted file")
+
+	// Scenario 2: a syntactically invalid line (no NAME=REGEX shape).
+	writePatterns(t, path, `alpha=UNION`, `this line has no equals sign`)
+	if err := srv.reloadPatterns(path); err == nil ||
+		!strings.Contains(err.Error(), "want NAME=REGEX") {
+		t.Fatalf("invalid line: err = %v, want NAME=REGEX complaint", err)
+	}
+	assertIntact("invalid line")
+
+	// Scenario 3: an empty machine name is equally malformed.
+	writePatterns(t, path, `=UNION`)
+	if err := srv.reloadPatterns(path); err == nil ||
+		!strings.Contains(err.Error(), "want NAME=REGEX") {
+		t.Fatalf("empty name: err = %v, want NAME=REGEX complaint", err)
+	}
+	assertIntact("empty name")
+
+	// A good file still reconciles after the string of failures.
+	writePatterns(t, path, `alpha=UNION`, `beta=xyz+`, `gamma=\d+`)
+	if err := srv.reloadPatterns(path); err != nil {
+		t.Fatalf("recovery reload: %v", err)
+	}
+	if got := registryNames(t, ts); !slices.Equal(got, []string{"alpha", "beta", "gamma"}) {
+		t.Fatalf("after recovery: %v", got)
+	}
+}
+
 // TestReloadSweepsDefaults: a server started on the built-in rule set
 // converges fully onto the file at first reload.
 func TestReloadSweepsDefaults(t *testing.T) {

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak in -short mode")
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-n", "6", "-seed", "1"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var rep timedReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, out.String())
+	}
+	if !rep.OK || rep.MachinesRun != 6 || rep.Seed != 1 {
+		t.Fatalf("report: %+v", rep.Report)
+	}
+	if !strings.Contains(errb.String(), "all paths agree") {
+		t.Errorf("stderr summary missing: %s", errb.String())
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak in -short mode")
+	}
+	var a, b bytes.Buffer
+	if code := run([]string{"-n", "4", "-seed", "7", "-quick"}, &a, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("first run exit %d", code)
+	}
+	if code := run([]string{"-n", "4", "-seed", "7", "-quick"}, &b, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("second run exit %d", code)
+	}
+	// Strip the wall-clock field before comparing.
+	norm := func(raw []byte) string {
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatal(err)
+		}
+		delete(m, "elapsed_ms")
+		out, _ := json.Marshal(m)
+		return string(out)
+	}
+	if norm(a.Bytes()) != norm(b.Bytes()) {
+		t.Fatalf("same seed, different reports:\n%s\n%s", a.String(), b.String())
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-n", "2", "-seed", "3", "-quick", "-o", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("stdout should be empty with -o, got %q", out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep timedReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("file not JSON: %v", err)
+	}
+	if !rep.OK {
+		t.Fatalf("report: %+v", rep.Report)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-n", "0"}, &out, &errb); code != 2 {
+		t.Errorf("-n 0: exit %d, want 2", code)
+	}
+	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+}
+
+func TestRunVerbose(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-n", "1", "-seed", "1", "-quick", "-v"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errb.String(), "machine 1/1") {
+		t.Errorf("verbose progress missing: %s", errb.String())
+	}
+}

@@ -1,0 +1,174 @@
+// Package conformance is the differential-testing subsystem of the
+// data-parallel FSM runtime: machine-generated adversarial evidence
+// that every execution path computes exactly what the scalar DFA
+// interpreter computes.
+//
+// The paper's whole contribution rests on one equivalence (§3): the
+// enumerative gather kernel, the range-coalesced tables of Figure 11,
+// and the Figure 5 multicore parallel-prefix decomposition are
+// *rewrites* of the sequential loop q = T[a][q], correct because
+// transition-function composition is associative. Every layer this
+// repository has grown since — strategy selection, the engine's
+// small/large dispatch lanes, plan serialization, the dynamic registry
+// — multiplies the surface over which that equivalence must hold. This
+// package checks it the only way that scales: generate machines biased
+// toward the regimes where the optimizations change behavior (range
+// just above and below the shuffle width, convergent and
+// permutation-adversarial transition functions, dead states,
+// single-state and degenerate-alphabet machines), generate inputs
+// around every chunking boundary, and run each (machine, input) pair
+// through every registered strategy, both engine lanes, a plan
+// marshal → unmarshal round trip, and chunked-vs-whole execution,
+// comparing all of them against a trivially correct scalar oracle.
+//
+// Alongside the oracle checks ride metamorphic properties that need no
+// oracle at all, so fuzzers can run them on arbitrary generated cases
+// at full speed:
+//
+//   - split-point invariance: for any split s,
+//     Final(x) == Final(x[s:], Final(x[:s])) — the associativity
+//     argument the multicore decomposition is built on;
+//   - concatenation consistency: Final(a‖b, q) == Final(b, Final(a, q));
+//   - trace/telemetry consistency: the chunk counts, byte ranges and
+//     active-vector widths a traced run reports in its spans match the
+//     aggregate telemetry the same run flushed.
+//
+// A failing case is minimized before it is reported: the input is
+// shrunk ddmin-style (halves, then quarter deletions), then machine
+// states are removed one at a time while the divergence reproduces.
+//
+// The harness is exposed three ways: the property suites in this
+// package's tests (honoring -short), Go fuzz targets (FuzzDifferential,
+// FuzzSplitInvariance) with committed seed corpora, and the
+// cmd/fsmverify CLI, which soak-tests N seeded random machines and
+// emits a JSON report for CI.
+package conformance
+
+import (
+	"fmt"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/fsm"
+)
+
+// Config sizes the differential checks. The zero value is not useful;
+// start from DefaultConfig.
+type Config struct {
+	// Strategies lists the single-core strategies to cross-check.
+	// Strategies a machine cannot compile for (range coalescing with
+	// max range > 256) are skipped silently.
+	Strategies []core.Strategy
+	// Procs is the multicore width used for the Figure 5 runners.
+	Procs int
+	// MinChunk is the per-goroutine minimum chunk size. The default is
+	// deliberately tiny (64 bytes, against the production default of
+	// 4 KiB) so that multicore decomposition, chunk-boundary folding
+	// and the engine's multicore lane all engage on short inputs.
+	MinChunk int
+	// LargeInput is the engine dispatch threshold: generated inputs at
+	// or above it exercise the multicore lane, smaller ones the
+	// single-core lane.
+	LargeInput int
+	// MaxVectorStates caps full composition-vector oracle comparisons;
+	// machines with more states still get final-state checks from two
+	// start states, but not the O(n·|input|) all-starts sweep.
+	MaxVectorStates int
+	// ShrinkBudget bounds the number of reproduction attempts one
+	// Shrink call may spend.
+	ShrinkBudget int
+	// SkipEngine disables the engine-lane checks (used by fuzz targets,
+	// where worker-pool setup per execution would dominate).
+	SkipEngine bool
+	// SkipPlanRoundTrip disables the marshal → unmarshal → re-run check.
+	SkipPlanRoundTrip bool
+	// SkipTrace disables the trace/telemetry consistency property.
+	SkipTrace bool
+	// SkipFold disables the long-input fold probe (one ≈130 KiB run per
+	// machine crossing several 64 KiB context-fold block boundaries).
+	SkipFold bool
+}
+
+// DefaultConfig returns the configuration the property suites and
+// fsmverify run with.
+func DefaultConfig() Config {
+	return Config{
+		Strategies: []core.Strategy{
+			core.Sequential,
+			core.Base,
+			core.BaseILP,
+			core.Convergence,
+			core.RangeCoalesced,
+			core.RangeConvergence,
+		},
+		Procs:           4,
+		MinChunk:        64,
+		LargeInput:      128,
+		MaxVectorStates: 64,
+		ShrinkBudget:    400,
+	}
+}
+
+// QuickConfig is the fuzz-target configuration: oracle and metamorphic
+// checks only, no engine pool and no serialization round trip, so one
+// fuzz execution stays microseconds-cheap.
+func QuickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SkipEngine = true
+	cfg.SkipPlanRoundTrip = true
+	cfg.SkipTrace = true
+	cfg.SkipFold = true
+	cfg.MaxVectorStates = 32
+	return cfg
+}
+
+// Divergence describes one observed disagreement between an execution
+// path and the oracle (or between the two sides of a metamorphic
+// property). It implements error.
+type Divergence struct {
+	// Check names the property that failed: "strategy-final",
+	// "multicore-final", "ctx-final", "chunked-final",
+	// "chunked-coverage", "composition-vector", "plan-roundtrip",
+	// "engine-final", "engine-lane", "split-invariance",
+	// "concatenation", "trace-consistency", "compile".
+	Check string
+	// Strategy is the single-core strategy under test, when the check
+	// is strategy-specific.
+	Strategy string
+	// Machine and Input are the failing pair; MachineLabel names the
+	// generator regime that produced the machine (when known).
+	Machine      *fsm.DFA
+	MachineLabel string
+	Input        []byte
+	Start        fsm.State
+	Want, Got    fsm.State
+	// Detail carries check-specific context (split point, lane reason,
+	// vector index, ...).
+	Detail string
+	// Shrunk reports whether the pair has been through Shrink.
+	Shrunk bool
+}
+
+// Error renders the divergence as a one-line diagnosis.
+func (dv *Divergence) Error() string {
+	if dv == nil {
+		return "<nil divergence>"
+	}
+	states, symbols := 0, 0
+	if dv.Machine != nil {
+		states, symbols = dv.Machine.NumStates(), dv.Machine.NumSymbols()
+	}
+	s := fmt.Sprintf("conformance: %s", dv.Check)
+	if dv.Strategy != "" {
+		s += fmt.Sprintf(" [%s]", dv.Strategy)
+	}
+	s += fmt.Sprintf(": machine{states:%d symbols:%d", states, symbols)
+	if dv.MachineLabel != "" {
+		s += " regime:" + dv.MachineLabel
+	}
+	s += fmt.Sprintf("} input=%d bytes start=%d: got state %d, want %d",
+		len(dv.Input), dv.Start, dv.Got, dv.Want)
+	if dv.Detail != "" {
+		s += " (" + dv.Detail + ")"
+	}
+	return s
+}

@@ -1,0 +1,297 @@
+package conformance
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/gather"
+)
+
+// suiteMachines is how many random machines the differential property
+// suite checks per run: one full round-robin pass over every generator
+// regime, twice that when not in -short mode.
+func suiteMachines(t *testing.T) int {
+	if testing.Short() {
+		return NumRegimes()
+	}
+	return 2 * NumRegimes()
+}
+
+// TestDifferentialSuite is the tier-1 face of the harness: every
+// regime at least once, full checks (engine lanes, plan round trips,
+// trace consistency, fold probes included).
+func TestDifferentialSuite(t *testing.T) {
+	cfg := DefaultConfig()
+	if testing.Short() {
+		cfg.SkipFold = true
+	}
+	rng := rand.New(rand.NewSource(20260805))
+	n := suiteMachines(t)
+	for i := 0; i < n; i++ {
+		gm := RandomMachine(rng, i)
+		inputs := Inputs(rng, gm.D, cfg)
+		if dv := Check(gm, inputs, cfg); dv != nil {
+			dv = Shrink(dv, cfg)
+			t.Fatalf("machine %d: %v", i, dv)
+		}
+	}
+}
+
+// TestOracleAgainstScalarRunner pins the oracle itself to the fsm
+// package's independent scalar loop, so a typo in the oracle cannot
+// silently define correctness.
+func TestOracleAgainstScalarRunner(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < NumRegimes(); i++ {
+		gm := RandomMachine(rng, i)
+		in := gm.D.RandomInput(rng, 200)
+		if got, want := OracleFinal(gm.D, in, gm.D.Start()), gm.D.Run(in, gm.D.Start()); got != want {
+			t.Fatalf("%s: oracle %d, fsm.Run %d", gm.Label, got, want)
+		}
+		vec := OracleVector(gm.D, in)
+		if len(vec) != gm.D.NumStates() {
+			t.Fatalf("%s: vector length %d, states %d", gm.Label, len(vec), gm.D.NumStates())
+		}
+		for q, w := range vec {
+			if got := gm.D.Run(in, fsm.State(q)); got != w {
+				t.Fatalf("%s: vector[%d] = %d, fsm.Run = %d", gm.Label, q, w, got)
+			}
+		}
+	}
+}
+
+// TestGeneratorRegimes verifies each regime delivers the shape it
+// advertises — the bias is the whole point of the generator.
+func TestGeneratorRegimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < NumRegimes(); i++ {
+		gm := RandomMachine(rng, i)
+		if err := gm.D.Validate(); err != nil {
+			t.Fatalf("%s: invalid machine: %v", gm.Label, err)
+		}
+		switch gm.Label {
+		case "single-state":
+			if gm.D.NumStates() != 1 {
+				t.Errorf("single-state: %d states", gm.D.NumStates())
+			}
+		case "range-at-width":
+			if mr := gm.D.MaxRangeSize(); mr > gather.Width {
+				t.Errorf("range-at-width: max range %d > %d", mr, gather.Width)
+			}
+		case "range-above-width":
+			if mr := gm.D.MaxRangeSize(); mr > gather.Width+1 {
+				t.Errorf("range-above-width: max range %d > %d", mr, gather.Width+1)
+			}
+		case "alphabet-1":
+			if gm.D.NumSymbols() != 1 {
+				t.Errorf("alphabet-1: %d symbols", gm.D.NumSymbols())
+			}
+		case "wide", "wide-permutation":
+			if gm.D.NumStates() <= 256 {
+				t.Errorf("%s: only %d states", gm.Label, gm.D.NumStates())
+			}
+		}
+	}
+	// Round-robin coverage: any NumRegimes window hits every regime.
+	seen := map[string]bool{}
+	for i := 100; i < 100+NumRegimes(); i++ {
+		seen[RandomMachine(rng, i).Label] = true
+	}
+	if len(seen) != NumRegimes() {
+		t.Errorf("round-robin window covered %d of %d regimes", len(seen), NumRegimes())
+	}
+}
+
+// TestInputsBoundaries verifies the generated input set straddles the
+// chunking thresholds it claims to.
+func TestInputsBoundaries(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(13))
+	d := fsm.Random(rng, 5, 7, 0.3)
+	lengths := map[int]bool{}
+	for _, in := range Inputs(rng, d, cfg) {
+		lengths[len(in)] = true
+		for _, b := range in {
+			if int(b) >= d.NumSymbols() {
+				t.Fatalf("input symbol %d outside alphabet %d", b, d.NumSymbols())
+			}
+		}
+	}
+	for _, want := range []int{0, 1, cfg.MinChunk - 1, cfg.MinChunk, cfg.MinChunk + 1,
+		2*cfg.MinChunk - 1, 2 * cfg.MinChunk, 2*cfg.MinChunk + 1, cfg.LargeInput, cfg.LargeInput + 1} {
+		if !lengths[want] {
+			t.Errorf("no generated input of boundary length %d", want)
+		}
+	}
+}
+
+// TestClampInput maps arbitrary bytes into the alphabet.
+func TestClampInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	d := fsm.Random(rng, 4, 10, 0.5)
+	in := ClampInput(d, []byte{0, 9, 10, 11, 255})
+	want := []byte{0, 9, 0, 1, 5}
+	if !bytes.Equal(in, want) {
+		t.Fatalf("ClampInput = %v, want %v", in, want)
+	}
+	wide := fsm.Random(rng, 4, 256, 0.5)
+	raw := []byte{0, 128, 255}
+	if got := ClampInput(wide, raw); !bytes.Equal(got, raw) {
+		t.Fatalf("full alphabet should pass through, got %v", got)
+	}
+}
+
+// TestShrinkWith drives the shrink loop with a synthetic bug — the
+// divergence "reproduces" iff the input still contains symbol 3 and
+// the machine still has at least two states — and checks the loop
+// lands on the minimal form of both.
+func TestShrinkWith(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	d := fsm.Random(rng, 8, 5, 0.3)
+	in := make([]byte, 64)
+	for i := range in {
+		in[i] = byte(i % 3) // no 3s or 4s
+	}
+	in[41] = 3
+	attempts := 0
+	repro := func(cd *fsm.DFA, cin []byte) *Divergence {
+		attempts++
+		if cd.NumStates() >= 2 && bytes.Contains(cin, []byte{3}) {
+			return &Divergence{Check: "synthetic", Machine: cd, Input: cin}
+		}
+		return nil
+	}
+	dv := &Divergence{Check: "synthetic", Machine: d, Input: in, MachineLabel: "test"}
+	out := shrinkWith(dv, 500, repro)
+	if !out.Shrunk {
+		t.Fatal("shrink made no progress")
+	}
+	if !bytes.Equal(out.Input, []byte{3}) {
+		t.Errorf("shrunk input = %v, want [3]", out.Input)
+	}
+	if out.Machine.NumStates() != 2 {
+		t.Errorf("shrunk machine has %d states, want 2", out.Machine.NumStates())
+	}
+	if out.MachineLabel != "test" {
+		t.Errorf("regime label lost: %q", out.MachineLabel)
+	}
+	if attempts > 500 {
+		t.Errorf("budget exceeded: %d attempts", attempts)
+	}
+}
+
+// TestShrinkBudgetExhaustion: a zero budget returns the original.
+func TestShrinkBudgetExhaustion(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	d := fsm.Random(rng, 4, 4, 0.3)
+	dv := &Divergence{Machine: d, Input: []byte{1, 2, 3}}
+	out := shrinkWith(dv, 0, func(*fsm.DFA, []byte) *Divergence {
+		t.Fatal("predicate called with zero budget")
+		return nil
+	})
+	if out != dv {
+		t.Fatal("zero budget should return the original divergence")
+	}
+}
+
+// TestRemoveState checks the renumbering keeps the machine valid and
+// redirects edges into the removed state.
+func TestRemoveState(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 20; trial++ {
+		d := fsm.Random(rng, 2+rng.Intn(10), 1+rng.Intn(6), 0.4)
+		q := rng.Intn(d.NumStates())
+		nd := removeState(d, q)
+		if nd.NumStates() != d.NumStates()-1 {
+			t.Fatalf("states %d, want %d", nd.NumStates(), d.NumStates()-1)
+		}
+		if err := nd.Validate(); err != nil {
+			t.Fatalf("removeState(%d) produced invalid machine: %v", q, err)
+		}
+	}
+	// Removing down to one state stays valid.
+	d := fsm.Random(rng, 3, 2, 0.5)
+	d = removeState(removeState(d, 2), 1)
+	if d.NumStates() != 1 {
+		t.Fatalf("states = %d, want 1", d.NumStates())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSoakDeterministic: same (n, seed, cfg) → byte-identical reports.
+func TestSoakDeterministic(t *testing.T) {
+	cfg := QuickConfig()
+	n := NumRegimes()
+	if testing.Short() {
+		n = 4
+	}
+	a := Soak(n, 42, cfg, nil)
+	b := Soak(n, 42, cfg, nil)
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("soak not deterministic:\n%s\n%s", ja, jb)
+	}
+	if !a.OK {
+		t.Fatalf("soak found a divergence: %s", ja)
+	}
+	if a.MachinesRun != n || a.FailedIndex != -1 {
+		t.Fatalf("report shape: %s", ja)
+	}
+	if len(a.Regimes) == 0 || a.Inputs == 0 {
+		t.Fatalf("empty accounting: %s", ja)
+	}
+}
+
+// TestReportDivergenceRoundTrip: the machine embedded in a JSON report
+// decodes back to an equivalent DFA.
+func TestReportDivergenceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	d := fsm.Random(rng, 6, 4, 0.3)
+	dv := &Divergence{Check: "strategy-final", Strategy: "base",
+		Machine: d, MachineLabel: "uniform", Input: []byte{1, 2, 3}, Want: 2, Got: 4}
+	rep := reportDivergence(dv)
+	if rep.Summary == "" || rep.States != 6 || rep.Symbols != 4 {
+		t.Fatalf("report fields: %+v", rep)
+	}
+	back, err := DecodeMachine(rep.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumStates() != 6 || back.NumSymbols() != 4 {
+		t.Fatalf("decoded machine %dx%d", back.NumStates(), back.NumSymbols())
+	}
+	for q := 0; q < 6; q++ {
+		for a := 0; a < 4; a++ {
+			if back.Next(fsm.State(q), byte(a)) != d.Next(fsm.State(q), byte(a)) {
+				t.Fatalf("transition (%d,%d) drifted", q, a)
+			}
+		}
+	}
+}
+
+// TestDivergenceError covers the one-line formatter.
+func TestDivergenceError(t *testing.T) {
+	var nilDv *Divergence
+	if nilDv.Error() == "" {
+		t.Fatal("nil divergence should render")
+	}
+	rng := rand.New(rand.NewSource(37))
+	dv := &Divergence{Check: "ctx-final", Strategy: "convergence",
+		Machine: fsm.Random(rng, 3, 2, 0.5), MachineLabel: "tiny",
+		Input: []byte{0, 1}, Start: 1, Want: 2, Got: 0, Detail: "multicore fold"}
+	msg := dv.Error()
+	for _, frag := range []string{"ctx-final", "convergence", "tiny", "multicore fold", "got state 0, want 2"} {
+		if !bytes.Contains([]byte(msg), []byte(frag)) {
+			t.Errorf("error %q missing %q", msg, frag)
+		}
+	}
+}

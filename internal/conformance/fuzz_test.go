@@ -1,0 +1,82 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpfsm/internal/core"
+)
+
+// Fuzz targets. The fuzzer owns three degrees of freedom: the machine
+// seed, the regime index, and the raw input bytes (clamped into the
+// machine's alphabet). Machines are derived deterministically from
+// (seed, regime), so every crash artifact is replayable from its
+// corpus entry alone. Both targets run under QuickConfig — oracle and
+// metamorphic checks only — so one execution stays cheap enough for
+// the mutation loop to make progress.
+
+// fuzzMachine derives the machine for one fuzz execution.
+func fuzzMachine(seed int64, regime int) GeneratedMachine {
+	rng := rand.New(rand.NewSource(seed))
+	if regime < 0 {
+		regime = -regime
+	}
+	return RandomMachine(rng, regime)
+}
+
+// FuzzDifferential runs the full QuickConfig differential check —
+// every strategy, both lanes, chunked-vs-whole, split invariance —
+// on a fuzzer-chosen (machine, input) pair.
+func FuzzDifferential(f *testing.F) {
+	f.Add(int64(1), 0, []byte(""))
+	f.Add(int64(2), 3, []byte("abab"))
+	f.Add(int64(3), 6, []byte("\x00\x01\x02\x03\x04\x05\x06\x07"))
+	f.Add(int64(20260805), 9, []byte("mississippi"))
+	cfg := QuickConfig()
+	f.Fuzz(func(t *testing.T, seed int64, regime int, data []byte) {
+		if len(data) > 1<<12 {
+			data = data[:1<<12] // bound one execution's work
+		}
+		gm := fuzzMachine(seed, regime)
+		in := ClampInput(gm.D, data)
+		if dv := CheckInput(gm.D, in, cfg); dv != nil {
+			dv.MachineLabel = gm.Label
+			t.Fatalf("seed=%d regime=%d: %v", seed, regime, Shrink(dv, cfg))
+		}
+	})
+}
+
+// FuzzSplitInvariance checks the paper's associativity argument in
+// isolation: for a fuzzer-chosen split point, running the two halves
+// through the Auto-resolved strategy composes to the oracle's answer.
+func FuzzSplitInvariance(f *testing.F) {
+	f.Add(int64(1), 0, uint16(0), []byte("aa"))
+	f.Add(int64(5), 4, uint16(3), []byte("abcabc"))
+	f.Add(int64(9), 11, uint16(64), []byte("zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz"))
+	f.Fuzz(func(t *testing.T, seed int64, regime int, split uint16, data []byte) {
+		if len(data) > 1<<12 {
+			data = data[:1<<12]
+		}
+		gm := fuzzMachine(seed, regime)
+		in := ClampInput(gm.D, data)
+		r, err := core.New(gm.D) // Auto strategy
+		if err != nil {
+			t.Fatalf("seed=%d regime=%d: compile: %v", seed, regime, err)
+		}
+		start := gm.D.Start()
+		want := OracleFinal(gm.D, in, start)
+		k := int(split)
+		if k > len(in) {
+			k = len(in)
+		}
+		mid := r.Final(in[:k], start)
+		if got := r.Final(in[k:], mid); got != want {
+			t.Fatalf("seed=%d regime=%d %s: split at %d of %d: got %d, want %d (mid %d)",
+				seed, regime, gm.Label, k, len(in), got, want, mid)
+		}
+		if got := r.Final(in, start); got != want {
+			t.Fatalf("seed=%d regime=%d %s: whole input: got %d, want %d",
+				seed, regime, gm.Label, got, want)
+		}
+	})
+}

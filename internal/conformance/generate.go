@@ -1,0 +1,235 @@
+package conformance
+
+import (
+	"math/rand"
+
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/gather"
+)
+
+// Machine generation. Uniform random machines are a weak adversary:
+// they converge almost immediately and their per-symbol ranges sit far
+// from the decision boundaries, so a bug in the ≤-width shuffle path
+// or the factor cadence would survive millions of them. The regimes
+// below aim each generated machine at a place where the paper's
+// optimizations change behavior — the shuffle-width boundary (§5.3's
+// tables are only built when max range ≤ gather.Width on the Auto
+// path, and the byte-name tables cap at 256), the convergence
+// heuristics (§5.2 fires eagerly on range drops), dead and unreachable
+// states (Factor must not resurrect them), and the degenerate shapes
+// (one state, one symbol) where off-by-ones live.
+
+// GeneratedMachine is one machine plus the regime label that produced
+// it, for divergence reports.
+type GeneratedMachine struct {
+	Label string
+	D     *fsm.DFA
+}
+
+// regime is one biased generator.
+type regime struct {
+	label string
+	gen   func(rng *rand.Rand) *fsm.DFA
+}
+
+// symCount draws an alphabet size biased toward small alphabets but
+// covering the full 1..256 span.
+func symCount(rng *rand.Rand) int {
+	switch rng.Intn(4) {
+	case 0:
+		return 1 + rng.Intn(4)
+	case 1:
+		return 2 + rng.Intn(30)
+	case 2:
+		return 64 + rng.Intn(128)
+	default:
+		return 256
+	}
+}
+
+// regimes is the generator table RandomMachine cycles through.
+var regimes = []regime{
+	{"single-state", func(rng *rand.Rand) *fsm.DFA {
+		// One state: every strategy must be a fixed point.
+		return fsm.Random(rng, 1, symCount(rng), 0.5)
+	}},
+	{"tiny", func(rng *rand.Rand) *fsm.DFA {
+		return fsm.Random(rng, 2+rng.Intn(3), symCount(rng), 0.3)
+	}},
+	{"converge-fast", func(rng *rand.Rand) *fsm.DFA {
+		// Per-symbol range 1..4: collapses into the register regime
+		// within a handful of symbols.
+		return fsm.RandomConverging(rng, 8+rng.Intn(120), symCount(rng), 1+rng.Intn(4), 0.2)
+	}},
+	{"range-below-width", func(rng *rand.Rand) *fsm.DFA {
+		// Max range just under the shuffle width: one block per symbol.
+		return fsm.RandomConverging(rng, 24+rng.Intn(104), symCount(rng), gather.Width-1, 0.2)
+	}},
+	{"range-at-width", func(rng *rand.Rand) *fsm.DFA {
+		// Exactly the width: the Auto boundary case (≤ picks coalescing).
+		return fsm.RandomConverging(rng, 24+rng.Intn(104), symCount(rng), gather.Width, 0.2)
+	}},
+	{"range-above-width", func(rng *rand.Rand) *fsm.DFA {
+		// One past the width: Auto flips to convergence; coalescing,
+		// when forced, needs a second block.
+		return fsm.RandomConverging(rng, 24+rng.Intn(104), symCount(rng), gather.Width+1, 0.2)
+	}},
+	{"permutation", func(rng *rand.Rand) *fsm.DFA {
+		// Every transition function a permutation: the active vector
+		// never shrinks, Factor never wins.
+		return fsm.RandomPermutation(rng, 2+rng.Intn(62), symCount(rng), 0.3)
+	}},
+	{"dead-states", withDeadStates},
+	{"alphabet-1", func(rng *rand.Rand) *fsm.DFA {
+		// A single symbol: the input is pure repetition, so every run
+		// walks one functional orbit.
+		return fsm.Random(rng, 2+rng.Intn(40), 1, 0.3)
+	}},
+	{"wide", func(rng *rand.Rand) *fsm.DFA {
+		// More than 256 states: the byte-encoded columns and byte-name
+		// tables are unavailable, forcing the 16-bit kernels.
+		return fsm.RandomConverging(rng, 257+rng.Intn(64), symCount(rng), 1+rng.Intn(40), 0.2)
+	}},
+	{"wide-permutation", func(rng *rand.Rand) *fsm.DFA {
+		// Wide and non-converging: max range > 256, so the range
+		// strategies must refuse to compile and Auto must pick
+		// convergence over 16-bit lanes.
+		return fsm.RandomPermutation(rng, 257+rng.Intn(64), 1+rng.Intn(16), 0.3)
+	}},
+	{"uniform", func(rng *rand.Rand) *fsm.DFA {
+		return fsm.Random(rng, 2+rng.Intn(126), symCount(rng), 0.3)
+	}},
+}
+
+// withDeadStates builds a converging machine and grafts on two kinds
+// of dead weight: a reachable trap state (all its transitions
+// self-loop) and a block of unreachable states that only transition
+// among themselves. The enumerative strategies still carry all of them
+// in the state vector; Factor must deduplicate without ever inventing
+// a transition into the unreachable block.
+func withDeadStates(rng *rand.Rand) *fsm.DFA {
+	base := 8 + rng.Intn(56)
+	extra := 2 + rng.Intn(6) // trap + unreachables
+	k := symCount(rng)
+	n := base + extra
+	d := fsm.MustNew(n, k)
+	d.SetStart(fsm.State(rng.Intn(base)))
+	maxRange := 1 + rng.Intn(gather.Width)
+	live := fsm.RandomConverging(rng, base, k, maxRange, 0.3)
+	for a := 0; a < k; a++ {
+		for q := 0; q < base; q++ {
+			d.SetTransition(fsm.State(q), byte(a), live.Next(fsm.State(q), byte(a)))
+		}
+		// trap: absorbs itself.
+		trap := fsm.State(base)
+		d.SetTransition(trap, byte(a), trap)
+		// unreachable block: random transitions within the block.
+		for q := base + 1; q < n; q++ {
+			t := base + 1 + rng.Intn(extra-1)
+			d.SetTransition(fsm.State(q), byte(a), fsm.State(t))
+		}
+	}
+	for q := 0; q < base; q++ {
+		d.SetAccepting(fsm.State(q), live.Accepting(fsm.State(q)))
+	}
+	// Sometimes make the trap reachable from one live state.
+	if rng.Intn(2) == 0 && k > 0 {
+		d.SetTransition(fsm.State(rng.Intn(base)), byte(rng.Intn(k)), fsm.State(base))
+	}
+	return d
+}
+
+// NumRegimes reports how many generator regimes RandomMachine cycles
+// through; i and i+NumRegimes() draw from the same regime.
+func NumRegimes() int { return len(regimes) }
+
+// RandomMachine derives one adversarially shaped machine from rng. The
+// index selects the regime round-robin, so any window of NumRegimes
+// consecutive indices covers every regime once.
+func RandomMachine(rng *rand.Rand, i int) GeneratedMachine {
+	r := regimes[((i%len(regimes))+len(regimes))%len(regimes)]
+	return GeneratedMachine{Label: r.label, D: r.gen(rng)}
+}
+
+// Inputs builds the adversarial input set for d under cfg: the empty
+// input, single symbols, lengths straddling every multicore split
+// boundary (minChunk and 2·minChunk are where useMulticore and
+// splitChunks change shape, and the engine's LargeInput threshold is
+// where the dispatch lane flips), pathological repetition (one-symbol
+// and short-period inputs keep the active vector walking a single
+// orbit), and uniform random fills.
+func Inputs(rng *rand.Rand, d *fsm.DFA, cfg Config) [][]byte {
+	k := d.NumSymbols()
+	mc := cfg.MinChunk
+	if mc < 2 {
+		mc = 2
+	}
+	lengths := []int{
+		0, 1, 2, 3,
+		mc - 1, mc, mc + 1,
+		2*mc - 1, 2 * mc, 2*mc + 1,
+		cfg.LargeInput, cfg.LargeInput + 1,
+		cfg.Procs*mc + rng.Intn(mc),
+	}
+	var out [][]byte
+	seen := map[int]bool{}
+	for _, n := range lengths {
+		if n < 0 || (n == 0 && seen[0]) {
+			continue
+		}
+		if n == 0 {
+			seen[0] = true
+			out = append(out, nil)
+			continue
+		}
+		out = append(out, randomFill(rng, k, n))
+		switch rng.Intn(3) {
+		case 0:
+			out = append(out, repeatFill(rng, k, n, 1))
+		case 1:
+			out = append(out, repeatFill(rng, k, n, 2+rng.Intn(3)))
+		case 2:
+			// Converge-then-switch: constant prefix, random tail.
+			in := repeatFill(rng, k, n, 1)
+			copy(in[n/2:], randomFill(rng, k, n-n/2))
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+func randomFill(rng *rand.Rand, symbols, n int) []byte {
+	in := make([]byte, n)
+	for i := range in {
+		in[i] = byte(rng.Intn(symbols))
+	}
+	return in
+}
+
+// repeatFill repeats a random period-length pattern.
+func repeatFill(rng *rand.Rand, symbols, n, period int) []byte {
+	pat := make([]byte, period)
+	for i := range pat {
+		pat[i] = byte(rng.Intn(symbols))
+	}
+	in := make([]byte, n)
+	for i := range in {
+		in[i] = pat[i%period]
+	}
+	return in
+}
+
+// ClampInput maps arbitrary fuzzer bytes into d's alphabet so they
+// form a legal input. The mapping is modulo, which preserves most of
+// the fuzzer's byte-level structure for small alphabets.
+func ClampInput(d *fsm.DFA, raw []byte) []byte {
+	k := d.NumSymbols()
+	if k >= 256 {
+		return raw
+	}
+	in := make([]byte, len(raw))
+	for i, b := range raw {
+		in[i] = b % byte(k)
+	}
+	return in
+}

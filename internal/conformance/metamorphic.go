@@ -1,0 +1,181 @@
+package conformance
+
+import (
+	"context"
+	"fmt"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/telemetry"
+	"dpfsm/internal/trace"
+)
+
+// Metamorphic properties: relations between runs of the system under
+// test that must hold for *any* correct implementation, checked
+// without consulting the oracle at all. The first two are the
+// associativity argument the whole multicore decomposition rests on;
+// the third cross-checks the observability layer against itself.
+
+// checkSplit verifies split-point invariance: for every strategy and a
+// handful of split points s, Final(x) == Final(x[s:], Final(x[:s])).
+func (c *checker) checkSplit(input []byte) *Divergence {
+	n := len(input)
+	if n < 2 {
+		return nil
+	}
+	splits := []int{1, n / 2, n - 1}
+	for _, s := range c.strategies {
+		r := c.singles[s]
+		for _, start := range c.starts() {
+			whole := r.Final(input, start)
+			for _, k := range splits {
+				mid := r.Final(input[:k], start)
+				if got := r.Final(input[k:], mid); got != whole {
+					return c.divergence("split-invariance", s.String(), input, start, whole, got,
+						fmt.Sprintf("split at %d of %d", k, n))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkConcat verifies concatenation consistency across distinct
+// generated inputs: Final(a‖b, q) == Final(b, Final(a, q)). Unlike
+// checkSplit, the two halves here have unrelated structure (repetition
+// joined to random fill, boundary lengths joined to empty), so the
+// composed run crosses texture changes a single generated input never
+// contains.
+func (c *checker) checkConcat(inputs [][]byte) *Divergence {
+	if len(inputs) < 2 {
+		return nil
+	}
+	start := c.d.Start()
+	pairs := len(inputs)
+	if pairs > 4 {
+		pairs = 4
+	}
+	for i := 0; i < pairs; i++ {
+		a := inputs[i]
+		b := inputs[(i+1)%len(inputs)]
+		ab := make([]byte, 0, len(a)+len(b))
+		ab = append(append(ab, a...), b...)
+		for _, s := range c.strategies {
+			r := c.singles[s]
+			whole := r.Final(ab, start)
+			if got := r.Final(b, r.Final(a, start)); got != whole {
+				return c.divergence("concatenation", s.String(), ab, start, whole, got,
+					fmt.Sprintf("a=%d bytes, b=%d bytes", len(a), len(b)))
+			}
+		}
+	}
+	return nil
+}
+
+// checkTrace runs one traced, telemetered multicore execution and
+// cross-checks the three accounts the runtime keeps of the same run:
+// the span tree, the aggregate telemetry, and the input itself. The
+// multicore span's chunk count must equal the number of per-chunk
+// phase-1 spans and the telemetry Chunks delta; the per-chunk byte
+// attributes must tile the input exactly; the active-width attributes
+// must be internally consistent and their maximum must equal the
+// ActiveHighWater gauge the same run flushed.
+func (c *checker) checkTrace(input []byte) *Divergence {
+	if len(input) < 2*c.cfg.MinChunk {
+		return nil // multicore would not engage; nothing to cross-check
+	}
+	var s core.Strategy
+	found := false
+	for _, cand := range c.strategies {
+		if cand == core.Sequential {
+			continue // routed to RunUnrolled: no enumerative accounting
+		}
+		s = cand
+		found = true
+		if cand == core.Convergence {
+			break
+		}
+	}
+	if !found {
+		return nil
+	}
+	fail := func(detail string, got fsm.State, want fsm.State) *Divergence {
+		return c.divergence("trace-consistency", s.String(), input, c.d.Start(), want, got, detail)
+	}
+
+	tel := new(telemetry.Metrics)
+	r, err := core.NewFromPlan(c.singles[s].PlanRef(),
+		core.WithStrategy(s), core.WithMinChunk(c.cfg.MinChunk),
+		core.WithProcs(c.cfg.Procs), core.WithTelemetry(tel))
+	if err != nil {
+		return fail("building telemetered runner: "+err.Error(), 0, 0)
+	}
+
+	start := c.d.Start()
+	want := OracleFinal(c.d, input, start)
+	tr := trace.New()
+	ctx := trace.NewContext(context.Background(), tr)
+	got, err := r.FinalCtx(ctx, input, start)
+	if err != nil {
+		return fail("traced run error: "+err.Error(), got, want)
+	}
+	if got != want {
+		return fail("traced run final state", got, want)
+	}
+
+	snap := tel.Snapshot()
+	spans := tr.Spans()
+	var declaredChunks, chunkSpans, chunkBytes int64
+	var maxWidthStart int64
+	for _, sv := range spans {
+		switch sv.Name {
+		case core.SpanMulticore:
+			if a, ok := trace.FindAttr(sv.Attrs, core.AttrChunks); ok {
+				declaredChunks = a.Int64()
+			}
+			if a, ok := trace.FindAttr(sv.Attrs, core.AttrBytes); !ok || a.Int64() != int64(len(input)) {
+				return fail(fmt.Sprintf("multicore span bytes=%v, input is %d bytes", a.Int64(), len(input)), got, want)
+			}
+		case core.SpanSingle:
+			return fail("run took the single-core lane despite multicore-sized input", got, want)
+		case core.SpanPhase1Chunk:
+			chunkSpans++
+			if a, ok := trace.FindAttr(sv.Attrs, core.AttrBytes); ok {
+				chunkBytes += a.Int64()
+			}
+			ws, okS := trace.FindAttr(sv.Attrs, core.AttrWidthStart)
+			wf, okF := trace.FindAttr(sv.Attrs, core.AttrWidthFinal)
+			if !okS || !okF {
+				return fail("phase-1 chunk span missing width attributes", got, want)
+			}
+			if wf.Int64() < 1 || wf.Int64() > ws.Int64() || ws.Int64() > int64(c.d.NumStates()) {
+				return fail(fmt.Sprintf("chunk widths inconsistent: start=%d final=%d states=%d",
+					ws.Int64(), wf.Int64(), c.d.NumStates()), got, want)
+			}
+			if ws.Int64() > maxWidthStart {
+				maxWidthStart = ws.Int64()
+			}
+		}
+	}
+	if declaredChunks == 0 {
+		return fail("no core.multicore span with a chunks attribute", got, want)
+	}
+	if chunkSpans != declaredChunks {
+		return fail(fmt.Sprintf("multicore span declares %d chunks, trace has %d phase-1 chunk spans",
+			declaredChunks, chunkSpans), got, want)
+	}
+	if chunkBytes != int64(len(input)) {
+		return fail(fmt.Sprintf("phase-1 chunk spans cover %d bytes, input is %d", chunkBytes, len(input)), got, want)
+	}
+	if snap.Chunks != declaredChunks {
+		return fail(fmt.Sprintf("telemetry counted %d chunks, span declares %d", snap.Chunks, declaredChunks), got, want)
+	}
+	if snap.MulticoreRuns != 1 {
+		return fail(fmt.Sprintf("telemetry counted %d multicore runs for one execution", snap.MulticoreRuns), got, want)
+	}
+	if snap.ActiveHighWater != maxWidthStart {
+		return fail(fmt.Sprintf("telemetry high-water %d, max span width_start %d",
+			snap.ActiveHighWater, maxWidthStart), got, want)
+	}
+	return nil
+}

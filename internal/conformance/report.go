@@ -1,0 +1,123 @@
+package conformance
+
+import (
+	"bytes"
+	"encoding/base64"
+	"math/rand"
+
+	"dpfsm/internal/fsm"
+)
+
+// Soak reporting: the JSON artifact cmd/fsmverify emits and CI
+// archives. Everything needed to reproduce a failure out-of-band is in
+// the report — the seed, the machine index, and the (shrunk) machine
+// itself in the fsm wire encoding.
+
+// DivergenceReport is the JSON-encodable form of a Divergence.
+type DivergenceReport struct {
+	Check    string `json:"check"`
+	Strategy string `json:"strategy,omitempty"`
+	Regime   string `json:"regime,omitempty"`
+	States   int    `json:"states"`
+	Symbols  int    `json:"symbols"`
+	// Machine is the base64 fsm wire encoding of the (possibly shrunk)
+	// machine; decode with fsm.ReadDFA.
+	Machine string `json:"machine_b64,omitempty"`
+	// Input is the base64 failing input.
+	Input  string `json:"input_b64"`
+	Start  int    `json:"start"`
+	Want   int    `json:"want"`
+	Got    int    `json:"got"`
+	Detail string `json:"detail,omitempty"`
+	Shrunk bool   `json:"shrunk"`
+	// Summary is the human-readable one-liner (Divergence.Error).
+	Summary string `json:"summary"`
+}
+
+// Report is the outcome of one Soak run.
+type Report struct {
+	OK       bool  `json:"ok"`
+	Seed     int64 `json:"seed"`
+	Machines int   `json:"machines"`
+	// MachinesRun counts machines actually checked (== Machines unless a
+	// divergence stopped the soak early).
+	MachinesRun int `json:"machines_run"`
+	Inputs      int `json:"inputs"`
+	// Regimes counts checked machines per generator regime.
+	Regimes    map[string]int `json:"regimes"`
+	Strategies []string       `json:"strategies"`
+	// FailedIndex is the machine index that diverged, -1 when OK.
+	FailedIndex int               `json:"failed_index"`
+	Divergence  *DivergenceReport `json:"divergence,omitempty"`
+}
+
+// reportDivergence converts dv for JSON.
+func reportDivergence(dv *Divergence) *DivergenceReport {
+	if dv == nil {
+		return nil
+	}
+	r := &DivergenceReport{
+		Check:    dv.Check,
+		Strategy: dv.Strategy,
+		Regime:   dv.MachineLabel,
+		Input:    base64.StdEncoding.EncodeToString(dv.Input),
+		Start:    int(dv.Start),
+		Want:     int(dv.Want),
+		Got:      int(dv.Got),
+		Detail:   dv.Detail,
+		Shrunk:   dv.Shrunk,
+		Summary:  dv.Error(),
+	}
+	if dv.Machine != nil {
+		r.States = dv.Machine.NumStates()
+		r.Symbols = dv.Machine.NumSymbols()
+		var buf bytes.Buffer
+		if _, err := dv.Machine.WriteTo(&buf); err == nil {
+			r.Machine = base64.StdEncoding.EncodeToString(buf.Bytes())
+		}
+	}
+	return r
+}
+
+// DecodeMachine recovers the DFA from a report's machine_b64 field.
+func DecodeMachine(b64 string) (*fsm.DFA, error) {
+	raw, err := base64.StdEncoding.DecodeString(b64)
+	if err != nil {
+		return nil, err
+	}
+	return fsm.ReadDFA(bytes.NewReader(raw))
+}
+
+// Soak checks n seeded random machines under cfg and reports the first
+// divergence, minimized. progress, when non-nil, is called before each
+// machine with its index and regime. Deterministic for a given
+// (n, seed, cfg).
+func Soak(n int, seed int64, cfg Config, progress func(i int, gm GeneratedMachine)) Report {
+	rng := rand.New(rand.NewSource(seed))
+	rep := Report{
+		OK:          true,
+		Seed:        seed,
+		Machines:    n,
+		Regimes:     make(map[string]int),
+		Strategies:  StrategyNames(cfg),
+		FailedIndex: -1,
+	}
+	for i := 0; i < n; i++ {
+		gm := RandomMachine(rng, i)
+		if progress != nil {
+			progress(i, gm)
+		}
+		inputs := Inputs(rng, gm.D, cfg)
+		rep.MachinesRun++
+		rep.Inputs += len(inputs)
+		rep.Regimes[gm.Label]++
+		if dv := Check(gm, inputs, cfg); dv != nil {
+			dv = Shrink(dv, cfg)
+			rep.OK = false
+			rep.FailedIndex = i
+			rep.Divergence = reportDivergence(dv)
+			break
+		}
+	}
+	return rep
+}

@@ -1,0 +1,140 @@
+package conformance
+
+import "dpfsm/internal/fsm"
+
+// Minimization. A divergence found on a 300-state machine and a
+// 450-byte input is unreadable; the same divergence on 3 states and
+// 4 bytes is a unit test. Shrink reduces the input first (greedy
+// halving, then ddmin-style chunk deletion at doubling granularity),
+// then removes machine states one at a time, keeping every reduction
+// that still diverges. The reproduction predicate is the full check
+// suite, so the shrunk case may surface as a *different* check than
+// the original — any divergence counts; what matters is that the pair
+// still exhibits one.
+
+// Shrink minimizes dv's (machine, input) pair under cfg, spending at
+// most cfg.ShrinkBudget reproduction attempts. The returned divergence
+// has Shrunk set when any reduction succeeded; the original is
+// returned unchanged when none did (or when dv carries no machine).
+func Shrink(dv *Divergence, cfg Config) *Divergence {
+	return shrinkWith(dv, cfg.ShrinkBudget, func(d *fsm.DFA, in []byte) *Divergence {
+		return CheckInput(d, in, cfg)
+	})
+}
+
+// shrinkWith is Shrink with an injectable reproduction predicate, so
+// the shrink loop itself is testable without a real conformance bug.
+func shrinkWith(dv *Divergence, budget int, repro func(*fsm.DFA, []byte) *Divergence) *Divergence {
+	if dv == nil || dv.Machine == nil || budget <= 0 {
+		return dv
+	}
+	best := dv
+	d, in := dv.Machine, dv.Input
+	try := func(cd *fsm.DFA, cin []byte) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		ndv := repro(cd, cin)
+		if ndv == nil {
+			return false
+		}
+		ndv.MachineLabel = dv.MachineLabel
+		ndv.Shrunk = true
+		best = ndv
+		return true
+	}
+	in = shrinkInput(in, d, try)
+	for budget > 0 && d.NumStates() > 1 {
+		removed := false
+		for q := d.NumStates() - 1; q >= 0 && budget > 0; q-- {
+			cand := removeState(d, q)
+			if try(cand, in) {
+				d = cand
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	return best
+}
+
+// shrinkInput reduces in while try keeps reproducing on machine d.
+func shrinkInput(in []byte, d *fsm.DFA, try func(*fsm.DFA, []byte) bool) []byte {
+	cur := in
+	if len(cur) > 0 && try(d, nil) {
+		return nil
+	}
+	// Greedy halving: most divergences live in one half.
+	for len(cur) > 1 {
+		n := len(cur)
+		if try(d, cur[:n/2]) {
+			cur = cur[:n/2]
+			continue
+		}
+		if try(d, cur[n/2:]) {
+			cur = cur[n/2:]
+			continue
+		}
+		break
+	}
+	// ddmin-style: delete 1/k chunks at doubling granularity.
+	for k := 2; k < len(cur); k *= 2 {
+		progress := true
+		for progress && len(cur) > 1 {
+			progress = false
+			chunk := (len(cur) + k - 1) / k
+			for off := 0; off < len(cur); off += chunk {
+				hi := off + chunk
+				if hi > len(cur) {
+					hi = len(cur)
+				}
+				cand := append(append([]byte{}, cur[:off]...), cur[hi:]...)
+				if len(cand) == len(cur) {
+					continue
+				}
+				if try(d, cand) {
+					cur = cand
+					progress = true
+					break
+				}
+			}
+		}
+	}
+	return cur
+}
+
+// removeState builds a copy of d without state q: surviving states are
+// renumbered densely, and every transition into q (including the start,
+// if q was it) is redirected to the lowest surviving state. The result
+// is always a valid machine; whether it still diverges is for the
+// caller's predicate to decide.
+func removeState(d *fsm.DFA, q int) *fsm.DFA {
+	n, k := d.NumStates(), d.NumSymbols()
+	nd := fsm.MustNew(n-1, k)
+	remap := func(s fsm.State) fsm.State {
+		switch {
+		case int(s) == q:
+			return 0
+		case int(s) > q:
+			return fsm.State(int(s) - 1)
+		default:
+			return s
+		}
+	}
+	for old := 0; old < n; old++ {
+		if old == q {
+			continue
+		}
+		nq := remap(fsm.State(old))
+		nd.SetAccepting(nq, d.Accepting(fsm.State(old)))
+		for a := 0; a < k; a++ {
+			nd.SetTransition(nq, byte(a), remap(d.Next(fsm.State(old), byte(a))))
+		}
+	}
+	nd.SetStart(remap(d.Start()))
+	return nd
+}

@@ -20,8 +20,16 @@ import (
 // why the paper calls the first two phases "extremely fast" (§3.4).
 
 // splitChunks divides n input bytes into p ranges no smaller than
-// minChunk, reducing p if necessary.
+// minChunk, reducing p if necessary. Every caller's invariants hold
+// for any n: the ranges tile [0, n) in order, there is always at
+// least one range, and no range is empty unless n itself is zero.
 func (r *Runner) splitChunks(n int) [][2]int {
+	if n <= 0 {
+		// Degenerate input: a single empty chunk keeps the "at least
+		// one chunk" invariant (phase 2 then folds over an identity
+		// vector) without emitting empty siblings next to real work.
+		return [][2]int{{0, 0}}
+	}
 	p := r.procs
 	minChunk := r.minChunk
 	if minChunk < 1 {
@@ -31,6 +39,12 @@ func (r *Runner) splitChunks(n int) [][2]int {
 	}
 	if max := n / minChunk; p > max {
 		p = max
+	}
+	if p > n {
+		// Input shorter than the worker count (possible when minChunk
+		// is 1): cap at one byte per chunk so i*n/p is strictly
+		// increasing and no chunk comes out empty.
+		p = n
 	}
 	if p < 1 {
 		p = 1

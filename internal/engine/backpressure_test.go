@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dpfsm/internal/fsm"
+	"dpfsm/internal/telemetry"
+)
+
+// TestTrySubmitQueueFull wedges a one-worker, depth-one engine — the
+// worker blocks delivering a result nobody reads while a second job
+// fills the queue — and verifies TrySubmit sheds the third job with
+// the typed error and increments the matching telemetry counter,
+// while the blocking Submit contract stays intact for the first two.
+func TestTrySubmitQueueFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := fsm.RandomConverging(rng, 10, 4, 3, 0.3)
+	tel := new(telemetry.Metrics)
+	e := New(WithWorkers(1), WithQueueDepth(1), WithProcs(1), WithTelemetry(tel))
+	defer e.Close()
+	if _, err := e.Register("m", d); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	job := Job{Machine: "m", Input: []byte{0, 1, 2}}
+	out := make(chan Result) // unbuffered: the worker blocks on delivery
+
+	// Job A: the worker dequeues it, executes, and wedges on out.
+	if err := e.Submit(ctx, job, 0, out); err != nil {
+		t.Fatalf("submit A: %v", err)
+	}
+	// Job B: fills the (now empty) queue. Submit blocks until the
+	// worker has taken A, so after this returns the queue is full.
+	if err := e.Submit(ctx, job, 1, out); err != nil {
+		t.Fatalf("submit B: %v", err)
+	}
+
+	// Job C: must be shed, not queued.
+	err := e.TrySubmit(ctx, job, 2, out)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("TrySubmit on full queue: err = %v, want ErrQueueFull", err)
+	}
+	if got := tel.EngineQueueRejects.Load(); got != 1 {
+		t.Fatalf("EngineQueueRejects = %d, want 1", got)
+	}
+	if snap := tel.Snapshot(); snap.EngineQueueRejects != 1 {
+		t.Fatalf("snapshot EngineQueueRejects = %d, want 1", snap.EngineQueueRejects)
+	}
+
+	// Unwedge: read both results, then TrySubmit must succeed without
+	// touching the reject counter.
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-out:
+			if r.Err != nil {
+				t.Fatalf("job %d: %v", r.Index, r.Err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("pool did not drain")
+		}
+	}
+	if err := e.TrySubmit(ctx, job, 3, out); err != nil {
+		t.Fatalf("TrySubmit with room: %v", err)
+	}
+	select {
+	case r := <-out:
+		if r.Err != nil {
+			t.Fatalf("job 3: %v", r.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("accepted TrySubmit job never ran")
+	}
+	if got := tel.EngineQueueRejects.Load(); got != 1 {
+		t.Fatalf("EngineQueueRejects after successful TrySubmit = %d, want 1", got)
+	}
+}
+
+// TestTrySubmitClosed: a closed engine answers ErrClosed, not
+// ErrQueueFull.
+func TestTrySubmitClosed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e := New(WithWorkers(1), WithQueueDepth(1))
+	if _, err := e.Register("m", fsm.RandomConverging(rng, 5, 3, 2, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	err := e.TrySubmit(context.Background(), Job{Machine: "m"}, 0, make(chan Result, 1))
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+// TestTrySubmitCanceledContext: a dead context fails fast with the
+// context's error even when the queue has room.
+func TestTrySubmitCanceledContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	e := New(WithWorkers(1), WithQueueDepth(4))
+	defer e.Close()
+	if _, err := e.Register("m", fsm.RandomConverging(rng, 5, 3, 2, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := e.TrySubmit(ctx, Job{Machine: "m"}, 0, make(chan Result, 1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

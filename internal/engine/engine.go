@@ -62,6 +62,10 @@ var (
 	ErrClosed         = errors.New("engine: closed")
 	ErrUnknownMachine = errors.New("engine: unknown machine")
 	ErrBadStart       = errors.New("engine: start state out of range")
+	// ErrQueueFull is returned by TrySubmit when the bounded queue has
+	// no room — the load-shedding signal for callers that must not
+	// block on backpressure.
+	ErrQueueFull = errors.New("engine: queue full")
 )
 
 // Option configures an Engine.
@@ -457,6 +461,44 @@ func (e *Engine) Submit(ctx context.Context, job Job, idx int, out chan<- Result
 	case <-e.drain:
 		t.qspan.End()
 		return ErrClosed
+	}
+}
+
+// TrySubmit is Submit without the blocking contract: when the bounded
+// queue is full it fails immediately with ErrQueueFull — after
+// incrementing the EngineQueueRejects counter — instead of waiting
+// for a worker to drain it. This is the load-shedding primitive for
+// callers (an HTTP frontend answering 429, a batch planner probing
+// capacity) that must not hold their own resources hostage to the
+// pool's backpressure.
+func (e *Engine) TrySubmit(ctx context.Context, job Job, idx int, out chan<- Result) error {
+	t := task{ctx: ctx, job: job, idx: idx, out: out}
+	select {
+	case <-e.drain:
+		return ErrClosed
+	default:
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if tr := trace.FromContext(ctx); tr != nil {
+			t.qspan = tr.StartSpan(SpanQueue)
+		}
+	}
+	select {
+	case e.queue <- t:
+		depth := e.queueLen.Add(1)
+		if tm := e.tel; tm != nil {
+			tm.EngineQueueHighWater.Observe(depth)
+		}
+		return nil
+	default:
+		t.qspan.End()
+		if tm := e.tel; tm != nil {
+			tm.EngineQueueRejects.Inc()
+		}
+		return ErrQueueFull
 	}
 }
 

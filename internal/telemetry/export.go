@@ -98,6 +98,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	pc("engine_single_core_total", "jobs dispatched to the single-core lane", m.EngineSingleCore.Load())
 	pc("engine_multicore_total", "jobs dispatched to the multicore lane", m.EngineMulticore.Load())
 	pg("engine_queue_high_water", "deepest bounded-queue backlog observed", m.EngineQueueHighWater.Load())
+	pc("engine_queue_rejects_total", "TrySubmit jobs refused because the queue was full", m.EngineQueueRejects.Load())
 
 	pc("plan_cache_hits_total", "plan-cache lookups served from cache", m.PlanCacheHits.Load())
 	pc("plan_cache_misses_total", "plan-cache lookups that compiled", m.PlanCacheMisses.Load())

@@ -65,6 +65,10 @@ type Metrics struct {
 	// EngineQueueHighWater is the deepest bounded-queue backlog
 	// observed — the live backpressure signal.
 	EngineQueueHighWater MaxGauge
+	// EngineQueueRejects counts TrySubmit calls refused with
+	// ErrQueueFull — load actually shed, as opposed to the blocking
+	// backpressure Submit applies.
+	EngineQueueRejects Counter
 	EngineJobBytes       Histogram // input sizes of executed jobs
 	// EngineJobTime is the all-time log₂ histogram of job wall time;
 	// EngineJobLatency is the exact sliding-window view of the same
@@ -143,6 +147,7 @@ type Snapshot struct {
 	EngineSingleCore     int64 `json:"engine_single_core"`
 	EngineMulticore      int64 `json:"engine_multicore"`
 	EngineQueueHighWater int64 `json:"engine_queue_high_water"`
+	EngineQueueRejects   int64 `json:"engine_queue_rejects"`
 	EngineJobBytesP50    int64 `json:"engine_job_bytes_p50"`
 
 	EngineJobTime PhaseSnapshot `json:"engine_job_time"`
@@ -195,6 +200,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		EngineSingleCore:     m.EngineSingleCore.Load(),
 		EngineMulticore:      m.EngineMulticore.Load(),
 		EngineQueueHighWater: m.EngineQueueHighWater.Load(),
+		EngineQueueRejects:   m.EngineQueueRejects.Load(),
 		EngineJobBytesP50:    m.EngineJobBytes.Quantile(0.5),
 		EngineJobTime:        phaseSnapshot(&m.EngineJobTime),
 
