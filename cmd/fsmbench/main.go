@@ -8,8 +8,10 @@
 // Usage:
 //
 //	fsmbench -experiment fig6            # one figure
-//	fsmbench -experiment all             # everything
+//	fsmbench -experiment all             # every figure (not the sustained load run)
 //	fsmbench -experiment fig13 -corpus 269 -mb 4
+//	fsmbench -experiment sustained -duration 30s -rps 500   # serving-path trajectory point
+//	fsmbench -compare BENCH_PR6.json new.json               # regression gate (>15% throughput drop fails)
 //
 // All workloads are generated deterministically from -seed; see
 // internal/workload for the substitutions standing in for the paper's
@@ -41,12 +43,18 @@ type options struct {
 	jsonPath   string // machine-readable report destination ("" = off)
 	traceOut   string // slowest-job trace dump destination ("" = off)
 	traceTop   int    // how many slowest traces -trace-out keeps
+
+	// Sustained-load experiment knobs.
+	duration time.Duration // open-loop generator wall-clock duration
+	rps      int           // offered request rate
+	benchOut string        // sustained report destination ("" = off)
+	compare  string        // old report path; with a positional new path, diff and gate
 }
 
 func main() {
 	var opt options
 	flag.StringVar(&opt.experiment, "experiment", "all",
-		"which figure to regenerate: fig6 fig8 fig9 fig12 fig13 fig14 fig15 fig16 fig17 fig18 scaling speculation shuffles telemetry engine compile, or all")
+		"which figure to regenerate: fig6 fig8 fig9 fig12 fig13 fig14 fig15 fig16 fig17 fig18 scaling speculation shuffles telemetry engine compile sustained, or all (all skips sustained: it is wall-clock-bound, run it explicitly)")
 	flag.Int64Var(&opt.seed, "seed", 1, "workload generator seed")
 	flag.IntVar(&opt.corpus, "corpus", 400, "size of the generated Snort-shaped rule corpus (paper: 2711)")
 	flag.IntVar(&opt.sample, "sample", 60, "FSMs sampled for timing figures (paper: 269)")
@@ -60,7 +68,28 @@ func main() {
 	flag.StringVar(&opt.strategy, "strategy", "",
 		"restrict strategy-matrix experiments to one strategy, one of: "+
 			strings.Join(core.Strategies(), " ")+" (default: the full matrix)")
+	flag.DurationVar(&opt.duration, "duration", 10*time.Second, "sustained experiment: open-loop generator duration")
+	flag.IntVar(&opt.rps, "rps", 500, "sustained experiment: offered request rate per second")
+	flag.StringVar(&opt.benchOut, "bench-out", "BENCH_PR6.json", "sustained experiment: report destination (\"\" disables the write)")
+	flag.StringVar(&opt.compare, "compare", "",
+		"compare OLD (this flag) against NEW (first positional arg): exit nonzero on >15% throughput regression, e.g. fsmbench -compare old.json new.json")
 	flag.Parse()
+
+	// Comparator mode: `fsmbench -compare old.json new.json` diffs two
+	// sustained reports and gates on throughput. No experiment runs.
+	if opt.compare != "" {
+		newPath := flag.Arg(0)
+		if newPath == "" {
+			fmt.Fprintln(os.Stderr, "usage: fsmbench -compare old.json new.json")
+			os.Exit(2)
+		}
+		if err := compareReports(opt.compare, newPath, regressionGate); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("within the regression gate")
+		return
+	}
 
 	if opt.strategy != "" {
 		if _, err := core.ParseStrategy(opt.strategy); err != nil {
@@ -86,10 +115,16 @@ func main() {
 		"telemetry":   telemetryExperiment,
 		"engine":      engineExperiment,
 		"compile":     compileExperiment,
+		"sustained":   sustained,
 	}
 	if opt.experiment == "all" {
 		names := make([]string, 0, len(experiments))
 		for n := range experiments {
+			// The sustained experiment burns -duration of wall clock by
+			// design; it only runs when asked for by name.
+			if n == "sustained" {
+				continue
+			}
 			names = append(names, n)
 		}
 		sort.Slice(names, func(i, j int) bool {

@@ -18,7 +18,8 @@
 //	POST /v1/batch[?trace=1]                       NDJSON jobs in, streamed NDJSON results + summary out
 //	GET  /v1/machines                              list machines + static stats
 //	GET  /v1/snapshot                              telemetry snapshot (JSON)
-//	GET  /v1/metrics                               Prometheus text format
+//	GET  /v1/status                                live status: queue depth, shed rate, plan-cache hit ratio, per-machine perf profiles, uptime, build info
+//	GET  /v1/metrics                               Prometheus text format (FSM + runtime/metrics series)
 //	GET  /v1/traces[?machine=NAME&min_ms=N]        flight recorder: recent request traces
 //	GET  /v1/traces/{id}                           one retained trace's full span tree
 //	POST /run, GET /machines /snapshot /metrics    deprecated aliases of the above
@@ -69,6 +70,7 @@ import (
 	"dpfsm/internal/core"
 	"dpfsm/internal/engine"
 	"dpfsm/internal/fsm"
+	"dpfsm/internal/perfprofile"
 	"dpfsm/internal/regex"
 	"dpfsm/internal/serverapi"
 	"dpfsm/internal/telemetry"
@@ -90,6 +92,10 @@ type server struct {
 	strategy core.Strategy
 	planDir  string
 	metrics  *telemetry.Metrics
+	// profiles aggregates per-machine observed performance; it persists
+	// into planDir next to the serialized plans and feeds /v1/status.
+	profiles *perfprofile.Store
+	started  time.Time
 	maxBody  int64
 	log      *slog.Logger
 	recorder *trace.Recorder
@@ -124,6 +130,8 @@ func newServer(patterns []string, strategy core.Strategy, procs int, maxBody int
 		strategy: strategy,
 		planDir:  planDir,
 		metrics:  new(telemetry.Metrics),
+		profiles: perfprofile.NewStore(planDir),
+		started:  time.Now(),
 		maxBody:  maxBody,
 		// main swaps in the configured logger and recorder; the
 		// defaults keep tests and embedders quiet but functional.
@@ -133,6 +141,7 @@ func newServer(patterns []string, strategy core.Strategy, procs int, maxBody int
 	s.engine = engine.New(
 		engine.WithProcs(procs),
 		engine.WithTelemetry(s.metrics),
+		engine.WithPerfProfiles(s.profiles),
 	)
 	for _, spec := range patterns {
 		name, pat, ok := strings.Cut(spec, "=")
@@ -268,8 +277,15 @@ func (s *server) savePlan(p *core.Plan) {
 	s.log.Info("plan persisted", "path", dst, "bytes", len(data))
 }
 
-// Close releases the engine's workers.
-func (s *server) Close() { s.engine.Close() }
+// Close releases the engine's workers and flushes the perf profiles
+// to the plan-cache directory (best effort) so observations survive
+// into the next process.
+func (s *server) Close() {
+	s.engine.Close()
+	if err := s.profiles.SaveAll(); err != nil {
+		s.log.Warn("persisting perf profiles", "err", err)
+	}
+}
 
 // resolveMachine maps the ?machine= query (empty = default) to a
 // registered machine, or writes a 404.
@@ -734,7 +750,14 @@ func (s *server) mux() *http.ServeMux {
 	// earlier server in this process claimed the name (tests).
 	_ = s.metrics.Publish("dpfsm")
 	mux := http.NewServeMux()
-	metricsHandler := s.metrics.Handler()
+	// The metrics exposition concatenates the FSM families with the
+	// curated runtime/metrics bridge (GC pauses, heap, goroutines,
+	// scheduler latency) — one scrape, both layers.
+	metricsHandler := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.metrics.WritePrometheus(w)
+		telemetry.WriteRuntimePrometheus(w)
+	}
 
 	// Versioned surface. Every route goes through instrument (access
 	// log); run and batch additionally accept tracing.
@@ -743,7 +766,8 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc(serverapi.Version+"/machines", s.instrument(serverapi.Version+"/machines", false, s.handleMachines))
 	mux.HandleFunc(serverapi.Version+"/machines/", s.instrument(serverapi.Version+"/machines/{name}", false, s.handleMachineByName))
 	mux.HandleFunc(serverapi.Version+"/snapshot", s.instrument(serverapi.Version+"/snapshot", false, s.handleSnapshot))
-	mux.Handle(serverapi.Version+"/metrics", s.instrument(serverapi.Version+"/metrics", false, metricsHandler.ServeHTTP))
+	mux.HandleFunc(serverapi.Version+"/status", s.instrument(serverapi.Version+"/status", false, s.handleStatus))
+	mux.Handle(serverapi.Version+"/metrics", s.instrument(serverapi.Version+"/metrics", false, http.HandlerFunc(metricsHandler)))
 	mux.HandleFunc(serverapi.Version+"/traces", s.instrument(serverapi.Version+"/traces", false, s.handleTraces))
 	mux.HandleFunc(serverapi.Version+"/traces/", s.instrument(serverapi.Version+"/traces/{id}", false, s.handleTraceByID))
 
@@ -751,7 +775,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/run", s.instrument("/run", true, deprecated(serverapi.Version+"/run", s.handleRun)))
 	mux.HandleFunc("/machines", s.instrument("/machines", false, deprecated(serverapi.Version+"/machines", s.handleMachines)))
 	mux.HandleFunc("/snapshot", s.instrument("/snapshot", false, deprecated(serverapi.Version+"/snapshot", s.handleSnapshot)))
-	mux.HandleFunc("/metrics", s.instrument("/metrics", false, deprecated(serverapi.Version+"/metrics", metricsHandler.ServeHTTP)))
+	mux.HandleFunc("/metrics", s.instrument("/metrics", false, deprecated(serverapi.Version+"/metrics", metricsHandler)))
 
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -800,7 +824,8 @@ func main() {
 		procs           = flag.Int("procs", 0, "multicore width for large inputs (0 = NumCPU, 1 = single-core only)")
 		maxBody         = flag.Int64("maxbody", 64<<20, "maximum POSTed body size in bytes")
 		patternsFile    = flag.String("patterns-file", "", "file of NAME=REGEX machines, one per line (default: a small IDS rule set); SIGHUP re-reads it")
-		planDir         = flag.String("plan-cache-dir", "", "directory of serialized compiled plans; machines whose plans are present skip table construction across restarts")
+		planDir         = flag.String("plan-cache-dir", "", "directory of serialized compiled plans; machines whose plans are present skip table construction across restarts, and per-machine perf profiles persist next to them")
+		perfSave        = flag.Duration("perf-save-interval", 30*time.Second, "how often per-machine perf profiles are persisted to -plan-cache-dir (0 disables the periodic save; shutdown always flushes)")
 		logFormat       = flag.String("log-format", "text", `log output format: "text" or "json"`)
 		traceBuf        = flag.Int("trace-buf", trace.DefaultRecorderCapacity, "flight-recorder capacity: completed request traces retained for /v1/traces")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown deadline on SIGINT/SIGTERM")
@@ -871,6 +896,9 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.mux()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Periodic profile persistence, so a crash loses at most one
+	// interval of observations; the clean-shutdown path below flushes.
+	go srv.saveProfilesLoop(ctx.Done(), *perfSave)
 	listenErr := make(chan error, 1)
 	go func() { listenErr <- httpSrv.ListenAndServe() }()
 	logger.Info("serving",
@@ -897,6 +925,9 @@ func main() {
 	}
 	if err := srv.engine.Shutdown(sctx); err != nil {
 		logger.Error("engine shutdown", "err", err)
+	}
+	if err := srv.profiles.SaveAll(); err != nil {
+		logger.Error("persisting perf profiles", "err", err)
 	}
 	logger.Info("stopped")
 }

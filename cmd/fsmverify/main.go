@@ -28,10 +28,15 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// timedReport wraps the conformance report with wall-clock accounting.
+// timedReport wraps the conformance report with wall-clock accounting:
+// the total elapsed time plus the per-check phase breakdown, so CI
+// artifacts show where soak time goes as the runtime evolves. The
+// timing fields live here, not in conformance.Report, which must stay
+// byte-identical across same-seed runs.
 type timedReport struct {
 	conformance.Report
-	ElapsedMS int64 `json:"elapsed_ms"`
+	ElapsedMS    int64               `json:"elapsed_ms"`
+	CheckTimings conformance.Timings `json:"check_timings"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -78,7 +83,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	t0 := time.Now()
-	rep := timedReport{Report: conformance.Soak(*n, *seed, cfg, progress)}
+	soakRep, tm := conformance.SoakTimed(*n, *seed, cfg, progress)
+	rep := timedReport{Report: soakRep, CheckTimings: tm}
 	rep.ElapsedMS = time.Since(t0).Milliseconds()
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

@@ -28,6 +28,14 @@ func TestRunSmoke(t *testing.T) {
 	if !strings.Contains(errb.String(), "all paths agree") {
 		t.Errorf("stderr summary missing: %s", errb.String())
 	}
+	// The per-check timing breakdown rides along: every machine was
+	// compiled and every input went through the oracle sweep.
+	if rep.CheckTimings.Compile.Calls != rep.MachinesRun {
+		t.Errorf("compile timings: %d calls, %d machines", rep.CheckTimings.Compile.Calls, rep.MachinesRun)
+	}
+	if rep.CheckTimings.Oracle.Calls != rep.Inputs || rep.CheckTimings.Oracle.TotalNs <= 0 {
+		t.Errorf("oracle timings: %+v, inputs=%d", rep.CheckTimings.Oracle, rep.Inputs)
+	}
 }
 
 func TestRunDeterministic(t *testing.T) {
@@ -41,13 +49,14 @@ func TestRunDeterministic(t *testing.T) {
 	if code := run([]string{"-n", "4", "-seed", "7", "-quick"}, &b, &bytes.Buffer{}); code != 0 {
 		t.Fatalf("second run exit %d", code)
 	}
-	// Strip the wall-clock field before comparing.
+	// Strip the wall-clock fields before comparing.
 	norm := func(raw []byte) string {
 		var m map[string]any
 		if err := json.Unmarshal(raw, &m); err != nil {
 			t.Fatal(err)
 		}
 		delete(m, "elapsed_ms")
+		delete(m, "check_timings")
 		out, _ := json.Marshal(m)
 		return string(out)
 	}

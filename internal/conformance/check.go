@@ -366,33 +366,8 @@ func (c *checker) checkFold(rngInput []byte) *Divergence {
 // the metamorphic properties — for one machine over the given inputs,
 // returning the first divergence or nil.
 func Check(gm GeneratedMachine, inputs [][]byte, cfg Config) *Divergence {
-	c, dv := newChecker(gm.D, gm.Label, cfg)
-	if dv != nil {
-		return dv
-	}
-	defer c.Close()
-	for _, in := range inputs {
-		if dv := c.check(in); dv != nil {
-			return dv
-		}
-		if dv := c.checkSplit(in); dv != nil {
-			return dv
-		}
-	}
-	if dv := c.checkConcat(inputs); dv != nil {
-		return dv
-	}
-	if !cfg.SkipTrace {
-		if dv := c.checkTrace(pickLongest(inputs)); dv != nil {
-			return dv
-		}
-	}
-	if !cfg.SkipFold {
-		if dv := c.checkFold(foldProbe(inputs)); dv != nil {
-			return dv
-		}
-	}
-	return nil
+	var tm Timings
+	return checkTimed(gm, inputs, cfg, &tm)
 }
 
 // CheckInput runs the differential suite for a single (machine, input)

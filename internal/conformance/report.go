@@ -3,7 +3,6 @@ package conformance
 import (
 	"bytes"
 	"encoding/base64"
-	"math/rand"
 
 	"dpfsm/internal/fsm"
 )
@@ -93,31 +92,6 @@ func DecodeMachine(b64 string) (*fsm.DFA, error) {
 // machine with its index and regime. Deterministic for a given
 // (n, seed, cfg).
 func Soak(n int, seed int64, cfg Config, progress func(i int, gm GeneratedMachine)) Report {
-	rng := rand.New(rand.NewSource(seed))
-	rep := Report{
-		OK:          true,
-		Seed:        seed,
-		Machines:    n,
-		Regimes:     make(map[string]int),
-		Strategies:  StrategyNames(cfg),
-		FailedIndex: -1,
-	}
-	for i := 0; i < n; i++ {
-		gm := RandomMachine(rng, i)
-		if progress != nil {
-			progress(i, gm)
-		}
-		inputs := Inputs(rng, gm.D, cfg)
-		rep.MachinesRun++
-		rep.Inputs += len(inputs)
-		rep.Regimes[gm.Label]++
-		if dv := Check(gm, inputs, cfg); dv != nil {
-			dv = Shrink(dv, cfg)
-			rep.OK = false
-			rep.FailedIndex = i
-			rep.Divergence = reportDivergence(dv)
-			break
-		}
-	}
+	rep, _ := SoakTimed(n, seed, cfg, progress)
 	return rep
 }

@@ -1,0 +1,131 @@
+package conformance
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Per-phase wall-time accounting for soak runs. The checker's phases
+// dominate fsmverify's runtime very unevenly (the oracle sweep is the
+// bulk; the fold probe is one long input per machine), so the soak
+// report breaks elapsed time down by phase to make cost shifts across
+// revisions visible in CI artifacts. Timing lives outside Report on
+// purpose: Report must stay byte-identical across same-seed runs.
+
+// PhaseTiming accumulates wall time for one checker phase.
+type PhaseTiming struct {
+	Calls   int   `json:"calls"`
+	TotalNs int64 `json:"total_ns"`
+	MaxNs   int64 `json:"max_ns"`
+}
+
+// observe folds one phase invocation into the stats.
+func (p *PhaseTiming) observe(d time.Duration) {
+	p.Calls++
+	ns := d.Nanoseconds()
+	p.TotalNs += ns
+	if ns > p.MaxNs {
+		p.MaxNs = ns
+	}
+}
+
+// MeanNs is the average invocation cost, 0 when the phase never ran.
+func (p PhaseTiming) MeanNs() int64 {
+	if p.Calls == 0 {
+		return 0
+	}
+	return p.TotalNs / int64(p.Calls)
+}
+
+// Timings is the per-phase breakdown of one soak run. Compile counts
+// one call per machine (strategy matrix + engine registration); Oracle
+// one per input (the full differential sweep of check); Split one per
+// input; Concat, Trace and Fold one per machine, minus any phases the
+// Config skips.
+type Timings struct {
+	Compile PhaseTiming `json:"compile"`
+	Oracle  PhaseTiming `json:"oracle"`
+	Split   PhaseTiming `json:"split"`
+	Concat  PhaseTiming `json:"concat"`
+	Trace   PhaseTiming `json:"trace"`
+	Fold    PhaseTiming `json:"fold"`
+}
+
+// timePhase runs one phase under the clock and passes its verdict
+// through.
+func timePhase(pt *PhaseTiming, fn func() *Divergence) *Divergence {
+	t0 := time.Now()
+	dv := fn()
+	pt.observe(time.Since(t0))
+	return dv
+}
+
+// checkTimed is Check with the clock on: identical phase order and
+// verdicts, wall time accumulated into tm.
+func checkTimed(gm GeneratedMachine, inputs [][]byte, cfg Config, tm *Timings) *Divergence {
+	var c *checker
+	if dv := timePhase(&tm.Compile, func() (dv *Divergence) {
+		c, dv = newChecker(gm.D, gm.Label, cfg)
+		return dv
+	}); dv != nil {
+		return dv
+	}
+	defer c.Close()
+	for _, in := range inputs {
+		in := in
+		if dv := timePhase(&tm.Oracle, func() *Divergence { return c.check(in) }); dv != nil {
+			return dv
+		}
+		if dv := timePhase(&tm.Split, func() *Divergence { return c.checkSplit(in) }); dv != nil {
+			return dv
+		}
+	}
+	if dv := timePhase(&tm.Concat, func() *Divergence { return c.checkConcat(inputs) }); dv != nil {
+		return dv
+	}
+	if !cfg.SkipTrace {
+		if dv := timePhase(&tm.Trace, func() *Divergence { return c.checkTrace(pickLongest(inputs)) }); dv != nil {
+			return dv
+		}
+	}
+	if !cfg.SkipFold {
+		if dv := timePhase(&tm.Fold, func() *Divergence { return c.checkFold(foldProbe(inputs)) }); dv != nil {
+			return dv
+		}
+	}
+	return nil
+}
+
+// SoakTimed is Soak plus the per-phase wall-time breakdown. The Report
+// is identical to what Soak returns for the same (n, seed, cfg) —
+// timing never feeds back into generation or checking.
+func SoakTimed(n int, seed int64, cfg Config, progress func(i int, gm GeneratedMachine)) (Report, Timings) {
+	var tm Timings
+	rng := rand.New(rand.NewSource(seed))
+	rep := Report{
+		OK:          true,
+		Seed:        seed,
+		Machines:    n,
+		Regimes:     make(map[string]int),
+		Strategies:  StrategyNames(cfg),
+		FailedIndex: -1,
+	}
+	for i := 0; i < n; i++ {
+		gm := RandomMachine(rng, i)
+		if progress != nil {
+			progress(i, gm)
+		}
+		inputs := Inputs(rng, gm.D, cfg)
+		rep.MachinesRun++
+		rep.Inputs += len(inputs)
+		rep.Regimes[gm.Label]++
+		if dv := checkTimed(gm, inputs, cfg, &tm); dv != nil {
+			dv = Shrink(dv, cfg)
+			rep.OK = false
+			rep.FailedIndex = i
+			rep.Divergence = reportDivergence(dv)
+			break
+		}
+	}
+	return rep, tm
+}

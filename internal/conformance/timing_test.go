@@ -1,0 +1,54 @@
+package conformance
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSoakTimedMatchesSoak: timing is a pure observer — the Report is
+// byte-identical to the untimed path for the same (n, seed, cfg).
+func TestSoakTimedMatchesSoak(t *testing.T) {
+	cfg := QuickConfig()
+	plain := Soak(3, 11, cfg, nil)
+	timed, tm := SoakTimed(3, 11, cfg, nil)
+	if !reflect.DeepEqual(plain, timed) {
+		t.Fatalf("timed report diverges:\nplain %+v\ntimed %+v", plain, timed)
+	}
+	if tm.Compile.Calls != timed.MachinesRun {
+		t.Errorf("compile calls = %d, machines run = %d", tm.Compile.Calls, timed.MachinesRun)
+	}
+	if tm.Oracle.Calls != timed.Inputs {
+		t.Errorf("oracle calls = %d, inputs = %d", tm.Oracle.Calls, timed.Inputs)
+	}
+	if tm.Split.Calls != timed.Inputs {
+		t.Errorf("split calls = %d, inputs = %d", tm.Split.Calls, timed.Inputs)
+	}
+	if tm.Concat.Calls != timed.MachinesRun {
+		t.Errorf("concat calls = %d, machines run = %d", tm.Concat.Calls, timed.MachinesRun)
+	}
+	// QuickConfig skips the trace and fold phases entirely.
+	if tm.Trace.Calls != 0 || tm.Fold.Calls != 0 {
+		t.Errorf("skipped phases ran: trace=%d fold=%d", tm.Trace.Calls, tm.Fold.Calls)
+	}
+	if tm.Oracle.TotalNs <= 0 || tm.Oracle.MaxNs <= 0 {
+		t.Errorf("oracle phase unmeasured: %+v", tm.Oracle)
+	}
+	if tm.Oracle.MaxNs > tm.Oracle.TotalNs {
+		t.Errorf("max %d exceeds total %d", tm.Oracle.MaxNs, tm.Oracle.TotalNs)
+	}
+}
+
+func TestPhaseTimingMean(t *testing.T) {
+	var p PhaseTiming
+	if p.MeanNs() != 0 {
+		t.Fatalf("empty mean = %d", p.MeanNs())
+	}
+	p.observe(10)
+	p.observe(30)
+	if p.Calls != 2 || p.TotalNs != 40 || p.MaxNs != 30 {
+		t.Fatalf("accumulation: %+v", p)
+	}
+	if p.MeanNs() != 20 {
+		t.Fatalf("mean = %d", p.MeanNs())
+	}
+}

@@ -17,7 +17,7 @@ import (
 // n-entry table, so the §4.2 model charges ⌈n/W⌉² shuffles each, and
 // the active width never shrinks.
 func (r *Runner) noteBase(rs *runStats, gathers int) {
-	if r.tel == nil && rs == nil {
+	if r.tel == nil && r.aux == nil && rs == nil {
 		return
 	}
 	nb := int64(r.nBlocks)

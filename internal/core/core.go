@@ -154,6 +154,7 @@ type config struct {
 	minChunk  int
 	simd      bool
 	tel       *telemetry.Metrics
+	aux       *telemetry.Metrics
 }
 
 // WithStrategy forces a single-core strategy instead of Auto selection.
@@ -221,6 +222,19 @@ func WithTelemetry(m *telemetry.Metrics) Option {
 	return func(c *config) { c.tel = m }
 }
 
+// WithAuxTelemetry attaches a second, auxiliary metrics sink that
+// receives only the run-level accounting (runs, symbols, gathers,
+// shuffles, convergence checks/wins, active-vector widths) — not the
+// phase timers or stream/engine counters, which stay exclusive to the
+// primary sink. The engine uses this to give every registered machine
+// its own counter set (the per-machine performance profiles of
+// internal/perfprofile) while the shared process-wide sink keeps
+// aggregating everything. A nil m — the default — costs nothing: the
+// flush points already branch on the primary sink.
+func WithAuxTelemetry(m *telemetry.Metrics) Option {
+	return func(c *config) { c.aux = m }
+}
+
 const (
 	defaultConvEvery = 64
 	defaultMinChunk  = 1 << 12
@@ -254,6 +268,10 @@ type Runner struct {
 	// the per-run path never takes the label-registry mutex.
 	tel       *telemetry.Metrics
 	stratRuns *telemetry.Counter
+	// aux is the optional per-machine sink (WithAuxTelemetry): it gets
+	// the run-level counters only, flushed from the same sites as tel.
+	aux          *telemetry.Metrics
+	auxStratRuns *telemetry.Counter
 
 	// simd selects the emulated shuffle/blend dataflow of §4.2 for
 	// byte-lane gathers (WithEmulatedSIMD); the default is the scalar
@@ -323,6 +341,11 @@ func NewFromPlan(p *Plan, opts ...Option) (*Runner, error) {
 		r.tel.StrategySelected.Get(r.strategy.String()).Inc()
 		r.stratRuns = r.tel.StrategyRuns.Get(r.strategy.String())
 	}
+	if cfg.aux != nil {
+		r.aux = cfg.aux
+		r.aux.StrategySelected.Get(r.strategy.String()).Inc()
+		r.auxStratRuns = r.aux.StrategyRuns.Get(r.strategy.String())
+	}
 	return r, nil
 }
 
@@ -339,6 +362,11 @@ func (r *Runner) noteEntry(n int) {
 		t.Symbols.Add(int64(n))
 		r.stratRuns.Inc()
 	}
+	if t := r.aux; t != nil {
+		t.Runs.Inc()
+		t.Symbols.Add(int64(n))
+		r.auxStratRuns.Inc()
+	}
 }
 
 // noteSingle flushes the accounting of one single-core enumerative
@@ -352,16 +380,17 @@ func (r *Runner) noteSingle(rs *runStats, gathers, shuffles, factorCalls, factor
 	if rs != nil {
 		rs.note(gathers, shuffles, factorCalls, factorWins, highWater, final)
 	}
-	t := r.tel
-	if t == nil {
-		return
+	for _, t := range [2]*telemetry.Metrics{r.tel, r.aux} {
+		if t == nil {
+			continue
+		}
+		t.Gathers.Add(gathers)
+		t.Shuffles.Add(shuffles)
+		t.FactorCalls.Add(factorCalls)
+		t.FactorWins.Add(factorWins)
+		t.ActiveHighWater.Observe(int64(highWater))
+		t.ActiveFinal.Observe(int64(final))
 	}
-	t.Gathers.Add(gathers)
-	t.Shuffles.Add(shuffles)
-	t.FactorCalls.Add(factorCalls)
-	t.FactorWins.Add(factorWins)
-	t.ActiveHighWater.Observe(int64(highWater))
-	t.ActiveFinal.Observe(int64(final))
 }
 
 // Procs reports the configured multicore width.

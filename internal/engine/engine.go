@@ -32,12 +32,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dpfsm/internal/core"
 	"dpfsm/internal/fsm"
+	"dpfsm/internal/perfprofile"
 	"dpfsm/internal/telemetry"
 	"dpfsm/internal/trace"
 )
@@ -79,6 +81,7 @@ type config struct {
 	tel        *telemetry.Metrics
 	sink       trace.Sink
 	planCache  *PlanCache
+	profiles   *perfprofile.Store
 }
 
 // WithWorkers sets the worker-pool size. n <= 0 means runtime.NumCPU().
@@ -134,6 +137,18 @@ func WithPlanCache(pc *PlanCache) Option {
 	return func(c *config) { c.planCache = pc }
 }
 
+// WithPerfProfiles attaches a per-machine performance-profile store:
+// every registration gets a MachineRecorder (seeded from the store's
+// persisted baseline for the plan's fingerprint, if any), every job
+// execution is observed into it (lane, bytes, wall time, queue wait),
+// and the machine's runners flush their run-level counters into the
+// recorder's private telemetry sink. nil (the default) disables
+// per-machine profiling; the shared WithTelemetry sink is unaffected
+// either way.
+func WithPerfProfiles(s *perfprofile.Store) Option {
+	return func(c *config) { c.profiles = s }
+}
+
 // Machine is one compiled DFA registered with the engine: a shared
 // compiled plan plus the runner pair the dispatch policy chooses
 // between. Both runners execute the same *core.Plan — the tables are
@@ -146,6 +161,9 @@ type Machine struct {
 	multi  *core.Runner // input lane: WithProcs(procs); nil when procs == 1
 	// planHit records whether registration found the plan in the cache.
 	planHit bool
+	// rec accumulates this machine's perf profile (nil when the engine
+	// has no profile store); every exec observes into it.
+	rec *perfprofile.MachineRecorder
 }
 
 // Name returns the registration name.
@@ -215,6 +233,9 @@ type task struct {
 	// qspan is the open queue-wait span of a traced submission, ended
 	// by the worker at dequeue; nil on the untraced path.
 	qspan *trace.Span
+	// enq is the enqueue instant; dequeue − enq is the queue wait the
+	// perf profile attributes separately from execution time.
+	enq time.Time
 }
 
 // Engine runs jobs over a bounded worker pool. Construct with New,
@@ -243,6 +264,7 @@ type Engine struct {
 	tel       *telemetry.Metrics
 	sink      trace.Sink
 	planCache *PlanCache
+	profiles  *perfprofile.Store
 }
 
 const (
@@ -288,6 +310,7 @@ func New(opts ...Option) *Engine {
 		tel:        cfg.tel,
 		sink:       cfg.sink,
 		planCache:  cfg.planCache,
+		profiles:   cfg.profiles,
 	}
 	for i := 0; i < cfg.workers; i++ {
 		e.wg.Add(1)
@@ -308,6 +331,22 @@ func (e *Engine) LargeInput() int { return e.largeInput }
 // Procs reports the multicore width large inputs run with (1 when the
 // multicore lane is disabled).
 func (e *Engine) Procs() int { return e.procs }
+
+// QueueDepth reports the current bounded-queue occupancy.
+func (e *Engine) QueueDepth() int { return int(e.queueLen.Load()) }
+
+// QueueCap reports the bounded-queue capacity.
+func (e *Engine) QueueCap() int { return cap(e.queue) }
+
+// PerfProfiles returns the attached profile store (nil when disabled).
+func (e *Engine) PerfProfiles() *perfprofile.Store { return e.profiles }
+
+// noteDepth publishes a queue-occupancy change to the telemetry sink.
+func (e *Engine) noteDepth(depth int64) {
+	if tm := e.tel; tm != nil {
+		tm.EngineQueueDepth.Set(depth)
+	}
+}
 
 // Register compiles d into the engine under name — or, when an equal
 // machine+strategy is already in the plan cache, reuses its compiled
@@ -365,20 +404,25 @@ func (e *Engine) RegisterPlan(name string, p *core.Plan, opts ...core.Option) (*
 // machine, re-checking the name under the write lock (a concurrent
 // Register for the same name may have won since the pre-check).
 func (e *Engine) registerPlan(name string, d *fsm.DFA, p *core.Plan, hit bool, opts ...core.Option) (*Machine, error) {
+	// The per-machine recorder (nil without a profile store) gets its
+	// own aux telemetry sink; both lane runners flush their run-level
+	// counters into it in addition to the shared engine sink, which is
+	// what lets the profile report per-machine convergence behavior.
+	rec := e.profiles.NewRecorder(name, p.Fingerprint(), p.Strategy().String())
 	single, err := core.NewFromPlan(p, append(opts[:len(opts):len(opts)],
-		core.WithProcs(1), core.WithTelemetry(e.tel))...)
+		core.WithProcs(1), core.WithTelemetry(e.tel), core.WithAuxTelemetry(rec.Telemetry()))...)
 	if err != nil {
 		return nil, fmt.Errorf("engine: machine %q: %w", name, err)
 	}
 	var multi *core.Runner
 	if e.procs > 1 {
 		multi, err = core.NewFromPlan(p, append(opts[:len(opts):len(opts)],
-			core.WithProcs(e.procs), core.WithTelemetry(e.tel))...)
+			core.WithProcs(e.procs), core.WithTelemetry(e.tel), core.WithAuxTelemetry(rec.Telemetry()))...)
 		if err != nil {
 			return nil, fmt.Errorf("engine: machine %q: %w", name, err)
 		}
 	}
-	m := &Machine{name: name, dfa: d, plan: p, single: single, multi: multi, planHit: hit}
+	m := &Machine{name: name, dfa: d, plan: p, single: single, multi: multi, planHit: hit, rec: rec}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, dup := e.machines[name]; dup {
@@ -386,6 +430,9 @@ func (e *Engine) registerPlan(name string, d *fsm.DFA, p *core.Plan, hit bool, o
 	}
 	e.machines[name] = m
 	e.order = append(e.order, name)
+	// Publish the recorder only now that the registration has won: a
+	// concurrent duplicate must not replace the winner's recorder.
+	e.profiles.Install(rec)
 	return m, nil
 }
 
@@ -407,6 +454,9 @@ func (e *Engine) Unregister(name string) bool {
 			break
 		}
 	}
+	// Persist-and-drop the machine's perf profile so the observations
+	// since the last periodic save are not lost with the registration.
+	e.profiles.Detach(name)
 	return true
 }
 
@@ -448,9 +498,11 @@ func (e *Engine) Submit(ctx context.Context, job Job, idx int, out chan<- Result
 			t.qspan = tr.StartSpan(SpanQueue)
 		}
 	}
+	t.enq = time.Now()
 	select {
 	case e.queue <- t:
 		depth := e.queueLen.Add(1)
+		e.noteDepth(depth)
 		if tm := e.tel; tm != nil {
 			tm.EngineQueueHighWater.Observe(depth)
 		}
@@ -486,9 +538,11 @@ func (e *Engine) TrySubmit(ctx context.Context, job Job, idx int, out chan<- Res
 			t.qspan = tr.StartSpan(SpanQueue)
 		}
 	}
+	t.enq = time.Now()
 	select {
 	case e.queue <- t:
 		depth := e.queueLen.Add(1)
+		e.noteDepth(depth)
 		if tm := e.tel; tm != nil {
 			tm.EngineQueueHighWater.Observe(depth)
 		}
@@ -601,13 +655,24 @@ func (e *Engine) failQueued() {
 	for {
 		select {
 		case t := <-e.queue:
-			e.queueLen.Add(-1)
+			e.noteDepth(e.queueLen.Add(-1))
 			t.qspan.End()
 			t.out <- Result{Index: t.idx, Machine: t.job.Machine, Bytes: len(t.job.Input), Err: ErrClosed}
 		default:
 			return
 		}
 	}
+}
+
+// dequeue pops one task's bookkeeping: gauge update, queue-wait span
+// end, and the measured wait the profile layer attributes.
+func (e *Engine) dequeue(t task) time.Duration {
+	e.noteDepth(e.queueLen.Add(-1))
+	t.qspan.End()
+	if t.enq.IsZero() {
+		return 0
+	}
+	return time.Since(t.enq)
 }
 
 func (e *Engine) worker() {
@@ -617,9 +682,8 @@ func (e *Engine) worker() {
 		case <-e.done:
 			return
 		case t := <-e.queue:
-			e.queueLen.Add(-1)
-			t.qspan.End()
-			t.out <- e.exec(t.ctx, t.idx, t.job)
+			wait := e.dequeue(t)
+			t.out <- e.execWait(t.ctx, t.idx, t.job, wait)
 		case <-e.drain:
 			// Graceful drain: finish whatever is queued, then exit.
 			// done still preempts, so Close during a drain stops the
@@ -632,9 +696,8 @@ func (e *Engine) worker() {
 				}
 				select {
 				case t := <-e.queue:
-					e.queueLen.Add(-1)
-					t.qspan.End()
-					t.out <- e.exec(t.ctx, t.idx, t.job)
+					wait := e.dequeue(t)
+					t.out <- e.execWait(t.ctx, t.idx, t.job, wait)
 				default:
 					return
 				}
@@ -644,9 +707,19 @@ func (e *Engine) worker() {
 }
 
 // exec runs one job to a Result. All failure modes land in Result.Err.
-func (e *Engine) exec(ctx context.Context, idx int, job Job) (res Result) {
+func (e *Engine) exec(ctx context.Context, idx int, job Job) Result {
+	return e.execWait(ctx, idx, job, 0)
+}
+
+// execWait is exec with the job's measured queue wait, attributed to
+// the machine's perf profile alongside the execution time.
+func (e *Engine) execWait(ctx context.Context, idx int, job Job, queueWait time.Duration) (res Result) {
 	res = Result{Index: idx, Machine: job.Machine, Bytes: len(job.Input)}
-	defer func() { e.noteResult(&res) }()
+	var rec *perfprofile.MachineRecorder
+	defer func() {
+		e.noteResult(&res)
+		rec.ObserveJob(res.Multicore, res.Bytes, res.Duration, queueWait, res.Err != nil)
+	}()
 
 	if ctx == nil {
 		ctx = context.Background()
@@ -688,6 +761,7 @@ func (e *Engine) exec(ctx context.Context, idx int, job Job) (res Result) {
 		return res
 	}
 	res.Machine = name
+	rec = m.rec
 
 	start := m.dfa.Start()
 	if job.HasStart {
@@ -745,8 +819,25 @@ func (e *Engine) exec(ctx context.Context, idx int, job Job) (res Result) {
 		)
 	}
 
+	lane := perfprofile.LaneSingle
+	if res.Multicore {
+		lane = perfprofile.LaneMulticore
+	}
+	// pprof labels make /debug/pprof/profile CPU samples attributable:
+	// "which machine is burning the cores, on which lane, under which
+	// strategy" falls straight out of a profile instead of requiring a
+	// bespoke experiment. Labels ride the goroutine, so the multicore
+	// lane's phase workers inherit them too.
+	var final fsm.State
+	var err error
 	t0 := time.Now()
-	final, err := r.FinalCtx(ctx, job.Input, start)
+	pprof.Do(ctx, pprof.Labels(
+		AttrMachine, name,
+		"strategy", m.plan.Strategy().String(),
+		AttrLane, lane,
+	), func(ctx context.Context) {
+		final, err = r.FinalCtx(ctx, job.Input, start)
+	})
 	res.Duration = time.Since(t0)
 	if err != nil {
 		res.Err = err

@@ -1,0 +1,171 @@
+package perfprofile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// observe runs a fixed little workload into a recorder: three single
+// jobs of 100 B at 1 ms each, one multicore job of 1000 B at 2 ms, one
+// failed job, plus runner-level counters through the aux sink.
+func observe(r *MachineRecorder) {
+	for i := 0; i < 3; i++ {
+		r.ObserveJob(false, 100, time.Millisecond, 100*time.Microsecond, false)
+	}
+	r.ObserveJob(true, 1000, 2*time.Millisecond, 0, false)
+	r.ObserveJob(false, 50, 0, 0, true)
+	aux := r.Telemetry()
+	aux.Symbols.Add(1300)
+	aux.Shuffles.Add(2600)
+	aux.FactorCalls.Add(10)
+	aux.FactorWins.Add(9)
+}
+
+func TestProfileAggregation(t *testing.T) {
+	s := NewStore("")
+	r := s.Attach("m", "fp1", "convergence")
+	observe(r)
+	p := r.Profile()
+
+	if p.Schema != SchemaVersion {
+		t.Fatalf("schema = %d, want %d", p.Schema, SchemaVersion)
+	}
+	if p.Jobs != 5 || p.Errors != 1 {
+		t.Fatalf("jobs/errors = %d/%d, want 5/1", p.Jobs, p.Errors)
+	}
+	if p.Bytes != 1300 {
+		t.Fatalf("bytes = %d, want 1300", p.Bytes)
+	}
+	single, multi := p.Lanes[LaneSingle], p.Lanes[LaneMulticore]
+	if single.Jobs != 3 || single.Bytes != 300 {
+		t.Fatalf("single lane = %+v", single)
+	}
+	if multi.Jobs != 1 || multi.Bytes != 1000 {
+		t.Fatalf("multicore lane = %+v", multi)
+	}
+	// 300 B in 3 ms = 100 kB/s on the single lane.
+	if got, want := single.BytesPerSec, 100_000.0; got < want*0.99 || got > want*1.01 {
+		t.Fatalf("single bytes/sec = %g, want ~%g", got, want)
+	}
+	// Queue wait: 300 µs of wait against 5 ms of exec.
+	if p.QueueWaitShare <= 0 || p.QueueWaitShare >= 0.1 {
+		t.Fatalf("queue-wait share = %g, want in (0, 0.1)", p.QueueWaitShare)
+	}
+	if p.ShufflesPerSymbol != 2.0 {
+		t.Fatalf("shuffles/symbol = %g, want 2", p.ShufflesPerSymbol)
+	}
+	if p.ConvergenceRate != 0.9 {
+		t.Fatalf("convergence rate = %g, want 0.9", p.ConvergenceRate)
+	}
+	// Latency window: 3×1 ms and 1×2 ms → p50 = 1 ms, p99 = 2 ms.
+	if p.LatencyP50Ns != int64(time.Millisecond) {
+		t.Fatalf("p50 = %d, want 1 ms", p.LatencyP50Ns)
+	}
+	if p.LatencyP99Ns != int64(2*time.Millisecond) {
+		t.Fatalf("p99 = %d, want 2 ms", p.LatencyP99Ns)
+	}
+}
+
+func TestPersistAndReload(t *testing.T) {
+	dir := t.TempDir()
+
+	s1 := NewStore(dir)
+	r1 := s1.Attach("m", "fpX", "auto")
+	observe(r1)
+	if err := s1.SaveAll(); err != nil {
+		t.Fatalf("SaveAll: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fpX"+FileSuffix)); err != nil {
+		t.Fatalf("profile file not written: %v", err)
+	}
+
+	// Restart: a fresh store over the same directory seeds the baseline,
+	// so totals continue instead of restarting from zero.
+	s2 := NewStore(dir)
+	r2 := s2.Attach("m", "fpX", "auto")
+	p := r2.Profile()
+	if p.Jobs != 5 || p.Bytes != 1300 || p.Shuffles != 2600 {
+		t.Fatalf("reloaded profile lost counts: %+v", p)
+	}
+	// No live jobs yet: quantiles fall back to the persisted ones.
+	if p.LatencyP50Ns != int64(time.Millisecond) {
+		t.Fatalf("reloaded p50 = %d, want persisted 1 ms", p.LatencyP50Ns)
+	}
+	// New observations accumulate on top of the baseline.
+	observe(r2)
+	if p := r2.Profile(); p.Jobs != 10 || p.Bytes != 2600 {
+		t.Fatalf("post-restart accumulation: jobs=%d bytes=%d, want 10/2600", p.Jobs, p.Bytes)
+	}
+}
+
+func TestCorruptAndSkewedFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad"+FileSuffix), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "skew"+FileSuffix),
+		[]byte(`{"schema": 999, "fingerprint": "skew", "jobs": 7}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(dir)
+	if p := s.Attach("a", "bad", "auto").Profile(); p.Jobs != 0 {
+		t.Fatalf("corrupt file seeded a baseline: %+v", p)
+	}
+	if p := s.Attach("b", "skew", "auto").Profile(); p.Jobs != 0 {
+		t.Fatalf("version-skewed file seeded a baseline: %+v", p)
+	}
+}
+
+func TestDetachPersists(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(dir)
+	r := s.Attach("m", "fpD", "auto")
+	observe(r)
+	s.Detach("m")
+	if _, ok := s.Profile("m"); ok {
+		t.Fatal("detached machine still attached")
+	}
+	// The final profile was flushed on detach.
+	s2 := NewStore(dir)
+	if p := s2.Attach("m", "fpD", "auto").Profile(); p.Jobs != 5 {
+		t.Fatalf("detach did not persist: %+v", p)
+	}
+}
+
+func TestProfilesSortedAndInstallSemantics(t *testing.T) {
+	s := NewStore("")
+	s.Attach("zeta", "f1", "auto")
+	s.Attach("alpha", "f2", "auto")
+	ps := s.Profiles()
+	if len(ps) != 2 || ps[0].Machine != "alpha" || ps[1].Machine != "zeta" {
+		t.Fatalf("profiles not sorted by machine: %+v", ps)
+	}
+	// NewRecorder without Install stays invisible.
+	s.NewRecorder("ghost", "f3", "auto")
+	if len(s.Profiles()) != 2 {
+		t.Fatal("uninstalled recorder leaked into Profiles")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var s *Store
+	r := s.Attach("m", "fp", "auto")
+	if r != nil {
+		t.Fatal("nil store returned non-nil recorder")
+	}
+	r.ObserveJob(false, 1, time.Millisecond, 0, false) // must not panic
+	if r.Telemetry() != nil {
+		t.Fatal("nil recorder returned non-nil telemetry")
+	}
+	_ = r.Profile()
+	s.Detach("m")
+	s.Install(nil)
+	if err := s.SaveAll(); err != nil {
+		t.Fatalf("nil SaveAll: %v", err)
+	}
+	if s.Profiles() != nil {
+		t.Fatal("nil store returned profiles")
+	}
+}

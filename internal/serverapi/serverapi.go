@@ -12,6 +12,8 @@ package serverapi
 import (
 	"dpfsm/internal/core"
 	"dpfsm/internal/fsm"
+	"dpfsm/internal/perfprofile"
+	"dpfsm/internal/telemetry"
 )
 
 // Version is the current API version prefix.
@@ -187,6 +189,46 @@ type BatchSummary struct {
 // field distinguishes it from BatchResult lines.
 type BatchTrailer struct {
 	Summary BatchSummary `json:"summary"`
+}
+
+// Status is the response body of GET /v1/status: one document a human
+// or dashboard reads to answer "how is this server doing, and what do
+// its machines look like under the current traffic" — the live
+// counterpart of the profiles persisted in the plan-cache directory.
+type Status struct {
+	Service   string `json:"service"`
+	GoVersion string `json:"go_version"`
+	// Build is the main module's version from the embedded build info
+	// ("(devel)" for an untagged build).
+	Build       string `json:"build,omitempty"`
+	PID         int    `json:"pid"`
+	StartUnixNs int64  `json:"start_unix_ns"`
+	UptimeNs    int64  `json:"uptime_ns"`
+
+	// Engine shape and health.
+	Workers        int   `json:"workers"`
+	Procs          int   `json:"procs"`
+	LargeInput     int   `json:"large_input"`
+	QueueDepth     int   `json:"queue_depth"`
+	QueueCap       int   `json:"queue_cap"`
+	QueueHighWater int64 `json:"queue_high_water"`
+	// ShedTotal counts jobs refused with 429; ShedRate is
+	// shed/(executed+shed), the live load-shedding fraction.
+	ShedTotal int64   `json:"shed_total"`
+	ShedRate  float64 `json:"shed_rate"`
+
+	// Plan-cache effectiveness.
+	PlanCacheHits    int64   `json:"plan_cache_hits"`
+	PlanCacheMisses  int64   `json:"plan_cache_misses"`
+	PlanCacheHitRate float64 `json:"plan_cache_hit_rate"`
+
+	// Per-machine observed performance, sorted by machine name.
+	Machines int                   `json:"machines"`
+	Profiles []perfprofile.Profile `json:"profiles"`
+
+	// Runtime is the Go runtime's own health (GC pauses, heap,
+	// goroutines, scheduler latency).
+	Runtime telemetry.RuntimeSnapshot `json:"runtime"`
 }
 
 // Error is the JSON error body non-2xx responses carry.

@@ -97,6 +97,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	pc("engine_batches_total", "batch-engine batch submissions", m.EngineBatches.Load())
 	pc("engine_single_core_total", "jobs dispatched to the single-core lane", m.EngineSingleCore.Load())
 	pc("engine_multicore_total", "jobs dispatched to the multicore lane", m.EngineMulticore.Load())
+	pg("engine_queue_depth", "current bounded-queue occupancy", m.EngineQueueDepth.Load())
 	pg("engine_queue_high_water", "deepest bounded-queue backlog observed", m.EngineQueueHighWater.Load())
 	pc("engine_queue_rejects_total", "TrySubmit jobs refused because the queue was full", m.EngineQueueRejects.Load())
 

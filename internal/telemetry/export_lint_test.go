@@ -56,6 +56,7 @@ func fullMetrics() *Metrics {
 	m.EngineBatches.Inc()
 	m.EngineSingleCore.Add(3)
 	m.EngineMulticore.Add(2)
+	m.EngineQueueDepth.Set(4)
 	m.EngineQueueHighWater.Observe(9)
 	m.EngineJobBytes.Observe(256)
 	m.EngineJobTime.Observe(50_000)
@@ -68,6 +69,10 @@ func fullMetrics() *Metrics {
 func TestPrometheusExpositionLints(t *testing.T) {
 	var sb strings.Builder
 	fullMetrics().WritePrometheus(&sb)
+	// The runtime bridge shares the exposition, so it must pass the
+	// same lint: appended here exactly as the /v1/metrics handler
+	// concatenates the two writers.
+	WriteRuntimePrometheus(&sb)
 	text := sb.String()
 
 	type family struct{ help, typ string }

@@ -62,14 +62,17 @@ type Metrics struct {
 	// Figure 5 phase1/phase2 split (input-level parallelism).
 	EngineSingleCore Counter
 	EngineMulticore  Counter
-	// EngineQueueHighWater is the deepest bounded-queue backlog
-	// observed — the live backpressure signal.
+	// EngineQueueDepth is the current bounded-queue occupancy;
+	// EngineQueueHighWater is the deepest backlog ever observed. Depth
+	// is the live backpressure signal (how close to shedding right
+	// now), high-water the historical one.
+	EngineQueueDepth     Gauge
 	EngineQueueHighWater MaxGauge
 	// EngineQueueRejects counts TrySubmit calls refused with
 	// ErrQueueFull — load actually shed, as opposed to the blocking
 	// backpressure Submit applies.
 	EngineQueueRejects Counter
-	EngineJobBytes       Histogram // input sizes of executed jobs
+	EngineJobBytes     Histogram // input sizes of executed jobs
 	// EngineJobTime is the all-time log₂ histogram of job wall time;
 	// EngineJobLatency is the exact sliding-window view of the same
 	// series, answering "what is p50/p90/p99 right now" after traffic
@@ -146,6 +149,7 @@ type Snapshot struct {
 	EngineBatches        int64 `json:"engine_batches"`
 	EngineSingleCore     int64 `json:"engine_single_core"`
 	EngineMulticore      int64 `json:"engine_multicore"`
+	EngineQueueDepth     int64 `json:"engine_queue_depth"`
 	EngineQueueHighWater int64 `json:"engine_queue_high_water"`
 	EngineQueueRejects   int64 `json:"engine_queue_rejects"`
 	EngineJobBytesP50    int64 `json:"engine_job_bytes_p50"`
@@ -199,6 +203,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		EngineBatches:        m.EngineBatches.Load(),
 		EngineSingleCore:     m.EngineSingleCore.Load(),
 		EngineMulticore:      m.EngineMulticore.Load(),
+		EngineQueueDepth:     m.EngineQueueDepth.Load(),
 		EngineQueueHighWater: m.EngineQueueHighWater.Load(),
 		EngineQueueRejects:   m.EngineQueueRejects.Load(),
 		EngineJobBytesP50:    m.EngineJobBytes.Quantile(0.5),

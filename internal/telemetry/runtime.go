@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime/metrics"
+)
+
+// Runtime attribution: the Go runtime already measures the things a
+// perf investigation reaches for first — GC pauses, heap size,
+// goroutine count, scheduler latency — via the runtime/metrics
+// package. This file bridges a fixed, curated subset of those series
+// onto the repo's two exposition surfaces (JSON snapshot and
+// Prometheus text) so a dashboard scraping /v1/metrics sees the FSM
+// counters and the runtime's health in one page, and a BENCH_*.json
+// consumer can correlate a throughput dip with, say, a GC pause
+// spike. The subset is fixed rather than "everything runtime/metrics
+// offers" so the exposition stays stable across Go versions.
+
+// runtimeSamples is the curated sample set, in one batch so a single
+// metrics.Read call fills all of them.
+const (
+	rmGoroutines   = "/sched/goroutines:goroutines"
+	rmHeapObjects  = "/memory/classes/heap/objects:bytes"
+	rmMemTotal     = "/memory/classes/total:bytes"
+	rmGCCycles     = "/gc/cycles/total:gc-cycles"
+	rmGCPauses     = "/gc/pauses:seconds"
+	rmSchedLatency = "/sched/latencies:seconds"
+)
+
+// RuntimeSnapshot is the JSON-encodable view of the curated runtime
+// series. Pause and latency quantiles are in nanoseconds to match
+// every other duration in the telemetry surface; they are approximate
+// (bucket upper edges of the runtime's histograms), which is plenty
+// for "is GC eating my tail latency".
+type RuntimeSnapshot struct {
+	Goroutines    int64 `json:"goroutines"`
+	HeapObjectsB  int64 `json:"heap_objects_bytes"`
+	MemTotalB     int64 `json:"mem_total_bytes"`
+	GCCycles      int64 `json:"gc_cycles"`
+	GCPauseP50Ns  int64 `json:"gc_pause_p50_ns"`
+	GCPauseP99Ns  int64 `json:"gc_pause_p99_ns"`
+	SchedLatP50Ns int64 `json:"sched_latency_p50_ns"`
+	SchedLatP99Ns int64 `json:"sched_latency_p99_ns"`
+}
+
+// ReadRuntime samples the curated runtime/metrics series.
+func ReadRuntime() RuntimeSnapshot {
+	samples := []metrics.Sample{
+		{Name: rmGoroutines},
+		{Name: rmHeapObjects},
+		{Name: rmMemTotal},
+		{Name: rmGCCycles},
+		{Name: rmGCPauses},
+		{Name: rmSchedLatency},
+	}
+	metrics.Read(samples)
+	var s RuntimeSnapshot
+	s.Goroutines = sampleInt(samples[0])
+	s.HeapObjectsB = sampleInt(samples[1])
+	s.MemTotalB = sampleInt(samples[2])
+	s.GCCycles = sampleInt(samples[3])
+	s.GCPauseP50Ns, s.GCPauseP99Ns = histQuantilesNs(samples[4])
+	s.SchedLatP50Ns, s.SchedLatP99Ns = histQuantilesNs(samples[5])
+	return s
+}
+
+// sampleInt extracts an integer-ish sample, 0 for unsupported kinds
+// (a metric absent in this Go version reads as KindBad).
+func sampleInt(s metrics.Sample) int64 {
+	switch s.Value.Kind() {
+	case metrics.KindUint64:
+		v := s.Value.Uint64()
+		if v > math.MaxInt64 {
+			return math.MaxInt64
+		}
+		return int64(v)
+	case metrics.KindFloat64:
+		return int64(s.Value.Float64())
+	default:
+		return 0
+	}
+}
+
+// histQuantilesNs approximates the p50 and p99 of a runtime
+// Float64Histogram (seconds) as nanoseconds, using bucket upper
+// edges. Returns zeros when the histogram is absent or empty.
+func histQuantilesNs(s metrics.Sample) (p50, p99 int64) {
+	if s.Value.Kind() != metrics.KindFloat64Histogram {
+		return 0, 0
+	}
+	h := s.Value.Float64Histogram()
+	if h == nil {
+		return 0, 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	quantile := func(q float64) int64 {
+		rank := uint64(q * float64(total))
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			if cum > rank {
+				// Buckets[i+1] is the bucket's upper edge; the last
+				// bucket's edge may be +Inf, in which case fall back to
+				// its finite lower edge.
+				edge := h.Buckets[i+1]
+				if math.IsInf(edge, +1) {
+					edge = h.Buckets[i]
+				}
+				return int64(edge * 1e9)
+			}
+		}
+		return 0
+	}
+	return quantile(0.5), quantile(0.99)
+}
+
+// WriteRuntimePrometheus writes the curated runtime series in the
+// Prometheus text format, prefixed like the FSM series so a scrape of
+// the combined exposition stays one coherent family ("go_" is left to
+// real Prometheus client libraries to avoid collisions if one is ever
+// linked in).
+func WriteRuntimePrometheus(w io.Writer) {
+	s := ReadRuntime()
+	pg := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s%s %s\n# TYPE %s%s gauge\n%s%s %d\n",
+			promPrefix, name, help, promPrefix, name, promPrefix, name, v)
+	}
+	pg("runtime_goroutines", "live goroutine count", s.Goroutines)
+	pg("runtime_heap_objects_bytes", "bytes of live heap objects", s.HeapObjectsB)
+	pg("runtime_mem_total_bytes", "total memory mapped by the Go runtime", s.MemTotalB)
+	fmt.Fprintf(w, "# HELP %sruntime_gc_cycles_total completed GC cycles\n# TYPE %sruntime_gc_cycles_total counter\n%sruntime_gc_cycles_total %d\n",
+		promPrefix, promPrefix, promPrefix, s.GCCycles)
+	pg("runtime_gc_pause_p50_ns", "median stop-the-world GC pause", s.GCPauseP50Ns)
+	pg("runtime_gc_pause_p99_ns", "p99 stop-the-world GC pause", s.GCPauseP99Ns)
+	pg("runtime_sched_latency_p50_ns", "median goroutine scheduling latency", s.SchedLatP50Ns)
+	pg("runtime_sched_latency_p99_ns", "p99 goroutine scheduling latency", s.SchedLatP99Ns)
+}
