@@ -88,6 +88,7 @@ func TestRunSustainedSmoke(t *testing.T) {
 		procs:    runtime.NumCPU(),
 		duration: 300 * time.Millisecond,
 		rps:      200,
+		strategy: "auto",
 	}
 	rep, err := runSustained(opt)
 	if err != nil {
@@ -113,8 +114,12 @@ func TestRunSustainedSmoke(t *testing.T) {
 		t.Fatalf("machines in report = %d, want %d", len(rep.Machines), len(sustainedPatterns))
 	}
 	for _, m := range rep.Machines {
-		if m.Strategy == "" {
-			t.Fatalf("machine %s missing strategy", m.Name)
+		if m.Strategy == "" || m.Strategy == "auto" {
+			t.Fatalf("machine %s strategy %q: want a resolved strategy", m.Name, m.Strategy)
+		}
+		if m.Lane == "" || m.SelectionReason == "" {
+			t.Fatalf("machine %s missing adaptive selection: lane=%q reason=%q",
+				m.Name, m.Lane, m.SelectionReason)
 		}
 	}
 	// Round-trip through the comparator: a report compared against

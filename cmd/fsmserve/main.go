@@ -7,22 +7,30 @@
 // cancellation threaded down to the chunk loops — a disconnected
 // client stops its own work.
 //
+// Large inputs on machines with observed history are dispatched by
+// the adaptive selector (internal/adaptive): per-machine profiles
+// pick between the multicore and speculative lanes, and responses
+// carry the lane, resolved strategy, and selection reason.
+//
 // The API is versioned under /v1/; request/response shapes live in
-// internal/serverapi. Unversioned aliases of the original routes are
-// kept for one deprecation cycle and mark themselves with a
-// `Deprecation: true` header.
+// internal/serverapi. The unversioned aliases of the original routes
+// (POST /run, GET /machines /snapshot /metrics) completed their
+// deprecation cycle and are gone. Every non-2xx response carries the
+// serverapi.Error envelope: a message plus a stable machine-readable
+// code.
 //
 // Endpoints:
 //
-//	POST /v1/run?machine=NAME[&start=Q][&first=1][&trace=1]  run one input, JSON result
+//	POST /v1/run?machine=NAME[&start=Q][&strategy=S][&first=1][&trace=1]  run one input, JSON result
 //	POST /v1/batch[?trace=1]                       NDJSON jobs in, streamed NDJSON results + summary out
 //	GET  /v1/machines                              list machines + static stats
+//	GET  /v1/machines/{name}                       one machine's registry entry
+//	GET  /v1/machines/{name}/profile               observed perf profile + current adaptive selection
 //	GET  /v1/snapshot                              telemetry snapshot (JSON)
-//	GET  /v1/status                                live status: queue depth, shed rate, plan-cache hit ratio, per-machine perf profiles, uptime, build info
+//	GET  /v1/status                                live status: queue depth, shed rate, plan-cache hit ratio, per-machine perf profiles + adaptive selections, uptime, build info
 //	GET  /v1/metrics                               Prometheus text format (FSM + runtime/metrics series)
 //	GET  /v1/traces[?machine=NAME&min_ms=N]        flight recorder: recent request traces
 //	GET  /v1/traces/{id}                           one retained trace's full span tree
-//	POST /run, GET /machines /snapshot /metrics    deprecated aliases of the above
 //	GET  /debug/vars                               expvar (includes "dpfsm")
 //	GET  /debug/pprof/*                            net/http/pprof
 //	GET  /healthz                                  liveness probe
@@ -333,6 +341,16 @@ func (s *server) handleRun(w http.ResponseWriter, req *http.Request) {
 		}
 		job.Start, job.HasStart = fsm.State(q), true
 	}
+	// ?strategy= pins this run to an explicit strategy; "auto" (or
+	// absence) keeps the machine's own adaptive dispatch.
+	if qs := req.URL.Query().Get("strategy"); qs != "" {
+		st, err := core.ParseStrategy(qs)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad strategy %q: %v", qs, err))
+			return
+		}
+		job.Strategy = st
+	}
 
 	// The request context rides down to the core chunk loops, so a
 	// disconnected or timed-out client cancels its own run.
@@ -342,12 +360,15 @@ func (s *server) handleRun(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	res := serverapi.RunResult{
-		Machine:    name,
-		Bytes:      r.Bytes,
-		Final:      r.Final,
-		Accepts:    r.Accepts,
-		Multicore:  r.Multicore,
-		DurationNs: int64(r.Duration),
+		Machine:         name,
+		Bytes:           r.Bytes,
+		Final:           r.Final,
+		Accepts:         r.Accepts,
+		Lane:            r.Lane,
+		Multicore:       r.Multicore,
+		Strategy:        r.Strategy,
+		SelectionReason: r.Reason,
+		DurationNs:      int64(r.Duration),
 	}
 	if r.Duration > 0 {
 		res.MBPerS = float64(r.Bytes) / r.Duration.Seconds() / 1e6
@@ -440,16 +461,21 @@ func (s *server) handleBatch(w http.ResponseWriter, req *http.Request) {
 			Final:      r.Final,
 			Accepts:    r.Accepts,
 			Bytes:      r.Bytes,
+			Lane:       r.Lane,
 			Multicore:  r.Multicore,
+			Strategy:   r.Strategy,
 			DurationNs: int64(r.Duration),
 		}
 		summary.Bytes += int64(r.Bytes)
 		switch {
 		case r.Err == nil:
 			summary.OK++
-			if r.Multicore {
+			switch r.Lane {
+			case engine.LaneMulticore:
 				summary.Multicore++
-			} else {
+			case engine.LaneSpeculative:
+				summary.Speculative++
+			default:
 				summary.SingleCore++
 			}
 		default:
@@ -492,6 +518,13 @@ func parseBatchLine(line []byte) (engine.Job, error) {
 			return engine.Job{}, fmt.Errorf("bad start state %d", *bj.Start)
 		}
 		job.Start, job.HasStart = fsm.State(*bj.Start), true
+	}
+	if bj.Strategy != "" {
+		st, err := core.ParseStrategy(bj.Strategy)
+		if err != nil {
+			return engine.Job{}, fmt.Errorf("bad strategy %q: %v", bj.Strategy, err)
+		}
+		job.Strategy = st
 	}
 	return job, nil
 }
@@ -595,12 +628,49 @@ func (s *server) handleRegister(w http.ResponseWriter, req *http.Request) {
 	_ = enc.Encode(res)
 }
 
+// machineSelection assembles the wire view of one machine's current
+// adaptive-dispatch decision.
+func machineSelection(name string, m *engine.Machine) serverapi.MachineSelection {
+	sel := m.Selection()
+	return serverapi.MachineSelection{
+		Machine:  name,
+		Lane:     sel.Lane,
+		Strategy: sel.Strategy,
+		Reason:   sel.Reason,
+	}
+}
+
 // handleMachineByName serves /v1/machines/{name}: GET one entry,
-// DELETE to unregister.
+// DELETE to unregister, and the /v1/machines/{name}/profile
+// sub-resource: the observed perf profile joined with the adaptive
+// selector's current decision.
 func (s *server) handleMachineByName(w http.ResponseWriter, req *http.Request) {
-	name := strings.TrimPrefix(req.URL.Path, serverapi.Version+"/machines/")
-	if name == "" || strings.Contains(name, "/") {
-		writeError(w, http.StatusNotFound, "want /v1/machines/{name}")
+	rest := strings.TrimPrefix(req.URL.Path, serverapi.Version+"/machines/")
+	name, sub, hasSub := strings.Cut(rest, "/")
+	if name == "" || (hasSub && sub != "profile") {
+		writeError(w, http.StatusNotFound, "want /v1/machines/{name} or /v1/machines/{name}/profile")
+		return
+	}
+	if hasSub {
+		if req.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "GET /v1/machines/{name}/profile")
+			return
+		}
+		m := s.engine.Machine(name)
+		if m == nil {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown machine %q", name))
+			return
+		}
+		s.mu.RLock()
+		mp := serverapi.MachineProfile{
+			Machine:   s.machineInfo(name, m),
+			Selection: machineSelection(name, m),
+		}
+		s.mu.RUnlock()
+		if p, ok := s.profiles.Profile(name); ok {
+			mp.Profile = &p
+		}
+		writeJSON(w, mp)
 		return
 	}
 	switch req.Method {
@@ -705,11 +775,37 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-// writeError emits the shared JSON error shape.
+// writeError emits the shared JSON error envelope. The stable
+// machine-readable code is derived from the HTTP status so every
+// handler produces the same envelope without threading codes by hand.
 func writeError(w http.ResponseWriter, status int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(serverapi.Error{Error: msg})
+	_ = json.NewEncoder(w).Encode(serverapi.Error{Error: msg, Code: errorCode(status)})
+}
+
+// errorCode maps an HTTP status to its serverapi error code.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return serverapi.CodeBadRequest
+	case http.StatusNotFound:
+		return serverapi.CodeNotFound
+	case http.StatusMethodNotAllowed:
+		return serverapi.CodeMethodNotAllowed
+	case http.StatusConflict:
+		return serverapi.CodeConflict
+	case http.StatusRequestEntityTooLarge:
+		return serverapi.CodeTooLarge
+	case http.StatusTooManyRequests:
+		return serverapi.CodeQueueFull
+	case http.StatusGatewayTimeout:
+		return serverapi.CodeTimeout
+	case http.StatusServiceUnavailable:
+		return serverapi.CodeCanceled
+	default:
+		return serverapi.CodeInternal
+	}
 }
 
 // writeEngineError maps engine failure modes to HTTP statuses.
@@ -729,16 +825,6 @@ func writeEngineError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 	default:
 		writeError(w, http.StatusInternalServerError, err.Error())
-	}
-}
-
-// deprecated wraps an alias route with the deprecation headers
-// pointing at its v1 successor.
-func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set(serverapi.DeprecationHeader, "true")
-		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=%q", successor, "successor-version"))
-		h(w, req)
 	}
 }
 
@@ -770,12 +856,6 @@ func (s *server) mux() *http.ServeMux {
 	mux.Handle(serverapi.Version+"/metrics", s.instrument(serverapi.Version+"/metrics", false, http.HandlerFunc(metricsHandler)))
 	mux.HandleFunc(serverapi.Version+"/traces", s.instrument(serverapi.Version+"/traces", false, s.handleTraces))
 	mux.HandleFunc(serverapi.Version+"/traces/", s.instrument(serverapi.Version+"/traces/{id}", false, s.handleTraceByID))
-
-	// Deprecated unversioned aliases.
-	mux.HandleFunc("/run", s.instrument("/run", true, deprecated(serverapi.Version+"/run", s.handleRun)))
-	mux.HandleFunc("/machines", s.instrument("/machines", false, deprecated(serverapi.Version+"/machines", s.handleMachines)))
-	mux.HandleFunc("/snapshot", s.instrument("/snapshot", false, deprecated(serverapi.Version+"/snapshot", s.handleSnapshot)))
-	mux.HandleFunc("/metrics", s.instrument("/metrics", false, deprecated(serverapi.Version+"/metrics", metricsHandler)))
 
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

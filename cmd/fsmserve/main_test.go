@@ -42,9 +42,6 @@ func TestRunEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	if resp.Header.Get(serverapi.DeprecationHeader) != "" {
-		t.Error("v1 route should not carry a Deprecation header")
-	}
 	var res serverapi.RunResult
 	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
 		t.Fatal(err)
@@ -58,20 +55,16 @@ func TestRunEndpoint(t *testing.T) {
 	if res.Bytes == 0 || res.DurationNs <= 0 {
 		t.Errorf("run accounting: %+v", res)
 	}
+	if res.Lane == "" || res.Strategy == "" || res.Strategy == "auto" {
+		t.Errorf("run result missing dispatch fields: lane=%q strategy=%q", res.Lane, res.Strategy)
+	}
 
-	// Default machine (first pattern) on a clean input, via the
-	// deprecated alias — same behaviour plus the deprecation headers.
-	resp2, err := http.Post(ts.URL+"/run", "", strings.NewReader("hello world"))
+	// Default machine (first pattern) on a clean input.
+	resp2, err := http.Post(ts.URL+"/v1/run", "", strings.NewReader("hello world"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp2.Body.Close()
-	if resp2.Header.Get(serverapi.DeprecationHeader) != "true" {
-		t.Error("alias /run missing Deprecation header")
-	}
-	if link := resp2.Header.Get("Link"); !strings.Contains(link, "/v1/run") {
-		t.Errorf("alias /run Link header = %q", link)
-	}
 	var res2 serverapi.RunResult
 	if err := json.NewDecoder(resp2.Body).Decode(&res2); err != nil {
 		t.Fatal(err)
@@ -80,16 +73,51 @@ func TestRunEndpoint(t *testing.T) {
 		t.Errorf("clean input: %+v", res2)
 	}
 
-	// Errors: GET is rejected, unknown machines 404.
-	if resp, _ := http.Get(ts.URL + "/v1/run"); resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET /v1/run status %d", resp.StatusCode)
+	// An explicit per-request strategy pin echoes back in the result.
+	resp3, err := http.Post(ts.URL+"/v1/run?machine=sqli&strategy=sequential", "", strings.NewReader("abc"))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if resp, _ := http.Post(ts.URL+"/v1/run?machine=nope", "", strings.NewReader("x")); resp.StatusCode != http.StatusNotFound {
-		t.Errorf("unknown machine status %d", resp.StatusCode)
+	defer resp3.Body.Close()
+	var res3 serverapi.RunResult
+	if err := json.NewDecoder(resp3.Body).Decode(&res3); err != nil {
+		t.Fatal(err)
 	}
-	if resp, _ := http.Post(ts.URL+"/v1/run?machine=sqli&start=9999", "", strings.NewReader("x")); resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("bad start status %d", resp.StatusCode)
+	if res3.Strategy != "sequential" {
+		t.Errorf("?strategy=sequential echoed %q", res3.Strategy)
 	}
+
+	// Errors carry the shared envelope with a stable code: GET is
+	// rejected, unknown machines 404, bad params 400.
+	checkErr := func(resp *http.Response, status int, code string) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != status {
+			t.Errorf("status %d, want %d", resp.StatusCode, status)
+		}
+		var e serverapi.Error
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("error body: %v", err)
+		}
+		if e.Code != code || e.Error == "" {
+			t.Errorf("error envelope %+v, want code %q", e, code)
+		}
+	}
+	r, _ := http.Get(ts.URL + "/v1/run")
+	checkErr(r, http.StatusMethodNotAllowed, serverapi.CodeMethodNotAllowed)
+	r, _ = http.Post(ts.URL+"/v1/run?machine=nope", "", strings.NewReader("x"))
+	checkErr(r, http.StatusNotFound, serverapi.CodeNotFound)
+	r, _ = http.Post(ts.URL+"/v1/run?machine=sqli&start=9999", "", strings.NewReader("x"))
+	checkErr(r, http.StatusBadRequest, serverapi.CodeBadRequest)
+	r, _ = http.Post(ts.URL+"/v1/run?machine=sqli&strategy=warp", "", strings.NewReader("x"))
+	checkErr(r, http.StatusBadRequest, serverapi.CodeBadRequest)
+
+	// The unversioned aliases completed their deprecation cycle: gone.
+	r, _ = http.Post(ts.URL+"/run", "", strings.NewReader("x"))
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("removed alias /run: status %d, want 404", r.StatusCode)
+	}
+	r.Body.Close()
 }
 
 // TestBatchEndpoint drives /v1/batch with a mix of good jobs, a
@@ -239,14 +267,14 @@ func TestMetricsEndpointNonZeroUnderLoad(t *testing.T) {
 		t.Errorf("EngineJobs = %d, want 5", snap.EngineJobs)
 	}
 
-	// The alias still serves the same body, with deprecation headers.
+	// The unversioned alias is gone.
 	ra, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer ra.Body.Close()
-	if ra.Header.Get(serverapi.DeprecationHeader) != "true" {
-		t.Error("alias /metrics missing Deprecation header")
+	if ra.StatusCode != http.StatusNotFound {
+		t.Errorf("removed alias /metrics: status %d, want 404", ra.StatusCode)
 	}
 }
 
@@ -292,15 +320,92 @@ func TestSnapshotAndMachinesEndpoints(t *testing.T) {
 		}
 	}
 
-	// Alias routes answer too, flagged deprecated.
+	// The unversioned aliases are gone.
 	for _, route := range []string{"/snapshot", "/machines"} {
 		ra, err := http.Get(ts.URL + route)
 		if err != nil {
 			t.Fatal(err)
 		}
 		ra.Body.Close()
-		if ra.StatusCode != http.StatusOK || ra.Header.Get(serverapi.DeprecationHeader) != "true" {
-			t.Errorf("alias %s: status %d, deprecation %q", route, ra.StatusCode, ra.Header.Get(serverapi.DeprecationHeader))
+		if ra.StatusCode != http.StatusNotFound {
+			t.Errorf("removed alias %s: status %d, want 404", route, ra.StatusCode)
+		}
+	}
+}
+
+// TestMachineProfileEndpoint covers GET /v1/machines/{name} and its
+// /profile sub-resource: after some traffic the profile carries lane
+// history and the current adaptive selection, and /v1/status lists
+// the same selection per machine.
+func TestMachineProfileEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/v1/run?machine=sqli", "", strings.NewReader("id=1 UNION  SELECT x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var info serverapi.MachineInfo
+	ri, err := http.Get(ts.URL + "/v1/machines/sqli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ri.Body.Close()
+	if err := json.NewDecoder(ri.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "sqli" || info.Stats.States == 0 {
+		t.Errorf("machine info: %+v", info)
+	}
+
+	var mp serverapi.MachineProfile
+	rp, err := http.Get(ts.URL + "/v1/machines/sqli/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rp.Body.Close()
+	if rp.StatusCode != http.StatusOK {
+		t.Fatalf("profile status %d", rp.StatusCode)
+	}
+	if err := json.NewDecoder(rp.Body).Decode(&mp); err != nil {
+		t.Fatal(err)
+	}
+	if mp.Machine.Name != "sqli" {
+		t.Errorf("profile machine: %+v", mp.Machine)
+	}
+	if mp.Profile == nil || mp.Profile.Jobs == 0 {
+		t.Errorf("profile missing observed history: %+v", mp.Profile)
+	}
+	if mp.Selection.Lane == "" || mp.Selection.Reason == "" {
+		t.Errorf("profile missing selection: %+v", mp.Selection)
+	}
+
+	rn, _ := http.Get(ts.URL + "/v1/machines/ghost/profile")
+	rn.Body.Close()
+	if rn.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown machine profile: status %d", rn.StatusCode)
+	}
+	rb, _ := http.Get(ts.URL + "/v1/machines/sqli/bogus")
+	rb.Body.Close()
+	if rb.StatusCode != http.StatusNotFound {
+		t.Errorf("bogus sub-resource: status %d", rb.StatusCode)
+	}
+
+	var st serverapi.Status
+	rs, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Body.Close()
+	if err := json.NewDecoder(rs.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Selections) != len(defaultPatterns) {
+		t.Fatalf("status selections = %d, want %d", len(st.Selections), len(defaultPatterns))
+	}
+	for _, sel := range st.Selections {
+		if sel.Machine == "" || sel.Lane == "" || sel.Reason == "" {
+			t.Errorf("status selection incomplete: %+v", sel)
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"time"
 
 	"dpfsm/internal/serverapi"
@@ -53,6 +54,17 @@ func (s *server) status() serverapi.Status {
 		Runtime:  telemetry.ReadRuntime(),
 	}
 	st.Machines = len(st.Profiles)
+	// The adaptive layer's current per-machine decisions, in the
+	// registry's name order sorted for stable output.
+	s.mu.RLock()
+	names := append([]string(nil), s.order...)
+	s.mu.RUnlock()
+	sort.Strings(names)
+	for _, name := range names {
+		if m := s.engine.Machine(name); m != nil {
+			st.Selections = append(st.Selections, machineSelection(name, m))
+		}
+	}
 	// Shed rate over everything offered: executed + refused.
 	if offered := snap.EngineJobs + snap.EngineQueueRejects; offered > 0 {
 		st.ShedRate = float64(snap.EngineQueueRejects) / float64(offered)

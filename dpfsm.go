@@ -3,9 +3,11 @@ package dpfsm
 import (
 	"context"
 
+	"dpfsm/internal/adaptive"
 	"dpfsm/internal/core"
 	"dpfsm/internal/engine"
 	"dpfsm/internal/fsm"
+	"dpfsm/internal/perfprofile"
 	"dpfsm/internal/regex"
 	"dpfsm/internal/telemetry"
 	"dpfsm/internal/trace"
@@ -71,8 +73,15 @@ type (
 // Sequential is the scalar baseline; Base and BaseILP are the
 // enumerative gather loops (§3); Convergence adds the Figure 7
 // active-set narrowing; RangeCoalesced and RangeConvergence add the
-// Figure 10/11 per-symbol name tables. Auto picks per machine from
-// its static Stats.
+// Figure 10/11 per-symbol name tables.
+//
+// Auto is the default and the recommended choice: at compile time it
+// picks a concrete strategy from the machine's static Stats, and — on
+// an Engine with a perf-profile store attached — the adaptive layer
+// then re-evaluates the dispatch lane from observed behaviour as
+// traffic accumulates. Auto is a request, not a strategy: it always
+// resolves to a concrete strategy before execution and never appears
+// in a compiled Plan or a Result.
 const (
 	Auto             = core.Auto
 	Sequential       = core.Sequential
@@ -162,6 +171,18 @@ var (
 	ErrClosed         = engine.ErrClosed
 	ErrUnknownMachine = engine.ErrUnknownMachine
 	ErrBadStart       = engine.ErrBadStart
+	// ErrQueueFull is returned by TrySubmit when the engine sheds load.
+	ErrQueueFull = engine.ErrQueueFull
+)
+
+// Engine dispatch lanes, reported in Result.Lane: "single" (batch-
+// level parallelism), "multicore" (the paper's Figure 5 phase split),
+// and "speculative" (guessed chunk start states with scalar re-run on
+// mispredict).
+const (
+	LaneSingle      = engine.LaneSingle
+	LaneMulticore   = engine.LaneMulticore
+	LaneSpeculative = engine.LaneSpeculative
 )
 
 // NewEngine builds and starts a batch engine; Close it when done.
@@ -195,6 +216,36 @@ func NewPlanCache(max int, m *Metrics) *PlanCache { return engine.NewPlanCache(m
 // engine and a direct CompilePlan caller); the default is a private
 // per-engine cache.
 func WithPlanCache(pc *PlanCache) EngineOption { return engine.WithPlanCache(pc) }
+
+// Adaptive execution (internal/perfprofile + internal/adaptive).
+// Attaching a perf-profile store to an engine closes the selection
+// loop: every job's lane, throughput, and speculation outcome feeds a
+// per-machine profile, and the engine's adaptive selector re-picks
+// each machine's large-input lane (multicore vs speculative) from
+// that history, with hysteresis. Without a store the engine keeps its
+// static size-based dispatch.
+type (
+	// PerfProfileStore aggregates per-machine observed performance and
+	// optionally persists it next to serialized plans.
+	PerfProfileStore = perfprofile.Store
+	// PerfProfile is one machine's accumulated performance history:
+	// per-lane throughput, hot final states, speculation outcomes.
+	PerfProfile = perfprofile.Profile
+	// Selection is the adaptive dispatcher's current decision for one
+	// machine: the lane, the resolved strategy, and a human-readable
+	// reason. Machine.Selection returns the live value.
+	Selection = adaptive.Selection
+)
+
+// NewPerfProfileStore builds a profile store; dir may be empty for a
+// purely in-memory store, or name a directory (typically the plan
+// cache's) where profiles persist across restarts.
+func NewPerfProfileStore(dir string) *PerfProfileStore { return perfprofile.NewStore(dir) }
+
+// WithEnginePerfProfiles attaches a perf-profile store to the engine,
+// enabling profile-driven adaptive lane selection (including the
+// speculative lane) for every registered machine.
+func WithEnginePerfProfiles(s *PerfProfileStore) EngineOption { return engine.WithPerfProfiles(s) }
 
 // WithEngineTraceSink makes the engine create a per-job Trace for every
 // job whose context does not already carry one, delivering completed

@@ -9,6 +9,7 @@ import (
 	"dpfsm/internal/core"
 	"dpfsm/internal/engine"
 	"dpfsm/internal/fsm"
+	"dpfsm/internal/speculative"
 )
 
 // checker holds every execution surface under test for one machine,
@@ -26,6 +27,13 @@ type checker struct {
 	singles    map[core.Strategy]*core.Runner
 	multis     map[core.Strategy]*core.Runner
 	reloads    map[core.Strategy]*core.Runner
+
+	// spec is the engine's speculative lane run directly; specBad is
+	// the same lane with a deliberately poisoned guess, so every input
+	// also exercises the forced-mispredict re-run path. Exactness must
+	// hold on both — mispredicts may only cost time, never answers.
+	spec    *speculative.Runner
+	specBad *speculative.Runner
 
 	eng *engine.Engine
 }
@@ -69,6 +77,14 @@ func newChecker(d *fsm.DFA, label string, cfg Config) (*checker, *Divergence) {
 			engine.WithProcs(cfg.Procs),
 			engine.WithLargeInput(cfg.LargeInput),
 		)
+	}
+	c.spec = speculative.New(d, cfg.Procs, nil)
+	c.specBad = speculative.New(d, cfg.Procs, nil)
+	if d.NumStates() > 1 {
+		// Any fixed wrong-ish guess does: on most machines it forces
+		// mispredict cascades, and on all machines the answer must
+		// still match the oracle.
+		c.specBad.SetGuess(fsm.State((int(d.Start()) + 1) % d.NumStates()))
 	}
 	fail := func(s core.Strategy, err error) *Divergence {
 		c.Close()
@@ -181,8 +197,48 @@ func (c *checker) check(input []byte) *Divergence {
 		if dv := c.checkEngine(input, start, want); dv != nil {
 			return dv
 		}
+		if dv := c.checkSpeculative(input, start, want); dv != nil {
+			return dv
+		}
 	}
 	return c.checkVectors(input)
+}
+
+// checkSpeculative compares the speculative lane against the oracle,
+// both with the default guess and with a poisoned one that forces
+// mispredict re-runs, and verifies the stats invariants (at most
+// chunks-1 speculated chunks can miss; a hit run re-runs no bytes).
+func (c *checker) checkSpeculative(input []byte, start, want fsm.State) *Divergence {
+	for _, probe := range []struct {
+		name string
+		r    *speculative.Runner
+	}{
+		{"speculative-final", c.spec},
+		{"speculative-mispredict", c.specBad},
+	} {
+		got, stats := probe.r.Final(input, start)
+		if got != want {
+			return c.divergence(probe.name, "", input, start, want, got,
+				fmt.Sprintf("guess=%d procs=%d chunks=%d misspeculated=%d",
+					probe.r.Guess(), c.cfg.Procs, stats.Chunks, stats.Misspeculated))
+		}
+		if stats.Misspeculated > stats.Chunks-1 || (stats.Misspeculated == 0 && stats.ReRunBytes != 0) {
+			return c.divergence(probe.name, "", input, start, want, got,
+				fmt.Sprintf("impossible stats %+v", stats))
+		}
+	}
+	// The context path must agree too (the engine lane runs through it).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got, _, err := c.spec.FinalCtx(ctx, input, start)
+	if err != nil {
+		return c.divergence("speculative-final", "", input, start, want, got,
+			"unexpected ctx error: "+err.Error())
+	}
+	if got != want {
+		return c.divergence("speculative-final", "", input, start, want, got, "ctx path")
+	}
+	return nil
 }
 
 // checkStrategy compares one strategy's whole surface — single-core,

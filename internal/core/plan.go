@@ -192,6 +192,11 @@ func (p *Plan) AutoReason() string { return p.reason }
 // the quantity the Auto decision pivots on.
 func (p *Plan) MaxRange() int { return p.maxRange }
 
+// States reports the machine's state count — together with MaxRange,
+// the compile-time half of the adaptive selector's inputs (the run-time
+// half is the machine's observed perf profile).
+func (p *Plan) States() int { return p.n }
+
 // TableBytes reports the approximate size of the strategy-dependent
 // tables this plan precomputed — what a cache entry costs to keep and
 // what a cache miss costs to rebuild.

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dpfsm/internal/fsm"
+)
+
+// These tests pin the contract around the Auto sentinel: "auto" is a
+// first-class *request* on every text surface (flags, JSON bodies),
+// but it must never survive into a compiled or serialized plan — a
+// plan IS a concrete strategy's tables, so Auto leaking into one would
+// make its fingerprint ambiguous and its reload behavior
+// environment-dependent.
+
+// autoTestMachine builds a small machine on which Auto resolves to
+// RangeCoalesced (every range is ≤ the shuffle width).
+func autoTestMachine(t *testing.T) *fsm.DFA {
+	t.Helper()
+	d := fsm.MustNew(4, 2)
+	d.SetColumn(0, []fsm.State{1, 2, 3, 3})
+	d.SetColumn(1, []fsm.State{0, 0, 0, 0})
+	d.SetAccepting(3, true)
+	return d
+}
+
+func TestParseStrategyRoundTripsEveryName(t *testing.T) {
+	for s := Auto; s <= RangeConvergence; s++ {
+		got, err := ParseStrategy(s.String())
+		if err != nil {
+			t.Fatalf("ParseStrategy(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Errorf("ParseStrategy(%q) = %v, want %v", s.String(), got, s)
+		}
+		text, err := s.MarshalText()
+		if err != nil {
+			t.Fatalf("MarshalText(%v): %v", s, err)
+		}
+		var back Strategy
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", text, err)
+		}
+		if back != s {
+			t.Errorf("text round trip %q: got %v, want %v", text, back, s)
+		}
+	}
+}
+
+func TestUnmarshalEmptyTextIsAuto(t *testing.T) {
+	// Omitted JSON fields mean "pick for me": the zero value and the
+	// empty string both decode to Auto.
+	var s Strategy = RangeCoalesced
+	if err := s.UnmarshalText(nil); err != nil {
+		t.Fatalf("UnmarshalText(nil): %v", err)
+	}
+	if s != Auto {
+		t.Errorf("empty text decoded to %v, want Auto", s)
+	}
+	var doc struct {
+		Strategy Strategy `json:"strategy,omitempty"`
+	}
+	if err := json.Unmarshal([]byte(`{}`), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Strategy != Auto {
+		t.Errorf("omitted JSON field decoded to %v, want Auto", doc.Strategy)
+	}
+}
+
+func TestAutoNeverLeaksIntoPlans(t *testing.T) {
+	d := autoTestMachine(t)
+	p, err := CompilePlan(d) // no WithStrategy: the Auto path
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Strategy() == Auto {
+		t.Fatal("compiled plan stores Auto; plans must store a concrete strategy")
+	}
+	if p.AutoReason() == "" {
+		t.Error("Auto-compiled plan should record the selection reason")
+	}
+
+	// The serialized form must carry the concrete strategy too, and the
+	// reload must agree with the original bit for bit.
+	data, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := UnmarshalPlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Strategy() == Auto {
+		t.Fatal("deserialized plan stores Auto")
+	}
+	if q.Strategy() != p.Strategy() || q.Fingerprint() != p.Fingerprint() {
+		t.Fatalf("round trip changed identity: %v/%s -> %v/%s",
+			p.Strategy(), p.Fingerprint(), q.Strategy(), q.Fingerprint())
+	}
+
+	// An explicit WithStrategy(Auto) is the same request as the default.
+	p2, err := CompilePlan(d, WithStrategy(Auto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Strategy() != p.Strategy() || p2.Fingerprint() != p.Fingerprint() {
+		t.Errorf("WithStrategy(Auto) compiled %v/%s, want %v/%s",
+			p2.Strategy(), p2.Fingerprint(), p.Strategy(), p.Fingerprint())
+	}
+}
+
+func TestPlanStatsAccessors(t *testing.T) {
+	d := autoTestMachine(t)
+	p, err := CompilePlan(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.States() != 4 {
+		t.Errorf("States() = %d, want 4", p.States())
+	}
+	if p.MaxRange() <= 0 || p.MaxRange() > 4 {
+		t.Errorf("MaxRange() = %d, want in (0, 4]", p.MaxRange())
+	}
+}

@@ -37,9 +37,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dpfsm/internal/adaptive"
 	"dpfsm/internal/core"
 	"dpfsm/internal/fsm"
 	"dpfsm/internal/perfprofile"
+	"dpfsm/internal/speculative"
 	"dpfsm/internal/telemetry"
 	"dpfsm/internal/trace"
 )
@@ -54,8 +56,17 @@ const (
 
 	AttrMachine    = "machine"
 	AttrBytes      = "bytes"
-	AttrLane       = "lane"        // "single" | "multicore"
+	AttrLane       = "lane"        // "single" | "multicore" | "speculative"
 	AttrLaneReason = "lane_reason" // why the dispatch policy chose it
+	AttrStrategy   = "strategy"    // the strategy the job ran under
+)
+
+// Lane names, re-exported from perfprofile so engine callers need not
+// import both packages to compare Result.Lane.
+const (
+	LaneSingle      = perfprofile.LaneSingle
+	LaneMulticore   = perfprofile.LaneMulticore
+	LaneSpeculative = perfprofile.LaneSpeculative
 )
 
 // Errors returned by Submit/Run. Per-job failures are reported in
@@ -150,20 +161,40 @@ func WithPerfProfiles(s *perfprofile.Store) Option {
 }
 
 // Machine is one compiled DFA registered with the engine: a shared
-// compiled plan plus the runner pair the dispatch policy chooses
-// between. Both runners execute the same *core.Plan — the tables are
-// derived once (or fetched from the plan cache), never per lane.
+// compiled plan plus the runners the dispatch policy chooses between.
+// The single and multicore runners execute the same *core.Plan — the
+// tables are derived once (or fetched from the plan cache), never per
+// lane; the speculative lane runs the raw DFA (its per-chunk work is
+// the plain sequential walk, §7).
 type Machine struct {
 	name   string
+	eng    *Engine
 	dfa    *fsm.DFA
 	plan   *core.Plan
 	single *core.Runner // batch lane: WithProcs(1)
 	multi  *core.Runner // input lane: WithProcs(procs); nil when procs == 1
+	// spec is the §7 speculative lane: guess chunk start states from
+	// the machine's hot-state profile, verify, re-run on mispredict.
+	// nil when procs == 1 (like multi, it is pure fan-out).
+	spec *speculative.Runner
 	// planHit records whether registration found the plan in the cache.
 	planHit bool
 	// rec accumulates this machine's perf profile (nil when the engine
 	// has no profile store); every exec observes into it.
 	rec *perfprofile.MachineRecorder
+	// sel is the adaptive lane selector, present only when the engine
+	// has a profile store to learn from: without one the engine keeps
+	// its historical static dispatch (deterministic, which the
+	// conformance harness relies on).
+	sel *adaptive.Selector
+	// opts are the registration's core options, kept so explicit
+	// per-job strategy overrides can build alternate runners lazily.
+	opts []core.Option
+
+	// altMu guards alt, the lazily compiled single-core runners for
+	// per-job strategy overrides (Job.Strategy != plan strategy).
+	altMu sync.Mutex
+	alt   map[core.Strategy]*core.Runner
 }
 
 // Name returns the registration name.
@@ -186,6 +217,97 @@ func (m *Machine) Fingerprint() string { return m.plan.Fingerprint() }
 // instead of compiling.
 func (m *Machine) PlanCached() bool { return m.planHit }
 
+// Recorder returns the machine's perf-profile recorder (nil when the
+// engine has no profile store).
+func (m *Machine) Recorder() *perfprofile.MachineRecorder { return m.rec }
+
+// Selection reports the machine's current large-input dispatch
+// decision. Without a profile store the engine dispatches statically,
+// and the returned selection describes that fixed policy.
+func (m *Machine) Selection() adaptive.Selection {
+	if m.sel != nil {
+		return m.sel.Selection()
+	}
+	sel := adaptive.Selection{Lane: LaneMulticore, Strategy: m.plan.Strategy().String(),
+		Reason: "static dispatch (no profile store): large inputs go multicore"}
+	if m.multi == nil {
+		sel.Lane = LaneSingle
+		sel.Reason = "static dispatch: multicore lane disabled (procs=1)"
+	}
+	return sel
+}
+
+// Reselect forces an immediate re-evaluation of the adaptive
+// selection against the machine's current profile — the hook the
+// status surface and tests use instead of waiting out the EvalEvery
+// cadence — and retargets the speculative guess at the profile's
+// current hot state. A no-op (zero Selection) without a profile store.
+func (m *Machine) Reselect() adaptive.Selection {
+	if m.sel == nil {
+		return adaptive.Selection{}
+	}
+	sel := m.sel.Refresh(m.adaptiveInputs())
+	if m.spec != nil {
+		if st, ok := m.rec.HotState(); ok && m.dfa.ValidState(fsm.State(st)) {
+			m.spec.SetGuess(fsm.State(st))
+		}
+	}
+	return sel
+}
+
+// adaptiveInputs assembles the selector's view of this machine:
+// compile-time plan stats plus the merged perf profile.
+func (m *Machine) adaptiveInputs() adaptive.Inputs {
+	in := adaptive.Inputs{
+		States:   m.plan.States(),
+		MaxRange: m.plan.MaxRange(),
+		Strategy: m.plan.Strategy().String(),
+		Procs:    m.eng.procs,
+	}
+	if m.rec == nil {
+		return in
+	}
+	p := m.rec.Profile()
+	in.MispredictRate = p.MispredictRate
+	in.SpecChunks = p.SpecChunks
+	in.HasHotState = len(p.HotStates) > 0
+	in.ConvergenceRate = p.ConvergenceRate
+	obs := func(lane string) adaptive.LaneObs {
+		ls := p.Lanes[lane]
+		return adaptive.LaneObs{Jobs: ls.Jobs, BytesPerSec: ls.BytesPerSec}
+	}
+	in.Single = obs(perfprofile.LaneSingle)
+	in.Multicore = obs(perfprofile.LaneMulticore)
+	in.Speculative = obs(perfprofile.LaneSpeculative)
+	return in
+}
+
+// altRunner returns (building lazily on first use) the single-core
+// runner for an explicit per-job strategy override. The override's
+// plan goes through the engine's plan cache, so repeated overrides of
+// the same machine+strategy compile once.
+func (m *Machine) altRunner(s core.Strategy) (*core.Runner, error) {
+	m.altMu.Lock()
+	defer m.altMu.Unlock()
+	if r, ok := m.alt[s]; ok {
+		return r, nil
+	}
+	p, _, err := m.eng.planCache.GetOrCompile(m.dfa, append(m.opts, core.WithStrategy(s))...)
+	if err != nil {
+		return nil, err
+	}
+	r, err := core.NewFromPlan(p, append(m.opts, core.WithStrategy(s),
+		core.WithProcs(1), core.WithTelemetry(m.eng.tel), core.WithAuxTelemetry(m.rec.Telemetry()))...)
+	if err != nil {
+		return nil, err
+	}
+	if m.alt == nil {
+		m.alt = make(map[core.Strategy]*core.Runner, 2)
+	}
+	m.alt[s] = r
+	return r, nil
+}
+
 // Job is one unit of work: run Input through Machine.
 type Job struct {
 	Machine string
@@ -196,11 +318,18 @@ type Job struct {
 	// Timeout, when positive, bounds this job alone; it nests inside
 	// whatever context the batch was submitted with.
 	Timeout time.Duration
+	// Strategy, when not Auto, pins this job to a specific strategy on
+	// the single-core lane regardless of the machine's plan — the
+	// explicit escape hatch from adaptive selection. Auto (the zero
+	// value) defers to the machine's plan and the dispatch policy.
+	Strategy core.Strategy
 }
 
 // Result is the outcome of one Job. Index is the job's position in
 // its batch (or the caller-supplied submission index), so streamed
-// results can be reordered.
+// results can be reordered. Lane, Strategy, and Reason record the
+// dispatch decision the job actually ran under; Multicore is kept as
+// the legacy boolean view of Lane.
 type Result struct {
 	Index     int           `json:"index"`
 	Machine   string        `json:"machine"`
@@ -208,6 +337,9 @@ type Result struct {
 	Accepts   bool          `json:"accepts"`
 	Bytes     int           `json:"bytes"`
 	Multicore bool          `json:"multicore"`
+	Lane      string        `json:"lane,omitempty"`
+	Strategy  string        `json:"strategy,omitempty"`
+	Reason    string        `json:"reason,omitempty"`
 	Duration  time.Duration `json:"duration_ns"`
 	Err       error         `json:"-"`
 }
@@ -215,14 +347,15 @@ type Result struct {
 // BatchStats aggregates one batch: the per-batch telemetry the
 // metrics endpoints expose in aggregate form.
 type BatchStats struct {
-	Jobs       int           `json:"jobs"`
-	OK         int           `json:"ok"`
-	Errors     int           `json:"errors"`
-	Canceled   int           `json:"canceled"`
-	SingleCore int           `json:"single_core"`
-	Multicore  int           `json:"multicore"`
-	Bytes      int64         `json:"bytes"`
-	Duration   time.Duration `json:"duration_ns"`
+	Jobs        int           `json:"jobs"`
+	OK          int           `json:"ok"`
+	Errors      int           `json:"errors"`
+	Canceled    int           `json:"canceled"`
+	SingleCore  int           `json:"single_core"`
+	Multicore   int           `json:"multicore"`
+	Speculative int           `json:"speculative"`
+	Bytes       int64         `json:"bytes"`
+	Duration    time.Duration `json:"duration_ns"`
 }
 
 type task struct {
@@ -422,7 +555,27 @@ func (e *Engine) registerPlan(name string, d *fsm.DFA, p *core.Plan, hit bool, o
 			return nil, fmt.Errorf("engine: machine %q: %w", name, err)
 		}
 	}
-	m := &Machine{name: name, dfa: d, plan: p, single: single, multi: multi, planHit: hit, rec: rec}
+	m := &Machine{name: name, eng: e, dfa: d, plan: p, single: single, multi: multi,
+		planHit: hit, rec: rec, opts: opts[:len(opts):len(opts)]}
+	if e.procs > 1 {
+		// The speculative lane fans out like the multicore one; its
+		// chunk floor keeps fan-out worthwhile for exactly the inputs
+		// the dispatch policy sends it (>= largeInput).
+		m.spec = speculative.New(d, e.procs, nil)
+		if minChunk := e.largeInput / (2 * e.procs); minChunk > 1 {
+			m.spec.SetMinChunk(minChunk)
+		}
+		if st, ok := rec.HotState(); ok && d.ValidState(fsm.State(st)) {
+			// A persisted baseline already knows the dominant final
+			// state: seed the guess before the first job.
+			m.spec.SetGuess(fsm.State(st))
+		}
+	}
+	if rec != nil {
+		// Adaptive selection exists only when there is a profile to
+		// learn from; otherwise dispatch stays static and deterministic.
+		m.sel = adaptive.NewSelector(m.adaptiveInputs())
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, dup := e.machines[name]; dup {
@@ -607,9 +760,12 @@ func summarize(results []Result, dur time.Duration) BatchStats {
 			st.Errors++
 		}
 		if r.Err == nil {
-			if r.Multicore {
+			switch r.Lane {
+			case LaneMulticore:
 				st.Multicore++
-			} else {
+			case LaneSpeculative:
+				st.Speculative++
+			default:
 				st.SingleCore++
 			}
 		}
@@ -718,7 +874,7 @@ func (e *Engine) execWait(ctx context.Context, idx int, job Job, queueWait time.
 	var rec *perfprofile.MachineRecorder
 	defer func() {
 		e.noteResult(&res)
-		rec.ObserveJob(res.Multicore, res.Bytes, res.Duration, queueWait, res.Err != nil)
+		rec.ObserveJob(res.Lane, res.Bytes, res.Duration, queueWait, res.Err != nil)
 	}()
 
 	if ctx == nil {
@@ -782,17 +938,44 @@ func (e *Engine) execWait(ctx context.Context, idx int, job Job, queueWait time.
 		defer cancel()
 	}
 
+	// Dispatch. Three tiers:
+	//
+	//   1. an explicit per-job strategy override pins the job to the
+	//      single-core lane under that strategy;
+	//   2. small inputs always run single-core (fan-out overhead
+	//      dominates below the threshold);
+	//   3. large inputs take the lane the adaptive selector holds —
+	//      or, without a profile store, the historical static
+	//      heuristic (multicore whenever it exists).
 	r := m.single
-	if m.multi != nil && len(job.Input) >= e.largeInput {
-		if sp != nil {
-			sp.SetAttrs(
-				trace.Str(AttrLane, "multicore"),
-				trace.Str(AttrLaneReason,
-					fmt.Sprintf("input %d B >= large-input threshold %d B", len(job.Input), e.largeInput)),
-			)
+	res.Lane = LaneSingle
+	res.Strategy = m.plan.Strategy().String()
+	reason := fmt.Sprintf("input %d B < large-input threshold %d B", len(job.Input), e.largeInput)
+
+	if job.Strategy != core.Auto && job.Strategy != m.plan.Strategy() {
+		alt, err := m.altRunner(job.Strategy)
+		if err != nil {
+			res.Err = fmt.Errorf("engine: machine %q: strategy override %v: %w", name, job.Strategy, err)
+			return res
 		}
-		// The input lane: acquire a fan-out slot so at most
-		// workers/procs multicore jobs run at once.
+		r = alt
+		res.Strategy = job.Strategy.String()
+		reason = fmt.Sprintf("explicit strategy override (%v); single-core lane", job.Strategy)
+	} else if len(job.Input) >= e.largeInput && e.procs > 1 {
+		if m.sel != nil {
+			res.Lane, reason = m.sel.LaneFor()
+		} else if m.multi != nil {
+			res.Lane = LaneMulticore
+			reason = fmt.Sprintf("input %d B >= large-input threshold %d B", len(job.Input), e.largeInput)
+		}
+	} else if m.multi == nil {
+		reason = "multicore lane disabled (procs=1)"
+	}
+
+	// Parallel lanes fan out procs goroutines, so both acquire a
+	// fan-out slot: at most workers/procs such jobs run at once.
+	switch res.Lane {
+	case LaneMulticore, LaneSpeculative:
 		var gsp *trace.Span
 		if sp != nil {
 			gsp = sp.Child(SpanGate)
@@ -801,50 +984,68 @@ func (e *Engine) execWait(ctx context.Context, idx int, job Job, queueWait time.
 		case e.multiGate <- struct{}{}:
 			gsp.End()
 			defer func() { <-e.multiGate }()
-			r = m.multi
-			res.Multicore = true
 		case <-ctx.Done():
 			gsp.End()
 			res.Err = ctx.Err()
 			return res
 		}
-	} else if sp != nil {
-		reason := fmt.Sprintf("input %d B < large-input threshold %d B", len(job.Input), e.largeInput)
-		if m.multi == nil {
-			reason = "multicore lane disabled (procs=1)"
+		if res.Lane == LaneMulticore {
+			r = m.multi
+			res.Multicore = true
 		}
+	}
+	res.Reason = reason
+	if sp != nil {
 		sp.SetAttrs(
-			trace.Str(AttrLane, "single"),
+			trace.Str(AttrLane, res.Lane),
 			trace.Str(AttrLaneReason, reason),
+			trace.Str(AttrStrategy, res.Strategy),
 		)
 	}
 
-	lane := perfprofile.LaneSingle
-	if res.Multicore {
-		lane = perfprofile.LaneMulticore
-	}
 	// pprof labels make /debug/pprof/profile CPU samples attributable:
 	// "which machine is burning the cores, on which lane, under which
 	// strategy" falls straight out of a profile instead of requiring a
-	// bespoke experiment. Labels ride the goroutine, so the multicore
-	// lane's phase workers inherit them too.
+	// bespoke experiment. Labels ride the goroutine, so the parallel
+	// lanes' phase workers inherit them too.
 	var final fsm.State
 	var err error
+	var specStats speculative.Stats
 	t0 := time.Now()
 	pprof.Do(ctx, pprof.Labels(
 		AttrMachine, name,
-		"strategy", m.plan.Strategy().String(),
-		AttrLane, lane,
+		"strategy", res.Strategy,
+		AttrLane, res.Lane,
 	), func(ctx context.Context) {
-		final, err = r.FinalCtx(ctx, job.Input, start)
+		if res.Lane == LaneSpeculative {
+			final, specStats, err = m.spec.FinalCtx(ctx, job.Input, start)
+		} else {
+			final, err = r.FinalCtx(ctx, job.Input, start)
+		}
 	})
 	res.Duration = time.Since(t0)
+	if res.Lane == LaneSpeculative && specStats.Chunks > 0 {
+		m.rec.ObserveSpeculation(int64(specStats.Chunks), int64(specStats.Misspeculated), int64(specStats.ReRunBytes))
+		if tm := e.tel; tm != nil {
+			tm.SpecChunks.Add(int64(specStats.Chunks))
+			tm.SpecMispredicts.Add(int64(specStats.Misspeculated))
+			tm.SpecReRunBytes.Add(int64(specStats.ReRunBytes))
+		}
+	}
 	if err != nil {
 		res.Err = err
 		return res
 	}
 	res.Final = final
 	res.Accepts = m.dfa.Accepting(final)
+	m.rec.ObserveFinal(int(final))
+	// Large jobs advance the selection clock; every EvalEvery of them
+	// re-evaluates the lane choice against the updated profile.
+	if m.sel != nil && len(job.Input) >= e.largeInput {
+		if m.sel.NoteJob() {
+			m.Reselect()
+		}
+	}
 	return res
 }
 
@@ -869,9 +1070,12 @@ func (e *Engine) noteResult(res *Result) {
 		}
 		return
 	}
-	if res.Multicore {
+	switch res.Lane {
+	case LaneMulticore:
 		tm.EngineMulticore.Inc()
-	} else {
+	case LaneSpeculative:
+		tm.EngineSpeculative.Inc()
+	default:
 		tm.EngineSingleCore.Inc()
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,9 +55,17 @@ const FileSuffix = ".perf.json"
 
 // Lane names, matching the engine's dispatch vocabulary.
 const (
-	LaneSingle    = "single"
-	LaneMulticore = "multicore"
+	LaneSingle      = "single"
+	LaneMulticore   = "multicore"
+	LaneSpeculative = "speculative"
 )
+
+// hotStateCap bounds the hot-state histogram: the speculative lane's
+// predictor only ever needs the few dominant final states, and an
+// unbounded per-state map would scale with machine size. Once full,
+// unseen states stop being admitted; the dominant states were already
+// counted by then (they are what makes them dominant).
+const hotStateCap = 32
 
 // LaneStats aggregates the jobs one dispatch lane executed.
 type LaneStats struct {
@@ -114,6 +123,21 @@ type Profile struct {
 	ShufflesPerSymbol float64 `json:"shuffles_per_symbol"`
 	ConvergenceRate   float64 `json:"convergence_rate"`
 	ActiveFinalMean   float64 `json:"active_final_mean"`
+
+	// HotStates histograms the final states jobs ended in (bounded at
+	// hotStateCap entries), keyed by the state's decimal value. The
+	// speculative lane's predictor guesses the dominant entry: a machine
+	// whose jobs keep ending in the same state is exactly the machine
+	// whose chunk starts are guessable (arXiv 1210.5093 §2).
+	HotStates map[string]int64 `json:"hot_states,omitempty"`
+
+	// Speculative-lane accounting. MispredictRate is
+	// SpecMispredicts/SpecChunks — the selector's kill signal for the
+	// speculative lane.
+	SpecChunks      int64   `json:"spec_chunks"`
+	SpecMispredicts int64   `json:"spec_mispredicts"`
+	SpecReRunBytes  int64   `json:"spec_rerun_bytes"`
+	MispredictRate  float64 `json:"mispredict_rate"`
 }
 
 // MachineRecorder accumulates one machine's observations. The engine
@@ -133,16 +157,38 @@ type MachineRecorder struct {
 
 	jobs, errors atomic.Int64
 	queueWaitNs  atomic.Int64
-	laneJobs     [2]atomic.Int64
-	laneBytes    [2]atomic.Int64
-	laneExecNs   [2]atomic.Int64
+	laneJobs     [laneCount]atomic.Int64
+	laneBytes    [laneCount]atomic.Int64
+	laneExecNs   [laneCount]atomic.Int64
 	latency      telemetry.Window
+
+	specChunks      atomic.Int64
+	specMispredicts atomic.Int64
+	specReRunBytes  atomic.Int64
+
+	hotMu     sync.Mutex
+	hotStates map[int]int64
 }
 
 const (
 	laneIdxSingle = iota
 	laneIdxMulticore
+	laneIdxSpeculative
+	laneCount
 )
+
+// laneIdx maps an engine lane name to its counter slot; unknown names
+// fall back to the single-core slot rather than dropping the sample.
+func laneIdx(lane string) int {
+	switch lane {
+	case LaneMulticore:
+		return laneIdxMulticore
+	case LaneSpeculative:
+		return laneIdxSpeculative
+	default:
+		return laneIdxSingle
+	}
+}
 
 // Telemetry returns the per-machine runner sink to pass as
 // core.WithAuxTelemetry. Nil-safe.
@@ -154,7 +200,8 @@ func (r *MachineRecorder) Telemetry() *telemetry.Metrics {
 }
 
 // ObserveJob records one engine job against this machine's profile.
-func (r *MachineRecorder) ObserveJob(multicore bool, bytes int, exec, queueWait time.Duration, failed bool) {
+// lane is one of the Lane* constants (the engine's dispatch decision).
+func (r *MachineRecorder) ObserveJob(lane string, bytes int, exec, queueWait time.Duration, failed bool) {
 	if r == nil {
 		return
 	}
@@ -163,17 +210,76 @@ func (r *MachineRecorder) ObserveJob(multicore bool, bytes int, exec, queueWait 
 		r.errors.Add(1)
 		return
 	}
-	lane := laneIdxSingle
-	if multicore {
-		lane = laneIdxMulticore
-	}
-	r.laneJobs[lane].Add(1)
-	r.laneBytes[lane].Add(int64(bytes))
-	r.laneExecNs[lane].Add(int64(exec))
+	idx := laneIdx(lane)
+	r.laneJobs[idx].Add(1)
+	r.laneBytes[idx].Add(int64(bytes))
+	r.laneExecNs[idx].Add(int64(exec))
 	r.queueWaitNs.Add(int64(queueWait))
 	if exec > 0 {
 		r.latency.Observe(int64(exec))
 	}
+}
+
+// ObserveFinal records the state a job's run ended in, feeding the
+// hot-state histogram the speculative predictor guesses from.
+func (r *MachineRecorder) ObserveFinal(state int) {
+	if r == nil {
+		return
+	}
+	r.hotMu.Lock()
+	if r.hotStates == nil {
+		r.hotStates = make(map[int]int64, 8)
+	}
+	if _, ok := r.hotStates[state]; ok || len(r.hotStates) < hotStateCap {
+		r.hotStates[state]++
+	}
+	r.hotMu.Unlock()
+}
+
+// ObserveSpeculation folds one speculative execution's chunk accounting
+// into the profile.
+func (r *MachineRecorder) ObserveSpeculation(chunks, mispredicts, rerunBytes int64) {
+	if r == nil {
+		return
+	}
+	r.specChunks.Add(chunks)
+	r.specMispredicts.Add(mispredicts)
+	r.specReRunBytes.Add(rerunBytes)
+}
+
+// HotState reports the machine's dominant observed final state —
+// baseline plus live — and whether any final state has been observed
+// at all. Ties break toward the smaller state number so the answer is
+// deterministic.
+func (r *MachineRecorder) HotState() (int, bool) {
+	if r == nil {
+		return 0, false
+	}
+	merged := r.mergedHotStates()
+	best, bestCount, found := 0, int64(0), false
+	for st, n := range merged {
+		if n > bestCount || (n == bestCount && found && st < best) {
+			best, bestCount, found = st, n, true
+		}
+	}
+	return best, found
+}
+
+// mergedHotStates merges the persisted baseline histogram with the
+// live one, returning a fresh map keyed by state number.
+func (r *MachineRecorder) mergedHotStates() map[int]int64 {
+	merged := make(map[int]int64, hotStateCap)
+	for key, n := range r.base.HotStates {
+		if st, err := strconv.Atoi(key); err == nil {
+			merged[st] += n
+		}
+	}
+	r.hotMu.Lock()
+	for st, n := range r.hotStates {
+		merged[st] += n
+	}
+	r.hotMu.Unlock()
+	return merged
 }
 
 // bytesPerSec converts (bytes, ns) to a rate, 0 when unmeasured.
@@ -206,12 +312,16 @@ func (r *MachineRecorder) Profile() Profile {
 		Shuffles:    r.base.Shuffles + snap.Shuffles,
 		FactorCalls: r.base.FactorCalls + snap.FactorCalls,
 		FactorWins:  r.base.FactorWins + snap.FactorWins,
+
+		SpecChunks:      r.base.SpecChunks + r.specChunks.Load(),
+		SpecMispredicts: r.base.SpecMispredicts + r.specMispredicts.Load(),
+		SpecReRunBytes:  r.base.SpecReRunBytes + r.specReRunBytes.Load(),
 		// ActiveFinalMean is a mean, not a counter: the live value wins
 		// once this process has run anything, else the persisted one.
 		ActiveFinalMean: snap.ActiveFinalMean,
 	}
-	p.Lanes = make(map[string]LaneStats, 2)
-	for i, name := range [2]string{LaneSingle, LaneMulticore} {
+	p.Lanes = make(map[string]LaneStats, laneCount)
+	for i, name := range [laneCount]string{LaneSingle, LaneMulticore, LaneSpeculative} {
 		ls := LaneStats{
 			Jobs:   r.laneJobs[i].Load(),
 			Bytes:  r.laneBytes[i].Load(),
@@ -239,6 +349,15 @@ func (r *MachineRecorder) Profile() Profile {
 	}
 	if p.FactorCalls > 0 {
 		p.ConvergenceRate = float64(p.FactorWins) / float64(p.FactorCalls)
+	}
+	if p.SpecChunks > 0 {
+		p.MispredictRate = float64(p.SpecMispredicts) / float64(p.SpecChunks)
+	}
+	if merged := r.mergedHotStates(); len(merged) > 0 {
+		p.HotStates = make(map[string]int64, len(merged))
+		for st, n := range merged {
+			p.HotStates[strconv.Itoa(st)] = n
+		}
 	}
 	if p.ActiveFinalMean == 0 {
 		p.ActiveFinalMean = r.base.ActiveFinalMean

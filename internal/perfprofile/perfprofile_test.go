@@ -12,10 +12,10 @@ import (
 // failed job, plus runner-level counters through the aux sink.
 func observe(r *MachineRecorder) {
 	for i := 0; i < 3; i++ {
-		r.ObserveJob(false, 100, time.Millisecond, 100*time.Microsecond, false)
+		r.ObserveJob(LaneSingle, 100, time.Millisecond, 100*time.Microsecond, false)
 	}
-	r.ObserveJob(true, 1000, 2*time.Millisecond, 0, false)
-	r.ObserveJob(false, 50, 0, 0, true)
+	r.ObserveJob(LaneMulticore, 1000, 2*time.Millisecond, 0, false)
+	r.ObserveJob(LaneSingle, 50, 0, 0, true)
 	aux := r.Telemetry()
 	aux.Symbols.Add(1300)
 	aux.Shuffles.Add(2600)
@@ -149,13 +149,83 @@ func TestProfilesSortedAndInstallSemantics(t *testing.T) {
 	}
 }
 
+func TestSpeculationAndHotStates(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(dir)
+	r := s.Attach("m", "fpS", "auto")
+	r.ObserveJob(LaneSpeculative, 4096, time.Millisecond, 0, false)
+	r.ObserveSpeculation(8, 2, 1024)
+	for i := 0; i < 5; i++ {
+		r.ObserveFinal(3)
+	}
+	r.ObserveFinal(1)
+
+	p := r.Profile()
+	spec := p.Lanes[LaneSpeculative]
+	if spec.Jobs != 1 || spec.Bytes != 4096 {
+		t.Fatalf("speculative lane = %+v", spec)
+	}
+	if p.SpecChunks != 8 || p.SpecMispredicts != 2 || p.SpecReRunBytes != 1024 {
+		t.Fatalf("spec counters = %d/%d/%d", p.SpecChunks, p.SpecMispredicts, p.SpecReRunBytes)
+	}
+	if p.MispredictRate != 0.25 {
+		t.Fatalf("mispredict rate = %g, want 0.25", p.MispredictRate)
+	}
+	if p.HotStates["3"] != 5 || p.HotStates["1"] != 1 {
+		t.Fatalf("hot states = %v", p.HotStates)
+	}
+	if st, ok := r.HotState(); !ok || st != 3 {
+		t.Fatalf("HotState = %d/%v, want 3/true", st, ok)
+	}
+
+	// The whole speculative surface survives persist + reload and keeps
+	// accumulating on top of the baseline.
+	if err := s.SaveAll(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore(dir)
+	r2 := s2.Attach("m", "fpS", "auto")
+	if st, ok := r2.HotState(); !ok || st != 3 {
+		t.Fatalf("reloaded HotState = %d/%v, want 3/true", st, ok)
+	}
+	r2.ObserveSpeculation(2, 2, 0)
+	p2 := r2.Profile()
+	if p2.SpecChunks != 10 || p2.SpecMispredicts != 4 {
+		t.Fatalf("reloaded spec counters = %d/%d, want 10/4", p2.SpecChunks, p2.SpecMispredicts)
+	}
+	if p2.MispredictRate != 0.4 {
+		t.Fatalf("reloaded mispredict rate = %g, want 0.4", p2.MispredictRate)
+	}
+}
+
+func TestHotStateHistogramBounded(t *testing.T) {
+	r := NewStore("").Attach("m", "fpB", "auto")
+	for st := 0; st < 4*hotStateCap; st++ {
+		r.ObserveFinal(st)
+	}
+	// Admitted states keep counting even once the map is full.
+	r.ObserveFinal(0)
+	p := r.Profile()
+	if len(p.HotStates) != hotStateCap {
+		t.Fatalf("hot-state histogram has %d entries, want cap %d", len(p.HotStates), hotStateCap)
+	}
+	if st, ok := r.HotState(); !ok || st != 0 {
+		t.Fatalf("HotState = %d/%v, want 0/true", st, ok)
+	}
+}
+
 func TestNilSafety(t *testing.T) {
 	var s *Store
 	r := s.Attach("m", "fp", "auto")
 	if r != nil {
 		t.Fatal("nil store returned non-nil recorder")
 	}
-	r.ObserveJob(false, 1, time.Millisecond, 0, false) // must not panic
+	r.ObserveJob(LaneSingle, 1, time.Millisecond, 0, false) // must not panic
+	r.ObserveFinal(3)
+	r.ObserveSpeculation(1, 1, 1)
+	if _, ok := r.HotState(); ok {
+		t.Fatal("nil recorder reported a hot state")
+	}
 	if r.Telemetry() != nil {
 		t.Fatal("nil recorder returned non-nil telemetry")
 	}

@@ -4,9 +4,14 @@
 // of two hand-maintained struct sets.
 //
 // The API is versioned under /v1/; see cmd/fsmserve's package comment
-// for the route table. Unversioned aliases of the v1 routes remain
-// for one deprecation cycle and signal their status with a
-// `Deprecation: true` header plus a Link to the successor route.
+// for the route table. The unversioned alias routes that rode along
+// for one deprecation cycle have been removed — clients must use the
+// /v1 surface.
+//
+// Errors: every non-2xx response carries the Error envelope — a
+// human-readable message plus a stable machine-readable Code (one of
+// the Code* constants below), so clients branch on the code, not on
+// message text.
 package serverapi
 
 import (
@@ -19,9 +24,20 @@ import (
 // Version is the current API version prefix.
 const Version = "/v1"
 
-// DeprecationHeader is set to "true" on responses served from an
-// unversioned alias route.
-const DeprecationHeader = "Deprecation"
+// Stable error codes carried by Error.Code. Clients should branch on
+// these, not on HTTP status alone (504 vs 503, say, both collapse to
+// "the work did not finish" — the code says why).
+const (
+	CodeBadRequest       = "bad_request"        // malformed input, bad query param, bad start state
+	CodeNotFound         = "not_found"          // unknown machine, trace, or route
+	CodeMethodNotAllowed = "method_not_allowed" // wrong HTTP verb for the route
+	CodeConflict         = "conflict"           // duplicate machine name on register
+	CodeTooLarge         = "too_large"          // body exceeded -maxbody
+	CodeQueueFull        = "queue_full"         // engine shed the job (back off and retry)
+	CodeTimeout          = "timeout"            // the job's deadline expired
+	CodeCanceled         = "canceled"           // the client went away mid-run
+	CodeInternal         = "internal"           // anything else
+)
 
 // RunResult is the response body of POST /v1/run.
 type RunResult struct {
@@ -32,10 +48,20 @@ type RunResult struct {
 	// FirstMatch is the earliest accepting position, present only when
 	// the request asked for it (?first=1); -1 means no match.
 	FirstMatch *int `json:"first_match,omitempty"`
-	// Multicore reports which engine lane the job ran on.
-	Multicore  bool    `json:"multicore"`
-	DurationNs int64   `json:"duration_ns"`
-	MBPerS     float64 `json:"mb_per_s"`
+	// Lane is the engine lane the job ran on: "single", "multicore",
+	// or "speculative". Multicore is the legacy boolean view of the
+	// same fact (true only for the multicore lane) and is kept for
+	// wire compatibility.
+	Lane      string `json:"lane,omitempty"`
+	Multicore bool   `json:"multicore"`
+	// Strategy is the strategy that actually executed — the resolved
+	// one, never "auto". SelectionReason is the dispatch policy's
+	// stated reason for the lane choice (adaptive selection, static
+	// heuristic, or an explicit per-request override).
+	Strategy        string  `json:"strategy,omitempty"`
+	SelectionReason string  `json:"selection_reason,omitempty"`
+	DurationNs      int64   `json:"duration_ns"`
+	MBPerS          float64 `json:"mb_per_s"`
 	// TraceID is set when the request was traced (?trace=1 or an
 	// inbound traceparent header); the full span tree is retained by
 	// the flight recorder at GET /v1/traces/{id}.
@@ -49,8 +75,8 @@ type RunResult struct {
 // convergence profile. Its numbers are the exact values the hot loops
 // flushed into the aggregate telemetry for this run — not estimates.
 type Explain struct {
-	// Lane is "single" or "multicore"; LaneReason is the dispatch
-	// policy's stated reason.
+	// Lane is "single", "multicore", or "speculative"; LaneReason is
+	// the dispatch policy's stated reason.
 	Lane       string `json:"lane"`
 	LaneReason string `json:"lane_reason,omitempty"`
 	Strategy   string `json:"strategy,omitempty"`
@@ -154,6 +180,10 @@ type BatchJob struct {
 	// TimeoutMs bounds this job alone, nested inside the request
 	// context.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Strategy overrides the machine's strategy for this job alone.
+	// Empty or "auto" keeps the machine's own dispatch; a concrete
+	// name pins the job to that strategy on the single-core lane.
+	Strategy string `json:"strategy,omitempty"`
 }
 
 // BatchResult is one response line of POST /v1/batch. Results stream
@@ -162,27 +192,35 @@ type BatchJob struct {
 // unknown machine, cancellation, ...), in which case the run fields
 // are meaningless.
 type BatchResult struct {
-	Index      int       `json:"index"`
-	Machine    string    `json:"machine,omitempty"`
-	Final      fsm.State `json:"final_state"`
-	Accepts    bool      `json:"accepts"`
-	Bytes      int       `json:"bytes"`
-	Multicore  bool      `json:"multicore"`
-	DurationNs int64     `json:"duration_ns"`
-	Error      string    `json:"error,omitempty"`
+	Index   int       `json:"index"`
+	Machine string    `json:"machine,omitempty"`
+	Final   fsm.State `json:"final_state"`
+	Accepts bool      `json:"accepts"`
+	Bytes   int       `json:"bytes"`
+	// Lane is the engine lane ("single", "multicore", "speculative");
+	// Multicore is its legacy boolean view. Strategy is the resolved
+	// strategy that executed.
+	Lane       string `json:"lane,omitempty"`
+	Multicore  bool   `json:"multicore"`
+	Strategy   string `json:"strategy,omitempty"`
+	DurationNs int64  `json:"duration_ns"`
+	Error      string `json:"error,omitempty"`
 }
 
 // BatchSummary aggregates one batch; it is the payload of the final
 // NDJSON line of a /v1/batch response (wrapped in BatchTrailer).
 type BatchSummary struct {
-	Jobs       int   `json:"jobs"`
-	OK         int   `json:"ok"`
-	Errors     int   `json:"errors"`
-	Canceled   int   `json:"canceled"`
-	SingleCore int   `json:"single_core"`
-	Multicore  int   `json:"multicore"`
-	Bytes      int64 `json:"bytes"`
-	DurationNs int64 `json:"duration_ns"`
+	Jobs       int `json:"jobs"`
+	OK         int `json:"ok"`
+	Errors     int `json:"errors"`
+	Canceled   int `json:"canceled"`
+	SingleCore int `json:"single_core"`
+	Multicore  int `json:"multicore"`
+	// Speculative counts jobs the adaptive selector routed to the
+	// speculative lane.
+	Speculative int   `json:"speculative,omitempty"`
+	Bytes       int64 `json:"bytes"`
+	DurationNs  int64 `json:"duration_ns"`
 }
 
 // BatchTrailer is the last line of a /v1/batch response. Its Summary
@@ -226,12 +264,42 @@ type Status struct {
 	Machines int                   `json:"machines"`
 	Profiles []perfprofile.Profile `json:"profiles"`
 
+	// Selections is the adaptive dispatcher's current per-machine
+	// lane/strategy choice with its stated reason, sorted by machine
+	// name — the live answer to "why is this machine running the way
+	// it is".
+	Selections []MachineSelection `json:"selections,omitempty"`
+
 	// Runtime is the Go runtime's own health (GC pauses, heap,
 	// goroutines, scheduler latency).
 	Runtime telemetry.RuntimeSnapshot `json:"runtime"`
 }
 
-// Error is the JSON error body non-2xx responses carry.
+// MachineSelection is one machine's current adaptive-dispatch choice:
+// which lane large inputs take, under which strategy, and why.
+type MachineSelection struct {
+	Machine  string `json:"machine"`
+	Lane     string `json:"lane"`
+	Strategy string `json:"strategy,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// MachineProfile is the response body of GET /v1/machines/{name}/profile:
+// the machine's static identity joined with its observed performance
+// and the adaptive selector's current decision — everything the
+// selection loop sees, for one machine.
+type MachineProfile struct {
+	Machine MachineInfo `json:"machine"`
+	// Profile is the accumulated per-lane performance history; absent
+	// when the machine has never executed a job.
+	Profile *perfprofile.Profile `json:"profile,omitempty"`
+	// Selection is the current dispatch decision for large inputs.
+	Selection MachineSelection `json:"selection"`
+}
+
+// Error is the JSON error body non-2xx responses carry. Code is one
+// of the Code* constants; Error is the human-readable message.
 type Error struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }

@@ -1,9 +1,11 @@
-// Package speculative implements the speculative parallelization
-// baseline the paper positions itself against (§7, citing Luchaup et
-// al. and Klein & Wiseman): instead of enumerating all start states
-// for a chunk, *guess* one, run the chunk sequentially, and verify the
-// guess against the true end state of the previous chunk; on a
-// mismatch, re-run the chunk from the correct state.
+// Package speculative implements the speculative parallelization the
+// paper positions itself against (§7, citing Luchaup et al. and Klein
+// & Wiseman): instead of enumerating all start states for a chunk,
+// *guess* one, run the chunk sequentially, and verify the guess
+// against the true end state of the previous chunk; on a mismatch,
+// re-run the chunk from the correct state. The verification step is
+// the degenerate form of the paper's composition vectors — a vector of
+// width one, carrying only the guessed entry.
 //
 // The paper's two criticisms are reproduced here as measurable
 // behavior:
@@ -15,13 +17,23 @@
 //  2. even when speculation succeeds, per-chunk work is the plain
 //     sequential loop, so a single core gains nothing.
 //
-// Guessing policy: the most frequently reached state in a short warmup
-// prefix (a common heuristic in the literature). Verification is
-// exact, so results always match the sequential run.
+// Originally a benchmark-only baseline, the Runner now also backs the
+// engine's speculative dispatch lane: the engine updates the guess
+// live from the machine's hot-state profile (SetGuess), bounds chunk
+// sizes (SetMinChunk), and runs under a cancelable context (FinalCtx).
+// Verification is exact either way, so results always match the
+// sequential run.
+//
+// Guessing policy: New seeds the guess with the most frequently
+// reached state in a short warmup prefix (a common heuristic in the
+// literature); an attached perf profile can override it at any time
+// with the machine's observed dominant final state.
 package speculative
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 
 	"dpfsm/internal/fsm"
 )
@@ -33,11 +45,18 @@ type Stats struct {
 	ReRunBytes    int // bytes processed a second time
 }
 
-// Runner executes a machine speculatively across chunks.
+// cancelBlock is how many bytes a chunk runs between context checks
+// under FinalCtx: large enough that the check is noise against the
+// per-byte table walk, small enough that cancellation lands promptly.
+const cancelBlock = 64 << 10
+
+// Runner executes a machine speculatively across chunks. The guess is
+// atomic, so a live profiler may retarget it while jobs are running.
 type Runner struct {
-	d     *fsm.DFA
-	procs int
-	guess fsm.State
+	d        *fsm.DFA
+	procs    int
+	guess    atomic.Int64
+	minChunk int
 }
 
 // New builds a speculative runner. warmup bytes of representative
@@ -47,7 +66,8 @@ func New(d *fsm.DFA, procs int, warmup []byte) *Runner {
 	if procs < 1 {
 		procs = 1
 	}
-	r := &Runner{d: d, procs: procs, guess: d.Start()}
+	r := &Runner{d: d, procs: procs, minChunk: 1}
+	guess := d.Start()
 	if len(warmup) > 0 {
 		counts := make([]int, d.NumStates())
 		q := d.Start()
@@ -61,22 +81,51 @@ func New(d *fsm.DFA, procs int, warmup []byte) *Runner {
 				best = s
 			}
 		}
-		r.guess = fsm.State(best)
+		guess = fsm.State(best)
 	}
+	r.guess.Store(int64(guess))
 	return r
 }
 
-// Guess reports the state the runner speculates chunks start in.
-func (r *Runner) Guess() fsm.State { return r.guess }
+// Guess reports the state the runner currently speculates chunks
+// start in.
+func (r *Runner) Guess() fsm.State { return fsm.State(r.guess.Load()) }
+
+// SetGuess retargets the speculated start state. Safe to call while
+// runs are in flight: each run snapshots the guess once at entry, so
+// its phase-2 verification always checks the same state phase 1 ran
+// from.
+func (r *Runner) SetGuess(s fsm.State) { r.guess.Store(int64(s)) }
+
+// SetMinChunk sets the smallest chunk worth fanning out: inputs that
+// would split below n bytes per chunk run sequentially instead.
+// Values below 1 are treated as 1.
+func (r *Runner) SetMinChunk(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.minChunk = n
+}
 
 // Final runs the machine from start over input, speculating chunk
 // start states, and returns the exact final state plus speculation
 // statistics.
 func (r *Runner) Final(input []byte, start fsm.State) (fsm.State, Stats) {
-	if r.procs == 1 || len(input) < 2*r.procs {
-		return r.d.Run(input, start), Stats{Chunks: 1}
-	}
+	st, stats, _ := r.FinalCtx(context.Background(), input, start)
+	return st, stats
+}
+
+// FinalCtx is Final under a context: chunks poll ctx between
+// cancelBlock-sized blocks, and a canceled run returns ctx's error
+// with an undefined state. The error is nil whenever ctx never
+// expires, so Final can discard it.
+func (r *Runner) FinalCtx(ctx context.Context, input []byte, start fsm.State) (fsm.State, Stats, error) {
+	guess := r.Guess()
 	p := r.procs
+	if p == 1 || len(input) < 2*p || len(input)/p < r.minChunk {
+		st, err := r.runCtx(ctx, input, start)
+		return st, Stats{Chunks: 1}, err
+	}
 	chunks := make([][2]int, p)
 	for i := 0; i < p; i++ {
 		chunks[i] = [2]int{i * len(input) / p, (i + 1) * len(input) / p}
@@ -85,19 +134,25 @@ func (r *Runner) Final(input []byte, start fsm.State) (fsm.State, Stats) {
 	// Phase 1: chunk 0 runs from the true start; all others run from
 	// the guess, in parallel.
 	ends := make([]fsm.State, p)
+	errs := make([]error, p)
 	var wg sync.WaitGroup
 	for i := 0; i < p; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			st := r.guess
+			st := guess
 			if i == 0 {
 				st = start
 			}
-			ends[i] = r.d.Run(input[chunks[i][0]:chunks[i][1]], st)
+			ends[i], errs[i] = r.runCtx(ctx, input[chunks[i][0]:chunks[i][1]], st)
 		}(i)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return start, Stats{Chunks: p}, err
+		}
+	}
 
 	// Phase 2: verify left to right; a wrong guess forces a sequential
 	// re-run of that chunk from the corrected state, which can cascade
@@ -105,15 +160,39 @@ func (r *Runner) Final(input []byte, start fsm.State) (fsm.State, Stats) {
 	stats := Stats{Chunks: p}
 	st := ends[0]
 	for i := 1; i < p; i++ {
-		if st == r.guess {
+		if st == guess {
 			st = ends[i] // speculation hit
 			continue
 		}
 		stats.Misspeculated++
 		stats.ReRunBytes += chunks[i][1] - chunks[i][0]
-		st = r.d.Run(input[chunks[i][0]:chunks[i][1]], st)
+		var err error
+		st, err = r.runCtx(ctx, input[chunks[i][0]:chunks[i][1]], st)
+		if err != nil {
+			return start, stats, err
+		}
 	}
-	return st, stats
+	return st, stats, nil
+}
+
+// runCtx is the sequential table walk with cooperative cancellation.
+// A context that can never be canceled takes the unchecked fast path.
+func (r *Runner) runCtx(ctx context.Context, input []byte, st fsm.State) (fsm.State, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return r.d.Run(input, st), nil
+	}
+	for len(input) > 0 {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+		n := len(input)
+		if n > cancelBlock {
+			n = cancelBlock
+		}
+		st = r.d.Run(input[:n], st)
+		input = input[n:]
+	}
+	return st, ctx.Err()
 }
 
 // HitRate reports the fraction of speculated chunks whose guess held.

@@ -1,6 +1,7 @@
 package speculative
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -85,5 +86,78 @@ func TestEmptyWarmupGuessesStart(t *testing.T) {
 	r := New(d, 4, nil)
 	if r.Guess() != 2 {
 		t.Errorf("guess = %d, want start state", r.Guess())
+	}
+}
+
+func TestSetGuessRetargetsSpeculation(t *testing.T) {
+	// The absorbing machine from the convergence test: guessing the
+	// absorbing state hits, guessing anywhere else misses every chunk.
+	// SetGuess is how the engine flips between those regimes live.
+	d := fsm.MustNew(4, 2)
+	d.SetColumn(0, []fsm.State{1, 2, 3, 3})
+	d.SetColumn(1, []fsm.State{3, 3, 3, 3})
+	rng := rand.New(rand.NewSource(193))
+	in := d.RandomInput(rng, 20000)
+
+	r := New(d, 8, nil)
+	r.SetGuess(0) // state 0 is never revisited → forced mispredicts
+	got, stats := r.Final(in, d.Start())
+	if want := d.Run(in, d.Start()); got != want {
+		t.Fatalf("wrong guess changed the answer: %d want %d", got, want)
+	}
+	if stats.HitRate() > 0.2 {
+		t.Errorf("hit rate %.2f with a poisoned guess; expected near-total misses", stats.HitRate())
+	}
+	r.SetGuess(3)
+	if r.Guess() != 3 {
+		t.Fatalf("Guess() = %d after SetGuess(3)", r.Guess())
+	}
+	if _, stats := r.Final(in, d.Start()); stats.HitRate() < 0.99 {
+		t.Errorf("hit rate %.2f after retargeting to the absorbing state", stats.HitRate())
+	}
+}
+
+func TestSetMinChunkForcesSequential(t *testing.T) {
+	d := fsm.MustNew(4, 2)
+	d.SetColumn(0, []fsm.State{1, 2, 3, 3})
+	d.SetColumn(1, []fsm.State{3, 3, 3, 3})
+	rng := rand.New(rand.NewSource(194))
+	in := d.RandomInput(rng, 1000)
+	r := New(d, 8, nil)
+	r.SetMinChunk(4096) // 1000 B / 8 procs is far below the floor
+	if _, stats := r.Final(in, d.Start()); stats.Chunks != 1 {
+		t.Errorf("sub-minChunk input split into %d chunks", stats.Chunks)
+	}
+	r.SetMinChunk(0) // clamps to 1, restoring the fan-out
+	if _, stats := r.Final(in, d.Start()); stats.Chunks != 8 {
+		t.Errorf("chunks = %d after resetting minChunk, want 8", stats.Chunks)
+	}
+}
+
+func TestFinalCtxMatchesFinalAndCancels(t *testing.T) {
+	rng := rand.New(rand.NewSource(195))
+	d := fsm.Random(rng, 12, 3, 0.3)
+	in := d.RandomInput(rng, 30000)
+	r := New(d, 4, in[:500])
+
+	st, stats, err := r.FinalCtx(context.Background(), in, d.Start())
+	if err != nil {
+		t.Fatalf("background ctx errored: %v", err)
+	}
+	if want := d.Run(in, d.Start()); st != want {
+		t.Fatalf("FinalCtx = %d, want %d", st, want)
+	}
+	if stats.Chunks != 4 {
+		t.Fatalf("chunks = %d, want 4", stats.Chunks)
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := r.FinalCtx(canceled, in, d.Start()); err != context.Canceled {
+		t.Fatalf("canceled ctx: err = %v, want context.Canceled", err)
+	}
+	// Cancellation reaches the sequential fallback path too.
+	if _, _, err := r.FinalCtx(canceled, in[:3], d.Start()); err != context.Canceled {
+		t.Fatalf("canceled ctx on tiny input: err = %v, want context.Canceled", err)
 	}
 }

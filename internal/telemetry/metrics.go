@@ -59,9 +59,19 @@ type Metrics struct {
 	// Dispatch-policy split: EngineSingleCore counts jobs routed to a
 	// pool worker running the single-core strategy (batch-level
 	// parallelism); EngineMulticore counts jobs large enough for the
-	// Figure 5 phase1/phase2 split (input-level parallelism).
-	EngineSingleCore Counter
-	EngineMulticore  Counter
+	// Figure 5 phase1/phase2 split (input-level parallelism);
+	// EngineSpeculative counts jobs the adaptive selector routed to the
+	// speculative chunk-guessing lane (§7 / arXiv 1210.5093).
+	EngineSingleCore  Counter
+	EngineMulticore   Counter
+	EngineSpeculative Counter
+	// Speculative-lane efficacy: chunks executed from a guessed start
+	// state, guesses that turned out wrong, and bytes re-run scalar
+	// after a mispredict. Mispredicts/SpecChunks is the live mispredict
+	// rate the adaptive selector feeds back on.
+	SpecChunks      Counter
+	SpecMispredicts Counter
+	SpecReRunBytes  Counter
 	// EngineQueueDepth is the current bounded-queue occupancy;
 	// EngineQueueHighWater is the deepest backlog ever observed. Depth
 	// is the live backpressure signal (how close to shedding right
@@ -143,16 +153,23 @@ type Snapshot struct {
 	Phase3        PhaseSnapshot `json:"phase3"`
 	Phase3Skips   int64         `json:"phase3_skips"`
 
-	EngineJobs           int64 `json:"engine_jobs"`
-	EngineJobErrors      int64 `json:"engine_job_errors"`
-	EngineCanceled       int64 `json:"engine_canceled"`
-	EngineBatches        int64 `json:"engine_batches"`
-	EngineSingleCore     int64 `json:"engine_single_core"`
-	EngineMulticore      int64 `json:"engine_multicore"`
-	EngineQueueDepth     int64 `json:"engine_queue_depth"`
-	EngineQueueHighWater int64 `json:"engine_queue_high_water"`
-	EngineQueueRejects   int64 `json:"engine_queue_rejects"`
-	EngineJobBytesP50    int64 `json:"engine_job_bytes_p50"`
+	EngineJobs        int64 `json:"engine_jobs"`
+	EngineJobErrors   int64 `json:"engine_job_errors"`
+	EngineCanceled    int64 `json:"engine_canceled"`
+	EngineBatches     int64 `json:"engine_batches"`
+	EngineSingleCore  int64 `json:"engine_single_core"`
+	EngineMulticore   int64 `json:"engine_multicore"`
+	EngineSpeculative int64 `json:"engine_speculative"`
+	SpecChunks        int64 `json:"spec_chunks"`
+	SpecMispredicts   int64 `json:"spec_mispredicts"`
+	SpecReRunBytes    int64 `json:"spec_rerun_bytes"`
+	// SpecMispredictRate is SpecMispredicts/SpecChunks; 0 before any
+	// speculative chunk ran.
+	SpecMispredictRate   float64 `json:"spec_mispredict_rate"`
+	EngineQueueDepth     int64   `json:"engine_queue_depth"`
+	EngineQueueHighWater int64   `json:"engine_queue_high_water"`
+	EngineQueueRejects   int64   `json:"engine_queue_rejects"`
+	EngineJobBytesP50    int64   `json:"engine_job_bytes_p50"`
 
 	EngineJobTime PhaseSnapshot `json:"engine_job_time"`
 	// Sliding-window job latency (exact order statistics over the most
@@ -203,6 +220,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		EngineBatches:        m.EngineBatches.Load(),
 		EngineSingleCore:     m.EngineSingleCore.Load(),
 		EngineMulticore:      m.EngineMulticore.Load(),
+		EngineSpeculative:    m.EngineSpeculative.Load(),
+		SpecChunks:           m.SpecChunks.Load(),
+		SpecMispredicts:      m.SpecMispredicts.Load(),
+		SpecReRunBytes:       m.SpecReRunBytes.Load(),
 		EngineQueueDepth:     m.EngineQueueDepth.Load(),
 		EngineQueueHighWater: m.EngineQueueHighWater.Load(),
 		EngineQueueRejects:   m.EngineQueueRejects.Load(),
@@ -221,6 +242,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	if lookups := s.PlanCacheHits + s.PlanCacheMisses; lookups > 0 {
 		s.PlanCacheHitRate = float64(s.PlanCacheHits) / float64(lookups)
+	}
+	if s.SpecChunks > 0 {
+		s.SpecMispredictRate = float64(s.SpecMispredicts) / float64(s.SpecChunks)
 	}
 	return s
 }
