@@ -11,7 +11,7 @@
 //	fsmbench -experiment all             # every figure (not the sustained load run)
 //	fsmbench -experiment fig13 -corpus 269 -mb 4
 //	fsmbench -experiment sustained -duration 30s -rps 500   # serving-path trajectory point
-//	fsmbench -compare BENCH_PR6.json new.json               # regression gate (>15% throughput drop fails)
+//	fsmbench -compare BENCH_PR8.json new.json               # regression gate (-compare-threshold, default >15% throughput drop fails)
 //
 // All workloads are generated deterministically from -seed; see
 // internal/workload for the substitutions standing in for the paper's
@@ -45,10 +45,11 @@ type options struct {
 	traceTop   int    // how many slowest traces -trace-out keeps
 
 	// Sustained-load experiment knobs.
-	duration time.Duration // open-loop generator wall-clock duration
-	rps      int           // offered request rate
-	benchOut string        // sustained report destination ("" = off)
-	compare  string        // old report path; with a positional new path, diff and gate
+	duration         time.Duration // open-loop generator wall-clock duration
+	rps              int           // offered request rate
+	benchOut         string        // sustained report destination ("" = off)
+	compare          string        // old report path; with a positional new path, diff and gate
+	compareThreshold float64       // throughput-drop fraction the gate tolerates
 }
 
 func main() {
@@ -70,9 +71,11 @@ func main() {
 			strings.Join(core.Strategies(), " ")+" (default: the full matrix)")
 	flag.DurationVar(&opt.duration, "duration", 10*time.Second, "sustained experiment: open-loop generator duration")
 	flag.IntVar(&opt.rps, "rps", 500, "sustained experiment: offered request rate per second")
-	flag.StringVar(&opt.benchOut, "bench-out", "BENCH_PR6.json", "sustained experiment: report destination (\"\" disables the write)")
+	flag.StringVar(&opt.benchOut, "bench-out", "BENCH_PR8.json", "sustained experiment: report destination (\"\" disables the write)")
 	flag.StringVar(&opt.compare, "compare", "",
-		"compare OLD (this flag) against NEW (first positional arg): exit nonzero on >15% throughput regression, e.g. fsmbench -compare old.json new.json")
+		"compare OLD (this flag) against NEW (first positional arg): exit nonzero on a throughput regression past -compare-threshold, e.g. fsmbench -compare old.json new.json")
+	flag.Float64Var(&opt.compareThreshold, "compare-threshold", regressionGate,
+		"throughput-drop fraction -compare tolerates before failing (0.25 = fail on >25% drops)")
 	flag.Parse()
 
 	// Comparator mode: `fsmbench -compare old.json new.json` diffs two
@@ -83,7 +86,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "usage: fsmbench -compare old.json new.json")
 			os.Exit(2)
 		}
-		if err := compareReports(opt.compare, newPath, regressionGate); err != nil {
+		if opt.compareThreshold <= 0 || opt.compareThreshold >= 1 {
+			fmt.Fprintln(os.Stderr, "-compare-threshold: want a fraction in (0,1)")
+			os.Exit(2)
+		}
+		if err := compareReports(opt.compare, newPath, opt.compareThreshold); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

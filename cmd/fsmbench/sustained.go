@@ -23,18 +23,20 @@ import (
 // matters: a closed loop slows its offered load down when the system
 // slows down, hiding saturation; an open loop keeps offering, so
 // queueing, shedding, and tail latency become visible. The result is a
-// schema-versioned JSON report (BENCH_PR6.json at the repo root is the
+// schema-versioned JSON report (BENCH_PR8.json at the repo root is the
 // committed trajectory point) that `fsmbench -compare` diffs across
-// commits.
+// commits, at -compare-threshold tolerance.
 
 // benchSchemaVersion versions the sustained-report JSON; the
 // comparator refuses to diff reports whose schemas it does not
 // understand.
 const benchSchemaVersion = 1
 
-// regressionGate is the throughput-drop fraction beyond which
+// regressionGate is the default throughput-drop fraction beyond which
 // `fsmbench -compare` fails: 15%, wide enough to absorb shared-runner
 // noise, tight enough to catch a real serving-path regression.
+// -compare-threshold overrides it (CI's same-runner two-pass gate
+// runs at 25%).
 const regressionGate = 0.15
 
 // sustainedMachine is one machine's row in the report: per-strategy

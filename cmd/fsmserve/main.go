@@ -31,15 +31,21 @@
 //	GET  /v1/metrics                               Prometheus text format (FSM + runtime/metrics series)
 //	GET  /v1/traces[?machine=NAME&min_ms=N]        flight recorder: recent request traces
 //	GET  /v1/traces/{id}                           one retained trace's full span tree
+//	GET  /v1/slo                                   SLO report: objectives, multi-window burn rates, verdict
 //	GET  /debug/vars                               expvar (includes "dpfsm")
 //	GET  /debug/pprof/*                            net/http/pprof
 //	GET  /healthz                                  liveness probe
+//	GET  /readyz                                   readiness probe: 503 while starting, draining, or SLO-burning
 //
 // Tracing: a request is traced when it asks (?trace=1) or carries a
 // W3C traceparent header (honored, so fsmserve joins the caller's
 // distributed trace). Traced responses carry an X-Trace-Id header;
 // traced runs add an inline `explain` block, and completed traces are
 // retained by an in-memory flight recorder (-trace-buf capacity).
+// With -trace-sample N, every run/batch request is traced and a
+// sampler decides retention: N head samples per second plus every
+// slow, erroring, shed, or mispredicted trace. Retained traces also
+// ship to the -otlp-endpoint collector when one is configured.
 //
 // Usage:
 //
@@ -72,15 +78,18 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"dpfsm/internal/core"
 	"dpfsm/internal/engine"
 	"dpfsm/internal/fsm"
+	"dpfsm/internal/otlp"
 	"dpfsm/internal/perfprofile"
 	"dpfsm/internal/regex"
 	"dpfsm/internal/serverapi"
+	"dpfsm/internal/slo"
 	"dpfsm/internal/telemetry"
 	"dpfsm/internal/trace"
 )
@@ -107,6 +116,21 @@ type server struct {
 	maxBody  int64
 	log      *slog.Logger
 	recorder *trace.Recorder
+	// sampler, when set, turns on always-on tracing with sampled
+	// retention: every traceable request is traced, and the sampler
+	// decides at completion which traces survive to the recorder and
+	// the exporter. Nil preserves opt-in-only tracing.
+	sampler *trace.Sampler
+	// exporter, when set, ships retained traces and periodic telemetry
+	// snapshots to an OTLP collector. Nil disables export.
+	exporter *otlp.Exporter
+	// slo tracks request outcomes at the HTTP boundary for /v1/slo and
+	// the /readyz burn-rate gate.
+	slo *slo.Tracker
+	// ready and draining drive /readyz: unready until main finishes
+	// startup, unready again once graceful shutdown begins.
+	ready    atomic.Bool
+	draining atomic.Bool
 }
 
 // machineMeta is the registry's per-machine bookkeeping.
@@ -141,10 +165,12 @@ func newServer(patterns []string, strategy core.Strategy, procs int, maxBody int
 		profiles: perfprofile.NewStore(planDir),
 		started:  time.Now(),
 		maxBody:  maxBody,
-		// main swaps in the configured logger and recorder; the
-		// defaults keep tests and embedders quiet but functional.
+		// main swaps in the configured logger, recorder, and SLO
+		// tracker; the defaults keep tests and embedders quiet but
+		// functional.
 		log:      slog.New(slog.NewTextHandler(io.Discard, nil)),
 		recorder: trace.NewRecorder(0),
+		slo:      slo.New(slo.Config{}),
 	}
 	s.engine = engine.New(
 		engine.WithProcs(procs),
@@ -839,8 +865,15 @@ func (s *server) mux() *http.ServeMux {
 	// The metrics exposition concatenates the FSM families with the
 	// curated runtime/metrics bridge (GC pauses, heap, goroutines,
 	// scheduler latency) — one scrape, both layers.
-	metricsHandler := func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	metricsHandler := func(w http.ResponseWriter, req *http.Request) {
+		// OpenMetrics negotiation: exemplars on the latency histogram
+		// are part of both formats here, but an OpenMetrics scraper
+		// (Prometheus with exemplar storage) asks for them explicitly.
+		ct := "text/plain; version=0.0.4; charset=utf-8"
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			ct = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+		}
+		w.Header().Set("Content-Type", ct)
 		s.metrics.WritePrometheus(w)
 		telemetry.WriteRuntimePrometheus(w)
 	}
@@ -856,6 +889,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.Handle(serverapi.Version+"/metrics", s.instrument(serverapi.Version+"/metrics", false, http.HandlerFunc(metricsHandler)))
 	mux.HandleFunc(serverapi.Version+"/traces", s.instrument(serverapi.Version+"/traces", false, s.handleTraces))
 	mux.HandleFunc(serverapi.Version+"/traces/", s.instrument(serverapi.Version+"/traces/{id}", false, s.handleTraceByID))
+	mux.HandleFunc(serverapi.Version+"/slo", s.instrument(serverapi.Version+"/slo", false, s.handleSLO))
 
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -863,9 +897,13 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	// Probes stay uninstrumented: they run every few seconds per
+	// prober, and their outcomes are probe contracts, not traffic the
+	// access log or the SLO should count.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/readyz", s.handleReady)
 	return mux
 }
 
@@ -908,6 +946,12 @@ func main() {
 		perfSave        = flag.Duration("perf-save-interval", 30*time.Second, "how often per-machine perf profiles are persisted to -plan-cache-dir (0 disables the periodic save; shutdown always flushes)")
 		logFormat       = flag.String("log-format", "text", `log output format: "text" or "json"`)
 		traceBuf        = flag.Int("trace-buf", trace.DefaultRecorderCapacity, "flight-recorder capacity: completed request traces retained for /v1/traces")
+		traceSample     = flag.Float64("trace-sample", 0, "head-sample rate in traces/second: trace every request, retain this many representative ones per second plus all slow/error/shed/mispredict tails (0 = trace only on request)")
+		traceSlow       = flag.Duration("trace-slow", trace.DefaultSlowThreshold, "duration at or above which a sampled trace is always retained")
+		otlpEndpoint    = flag.String("otlp-endpoint", "", "OTLP/HTTP collector base URL (e.g. http://localhost:4318); empty disables export")
+		otlpInterval    = flag.Duration("otlp-interval", otlp.DefaultInterval, "OTLP metrics-push and trace-flush interval")
+		sloAvail        = flag.Float64("slo-availability", slo.DefaultAvailabilityTarget, "availability objective: target fraction of requests neither shed nor erroring")
+		sloLatency      = flag.Duration("slo-latency-threshold", slo.DefaultLatencyThreshold, "latency objective threshold: completed requests at or over this count against the latency SLO")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown deadline on SIGINT/SIGTERM")
 	)
 	flag.Parse()
@@ -945,6 +989,29 @@ func main() {
 	}
 	srv.log = logger
 	srv.recorder = trace.NewRecorder(*traceBuf)
+	srv.slo = slo.New(slo.Config{
+		AvailabilityTarget: *sloAvail,
+		LatencyThreshold:   *sloLatency,
+	})
+	if *traceSample > 0 {
+		srv.sampler = trace.NewSampler(trace.SamplerConfig{
+			HeadPerSec:    *traceSample,
+			SlowThreshold: *traceSlow,
+			KeepAttrs:     []string{engine.AttrMispredict},
+		})
+	}
+	if *otlpEndpoint != "" {
+		srv.exporter, err = otlp.New(otlp.Config{
+			Endpoint:    *otlpEndpoint,
+			ServiceName: "fsmserve",
+			Snapshot:    srv.metrics.Snapshot,
+			Interval:    *otlpInterval,
+		})
+		if err != nil {
+			fatal("bad -otlp-endpoint", err)
+		}
+		logger.Info("otlp export enabled", "endpoint", *otlpEndpoint, "interval", *otlpInterval)
+	}
 	for _, name := range srv.order {
 		m := srv.engine.Machine(name)
 		stats := m.DFA().Stats()
@@ -981,6 +1048,7 @@ func main() {
 	go srv.saveProfilesLoop(ctx.Done(), *perfSave)
 	listenErr := make(chan error, 1)
 	go func() { listenErr <- httpSrv.ListenAndServe() }()
+	srv.markReady()
 	logger.Info("serving",
 		"addr", *addr,
 		"routes", serverapi.Version+"/{run,batch,machines,snapshot,metrics,traces}",
@@ -997,6 +1065,9 @@ func main() {
 	// second signal kills the process the usual way (stop() above
 	// restored the default handler).
 	stop()
+	// Flip /readyz first: the load balancer stops sending new traffic
+	// while the listener finishes what is already in flight.
+	srv.beginDrain()
 	logger.Info("shutting down", "deadline", *shutdownTimeout)
 	sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
@@ -1005,6 +1076,11 @@ func main() {
 	}
 	if err := srv.engine.Shutdown(sctx); err != nil {
 		logger.Error("engine shutdown", "err", err)
+	}
+	// The exporter drains last so traces recorded during the HTTP and
+	// engine drains still ship.
+	if err := srv.exporter.Shutdown(sctx); err != nil {
+		logger.Error("otlp shutdown", "err", err)
 	}
 	if err := srv.profiles.SaveAll(); err != nil {
 		logger.Error("persisting perf profiles", "err", err)

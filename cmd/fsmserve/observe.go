@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"dpfsm/internal/serverapi"
+)
+
+// The export-and-health half of the observability surface. /healthz
+// stays a bare liveness probe — "the process responds" — while
+// /readyz answers the load balancer's actual question: "should this
+// instance receive traffic right now". The two diverge in exactly
+// three situations, each with a machine-readable reason:
+//
+//	starting       the registry has not finished loading
+//	draining       graceful shutdown began; in-flights are finishing
+//	slo_fast_burn  the availability SLO is burning its error budget
+//	               past the fast-burn threshold in both windows
+//
+// /v1/slo exposes the full multi-window burn-rate report behind that
+// last reason, so an operator paged by an unready probe can see which
+// window tripped and how bad the burn is.
+
+// markReady flips the server into the traffic-accepting state; main
+// calls it once the registry is loaded and the listener is up.
+func (s *server) markReady() { s.ready.Store(true) }
+
+// beginDrain marks the start of graceful shutdown, so /readyz turns
+// the load balancer away while in-flight requests finish.
+func (s *server) beginDrain() { s.draining.Store(true) }
+
+// handleReady is GET /readyz: 200 when the instance should receive
+// traffic, 503 with the reasons when not. It bypasses writeError —
+// readiness is a probe contract, not an API error.
+func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	var reasons []string
+	if !s.ready.Load() {
+		reasons = append(reasons, "starting")
+	}
+	if s.draining.Load() {
+		reasons = append(reasons, "draining")
+	}
+	if s.slo.BurnExceeded() {
+		reasons = append(reasons, "slo_fast_burn")
+	}
+	rd := serverapi.Readiness{Ready: len(reasons) == 0, Reasons: reasons}
+	w.Header().Set("Content-Type", "application/json")
+	if !rd.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(rd)
+}
+
+// handleSLO is GET /v1/slo: the configured objectives, both burn
+// windows, and the current verdict.
+func (s *server) handleSLO(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET /v1/slo")
+		return
+	}
+	writeJSON(w, s.slo.Report())
+}

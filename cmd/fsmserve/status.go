@@ -69,6 +69,19 @@ func (s *server) status() serverapi.Status {
 	if offered := snap.EngineJobs + snap.EngineQueueRejects; offered > 0 {
 		st.ShedRate = float64(snap.EngineQueueRejects) / float64(offered)
 	}
+	// The export half of the observability stack, present only when
+	// sampling or OTLP export is switched on.
+	if s.sampler != nil || s.exporter != nil {
+		st.Observability = &serverapi.Observability{}
+		if s.sampler != nil {
+			ss := s.sampler.Stats()
+			st.Observability.Sampler = &ss
+		}
+		if s.exporter != nil {
+			es := s.exporter.Stats()
+			st.Observability.Exporter = &es
+		}
+	}
 	return st
 }
 

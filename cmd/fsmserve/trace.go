@@ -53,15 +53,20 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// instrument wraps a route handler with the access log and, when
-// traceable, request-scoped tracing: it opens (or continues) the
-// trace, exposes its ID in the X-Trace-Id response header, and records
-// the finished trace into the flight recorder.
+// instrument wraps a route handler with the access log, the SLO
+// tracker, and — when traceable — request-scoped tracing: it opens
+// (or continues) the trace, exposes its ID in the X-Trace-Id response
+// header, and records the finished trace into the flight recorder and
+// the OTLP exporter. A request the caller explicitly traced (?trace=1
+// or traceparent) is always retained; when a sampler is configured,
+// every other traceable request is traced too and the sampler decides
+// retention at completion, when duration/status/attrs exist.
 func (s *server) instrument(route string, traceable bool, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
 		t0 := time.Now()
 		var tr *trace.Trace
-		if traceable && wantsTrace(req) {
+		explicit := wantsTrace(req)
+		if traceable && (explicit || s.sampler != nil) {
 			tr = trace.FromParent(req.Header.Get("traceparent"))
 			tr.SetName(req.Method + " " + route)
 			tr.SetAttrs(
@@ -77,16 +82,21 @@ func (s *server) instrument(route string, traceable bool, h http.HandlerFunc) ht
 		if status == 0 {
 			status = http.StatusOK
 		}
+		dur := time.Since(t0)
 		if tr != nil {
 			tr.SetAttrs(trace.Int("status", int64(status)))
 			tr.Finish()
-			s.recorder.Record(tr)
+			if explicit || s.sampler.Sample(tr, status).Keep {
+				s.recorder.Record(tr)
+				s.exporter.Record(tr)
+			}
 		}
+		s.slo.Observe(status, dur)
 		s.log.Info("request",
 			"method", req.Method,
 			"route", route,
 			"status", status,
-			"duration_ms", float64(time.Since(t0).Nanoseconds())/1e6,
+			"duration_ms", float64(dur.Nanoseconds())/1e6,
 			"trace_id", tr.ID(),
 		)
 	}

@@ -59,6 +59,10 @@ const (
 	AttrLane       = "lane"        // "single" | "multicore" | "speculative"
 	AttrLaneReason = "lane_reason" // why the dispatch policy chose it
 	AttrStrategy   = "strategy"    // the strategy the job ran under
+	// AttrMispredict is set true on the exec span when the speculative
+	// lane's start-state guess was wrong for at least one chunk — the
+	// tail-sampling keep signal for mispredicted requests.
+	AttrMispredict = "mispredict"
 )
 
 // Lane names, re-exported from perfprofile so engine callers need not
@@ -1024,12 +1028,21 @@ func (e *Engine) execWait(ctx context.Context, idx int, job Job, queueWait time.
 		}
 	})
 	res.Duration = time.Since(t0)
+	// Exemplar: link this job's latency bucket to its trace, so the
+	// histogram panel joins to the flight recorder. Traced jobs only —
+	// an exemplar without a retrievable trace points nowhere.
+	if tm := e.tel; tm != nil && tr != nil {
+		tm.EngineJobExemplars.Observe(int64(res.Duration), tr.ID(), time.Now().UnixNano())
+	}
 	if res.Lane == LaneSpeculative && specStats.Chunks > 0 {
 		m.rec.ObserveSpeculation(int64(specStats.Chunks), int64(specStats.Misspeculated), int64(specStats.ReRunBytes))
 		if tm := e.tel; tm != nil {
 			tm.SpecChunks.Add(int64(specStats.Chunks))
 			tm.SpecMispredicts.Add(int64(specStats.Misspeculated))
 			tm.SpecReRunBytes.Add(int64(specStats.ReRunBytes))
+		}
+		if specStats.Misspeculated > 0 && sp != nil {
+			sp.SetAttrs(trace.Bool(AttrMispredict, true))
 		}
 	}
 	if err != nil {

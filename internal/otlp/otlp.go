@@ -1,0 +1,340 @@
+// Package otlp ships the runtime's traces and telemetry snapshots to
+// any OpenTelemetry collector over OTLP/HTTP JSON — the push half of
+// the observability stack, next to the pull surfaces (/v1/metrics
+// scrape, /v1/traces flight recorder). It is deliberately
+// dependency-free: the OTLP JSON encoding is small enough to write by
+// hand (see convert.go), and a standards-shaped wire format is worth
+// far more than a vendored SDK.
+//
+// Operational design, in order:
+//
+//  1. Never block the request path. Record is a non-blocking send
+//     into a bounded queue; when the collector is slow or down the
+//     queue fills and further traces are dropped and counted, not
+//     buffered without bound and not awaited.
+//
+//  2. Batch. Traces are flushed when a batch fills or on the metrics
+//     interval, whichever comes first, so a quiet service still
+//     exports promptly and a busy one amortizes HTTP overhead.
+//
+//  3. Retry transient failures with exponential backoff (network
+//     errors, 429, 5xx), give up after MaxRetries and count the loss.
+//     4xx responses other than 429 are permanent — retrying a payload
+//     the collector rejects is a loop, not a recovery — so they are
+//     dropped immediately.
+//
+//  4. Flush on shutdown. Shutdown stops intake, drains whatever the
+//     queue holds, pushes a final metrics snapshot, and respects the
+//     caller's context deadline.
+package otlp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpfsm/internal/telemetry"
+	"dpfsm/internal/trace"
+)
+
+// Defaults.
+const (
+	DefaultInterval   = 10 * time.Second
+	DefaultBatchSize  = 64
+	DefaultQueueSize  = 1024
+	DefaultTimeout    = 5 * time.Second
+	DefaultMaxRetries = 3
+	DefaultRetryBase  = 250 * time.Millisecond
+)
+
+// Config configures an Exporter.
+type Config struct {
+	// Endpoint is the collector's OTLP/HTTP base URL, e.g.
+	// "http://localhost:4318". The exporter POSTs to
+	// {Endpoint}/v1/traces and {Endpoint}/v1/metrics.
+	Endpoint string
+	// ServiceName becomes the resource's service.name attribute.
+	ServiceName string
+	// Snapshot supplies the telemetry snapshot pushed every Interval;
+	// nil disables the metrics feed (traces still flow).
+	Snapshot func() telemetry.Snapshot
+	// Interval is the metrics-push and trace-flush tick.
+	Interval time.Duration
+	// BatchSize flushes the trace queue early once this many traces
+	// are pending. QueueSize bounds the intake queue; a full queue
+	// drops (and counts) new traces.
+	BatchSize int
+	QueueSize int
+	// Timeout bounds each HTTP request; MaxRetries and RetryBase
+	// shape the exponential backoff on transient failures.
+	Timeout    time.Duration
+	MaxRetries int
+	RetryBase  time.Duration
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.ServiceName == "" {
+		c.ServiceName = "dpfsm"
+	}
+	if c.Interval <= 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = DefaultQueueSize
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = DefaultMaxRetries
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = DefaultRetryBase
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// Stats counts the exporter's work and losses, for the status surface.
+type Stats struct {
+	TracesExported int64  `json:"traces_exported"`
+	SpansExported  int64  `json:"spans_exported"`
+	MetricPushes   int64  `json:"metric_pushes"`
+	TracesDropped  int64  `json:"traces_dropped"`
+	SendFailures   int64  `json:"send_failures"`
+	Retries        int64  `json:"retries"`
+	QueueDepth     int64  `json:"queue_depth"`
+	Endpoint       string `json:"endpoint"`
+}
+
+// Exporter is the background OTLP shipper. Construct with New, feed
+// it traces via Record (it implements trace.Sink), stop it with
+// Shutdown. A nil *Exporter is inert, so callers can wire it
+// unconditionally behind an off-by-default flag.
+type Exporter struct {
+	cfg   Config
+	queue chan *trace.Trace
+	start time.Time // cumulative-sum start time for OTLP sums
+
+	tracesExported atomic.Int64
+	spansExported  atomic.Int64
+	metricPushes   atomic.Int64
+	tracesDropped  atomic.Int64
+	sendFailures   atomic.Int64
+	retries        atomic.Int64
+
+	stopOnce sync.Once
+	stop     chan struct{} // closed by Shutdown: stop intake
+	done     chan struct{} // closed by the worker when drained
+}
+
+// New validates cfg and starts the export worker.
+func New(cfg Config) (*Exporter, error) {
+	u, err := url.Parse(cfg.Endpoint)
+	if err != nil || u.Scheme == "" || u.Host == "" || (u.Scheme != "http" && u.Scheme != "https") {
+		return nil, fmt.Errorf("otlp: invalid endpoint %q (want http(s)://host[:port])", cfg.Endpoint)
+	}
+	cfg.Endpoint = strings.TrimRight(cfg.Endpoint, "/")
+	cfg = cfg.withDefaults()
+	e := &Exporter{
+		cfg:   cfg,
+		queue: make(chan *trace.Trace, cfg.QueueSize),
+		start: time.Now(),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go e.run()
+	return e, nil
+}
+
+// Record enqueues a finished trace for export without blocking; when
+// the queue is full the trace is dropped and counted. Implements
+// trace.Sink. Nil-safe on both receiver and argument.
+func (e *Exporter) Record(t *trace.Trace) {
+	if e == nil || t == nil {
+		return
+	}
+	select {
+	case <-e.stop:
+		e.tracesDropped.Add(1)
+	default:
+		select {
+		case e.queue <- t:
+		default:
+			e.tracesDropped.Add(1)
+		}
+	}
+}
+
+// Stats returns the exporter's counters. Nil-safe.
+func (e *Exporter) Stats() Stats {
+	if e == nil {
+		return Stats{}
+	}
+	return Stats{
+		TracesExported: e.tracesExported.Load(),
+		SpansExported:  e.spansExported.Load(),
+		MetricPushes:   e.metricPushes.Load(),
+		TracesDropped:  e.tracesDropped.Load(),
+		SendFailures:   e.sendFailures.Load(),
+		Retries:        e.retries.Load(),
+		QueueDepth:     int64(len(e.queue)),
+		Endpoint:       e.cfg.Endpoint,
+	}
+}
+
+// Shutdown stops intake, drains the queue, pushes a final metrics
+// snapshot, and returns when done or when ctx expires. Nil-safe and
+// idempotent.
+func (e *Exporter) Shutdown(ctx context.Context) error {
+	if e == nil {
+		return nil
+	}
+	e.stopOnce.Do(func() { close(e.stop) })
+	select {
+	case <-e.done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("otlp: shutdown flush incomplete: %w", ctx.Err())
+	}
+}
+
+// run is the export worker: batch traces, flush on size or tick, push
+// metrics on tick, drain on stop.
+func (e *Exporter) run() {
+	defer close(e.done)
+	tick := time.NewTicker(e.cfg.Interval)
+	defer tick.Stop()
+	var batch []*trace.Trace
+	for {
+		select {
+		case t := <-e.queue:
+			batch = append(batch, t)
+			if len(batch) >= e.cfg.BatchSize {
+				e.flushTraces(batch)
+				batch = nil
+			}
+		case <-tick.C:
+			if len(batch) > 0 {
+				e.flushTraces(batch)
+				batch = nil
+			}
+			e.pushMetrics()
+		case <-e.stop:
+			// Drain: everything queued before stop, then the final
+			// metrics snapshot.
+			for {
+				select {
+				case t := <-e.queue:
+					batch = append(batch, t)
+					if len(batch) >= e.cfg.BatchSize {
+						e.flushTraces(batch)
+						batch = nil
+					}
+					continue
+				default:
+				}
+				break
+			}
+			if len(batch) > 0 {
+				e.flushTraces(batch)
+			}
+			e.pushMetrics()
+			return
+		}
+	}
+}
+
+func (e *Exporter) flushTraces(batch []*trace.Trace) {
+	payload := tracesPayload(e.cfg.ServiceName, batch)
+	spans := 0
+	for _, t := range batch {
+		spans += 1 + len(t.Spans())
+	}
+	if e.post("/v1/traces", payload) {
+		e.tracesExported.Add(int64(len(batch)))
+		e.spansExported.Add(int64(spans))
+	}
+}
+
+func (e *Exporter) pushMetrics() {
+	if e.cfg.Snapshot == nil {
+		return
+	}
+	payload := metricsPayload(e.cfg.ServiceName, e.cfg.Snapshot(), e.start, time.Now())
+	if e.post("/v1/metrics", payload) {
+		e.metricPushes.Add(1)
+	}
+}
+
+// post sends one OTLP JSON document, retrying transient failures with
+// exponential backoff. Returns whether the document was accepted.
+func (e *Exporter) post(path string, payload any) bool {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		e.sendFailures.Add(1)
+		return false
+	}
+	for attempt := 0; ; attempt++ {
+		transient, err := e.postOnce(path, body)
+		if err == nil {
+			return true
+		}
+		if !transient || attempt >= e.cfg.MaxRetries {
+			e.sendFailures.Add(1)
+			return false
+		}
+		e.retries.Add(1)
+		backoff := e.cfg.RetryBase << uint(attempt)
+		select {
+		case <-time.After(backoff):
+		case <-e.stop:
+			// Shutting down: one final immediate attempt each, no
+			// more waiting.
+			if _, err := e.postOnce(path, body); err == nil {
+				return true
+			}
+			e.sendFailures.Add(1)
+			return false
+		}
+	}
+}
+
+// postOnce performs one HTTP POST; the bool reports whether a failure
+// is worth retrying.
+func (e *Exporter) postOnce(path string, body []byte) (transient bool, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), e.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, e.cfg.Endpoint+path, bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := e.cfg.Client.Do(req)
+	if err != nil {
+		return true, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		return false, nil
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+		return true, fmt.Errorf("otlp: collector returned %s", resp.Status)
+	default:
+		return false, fmt.Errorf("otlp: collector rejected payload: %s", resp.Status)
+	}
+}

@@ -1,0 +1,451 @@
+package otlp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+
+	"dpfsm/internal/telemetry"
+	"dpfsm/internal/trace"
+)
+
+// collector is the in-test OTLP collector stub: it records every
+// payload POSTed to /v1/traces and /v1/metrics, optionally failing
+// the first N requests to exercise the retry path.
+type collector struct {
+	mu       sync.Mutex
+	traces   []tracesDoc
+	metrics  []metricsDoc
+	failures int // fail this many requests with 503 before accepting
+	requests int
+	srv      *httptest.Server
+}
+
+func newCollector(t *testing.T) *collector {
+	t.Helper()
+	c := &collector{}
+	c.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		body, err := io.ReadAll(req.Body)
+		if err != nil {
+			t.Errorf("collector read: %v", err)
+		}
+		if ct := req.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("content type %q", ct)
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.requests++
+		if c.failures > 0 {
+			c.failures--
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		switch req.URL.Path {
+		case "/v1/traces":
+			var doc tracesDoc
+			if err := json.Unmarshal(body, &doc); err != nil {
+				t.Errorf("traces payload: %v", err)
+			}
+			c.traces = append(c.traces, doc)
+		case "/v1/metrics":
+			var doc metricsDoc
+			if err := json.Unmarshal(body, &doc); err != nil {
+				t.Errorf("metrics payload: %v", err)
+			}
+			c.metrics = append(c.metrics, doc)
+		default:
+			t.Errorf("unexpected path %s", req.URL.Path)
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(c.srv.Close)
+	return c
+}
+
+func (c *collector) traceDocs() []tracesDoc {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]tracesDoc(nil), c.traces...)
+}
+
+func (c *collector) metricDocs() []metricsDoc {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]metricsDoc(nil), c.metrics...)
+}
+
+func (c *collector) spans() []otlpSpan {
+	var out []otlpSpan
+	for _, doc := range c.traceDocs() {
+		for _, rs := range doc.ResourceSpans {
+			for _, ss := range rs.ScopeSpans {
+				out = append(out, ss.Spans...)
+			}
+		}
+	}
+	return out
+}
+
+func finishedTrace(name string, attrs ...trace.Attr) *trace.Trace {
+	t := trace.New()
+	t.SetName(name)
+	t.SetAttrs(attrs...)
+	sp := t.StartSpan("engine.exec")
+	child := sp.Child("phase1")
+	child.SetAttrs(trace.Int("chunk", 3))
+	child.End()
+	sp.End()
+	t.Finish()
+	return t
+}
+
+var (
+	hex32 = regexp.MustCompile(`^[0-9a-f]{32}$`)
+	hex16 = regexp.MustCompile(`^[0-9a-f]{16}$`)
+)
+
+func TestExporterShipsWellFormedTraces(t *testing.T) {
+	c := newCollector(t)
+	e, err := New(Config{Endpoint: c.srv.URL, ServiceName: "fsmserve-test", BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := finishedTrace("POST /v1/run", trace.Str("machine", "div3"), trace.Int("bytes", 4096))
+	tr2 := finishedTrace("POST /v1/run")
+	e.Record(tr)
+	e.Record(tr2) // fills the batch → immediate flush
+
+	deadline := time.Now().Add(5 * time.Second)
+	for len(c.spans()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	spans := c.spans()
+	// 2 traces × (1 root + 2 internal spans).
+	if len(spans) != 6 {
+		t.Fatalf("spans = %d, want 6", len(spans))
+	}
+	docs := c.traceDocs()
+	res := docs[0].ResourceSpans[0].Resource
+	if len(res.Attributes) == 0 || res.Attributes[0].Key != "service.name" ||
+		res.Attributes[0].Value.StringValue == nil || *res.Attributes[0].Value.StringValue != "fsmserve-test" {
+		t.Fatalf("resource attrs: %+v", res.Attributes)
+	}
+
+	byName := map[string]otlpSpan{}
+	for _, sp := range spans {
+		if sp.TraceID == tr.ID() {
+			byName[sp.Name] = sp
+		}
+	}
+	root := byName["POST /v1/run"]
+	if root.SpanID != tr.SpanID() || root.Kind != spanKindServer {
+		t.Fatalf("root span: %+v", root)
+	}
+	if root.Status == nil || root.Status.Code != statusOK {
+		t.Fatalf("root status: %+v", root.Status)
+	}
+	var gotMachine, gotBytes bool
+	for _, kv := range root.Attributes {
+		switch kv.Key {
+		case "machine":
+			gotMachine = kv.Value.StringValue != nil && *kv.Value.StringValue == "div3"
+		case "bytes":
+			gotBytes = kv.Value.IntValue != nil && *kv.Value.IntValue == "4096"
+		}
+	}
+	if !gotMachine || !gotBytes {
+		t.Fatalf("root attrs incomplete: %+v", root.Attributes)
+	}
+
+	exec, ph1 := byName["engine.exec"], byName["phase1"]
+	if exec.ParentSpanID != root.SpanID {
+		t.Fatalf("engine.exec parent %q, want root %q", exec.ParentSpanID, root.SpanID)
+	}
+	if ph1.ParentSpanID != exec.SpanID {
+		t.Fatalf("phase1 parent %q, want %q", ph1.ParentSpanID, exec.SpanID)
+	}
+	for _, sp := range spans {
+		if !hex32.MatchString(sp.TraceID) || !hex16.MatchString(sp.SpanID) {
+			t.Fatalf("span IDs malformed: %+v", sp)
+		}
+		if sp.StartTime == "" || sp.EndTime == "" {
+			t.Fatalf("span times missing: %+v", sp)
+		}
+	}
+
+	if err := e.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.TracesExported != 2 || st.SpansExported != 6 || st.TracesDropped != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestExporterErrorStatusAndJoin(t *testing.T) {
+	c := newCollector(t)
+	e, err := New(Config{Endpoint: c.srv.URL, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Shutdown(context.Background())
+	tr := trace.FromParent("00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01")
+	tr.SetName("POST /v1/run")
+	tr.SetError("machine not found")
+	tr.Finish()
+	e.Record(tr)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(c.spans()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	spans := c.spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	sp := spans[0]
+	if sp.TraceID != "0123456789abcdef0123456789abcdef" {
+		t.Fatalf("joined trace ID %q", sp.TraceID)
+	}
+	if sp.ParentSpanID != "00f067aa0ba902b7" {
+		t.Fatalf("inbound parent %q", sp.ParentSpanID)
+	}
+	if sp.Status == nil || sp.Status.Code != statusError || sp.Status.Message != "machine not found" {
+		t.Fatalf("status: %+v", sp.Status)
+	}
+}
+
+func TestExporterPushesMetrics(t *testing.T) {
+	c := newCollector(t)
+	m := new(telemetry.Metrics)
+	m.EngineJobs.Add(42)
+	m.EngineQueueDepth.Set(3)
+	m.Symbols.Add(100)
+	m.Shuffles.Add(150)
+	e, err := New(Config{
+		Endpoint: c.srv.URL,
+		Snapshot: m.Snapshot,
+		Interval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(c.metricDocs()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := e.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	docs := c.metricDocs()
+	if len(docs) == 0 {
+		t.Fatal("no metrics arrived")
+	}
+	byName := map[string]otlpMetric{}
+	for _, md := range docs[0].ResourceMetrics[0].ScopeMetrics[0].Metrics {
+		byName[md.Name] = md
+	}
+	jobs := byName["dpfsm.engine.jobs"]
+	if jobs.Sum == nil || !jobs.Sum.IsMonotonic || jobs.Sum.AggregationTemporality != 2 {
+		t.Fatalf("jobs sum: %+v", jobs)
+	}
+	dp := jobs.Sum.DataPoints[0]
+	if dp.AsInt == nil || *dp.AsInt != "42" || dp.StartTime == "" || dp.Time == "" {
+		t.Fatalf("jobs datapoint: %+v", dp)
+	}
+	depth := byName["dpfsm.engine.queue_depth"]
+	if depth.Gauge == nil || depth.Gauge.DataPoints[0].AsInt == nil || *depth.Gauge.DataPoints[0].AsInt != "3" {
+		t.Fatalf("queue depth: %+v", depth)
+	}
+	sps := byName["dpfsm.shuffles_per_symbol"]
+	if sps.Gauge == nil || sps.Gauge.DataPoints[0].AsDouble == nil || *sps.Gauge.DataPoints[0].AsDouble != 1.5 {
+		t.Fatalf("shuffles per symbol: %+v", sps)
+	}
+}
+
+func TestExporterRetriesTransientFailures(t *testing.T) {
+	c := newCollector(t)
+	c.failures = 2
+	e, err := New(Config{
+		Endpoint:   c.srv.URL,
+		BatchSize:  1,
+		RetryBase:  time.Millisecond,
+		MaxRetries: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Record(finishedTrace("retry-me"))
+	deadline := time.Now().Add(5 * time.Second)
+	for len(c.spans()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := e.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.TracesExported != 1 {
+		t.Fatalf("trace lost: %+v", st)
+	}
+	if st.Retries != 2 || st.SendFailures != 0 {
+		t.Fatalf("retry accounting: %+v", st)
+	}
+}
+
+func TestExporterGivesUpAfterMaxRetries(t *testing.T) {
+	c := newCollector(t)
+	c.failures = 10
+	e, err := New(Config{
+		Endpoint:   c.srv.URL,
+		BatchSize:  1,
+		RetryBase:  time.Millisecond,
+		MaxRetries: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Record(finishedTrace("doomed"))
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().SendFailures == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := e.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.SendFailures == 0 || st.TracesExported != 0 {
+		t.Fatalf("doomed payload accounted wrong: %+v", st)
+	}
+}
+
+func TestExporterDropsWhenQueueFull(t *testing.T) {
+	// No collector at all: the worker blocks in backoff while the tiny
+	// queue fills.
+	blocked := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		<-blocked
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	e, err := New(Config{Endpoint: srv.URL, BatchSize: 1, QueueSize: 2, Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		e.Record(finishedTrace(fmt.Sprintf("t%d", i)))
+	}
+	if st := e.Stats(); st.TracesDropped == 0 {
+		t.Fatalf("no drops with a wedged collector: %+v", st)
+	}
+	close(blocked)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	e.Shutdown(ctx)
+}
+
+func TestShutdownFlushesQueueAndFinalMetrics(t *testing.T) {
+	c := newCollector(t)
+	m := new(telemetry.Metrics)
+	m.EngineJobs.Add(7)
+	// Interval far beyond the test: nothing flushes except by batch
+	// size or shutdown.
+	e, err := New(Config{
+		Endpoint:  c.srv.URL,
+		Snapshot:  m.Snapshot,
+		Interval:  time.Hour,
+		BatchSize: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		e.Record(finishedTrace(fmt.Sprintf("t%d", i)))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().TracesExported; got != 5 {
+		t.Fatalf("flushed %d traces, want 5", got)
+	}
+	if len(c.metricDocs()) != 1 {
+		t.Fatalf("final metrics pushes = %d, want 1", len(c.metricDocs()))
+	}
+	// Records after shutdown are dropped, not deadlocked.
+	e.Record(finishedTrace("late"))
+	if e.Stats().TracesDropped == 0 {
+		t.Fatal("post-shutdown record not counted as dropped")
+	}
+}
+
+func TestNewRejectsBadEndpoints(t *testing.T) {
+	for _, ep := range []string{"", "not a url", "ftp://x", "localhost:4318", "//missing-scheme"} {
+		if _, err := New(Config{Endpoint: ep}); err == nil {
+			t.Errorf("endpoint %q accepted", ep)
+		}
+	}
+}
+
+func TestNilExporterInert(t *testing.T) {
+	var e *Exporter
+	e.Record(finishedTrace("x"))
+	if e.Stats() != (Stats{}) {
+		t.Fatal("nil stats")
+	}
+	if err := e.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOTLPSmokeArtifact is the CI smoke hook: when OTLP_SMOKE_OUT is
+// set, it runs a full exporter round-trip against the collector stub
+// and writes a JSON summary of what arrived, which CI uploads as the
+// OTLP-export smoke artifact.
+func TestOTLPSmokeArtifact(t *testing.T) {
+	out := os.Getenv("OTLP_SMOKE_OUT")
+	if out == "" {
+		t.Skip("OTLP_SMOKE_OUT not set")
+	}
+	c := newCollector(t)
+	m := new(telemetry.Metrics)
+	m.EngineJobs.Add(3)
+	e, err := New(Config{Endpoint: c.srv.URL, ServiceName: "fsmserve-smoke", Snapshot: m.Snapshot, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		e.Record(finishedTrace(fmt.Sprintf("smoke-%d", i)))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(c.spans()) < 9 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := e.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	summary := map[string]any{
+		"exporter_stats": e.Stats(),
+		"trace_docs":     len(c.traceDocs()),
+		"metric_docs":    len(c.metricDocs()),
+		"spans":          len(c.spans()),
+	}
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.spans()) < 9 || len(c.metricDocs()) == 0 {
+		t.Fatalf("smoke incomplete: %s", data)
+	}
+}

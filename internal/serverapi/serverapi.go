@@ -17,8 +17,10 @@ package serverapi
 import (
 	"dpfsm/internal/core"
 	"dpfsm/internal/fsm"
+	"dpfsm/internal/otlp"
 	"dpfsm/internal/perfprofile"
 	"dpfsm/internal/telemetry"
+	"dpfsm/internal/trace"
 )
 
 // Version is the current API version prefix.
@@ -273,6 +275,31 @@ type Status struct {
 	// Runtime is the Go runtime's own health (GC pauses, heap,
 	// goroutines, scheduler latency).
 	Runtime telemetry.RuntimeSnapshot `json:"runtime"`
+
+	// Observability is the export-and-retention side of the server:
+	// sampler decisions and OTLP exporter counters. Absent when
+	// neither sampling nor export is configured.
+	Observability *Observability `json:"observability,omitempty"`
+}
+
+// Observability reports the trace sampler's decisions and the OTLP
+// exporter's shipping counters, reusing the stats types those
+// subsystems already keep (both are plain JSON-tagged data).
+type Observability struct {
+	// Sampler decision counters; nil when sampling is disabled (every
+	// trace kept).
+	Sampler *trace.SamplerStats `json:"sampler,omitempty"`
+	// Exporter shipping counters; nil when no -otlp-endpoint was
+	// configured.
+	Exporter *otlp.Stats `json:"exporter,omitempty"`
+}
+
+// Readiness is the response body of GET /readyz. Ready mirrors the
+// HTTP status (200 ready / 503 unready); Reasons lists why when
+// unready ("starting", "draining", "slo_fast_burn").
+type Readiness struct {
+	Ready   bool     `json:"ready"`
+	Reasons []string `json:"reasons,omitempty"`
 }
 
 // MachineSelection is one machine's current adaptive-dispatch choice:

@@ -1,0 +1,265 @@
+// Package slo turns the runtime's raw request stream into
+// service-level-objective signals a load balancer or orchestrator can
+// act on. The observability stack below it answers "what is the
+// process doing" (telemetry) and "why was this request slow" (trace);
+// this package answers the operator's question one level up: "is the
+// service meeting its promises right now, and how fast is it burning
+// the error budget if not".
+//
+// The model is the multi-window burn-rate method from the SRE
+// literature. An objective (say 99.9% of requests neither shed nor
+// erroring) implies an error budget (0.1%). The burn rate over a
+// window is the observed bad fraction divided by that budget: burn 1
+// spends the budget exactly at the sustainable rate, burn 14.4 spends
+// a 30-day budget in ~2 days. Alerting — and here, readiness — keys
+// on burn exceeding a threshold in BOTH a fast and a slow window: the
+// fast window catches the incident quickly, the slow window keeps a
+// few bad seconds from flapping the probe.
+//
+// The Tracker observes at the HTTP boundary (status code + duration),
+// not per engine job: availability is defined over what callers
+// experienced, including shed (429) and failed (5xx) requests that
+// never became jobs.
+package slo
+
+import (
+	"sync"
+	"time"
+)
+
+// Defaults. Availability 99.9% and a 14.4× fast burn mirror the
+// classic page-worthy alert (budget gone in two days); the latency
+// objective is deliberately loose by default — operators tune it to
+// their deployment with fsmserve flags.
+const (
+	DefaultAvailabilityTarget = 0.999
+	DefaultLatencyTarget      = 0.99
+	DefaultLatencyThreshold   = 250 * time.Millisecond
+	DefaultFastWindow         = 5 * time.Minute
+	DefaultSlowWindow         = time.Hour
+	DefaultFastBurnThreshold  = 14.4
+	DefaultMinRequests        = 10
+)
+
+// Config declares the objectives. The zero value gets the defaults.
+type Config struct {
+	// AvailabilityTarget is the objective fraction of requests that
+	// are neither shed (429) nor errors (5xx). (0,1); <= 0 means
+	// DefaultAvailabilityTarget.
+	AvailabilityTarget float64
+	// LatencyTarget is the objective fraction of completed requests
+	// finishing under LatencyThreshold.
+	LatencyTarget    float64
+	LatencyThreshold time.Duration
+	// FastWindow and SlowWindow are the two burn-rate windows.
+	// SlowWindow bounds the tracker's memory (one bucket per second).
+	FastWindow time.Duration
+	SlowWindow time.Duration
+	// FastBurnThreshold is the availability burn rate above which —
+	// in both windows — the service reports burn-exceeded.
+	FastBurnThreshold float64
+	// MinRequests is the per-window request floor below which burn
+	// never trips readiness: with almost no traffic a single failure
+	// is not an incident.
+	MinRequests int64
+
+	// Now overrides the clock in tests.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.AvailabilityTarget <= 0 || c.AvailabilityTarget >= 1 {
+		c.AvailabilityTarget = DefaultAvailabilityTarget
+	}
+	if c.LatencyTarget <= 0 || c.LatencyTarget >= 1 {
+		c.LatencyTarget = DefaultLatencyTarget
+	}
+	if c.LatencyThreshold <= 0 {
+		c.LatencyThreshold = DefaultLatencyThreshold
+	}
+	if c.FastWindow <= 0 {
+		c.FastWindow = DefaultFastWindow
+	}
+	if c.SlowWindow <= 0 {
+		c.SlowWindow = DefaultSlowWindow
+	}
+	if c.SlowWindow < c.FastWindow {
+		c.SlowWindow = c.FastWindow
+	}
+	if c.FastBurnThreshold <= 0 {
+		c.FastBurnThreshold = DefaultFastBurnThreshold
+	}
+	if c.MinRequests <= 0 {
+		c.MinRequests = DefaultMinRequests
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// bucket aggregates one second of requests.
+type bucket struct {
+	sec    int64 // unix second this bucket currently represents
+	total  int64
+	errors int64 // 5xx
+	shed   int64 // 429
+	slow   int64 // completed over LatencyThreshold
+}
+
+// Tracker accumulates request outcomes into per-second ring buckets
+// spanning SlowWindow and computes burn rates over both windows.
+// Safe for concurrent use; a nil *Tracker ignores observations and
+// reports healthy.
+type Tracker struct {
+	cfg Config
+
+	mu   sync.Mutex
+	ring []bucket
+}
+
+// New builds a Tracker, applying defaults to unset Config fields.
+func New(cfg Config) *Tracker {
+	cfg = cfg.withDefaults()
+	return &Tracker{
+		cfg:  cfg,
+		ring: make([]bucket, int(cfg.SlowWindow/time.Second)+1),
+	}
+}
+
+// Observe records one request outcome: its HTTP status code and total
+// duration. 5xx counts against availability as an error, 429 as shed;
+// everything else is good. Completed (non-shed, non-error) requests
+// at or over LatencyThreshold count against the latency objective.
+func (t *Tracker) Observe(status int, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	sec := t.cfg.Now().Unix()
+	t.mu.Lock()
+	b := t.slot(sec)
+	b.total++
+	switch {
+	case status >= 500:
+		b.errors++
+	case status == 429:
+		b.shed++
+	default:
+		if dur >= t.cfg.LatencyThreshold {
+			b.slow++
+		}
+	}
+	t.mu.Unlock()
+}
+
+// slot returns the ring bucket for unix second sec, resetting it if it
+// still holds an older second. Callers hold t.mu.
+func (t *Tracker) slot(sec int64) *bucket {
+	b := &t.ring[sec%int64(len(t.ring))]
+	if b.sec != sec {
+		*b = bucket{sec: sec}
+	}
+	return b
+}
+
+// WindowReport is the aggregate over one burn window.
+type WindowReport struct {
+	WindowNs int64 `json:"window_ns"`
+	Total    int64 `json:"total"`
+	Errors   int64 `json:"errors"`
+	Shed     int64 `json:"shed"`
+	Slow     int64 `json:"slow"`
+	// BadFraction is (errors+shed)/total; AvailabilityBurn is that
+	// fraction over the error budget (1 - target). LatencyBurn is the
+	// same construction for the latency objective, over completed
+	// requests.
+	BadFraction        float64 `json:"bad_fraction"`
+	AvailabilityBurn   float64 `json:"availability_burn"`
+	LatencyBadFraction float64 `json:"latency_bad_fraction"`
+	LatencyBurn        float64 `json:"latency_burn"`
+}
+
+// Report is the full SLO view: the configured objectives, both window
+// aggregates, and the burn verdict.
+type Report struct {
+	AvailabilityTarget float64 `json:"availability_target"`
+	LatencyTarget      float64 `json:"latency_target"`
+	LatencyThresholdNs int64   `json:"latency_threshold_ns"`
+	FastBurnThreshold  float64 `json:"fast_burn_threshold"`
+	MinRequests        int64   `json:"min_requests"`
+
+	Fast WindowReport `json:"fast"`
+	Slow WindowReport `json:"slow"`
+
+	// BurnExceeded is true when the availability burn rate exceeds
+	// FastBurnThreshold in BOTH windows (each with at least
+	// MinRequests observed) — the multi-window page condition.
+	BurnExceeded bool `json:"burn_exceeded"`
+}
+
+// Report computes the current multi-window view. Nil-safe: a nil
+// Tracker reports all-zero, not burning.
+func (t *Tracker) Report() Report {
+	if t == nil {
+		return Report{}
+	}
+	now := t.cfg.Now().Unix()
+	fastSecs := int64(t.cfg.FastWindow / time.Second)
+	slowSecs := int64(t.cfg.SlowWindow / time.Second)
+
+	var fast, slow WindowReport
+	t.mu.Lock()
+	for i := int64(0); i < slowSecs; i++ {
+		sec := now - i
+		b := &t.ring[sec%int64(len(t.ring))]
+		if b.sec != sec || b.total == 0 {
+			continue
+		}
+		add := func(w *WindowReport) {
+			w.Total += b.total
+			w.Errors += b.errors
+			w.Shed += b.shed
+			w.Slow += b.slow
+		}
+		add(&slow)
+		if i < fastSecs {
+			add(&fast)
+		}
+	}
+	t.mu.Unlock()
+
+	t.finish(&fast, t.cfg.FastWindow)
+	t.finish(&slow, t.cfg.SlowWindow)
+
+	rep := Report{
+		AvailabilityTarget: t.cfg.AvailabilityTarget,
+		LatencyTarget:      t.cfg.LatencyTarget,
+		LatencyThresholdNs: int64(t.cfg.LatencyThreshold),
+		FastBurnThreshold:  t.cfg.FastBurnThreshold,
+		MinRequests:        t.cfg.MinRequests,
+		Fast:               fast,
+		Slow:               slow,
+	}
+	rep.BurnExceeded = fast.Total >= t.cfg.MinRequests &&
+		slow.Total >= t.cfg.MinRequests &&
+		fast.AvailabilityBurn >= t.cfg.FastBurnThreshold &&
+		slow.AvailabilityBurn >= t.cfg.FastBurnThreshold
+	return rep
+}
+
+// finish derives the fractions and burn rates for one window.
+func (t *Tracker) finish(w *WindowReport, window time.Duration) {
+	w.WindowNs = int64(window)
+	if w.Total == 0 {
+		return
+	}
+	w.BadFraction = float64(w.Errors+w.Shed) / float64(w.Total)
+	w.AvailabilityBurn = w.BadFraction / (1 - t.cfg.AvailabilityTarget)
+	if completed := w.Total - w.Errors - w.Shed; completed > 0 {
+		w.LatencyBadFraction = float64(w.Slow) / float64(completed)
+		w.LatencyBurn = w.LatencyBadFraction / (1 - t.cfg.LatencyTarget)
+	}
+}
+
+// BurnExceeded is the readiness-probe shortcut for Report().BurnExceeded.
+func (t *Tracker) BurnExceeded() bool { return t.Report().BurnExceeded }

@@ -1,0 +1,202 @@
+package slo
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestTracker(cfg Config) (*Tracker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	cfg.Now = clk.now
+	return New(cfg), clk
+}
+
+func TestNilTracker(t *testing.T) {
+	var tr *Tracker
+	tr.Observe(500, time.Second)
+	if rep := tr.Report(); rep.BurnExceeded {
+		t.Fatal("nil tracker burning")
+	}
+	if tr.BurnExceeded() {
+		t.Fatal("nil tracker unready")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	tr := New(Config{})
+	rep := tr.Report()
+	if rep.AvailabilityTarget != DefaultAvailabilityTarget ||
+		rep.LatencyTarget != DefaultLatencyTarget ||
+		rep.LatencyThresholdNs != int64(DefaultLatencyThreshold) ||
+		rep.FastBurnThreshold != DefaultFastBurnThreshold ||
+		rep.MinRequests != DefaultMinRequests {
+		t.Fatalf("defaults not applied: %+v", rep)
+	}
+	if rep.Fast.WindowNs != int64(DefaultFastWindow) || rep.Slow.WindowNs != int64(DefaultSlowWindow) {
+		t.Fatalf("windows: %+v", rep)
+	}
+}
+
+func TestHealthyTrafficDoesNotBurn(t *testing.T) {
+	tr, _ := newTestTracker(Config{})
+	for i := 0; i < 1000; i++ {
+		tr.Observe(200, time.Millisecond)
+	}
+	rep := tr.Report()
+	if rep.Fast.Total != 1000 || rep.Slow.Total != 1000 {
+		t.Fatalf("totals: %+v", rep)
+	}
+	if rep.Fast.AvailabilityBurn != 0 || rep.BurnExceeded {
+		t.Fatalf("healthy traffic burned: %+v", rep)
+	}
+}
+
+func TestShedAndErrorClassification(t *testing.T) {
+	tr, _ := newTestTracker(Config{AvailabilityTarget: 0.9})
+	for i := 0; i < 50; i++ {
+		tr.Observe(200, time.Millisecond)
+	}
+	for i := 0; i < 30; i++ {
+		tr.Observe(429, 0)
+	}
+	for i := 0; i < 20; i++ {
+		tr.Observe(500, time.Millisecond)
+	}
+	rep := tr.Report()
+	if rep.Fast.Errors != 20 || rep.Fast.Shed != 30 || rep.Fast.Total != 100 {
+		t.Fatalf("classification: %+v", rep.Fast)
+	}
+	// bad = 0.5, budget = 0.1 → burn 5.
+	if got := rep.Fast.AvailabilityBurn; got < 4.99 || got > 5.01 {
+		t.Fatalf("burn = %g, want 5", got)
+	}
+}
+
+// TestFastBurnTripsBothWindows is the readiness acceptance property:
+// an all-shed burst trips burn-exceeded, and both windows must agree.
+func TestFastBurnTripsBothWindows(t *testing.T) {
+	tr, clk := newTestTracker(Config{
+		AvailabilityTarget: 0.999,
+		FastWindow:         10 * time.Second,
+		SlowWindow:         time.Minute,
+		MinRequests:        10,
+	})
+	// Burst of shed traffic: burn = 1.0/0.001 = 1000 in both windows.
+	for i := 0; i < 50; i++ {
+		tr.Observe(429, 0)
+	}
+	rep := tr.Report()
+	if !rep.BurnExceeded {
+		t.Fatalf("all-shed burst did not trip burn: %+v", rep)
+	}
+
+	// Advance past the fast window: the fast window empties and the
+	// verdict clears even though the slow window still remembers.
+	clk.advance(11 * time.Second)
+	rep = tr.Report()
+	if rep.Fast.Total != 0 {
+		t.Fatalf("fast window retained: %+v", rep.Fast)
+	}
+	if rep.Slow.Total != 50 {
+		t.Fatalf("slow window lost history: %+v", rep.Slow)
+	}
+	if rep.BurnExceeded {
+		t.Fatal("burn still exceeded with an empty fast window")
+	}
+}
+
+func TestMinRequestsGuard(t *testing.T) {
+	tr, _ := newTestTracker(Config{MinRequests: 10})
+	// A single failure with no other traffic: burn is enormous but the
+	// floor keeps it from tripping.
+	tr.Observe(500, time.Millisecond)
+	rep := tr.Report()
+	if rep.Fast.AvailabilityBurn < 100 {
+		t.Fatalf("burn = %g, want huge", rep.Fast.AvailabilityBurn)
+	}
+	if rep.BurnExceeded {
+		t.Fatal("one failure tripped readiness below the request floor")
+	}
+}
+
+func TestLatencyObjective(t *testing.T) {
+	tr, _ := newTestTracker(Config{
+		LatencyTarget:    0.9,
+		LatencyThreshold: 100 * time.Millisecond,
+	})
+	for i := 0; i < 80; i++ {
+		tr.Observe(200, 10*time.Millisecond)
+	}
+	for i := 0; i < 20; i++ {
+		tr.Observe(200, 200*time.Millisecond)
+	}
+	// Shed requests must not count toward the latency objective.
+	tr.Observe(429, 0)
+	rep := tr.Report()
+	if rep.Fast.Slow != 20 {
+		t.Fatalf("slow = %d", rep.Fast.Slow)
+	}
+	// 20/100 completed over threshold, budget 0.1 → burn 2.
+	if got := rep.Fast.LatencyBurn; got < 1.99 || got > 2.01 {
+		t.Fatalf("latency burn = %g, want 2", got)
+	}
+	if rep.BurnExceeded {
+		t.Fatal("latency burn must not trip availability readiness")
+	}
+}
+
+// TestRingExpiry: observations older than the slow window vanish once
+// their second is overwritten.
+func TestRingExpiry(t *testing.T) {
+	tr, clk := newTestTracker(Config{
+		FastWindow: 5 * time.Second,
+		SlowWindow: 30 * time.Second,
+	})
+	for i := 0; i < 10; i++ {
+		tr.Observe(500, 0)
+	}
+	clk.advance(40 * time.Second)
+	rep := tr.Report()
+	if rep.Slow.Total != 0 {
+		t.Fatalf("expired observations survived: %+v", rep.Slow)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	tr, _ := newTestTracker(Config{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Observe(200, time.Millisecond)
+				if i%50 == 0 {
+					tr.Report()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if rep := tr.Report(); rep.Slow.Total != 4000 {
+		t.Fatalf("total = %d, want 4000", rep.Slow.Total)
+	}
+}

@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Exemplars. A histogram tells an operator *that* p99 latency sits in
+// the 2^24–2^25 ns bucket; an exemplar tells them *which request* —
+// attaching a recent trace ID to each bucket so the dashboard's
+// latency panel links straight into the flight recorder. This is the
+// OpenMetrics exemplar model: at most one exemplar per bucket,
+// last-writer-wins, never blocking the hot path.
+//
+// The store mirrors Histogram's shape exactly — the same 65 log₂
+// buckets indexed by bits.Len64 — so an exemplar recorded for value v
+// always sits on the bucket whose `le` bound admits v, which is what
+// the OpenMetrics spec requires ("the exemplar value MUST be within
+// the bucket's range").
+
+// Exemplar is one retained observation: the trace that produced it,
+// the observed value, and when it happened.
+type Exemplar struct {
+	TraceID  string `json:"trace_id"`
+	Value    int64  `json:"value"`
+	UnixNano int64  `json:"unix_nano"`
+}
+
+// Exemplars holds at most one exemplar per log₂ bucket. The zero
+// value is ready to use; all methods are nil-safe.
+type Exemplars struct {
+	buckets [histBuckets]atomic.Pointer[Exemplar]
+}
+
+// Observe records an exemplar for value v (clamped at zero, matching
+// Histogram.Observe) produced by traceID at nowUnixNano. Empty trace
+// IDs are ignored — an exemplar without a trace to link to is noise.
+func (e *Exemplars) Observe(v int64, traceID string, nowUnixNano int64) {
+	if e == nil || traceID == "" {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	e.buckets[bits.Len64(uint64(v))].Store(&Exemplar{
+		TraceID:  traceID,
+		Value:    v,
+		UnixNano: nowUnixNano,
+	})
+}
+
+// Bucket returns the exemplar for the bucket that value v falls into,
+// or nil when none was recorded.
+func (e *Exemplars) Bucket(v int64) *Exemplar {
+	if e == nil {
+		return nil
+	}
+	if v < 0 {
+		v = 0
+	}
+	return e.buckets[bits.Len64(uint64(v))].Load()
+}
+
+// Snapshot returns every recorded exemplar keyed by its bucket's
+// inclusive upper edge, for JSON surfaces and tests.
+func (e *Exemplars) Snapshot() map[int64]Exemplar {
+	if e == nil {
+		return nil
+	}
+	var out map[int64]Exemplar
+	for i := 0; i < histBuckets; i++ {
+		if ex := e.buckets[i].Load(); ex != nil {
+			if out == nil {
+				out = make(map[int64]Exemplar)
+			}
+			out[bucketUpper(i)] = *ex
+		}
+	}
+	return out
+}
+
+// bucketExemplar returns the exemplar stored for bucket index i.
+func (e *Exemplars) bucketExemplar(i int) *Exemplar {
+	if e == nil || i < 0 || i >= histBuckets {
+		return nil
+	}
+	return e.buckets[i].Load()
+}

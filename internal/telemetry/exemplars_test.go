@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestExemplarsObserveAndBucket(t *testing.T) {
+	var e Exemplars
+	if e.Bucket(50_000) != nil {
+		t.Fatal("empty store returned an exemplar")
+	}
+	e.Observe(50_000, "aa", 123)
+	ex := e.Bucket(50_000)
+	if ex == nil || ex.TraceID != "aa" || ex.Value != 50_000 || ex.UnixNano != 123 {
+		t.Fatalf("exemplar = %+v", ex)
+	}
+	// Same bucket (2^15..2^16-1): last writer wins.
+	e.Observe(60_000, "bb", 456)
+	if ex := e.Bucket(50_000); ex.TraceID != "bb" {
+		t.Fatalf("swap lost: %+v", ex)
+	}
+	// Different bucket: independent slot.
+	e.Observe(3, "cc", 789)
+	if ex := e.Bucket(3); ex.TraceID != "cc" {
+		t.Fatalf("small bucket: %+v", ex)
+	}
+	if ex := e.Bucket(50_000); ex.TraceID != "bb" {
+		t.Fatal("small-bucket write clobbered the large bucket")
+	}
+	// Negative values clamp to the zero bucket, matching Histogram.
+	e.Observe(-5, "dd", 1)
+	if ex := e.Bucket(0); ex == nil || ex.TraceID != "dd" || ex.Value != 0 {
+		t.Fatalf("negative clamp: %+v", ex)
+	}
+}
+
+func TestExemplarsIgnoresEmptyTraceID(t *testing.T) {
+	var e Exemplars
+	e.Observe(10, "", 1)
+	if e.Bucket(10) != nil {
+		t.Fatal("empty trace ID recorded")
+	}
+}
+
+func TestExemplarsNilSafe(t *testing.T) {
+	var e *Exemplars
+	e.Observe(1, "x", 1)
+	if e.Bucket(1) != nil || e.Snapshot() != nil {
+		t.Fatal("nil Exemplars not inert")
+	}
+}
+
+func TestExemplarsSnapshot(t *testing.T) {
+	var e Exemplars
+	e.Observe(0, "z", 1)
+	e.Observe(100, "h", 2)
+	snap := e.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if snap[0].TraceID != "z" || snap[127].TraceID != "h" {
+		t.Fatalf("snapshot keys wrong: %v", snap)
+	}
+}
+
+// TestExemplarsConcurrentSwap races writers against readers on the
+// same bucket: the atomic pointer swap must always yield a coherent
+// exemplar (trace ID, value and timestamp from one writer, never a
+// mix), and the exposition writer must tolerate racing swaps.
+func TestExemplarsConcurrentSwap(t *testing.T) {
+	m := new(Metrics)
+	m.EngineJobTime.Observe(1000)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := fmt.Sprintf("%032x", g*1_000_000+i)
+				m.EngineJobExemplars.Observe(1000, id, int64(i))
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		ex := m.EngineJobExemplars.Bucket(1000)
+		if ex == nil {
+			continue
+		}
+		var g, n int
+		if _, err := fmt.Sscanf(ex.TraceID, "%032x", &n); err != nil {
+			t.Fatalf("torn trace ID %q: %v", ex.TraceID, err)
+		}
+		g, n = n/1_000_000, n%1_000_000
+		if g < 0 || g > 3 || ex.UnixNano != int64(n) {
+			t.Fatalf("incoherent exemplar %+v (writer %d, iter %d)", ex, g, n)
+		}
+		if ex.Value != 1000 {
+			t.Fatalf("exemplar value %d", ex.Value)
+		}
+		var sb strings.Builder
+		m.WritePrometheus(&sb)
+		if !strings.Contains(sb.String(), "# {trace_id=") {
+			t.Fatal("exposition lost the exemplar mid-swap")
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestWindowSingleSample pins the single-observation edge: every
+// quantile is that one sample, and the exemplar path alongside it
+// exposes the sample's bucket.
+func TestWindowSingleSample(t *testing.T) {
+	m := new(Metrics)
+	m.EngineJobLatency.Observe(777)
+	qs := m.EngineJobLatency.Quantiles(0, 0.5, 0.99, 1)
+	for i, q := range qs {
+		if q != 777 {
+			t.Fatalf("quantile[%d] = %d, want 777", i, q)
+		}
+	}
+	m.EngineJobTime.Observe(777)
+	m.EngineJobExemplars.Observe(777, strings.Repeat("ab", 16), 42)
+	var sb strings.Builder
+	m.WritePrometheus(&sb)
+	want := fmt.Sprintf(`dpfsm_engine_job_ns_bucket{le="1023"} 1 # {trace_id="%s"} 777`, strings.Repeat("ab", 16))
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("single-sample exemplar line missing; exposition:\n%s", sb.String())
+	}
+}

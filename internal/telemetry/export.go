@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 )
 
 // Exposition. Three surfaces, per the repo's observability contract:
@@ -120,7 +121,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	writeHistogram(w, "phase1_ns", "per-chunk phase-1 wall time", &m.Phase1Time.Histogram)
 	writeHistogram(w, "phase2_ns", "per-run phase-2 scan wall time", &m.Phase2Time.Histogram)
 	writeHistogram(w, "phase3_ns", "per-chunk phase-3 wall time", &m.Phase3Time.Histogram)
-	writeHistogram(w, "engine_job_ns", "engine job wall time", &m.EngineJobTime.Histogram)
+	writeHistogramExemplars(w, "engine_job_ns", "engine job wall time", &m.EngineJobTime.Histogram, &m.EngineJobExemplars)
 	writeHistogram(w, "plan_compile_ns", "plan compilation wall time on cache misses", &m.PlanCompileTime.Histogram)
 
 	// Sliding-window latency quantiles, in the summary-style
@@ -167,21 +168,51 @@ func writeLabelCounters(w io.Writer, name, help string, lc *LabelCounters) {
 }
 
 func writeHistogram(w io.Writer, name, help string, h *Histogram) {
+	writeHistogramExemplars(w, name, help, h, nil)
+}
+
+// writeHistogramExemplars writes a histogram, appending an OpenMetrics
+// exemplar (" # {trace_id=\"…\"} value timestamp") to each bucket line
+// that has one. By construction the exemplar store shares the
+// histogram's bucket layout, so the exemplar value always satisfies
+// the bucket's `le` bound as the OpenMetrics spec requires.
+func writeHistogramExemplars(w io.Writer, name, help string, h *Histogram, ex *Exemplars) {
 	count := h.Count()
 	fmt.Fprintf(w, "# HELP %s%s %s\n# TYPE %s%s histogram\n", promPrefix, name, help, promPrefix, name)
 	for _, b := range h.Buckets() {
-		fmt.Fprintf(w, "%s%s_bucket{le=\"%d\"} %d\n", promPrefix, name, b.UpperEdge, b.Cumulative)
+		fmt.Fprintf(w, "%s%s_bucket{le=\"%d\"} %d", promPrefix, name, b.UpperEdge, b.Cumulative)
+		writeExemplar(w, ex.Bucket(b.UpperEdge))
+		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "%s%s_bucket{le=\"+Inf\"} %d\n", promPrefix, name, count)
 	fmt.Fprintf(w, "%s%s_sum %d\n", promPrefix, name, h.Sum())
 	fmt.Fprintf(w, "%s%s_count %d\n", promPrefix, name, count)
 }
 
+func writeExemplar(w io.Writer, e *Exemplar) {
+	if e == nil {
+		return
+	}
+	sec := e.UnixNano / 1e9
+	frac := e.UnixNano % 1e9
+	if frac < 0 {
+		frac = 0
+	}
+	fmt.Fprintf(w, " # {trace_id=\"%s\"} %d %d.%09d", escapeLabel(e.TraceID), e.Value, sec, frac)
+}
+
 // Handler returns an http.Handler serving the Prometheus text
-// exposition of m.
+// exposition of m. Scrapers that negotiate OpenMetrics (Accept:
+// application/openmetrics-text) get the matching content type; the
+// body is the same either way, with exemplars on the histogram bucket
+// lines that have them.
 func (m *Metrics) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		ct := "text/plain; version=0.0.4; charset=utf-8"
+		if req != nil && strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			ct = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+		}
+		w.Header().Set("Content-Type", ct)
 		m.WritePrometheus(w)
 	})
 }

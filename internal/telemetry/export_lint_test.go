@@ -19,10 +19,12 @@ import (
 var (
 	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
-	// seriesRe splits "name{labels} value" / "name value".
-	seriesRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$`)
+	// seriesRe splits "name{labels} value" / "name value", with an
+	// optional OpenMetrics exemplar suffix ` # {labels} value ts`.
+	seriesRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)( # \{([^}]*)\} (\S+)(?: (\S+))?)?$`)
 	// labelRe matches one k="v" pair with v already escaped.
 	labelRe = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\\\|\\"|\\n)*)"$`)
+	hexRe   = regexp.MustCompile(`^[0-9a-f]{32}$`)
 )
 
 // fullMetrics builds a Metrics with every family populated, so the
@@ -64,11 +66,15 @@ func fullMetrics() *Metrics {
 	m.EngineQueueHighWater.Observe(9)
 	m.EngineJobBytes.Observe(256)
 	m.EngineJobTime.Observe(50_000)
+	m.EngineJobExemplars.Observe(50_000, lintTraceID, 1_700_000_000_123_456_789)
 	for i := int64(1); i <= 100; i++ {
 		m.EngineJobLatency.Observe(i * 1000)
 	}
 	return m
 }
+
+// lintTraceID is the retained trace the lint's exemplar points at.
+const lintTraceID = "4bf92f3577b34da6a3ce929d0e0e4736"
 
 func TestPrometheusExpositionLints(t *testing.T) {
 	var sb strings.Builder
@@ -83,6 +89,7 @@ func TestPrometheusExpositionLints(t *testing.T) {
 	families := map[string]family{}
 	var current string
 	seenSeries := map[string]bool{}
+	seenExemplars := 0
 	histBuckets := map[string][]struct {
 		le  string
 		val int64
@@ -141,6 +148,7 @@ func TestPrometheusExpositionLints(t *testing.T) {
 			continue
 		}
 		name, labels, value := mm[1], mm[3], mm[4]
+		exLabels, exValue, exTs := mm[6], mm[7], mm[8]
 		if _, err := strconv.ParseFloat(value, 64); err != nil {
 			t.Errorf("line %d: bad sample value %q", line, value)
 		}
@@ -184,6 +192,45 @@ func TestPrometheusExpositionLints(t *testing.T) {
 					le = lm[2]
 				}
 			}
+		}
+
+		// OpenMetrics exemplar validation: only on _bucket lines, with
+		// legal labels including a hex trace_id, a float value within
+		// the bucket's le bound, and a parseable timestamp.
+		if mm[5] != "" {
+			if !strings.HasSuffix(name, "_bucket") {
+				t.Errorf("line %d: exemplar on non-bucket series %s", line, name)
+			}
+			var traceID string
+			for _, pair := range splitLabels(exLabels) {
+				lm := labelRe.FindStringSubmatch(pair)
+				if lm == nil {
+					t.Errorf("line %d: bad exemplar label pair %q", line, pair)
+					continue
+				}
+				if lm[1] == "trace_id" {
+					traceID = lm[2]
+				}
+			}
+			if !hexRe.MatchString(traceID) {
+				t.Errorf("line %d: exemplar trace_id %q is not 32 hex chars", line, traceID)
+			}
+			ev, err := strconv.ParseFloat(exValue, 64)
+			if err != nil {
+				t.Errorf("line %d: bad exemplar value %q", line, exValue)
+			}
+			if le != "" && le != "+Inf" {
+				bound, _ := strconv.ParseFloat(le, 64)
+				if ev > bound {
+					t.Errorf("line %d: exemplar value %g above bucket le=%s", line, ev, le)
+				}
+			}
+			if exTs != "" {
+				if _, err := strconv.ParseFloat(exTs, 64); err != nil {
+					t.Errorf("line %d: bad exemplar timestamp %q", line, exTs)
+				}
+			}
+			seenExemplars++
 		}
 
 		key := name + "{" + labels + "}"
@@ -241,6 +288,15 @@ func TestPrometheusExpositionLints(t *testing.T) {
 	}
 	if !seenSeries[`dpfsm_engine_job_latency_ns{quantile="0.99"}`] {
 		t.Error("p99 latency series missing")
+	}
+
+	// fullMetrics recorded one exemplar; it must survive exposition on
+	// the bucket whose bound admits it.
+	if seenExemplars != 1 {
+		t.Errorf("exemplars in exposition = %d, want 1", seenExemplars)
+	}
+	if !strings.Contains(text, `# {trace_id="`+lintTraceID+`"} 50000 1700000000.123456789`) {
+		t.Error("engine_job_ns exemplar missing or malformed")
 	}
 }
 

@@ -89,6 +89,11 @@ type Metrics struct {
 	// shifts the histogram cannot forget.
 	EngineJobTime    Timer
 	EngineJobLatency Window
+	// EngineJobExemplars links EngineJobTime's latency buckets to the
+	// trace IDs of recent jobs that landed in them (OpenMetrics
+	// exemplars): the join between the aggregate layer and the flight
+	// recorder. Only traced jobs record exemplars.
+	EngineJobExemplars Exemplars
 
 	// Plan-cache counters (engine.PlanCache). The compile/execute
 	// split makes table construction a cacheable compiler step; these

@@ -278,6 +278,25 @@ func (t *Trace) Traceparent() string {
 	return "00-" + t.id + "-" + t.spanID + "-01"
 }
 
+// SpanID returns the trace's own 16-hex-char propagation span ID —
+// the ID a downstream service sees as its parent, and the ID an
+// exporter should use for this trace's synthesized root span.
+func (t *Trace) SpanID() string {
+	if t == nil {
+		return ""
+	}
+	return t.spanID
+}
+
+// ParentSpanID returns the inbound parent span ID when this trace
+// joined a distributed trace via traceparent, "" when locally rooted.
+func (t *Trace) ParentSpanID() string {
+	if t == nil {
+		return ""
+	}
+	return t.parent
+}
+
 // SetName names the trace (e.g. "POST /v1/run").
 func (t *Trace) SetName(name string) {
 	if t == nil {
@@ -306,6 +325,16 @@ func (t *Trace) SetAttrs(attrs ...Attr) {
 	t.mu.Lock()
 	t.attrs = append(t.attrs, attrs...)
 	t.mu.Unlock()
+}
+
+// Attrs returns a copy of the trace-level attributes.
+func (t *Trace) Attrs() []Attr {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Attr(nil), t.attrs...)
 }
 
 // Attr returns the trace-level attribute with the given key.
