@@ -55,7 +55,7 @@ type options struct {
 func main() {
 	var opt options
 	flag.StringVar(&opt.experiment, "experiment", "all",
-		"which figure to regenerate: fig6 fig8 fig9 fig12 fig13 fig14 fig15 fig16 fig17 fig18 scaling speculation shuffles telemetry engine compile sustained, or all (all skips sustained: it is wall-clock-bound, run it explicitly)")
+		"which figure to regenerate: fig6 fig8 fig9 fig12 fig13 fig14 fig15 fig16 fig17 fig18 scaling speculation shuffles telemetry engine compile sustained transduce, or all (all skips sustained and transduce: they write -bench-out reports, run them explicitly)")
 	flag.Int64Var(&opt.seed, "seed", 1, "workload generator seed")
 	flag.IntVar(&opt.corpus, "corpus", 400, "size of the generated Snort-shaped rule corpus (paper: 2711)")
 	flag.IntVar(&opt.sample, "sample", 60, "FSMs sampled for timing figures (paper: 269)")
@@ -123,13 +123,15 @@ func main() {
 		"engine":      engineExperiment,
 		"compile":     compileExperiment,
 		"sustained":   sustained,
+		"transduce":   transduceExperiment,
 	}
 	if opt.experiment == "all" {
 		names := make([]string, 0, len(experiments))
 		for n := range experiments {
 			// The sustained experiment burns -duration of wall clock by
-			// design; it only runs when asked for by name.
-			if n == "sustained" {
+			// design, and both it and transduce write -bench-out reports;
+			// they only run when asked for by name.
+			if n == "sustained" || n == "transduce" {
 				continue
 			}
 			names = append(names, n)

@@ -65,6 +65,11 @@ type sustainedMachine struct {
 	SpecChunks      int64   `json:"spec_chunks,omitempty"`
 	SpecMispredicts int64   `json:"spec_mispredicts,omitempty"`
 	MispredictRate  float64 `json:"mispredict_rate,omitempty"`
+	// Transduce-experiment rates (also additive): how fast the lane
+	// emits token spans and how many input bytes those spans cover per
+	// second. Zero in sustained reports, which time acceptance only.
+	SpansPerSec       float64 `json:"spans_per_sec,omitempty"`
+	OutputBytesPerSec float64 `json:"output_bytes_per_sec,omitempty"`
 }
 
 // sustainedReport is the emitted JSON document.
@@ -354,12 +359,26 @@ func compareReports(oldPath, newPath string, threshold float64) error {
 	// Advisory per-machine diff: strategy/lane flips and kernel-rate
 	// movement are printed for the human but never gate — the adaptive
 	// selector is allowed to change its mind between commits.
-	oldMachines := make(map[string]sustainedMachine, len(oldRep.Machines))
+	// Rows pair up by (name, lane): transduce reports carry one row per
+	// lane under a single machine name. A name with exactly one old row
+	// still matches across a lane flip, so sustained's lane advisories
+	// keep firing.
+	oldMachines := make(map[string][]sustainedMachine, len(oldRep.Machines))
 	for _, m := range oldRep.Machines {
-		oldMachines[m.Name] = m
+		oldMachines[m.Name] = append(oldMachines[m.Name], m)
 	}
 	for _, m := range newRep.Machines {
-		om, ok := oldMachines[m.Name]
+		var om sustainedMachine
+		ok := false
+		for _, c := range oldMachines[m.Name] {
+			if c.Lane == m.Lane {
+				om, ok = c, true
+				break
+			}
+		}
+		if !ok && len(oldMachines[m.Name]) == 1 {
+			om, ok = oldMachines[m.Name][0], true
+		}
 		if !ok {
 			continue
 		}

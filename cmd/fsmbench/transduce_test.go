@@ -1,0 +1,51 @@
+package main
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestRunTransduceBenchSmoke runs the tokenize benchmark at a small
+// input size — the divergence check inside runTransduceBench is the
+// real assertion (every lane must emit the sequential span list) — and
+// validates the report the regression gate consumes.
+func TestRunTransduceBenchSmoke(t *testing.T) {
+	opt := &options{seed: 1, mb: 1, procs: runtime.NumCPU()}
+	rep, err := runTransduceBench(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != benchSchemaVersion {
+		t.Fatalf("schema = %d", rep.Schema)
+	}
+	if len(rep.Machines) != 3 {
+		t.Fatalf("lanes in report = %d, want single/multicore/speculative", len(rep.Machines))
+	}
+	seen := map[string]bool{}
+	for _, m := range rep.Machines {
+		seen[m.Lane] = true
+		if m.Name != "htmltok" || m.Strategy == "" || m.Strategy == "auto" {
+			t.Fatalf("row %+v: want htmltok with a resolved strategy", m)
+		}
+		if m.Jobs == 0 || m.ThroughputBytesPerSec <= 0 || m.SpansPerSec <= 0 || m.OutputBytesPerSec <= 0 {
+			t.Fatalf("row %+v: rates must be positive on a non-empty workload", m)
+		}
+		if m.OutputBytesPerSec > m.ThroughputBytesPerSec {
+			t.Fatalf("row %+v: spans cover more bytes than were scanned", m)
+		}
+	}
+	for _, lane := range []string{"single", "multicore", "speculative"} {
+		if !seen[lane] {
+			t.Fatalf("lane %s missing from report (got %v)", lane, seen)
+		}
+	}
+	if rep.ThroughputBytesPerSec <= 0 || rep.Bytes != 1<<20 {
+		t.Fatalf("aggregate: rate=%g bytes=%d", rep.ThroughputBytesPerSec, rep.Bytes)
+	}
+	// The comparator must accept the transduce-shaped report.
+	dir := t.TempDir()
+	p := writeReportFile(t, dir, "self.json", *rep)
+	if err := compareReports(p, p, regressionGate); err != nil {
+		t.Fatalf("self-compare: %v", err)
+	}
+}

@@ -22,6 +22,7 @@
 // Endpoints:
 //
 //	POST /v1/run?machine=NAME[&start=Q][&strategy=S][&first=1][&trace=1]  run one input, JSON result
+//	POST /v1/transduce?machine=NAME[&start=Q][&strategy=S][&trace=1]      run a transducer machine, streamed NDJSON header + token spans + summary
 //	POST /v1/batch[?trace=1]                       NDJSON jobs in, streamed NDJSON results + summary out
 //	GET  /v1/machines                              list machines + static stats
 //	GET  /v1/machines/{name}                       one machine's registry entry
@@ -568,15 +569,20 @@ func bufLimit(maxBody int64) int {
 // caller must hold s.mu (read or write).
 func (s *server) machineInfo(name string, m *engine.Machine) serverapi.MachineInfo {
 	meta := s.meta[name]
-	return serverapi.MachineInfo{
+	info := serverapi.MachineInfo{
 		Name:        name,
 		Pattern:     meta.pattern,
 		Strategy:    m.Runner().Strategy(),
 		Procs:       s.engine.Procs(),
 		Fingerprint: m.Fingerprint(),
 		Source:      meta.source,
+		Kind:        m.Kind().String(),
 		Stats:       m.DFA().Stats(),
 	}
+	if t := m.Transducer(); t != nil {
+		info.OutputTableBytes = t.TableBytes()
+	}
+	return info
 }
 
 // handleMachines serves the registry collection: GET lists, POST
@@ -658,12 +664,17 @@ func (s *server) handleRegister(w http.ResponseWriter, req *http.Request) {
 // adaptive-dispatch decision.
 func machineSelection(name string, m *engine.Machine) serverapi.MachineSelection {
 	sel := m.Selection()
-	return serverapi.MachineSelection{
+	ms := serverapi.MachineSelection{
 		Machine:  name,
 		Lane:     sel.Lane,
 		Strategy: sel.Strategy,
 		Reason:   sel.Reason,
+		Kind:     m.Kind().String(),
 	}
+	if t := m.Transducer(); t != nil {
+		ms.OutputTableBytes = t.TableBytes()
+	}
+	return ms
 }
 
 // handleMachineByName serves /v1/machines/{name}: GET one entry,
@@ -839,7 +850,7 @@ func writeEngineError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, engine.ErrUnknownMachine):
 		writeError(w, http.StatusNotFound, err.Error())
-	case errors.Is(err, engine.ErrBadStart):
+	case errors.Is(err, engine.ErrBadStart), errors.Is(err, engine.ErrNotTransducer):
 		writeError(w, http.StatusBadRequest, err.Error())
 	case errors.Is(err, engine.ErrQueueFull):
 		// Load shed by TrySubmit: the canonical "back off and retry".
@@ -881,6 +892,7 @@ func (s *server) mux() *http.ServeMux {
 	// Versioned surface. Every route goes through instrument (access
 	// log); run and batch additionally accept tracing.
 	mux.HandleFunc(serverapi.Version+"/run", s.instrument(serverapi.Version+"/run", true, s.handleRun))
+	mux.HandleFunc(serverapi.Version+"/transduce", s.instrument(serverapi.Version+"/transduce", true, s.handleTransduce))
 	mux.HandleFunc(serverapi.Version+"/batch", s.instrument(serverapi.Version+"/batch", true, s.handleBatch))
 	mux.HandleFunc(serverapi.Version+"/machines", s.instrument(serverapi.Version+"/machines", false, s.handleMachines))
 	mux.HandleFunc(serverapi.Version+"/machines/", s.instrument(serverapi.Version+"/machines/{name}", false, s.handleMachineByName))
@@ -988,6 +1000,9 @@ func main() {
 		fatal("building server", err)
 	}
 	srv.log = logger
+	// The compiled-in tokenizers ride along as transducer machines for
+	// /v1/transduce; a patterns file claiming their names wins.
+	srv.registerBuiltinTransducers()
 	srv.recorder = trace.NewRecorder(*traceBuf)
 	srv.slo = slo.New(slo.Config{
 		AvailabilityTarget: *sloAvail,

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/htmltok"
+	"dpfsm/internal/serverapi"
+)
+
+// transduceNDJSON posts body to /v1/transduce and decodes the stream
+// into header, span lines, and trailer.
+func transduceNDJSON(t *testing.T, ts *httptest.Server, query, body string) (serverapi.TransduceHeader, []serverapi.TransduceSpan, serverapi.TransduceTrailer) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/transduce"+query, "application/octet-stream", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var (
+		header  serverapi.TransduceHeader
+		spans   []serverapi.TransduceSpan
+		trailer serverapi.TransduceTrailer
+		line    int
+	)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		switch {
+		case line == 0:
+			if err := json.Unmarshal(raw, &header); err != nil || header.Machine == "" {
+				t.Fatalf("bad header line %s: %v", raw, err)
+			}
+		case bytes.Contains(raw, []byte(`"summary"`)):
+			if err := json.Unmarshal(raw, &trailer); err != nil {
+				t.Fatalf("bad trailer %s: %v", raw, err)
+			}
+		default:
+			var sp serverapi.TransduceSpan
+			if err := json.Unmarshal(raw, &sp); err != nil {
+				t.Fatalf("bad span line %s: %v", raw, err)
+			}
+			spans = append(spans, sp)
+		}
+		line++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return header, spans, trailer
+}
+
+func TestTransduceEndpoint(t *testing.T) {
+	srv, err := newServer(nil, core.Auto, 2, 1<<20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	srv.registerBuiltinTransducers()
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+
+	doc := `<p class="x">hi &amp; bye</p><!-- c -->`
+	header, spans, trailer := transduceNDJSON(t, ts, "?machine=htmltok", doc)
+	if header.Machine != "htmltok" || header.Kind != "mealy" || header.Bytes != len(doc) {
+		t.Fatalf("header %+v", header)
+	}
+	if trailer.Summary.Spans != len(spans) || len(spans) == 0 {
+		t.Fatalf("trailer says %d spans, stream carried %d", trailer.Summary.Spans, len(spans))
+	}
+
+	// The stream must agree with the library tokenizer exactly.
+	tok, err := htmltok.NewTokenizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tok.Tokenize([]byte(doc))
+	if len(want) != len(spans) {
+		t.Fatalf("%d spans, library tokenizer says %d", len(spans), len(want))
+	}
+	var covered int64
+	for i, sp := range spans {
+		if sp.Start != want[i].Start || sp.End != want[i].End || sp.Out != int(want[i].Type) {
+			t.Fatalf("span %d = %+v, want %+v", i, sp, want[i])
+		}
+		covered += int64(sp.End - sp.Start)
+	}
+	if trailer.Summary.OutputBytes != covered {
+		t.Fatalf("summary output_bytes %d, spans cover %d", trailer.Summary.OutputBytes, covered)
+	}
+
+	// ?strategy= override is honored and reported.
+	_, _, tr2 := transduceNDJSON(t, ts, "?machine=htmltok&strategy=base", doc)
+	if tr2.Summary.Strategy != "base" {
+		t.Fatalf("override strategy reported %q", tr2.Summary.Strategy)
+	}
+
+	// Acceptor machines reject transduce with a bad_request envelope.
+	resp, err := http.Post(ts.URL+"/v1/transduce?machine=sqli", "application/octet-stream", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("acceptor transduce: status %d", resp.StatusCode)
+	}
+	var envelope serverapi.Error
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Code != serverapi.CodeBadRequest {
+		t.Fatalf("acceptor transduce envelope: %+v err %v", envelope, err)
+	}
+}
+
+// TestStatusReportsMachineKind is the registry-truthfulness check: the
+// status document's per-machine selections and /v1/machines entries
+// must distinguish acceptors from transducers and size the λ table.
+func TestStatusReportsMachineKind(t *testing.T) {
+	srv, err := newServer(nil, core.Auto, 1, 1<<20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	srv.registerBuiltinTransducers()
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st serverapi.Status
+	decodeInto(t, resp, &st)
+	byName := map[string]serverapi.MachineSelection{}
+	for _, sel := range st.Selections {
+		byName[sel.Machine] = sel
+	}
+	if sel := byName["sqli"]; sel.Kind != "acceptor" || sel.OutputTableBytes != 0 {
+		t.Fatalf("sqli selection %+v, want acceptor with no output table", sel)
+	}
+	sel, ok := byName["htmltok"]
+	if !ok || sel.Kind != "mealy" || sel.OutputTableBytes == 0 {
+		t.Fatalf("htmltok selection %+v, want mealy with output table", sel)
+	}
+
+	infos := machineInfos(t, ts)
+	if in := infos["htmltok"]; in.Kind != "mealy" || in.OutputTableBytes == 0 || in.Source != "builtin" {
+		t.Fatalf("htmltok machine info %+v", in)
+	}
+	if in := infos["sqli"]; in.Kind != "acceptor" || in.OutputTableBytes != 0 {
+		t.Fatalf("sqli machine info %+v", in)
+	}
+}

@@ -1,6 +1,9 @@
 // Command htmltok tokenizes HTML with either the switch-encoded
 // baseline or the data-parallel tokenizer of the §6.3 case study, and
-// prints tokens or throughput.
+// prints tokens or throughput. The parallel implementation is the
+// span-emitting transduce path: the tokenizer compiles its Mealy
+// token-class table into the plan and token offsets come straight from
+// core.TransduceSpans — chunk-parallel replay, no scalar rescan.
 //
 // Usage:
 //

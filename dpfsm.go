@@ -36,6 +36,57 @@ type (
 // with SetTransition/SetColumn and mark accepting states before use.
 func NewDFA(numStates, numSymbols int) (*DFA, error) { return fsm.New(numStates, numSymbols) }
 
+// Transduction (internal/fsm + internal/core). A Transducer is a DFA
+// with an output table λ — per state (Moore) or per (state, symbol)
+// (Mealy) — and a transducing run emits one output symbol per input
+// byte. The parallel lanes replay each chunk from the start state the
+// composition fold resolves, so every lane's output tape and span list
+// are byte-identical to a sequential run.
+type (
+	// Transducer is an output-bearing machine: a DFA plus λ.
+	Transducer = fsm.Transducer
+	// Output is one output-alphabet symbol; OutputNone marks gaps.
+	Output = fsm.Output
+	// Kind classifies a machine: acceptor, moore, or mealy.
+	Kind = fsm.Kind
+	// Span is a maximal run of equal non-OutputNone outputs:
+	// input[Start:End] all emitted Out. Token and match spans take this
+	// shape.
+	Span = core.Span
+)
+
+// Machine kinds and the gap output symbol.
+const (
+	KindAcceptor = fsm.KindAcceptor
+	KindMoore    = fsm.KindMoore
+	KindMealy    = fsm.KindMealy
+	OutputNone   = fsm.OutputNone
+)
+
+// NewMoore attaches a per-state output table to d (λ: Q → Γ with
+// numOutputs symbols); fill it with SetMooreOutput.
+func NewMoore(d *DFA, numOutputs int) (*Transducer, error) { return fsm.NewMoore(d, numOutputs) }
+
+// NewMealy attaches a per-(state, symbol) output table to d
+// (λ: Q × Σ → Γ); fill it with SetMealyOutput.
+func NewMealy(d *DFA, numOutputs int) (*Transducer, error) { return fsm.NewMealy(d, numOutputs) }
+
+// CompileTransducer compiles an output-bearing machine into a Plan
+// whose fingerprint covers λ; runners built from it serve Transduce as
+// well as the plain accept/final surface, and the plan round-trips
+// through MarshalBinary/UnmarshalPlan like any other.
+func CompileTransducer(t *Transducer, opts ...Option) (*Plan, error) {
+	return core.CompileTransducer(t, opts...)
+}
+
+// Transduce runs input through a transducer plan's runner from start
+// and returns the span list a sequential replay would produce, plus
+// the final state. The runner must come from CompileTransducer (or a
+// decoded transducer plan); acceptor runners return an error.
+func Transduce(r *Runner, input []byte, start State) ([]Span, State, error) {
+	return r.TransduceSpans(input, start)
+}
+
 // Regex front end (internal/regex).
 
 // CompileOptions configures Compile; the zero value gives Snort-style
@@ -156,6 +207,9 @@ type (
 	Job = engine.Job
 	// Result reports one job's outcome.
 	Result = engine.Result
+	// TransduceResult reports one Engine.Transduce call's outcome: the
+	// dispatch record plus the emitted spans.
+	TransduceResult = engine.TransduceResult
 	// BatchStats aggregates one RunBatch call.
 	BatchStats = engine.BatchStats
 	// PlanCache is a bounded LRU of compiled plans keyed by
@@ -173,6 +227,9 @@ var (
 	ErrBadStart       = engine.ErrBadStart
 	// ErrQueueFull is returned by TrySubmit when the engine sheds load.
 	ErrQueueFull = engine.ErrQueueFull
+	// ErrNotTransducer is returned by Engine.Transduce on machines
+	// registered without an output table.
+	ErrNotTransducer = engine.ErrNotTransducer
 )
 
 // Engine dispatch lanes, reported in Result.Lane: "single" (batch-

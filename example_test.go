@@ -56,6 +56,41 @@ func ExampleEngine() {
 	// ok: 3
 }
 
+// ExampleTransduce marks digit runs with a one-state Mealy machine:
+// λ emits 1 on digits, the gap symbol elsewhere, and Transduce folds
+// the output tape into maximal spans.
+func ExampleTransduce() {
+	d, err := dpfsm.NewDFA(1, 256)
+	if err != nil {
+		panic(err)
+	}
+	tr, err := dpfsm.NewMealy(d, 2)
+	if err != nil {
+		panic(err)
+	}
+	for c := '0'; c <= '9'; c++ {
+		tr.SetMealyOutput(0, byte(c), 1)
+	}
+	p, err := dpfsm.CompileTransducer(tr)
+	if err != nil {
+		panic(err)
+	}
+	r, err := dpfsm.NewRunnerFromPlan(p)
+	if err != nil {
+		panic(err)
+	}
+	spans, _, err := dpfsm.Transduce(r, []byte("ab12cd345e"), 0)
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range spans {
+		fmt.Printf("[%d,%d)\n", s.Start, s.End)
+	}
+	// Output:
+	// [2,4)
+	// [6,9)
+}
+
 // ExampleRunner_FinalCtx bounds a run with a context; a canceled
 // context stops the scan at the next block boundary.
 func ExampleRunner_FinalCtx() {

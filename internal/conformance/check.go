@@ -35,6 +35,10 @@ type checker struct {
 	spec    *speculative.Runner
 	specBad *speculative.Runner
 
+	// trans are the derived Moore/Mealy transducer probes with their
+	// transducing runner matrix (transduce.go).
+	trans []*transProbe
+
 	eng *engine.Engine
 }
 
@@ -125,6 +129,10 @@ func newChecker(d *fsm.DFA, label string, cfg Config) (*checker, *Divergence) {
 		c.singles[s] = single
 		c.multis[s] = multi
 	}
+	if dv := c.buildTransProbes(); dv != nil {
+		c.Close()
+		return nil, dv
+	}
 	return c, nil
 }
 
@@ -198,6 +206,9 @@ func (c *checker) check(input []byte) *Divergence {
 			return dv
 		}
 		if dv := c.checkSpeculative(input, start, want); dv != nil {
+			return dv
+		}
+		if dv := c.checkTransduce(input, start); dv != nil {
 			return dv
 		}
 	}

@@ -50,7 +50,13 @@ type Plan struct {
 
 	rc *rcTables // range-coalesced tables; nil unless strategy needs them
 
-	// fingerprint = hex(sha256(machine encoding ‖ strategy name)[:16]).
+	// out is the Moore/Mealy output table for transducer plans, nil
+	// for plain acceptors. Like the transition columns it aliases the
+	// caller's machine (out.DFA() == d) and is immutable once compiled.
+	out *fsm.Transducer
+
+	// fingerprint = hex(sha256(machine encoding ‖ output-table encoding
+	// (transducers only) ‖ strategy name)[:16]).
 	fingerprint string
 }
 
@@ -103,7 +109,56 @@ func PlanKey(d *fsm.DFA, opts ...Option) (string, error) {
 		}
 	}
 	s, _ := resolveStrategy(cfg.strategy, maxRange)
-	return fingerprint(d, s), nil
+	return fingerprint(d, nil, s), nil
+}
+
+// CompileTransducer compiles an output-bearing machine: the same plan
+// CompilePlan builds for t's DFA, carrying t's λ table so transducing
+// runners (Runner.TransduceOutputs / TransduceSpans) can replay
+// outputs. The fingerprint covers λ — two transducers over the same δ
+// with different output tables get distinct plan identities.
+func CompileTransducer(t *fsm.Transducer, opts ...Option) (*Plan, error) {
+	if t == nil {
+		return nil, fmt.Errorf("core: nil transducer")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	p, err := compile(t.DFA(), cfg.strategy)
+	if err != nil {
+		return nil, err
+	}
+	p.out = t
+	p.fingerprint = fingerprint(p.d, t, p.strategy)
+	return p, nil
+}
+
+// TransducerPlanKey is PlanKey for transducer plans: the fingerprint
+// CompileTransducer would assign, without building tables.
+func TransducerPlanKey(t *fsm.Transducer, opts ...Option) (string, error) {
+	if t == nil {
+		return "", fmt.Errorf("core: nil transducer")
+	}
+	if err := t.Validate(); err != nil {
+		return "", err
+	}
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	d := t.DFA()
+	maxRange := 0
+	for _, v := range d.RangeSizes() {
+		if v > maxRange {
+			maxRange = v
+		}
+	}
+	s, _ := resolveStrategy(cfg.strategy, maxRange)
+	return fingerprint(d, t, s), nil
 }
 
 // compile is CompilePlan after validation and option folding; it is
@@ -154,21 +209,27 @@ func compile(d *fsm.DFA, strategy Strategy) (*Plan, error) {
 	for a, v := range p.ranges {
 		p.rangeBlocks[a] = int64((v + gather.Width - 1) / gather.Width)
 	}
-	p.fingerprint = fingerprint(d, p.strategy)
+	p.fingerprint = fingerprint(d, nil, p.strategy)
 	return p, nil
 }
 
 // fingerprint derives the cache identity of a compiled machine:
-// sha256 over the machine's canonical binary encoding followed by the
+// sha256 over the machine's canonical binary encoding, the output
+// table's encoding when t is non-nil (transducer plans), and the
 // resolved strategy name, truncated to 128 bits and hex-encoded.
 // Runner-level knobs (procs, convergence cadence, SIMD emulation,
 // telemetry) are deliberately excluded — plans are invariant under
 // them, which is what lets a single-core and a multicore runner pair
-// share one cache entry.
-func fingerprint(d *fsm.DFA, s Strategy) string {
+// share one cache entry. Acceptor fingerprints are unchanged from
+// before transduction existed, so persisted plan directories keyed by
+// the old scheme stay valid.
+func fingerprint(d *fsm.DFA, t *fsm.Transducer, s Strategy) string {
 	h := sha256.New()
 	// DFA.WriteTo into a hash never fails.
 	d.WriteTo(h) //nolint:errcheck
+	if t != nil {
+		h.Write(t.AppendEncoding(nil))
+	}
 	h.Write([]byte(s.String()))
 	sum := h.Sum(nil)
 	return hex.EncodeToString(sum[:16])
@@ -188,6 +249,17 @@ func (p *Plan) Fingerprint() string { return p.fingerprint }
 // strategy was forced at compile time.
 func (p *Plan) AutoReason() string { return p.reason }
 
+// Outputs returns the plan's output table (nil for acceptor plans).
+func (p *Plan) Outputs() *fsm.Transducer { return p.out }
+
+// Kind classifies the plan's machine: acceptor, moore, or mealy.
+func (p *Plan) Kind() fsm.Kind {
+	if p.out == nil {
+		return fsm.KindAcceptor
+	}
+	return p.out.Kind()
+}
+
 // MaxRange reports the machine's maximum per-symbol transition range,
 // the quantity the Auto decision pivots on.
 func (p *Plan) MaxRange() int { return p.maxRange }
@@ -204,6 +276,9 @@ func (p *Plan) TableBytes() int {
 	total := 0
 	for _, c := range p.colsB {
 		total += len(c)
+	}
+	if p.out != nil {
+		total += p.out.TableBytes()
 	}
 	if p.rc != nil {
 		total += p.rc.EntryCount() // t tables (bytes)
@@ -232,8 +307,22 @@ func (p *Plan) equivalent(q *Plan) bool {
 			return false
 		}
 	}
-	if (p.rc == nil) != (q.rc == nil) {
+	if (p.rc == nil) != (q.rc == nil) || (p.out == nil) != (q.out == nil) {
 		return false
+	}
+	if p.out != nil {
+		if p.out.Kind() != q.out.Kind() || p.out.NumOutputs() != q.out.NumOutputs() {
+			return false
+		}
+		pl, ql := p.out.Lambda(), q.out.Lambda()
+		if len(pl) != len(ql) {
+			return false
+		}
+		for i := range pl {
+			if pl[i] != ql[i] {
+				return false
+			}
+		}
 	}
 	if p.rc != nil {
 		for a := range p.rc.l {

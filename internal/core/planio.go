@@ -51,6 +51,18 @@ func (p *Plan) MarshalBinary() ([]byte, error) {
 		}
 		f.RC = rc
 	}
+	if p.out != nil {
+		lam := p.out.Lambda()
+		o := &planwire.Outputs{
+			Kind:       uint8(p.out.Kind()),
+			NumOutputs: uint32(p.out.NumOutputs()),
+			Lambda:     make([]uint16, len(lam)),
+		}
+		for i, v := range lam {
+			o.Lambda[i] = uint16(v)
+		}
+		f.Out = o
+	}
 	return f.MarshalBinary()
 }
 
@@ -129,7 +141,20 @@ func UnmarshalPlan(data []byte) (*Plan, error) {
 		}
 		p.rc = rc
 	}
-	p.fingerprint = fingerprint(d, strategy)
+	if f.Out != nil {
+		lam := make([]fsm.Output, len(f.Out.Lambda))
+		for i, v := range f.Out.Lambda {
+			lam[i] = fsm.Output(v)
+		}
+		// NewTransducer revalidates kind, |Γ|, the λ shape against the
+		// decoded machine, and every entry's range.
+		t, err := fsm.NewTransducer(d, fsm.Kind(f.Out.Kind), int(f.Out.NumOutputs), lam)
+		if err != nil {
+			return nil, fmt.Errorf("core: plan output table: %w", err)
+		}
+		p.out = t
+	}
+	p.fingerprint = fingerprint(d, p.out, strategy)
 	return p, nil
 }
 

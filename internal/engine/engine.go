@@ -50,9 +50,10 @@ import (
 // Exported so explain builders (cmd/fsmserve) and tests address them
 // symbolically.
 const (
-	SpanQueue = "engine.queue" // Submit → worker dequeue (queue wait)
-	SpanExec  = "engine.exec"  // one job's execution
-	SpanGate  = "engine.gate"  // multicore fan-out slot acquisition
+	SpanQueue     = "engine.queue"     // Submit → worker dequeue (queue wait)
+	SpanExec      = "engine.exec"      // one job's execution
+	SpanGate      = "engine.gate"      // multicore fan-out slot acquisition
+	SpanTransduce = "engine.transduce" // one transduce job's execution
 
 	AttrMachine    = "machine"
 	AttrBytes      = "bytes"
@@ -195,10 +196,12 @@ type Machine struct {
 	// per-job strategy overrides can build alternate runners lazily.
 	opts []core.Option
 
-	// altMu guards alt, the lazily compiled single-core runners for
-	// per-job strategy overrides (Job.Strategy != plan strategy).
-	altMu sync.Mutex
-	alt   map[core.Strategy]*core.Runner
+	// altMu guards alt and altTrans, the lazily compiled single-core
+	// runners for per-job strategy overrides (Job.Strategy != plan
+	// strategy). altTrans carries the output table; alt does not.
+	altMu    sync.Mutex
+	alt      map[core.Strategy]*core.Runner
+	altTrans map[core.Strategy]*core.Runner
 }
 
 // Name returns the registration name.

@@ -102,6 +102,30 @@ func (c *PlanCache) GetOrCompile(d *fsm.DFA, opts ...core.Option) (*core.Plan, b
 	return c.insert(key, p), false, nil
 }
 
+// GetOrCompileTransducer is GetOrCompile for output-bearing machines.
+// The key covers λ (core.TransducerPlanKey), so two transducers over
+// the same δ with different output tables occupy distinct entries —
+// and never collide with the acceptor plan of the same machine.
+func (c *PlanCache) GetOrCompileTransducer(t *fsm.Transducer, opts ...core.Option) (*core.Plan, bool, error) {
+	key, err := core.TransducerPlanKey(t, opts...)
+	if err != nil {
+		return nil, false, err
+	}
+	if p := c.lookup(key); p != nil {
+		return p, true, nil
+	}
+	var sp telemetry.Span
+	if c.tel != nil {
+		sp = c.tel.PlanCompileTime.Start()
+	}
+	p, err := core.CompileTransducer(t, opts...)
+	sp.Stop()
+	if err != nil {
+		return nil, false, err
+	}
+	return c.insert(key, p), false, nil
+}
+
 // Get returns the cached plan for key, or nil. A hit refreshes
 // recency but is not counted in the hit/miss stats — only
 // GetOrCompile lookups are, so the hit rate measures registration

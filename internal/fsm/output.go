@@ -1,0 +1,230 @@
+package fsm
+
+// Moore/Mealy output tables: the λ half of a finite-state transducer
+// (Q, Σ, Γ, q0, δ, λ). The acceptance-only machines this repository
+// started from answer "did the input match"; an output table upgrades
+// the same δ to answer "what did the input *mean*" — token classes,
+// match markers, decode symbols — one output symbol per input symbol.
+//
+// Both classical shapes are supported, following the fsm-toolkit
+// format: Moore machines attach outputs to states (λ: Q → Γ) and emit
+// the output of the state *entered* by each transition; Mealy machines
+// attach outputs to transitions (λ: Q × Σ → Γ) and emit per consumed
+// symbol. Either way the emission at input position i is a pure
+// function of (state before i, symbol at i) — which is exactly what
+// makes transduction data-parallel: once the paper's composition fold
+// has resolved each chunk's start state, every chunk can replay its
+// own outputs independently (§2.1's φ-function, materialized as a
+// table instead of a callback).
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Output is one symbol of a transducer's output alphabet Γ. Like
+// State it is a dense uint16, bounding Γ at 65536 symbols (the
+// fsm-toolkit limit); token-class and match-marker alphabets are tiny.
+type Output uint16
+
+// MaxOutputs is the largest output-alphabet size a transducer may have.
+const MaxOutputs = 1 << 16
+
+// OutputNone is the designated "no output" symbol. Span extraction
+// folds the output tape into maximal runs of equal non-OutputNone
+// symbols, so transducers should reserve output 0 for gaps.
+const OutputNone Output = 0
+
+// Kind classifies a machine by where its outputs live.
+type Kind uint8
+
+const (
+	// KindAcceptor is a plain DFA with no output table.
+	KindAcceptor Kind = iota
+	// KindMoore attaches outputs to states: λ(q), emitted on entering q.
+	KindMoore
+	// KindMealy attaches outputs to transitions: λ(q, a).
+	KindMealy
+)
+
+// String returns the kind's wire name ("acceptor", "moore", "mealy").
+func (k Kind) String() string {
+	switch k {
+	case KindAcceptor:
+		return "acceptor"
+	case KindMoore:
+		return "moore"
+	case KindMealy:
+		return "mealy"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Transducer couples a DFA with an output table. The DFA is shared,
+// not copied: a transducer is a view that adds λ to an existing δ.
+// The zero value is not usable; construct with NewMoore, NewMealy, or
+// NewTransducer.
+type Transducer struct {
+	d          *DFA
+	kind       Kind
+	numOutputs int
+	// lambda holds the output table. Moore: lambda[q] = λ(q), length
+	// numStates. Mealy: column-major by symbol like the transition
+	// table, lambda[a*numStates+q] = λ(q, a), length numStates*numSymbols.
+	lambda []Output
+}
+
+// NewMoore returns a Moore transducer over d with numOutputs output
+// symbols. All outputs are initially OutputNone.
+func NewMoore(d *DFA, numOutputs int) (*Transducer, error) {
+	if err := checkOutputs(numOutputs); err != nil {
+		return nil, err
+	}
+	return &Transducer{
+		d: d, kind: KindMoore, numOutputs: numOutputs,
+		lambda: make([]Output, d.numStates),
+	}, nil
+}
+
+// NewMealy returns a Mealy transducer over d with numOutputs output
+// symbols. All outputs are initially OutputNone.
+func NewMealy(d *DFA, numOutputs int) (*Transducer, error) {
+	if err := checkOutputs(numOutputs); err != nil {
+		return nil, err
+	}
+	return &Transducer{
+		d: d, kind: KindMealy, numOutputs: numOutputs,
+		lambda: make([]Output, d.numStates*d.numSymbols),
+	}, nil
+}
+
+// NewTransducer assembles a transducer from its parts — the
+// deserialization path — and validates it. lambda is copied.
+func NewTransducer(d *DFA, kind Kind, numOutputs int, lambda []Output) (*Transducer, error) {
+	t := &Transducer{d: d, kind: kind, numOutputs: numOutputs,
+		lambda: append([]Output(nil), lambda...)}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func checkOutputs(numOutputs int) error {
+	if numOutputs <= 0 || numOutputs > MaxOutputs {
+		return fmt.Errorf("fsm: numOutputs %d out of range [1, %d]", numOutputs, MaxOutputs)
+	}
+	return nil
+}
+
+// DFA returns the underlying machine.
+func (t *Transducer) DFA() *DFA { return t.d }
+
+// Kind reports where the outputs live (KindMoore or KindMealy).
+func (t *Transducer) Kind() Kind { return t.kind }
+
+// NumOutputs reports |Γ|.
+func (t *Transducer) NumOutputs() int { return t.numOutputs }
+
+// Lambda returns the raw output table: Moore indexed by state, Mealy
+// column-major by symbol. The slice aliases the transducer's internal
+// storage and must be treated as read-only (serialization path).
+func (t *Transducer) Lambda() []Output { return t.lambda }
+
+// TableBytes reports the output table's storage footprint, for the
+// registry surfaces that account table memory.
+func (t *Transducer) TableBytes() int { return 2 * len(t.lambda) }
+
+// SetMooreOutput sets λ(q) = out on a Moore transducer.
+func (t *Transducer) SetMooreOutput(q State, out Output) {
+	if t.kind != KindMoore {
+		panic("fsm: SetMooreOutput on a " + t.kind.String() + " transducer")
+	}
+	t.d.checkState(q)
+	t.checkOutput(out)
+	t.lambda[q] = out
+}
+
+// SetMealyOutput sets λ(q, sym) = out on a Mealy transducer.
+func (t *Transducer) SetMealyOutput(q State, sym byte, out Output) {
+	if t.kind != KindMealy {
+		panic("fsm: SetMealyOutput on a " + t.kind.String() + " transducer")
+	}
+	t.d.checkState(q)
+	t.d.checkSymbol(sym)
+	t.checkOutput(out)
+	t.lambda[int(sym)*t.d.numStates+int(q)] = out
+}
+
+// OutputAt is the per-transition emission both kinds reduce to: the
+// output produced when sym is consumed in state q. Mealy machines
+// emit λ(q, sym); Moore machines emit λ(δ(q, sym)), the output of the
+// state entered (matching Phi, which reports the post-transition
+// state). This is the single primitive the transducing runners and
+// the scalar oracle replay.
+func (t *Transducer) OutputAt(q State, sym byte) Output {
+	if t.kind == KindMealy {
+		return t.lambda[int(sym)*t.d.numStates+int(q)]
+	}
+	return t.lambda[t.d.Next(q, sym)]
+}
+
+// Clone returns a deep copy (including a clone of the underlying DFA).
+func (t *Transducer) Clone() *Transducer {
+	return &Transducer{
+		d: t.d.Clone(), kind: t.kind, numOutputs: t.numOutputs,
+		lambda: append([]Output(nil), t.lambda...),
+	}
+}
+
+// Validate checks the transducer's structural invariants on top of the
+// DFA's own: a known kind, a sane output alphabet, a λ table of the
+// kind's exact shape, and every entry within [0, NumOutputs).
+func (t *Transducer) Validate() error {
+	if t.d == nil {
+		return errors.New("fsm: transducer has no machine")
+	}
+	if err := t.d.Validate(); err != nil {
+		return err
+	}
+	if err := checkOutputs(t.numOutputs); err != nil {
+		return err
+	}
+	var want int
+	switch t.kind {
+	case KindMoore:
+		want = t.d.numStates
+	case KindMealy:
+		want = t.d.numStates * t.d.numSymbols
+	default:
+		return fmt.Errorf("fsm: transducer kind %d is not moore or mealy", t.kind)
+	}
+	if len(t.lambda) != want {
+		return fmt.Errorf("fsm: %s output table length %d, want %d", t.kind, len(t.lambda), want)
+	}
+	for i, out := range t.lambda {
+		if int(out) >= t.numOutputs {
+			return fmt.Errorf("fsm: output table entry %d value %d out of range [0, %d)", i, out, t.numOutputs)
+		}
+	}
+	return nil
+}
+
+// AppendEncoding appends a canonical binary encoding of the output
+// table (kind, |Γ|, λ entries, little-endian) to b. It exists so the
+// compiled-plan fingerprint can cover λ: two plans over the same δ
+// with different output tables must not share an identity.
+func (t *Transducer) AppendEncoding(b []byte) []byte {
+	b = append(b, byte(t.kind))
+	b = append(b,
+		byte(t.numOutputs), byte(t.numOutputs>>8), byte(t.numOutputs>>16), byte(t.numOutputs>>24))
+	for _, out := range t.lambda {
+		b = append(b, byte(out), byte(out>>8))
+	}
+	return b
+}
+
+func (t *Transducer) checkOutput(out Output) {
+	if int(out) >= t.numOutputs {
+		panic(fmt.Sprintf("fsm: output %d out of range [0, %d)", out, t.numOutputs))
+	}
+}

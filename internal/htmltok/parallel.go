@@ -1,83 +1,69 @@
 package htmltok
 
 import (
-	"sort"
-	"sync"
-
 	"dpfsm/internal/core"
 	"dpfsm/internal/fsm"
 )
 
-// Tokenizer bundles the table machine with an enumerative runner. The
-// zero value is not usable; construct with NewTokenizer.
+// Tokenizer bundles the tokenizer transducer (machine + Mealy token
+// classes) with a transducing runner. The zero value is not usable;
+// construct with NewTokenizer.
 type Tokenizer struct {
-	machine *fsm.DFA
-	runner  *core.Runner
+	trans  *fsm.Transducer
+	runner *core.Runner
 }
 
-// NewTokenizer builds the 27-state machine and a runner over it. As the
-// paper notes for this machine (§6.3), with fewer than 32 states range
-// coalescing adds nothing over convergence, so Auto resolves as usual
-// but callers typically pass core.WithStrategy(core.Convergence) to
-// reproduce the paper's configuration.
+// NewTokenizer builds the 27-state machine, its token-class output
+// table, and a transducing runner over them. As the paper notes for
+// this machine (§6.3), with fewer than 32 states range coalescing adds
+// nothing over convergence, so Auto resolves as usual but callers
+// typically pass core.WithStrategy(core.Convergence) to reproduce the
+// paper's configuration.
 func NewTokenizer(opts ...core.Option) (*Tokenizer, error) {
-	m := NewMachine()
-	r, err := core.New(m, opts...)
+	tr := NewTransducer()
+	p, err := core.CompileTransducer(tr, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return &Tokenizer{machine: m, runner: r}, nil
+	r, err := core.NewFromPlan(p, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Tokenizer{trans: tr, runner: r}, nil
 }
 
 // Machine exposes the underlying 27-state DFA.
-func (t *Tokenizer) Machine() *fsm.DFA { return t.machine }
+func (t *Tokenizer) Machine() *fsm.DFA { return t.trans.DFA() }
 
-// Runner exposes the configured enumerative runner.
+// Transducer exposes the machine with its token-class output table.
+func (t *Tokenizer) Transducer() *fsm.Transducer { return t.trans }
+
+// Runner exposes the configured transducing runner.
 func (t *Tokenizer) Runner() *core.Runner { return t.runner }
 
 // TokenizeTable tokenizes sequentially using transition-table lookups
 // (the data-access twin of TokenizeSwitch's control-flow encoding).
 func (t *Tokenizer) TokenizeTable(input []byte) []Token {
-	toks, _ := tokenizeFrom(t.machine, input, 0, t.machine.Start())
+	toks, _ := tokenizeFrom(t.Machine(), input, 0, t.Machine().Start())
 	return toks
 }
 
-// Tokenize runs the parallel tokenizer: phases 1–2 of Figure 5 resolve
-// chunk start states enumeratively, each chunk is tokenized
-// independently, and tokens that straddle chunk boundaries are merged
-// during the ordered stitch — the "two passes over the input" of §6.3.
+// Tokenize runs the parallel tokenizer through the generic transduce
+// path: phases 1–2 of Figure 5 resolve chunk start states
+// enumeratively, each chunk replays its token classes independently,
+// and the core runner's span stitch merges runs that straddle chunk
+// boundaries — the "two passes over the input" of §6.3. Token offsets
+// come from the parallel runner itself; there is no scalar rescan and
+// no tokenizer-specific merge code left.
 func (t *Tokenizer) Tokenize(input []byte) []Token {
-	type piece struct {
-		off  int
-		toks []Token
+	spans, _, err := t.runner.TransduceSpans(input, t.Machine().Start())
+	if err != nil {
+		// Unreachable: the runner was compiled from the transducer.
+		panic(err)
 	}
-	var mu sync.Mutex
-	var pieces []piece
-	t.runner.RunChunked(input, t.machine.Start(), func(off int, chunk []byte, start fsm.State) fsm.State {
-		toks, final := tokenizeFrom(t.machine, chunk, off, start)
-		mu.Lock()
-		pieces = append(pieces, piece{off, toks})
-		mu.Unlock()
-		return final
-	})
-	sort.Slice(pieces, func(i, j int) bool { return pieces[i].off < pieces[j].off })
-
-	total := 0
-	for _, p := range pieces {
-		total += len(p.toks)
+	toks := make([]Token, len(spans))
+	for i, s := range spans {
+		toks[i] = Token{Type: TokenType(s.Out), Start: s.Start, End: s.End}
 	}
-	out := make([]Token, 0, total)
-	for _, p := range pieces {
-		for _, tok := range p.toks {
-			// A token that continues across the chunk boundary is the
-			// same maximal run the sequential pass would produce: glue
-			// it to its left half.
-			if n := len(out); n > 0 && out[n-1].Type == tok.Type && out[n-1].End == tok.Start {
-				out[n-1].End = tok.End
-				continue
-			}
-			out = append(out, tok)
-		}
-	}
-	return out
+	return toks
 }

@@ -99,6 +99,28 @@ func classify(prev fsm.State, b byte, next fsm.State) TokenType {
 	}
 }
 
+// NewTransducer materializes classify as a Mealy output table over the
+// tokenizer machine: λ(q, a) = classify(q, a, δ(q, a)). Because
+// classify depends only on the transition being taken, the table is
+// exactly equivalent to the callback — and once tabled, the generic
+// transducing runners (core.TransduceSpans) replay it chunk-parallel
+// with no tokenizer-specific stitching code. Token classes are the
+// output alphabet; tokNone is fsm.OutputNone, so spans are tokens.
+func NewTransducer() *fsm.Transducer {
+	m := NewMachine()
+	tr, err := fsm.NewMealy(m, int(TokBogus)+1)
+	if err != nil {
+		panic(err) // static shape; cannot fail
+	}
+	for a := 0; a < m.NumSymbols(); a++ {
+		for q := fsm.State(0); q < NumStates; q++ {
+			cls := classify(q, byte(a), m.Next(q, byte(a)))
+			tr.SetMealyOutput(q, byte(a), fsm.Output(cls))
+		}
+	}
+	return tr
+}
+
 // emitter folds a per-byte class stream into maximal-run tokens.
 type emitter struct {
 	cur   TokenType

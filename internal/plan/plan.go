@@ -31,7 +31,19 @@
 //	  widths      k × uint16           w[a] = |range(T[a])| = len(U[a])
 //	  U           Σ w[a] × uint16      name → state maps
 //	  T           Σ k·w[a] bytes       flattened per-symbol name tables
+//	has_out  uint8                     0 or 1 (version ≥ 2 only)
+//	if has_out:
+//	  kind        uint8                1 = moore (λ: Q → Γ), 2 = mealy (λ: Q × Σ → Γ)
+//	  num_out     uint32               output alphabet size |Γ|
+//	  lambda_len  uint32               λ entry count (n for moore, n·k for mealy)
+//	  lambda      lambda_len × uint16  output table
 //	checksum uint64                    CRC-64/ECMA of everything above
+//
+// Version history: version 1 ends after has_rc's section (acceptor
+// plans only); version 2 appends the output-table section, turning a
+// plan into a full transducer container. The decoder accepts both —
+// pre-bump plan blobs keep loading, with no output table — and the
+// checksum covers the whole body either way.
 //
 // Decoding is strict: every length is validated against the remaining
 // input before allocation, so truncated or hostile inputs fail with
@@ -47,8 +59,13 @@ import (
 )
 
 // Version is the current format version. Decoders reject anything
-// newer; older versions would be migrated here if the format evolves.
-const Version = 1
+// newer; every older version remains decodable (VersionAcceptor blobs
+// simply carry no output table).
+const Version = 2
+
+// VersionAcceptor is the pre-transduction format: identical to
+// Version 2 up through the RC section, with no output-table section.
+const VersionAcceptor = 1
 
 // magic identifies a serialized plan.
 var magic = [8]byte{'D', 'P', 'F', 'S', 'M', 'P', 'L', 'N'}
@@ -70,6 +87,15 @@ const (
 	maxSymbols    = 256
 	maxStates     = 1 << 16
 	maxWidth      = 256 // range coalescing requires names ≤ 256
+	maxOutputs    = 1 << 16
+	maxLambdaLen  = maxStates * maxSymbols
+)
+
+// Output-table kinds on the wire (fsm.KindMoore / fsm.KindMealy share
+// the values; the acceptor kind 0 is represented by has_out = 0).
+const (
+	kindMoore = 1
+	kindMealy = 2
 )
 
 // File is the decoded wire representation of one compiled plan. All
@@ -90,6 +116,21 @@ type File struct {
 	// RC carries the range-coalesced tables (Figures 10–11), nil for
 	// strategies that do not use them.
 	RC *RC
+	// Out carries the Moore/Mealy output table for transducer plans,
+	// nil for plain acceptors (and for every version-1 blob).
+	Out *Outputs
+}
+
+// Outputs is the wire form of a transducer's λ table.
+type Outputs struct {
+	// Kind is 1 for Moore (λ indexed by state) or 2 for Mealy (λ
+	// column-major by symbol, matching the transition-table layout).
+	Kind uint8
+	// NumOutputs is the output alphabet size |Γ|.
+	NumOutputs uint32
+	// Lambda holds the output table entries; length n (moore) or n·k
+	// (mealy), a shape internal/core cross-checks against the machine.
+	Lambda []uint16
 }
 
 // RC is the wire form of the range-coalesced table set. With k
@@ -172,6 +213,26 @@ func (f *File) MarshalBinary() ([]byte, error) {
 			out = append(out, t...)
 		}
 	}
+	if f.Out == nil {
+		out = append(out, 0)
+	} else {
+		o := f.Out
+		if o.Kind != kindMoore && o.Kind != kindMealy {
+			return nil, fmt.Errorf("plan: output kind %d is not moore (1) or mealy (2)", o.Kind)
+		}
+		if o.NumOutputs == 0 || o.NumOutputs > maxOutputs {
+			return nil, fmt.Errorf("plan: output alphabet size %d out of range [1, %d]", o.NumOutputs, maxOutputs)
+		}
+		if len(o.Lambda) == 0 || len(o.Lambda) > maxLambdaLen {
+			return nil, fmt.Errorf("plan: output table length %d out of range [1, %d]", len(o.Lambda), maxLambdaLen)
+		}
+		out = append(out, 1, o.Kind)
+		out = binary.LittleEndian.AppendUint32(out, o.NumOutputs)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(o.Lambda)))
+		for _, v := range o.Lambda {
+			out = binary.LittleEndian.AppendUint16(out, v)
+		}
+	}
 	out = binary.LittleEndian.AppendUint64(out, checksum(out))
 	return out, nil
 }
@@ -193,11 +254,12 @@ func Unmarshal(data []byte) (*File, error) {
 		return nil, ErrChecksum
 	}
 	c := cursor{buf: body[8:]}
-	if v := c.u16(); v != Version {
+	version := c.u16()
+	if version != Version && version != VersionAcceptor {
 		if c.err != nil {
 			return nil, c.err
 		}
-		return nil, fmt.Errorf("%w: %d (decoder supports %d)", ErrVersion, v, Version)
+		return nil, fmt.Errorf("%w: %d (decoder supports %d through %d)", ErrVersion, version, VersionAcceptor, Version)
 	}
 
 	f := &File{}
@@ -267,6 +329,47 @@ func Unmarshal(data []byte) (*File, error) {
 		f.RC = rc
 	default:
 		return nil, fmt.Errorf("plan: bad RC presence flag %d", hasRC)
+	}
+	// The output-table section exists from version 2 on; a version-1
+	// blob ends right after the RC section.
+	if version >= 2 {
+		hasOut := c.u8()
+		if c.err != nil {
+			return nil, c.err
+		}
+		switch hasOut {
+		case 0:
+		case 1:
+			o := &Outputs{Kind: c.u8(), NumOutputs: c.u32()}
+			if c.err == nil && o.Kind != kindMoore && o.Kind != kindMealy {
+				return nil, fmt.Errorf("plan: output kind %d is not moore (1) or mealy (2)", o.Kind)
+			}
+			if c.err == nil && (o.NumOutputs == 0 || o.NumOutputs > maxOutputs) {
+				return nil, fmt.Errorf("plan: output alphabet size %d out of range [1, %d]", o.NumOutputs, maxOutputs)
+			}
+			llen := int(c.u32())
+			if c.err == nil && (llen == 0 || llen > maxLambdaLen) {
+				return nil, fmt.Errorf("plan: output table length %d out of range [1, %d]", llen, maxLambdaLen)
+			}
+			if c.err != nil {
+				return nil, c.err
+			}
+			// Bounds-check against the remaining buffer before the
+			// allocation: llen is attacker-controlled on hostile input.
+			if 2*llen > len(c.buf) {
+				return nil, ErrTruncated
+			}
+			o.Lambda = make([]uint16, llen)
+			for i := range o.Lambda {
+				o.Lambda[i] = c.u16()
+			}
+			if c.err != nil {
+				return nil, c.err
+			}
+			f.Out = o
+		default:
+			return nil, fmt.Errorf("plan: bad output presence flag %d", hasOut)
+		}
 	}
 	if c.err != nil {
 		return nil, c.err

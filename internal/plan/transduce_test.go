@@ -1,0 +1,172 @@
+package plan
+
+import (
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleTransducerFile extends sampleFile with an output-table
+// section. The shapes follow the 3-symbol / 4-state sample machine:
+// a moore λ has one entry per state, a mealy λ one per (state,
+// symbol) pair, column-major by symbol.
+func sampleTransducerFile(withRC bool, kind uint8) *File {
+	f := sampleFile(withRC)
+	o := &Outputs{Kind: kind, NumOutputs: 5}
+	switch kind {
+	case kindMoore:
+		o.Lambda = []uint16{0, 2, 2, 4}
+	case kindMealy:
+		o.Lambda = []uint16{
+			0, 1, 0, 3, // symbol 0
+			2, 2, 0, 0, // symbol 1
+			0, 0, 4, 4, // symbol 2
+		}
+	}
+	f.Out = o
+	return f
+}
+
+// asAcceptorV1 rewrites a version-2 blob whose output section is
+// absent (has_out = 0) into the byte-exact pre-bump VersionAcceptor
+// encoding: the presence flag is dropped, the version field rewound,
+// and the checksum re-stamped. This reconstructs the layout old
+// writers produced, so the test below is a true backward-compat
+// check rather than a same-version round trip.
+func asAcceptorV1(t *testing.T, data []byte) []byte {
+	t.Helper()
+	body := data[:len(data)-8]
+	if body[len(body)-1] != 0 {
+		t.Fatal("blob carries an output section; cannot rewrite as version 1")
+	}
+	v1 := append([]byte(nil), body[:len(body)-1]...)
+	binary.LittleEndian.PutUint16(v1[8:], VersionAcceptor)
+	return binary.LittleEndian.AppendUint64(v1, checksum(v1))
+}
+
+func TestTransducerRoundTrip(t *testing.T) {
+	for _, withRC := range []bool{false, true} {
+		for _, kind := range []uint8{kindMoore, kindMealy} {
+			f := sampleTransducerFile(withRC, kind)
+			got, err := Unmarshal(mustMarshal(t, f))
+			if err != nil {
+				t.Fatalf("withRC=%v kind=%d: Unmarshal: %v", withRC, kind, err)
+			}
+			if !reflect.DeepEqual(got, f) {
+				t.Errorf("withRC=%v kind=%d: round trip mismatch:\n got %+v\nwant %+v", withRC, kind, got, f)
+			}
+		}
+	}
+}
+
+// TestAcceptorV1StillDecodes is the wire-compat guarantee for the
+// version bump: plan blobs written before the output-table section
+// existed must keep decoding, and must come back as plain acceptors.
+func TestAcceptorV1StillDecodes(t *testing.T) {
+	for _, withRC := range []bool{false, true} {
+		f := sampleFile(withRC)
+		v1 := asAcceptorV1(t, mustMarshal(t, f))
+		got, err := Unmarshal(v1)
+		if err != nil {
+			t.Fatalf("withRC=%v: version-1 blob failed to decode: %v", withRC, err)
+		}
+		if got.Out != nil {
+			t.Fatalf("withRC=%v: version-1 blob decoded with an output table", withRC)
+		}
+		if !reflect.DeepEqual(got, f) {
+			t.Errorf("withRC=%v: version-1 decode mismatch:\n got %+v\nwant %+v", withRC, got, f)
+		}
+	}
+}
+
+// TestV1RejectsOutputSection: a blob claiming version 1 must end at
+// the RC section; output bytes spliced after it are trailing garbage,
+// not a decodable λ table.
+func TestV1RejectsOutputSection(t *testing.T) {
+	data := mustMarshal(t, sampleTransducerFile(false, kindMealy))
+	binary.LittleEndian.PutUint16(data[8:], VersionAcceptor)
+	body := data[:len(data)-8]
+	binary.LittleEndian.PutUint64(data[len(data)-8:], checksum(body))
+	if _, err := Unmarshal(data); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("got %v, want trailing-bytes error", err)
+	}
+}
+
+func TestMarshalRejectsMalformedOutputs(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*File)
+	}{
+		{"bad kind", func(f *File) { f.Out.Kind = 3 }},
+		{"zero outputs", func(f *File) { f.Out.NumOutputs = 0 }},
+		{"huge outputs", func(f *File) { f.Out.NumOutputs = maxOutputs + 1 }},
+		{"empty lambda", func(f *File) { f.Out.Lambda = nil }},
+		{"huge lambda", func(f *File) { f.Out.Lambda = make([]uint16, maxLambdaLen+1) }},
+	}
+	for _, tc := range cases {
+		f := sampleTransducerFile(true, kindMealy)
+		tc.mut(f)
+		if _, err := f.MarshalBinary(); err == nil {
+			t.Errorf("%s: MarshalBinary succeeded, want error", tc.name)
+		}
+	}
+}
+
+// TestTransducerCorruptedChecksum: the trailing CRC covers the output
+// section too — any single-bit flip inside λ must fail closed.
+func TestTransducerCorruptedChecksum(t *testing.T) {
+	data := mustMarshal(t, sampleTransducerFile(true, kindMealy))
+	for i := len(magic); i < len(data); i++ {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0x01
+		if _, err := Unmarshal(bad); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("flip at %d: got %v, want ErrChecksum", i, err)
+		}
+	}
+}
+
+// FuzzTransducerPlanDecode is FuzzPlanDecode's sibling seeded with
+// output-bearing blobs: the decoder must never panic on mutated λ
+// sections, and anything accepted must be marshal/unmarshal stable.
+// Version-1 seeds keep the fuzzer exploring the acceptor-compat path.
+func FuzzTransducerPlanDecode(f *testing.F) {
+	for _, withRC := range []bool{false, true} {
+		for _, kind := range []uint8{kindMoore, kindMealy} {
+			seed, err := sampleTransducerFile(withRC, kind).MarshalBinary()
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(seed)
+			// The same blob truncated mid-λ probes the length guards.
+			f.Add(seed[:len(seed)-12])
+		}
+	}
+	acceptor, err := sampleFile(true).MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(acceptor)
+	body := acceptor[:len(acceptor)-8-1] // drop has_out flag → v1 layout
+	v1 := append([]byte(nil), body...)
+	binary.LittleEndian.PutUint16(v1[8:], VersionAcceptor)
+	f.Add(binary.LittleEndian.AppendUint64(v1, checksum(v1)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		re, err := decoded.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted input failed to re-marshal: %v", err)
+		}
+		again, err := Unmarshal(re)
+		if err != nil {
+			t.Fatalf("re-marshaled plan failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(decoded, again) {
+			t.Fatalf("decode/encode not stable:\n first %+v\nsecond %+v", decoded, again)
+		}
+	})
+}

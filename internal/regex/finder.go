@@ -45,6 +45,11 @@ func reverseAST(n Node) Node {
 	}
 }
 
+// MatchEnd is the single non-gap output symbol of a Finder's match-end
+// transducer: position i carries MatchEnd exactly when some match ends
+// at i+1.
+const MatchEnd fsm.Output = 1
+
 // Finder locates matches of an unanchored pattern. The reported span
 // is deterministic three-step semantics: the *earliest end* of any
 // match (a streaming scanner reports as soon as something completes),
@@ -57,6 +62,14 @@ type Finder struct {
 	exact  *fsm.DFA // anchored machine, for the longest-extent pass
 	dead   []bool   // exact-machine states that can never accept again
 	runner *core.Runner
+
+	// ends is the Σ*P machine (unanchored start, no sticky accept):
+	// acceptance marks exactly the positions where some match ends.
+	// endsT overlays it with the Mealy match-end marker, compiled to
+	// the same plan shape as every other machine (CompileTransducer),
+	// and endsR transduces it — data-parallel end extraction.
+	endsT *fsm.Transducer
+	endsR *core.Runner
 }
 
 // NewFinder compiles the forward and reversed machines. opts.Anchored
@@ -112,12 +125,43 @@ func NewFinder(pattern string, opts Options, runnerOpts ...core.Option) (*Finder
 	if err != nil {
 		return nil, err
 	}
+
+	// "Ends-here" machine and its match-end transducer: Σ*P without
+	// sticky accept, so entering an accepting state at position i means
+	// a match ends at i+1 — exactly the Mealy emission λ(q, a) =
+	// MatchEnd iff δ(q, a) accepts.
+	ends, err := determinize(fromAST(parsed.Root, true), maxStates, false)
+	if err != nil {
+		return nil, err
+	}
+	ends = ends.Minimize()
+	endsT, err := fsm.NewMealy(ends, 2)
+	if err != nil {
+		return nil, err
+	}
+	for a := 0; a < ends.NumSymbols(); a++ {
+		for q := fsm.State(0); int(q) < ends.NumStates(); q++ {
+			if ends.Accepting(ends.Next(q, byte(a))) {
+				endsT.SetMealyOutput(q, byte(a), MatchEnd)
+			}
+		}
+	}
+	ep, err := core.CompileTransducer(endsT, runnerOpts...)
+	if err != nil {
+		return nil, err
+	}
+	endsR, err := core.NewFromPlan(ep, runnerOpts...)
+	if err != nil {
+		return nil, err
+	}
 	return &Finder{
 		fwd:    fwd,
 		rev:    rev,
 		exact:  exact,
 		dead:   deadStates(exact),
 		runner: runner,
+		endsT:  endsT,
+		endsR:  endsR,
 	}, nil
 }
 
@@ -195,6 +239,71 @@ func (f *Finder) Find(input []byte) (start, end int, ok bool) {
 		}
 	}
 	return start, end, true
+}
+
+// Transducer returns the match-end marking Mealy machine: over the
+// "ends-here" DFA, position i emits MatchEnd exactly when some match
+// ends at i+1. It compiles to the same plan shape as any transducer
+// (core.CompileTransducer), which is how it can be registered with the
+// engine and served over /v1/transduce.
+func (f *Finder) Transducer() *fsm.Transducer { return f.endsT }
+
+// FindAllParallel is FindAll with the end-position scan replaced by
+// one data-parallel transduce pass: the match-end tape over the whole
+// input is computed chunk-parallel (Figure 5 replay), then matches are
+// recovered left to right — for each candidate end past the resume
+// offset, the reversed machine (restricted to the unconsumed region)
+// yields the leftmost start, and the anchored machine extends to the
+// longest extent. Ends found on the full input are a superset of the
+// ends each suffix search would find, and the backward check filters
+// exactly the difference, so the result equals FindAll's.
+func (f *Finder) FindAllParallel(input []byte, limit int) ([][2]int, error) {
+	if limit == 0 {
+		return nil, nil
+	}
+	tape, _, err := f.endsR.TransduceOutputs(input, f.endsT.DFA().Start())
+	if err != nil {
+		return nil, err
+	}
+	var out [][2]int
+	off := 0
+	for i := 0; i < len(tape); i++ {
+		if tape[i] != MatchEnd || i < off {
+			continue
+		}
+		e := i + 1
+		// Leftmost start ≥ off for a match ending at e; none means this
+		// end belongs to a match the resume offset already consumed.
+		q := f.rev.Start()
+		s := -1
+		for j := e - 1; j >= off; j-- {
+			q = f.rev.Next(q, input[j])
+			if f.rev.Accepting(q) {
+				s = j
+			}
+		}
+		if s < 0 {
+			continue
+		}
+		// Longest extent from s, as in Find.
+		qe := f.exact.Start()
+		end := e
+		for j := s; j < len(input); j++ {
+			qe = f.exact.Next(qe, input[j])
+			if f.exact.Accepting(qe) {
+				end = j + 1
+			}
+			if f.dead[qe] {
+				break
+			}
+		}
+		out = append(out, [2]int{s, end})
+		off = end
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out, nil
 }
 
 // FindAll returns all non-overlapping leftmost matches, scanning left

@@ -1,0 +1,177 @@
+package regex
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/fsm"
+)
+
+// Edge cases of the finder surface: empty-width (nullable) patterns,
+// anchors, overlapping alternatives, and match spans straddling chunk
+// boundaries in the parallel transduce path.
+
+func TestFinderRejectsEmptyWidthPatterns(t *testing.T) {
+	// A pattern that matches the empty string would make every
+	// position a "match"; the finder refuses it up front.
+	for _, pat := range []string{"a*", "(ab)?", "a|", "()", "(a|b)*"} {
+		if _, err := NewFinder(pat, Options{}); err == nil {
+			t.Errorf("NewFinder(%q): want empty-width rejection, got nil error", pat)
+		}
+	}
+	// The non-nullable cousins compile fine.
+	for _, pat := range []string{"a+", "(ab)+", "a|b"} {
+		if _, err := NewFinder(pat, Options{}); err != nil {
+			t.Errorf("NewFinder(%q): %v", pat, err)
+		}
+	}
+}
+
+func TestFinderRejectsAnchoredPatterns(t *testing.T) {
+	if _, err := NewFinder("abc", Options{Anchored: true}); err == nil {
+		t.Error("NewFinder with Options.Anchored: want error")
+	}
+	for _, pat := range []string{"^abc", "abc$", "^abc$"} {
+		if _, err := NewFinder(pat, Options{}); err == nil {
+			t.Errorf("NewFinder(%q): want anchor rejection", pat)
+		}
+	}
+}
+
+// Overlapping alternatives: alternates that share prefixes/suffixes
+// must resolve identically in Find (scalar) and FindAllParallel.
+func TestFinderOverlappingAlternatives(t *testing.T) {
+	cases := []struct {
+		pat, in string
+	}{
+		{"ab|aba", "xabax abab aba"},
+		{"a|ba", "cba ba a"},
+		{"abc|bcd", "xabcdx abcd"},
+		{"aa|aaa", "aaaaaa"},
+		{"foo|foobar", "a foobar foo"},
+	}
+	for _, c := range cases {
+		f, err := NewFinder(c.pat, Options{}, core.WithProcs(4), core.WithMinChunk(2))
+		if err != nil {
+			t.Fatalf("NewFinder(%q): %v", c.pat, err)
+		}
+		want := f.FindAll([]byte(c.in), -1)
+		got, err := f.FindAllParallel([]byte(c.in), -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%q on %q: parallel %v want %v", c.pat, c.in, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%q on %q: parallel[%d] %v want %v", c.pat, c.in, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// A long match forced across every chunk boundary: with tiny chunks
+// the span [2, 66) straddles many of them and must come back whole.
+func TestFinderSpanStraddlesChunkBoundary(t *testing.T) {
+	f, err := NewFinder("a+", Options{}, core.WithProcs(8), core.WithMinChunk(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []byte("xx")
+	run := make([]byte, 64)
+	for i := range run {
+		run[i] = 'a'
+	}
+	in = append(in, run...)
+	in = append(in, "yy"...)
+	got, err := f.FindAllParallel(in, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != [2]int{2, 66} {
+		t.Fatalf("got %v, want [[2 66]]", got)
+	}
+}
+
+// Differential soak: FindAllParallel must equal FindAll on random
+// inputs across patterns, chunkings, and limits.
+func TestFindAllParallelMatchesFindAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	pats := []string{"a+", "ab", "ab|aba", `\d+`, "(ab|ba)+", "a.c"}
+	for _, pat := range pats {
+		for _, procs := range []int{1, 3, 8} {
+			f, err := NewFinder(pat, Options{}, core.WithProcs(procs), core.WithMinChunk(8))
+			if err != nil {
+				t.Fatalf("NewFinder(%q): %v", pat, err)
+			}
+			for trial := 0; trial < 20; trial++ {
+				n := rng.Intn(400)
+				in := make([]byte, n)
+				for i := range in {
+					in[i] = "ab1c d"[rng.Intn(6)]
+				}
+				for _, limit := range []int{-1, 1, 3} {
+					want := f.FindAll(in, limit)
+					got, err := f.FindAllParallel(in, limit)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("%q procs=%d limit=%d on %q: %v want %v", pat, procs, limit, in, got, want)
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("%q procs=%d limit=%d on %q: [%d] %v want %v", pat, procs, limit, in, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// The finder's transducer is a plan-shaped artifact: it must survive
+// the wire round trip and keep marking the same ends.
+func TestFinderTransducerPlanShape(t *testing.T) {
+	f, err := NewFinder("ab+", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := f.Transducer()
+	if tr.Kind() != fsm.KindMealy {
+		t.Fatalf("finder transducer kind %v, want mealy", tr.Kind())
+	}
+	p, err := core.CompileTransducer(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := core.UnmarshalPlan(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := core.NewFromPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := core.NewFromPlan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []byte("xabbbx ab abb")
+	t1, _, err1 := r1.TransduceOutputs(in, tr.DFA().Start())
+	t2, _, err2 := r2.TransduceOutputs(in, q.Outputs().DFA().Start())
+	if err1 != nil || err2 != nil {
+		t.Fatalf("err1=%v err2=%v", err1, err2)
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("round-tripped finder plan diverges at %d", i)
+		}
+	}
+}

@@ -139,10 +139,14 @@ type MachineInfo struct {
 	// hash(machine encoding, resolved strategy).
 	Fingerprint string `json:"fingerprint,omitempty"`
 	// Source records how the machine entered the registry: "default",
-	// "file" (-patterns-file / SIGHUP reload), or "api"
-	// (POST /v1/machines).
-	Source string    `json:"source,omitempty"`
-	Stats  fsm.Stats `json:"stats"`
+	// "file" (-patterns-file / SIGHUP reload), "api"
+	// (POST /v1/machines), or "builtin" (compiled-in tokenizers).
+	Source string `json:"source,omitempty"`
+	// Kind classifies the machine: "acceptor", "moore", or "mealy".
+	// OutputTableBytes is the λ table's footprint, 0 for acceptors.
+	Kind             string    `json:"kind,omitempty"`
+	OutputTableBytes int       `json:"output_table_bytes,omitempty"`
+	Stats            fsm.Stats `json:"stats"`
 }
 
 // RegisterRequest is the body of POST /v1/machines: compile Pattern
@@ -231,6 +235,55 @@ type BatchTrailer struct {
 	Summary BatchSummary `json:"summary"`
 }
 
+// TransduceHeader is the first NDJSON line of a POST /v1/transduce
+// response: the machine that ran and the input size, before any span
+// streams. Its Machine field distinguishes it from span lines.
+type TransduceHeader struct {
+	Machine string `json:"machine"`
+	// Kind is "moore" or "mealy" (acceptors reject transduce requests).
+	Kind  string `json:"kind"`
+	Bytes int    `json:"bytes"`
+}
+
+// TransduceSpan is one span line of a /v1/transduce response: input
+// [Start, End) all emitted output symbol Out (never the none/gap
+// symbol — gaps are simply absent from the stream). Spans stream in
+// input order.
+type TransduceSpan struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+	Out   int `json:"out"`
+}
+
+// TransduceSummary aggregates one transduce request; it is the payload
+// of the final NDJSON line (wrapped in TransduceTrailer).
+type TransduceSummary struct {
+	Spans int `json:"spans"`
+	// OutputBytes is the input bytes covered by emitted spans — the
+	// useful-work companion to Bytes.
+	OutputBytes int64     `json:"output_bytes"`
+	Bytes       int       `json:"bytes"`
+	Final       fsm.State `json:"final_state"`
+	Accepts     bool      `json:"accepts"`
+	// Lane/Strategy/SelectionReason record the dispatch decision, as on
+	// /v1/run; Multicore is the legacy boolean view of Lane.
+	Lane            string  `json:"lane,omitempty"`
+	Multicore       bool    `json:"multicore"`
+	Strategy        string  `json:"strategy,omitempty"`
+	SelectionReason string  `json:"selection_reason,omitempty"`
+	DurationNs      int64   `json:"duration_ns"`
+	MBPerS          float64 `json:"mb_per_s"`
+	// TraceID is set when the request was traced (?trace=1 or an
+	// inbound traceparent header).
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// TransduceTrailer is the last line of a /v1/transduce response. Its
+// Summary field distinguishes it from header and span lines.
+type TransduceTrailer struct {
+	Summary TransduceSummary `json:"summary"`
+}
+
 // Status is the response body of GET /v1/status: one document a human
 // or dashboard reads to answer "how is this server doing, and what do
 // its machines look like under the current traffic" — the live
@@ -303,12 +356,18 @@ type Readiness struct {
 }
 
 // MachineSelection is one machine's current adaptive-dispatch choice:
-// which lane large inputs take, under which strategy, and why.
+// which lane large inputs take, under which strategy, and why — plus
+// the machine's kind, so the /v1/status registry view tells acceptors
+// from transducers truthfully.
 type MachineSelection struct {
 	Machine  string `json:"machine"`
 	Lane     string `json:"lane"`
 	Strategy string `json:"strategy,omitempty"`
 	Reason   string `json:"reason,omitempty"`
+	// Kind is "acceptor", "moore", or "mealy"; OutputTableBytes is the
+	// λ table's footprint (0 for acceptors).
+	Kind             string `json:"kind,omitempty"`
+	OutputTableBytes int    `json:"output_table_bytes,omitempty"`
 }
 
 // MachineProfile is the response body of GET /v1/machines/{name}/profile:

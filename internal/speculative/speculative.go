@@ -175,6 +175,95 @@ func (r *Runner) FinalCtx(ctx context.Context, input []byte, start fsm.State) (f
 	return st, stats, nil
 }
 
+// ChunkFunc processes one input chunk from its verified start state
+// and returns the state after the chunk, mirroring core.ChunkFunc. off
+// is the global offset of chunk[0].
+type ChunkFunc func(off int, chunk []byte, start fsm.State) fsm.State
+
+// RunChunkedCtx is the speculative analogue of core's RunChunked: a
+// caller-supplied phase 3 over chunks whose start states have been
+// resolved by speculation *and verified*, so f only ever observes true
+// start states and the result is exact regardless of guess quality.
+// Chunk 0 needs no speculation — f runs it directly from start,
+// concurrently with the guessed walks of chunks 1..P-1. Verification
+// then recovers every chunk's true start left to right; a chunk whose
+// guess held is replayed by f in parallel afterwards, while a
+// misspeculated chunk is re-run through f immediately during
+// verification (the corrected state is in hand, and that replay *is*
+// the authoritative one — no third pass). f must be safe for
+// concurrent calls on distinct chunks.
+func (r *Runner) RunChunkedCtx(ctx context.Context, input []byte, start fsm.State, f ChunkFunc) (fsm.State, Stats, error) {
+	if len(input) == 0 {
+		return start, Stats{Chunks: 1}, nil
+	}
+	guess := r.Guess()
+	p := r.procs
+	if p == 1 || len(input) < 2*p || len(input)/p < r.minChunk {
+		return f(0, input, start), Stats{Chunks: 1}, nil
+	}
+	chunks := make([][2]int, p)
+	for i := 0; i < p; i++ {
+		chunks[i] = [2]int{i * len(input) / p, (i + 1) * len(input) / p}
+	}
+
+	// Phase 1: chunk 0 replays through f from the true start (nothing
+	// about it is speculative); all others walk from the guess.
+	ends := make([]fsm.State, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ends[0] = f(0, input[chunks[0][0]:chunks[0][1]], start)
+	}()
+	for i := 1; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ends[i], errs[i] = r.runCtx(ctx, input[chunks[i][0]:chunks[i][1]], guess)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return start, Stats{Chunks: p}, err
+		}
+	}
+
+	// Phase 2: verify left to right. A hit defers the chunk's replay to
+	// the parallel phase 3; a miss replays through f right here, from
+	// the corrected state.
+	stats := Stats{Chunks: p}
+	starts := make([]fsm.State, p)
+	replayed := make([]bool, p)
+	st := ends[0]
+	for i := 1; i < p; i++ {
+		starts[i] = st
+		if st == guess {
+			st = ends[i]
+			continue
+		}
+		stats.Misspeculated++
+		stats.ReRunBytes += chunks[i][1] - chunks[i][0]
+		st = f(chunks[i][0], input[chunks[i][0]:chunks[i][1]], starts[i])
+		replayed[i] = true
+	}
+
+	// Phase 3: replay the verified hits in parallel.
+	for i := 1; i < p; i++ {
+		if replayed[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f(chunks[i][0], input[chunks[i][0]:chunks[i][1]], starts[i])
+		}(i)
+	}
+	wg.Wait()
+	return st, stats, nil
+}
+
 // runCtx is the sequential table walk with cooperative cancellation.
 // A context that can never be canceled takes the unchecked fast path.
 func (r *Runner) runCtx(ctx context.Context, input []byte, st fsm.State) (fsm.State, error) {

@@ -99,6 +99,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	pc("engine_single_core_total", "jobs dispatched to the single-core lane", m.EngineSingleCore.Load())
 	pc("engine_multicore_total", "jobs dispatched to the multicore lane", m.EngineMulticore.Load())
 	pc("engine_speculative_total", "jobs dispatched to the speculative lane", m.EngineSpeculative.Load())
+	pc("engine_transduce_total", "output-bearing (transduce) jobs executed", m.EngineTransduce.Load())
+	pc("transduce_spans_total", "spans emitted by transduce jobs", m.TransduceSpans.Load())
+	pc("transduce_output_bytes_total", "input bytes covered by emitted spans", m.TransduceOutputBytes.Load())
 	pc("spec_chunks_total", "chunks executed from a guessed start state", m.SpecChunks.Load())
 	pc("spec_mispredicts_total", "speculative chunks whose guess was wrong", m.SpecMispredicts.Load())
 	pc("spec_rerun_bytes_total", "bytes re-run scalar after a mispredict", m.SpecReRunBytes.Load())

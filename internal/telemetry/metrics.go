@@ -65,6 +65,13 @@ type Metrics struct {
 	EngineSingleCore  Counter
 	EngineMulticore   Counter
 	EngineSpeculative Counter
+	// Transduction series: EngineTransduce counts output-bearing jobs
+	// (Transduce calls), TransduceSpans the spans they emitted, and
+	// TransduceOutputBytes the input bytes those spans cover — the
+	// tokenizer's useful-work throughput as opposed to raw scan rate.
+	EngineTransduce      Counter
+	TransduceSpans       Counter
+	TransduceOutputBytes Counter
 	// Speculative-lane efficacy: chunks executed from a guessed start
 	// state, guesses that turned out wrong, and bytes re-run scalar
 	// after a mispredict. Mispredicts/SpecChunks is the live mispredict
@@ -165,7 +172,11 @@ type Snapshot struct {
 	EngineSingleCore  int64 `json:"engine_single_core"`
 	EngineMulticore   int64 `json:"engine_multicore"`
 	EngineSpeculative int64 `json:"engine_speculative"`
-	SpecChunks        int64 `json:"spec_chunks"`
+	EngineTransduce   int64 `json:"engine_transduce"`
+	TransduceSpans    int64 `json:"transduce_spans"`
+	// TransduceOutputBytes is the input bytes covered by emitted spans.
+	TransduceOutputBytes int64 `json:"transduce_output_bytes"`
+	SpecChunks           int64 `json:"spec_chunks"`
 	SpecMispredicts   int64 `json:"spec_mispredicts"`
 	SpecReRunBytes    int64 `json:"spec_rerun_bytes"`
 	// SpecMispredictRate is SpecMispredicts/SpecChunks; 0 before any
@@ -226,6 +237,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		EngineSingleCore:     m.EngineSingleCore.Load(),
 		EngineMulticore:      m.EngineMulticore.Load(),
 		EngineSpeculative:    m.EngineSpeculative.Load(),
+		EngineTransduce:      m.EngineTransduce.Load(),
+		TransduceSpans:       m.TransduceSpans.Load(),
+		TransduceOutputBytes: m.TransduceOutputBytes.Load(),
 		SpecChunks:           m.SpecChunks.Load(),
 		SpecMispredicts:      m.SpecMispredicts.Load(),
 		SpecReRunBytes:       m.SpecReRunBytes.Load(),

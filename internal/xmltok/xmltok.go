@@ -13,9 +13,6 @@
 package xmltok
 
 import (
-	"sort"
-	"sync"
-
 	"dpfsm/internal/core"
 	"dpfsm/internal/fsm"
 )
@@ -323,61 +320,71 @@ func tokenize(d *fsm.DFA, chunk []byte, off int, q fsm.State) ([]Token, fsm.Stat
 	return toks, q
 }
 
-// Tokenizer bundles the machine with an enumerative runner.
-type Tokenizer struct {
-	machine *fsm.DFA
-	runner  *core.Runner
+// NewTransducer materializes classify as a Mealy output table over the
+// machine: λ(q, a) = classify(q, a, next(q, a)). Token classes are the
+// output alphabet with tokNone = fsm.OutputNone, so the generic
+// transducing runner's spans are exactly this package's tokens.
+func NewTransducer() *fsm.Transducer {
+	m := NewMachine()
+	tr, err := fsm.NewMealy(m, int(TokMarkup)+1)
+	if err != nil {
+		panic(err) // static shape; cannot fail
+	}
+	for b := 0; b < 256; b++ {
+		for q := fsm.State(0); q < NumStates; q++ {
+			cls := classify(q, byte(b), m.Next(q, byte(b)))
+			tr.SetMealyOutput(q, byte(b), fsm.Output(cls))
+		}
+	}
+	return tr
 }
 
-// NewTokenizer builds the machine and a runner over it.
+// Tokenizer bundles the tokenizer transducer with a transducing runner.
+type Tokenizer struct {
+	trans  *fsm.Transducer
+	runner *core.Runner
+}
+
+// NewTokenizer builds the machine, its token-class output table, and a
+// transducing runner over them.
 func NewTokenizer(opts ...core.Option) (*Tokenizer, error) {
-	m := NewMachine()
-	r, err := core.New(m, opts...)
+	tr := NewTransducer()
+	p, err := core.CompileTransducer(tr, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return &Tokenizer{machine: m, runner: r}, nil
+	r, err := core.NewFromPlan(p, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Tokenizer{trans: tr, runner: r}, nil
 }
 
 // Machine exposes the 16-state DFA.
-func (t *Tokenizer) Machine() *fsm.DFA { return t.machine }
+func (t *Tokenizer) Machine() *fsm.DFA { return t.trans.DFA() }
+
+// Transducer exposes the machine with its token-class output table.
+func (t *Tokenizer) Transducer() *fsm.Transducer { return t.trans }
 
 // TokenizeSequential lexes input on one core.
 func (t *Tokenizer) TokenizeSequential(input []byte) []Token {
-	toks, _ := tokenize(t.machine, input, 0, t.machine.Start())
+	toks, _ := tokenize(t.Machine(), input, 0, t.Machine().Start())
 	return toks
 }
 
-// Tokenize lexes input with the Figure 5 decomposition, merging tokens
-// split at chunk boundaries.
+// Tokenize lexes input with the Figure 5 decomposition through the
+// generic transduce path: token offsets come from the parallel
+// runner's span extraction (including the chunk-boundary merge), not a
+// package-local stitch.
 func (t *Tokenizer) Tokenize(input []byte) []Token {
-	type piece struct {
-		off  int
-		toks []Token
+	spans, _, err := t.runner.TransduceSpans(input, t.Machine().Start())
+	if err != nil {
+		// Unreachable: the runner was compiled from the transducer.
+		panic(err)
 	}
-	var mu sync.Mutex
-	var pieces []piece
-	t.runner.RunChunked(input, t.machine.Start(), func(off int, chunk []byte, start fsm.State) fsm.State {
-		toks, final := tokenize(t.machine, chunk, off, start)
-		mu.Lock()
-		pieces = append(pieces, piece{off, toks})
-		mu.Unlock()
-		return final
-	})
-	sort.Slice(pieces, func(i, j int) bool { return pieces[i].off < pieces[j].off })
-	total := 0
-	for _, p := range pieces {
-		total += len(p.toks)
+	toks := make([]Token, len(spans))
+	for i, s := range spans {
+		toks[i] = Token{Type: TokenType(s.Out), Start: s.Start, End: s.End}
 	}
-	out := make([]Token, 0, total)
-	for _, p := range pieces {
-		for _, tok := range p.toks {
-			if n := len(out); n > 0 && out[n-1].Type == tok.Type && out[n-1].End == tok.Start {
-				out[n-1].End = tok.End
-				continue
-			}
-			out = append(out, tok)
-		}
-	}
-	return out
+	return toks
 }
