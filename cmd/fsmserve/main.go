@@ -83,6 +83,7 @@ import (
 	"syscall"
 	"time"
 
+	"dpfsm/internal/cluster"
 	"dpfsm/internal/core"
 	"dpfsm/internal/engine"
 	"dpfsm/internal/fsm"
@@ -132,6 +133,11 @@ type server struct {
 	// startup, unready again once graceful shutdown begins.
 	ready    atomic.Bool
 	draining atomic.Bool
+	// peer is this node's serving side of the cluster protocol, always
+	// mounted (a node with no -peers can still serve chunks for other
+	// coordinators). Its resolver consults the local registry, so plans
+	// both nodes already compiled are never shipped over the wire.
+	peer *cluster.Peer
 }
 
 // machineMeta is the registry's per-machine bookkeeping.
@@ -178,6 +184,7 @@ func newServer(patterns []string, strategy core.Strategy, procs int, maxBody int
 		engine.WithTelemetry(s.metrics),
 		engine.WithPerfProfiles(s.profiles),
 	)
+	s.peer = cluster.NewPeer(s.resolvePlan)
 	for _, spec := range patterns {
 		name, pat, ok := strings.Cut(spec, "=")
 		if !ok || name == "" {
@@ -190,6 +197,38 @@ func newServer(patterns []string, strategy core.Strategy, procs int, maxBody int
 		}
 	}
 	return s, nil
+}
+
+// resolvePlan finds a locally registered machine's compiled plan by
+// fingerprint — the cluster peer's local path: chunk tasks for
+// machines this node already compiled skip the plan-shipping round
+// trip entirely.
+func (s *server) resolvePlan(fingerprint string) *core.Plan {
+	s.mu.RLock()
+	names := append([]string(nil), s.order...)
+	s.mu.RUnlock()
+	for _, name := range names {
+		if m := s.engine.Machine(name); m != nil && m.Fingerprint() == fingerprint {
+			return m.Plan()
+		}
+	}
+	return nil
+}
+
+// enableCluster builds the coordinator over the static peer set and
+// attaches it to the engine, turning on the cluster dispatch lane.
+func (s *server) enableCluster(peers []string, chunkBytes, minBytes int) error {
+	co, err := cluster.NewCoordinator(cluster.Config{
+		Peers:      peers,
+		ChunkBytes: chunkBytes,
+		Telemetry:  s.metrics,
+	})
+	if err != nil {
+		return err
+	}
+	s.engine.SetClusterMinBytes(minBytes)
+	s.engine.SetCluster(co)
+	return nil
 }
 
 // registerMachine compiles pattern and registers it under name,
@@ -393,6 +432,7 @@ func (s *server) handleRun(w http.ResponseWriter, req *http.Request) {
 		Accepts:         r.Accepts,
 		Lane:            r.Lane,
 		Multicore:       r.Multicore,
+		Degraded:        r.Degraded,
 		Strategy:        r.Strategy,
 		SelectionReason: r.Reason,
 		DurationNs:      int64(r.Duration),
@@ -490,6 +530,7 @@ func (s *server) handleBatch(w http.ResponseWriter, req *http.Request) {
 			Bytes:      r.Bytes,
 			Lane:       r.Lane,
 			Multicore:  r.Multicore,
+			Degraded:   r.Degraded,
 			Strategy:   r.Strategy,
 			DurationNs: int64(r.Duration),
 		}
@@ -502,8 +543,13 @@ func (s *server) handleBatch(w http.ResponseWriter, req *http.Request) {
 				summary.Multicore++
 			case engine.LaneSpeculative:
 				summary.Speculative++
+			case engine.LaneCluster:
+				summary.Cluster++
 			default:
 				summary.SingleCore++
+			}
+			if r.Degraded {
+				summary.Degraded++
 			}
 		default:
 			br.Error = r.Err.Error()
@@ -903,6 +949,13 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc(serverapi.Version+"/traces/", s.instrument(serverapi.Version+"/traces/{id}", false, s.handleTraceByID))
 	mux.HandleFunc(serverapi.Version+"/slo", s.instrument(serverapi.Version+"/slo", false, s.handleSLO))
 
+	// Peer protocol: binary chunk tasks in, composition vectors out.
+	// Always mounted — a node with no -peers of its own still serves
+	// chunks for coordinators that list it.
+	peerHandler := s.peer.Handler().ServeHTTP
+	mux.HandleFunc(cluster.ExecPath, s.instrument(cluster.ExecPath, false, peerHandler))
+	mux.HandleFunc(cluster.PlansPath, s.instrument(cluster.PlansPath, false, peerHandler))
+
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -964,6 +1017,9 @@ func main() {
 		otlpInterval    = flag.Duration("otlp-interval", otlp.DefaultInterval, "OTLP metrics-push and trace-flush interval")
 		sloAvail        = flag.Float64("slo-availability", slo.DefaultAvailabilityTarget, "availability objective: target fraction of requests neither shed nor erroring")
 		sloLatency      = flag.Duration("slo-latency-threshold", slo.DefaultLatencyThreshold, "latency objective threshold: completed requests at or over this count against the latency SLO")
+		peersFlag       = flag.String("peers", "", "comma-separated base URLs of peer fsmserve nodes (e.g. http://host:8377); non-empty enables the distributed cluster lane")
+		clusterChunk    = flag.Int("cluster-chunk", 0, "bytes per chunk fanned out to peers (0 = coordinator default)")
+		clusterMin      = flag.Int("cluster-min", 0, "input size in bytes at or above which jobs take the cluster lane (0 = 4x the large-input threshold)")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown deadline on SIGINT/SIGTERM")
 	)
 	flag.Parse()
@@ -1014,6 +1070,22 @@ func main() {
 			SlowThreshold: *traceSlow,
 			KeepAttrs:     []string{engine.AttrMispredict},
 		})
+	}
+	if *peersFlag != "" {
+		var peerList []string
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		if err := srv.enableCluster(peerList, *clusterChunk, *clusterMin); err != nil {
+			fatal("bad -peers", err)
+		}
+		logger.Info("cluster lane enabled",
+			"peers", peerList,
+			"chunk_bytes", srv.engine.Cluster().ChunkBytes(),
+			"min_bytes", srv.engine.ClusterMinBytes(),
+		)
 	}
 	if *otlpEndpoint != "" {
 		srv.exporter, err = otlp.New(otlp.Config{

@@ -27,7 +27,7 @@ func main() {
 		"chunk", "tasks", "match", "to-workers", "to-coord", "overhead")
 
 	for _, chunkMB := range []int{1, 4, 16} {
-		c, err := cluster.New(d, cluster.Config{Workers: 4, ChunkBytes: chunkMB << 20})
+		c, err := cluster.New(d, cluster.SimConfig{Workers: 4, ChunkBytes: chunkMB << 20})
 		if err != nil {
 			panic(err)
 		}

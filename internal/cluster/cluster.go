@@ -19,7 +19,6 @@ package cluster
 
 import (
 	"bytes"
-	"fmt"
 	"sync"
 
 	"dpfsm/internal/core"
@@ -27,8 +26,8 @@ import (
 	"dpfsm/internal/gather"
 )
 
-// Config sizes the simulated cluster.
-type Config struct {
+// SimConfig sizes the simulated cluster.
+type SimConfig struct {
 	// Workers is the node count. ≤ 0 is an error.
 	Workers int
 	// ChunkBytes is the map-task granularity. ≤ 0 selects 1 MiB.
@@ -75,9 +74,9 @@ type Cluster struct {
 // New serializes the machine, boots cfg.Workers nodes (each
 // deserializing its own private copy), and returns the running
 // cluster. Close must be called when done.
-func New(d *fsm.DFA, cfg Config) (*Cluster, error) {
+func New(d *fsm.DFA, cfg SimConfig) (*Cluster, error) {
 	if cfg.Workers <= 0 {
-		return nil, fmt.Errorf("cluster: need at least one worker")
+		return nil, ErrNoWorkers
 	}
 	chunk := cfg.ChunkBytes
 	if chunk <= 0 {

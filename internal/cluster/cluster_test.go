@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -13,7 +14,7 @@ func TestClusterMatchesSequential(t *testing.T) {
 		d := fsm.RandomConverging(rng, 2+rng.Intn(60), 6, 6, 0.3)
 		in := d.RandomInput(rng, 1+rng.Intn(100_000))
 		for _, workers := range []int{1, 3, 8} {
-			c, err := New(d, Config{Workers: workers, ChunkBytes: 4096})
+			c, err := New(d, SimConfig{Workers: workers, ChunkBytes: 4096})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -44,14 +45,14 @@ func TestClusterCommunicationShrinksWithChunkSize(t *testing.T) {
 	d := fsm.RandomConverging(rng, 30, 4, 5, 0.3)
 	in := d.RandomInput(rng, 1<<20)
 
-	small, err := New(d, Config{Workers: 2, ChunkBytes: 4 << 10})
+	small, err := New(d, SimConfig{Workers: 2, ChunkBytes: 4 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}
 	_, sSmall := small.Final(in, d.Start())
 	small.Close()
 
-	big, err := New(d, Config{Workers: 2, ChunkBytes: 256 << 10})
+	big, err := New(d, SimConfig{Workers: 2, ChunkBytes: 256 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestClusterCommunicationShrinksWithChunkSize(t *testing.T) {
 func TestClusterAccepts(t *testing.T) {
 	rng := rand.New(rand.NewSource(242))
 	d := fsm.RandomConverging(rng, 20, 4, 4, 0.5)
-	c, err := New(d, Config{Workers: 2, ChunkBytes: 512})
+	c, err := New(d, SimConfig{Workers: 2, ChunkBytes: 512})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestClusterAccepts(t *testing.T) {
 func TestClusterEmptyInput(t *testing.T) {
 	d := fsm.MustNew(3, 2)
 	d.SetStart(2)
-	c, err := New(d, Config{Workers: 2})
+	c, err := New(d, SimConfig{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,14 +105,15 @@ func TestClusterEmptyInput(t *testing.T) {
 
 func TestClusterConfigErrors(t *testing.T) {
 	d := fsm.MustNew(2, 2)
-	if _, err := New(d, Config{Workers: 0}); err == nil {
-		t.Error("zero workers should fail")
+	_, err := New(d, SimConfig{Workers: 0})
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Errorf("zero workers: got %v, want ErrNoWorkers", err)
 	}
 }
 
 func TestClusterCloseIdempotent(t *testing.T) {
 	d := fsm.MustNew(2, 2)
-	c, err := New(d, Config{Workers: 1})
+	c, err := New(d, SimConfig{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +124,7 @@ func TestClusterCloseIdempotent(t *testing.T) {
 func TestClusterReusableAcrossJobs(t *testing.T) {
 	rng := rand.New(rand.NewSource(243))
 	d := fsm.RandomConverging(rng, 25, 4, 5, 0.3)
-	c, err := New(d, Config{Workers: 3, ChunkBytes: 1024})
+	c, err := New(d, SimConfig{Workers: 3, ChunkBytes: 1024})
 	if err != nil {
 		t.Fatal(err)
 	}

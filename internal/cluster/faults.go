@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fault injection for the cluster's network path. FaultRoundTripper
+// wraps an http.RoundTripper and perturbs requests to selected peers —
+// dropping them, delaying them, answering 500, or truncating the
+// response body mid-frame — on a per-peer schedule. The multi-node
+// conformance lane and the table-driven robustness tests drive every
+// retry/backoff/breaker path through it against real httptest servers,
+// then assert the degraded answers still match the scalar oracle.
+
+// FaultKind is one injected failure mode.
+type FaultKind int
+
+const (
+	// FaultNone forwards the request untouched (useful in scripted
+	// sequences: fail, fail, then succeed).
+	FaultNone FaultKind = iota
+	// FaultDrop fails the request without touching the network — the
+	// connection-refused / peer-down shape.
+	FaultDrop
+	// FaultDelay sleeps the configured Delay before forwarding — the
+	// slow-peer shape that trips per-attempt timeouts.
+	FaultDelay
+	// Fault500 answers HTTP 500 without forwarding — the crashed-handler
+	// shape.
+	Fault500
+	// FaultTruncate forwards the request but cuts the response body in
+	// half — the torn-frame shape the strict decoder must reject.
+	FaultTruncate
+)
+
+// ErrInjectedDrop is the failure FaultDrop surfaces, recognizable so
+// tests can tell injected faults from real ones.
+var ErrInjectedDrop = errors.New("cluster: injected connection drop")
+
+// FaultRoundTripper injects faults per peer host. Zero value is not
+// usable; construct with NewFaultRoundTripper.
+type FaultRoundTripper struct {
+	inner http.RoundTripper
+	// Delay is the sleep FaultDelay injects.
+	Delay time.Duration
+
+	mu     sync.Mutex
+	script map[string][]FaultKind // host → queued one-shot faults
+	always map[string]FaultKind   // host → persistent fault
+	calls  map[string]int         // host → requests seen
+}
+
+// NewFaultRoundTripper wraps inner (nil gets
+// http.DefaultTransport).
+func NewFaultRoundTripper(inner http.RoundTripper) *FaultRoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &FaultRoundTripper{
+		inner:  inner,
+		Delay:  10 * time.Millisecond,
+		script: make(map[string][]FaultKind),
+		always: make(map[string]FaultKind),
+		calls:  make(map[string]int),
+	}
+}
+
+// HostOf extracts the host key a base URL's requests are scheduled
+// under ("127.0.0.1:port" for an httptest server URL).
+func HostOf(baseURL string) string {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return strings.TrimPrefix(baseURL, "http://")
+	}
+	return u.Host
+}
+
+// Push queues one-shot faults for host, consumed in order — one per
+// request — before the persistent fault (if any) applies.
+func (f *FaultRoundTripper) Push(host string, faults ...FaultKind) {
+	f.mu.Lock()
+	f.script[host] = append(f.script[host], faults...)
+	f.mu.Unlock()
+}
+
+// SetAlways makes every request to host fail with k until Clear — the
+// peer-killed-mid-job switch.
+func (f *FaultRoundTripper) SetAlways(host string, k FaultKind) {
+	f.mu.Lock()
+	f.always[host] = k
+	f.mu.Unlock()
+}
+
+// Clear removes host's persistent fault and drains its script.
+func (f *FaultRoundTripper) Clear(host string) {
+	f.mu.Lock()
+	delete(f.always, host)
+	delete(f.script, host)
+	f.mu.Unlock()
+}
+
+// Calls reports how many requests have been seen for host — the
+// retry-count observable the backoff tests assert on.
+func (f *FaultRoundTripper) Calls(host string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[host]
+}
+
+// next pops the fault for one request to host.
+func (f *FaultRoundTripper) next(host string) FaultKind {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls[host]++
+	if q := f.script[host]; len(q) > 0 {
+		k := q[0]
+		f.script[host] = q[1:]
+		return k
+	}
+	return f.always[host]
+}
+
+// RoundTrip applies the scheduled fault for the request's host.
+func (f *FaultRoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	switch f.next(req.URL.Host) {
+	case FaultDrop:
+		return nil, ErrInjectedDrop
+	case Fault500:
+		return &http.Response{
+			StatusCode: http.StatusInternalServerError,
+			Status:     "500 Internal Server Error (injected)",
+			Body:       io.NopCloser(strings.NewReader("injected failure")),
+			Header:     make(http.Header),
+			Request:    req,
+		}, nil
+	case FaultDelay:
+		select {
+		case <-time.After(f.Delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return f.inner.RoundTrip(req)
+	case FaultTruncate:
+		resp, err := f.inner.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		cut := body[:len(body)/2]
+		resp.Body = io.NopCloser(strings.NewReader(string(cut)))
+		resp.ContentLength = int64(len(cut))
+		return resp, nil
+	default:
+		return f.inner.RoundTrip(req)
+	}
+}

@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"dpfsm/internal/core"
+	"dpfsm/internal/plan"
+)
+
+// Peer is the serving side of the cluster protocol: it holds compiled
+// plans by fingerprint and answers chunk tasks with composition
+// vectors. fsmserve mounts Handler into its mux so every node is
+// simultaneously a coordinator (for its own requests) and a peer (for
+// everyone else's); tests mount the same handler on httptest servers.
+//
+// Plans arrive two ways: shipped by a coordinator over PlansPath
+// (fingerprint-keyed, verified against the decoded plan's own
+// fingerprint, 409 on mismatch), or resolved locally through an
+// optional Resolver — fsmserve wires one that consults its own
+// registry, so plans both nodes already compiled are never re-shipped.
+type Peer struct {
+	mu      sync.Mutex
+	runners map[string]*core.Runner // fingerprint → single-core runner
+
+	// resolver, when set, is consulted for fingerprints not yet
+	// installed before answering unknown-plan.
+	resolver func(fingerprint string) *core.Plan
+
+	tasks     atomic.Int64
+	installs  atomic.Int64
+	rejects   atomic.Int64
+	taskBytes atomic.Int64
+}
+
+// NewPeer builds an empty peer. resolver may be nil.
+func NewPeer(resolver func(fingerprint string) *core.Plan) *Peer {
+	return &Peer{runners: make(map[string]*core.Runner), resolver: resolver}
+}
+
+// PeerStats is a point-in-time view of one peer's served traffic.
+type PeerStats struct {
+	// Plans is the number of installed plans; Tasks the chunk tasks
+	// served; Installs the plans accepted over the wire; Rejects the
+	// protocol rejections (mismatch, bad message); TaskBytes the chunk
+	// bytes executed.
+	Plans     int   `json:"plans"`
+	Tasks     int64 `json:"tasks"`
+	Installs  int64 `json:"installs"`
+	Rejects   int64 `json:"rejects"`
+	TaskBytes int64 `json:"task_bytes"`
+}
+
+// Stats returns the peer's served-traffic counters.
+func (p *Peer) Stats() PeerStats {
+	p.mu.Lock()
+	plans := len(p.runners)
+	p.mu.Unlock()
+	return PeerStats{
+		Plans:     plans,
+		Tasks:     p.tasks.Load(),
+		Installs:  p.installs.Load(),
+		Rejects:   p.rejects.Load(),
+		TaskBytes: p.taskBytes.Load(),
+	}
+}
+
+// Install decodes and installs a serialized plan under fingerprint.
+// The decoded plan's own fingerprint must match the declared one
+// (ErrPlanMismatch otherwise); installing an already-present
+// fingerprint is an idempotent no-op.
+func (p *Peer) Install(fingerprint string, data []byte) error {
+	p.mu.Lock()
+	_, have := p.runners[fingerprint]
+	p.mu.Unlock()
+	if have {
+		return nil
+	}
+	cp, err := core.UnmarshalPlan(data)
+	if err != nil {
+		return fmt.Errorf("cluster: decoding shipped plan: %w", err)
+	}
+	if cp.Fingerprint() != fingerprint {
+		return fmt.Errorf("%w: declared %s, decoded %s", ErrPlanMismatch, fingerprint, cp.Fingerprint())
+	}
+	return p.install(fingerprint, cp)
+}
+
+// install builds the runner and publishes it. Chunk tasks run
+// single-core on the peer: parallelism across a job comes from the
+// fan-out over peers (and each peer's concurrent HTTP handlers), not
+// from a second fan-out inside each chunk.
+func (p *Peer) install(fingerprint string, cp *core.Plan) error {
+	r, err := core.NewFromPlan(cp, core.WithProcs(1))
+	if err != nil {
+		return fmt.Errorf("cluster: building runner for shipped plan: %w", err)
+	}
+	p.mu.Lock()
+	if _, have := p.runners[fingerprint]; !have {
+		p.runners[fingerprint] = r
+		p.installs.Add(1)
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// runner resolves the runner for fingerprint, consulting the local
+// resolver on a miss. nil when the plan is unknown.
+func (p *Peer) runner(fingerprint string) *core.Runner {
+	p.mu.Lock()
+	r := p.runners[fingerprint]
+	p.mu.Unlock()
+	if r != nil {
+		return r
+	}
+	if p.resolver == nil {
+		return nil
+	}
+	cp := p.resolver(fingerprint)
+	if cp == nil || cp.Fingerprint() != fingerprint {
+		return nil
+	}
+	if err := p.install(fingerprint, cp); err != nil {
+		return nil
+	}
+	p.mu.Lock()
+	r = p.runners[fingerprint]
+	p.mu.Unlock()
+	return r
+}
+
+// Exec runs one decoded task and returns its composition vector.
+func (p *Peer) Exec(task *plan.ClusterTask) (*plan.ClusterVector, error) {
+	r := p.runner(task.Fingerprint)
+	if r == nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownPlan, task.Fingerprint)
+	}
+	vec := r.CompositionVector(task.Input)
+	p.tasks.Add(1)
+	p.taskBytes.Add(int64(len(task.Input)))
+	states := make([]uint16, len(vec))
+	for i, st := range vec {
+		states[i] = uint16(st)
+	}
+	return &plan.ClusterVector{
+		Fingerprint: task.Fingerprint,
+		ChunkIndex:  task.ChunkIndex,
+		States:      states,
+	}, nil
+}
+
+// Handler returns the peer's HTTP surface: POST ExecPath (binary
+// ClusterTask in, binary ClusterVector out) and POST PlansPath
+// (serialized plan in, keyed by ?fingerprint=). Mount it at the
+// routes' own paths — the handler switches on r.URL.Path.
+func (p *Peer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch req.URL.Path {
+		case ExecPath:
+			p.handleExec(w, req)
+		case PlansPath:
+			p.handleInstall(w, req)
+		default:
+			http.Error(w, "unknown cluster route", http.StatusNotFound)
+		}
+	})
+}
+
+// maxWireMessage bounds request reads: a plan or chunk can be large,
+// but not unbounded.
+const maxWireMessage = 128 << 20
+
+func (p *Peer) handleExec(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST a cluster task", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxWireMessage))
+	if err != nil {
+		http.Error(w, "reading task: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	task, err := plan.UnmarshalClusterTask(body)
+	if err != nil {
+		p.rejects.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	vec, err := p.Exec(task)
+	if err != nil {
+		p.rejects.Add(1)
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrUnknownPlan) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	out, err := vec.MarshalBinary()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(out)
+}
+
+func (p *Peer) handleInstall(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST a serialized plan", http.StatusMethodNotAllowed)
+		return
+	}
+	fingerprint := req.URL.Query().Get("fingerprint")
+	if fingerprint == "" {
+		http.Error(w, "missing ?fingerprint=", http.StatusBadRequest)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxWireMessage))
+	if err != nil {
+		http.Error(w, "reading plan: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := p.Install(fingerprint, body); err != nil {
+		p.rejects.Add(1)
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrPlanMismatch) {
+			status = http.StatusConflict
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+}

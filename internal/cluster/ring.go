@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring over the peer set, used to place
+// machines (by plan fingerprint) and to spread a job's chunks across
+// peers starting from the machine's home node. Placement must be a
+// pure function of (peer set, key): every coordinator in the cluster —
+// and every restart of the same coordinator — derives the same owner
+// for the same fingerprint, which is what makes "ship the plan to its
+// home peer once" coherent without any membership protocol.
+//
+// Each peer contributes vnodes points, hashed with FNV-64a over
+// "peer#i". FNV is stable across processes and architectures (unlike
+// map iteration or hash/maphash), so determinism across restarts is a
+// property of the construction, not a test accident. Virtual nodes
+// give the movement bound: when a peer joins or leaves an n-peer
+// ring, only the keys in the arcs it owned move — about 1/n of them,
+// never more than the failed peer held.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	peers  []string    // deduped, sorted
+}
+
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// DefaultVnodes is the virtual-node count per peer when NewRing is
+// given vnodes <= 0: enough points that arc sizes concentrate near
+// 1/(n·vnodes) of the keyspace.
+const DefaultVnodes = 64
+
+// NewRing builds a ring over peers (deduped; order-insensitive).
+// An empty peer set yields an empty ring whose Owner returns "".
+func NewRing(peers []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := make(map[string]bool, len(peers))
+	r := &Ring{}
+	for _, p := range peers {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		r.peers = append(r.peers, p)
+	}
+	sort.Strings(r.peers)
+	r.points = make([]ringPoint, 0, len(r.peers)*vnodes)
+	for _, p := range r.peers {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(p + "#" + strconv.Itoa(i)), peer: p})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (astronomically rare) break by peer name so the
+		// ring stays a deterministic function of the peer set.
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Peers returns the deduped, sorted peer set.
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// Owner returns the peer owning key: the first ring point at or after
+// the key's hash, wrapping at the top. "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(key)].peer
+}
+
+// search finds the index of key's successor point.
+func (r *Ring) search(key string) int {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// Prefs returns key's preference list: every distinct peer in ring
+// order starting from the owner. Chunk i of a job keyed by key is
+// dispatched to Prefs(key)[i % len], spreading a large input across
+// the whole cluster while keeping chunk→peer assignment deterministic.
+func (r *Ring) Prefs(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	prefs := make([]string, 0, len(r.peers))
+	seen := make(map[string]bool, len(r.peers))
+	start := r.search(key)
+	for i := 0; i < len(r.points) && len(prefs) < len(r.peers); i++ {
+		p := r.points[(start+i)%len(r.points)].peer
+		if !seen[p] {
+			seen[p] = true
+			prefs = append(prefs, p)
+		}
+	}
+	return prefs
+}
+
+// OwnerAt returns the i-th peer of key's preference list (mod the
+// peer count): the dispatch target for chunk i of a job keyed by key.
+func (r *Ring) OwnerAt(key string, i int) string {
+	prefs := r.Prefs(key)
+	if len(prefs) == 0 {
+		return ""
+	}
+	return prefs[i%len(prefs)]
+}

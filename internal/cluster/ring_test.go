@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("fingerprint-%04x", i)
+	}
+	return keys
+}
+
+func ringPeers(n int) []string {
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return peers
+}
+
+// Placement must be a pure function of (peer set, key): any
+// coordinator, any restart, any peer-list order derives the same
+// owner for the same fingerprint.
+func TestRingDeterministicAcrossConstruction(t *testing.T) {
+	peers := ringPeers(5)
+	a := NewRing(peers, 0)
+
+	shuffled := append([]string(nil), peers...)
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	b := NewRing(shuffled, 0)
+
+	for _, key := range ringKeys(2000) {
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("owner of %q differs across construction order: %q vs %q", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingDedupeAndEmpty(t *testing.T) {
+	r := NewRing([]string{"b", "a", "b", "", "a"}, 8)
+	if got := r.Peers(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("peers = %v, want [a b]", got)
+	}
+	empty := NewRing(nil, 0)
+	if owner := empty.Owner("k"); owner != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", owner)
+	}
+	if prefs := empty.Prefs("k"); prefs != nil {
+		t.Fatalf("empty ring prefs = %v, want nil", prefs)
+	}
+}
+
+// Removing one peer from an n-peer ring must move only the keys it
+// owned — about 1/n of them, bounded by 2/n — and every moved key must
+// be one the dead peer held. The same bound holds on join, with moved
+// keys landing exactly on the new peer.
+func TestRingMovementBoundOnLeave(t *testing.T) {
+	const n = 5
+	peers := ringPeers(n)
+	keys := ringKeys(2000)
+	before := NewRing(peers, 0)
+	after := NewRing(peers[:n-1], 0)
+	removed := peers[n-1]
+
+	moved := 0
+	for _, key := range keys {
+		o1, o2 := before.Owner(key), after.Owner(key)
+		if o1 == o2 {
+			continue
+		}
+		moved++
+		if o1 != removed {
+			t.Fatalf("key %q moved from surviving peer %q to %q", key, o1, o2)
+		}
+	}
+	if bound := 2 * len(keys) / n; moved > bound {
+		t.Fatalf("leave moved %d of %d keys, bound is %d (2/n)", moved, len(keys), bound)
+	}
+	if moved == 0 {
+		t.Fatal("removed peer owned zero keys — ring is not spreading load")
+	}
+}
+
+func TestRingMovementBoundOnJoin(t *testing.T) {
+	const n = 5
+	peers := ringPeers(n)
+	keys := ringKeys(2000)
+	before := NewRing(peers[:n-1], 0)
+	after := NewRing(peers, 0)
+	joined := peers[n-1]
+
+	moved := 0
+	for _, key := range keys {
+		o1, o2 := before.Owner(key), after.Owner(key)
+		if o1 == o2 {
+			continue
+		}
+		moved++
+		if o2 != joined {
+			t.Fatalf("key %q moved to %q, not the joining peer", key, o2)
+		}
+	}
+	if bound := 2 * len(keys) / n; moved > bound {
+		t.Fatalf("join moved %d of %d keys, bound is %d (2/n)", moved, len(keys), bound)
+	}
+	if moved == 0 {
+		t.Fatal("joining peer took zero keys")
+	}
+}
+
+func TestRingPrefs(t *testing.T) {
+	peers := ringPeers(4)
+	r := NewRing(peers, 0)
+	for _, key := range ringKeys(50) {
+		prefs := r.Prefs(key)
+		if len(prefs) != len(peers) {
+			t.Fatalf("prefs(%q) has %d entries, want %d", key, len(prefs), len(peers))
+		}
+		if prefs[0] != r.Owner(key) {
+			t.Fatalf("prefs(%q)[0] = %q, owner = %q", key, prefs[0], r.Owner(key))
+		}
+		seen := make(map[string]bool)
+		for _, p := range prefs {
+			if seen[p] {
+				t.Fatalf("prefs(%q) repeats %q", key, p)
+			}
+			seen[p] = true
+		}
+		if r.OwnerAt(key, 2) != prefs[2] || r.OwnerAt(key, 2+len(peers)) != prefs[2] {
+			t.Fatalf("OwnerAt(%q, 2) does not match prefs with wraparound", key)
+		}
+	}
+}
+
+// The coordinator places a machine's plan and its perf profile by the
+// same key — the plan fingerprint — so they co-locate on the same home
+// peer by construction, and the home survives a coordinator restart.
+func TestCoordinatorPlacementStableAcrossRestart(t *testing.T) {
+	peers := ringPeers(3)
+	c1, err := NewCoordinator(Config{Peers: peers, Transport: nopTransport{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := []string{peers[2], peers[0], peers[1]}
+	c2, err := NewCoordinator(Config{Peers: shuffled, Transport: nopTransport{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fp := range ringKeys(200) {
+		if c1.Owner(fp) != c2.Owner(fp) {
+			t.Fatalf("fingerprint %q homed on %q before restart, %q after", fp, c1.Owner(fp), c2.Owner(fp))
+		}
+	}
+}

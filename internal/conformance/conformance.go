@@ -86,6 +86,11 @@ type Config struct {
 	// SkipFold disables the long-input fold probe (one ≈130 KiB run per
 	// machine crossing several 64 KiB context-fold block boundaries).
 	SkipFold bool
+	// SkipCluster disables the distributed lane probe (two live HTTP
+	// peers per machine, chunk-split invariance over the network plus a
+	// dead-network degraded run). Skipped by fuzz targets: peer setup
+	// per execution would dominate.
+	SkipCluster bool
 }
 
 // DefaultConfig returns the configuration the property suites and
@@ -117,6 +122,7 @@ func QuickConfig() Config {
 	cfg.SkipPlanRoundTrip = true
 	cfg.SkipTrace = true
 	cfg.SkipFold = true
+	cfg.SkipCluster = true
 	cfg.MaxVectorStates = 32
 	return cfg
 }

@@ -27,6 +27,7 @@ func TestDifferentialSuite(t *testing.T) {
 	cfg := DefaultConfig()
 	if testing.Short() {
 		cfg.SkipFold = true
+		cfg.SkipCluster = true
 	}
 	rng := rand.New(rand.NewSource(20260805))
 	n := suiteMachines(t)

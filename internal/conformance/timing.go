@@ -40,8 +40,8 @@ func (p PhaseTiming) MeanNs() int64 {
 // Timings is the per-phase breakdown of one soak run. Compile counts
 // one call per machine (strategy matrix + engine registration); Oracle
 // one per input (the full differential sweep of check); Split one per
-// input; Concat, Trace and Fold one per machine, minus any phases the
-// Config skips.
+// input; Concat, Trace, Fold and Cluster one per machine, minus any
+// phases the Config skips.
 type Timings struct {
 	Compile PhaseTiming `json:"compile"`
 	Oracle  PhaseTiming `json:"oracle"`
@@ -49,6 +49,7 @@ type Timings struct {
 	Concat  PhaseTiming `json:"concat"`
 	Trace   PhaseTiming `json:"trace"`
 	Fold    PhaseTiming `json:"fold"`
+	Cluster PhaseTiming `json:"cluster"`
 }
 
 // timePhase runs one phase under the clock and passes its verdict
@@ -90,6 +91,11 @@ func checkTimed(gm GeneratedMachine, inputs [][]byte, cfg Config, tm *Timings) *
 	}
 	if !cfg.SkipFold {
 		if dv := timePhase(&tm.Fold, func() *Divergence { return c.checkFold(foldProbe(inputs)) }); dv != nil {
+			return dv
+		}
+	}
+	if !cfg.SkipCluster {
+		if dv := timePhase(&tm.Cluster, func() *Divergence { return c.checkCluster(inputs) }); dv != nil {
 			return dv
 		}
 	}

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"dpfsm/internal/adaptive"
+	"dpfsm/internal/cluster"
 	"dpfsm/internal/core"
 	"dpfsm/internal/fsm"
 	"dpfsm/internal/perfprofile"
@@ -72,6 +73,7 @@ const (
 	LaneSingle      = perfprofile.LaneSingle
 	LaneMulticore   = perfprofile.LaneMulticore
 	LaneSpeculative = perfprofile.LaneSpeculative
+	LaneCluster     = perfprofile.LaneCluster
 )
 
 // Errors returned by Submit/Run. Per-job failures are reported in
@@ -98,6 +100,8 @@ type config struct {
 	sink       trace.Sink
 	planCache  *PlanCache
 	profiles   *perfprofile.Store
+	cluster    *cluster.Coordinator
+	clusterMin int
 }
 
 // WithWorkers sets the worker-pool size. n <= 0 means runtime.NumCPU().
@@ -163,6 +167,23 @@ func WithPlanCache(pc *PlanCache) Option {
 // either way.
 func WithPerfProfiles(s *perfprofile.Store) Option {
 	return func(c *config) { c.profiles = s }
+}
+
+// WithCluster attaches a distributed coordinator: jobs of at least
+// the cluster threshold (WithClusterMinBytes) take the cluster lane,
+// fanning chunks out over the peer set instead of local cores. nil
+// (the default) disables the lane. The coordinator can also be
+// attached or swapped after construction with SetCluster.
+func WithCluster(co *cluster.Coordinator) Option {
+	return func(c *config) { c.cluster = co }
+}
+
+// WithClusterMinBytes sets the cluster lane's input threshold. Only
+// jobs of at least n bytes are worth a network round trip; smaller
+// large inputs stay on the local multicore lane. n <= 0 keeps the
+// default of 4x the large-input threshold.
+func WithClusterMinBytes(n int) Option {
+	return func(c *config) { c.clusterMin = n }
 }
 
 // Machine is one compiled DFA registered with the engine: a shared
@@ -347,8 +368,13 @@ type Result struct {
 	Lane      string        `json:"lane,omitempty"`
 	Strategy  string        `json:"strategy,omitempty"`
 	Reason    string        `json:"reason,omitempty"`
-	Duration  time.Duration `json:"duration_ns"`
-	Err       error         `json:"-"`
+	// Degraded is set by the cluster lane when one or more chunks fell
+	// back to local execution (peer down, breaker open, retries
+	// exhausted). The answer is still exact; the job just did not get
+	// full cluster parallelism.
+	Degraded bool          `json:"degraded,omitempty"`
+	Duration time.Duration `json:"duration_ns"`
+	Err      error         `json:"-"`
 }
 
 // BatchStats aggregates one batch: the per-batch telemetry the
@@ -361,6 +387,8 @@ type BatchStats struct {
 	SingleCore  int           `json:"single_core"`
 	Multicore   int           `json:"multicore"`
 	Speculative int           `json:"speculative"`
+	Cluster     int           `json:"cluster"`
+	Degraded    int           `json:"degraded"`
 	Bytes       int64         `json:"bytes"`
 	Duration    time.Duration `json:"duration_ns"`
 }
@@ -405,6 +433,12 @@ type Engine struct {
 	sink      trace.Sink
 	planCache *PlanCache
 	profiles  *perfprofile.Store
+	// clusterCo, when non-nil, enables the cluster lane: jobs of at
+	// least clusterMin bytes fan their chunks out over the peer set.
+	// Both atomic so fsmserve can attach them after construction and
+	// tests can swap them live.
+	clusterCo  atomic.Pointer[cluster.Coordinator]
+	clusterMin atomic.Int64
 }
 
 const (
@@ -452,11 +486,36 @@ func New(opts ...Option) *Engine {
 		planCache:  cfg.planCache,
 		profiles:   cfg.profiles,
 	}
+	e.SetClusterMinBytes(cfg.clusterMin)
+	if cfg.cluster != nil {
+		e.clusterCo.Store(cfg.cluster)
+	}
 	for i := 0; i < cfg.workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
 	}
 	return e
+}
+
+// SetCluster attaches (or, with nil, detaches) the distributed
+// coordinator at runtime. Jobs already dispatched keep the coordinator
+// they loaded.
+func (e *Engine) SetCluster(co *cluster.Coordinator) { e.clusterCo.Store(co) }
+
+// Cluster returns the attached coordinator (nil when the cluster lane
+// is disabled).
+func (e *Engine) Cluster() *cluster.Coordinator { return e.clusterCo.Load() }
+
+// ClusterMinBytes reports the cluster lane's input threshold.
+func (e *Engine) ClusterMinBytes() int { return int(e.clusterMin.Load()) }
+
+// SetClusterMinBytes sets the cluster lane's input threshold; n <= 0
+// restores the default of 4x the large-input threshold.
+func (e *Engine) SetClusterMinBytes(n int) {
+	if n <= 0 {
+		n = 4 * e.largeInput
+	}
+	e.clusterMin.Store(int64(n))
 }
 
 // Telemetry returns the attached metrics sink (nil when disabled).
@@ -772,8 +831,13 @@ func summarize(results []Result, dur time.Duration) BatchStats {
 				st.Multicore++
 			case LaneSpeculative:
 				st.Speculative++
+			case LaneCluster:
+				st.Cluster++
 			default:
 				st.SingleCore++
+			}
+			if r.Degraded {
+				st.Degraded++
 			}
 		}
 	}
@@ -945,13 +1009,16 @@ func (e *Engine) execWait(ctx context.Context, idx int, job Job, queueWait time.
 		defer cancel()
 	}
 
-	// Dispatch. Three tiers:
+	// Dispatch. Four tiers:
 	//
 	//   1. an explicit per-job strategy override pins the job to the
 	//      single-core lane under that strategy;
-	//   2. small inputs always run single-core (fan-out overhead
+	//   2. with a coordinator attached, inputs of at least the cluster
+	//      threshold fan out over the peer set (the networked §3.4
+	//      decomposition);
+	//   3. small inputs always run single-core (fan-out overhead
 	//      dominates below the threshold);
-	//   3. large inputs take the lane the adaptive selector holds —
+	//   4. large inputs take the lane the adaptive selector holds —
 	//      or, without a profile store, the historical static
 	//      heuristic (multicore whenever it exists).
 	r := m.single
@@ -959,6 +1026,7 @@ func (e *Engine) execWait(ctx context.Context, idx int, job Job, queueWait time.
 	res.Strategy = m.plan.Strategy().String()
 	reason := fmt.Sprintf("input %d B < large-input threshold %d B", len(job.Input), e.largeInput)
 
+	co := e.clusterCo.Load()
 	if job.Strategy != core.Auto && job.Strategy != m.plan.Strategy() {
 		alt, err := m.altRunner(job.Strategy)
 		if err != nil {
@@ -968,6 +1036,10 @@ func (e *Engine) execWait(ctx context.Context, idx int, job Job, queueWait time.
 		r = alt
 		res.Strategy = job.Strategy.String()
 		reason = fmt.Sprintf("explicit strategy override (%v); single-core lane", job.Strategy)
+	} else if co != nil && len(job.Input) >= e.ClusterMinBytes() {
+		res.Lane = LaneCluster
+		reason = fmt.Sprintf("input %d B >= cluster threshold %d B; fanning out over %d peers",
+			len(job.Input), e.ClusterMinBytes(), len(co.Peers()))
 	} else if len(job.Input) >= e.largeInput && e.procs > 1 {
 		if m.sel != nil {
 			res.Lane, reason = m.sel.LaneFor()
@@ -1024,9 +1096,19 @@ func (e *Engine) execWait(ctx context.Context, idx int, job Job, queueWait time.
 		"strategy", res.Strategy,
 		AttrLane, res.Lane,
 	), func(ctx context.Context) {
-		if res.Lane == LaneSpeculative {
+		switch res.Lane {
+		case LaneCluster:
+			// The cluster lane is network-bound, not core-bound, so it
+			// bypasses the multicore fan-out gate.
+			var cstats cluster.ExecStats
+			final, cstats, err = co.Exec(ctx, m.plan, job.Input, start)
+			res.Degraded = cstats.Degraded
+			if cstats.Degraded && sp != nil {
+				sp.SetAttrs(trace.Bool(cluster.AttrDegraded, true))
+			}
+		case LaneSpeculative:
 			final, specStats, err = m.spec.FinalCtx(ctx, job.Input, start)
-		} else {
+		default:
 			final, err = r.FinalCtx(ctx, job.Input, start)
 		}
 	})
@@ -1091,6 +1173,8 @@ func (e *Engine) noteResult(res *Result) {
 		tm.EngineMulticore.Inc()
 	case LaneSpeculative:
 		tm.EngineSpeculative.Inc()
+	case LaneCluster:
+		tm.EngineCluster.Inc()
 	default:
 		tm.EngineSingleCore.Inc()
 	}

@@ -58,6 +58,7 @@ const (
 	LaneSingle      = "single"
 	LaneMulticore   = "multicore"
 	LaneSpeculative = "speculative"
+	LaneCluster     = "cluster"
 )
 
 // hotStateCap bounds the hot-state histogram: the speculative lane's
@@ -174,6 +175,7 @@ const (
 	laneIdxSingle = iota
 	laneIdxMulticore
 	laneIdxSpeculative
+	laneIdxCluster
 	laneCount
 )
 
@@ -185,6 +187,8 @@ func laneIdx(lane string) int {
 		return laneIdxMulticore
 	case LaneSpeculative:
 		return laneIdxSpeculative
+	case LaneCluster:
+		return laneIdxCluster
 	default:
 		return laneIdxSingle
 	}
@@ -321,7 +325,7 @@ func (r *MachineRecorder) Profile() Profile {
 		ActiveFinalMean: snap.ActiveFinalMean,
 	}
 	p.Lanes = make(map[string]LaneStats, laneCount)
-	for i, name := range [laneCount]string{LaneSingle, LaneMulticore, LaneSpeculative} {
+	for i, name := range [laneCount]string{LaneSingle, LaneMulticore, LaneSpeculative, LaneCluster} {
 		ls := LaneStats{
 			Jobs:   r.laneJobs[i].Load(),
 			Bytes:  r.laneBytes[i].Load(),

@@ -1,0 +1,224 @@
+package plan
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+func sampleTask() *ClusterTask {
+	return &ClusterTask{
+		Fingerprint: "a3f1c9d200000000",
+		ChunkIndex:  2,
+		TotalChunks: 5,
+		Input:       []byte("GET /cgi-bin/x.pl HTTP/1.0"),
+	}
+}
+
+func sampleVector() *ClusterVector {
+	return &ClusterVector{
+		Fingerprint: "a3f1c9d200000000",
+		ChunkIndex:  2,
+		States:      []uint16{3, 0, 7, 7, 1},
+	}
+}
+
+func TestClusterTaskRoundTrip(t *testing.T) {
+	want := sampleTask()
+	data, err := want.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := UnmarshalClusterTask(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip drift:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestClusterTaskEmptyInput(t *testing.T) {
+	// A zero-length chunk is legal on the wire (the coordinator never
+	// sends one, but the decoder must not conflate empty with invalid).
+	task := &ClusterTask{Fingerprint: "fp", ChunkIndex: 0, TotalChunks: 1}
+	data, err := task.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := UnmarshalClusterTask(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(got.Input) != 0 {
+		t.Fatalf("got %d input bytes, want 0", len(got.Input))
+	}
+}
+
+func TestClusterVectorRoundTrip(t *testing.T) {
+	want := sampleVector()
+	data, err := want.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := UnmarshalClusterVector(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip drift:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestClusterDecodeRejections(t *testing.T) {
+	taskBytes := func() []byte {
+		d, err := sampleTask().MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	vecBytes := func() []byte {
+		d, err := sampleVector().MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	cases := []struct {
+		name string
+		data []byte
+		dec  func([]byte) error
+	}{
+		{"task short", []byte("DPFSMTSK"), func(d []byte) error { _, err := UnmarshalClusterTask(d); return err }},
+		{"task wrong magic", vecBytes(), func(d []byte) error { _, err := UnmarshalClusterTask(d); return err }},
+		{"vector wrong magic", taskBytes(), func(d []byte) error { _, err := UnmarshalClusterVector(d); return err }},
+		{"task flipped bit", flipBit(taskBytes(), 12), func(d []byte) error { _, err := UnmarshalClusterTask(d); return err }},
+		{"vector flipped bit", flipBit(vecBytes(), 12), func(d []byte) error { _, err := UnmarshalClusterVector(d); return err }},
+		{"task truncated", taskBytes()[:15], func(d []byte) error { _, err := UnmarshalClusterTask(d); return err }},
+		{"vector truncated", vecBytes()[:15], func(d []byte) error { _, err := UnmarshalClusterVector(d); return err }},
+		{"task trailing bytes", refreame(t, taskBytes(), 1), func(d []byte) error { _, err := UnmarshalClusterTask(d); return err }},
+		{"vector trailing bytes", refreame(t, vecBytes(), 1), func(d []byte) error { _, err := UnmarshalClusterVector(d); return err }},
+	}
+	for _, tc := range cases {
+		if err := tc.dec(tc.data); err == nil {
+			t.Errorf("%s: decode succeeded, want error", tc.name)
+		}
+	}
+}
+
+// flipBit corrupts one payload byte, leaving the checksum stale.
+func flipBit(data []byte, i int) []byte {
+	out := append([]byte(nil), data...)
+	out[i] ^= 0x40
+	return out
+}
+
+// refreame appends n garbage bytes inside the frame and re-checksums,
+// so the decoder's trailing-bytes check (not the checksum) must catch
+// the damage.
+func refreame(t *testing.T, data []byte, n int) []byte {
+	t.Helper()
+	body := append([]byte(nil), data[:len(data)-8]...)
+	body = append(body, bytes.Repeat([]byte{0xEE}, n)...)
+	return binary.LittleEndian.AppendUint64(body, checksum(body))
+}
+
+func TestClusterMarshalRejections(t *testing.T) {
+	taskCases := []struct {
+		name string
+		mut  func(*ClusterTask)
+	}{
+		{"empty fingerprint", func(x *ClusterTask) { x.Fingerprint = "" }},
+		{"long fingerprint", func(x *ClusterTask) { x.Fingerprint = string(bytes.Repeat([]byte{'a'}, maxFingerprintLen+1)) }},
+		{"zero total chunks", func(x *ClusterTask) { x.TotalChunks = 0 }},
+		{"index past total", func(x *ClusterTask) { x.ChunkIndex = x.TotalChunks }},
+	}
+	for _, tc := range taskCases {
+		task := sampleTask()
+		tc.mut(task)
+		if _, err := task.MarshalBinary(); err == nil {
+			t.Errorf("task %s: MarshalBinary succeeded, want error", tc.name)
+		}
+	}
+	vecCases := []struct {
+		name string
+		mut  func(*ClusterVector)
+	}{
+		{"empty fingerprint", func(x *ClusterVector) { x.Fingerprint = "" }},
+		{"empty vector", func(x *ClusterVector) { x.States = nil }},
+		{"oversize vector", func(x *ClusterVector) { x.States = make([]uint16, maxStates+1) }},
+	}
+	for _, tc := range vecCases {
+		vec := sampleVector()
+		tc.mut(vec)
+		if _, err := vec.MarshalBinary(); err == nil {
+			t.Errorf("vector %s: MarshalBinary succeeded, want error", tc.name)
+		}
+	}
+}
+
+// FuzzClusterVectorDecode drives UnmarshalClusterVector with arbitrary
+// bytes: the decoder must never panic or over-allocate, and anything
+// it accepts must survive a marshal → unmarshal round trip unchanged.
+func FuzzClusterVectorDecode(f *testing.F) {
+	seed, err := sampleVector().MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	one, err := (&ClusterVector{Fingerprint: "f", States: []uint16{0}}).MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(one)
+	f.Add([]byte("DPFSMVEC"))
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := UnmarshalClusterVector(data)
+		if err != nil {
+			return
+		}
+		re, err := decoded.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted input failed to re-marshal: %v", err)
+		}
+		again, err := UnmarshalClusterVector(re)
+		if err != nil {
+			t.Fatalf("re-marshaled vector failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(decoded, again) {
+			t.Fatalf("decode/encode not stable:\n first %+v\nsecond %+v", decoded, again)
+		}
+	})
+}
+
+// FuzzClusterTaskDecode is FuzzClusterVectorDecode's sibling for the
+// request side of the protocol.
+func FuzzClusterTaskDecode(f *testing.F) {
+	seed, err := sampleTask().MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte("DPFSMTSK"))
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := UnmarshalClusterTask(data)
+		if err != nil {
+			return
+		}
+		re, err := decoded.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted input failed to re-marshal: %v", err)
+		}
+		again, err := UnmarshalClusterTask(re)
+		if err != nil {
+			t.Fatalf("re-marshaled task failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(decoded, again) {
+			t.Fatalf("decode/encode not stable:\n first %+v\nsecond %+v", decoded, again)
+		}
+	})
+}

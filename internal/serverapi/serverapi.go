@@ -15,6 +15,7 @@
 package serverapi
 
 import (
+	"dpfsm/internal/cluster"
 	"dpfsm/internal/core"
 	"dpfsm/internal/fsm"
 	"dpfsm/internal/otlp"
@@ -51,11 +52,16 @@ type RunResult struct {
 	// the request asked for it (?first=1); -1 means no match.
 	FirstMatch *int `json:"first_match,omitempty"`
 	// Lane is the engine lane the job ran on: "single", "multicore",
-	// or "speculative". Multicore is the legacy boolean view of the
-	// same fact (true only for the multicore lane) and is kept for
-	// wire compatibility.
+	// "speculative", or "cluster". Multicore is the legacy boolean view
+	// of the same fact (true only for the multicore lane) and is kept
+	// for wire compatibility.
 	Lane      string `json:"lane,omitempty"`
 	Multicore bool   `json:"multicore"`
+	// Degraded is true when a cluster-lane run re-executed one or more
+	// chunks locally (peer down, breaker open, retries exhausted). The
+	// answer is still exact — degradation costs parallelism, never
+	// correctness.
+	Degraded bool `json:"degraded,omitempty"`
 	// Strategy is the strategy that actually executed — the resolved
 	// one, never "auto". SelectionReason is the dispatch policy's
 	// stated reason for the lane choice (adaptive selection, static
@@ -206,8 +212,11 @@ type BatchResult struct {
 	// Lane is the engine lane ("single", "multicore", "speculative");
 	// Multicore is its legacy boolean view. Strategy is the resolved
 	// strategy that executed.
-	Lane       string `json:"lane,omitempty"`
-	Multicore  bool   `json:"multicore"`
+	Lane      string `json:"lane,omitempty"`
+	Multicore bool   `json:"multicore"`
+	// Degraded marks cluster-lane jobs that fell back to local
+	// execution for some chunks; the answer is still exact.
+	Degraded   bool   `json:"degraded,omitempty"`
 	Strategy   string `json:"strategy,omitempty"`
 	DurationNs int64  `json:"duration_ns"`
 	Error      string `json:"error,omitempty"`
@@ -223,8 +232,12 @@ type BatchSummary struct {
 	SingleCore int `json:"single_core"`
 	Multicore  int `json:"multicore"`
 	// Speculative counts jobs the adaptive selector routed to the
-	// speculative lane.
+	// speculative lane; Cluster counts jobs fanned out over the peer
+	// set, Degraded those among them that partially fell back to local
+	// execution.
 	Speculative int   `json:"speculative,omitempty"`
+	Cluster     int   `json:"cluster,omitempty"`
+	Degraded    int   `json:"degraded,omitempty"`
 	Bytes       int64 `json:"bytes"`
 	DurationNs  int64 `json:"duration_ns"`
 }
@@ -333,6 +346,30 @@ type Status struct {
 	// sampler decisions and OTLP exporter counters. Absent when
 	// neither sampling nor export is configured.
 	Observability *Observability `json:"observability,omitempty"`
+
+	// Cluster is the distributed-execution view: peer health, breaker
+	// states, and protocol counters. Absent when the node runs without
+	// -peers.
+	Cluster *ClusterStatus `json:"cluster,omitempty"`
+}
+
+// ClusterStatus is the /v1/status section describing distributed
+// execution: how this node's coordinator sees its peers, and what the
+// node has served as a peer itself.
+type ClusterStatus struct {
+	// Peers is per-peer breaker state and traffic, sorted by peer URL.
+	Peers []cluster.PeerHealth `json:"peers"`
+	// ChunkBytes is the fan-out granularity; MinBytes the input size at
+	// which jobs take the cluster lane.
+	ChunkBytes int `json:"chunk_bytes"`
+	MinBytes   int `json:"min_bytes"`
+	// Served is this node's own peer-side traffic (chunk tasks executed
+	// for other coordinators).
+	Served cluster.PeerStats `json:"served"`
+	// Jobs counts cluster-lane jobs this node coordinated; Degraded
+	// those that partially fell back to local execution.
+	Jobs     int64 `json:"jobs"`
+	Degraded int64 `json:"degraded"`
 }
 
 // Observability reports the trace sampler's decisions and the OTLP
